@@ -1,0 +1,52 @@
+// Figure 10: sensitivity to the early-stopping error threshold. Paper:
+// relaxing the threshold reduces inspector cost for +MM+ES, and both
+// extraction and inspection for DeepBase (streaming stops reading); the
+// correlation measure is far more sensitive than logistic regression.
+
+#include <cstdio>
+
+#include "baselines/pybase.h"
+#include "bench/scalability.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 10",
+              "Runtime vs early-stopping error threshold (epsilon) for "
+              "+MM+ES and DeepBase.");
+  SqlWorld world = ScalabilityWorld(full);
+  const Scale scale = DefaultScale(full);
+
+  TextTable table(
+      {"measure", "epsilon", "system", "seconds", "records_read"});
+  for (MeasureKind kind : {MeasureKind::kCorrelation, MeasureKind::kLogReg}) {
+    const char* mname =
+        kind == MeasureKind::kCorrelation ? "correlation" : "logreg";
+    for (double eps : {0.1, 0.05, 0.025, 0.01}) {
+      for (const auto& [name, base_opts] :
+           std::vector<std::pair<std::string, InspectOptions>>{
+               {"+MM+ES", MergedEarlyStopOptions()},
+               {"DeepBase", DeepBaseOptions()}}) {
+        InspectOptions opts = base_opts;
+        opts.corr_epsilon = eps;
+        opts.logreg_epsilon = eps;
+        CellResult r = RunEngineCell(world, kind, opts, scale);
+        table.AddRow({mname, TextTable::Num(eps, 3), name,
+                      TextTable::Num(r.seconds, 3),
+                      std::to_string(r.stats.records_processed)});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Figure 11 / §6.3.1: reproduction of the Belinkov et al. POS-probing
+// analysis. Two pipelines over the same trained NMT encoder:
+//   (a) Belinkov-style: the probe classifier is trained by re-running the
+//       full translation model for activations on every pass (their
+//       in-place classifier design);
+//   (b) DeepBase: activations are extracted once, materialized, and probe
+//       passes run on the cached version (§6.3: 38.3min extract + 7.4min
+//       passes vs their 70min at paper scale).
+// Reports per-tag precision for both, their Pearson correlation (paper:
+// r = 0.84 across environments), and both runtimes.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/engine.h"
+#include "measures/logreg.h"
+#include "util/stopwatch.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 11",
+              "Per-POS-tag probe precision: Belinkov-style pipeline vs "
+              "DeepBase (paper: strongly correlated, r=0.84).");
+  NmtWorld world = BuildNmtWorld(full ? 1200 : 500, 12, full ? 32 : 24,
+                                 full ? 40 : 30, /*seed=*/61);
+  std::printf("NMT model teacher-forced accuracy: %.3f\n\n", world.accuracy);
+
+  auto tagger = PosTagger::ForTranslationCorpus();
+  MultiClassPosHypothesis hyp(tagger, TranslationTagset(), /*use_gold=*/true);
+  const int num_classes = hyp.num_classes();
+  Seq2SeqEncoderExtractor extractor("nmt", world.trained.get());
+  const Dataset& ds = world.corpus.source;
+  const size_t nu = extractor.num_units();
+  std::vector<int> all_units(nu);
+  for (size_t u = 0; u < nu; ++u) all_units[u] = static_cast<int>(u);
+  const size_t kPasses = 12;
+
+  // ---- (a) Belinkov-style: re-extract activations every pass.
+  Stopwatch belinkov_watch;
+  MulticlassLogRegMeasure belinkov_probe(nu, num_classes, LogRegOptions{});
+  {
+    const size_t block = 64;
+    // Fixed block order so both pipelines see identical SGD/validation
+    // streams; the paper's r=0.84 reflects *cross-environment* differences
+    // (Lua Torch vs PyTorch models), which we cannot reproduce — here the
+    // consistency check is within one environment and should be near 1.
+    for (size_t pass = 0; pass < kPasses; ++pass) {
+      BlockIterator it(&ds, block, 17);
+      while (it.HasNext()) {
+        std::vector<size_t> idx = it.NextBlock();
+        Matrix units = extractor.ExtractBlock(ds, idx, all_units);
+        std::vector<float> labels(units.rows());
+        size_t row = 0;
+        for (size_t i : idx) {
+          std::vector<float> h = hyp.Eval(ds.record(i));
+          for (float v : h) labels[row++] = v;
+        }
+        belinkov_probe.ProcessBlock(units, labels);
+      }
+    }
+  }
+  const double belinkov_s = belinkov_watch.Seconds();
+
+  // ---- (b) DeepBase: extract once, multi-pass on materialized blocks.
+  Stopwatch deepbase_watch;
+  MulticlassLogRegMeasure deepbase_probe(nu, num_classes, LogRegOptions{});
+  double extract_s = 0;
+  {
+    const size_t block = 64;
+    std::vector<std::pair<Matrix, std::vector<float>>> materialized;
+    Stopwatch ex_watch;
+    BlockIterator it(&ds, block, 17);
+    while (it.HasNext()) {
+      std::vector<size_t> idx = it.NextBlock();
+      Matrix units = extractor.ExtractBlock(ds, idx, all_units);
+      std::vector<float> labels(units.rows());
+      size_t row = 0;
+      for (size_t i : idx) {
+        std::vector<float> h = hyp.Eval(ds.record(i));
+        for (float v : h) labels[row++] = v;
+      }
+      materialized.emplace_back(std::move(units), std::move(labels));
+    }
+    extract_s = ex_watch.Seconds();
+    for (size_t pass = 0; pass < kPasses; ++pass) {
+      for (const auto& [units, labels] : materialized) {
+        deepbase_probe.ProcessBlock(units, labels);
+      }
+    }
+  }
+  const double deepbase_s = deepbase_watch.Seconds();
+
+  // ---- Per-tag precision comparison.
+  TextTable table({"tag", "belinkov_precision", "deepbase_precision",
+                   "support"});
+  std::vector<double> xs, ys;
+  for (int c = 1; c < num_classes; ++c) {
+    const size_t support = deepbase_probe.ClassSupport(c);
+    // Paper filters tags covering < 1.5% of the data.
+    if (support < ds.num_records() * ds.ns() / 5 / 66) continue;
+    const double pb = belinkov_probe.ClassPrecision(c);
+    const double pd = deepbase_probe.ClassPrecision(c);
+    xs.push_back(pb);
+    ys.push_back(pd);
+    table.AddRow({hyp.ClassName(c), TextTable::Num(pb, 3),
+                  TextTable::Num(pd, 3), std::to_string(support)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Pearson correlation of per-tag precision: r = %.3f "
+              "(paper: 0.84)\n",
+              Pearson(xs, ys));
+  std::printf("Runtimes: Belinkov-style %.2fs; DeepBase %.2fs "
+              "(extraction %.2fs + cached passes %.2fs)\n\n",
+              belinkov_s, deepbase_s, extract_s, deepbase_s - extract_s);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

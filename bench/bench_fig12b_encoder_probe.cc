@@ -1,0 +1,66 @@
+// Figure 12b: L2 logistic-regression F1 over all encoder units for five
+// hypothesis classes — Cardinal (CD), Adjective comparative (JJR), Adverb
+// (RB), Period (.), Verb past tense (VBD) — trained vs untrained model.
+// Paper: both models capture low-level features (period); only the
+// trained model captures the higher-level ones.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/engine.h"
+#include "measures/scores.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 12b",
+              "Encoder-level L2 logreg F1 per hypothesis, trained vs "
+              "untrained (paper: untrained matches only on low-level "
+              "features such as periods).");
+  NmtWorld world = BuildNmtWorld(full ? 1000 : 400, 12, full ? 32 : 24,
+                                 full ? 40 : 30, /*seed=*/81);
+  std::printf("NMT accuracy: trained %.3f\n\n", world.accuracy);
+
+  const std::vector<std::pair<std::string, std::string>> figure_hyps = {
+      {"Cardinal", "CD"},          {"Adjective (comp.)", "JJR"},
+      {"Adverb", "RB"},            {"Period", "."},
+      {"Verb (past tense)", "VBD"}};
+  std::vector<HypothesisPtr> hyps;
+  for (const auto& [label, tag] : figure_hyps) {
+    hyps.push_back(std::make_shared<AnnotationHypothesis>("pos", tag));
+  }
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<LogRegressionScore>("L2", 1e-4f)};
+  InspectOptions opts;
+  opts.block_size = 64;
+  opts.early_stopping = false;
+  opts.streaming = false;
+  opts.passes = 10;
+
+  Seq2SeqEncoderExtractor ex_t("trained", world.trained.get());
+  Seq2SeqEncoderExtractor ex_u("untrained", world.untrained.get());
+  ResultTable rt = Inspect({AllUnitsGroup(&ex_t)}, world.corpus.source,
+                           scores, hyps, opts);
+  ResultTable ru = Inspect({AllUnitsGroup(&ex_u)}, world.corpus.source,
+                           scores, hyps, opts);
+
+  TextTable table({"hypothesis", "trained_F1", "untrained_F1"});
+  for (size_t i = 0; i < figure_hyps.size(); ++i) {
+    const std::string hyp_name = hyps[i]->name();
+    table.AddRow({figure_hyps[i].first,
+                  TextTable::Num(rt.GroupScore("logreg_L2", hyp_name), 3),
+                  TextTable::Num(ru.GroupScore("logreg_L2", hyp_name), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

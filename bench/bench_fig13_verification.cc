@@ -1,0 +1,146 @@
+// Figure 13 (Appendix C): the accuracy benchmark. A 16-unit RNN on the
+// nesting-parenthesis PCFG is trained with an auxiliary loss that
+// specializes a subset S of units to a parenthesis-detection hypothesis
+// (loss = w*g_h + (1-w)*g_task). DeepBase (L1 logreg) selects high-scoring
+// units; the perturbation-based verification of §4.4 then scores cluster
+// separation (Silhouette) for the selected units vs a random unit set,
+// sweeping the specialization weight (13c) and |S| (13b). The paper's
+// t-SNE scatter (13a) is summarized by the same Silhouette statistic.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/engine.h"
+#include "core/extractors.h"
+#include "core/verification.h"
+#include "hypothesis/iterators.h"
+#include "measures/scores.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+struct ParenWorld {
+  Cfg grammar;
+  Dataset dataset;
+  std::unique_ptr<LstmLm> model;
+};
+
+ParenWorld BuildParenWorld(size_t n_strings, size_t ns,
+                           const std::vector<size_t>& spec_units,
+                           float weight, int epochs, uint64_t seed) {
+  ParenWorld world;
+  world.grammar = MakeParenGrammar();
+  GrammarSampler sampler(&world.grammar, seed);
+  std::vector<std::string> strings;
+  std::string all = "0123456789()";
+  for (size_t i = 0; i < n_strings; ++i) {
+    std::string s = sampler.Sample(10);
+    if (s.empty() || s.size() > ns) continue;
+    strings.push_back(std::move(s));
+  }
+  world.dataset = Dataset(Vocab::FromChars(all), ns);
+  for (const auto& s : strings) world.dataset.AddText(s);
+
+  world.model = std::make_unique<LstmLm>(world.dataset.vocab().size(),
+                                         /*hidden=*/16, 1, seed + 1);
+  CharClassHypothesis paren_hyp("parens", "()");
+  world.model->SetSpecialization(
+      spec_units, weight,
+      [paren_hyp](const Record& rec) { return paren_hyp.Eval(rec); });
+  for (int e = 0; e < epochs; ++e) {
+    world.model->TrainEpoch(world.dataset, 0.02f, seed + 100 + e);
+  }
+  return world;
+}
+
+// DeepBase selects units, verification scores them vs random units.
+std::pair<double, double> VerifyConfig(size_t num_spec, float weight,
+                                       bool full) {
+  std::vector<size_t> spec_units;
+  for (size_t u = 0; u < num_spec; ++u) spec_units.push_back(u);
+  ParenWorld world = BuildParenWorld(full ? 600 : 300, 24, spec_units,
+                                     weight, full ? 10 : 6, /*seed=*/7);
+  LstmLmExtractor extractor("paren_rnn", world.model.get());
+
+  std::vector<HypothesisPtr> hyps = {
+      std::make_shared<CharClassHypothesis>("parens", "()")};
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<LogRegressionScore>("L1", 1e-3f)};
+  InspectOptions opts;
+  opts.block_size = 32;
+  opts.early_stopping = false;
+  opts.streaming = false;
+  opts.passes = 4;
+  ResultTable results =
+      Inspect({AllUnitsGroup(&extractor)}, world.dataset, scores, hyps, opts);
+  // Select the top-|S| units by coefficient magnitude.
+  ResultTable top = results.TopUnits(num_spec);
+  std::vector<int> selected;
+  for (const auto& row : top.rows()) selected.push_back(row.unit);
+
+  // Random unit set of the same size (fixed seed, disjoint bias-free).
+  Rng rng(99);
+  std::vector<int> random_units;
+  while (random_units.size() < num_spec) {
+    int u = static_cast<int>(rng.UniformInt(extractor.num_units()));
+    if (std::find(random_units.begin(), random_units.end(), u) ==
+        random_units.end()) {
+      random_units.push_back(u);
+    }
+  }
+
+  // Perturbations: baseline swaps '(' <-> ')' (hypothesis value unchanged);
+  // treatment swaps the parenthesis for a digit (hypothesis flips).
+  PerturbationSpec spec;
+  spec.eligible = [](const Record& rec, size_t k) {
+    return rec.tokens[k] == "(" || rec.tokens[k] == ")";
+  };
+  spec.baseline = [](const Record& rec, size_t k) {
+    return std::optional<std::string>(rec.tokens[k] == "(" ? ")" : "(");
+  };
+  spec.treatment = [](const Record&, size_t) {
+    return std::optional<std::string>("7");
+  };
+  const size_t samples = full ? 60 : 40;
+  VerificationResult sel =
+      VerifyUnits(extractor, world.dataset, selected, spec, samples, 13);
+  VerificationResult rnd =
+      VerifyUnits(extractor, world.dataset, random_units, spec, samples, 13);
+  return {sel.silhouette, rnd.silhouette};
+}
+
+void Run(bool full) {
+  PrintHeader("Figure 13 (Appendix C)",
+              "Verification Silhouette scores: DeepBase-selected units vs "
+              "random units (higher = perturbation clusters separate).");
+
+  TextTable by_spec({"num_specialized", "weight", "silhouette_selected",
+                     "silhouette_random"});
+  for (size_t num_spec : {2, 4, 8}) {
+    auto [sel, rnd] = VerifyConfig(num_spec, 0.5f, full);
+    by_spec.AddRow({std::to_string(num_spec), "0.5",
+                    TextTable::Num(sel, 3), TextTable::Num(rnd, 3)});
+  }
+  std::printf("13b: varying the number of specialized units\n%s\n",
+              by_spec.ToString().c_str());
+
+  TextTable by_weight({"num_specialized", "weight", "silhouette_selected",
+                       "silhouette_random"});
+  for (float w : {0.25f, 0.5f, 0.75f}) {
+    auto [sel, rnd] = VerifyConfig(4, w, full);
+    by_weight.AddRow({"4", TextTable::Num(w, 2), TextTable::Num(sel, 3),
+                      TextTable::Num(rnd, 3)});
+  }
+  std::printf("13c: varying the specialization weight\n%s\n",
+              by_weight.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

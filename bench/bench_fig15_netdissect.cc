@@ -1,0 +1,53 @@
+// Figure 15 (Appendix E): comparison of NetDissect and DeepBase IoU
+// inspection scores on a CNN over annotated images. Paper: the scores are
+// strongly correlated, with deviations explained by non-deterministic
+// pipeline components (quantile approximation, upsampling) — here, by the
+// first-block threshold estimate of the streaming Jaccard measure.
+
+#include <cstdio>
+
+#include "baselines/netdissect.h"
+#include "bench/common.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 15 (Appendix E)",
+              "NetDissect vs DeepBase IoU scores per (unit, concept).");
+  const int num_concepts = 4;
+  TextureCnn cnn(num_concepts, /*extra_random=*/3, /*layer2=*/3, 17);
+  auto images = GenerateAnnotatedImages(full ? 120 : 48, 24, 24,
+                                        num_concepts, 23);
+
+  CnnIouScores nd = RunNetDissect(cnn, images, num_concepts, 0.1);
+  CnnIouScores db = RunDeepBaseCnn(cnn, images, num_concepts, 0.1);
+
+  TextTable table({"unit", "concept", "netdissect_iou", "deepbase_iou"});
+  std::vector<double> xs, ys;
+  for (size_t u = 0; u < nd.iou.rows(); ++u) {
+    for (int c = 0; c < num_concepts; ++c) {
+      xs.push_back(nd.iou(u, c));
+      ys.push_back(db.iou(u, c));
+      if (u < 6) {
+        table.AddRow({std::to_string(u), std::to_string(c + 1),
+                      TextTable::Num(nd.iou(u, c), 3),
+                      TextTable::Num(db.iou(u, c), 3)});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Pearson correlation across all %zu (unit, concept) pairs: "
+              "r = %.3f (paper: strongly correlated)\n\n",
+              xs.size(), Pearson(xs, ys));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

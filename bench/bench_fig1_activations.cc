@@ -1,0 +1,58 @@
+// Figure 1: activations over time for selected units of the SQL
+// auto-completion model while it reads a query prefix. (The paper uses
+// this to motivate why manual visual inspection does not scale.)
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 1",
+              "Per-character activations of 4 high-variance units on one "
+              "SQL query (the motivating visualization).");
+  SqlWorld world = BuildSqlWorld(/*level=*/2, /*n_queries=*/full ? 512 : 256,
+                                 /*ns=*/80, /*hidden=*/24, /*layers=*/1,
+                                 /*epochs=*/full ? 4 : 2, /*seed=*/3);
+  std::printf("model accuracy: %.3f (random guess: %.3f)\n\n",
+              world.accuracy, 1.0 / world.dataset.vocab().size());
+
+  const Record& rec = world.dataset.record(0);
+  Matrix h = world.model->HiddenStates(rec.ids);
+  // Pick the 4 units with the highest activation variance on this record.
+  std::vector<std::pair<float, size_t>> variances;
+  for (size_t u = 0; u < h.cols(); ++u) {
+    float mean = 0;
+    for (size_t t = 0; t < h.rows(); ++t) mean += h(t, u);
+    mean /= static_cast<float>(h.rows());
+    float var = 0;
+    for (size_t t = 0; t < h.rows(); ++t) {
+      var += (h(t, u) - mean) * (h(t, u) - mean);
+    }
+    variances.emplace_back(var, u);
+  }
+  std::sort(variances.rbegin(), variances.rend());
+
+  TextTable table({"char", "unit_a", "unit_b", "unit_c", "unit_d"});
+  std::printf("units: %zu %zu %zu %zu\n", variances[0].second,
+              variances[1].second, variances[2].second, variances[3].second);
+  for (size_t t = 0; t < rec.size(); ++t) {
+    table.AddRow({rec.tokens[t], TextTable::Num(h(t, variances[0].second), 3),
+                  TextTable::Num(h(t, variances[1].second), 3),
+                  TextTable::Num(h(t, variances[2].second), 3),
+                  TextTable::Num(h(t, variances[3].second), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 5 + §6.2 takeaway numbers: runtime of the MADLib and PyBase
+// baselines vs DeepBase (all optimizations) for the correlation and
+// logistic-regression measures, varying the number of hypotheses, records,
+// and hidden units. Prints one row per cell plus the speedup summary the
+// paper reports (72x avg / 96x max vs PyBase, 200x avg / 419x max vs
+// MADLib at paper scale; shape, not absolute factors, is the claim here).
+
+#include <cstdio>
+
+#include "baselines/pybase.h"
+#include "bench/scalability.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 5",
+              "Baselines (MADLib, PyBase) vs DeepBase; rows = measure x "
+              "axis point; lower is better.");
+  SqlWorld world = ScalabilityWorld(full);
+  std::printf("SQL model: %zu queries, vocab %zu, accuracy %.3f, grammar "
+              "rules %zu\n\n",
+              world.dataset.num_records(), world.dataset.vocab().size(),
+              world.accuracy, world.grammar.num_rules());
+
+  const Scale base = DefaultScale(full);
+  struct Axis {
+    const char* name;
+    std::vector<Scale> points;
+  };
+  std::vector<Axis> axes;
+  {
+    Axis a{"hypotheses", {}};
+    for (size_t h : {base.num_hyps / 4, base.num_hyps / 2, base.num_hyps}) {
+      a.points.push_back(Scale{base.num_records, base.num_units, h});
+    }
+    axes.push_back(a);
+    Axis r{"records", {}};
+    for (size_t n :
+         {base.num_records / 4, base.num_records / 2, base.num_records}) {
+      r.points.push_back(Scale{n, base.num_units, base.num_hyps});
+    }
+    axes.push_back(r);
+    Axis u{"units", {}};
+    for (size_t n : {base.num_units / 4, base.num_units / 2, base.num_units}) {
+      u.points.push_back(Scale{base.num_records, n, base.num_hyps});
+    }
+    axes.push_back(u);
+  }
+
+  TextTable table(
+      {"measure", "axis", "value", "madlib_s", "pybase_s", "deepbase_s",
+       "speedup_vs_pybase", "speedup_vs_madlib"});
+  double sum_py = 0, max_py = 0, sum_ma = 0, max_ma = 0;
+  size_t cells = 0;
+  for (MeasureKind kind : {MeasureKind::kCorrelation, MeasureKind::kLogReg}) {
+    const char* mname =
+        kind == MeasureKind::kCorrelation ? "correlation" : "logreg";
+    for (const Axis& axis : axes) {
+      for (const Scale& scale : axis.points) {
+        CellResult madlib = RunMadlibCell(world, kind, scale);
+        CellResult pybase =
+            RunEngineCell(world, kind, PyBaseOptions(), scale);
+        CellResult deepbase =
+            RunEngineCell(world, kind, DeepBaseOptions(), scale);
+        const double sp_py = pybase.seconds / std::max(1e-9, deepbase.seconds);
+        const double sp_ma = madlib.seconds / std::max(1e-9, deepbase.seconds);
+        sum_py += sp_py;
+        sum_ma += sp_ma;
+        max_py = std::max(max_py, sp_py);
+        max_ma = std::max(max_ma, sp_ma);
+        ++cells;
+        const size_t value = axis.name == std::string("hypotheses")
+                                 ? scale.num_hyps
+                                 : axis.name == std::string("records")
+                                       ? scale.num_records
+                                       : scale.num_units;
+        table.AddRow({mname, axis.name, std::to_string(value),
+                      TextTable::Num(madlib.seconds, 3),
+                      TextTable::Num(pybase.seconds, 3),
+                      TextTable::Num(deepbase.seconds, 3),
+                      TextTable::Num(sp_py, 1), TextTable::Num(sp_ma, 1)});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Summary (paper: DeepBase beats PyBase by 72x avg / up to "
+              "96x, MADLib by 200x avg / up to 419x at paper scale):\n");
+  std::printf("  speedup vs PyBase: avg %.1fx, max %.1fx\n",
+              sum_py / cells, max_py);
+  std::printf("  speedup vs MADLib: avg %.1fx, max %.1fx\n\n",
+              sum_ma / cells, max_ma);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6: DeepBase optimization ablation for the correlation measure.
+// Correlation runs on the CPU, so model merging does not apply (paper:
+// "Since we use a CPU, model merging is disabled"); the ladder is
+// PyBase -> +ES (early stopping) -> DeepBase (+ streaming extraction).
+
+#include <cstdio>
+
+#include "baselines/pybase.h"
+#include "bench/scalability.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 6",
+              "Optimization ablation, correlation measure: PyBase, +ES, "
+              "DeepBase (=+ES+streaming). Paper: early stopping is the "
+              "primary gain; streaming adds more as records grow.");
+  SqlWorld world = ScalabilityWorld(full);
+  const Scale base = DefaultScale(full);
+
+  InspectOptions es = PyBaseOptions();
+  es.early_stopping = true;
+  std::vector<std::pair<std::string, InspectOptions>> systems = {
+      {"PyBase", PyBaseOptions()},
+      {"+ES", es},
+      {"DeepBase", DeepBaseOptions()},
+  };
+
+  TextTable table({"axis", "value", "system", "seconds", "records_read",
+                   "converged"});
+  auto run_axis = [&](const char* axis, const std::vector<Scale>& points,
+                      auto value_of) {
+    for (const Scale& scale : points) {
+      for (const auto& [name, opts] : systems) {
+        CellResult r =
+            RunEngineCell(world, MeasureKind::kCorrelation, opts, scale);
+        table.AddRow({axis, std::to_string(value_of(scale)), name,
+                      TextTable::Num(r.seconds, 3),
+                      std::to_string(r.stats.records_processed),
+                      r.stats.all_converged ? "yes" : "no"});
+      }
+    }
+  };
+  std::vector<Scale> hyp_points, rec_points, unit_points;
+  for (size_t h : {base.num_hyps / 4, base.num_hyps / 2, base.num_hyps}) {
+    hyp_points.push_back({base.num_records, base.num_units, h});
+  }
+  for (size_t n :
+       {base.num_records / 4, base.num_records / 2, base.num_records}) {
+    rec_points.push_back({n, base.num_units, base.num_hyps});
+  }
+  for (size_t u : {base.num_units / 4, base.num_units / 2, base.num_units}) {
+    unit_points.push_back({base.num_records, u, base.num_hyps});
+  }
+  run_axis("hypotheses", hyp_points,
+           [](const Scale& s) { return s.num_hyps; });
+  run_axis("records", rec_points,
+           [](const Scale& s) { return s.num_records; });
+  run_axis("units", unit_points, [](const Scale& s) { return s.num_units; });
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7: DeepBase optimization ablation for the logistic-regression
+// measure: PyBase, +MM (model merging, single-thread), +MM (batched /
+// thread-pool extraction — the GPU substitute on this CPU-only host),
+// +MM+ES, and full DeepBase. Paper: model merging gives the main gain by
+// training one composite model instead of one per hypothesis; streaming
+// then removes the extraction bottleneck.
+
+#include <cstdio>
+
+#include "baselines/pybase.h"
+#include "bench/scalability.h"
+#include "util/thread_pool.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 7",
+              "Optimization ablation, logistic regression. '+MM (pool)' "
+              "uses thread-pool batch extraction — the paper's GPU path; "
+              "on this single-core container it matches +MM (CPU).");
+  SqlWorld world = ScalabilityWorld(full);
+  const Scale base = DefaultScale(full);
+
+  std::vector<std::pair<std::string, InspectOptions>> systems = {
+      {"PyBase", PyBaseOptions()},
+      {"+MM (CPU)", MergedOptions()},
+      {"+MM+ES", MergedEarlyStopOptions()},
+      {"DeepBase", DeepBaseOptions()},
+  };
+
+  TextTable table({"axis", "value", "system", "seconds", "records_read"});
+  auto run_axis = [&](const char* axis, const std::vector<Scale>& points,
+                      auto value_of) {
+    for (const Scale& scale : points) {
+      for (const auto& [name, opts] : systems) {
+        CellResult r = RunEngineCell(world, MeasureKind::kLogReg, opts, scale);
+        table.AddRow({axis, std::to_string(value_of(scale)), name,
+                      TextTable::Num(r.seconds, 3),
+                      std::to_string(r.stats.records_processed)});
+      }
+    }
+  };
+  std::vector<Scale> hyp_points, unit_points;
+  for (size_t h : {base.num_hyps / 4, base.num_hyps / 2, base.num_hyps}) {
+    hyp_points.push_back({base.num_records, base.num_units, h});
+  }
+  for (size_t u : {base.num_units / 4, base.num_units / 2, base.num_units}) {
+    unit_points.push_back({base.num_records, u, base.num_hyps});
+  }
+  run_axis("hypotheses", hyp_points,
+           [](const Scale& s) { return s.num_hyps; });
+  run_axis("units", unit_points, [](const Scale& s) { return s.num_units; });
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 8: runtime breakdown by component (hypothesis extraction, unit
+// extraction, inspection) for +MM+ES vs full DeepBase, for both measures.
+// Paper: correlation is inspector-dominated; logistic regression is
+// extraction-dominated; DeepBase's savings come from lower extraction
+// cost via streaming.
+
+#include <cstdio>
+
+#include "baselines/pybase.h"
+#include "bench/scalability.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+void Run(bool full) {
+  PrintHeader("Figure 8",
+              "Component cost breakdown (seconds) for +MM+ES vs DeepBase.");
+  SqlWorld world = ScalabilityWorld(full);
+  const Scale scale = DefaultScale(full);
+
+  TextTable table({"measure", "system", "unit_extract_s", "hyp_extract_s",
+                   "inspect_s", "total_s"});
+  for (MeasureKind kind : {MeasureKind::kCorrelation, MeasureKind::kLogReg}) {
+    const char* mname =
+        kind == MeasureKind::kCorrelation ? "correlation" : "logreg";
+    for (const auto& [name, opts] :
+         std::vector<std::pair<std::string, InspectOptions>>{
+             {"+MM+ES", MergedEarlyStopOptions()},
+             {"DeepBase", DeepBaseOptions()}}) {
+      CellResult r = RunEngineCell(world, kind, opts, scale);
+      table.AddRow({mname, name,
+                    TextTable::Num(r.stats.unit_extraction_s, 3),
+                    TextTable::Num(r.stats.hyp_extraction_s, 3),
+                    TextTable::Num(r.stats.inspection_s, 3),
+                    TextTable::Num(r.seconds, 3)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

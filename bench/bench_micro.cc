@@ -1,0 +1,204 @@
+// Google-benchmark micro-benchmarks for the engine's hot paths: measure
+// ProcessBlock throughput, unit extraction, hypothesis parsing, and the
+// relational baseline's scan. These quantify the per-component costs that
+// the figure-level benches aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench/common.h"
+#include "core/behavior_store.h"
+#include "grammar/earley.h"
+#include "hypothesis/regex.h"
+#include "measures/independent.h"
+#include "measures/logreg.h"
+#include "relational/sql_executor.h"
+#include "relational/table.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+Matrix RandomBlock(size_t rows, size_t units, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomNormal(rows, units, &rng);
+}
+
+std::vector<float> RandomLabels(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(rows);
+  for (auto& v : out) v = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+  return out;
+}
+
+void BM_PearsonProcessBlock(benchmark::State& state) {
+  const size_t units = state.range(0);
+  Matrix block = RandomBlock(512, units, 1);
+  std::vector<float> labels = RandomLabels(512, 2);
+  PearsonMeasure m(units);
+  for (auto _ : state) {
+    m.ProcessBlock(block, labels);
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * units);
+}
+BENCHMARK(BM_PearsonProcessBlock)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_JaccardProcessBlock(benchmark::State& state) {
+  const size_t units = state.range(0);
+  Matrix block = RandomBlock(512, units, 3);
+  std::vector<float> labels = RandomLabels(512, 4);
+  JaccardMeasure m(units);
+  for (auto _ : state) {
+    m.ProcessBlock(block, labels);
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * units);
+}
+BENCHMARK(BM_JaccardProcessBlock)->Arg(16)->Arg(64);
+
+void BM_MergedLogRegProcessBlock(benchmark::State& state) {
+  const size_t heads = state.range(0);
+  const size_t units = 32;
+  Matrix block = RandomBlock(512, units, 5);
+  Rng rng(6);
+  Matrix hyps(512, heads);
+  for (size_t r = 0; r < 512; ++r) {
+    for (size_t h = 0; h < heads; ++h) {
+      hyps(r, h) = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+    }
+  }
+  MergedLogRegMeasure m(units, heads, LogRegOptions{});
+  for (auto _ : state) {
+    m.ProcessBlock(block, hyps);
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * heads);
+}
+BENCHMARK(BM_MergedLogRegProcessBlock)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_LstmExtraction(benchmark::State& state) {
+  const size_t hidden = state.range(0);
+  SqlWorld world = BuildSqlWorld(1, 64, 40, hidden, 1, 0, 7);
+  std::vector<int> ids = world.dataset.record(0).ids;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.model->HiddenStates(ids));
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size() * hidden);
+}
+BENCHMARK(BM_LstmExtraction)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_EarleyParseSql(benchmark::State& state) {
+  Cfg cfg = MakeSqlGrammar(state.range(0));
+  GrammarSampler sampler(&cfg, 8);
+  EarleyParser parser(&cfg);
+  std::string query = sampler.Sample(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(query));
+  }
+  state.SetLabel("rules=" + std::to_string(cfg.num_rules()) +
+                 " len=" + std::to_string(query.size()));
+}
+BENCHMARK(BM_EarleyParseSql)->Arg(0)->Arg(2)->Arg(3);
+
+void BM_RelationalScanAggregate(benchmark::State& state) {
+  const size_t num_aggs = state.range(0);
+  Rng rng(9);
+  RelTable t({"x", "y"});
+  for (int i = 0; i < 8192; ++i) {
+    t.AppendRow({rng.Normal(), rng.Normal()});
+  }
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<Uda>> aggs;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      aggs.push_back(std::make_unique<CorrUda>(0, 1));
+    }
+    benchmark::DoNotOptimize(ScanAggregate(t, &aggs));
+  }
+  state.SetItemsProcessed(state.iterations() * 8192 * num_aggs);
+}
+BENCHMARK(BM_RelationalScanAggregate)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_RegexCompile(benchmark::State& state) {
+  const char* patterns[] = {"table_\\d+", "(a|b)*abb",
+                            "[A-Za-z_][A-Za-z0-9_]*"};
+  const char* pattern = patterns[state.range(0)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Regex::Compile(pattern));
+  }
+  state.SetLabel(pattern);
+}
+BENCHMARK(BM_RegexCompile)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RegexFindAll(benchmark::State& state) {
+  Result<Regex> re = Regex::Compile("table_\\d+");
+  std::string text;
+  for (int i = 0; i < 64; ++i) {
+    text += "SELECT table_5.col_00859 FROM table_9, table_12 ";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re->FindAll(text));
+  }
+  state.SetItemsProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_RegexFindAll);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string sql =
+      "SELECT M.epoch, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq "
+      "AS S FROM models M, units U, hypotheses H, inputs D WHERE "
+      "M.mid = U.mid AND U.layer = 0 AND H.name = 'keywords' "
+      "GROUP BY M.epoch HAVING S.unit_score > 0.8 ORDER BY S.uid LIMIT 10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseSql(sql));
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_SqlHashJoinAggregate(benchmark::State& state) {
+  const size_t rows = state.range(0);
+  Rng rng(21);
+  DbTable fact({"k", "x"});
+  DbTable dim({"k", "label"});
+  for (size_t i = 0; i < rows; ++i) {
+    DB_CHECK_OK(fact.AppendRow({Datum::Number(i % 64),
+                                Datum::Number(rng.Normal())}));
+  }
+  for (int k = 0; k < 64; ++k) {
+    DB_CHECK_OK(dim.AppendRow(
+        {Datum::Number(k), Datum::Str(k % 2 ? "odd" : "even")}));
+  }
+  DbCatalog catalog;
+  catalog.Register("fact", &fact);
+  catalog.Register("dim", &dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteSql(
+        "SELECT D.label, count(*), avg(F.x) FROM fact F, dim D "
+        "WHERE F.k = D.k GROUP BY D.label",
+        catalog));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SqlHashJoinAggregate)->Arg(1024)->Arg(8192);
+
+void BM_BehaviorStorePutGet(benchmark::State& state) {
+  const size_t rows = state.range(0);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "deepbase_micro_store";
+  std::filesystem::remove_all(dir);
+  BehaviorStore store(dir.string());
+  Rng rng(22);
+  Matrix m = Matrix::RandomNormal(rows, 64, &rng);
+  DB_CHECK_OK(store.Put("bench", m));
+  for (auto _ : state) {
+    store.EvictFromMemory("bench");  // force the disk tier
+    benchmark::DoNotOptimize(store.Get("bench"));
+  }
+  state.SetBytesProcessed(state.iterations() * rows * 64 * sizeof(float));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_BehaviorStorePutGet)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+BENCHMARK_MAIN();

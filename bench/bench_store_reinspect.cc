@@ -1,0 +1,109 @@
+// Ablation: the disk-backed behavior store (Mistique-style, the "caching
+// systems such as Mistique for unit and hypothesis behaviors" extension
+// that §5.1.2 names as future work). The model-diagnosis loop re-inspects
+// the same model repeatedly (new hypotheses, new measures); materializing
+// its unit behaviors once and re-serving them from the store removes the
+// forward-pass extraction cost from every later query — including across
+// process restarts, which the in-memory hypothesis cache (Figure 9) cannot
+// survive.
+//
+// Cells:
+//   live          — extract behaviors from the model (the cold baseline)
+//   store (mem)   — behaviors served from the store's memory LRU tier
+//   store (disk)  — fresh store handle on the same directory, simulating a
+//                   restart: behaviors reload from the checksummed file
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/scalability.h"
+#include "core/behavior_store.h"
+#include "measures/scores.h"
+#include "util/stopwatch.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+double RunInspection(const Extractor& extractor, const Dataset& dataset,
+                     const std::vector<HypothesisPtr>& hyps) {
+  InspectOptions options;
+  options.block_size = 256;
+  options.early_stopping = false;  // fixed work per cell
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<CorrelationScore>("pearson")};
+  Stopwatch watch;
+  ResultTable results =
+      Inspect({AllUnitsGroup(&extractor)}, dataset, scores, hyps, options);
+  const double seconds = watch.Seconds();
+  if (results.empty()) {
+    std::fprintf(stderr, "inspection produced no rows\n");
+    std::abort();
+  }
+  return seconds;
+}
+
+void Run(bool full) {
+  PrintHeader("Store ablation",
+              "Re-inspection cost: live extraction vs the behavior store's "
+              "memory and disk tiers.");
+  SqlWorld world = ScalabilityWorld(full);
+  std::vector<HypothesisPtr> hyps =
+      SqlHypotheses(&world.grammar, full ? 48 : 24);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "deepbase_bench_store";
+  std::filesystem::remove_all(dir);
+
+  LstmLmExtractor live("sql_lm", world.model.get());
+
+  // Materialize once (reported separately: it is a one-time cost).
+  BehaviorStore store(dir.string());
+  Stopwatch mat_watch;
+  Result<std::string> key =
+      MaterializeUnitBehaviors(live, world.dataset, &store);
+  DB_CHECK_OK(key.status());
+  const double materialize_s = mat_watch.Seconds();
+
+  const double live_s = RunInspection(live, world.dataset, hyps);
+
+  Result<PrecomputedExtractor> mem_served =
+      OpenStoredExtractor(*key, "sql_lm", world.dataset, &store);
+  DB_CHECK_OK(mem_served.status());
+  const double mem_s = RunInspection(*mem_served, world.dataset, hyps);
+
+  // Fresh handle on the same directory = post-restart disk read.
+  BehaviorStore reopened(dir.string());
+  Stopwatch load_watch;
+  Result<PrecomputedExtractor> disk_served =
+      OpenStoredExtractor(*key, "sql_lm", world.dataset, &reopened);
+  DB_CHECK_OK(disk_served.status());
+  const double disk_load_s = load_watch.Seconds();
+  const double disk_s = RunInspection(*disk_served, world.dataset, hyps);
+
+  TextTable table({"cell", "seconds", "speedup vs live"});
+  table.AddRow({"live extraction", TextTable::Num(live_s, 3), "1.0"});
+  table.AddRow({"store, memory tier", TextTable::Num(mem_s, 3),
+                TextTable::Num(live_s / std::max(mem_s, 1e-9), 1)});
+  table.AddRow({"store, disk tier (incl. reload)",
+                TextTable::Num(disk_s + disk_load_s, 3),
+                TextTable::Num(live_s / std::max(disk_s + disk_load_s, 1e-9),
+                               1)});
+  table.AddRow({"one-time materialization", TextTable::Num(materialize_s, 3),
+                "-"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expectation: both store tiers beat live extraction (no forward "
+      "passes);\nthe disk tier pays one checksummed reload after a "
+      "restart.\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) {
+  deepbase::bench::Run(deepbase::bench::HasFlag(argc, argv, "--full"));
+  return 0;
+}

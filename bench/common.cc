@@ -1,0 +1,103 @@
+#include "bench/common.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "hypothesis/iterators.h"
+
+namespace deepbase {
+namespace bench {
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+double Pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double num = n * sxy - sx * sy;
+  const double den = std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  return den > 0 ? num / den : 0.0;
+}
+
+SqlWorld BuildSqlWorld(int level, size_t n_queries, size_t ns, size_t hidden,
+                       size_t layers, int epochs, uint64_t seed) {
+  SqlWorld world;
+  world.grammar = MakeSqlGrammar(level);
+  GrammarSampler sampler(&world.grammar, seed);
+  std::vector<std::string> queries;
+  std::string all;
+  while (queries.size() < n_queries) {
+    // Resample (with a tight depth bound) until the query fits the record
+    // width — truncated queries would not parse, starving the grammar
+    // hypotheses of spans.
+    std::string q = sampler.Sample(8);
+    if (q.size() > ns) continue;
+    all += q;
+    queries.push_back(std::move(q));
+  }
+  world.dataset = Dataset(Vocab::FromChars(all), ns);
+  for (const auto& q : queries) world.dataset.AddText(q);
+  world.model = std::make_unique<LstmLm>(world.dataset.vocab().size(), hidden,
+                                         layers, seed + 1);
+  for (int e = 0; e < epochs; ++e) {
+    world.model->TrainEpoch(world.dataset, 0.01f, seed + 100 + e);
+  }
+  world.accuracy = world.model->Accuracy(world.dataset);
+  return world;
+}
+
+std::vector<HypothesisPtr> SqlHypotheses(const Cfg* grammar,
+                                         size_t max_hyps) {
+  std::vector<HypothesisPtr> hyps = MakeGrammarHypotheses(grammar);
+  // Extend with keyword and character-class hypotheses, as §6.1 does when
+  // increasing the number of hypothesis functions.
+  for (const char* kw :
+       {"SELECT ", " FROM ", " WHERE ", " ORDER BY ", " LIMIT ", "table_",
+        "col_", " AND ", " GROUP BY "}) {
+    hyps.push_back(std::make_shared<KeywordHypothesis>(kw));
+  }
+  hyps.push_back(std::make_shared<CharClassHypothesis>("whitespace", " "));
+  hyps.push_back(
+      std::make_shared<CharClassHypothesis>("digit", "0123456789"));
+  hyps.push_back(std::make_shared<CharClassHypothesis>("punct", ".,'"));
+  if (hyps.size() > max_hyps) hyps.resize(max_hyps);
+  return hyps;
+}
+
+NmtWorld BuildNmtWorld(size_t n_sentences, size_t ns, size_t hidden,
+                       int epochs, uint64_t seed) {
+  NmtWorld world;
+  world.corpus = GenerateTranslationCorpus(n_sentences, ns, seed);
+  world.trained = std::make_unique<Seq2Seq>(
+      world.corpus.source.vocab().size(), world.corpus.target_vocab.size(),
+      hidden, seed + 1);
+  world.untrained = std::make_unique<Seq2Seq>(
+      world.corpus.source.vocab().size(), world.corpus.target_vocab.size(),
+      hidden, seed + 2);
+  for (int e = 0; e < epochs; ++e) {
+    world.trained->TrainEpoch(world.corpus.source, world.corpus.targets,
+                              0.015f, seed + 100 + e);
+  }
+  world.accuracy =
+      world.trained->Accuracy(world.corpus.source, world.corpus.targets);
+  return world;
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("=== %s ===\n%s\n\n", figure.c_str(), description.c_str());
+}
+
+}  // namespace bench
+}  // namespace deepbase

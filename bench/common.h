@@ -1,0 +1,72 @@
+// Shared setup for the benchmark harness: trained model "worlds" (the SQL
+// auto-completion LSTM of §6.2 and the NMT seq2seq of §6.3), hypothesis
+// libraries, scaled-down default workloads, and small stat helpers.
+//
+// Scale note (see DESIGN.md): the paper's default workload is 29,696
+// records × 512 units × 190 hypotheses on a GPU VM fleet; this harness
+// keeps the same *ratios* at roughly 1/16 scale so every figure
+// regenerates in seconds on a single CPU core. Pass --full for a larger
+// (slower) configuration.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/extractors.h"
+#include "data/translation_corpus.h"
+#include "grammar/sql_grammar.h"
+#include "hypothesis/grammar_hypotheses.h"
+#include "hypothesis/hypothesis.h"
+#include "hypothesis/pos_tagger.h"
+#include "nn/lstm_lm.h"
+#include "nn/seq2seq.h"
+#include "util/text_table.h"
+
+namespace deepbase {
+namespace bench {
+
+/// \brief True if `flag` appears among the argv strings.
+bool HasFlag(int argc, char** argv, const std::string& flag);
+
+/// \brief Sample Pearson correlation between two series.
+double Pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// \brief The SQL auto-completion setup of §6.2: a grammar, a corpus of
+/// sampled queries, and a trained char-LSTM.
+struct SqlWorld {
+  Cfg grammar;
+  Dataset dataset;
+  std::unique_ptr<LstmLm> model;
+  double accuracy = 0;
+};
+
+/// \brief Sample `n_queries` from the level-`level` SQL grammar, pad to
+/// `ns` characters, and train an LSTM LM for `epochs` epochs.
+SqlWorld BuildSqlWorld(int level, size_t n_queries, size_t ns,
+                       size_t hidden, size_t layers, int epochs,
+                       uint64_t seed);
+
+/// \brief The full §6.2 hypothesis library: two grammar hypotheses per
+/// nonterminal plus keyword/char-class hypotheses, trimmed to `max_hyps`.
+std::vector<HypothesisPtr> SqlHypotheses(const Cfg* grammar, size_t max_hyps);
+
+/// \brief The NMT setup of §6.3: parallel corpus, a trained and an
+/// untrained seq2seq of identical architecture.
+struct NmtWorld {
+  TranslationCorpus corpus;
+  std::unique_ptr<Seq2Seq> trained;
+  std::unique_ptr<Seq2Seq> untrained;
+  double accuracy = 0;
+};
+
+NmtWorld BuildNmtWorld(size_t n_sentences, size_t ns, size_t hidden,
+                       int epochs, uint64_t seed);
+
+/// \brief Print a standard bench header naming the paper artifact.
+void PrintHeader(const std::string& figure, const std::string& description);
+
+}  // namespace bench
+}  // namespace deepbase

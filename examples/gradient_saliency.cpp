@@ -1,0 +1,88 @@
+// Gradient behaviors and saliency (paper §2.2/§3): inspect the *gradient*
+// of the loss at each hidden unit instead of the activation magnitude.
+//
+//   1. Train the toy LSTM on a strict alternating language.
+//   2. Activation saliency: which symbols produce the largest activations?
+//   3. Gradient saliency: which symbols would change the loss the most —
+//      run on both a pattern-consistent and a pattern-violating probe
+//      record to show the gradient view flagging "surprise".
+//   4. Run a full DNI query over gradient behaviors: do any units'
+//      gradients correlate with a hypothesis?
+//
+// Build & run:  ./build/examples/gradient_saliency
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/extractors.h"
+#include "core/saliency.h"
+#include "hypothesis/hypothesis.h"
+#include "hypothesis/iterators.h"
+#include "measures/scores.h"
+#include "nn/lstm_lm.h"
+
+using namespace deepbase;
+
+namespace {
+
+void PrintSaliency(const char* title, const SaliencyResult& res) {
+  std::printf("%s\n", title);
+  for (const auto& item : res.top) {
+    std::printf("  record %2zu pos %2zu  token '%s'  behavior %+.4f\n",
+                item.record_idx, item.position, item.token.c_str(),
+                item.behavior);
+  }
+  std::printf("  token histogram:");
+  for (const auto& [token, count] : res.token_counts) {
+    std::printf("  '%s'×%zu", token.c_str(), count);
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. Alternating 'ab' language.
+  Dataset dataset(Vocab::FromChars("ab"), /*ns=*/12);
+  for (int i = 0; i < 60; ++i) {
+    dataset.AddText(i % 2 ? "abababababab" : "babababababa");
+  }
+  LstmLm model(dataset.vocab().size(), /*hidden_dim=*/12, /*num_layers=*/1,
+               /*seed=*/5);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    model.TrainEpoch(dataset, 0.02f, 200 + epoch);
+  }
+  std::printf("next-char accuracy: %.3f\n\n", model.Accuracy(dataset));
+
+  // --- 2. Activation saliency for one unit.
+  LstmLmExtractor activations("lm", &model);
+  PrintSaliency("Top-5 sites by |activation| of unit 0:",
+                TopKSaliency(activations, dataset, /*unit=*/0, /*k=*/5,
+                             /*by_absolute=*/true));
+
+  // --- 3. Gradient saliency: consistent vs violating probe records.
+  Dataset probes(dataset.vocab(), 12);
+  probes.AddText("abababababab");  // consistent
+  probes.AddText("abababbababa");  // one violation at position 6
+  LstmLmGradientExtractor gradients("lm_grad", &model);
+  PrintSaliency("Top-5 sites by |loss gradient| across probe records:",
+                TopKGroupSaliency(gradients, probes,
+                                  {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+                                  /*k=*/5));
+  std::printf(
+      "The violating record's positions around index 6 dominate: the\n"
+      "gradient view localizes where the model is surprised.\n\n");
+
+  // --- 4. DNI over gradient behaviors: correlate each unit's gradient
+  // with "the current character is 'a'".
+  auto is_a = std::make_shared<CharClassHypothesis>("is_a", "a");
+  InspectOptions options;
+  options.block_size = 32;
+  ResultTable results =
+      Inspect({AllUnitsGroup(&gradients)}, dataset,
+              {std::make_shared<CorrelationScore>("pearson")}, {is_a},
+              options);
+  std::printf("Top units by |corr(gradient, is_a)|:\n%s\n",
+              results.TopUnits(5).ToTextTable().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: the smallest complete DeepBase analysis.
+//
+// 1. Build a toy character dataset and train a small LSTM language model.
+// 2. Write a hypothesis function ("this character is a vowel").
+// 3. Ask DeepBase which hidden units behave like that hypothesis.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/extractors.h"
+#include "hypothesis/hypothesis.h"
+#include "hypothesis/iterators.h"
+#include "measures/scores.h"
+#include "nn/lstm_lm.h"
+
+using namespace deepbase;
+
+int main() {
+  // --- 1. A dataset of "words": consonant-vowel patterns.
+  Rng rng(7);
+  const std::string consonants = "bcdfg";
+  const std::string vowels = "aeiou";
+  Dataset dataset(Vocab::FromChars(consonants + vowels), /*ns=*/16);
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    for (int t = 0; t < 16; ++t) {
+      // Alternate-ish pattern so the model has something to learn.
+      const std::string& pool =
+          (t % 2 == 0 || rng.Bernoulli(0.2)) ? consonants : vowels;
+      text += pool[rng.UniformInt(pool.size())];
+    }
+    dataset.AddText(text);
+  }
+
+  // --- 2. Train the model.
+  LstmLm model(dataset.vocab().size(), /*hidden_dim=*/16, /*num_layers=*/1,
+               /*seed=*/42);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    float loss = model.TrainEpoch(dataset, 0.01f, 100 + epoch);
+    std::printf("epoch %d: loss %.3f\n", epoch, loss);
+  }
+  std::printf("next-char accuracy: %.3f\n\n", model.Accuracy(dataset));
+
+  // --- 3. Hypothesis: "the current character is a vowel".
+  auto is_vowel = std::make_shared<CharClassHypothesis>("is_vowel", vowels);
+
+  // --- 4. Inspect: correlation between every unit and the hypothesis.
+  LstmLmExtractor extractor("toy_lm", &model);
+  InspectOptions options;
+  options.block_size = 64;
+  ResultTable results = Inspect(
+      {AllUnitsGroup(&extractor)}, dataset,
+      {std::make_shared<CorrelationScore>("pearson")}, {is_vowel}, options);
+
+  std::printf("Top units by |correlation| with is_vowel:\n%s\n",
+              results.TopUnits(5).ToTextTable().ToString().c_str());
+  return 0;
+}

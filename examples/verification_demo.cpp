@@ -1,0 +1,82 @@
+// The §4.4 / Appendix C scenario: plant detector units with an auxiliary
+// loss, find them with DeepBase, then *verify* them with the
+// perturbation-based randomized-control procedure. High-scoring units that
+// really track the hypothesis separate baseline from treatment
+// perturbations (positive Silhouette); random units do not.
+//
+// Build & run:  ./build/examples/verification_demo
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/extractors.h"
+#include "core/verification.h"
+#include "grammar/sql_grammar.h"
+#include "hypothesis/iterators.h"
+#include "measures/scores.h"
+#include "nn/lstm_lm.h"
+
+using namespace deepbase;
+
+int main() {
+  // Corpus from the nesting-parenthesis grammar of Appendix C.
+  Cfg grammar = MakeParenGrammar();
+  GrammarSampler sampler(&grammar, 7);
+  Dataset dataset(Vocab::FromChars("0123456789()"), /*ns=*/24);
+  while (dataset.num_records() < 300) {
+    std::string s = sampler.Sample(10);
+    if (!s.empty() && s.size() <= 24) dataset.AddText(s);
+  }
+
+  // Specialize units {0,1,2,3} to detect parenthesis symbols.
+  LstmLm model(dataset.vocab().size(), /*hidden_dim=*/16, 1, /*seed=*/3);
+  CharClassHypothesis paren_hyp("parens", "()");
+  model.SetSpecialization({0, 1, 2, 3}, /*weight=*/0.5f,
+                          [&](const Record& rec) {
+                            return paren_hyp.Eval(rec);
+                          });
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    model.TrainEpoch(dataset, 0.02f, 100 + epoch);
+  }
+
+  // DeepBase finds the high-affinity units...
+  LstmLmExtractor extractor("paren_rnn", &model);
+  InspectOptions options;
+  options.block_size = 32;
+  options.early_stopping = false;
+  options.streaming = false;
+  options.passes = 4;
+  ResultTable results = Inspect(
+      {AllUnitsGroup(&extractor)}, dataset,
+      {std::make_shared<LogRegressionScore>("L1", 1e-3f)},
+      {std::make_shared<CharClassHypothesis>("parens", "()")}, options);
+  ResultTable top = results.TopUnits(4);
+  std::printf("Top units by |logreg coefficient|:\n%s\n",
+              top.ToTextTable().ToString().c_str());
+
+  // ...and verification checks they are real detectors, not mining noise.
+  std::vector<int> selected;
+  for (const auto& row : top.rows()) selected.push_back(row.unit);
+  PerturbationSpec spec;
+  spec.eligible = [](const Record& rec, size_t k) {
+    return rec.tokens[k] == "(" || rec.tokens[k] == ")";
+  };
+  // Baseline swap keeps the hypothesis value: '(' <-> ')'.
+  spec.baseline = [](const Record& rec, size_t k) {
+    return std::optional<std::string>(rec.tokens[k] == "(" ? ")" : "(");
+  };
+  // Treatment swap flips it: parenthesis -> digit.
+  spec.treatment = [](const Record&, size_t) {
+    return std::optional<std::string>("7");
+  };
+  VerificationResult verified =
+      VerifyUnits(extractor, dataset, selected, spec, 40, /*seed=*/13);
+  VerificationResult random_units =
+      VerifyUnits(extractor, dataset, {9, 10, 11, 12}, spec, 40, 13);
+  std::printf("Silhouette (selected units): %.3f over %zu+%zu perturbations\n",
+              verified.silhouette, verified.n_baseline,
+              verified.n_treatment);
+  std::printf("Silhouette (random units):   %.3f\n", random_units.silhouette);
+  std::printf("(selected >> random confirms the detectors are real)\n");
+  return 0;
+}

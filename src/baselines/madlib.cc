@@ -1,0 +1,193 @@
+#include "baselines/madlib.h"
+
+#include <cmath>
+
+#include "measures/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace deepbase {
+
+namespace {
+
+// corr() over the (merge-)joined pair of relations: x from unitsb, y from
+// hyposb. Mimics the `... FROM unitsb_dense U JOIN hyposb_dense H ON
+// U.symbolid = H.symbolid` plan with a virtual Step call per row.
+class JoinCorrUda {
+ public:
+  JoinCorrUda(size_t x_col, size_t y_col) : x_col_(x_col), y_col_(y_col) {}
+  void Step(const RowView& u_row, const RowView& h_row) {
+    const double x = u_row.Get(x_col_);
+    const double y = h_row.Get(y_col_);
+    n_ += 1;
+    sx_ += x;
+    sxx_ += x * x;
+    sy_ += y;
+    syy_ += y * y;
+    sxy_ += x * y;
+  }
+  double Final() const {
+    const double cov = n_ * sxy_ - sx_ * sy_;
+    const double vx = n_ * sxx_ - sx_ * sx_;
+    const double vy = n_ * syy_ - sy_ * sy_;
+    if (vx <= 0 || vy <= 0) return 0.0;
+    return cov / std::sqrt(vx * vy);
+  }
+
+ private:
+  size_t x_col_, y_col_;
+  double n_ = 0, sx_ = 0, sxx_ = 0, sy_ = 0, syy_ = 0, sxy_ = 0;
+};
+
+}  // namespace
+
+MadlibBase::MadlibBase(const Extractor* extractor, const Dataset* dataset,
+                       std::vector<int> units,
+                       std::vector<HypothesisPtr> hypotheses)
+    : extractor_(extractor),
+      dataset_(dataset),
+      units_(std::move(units)),
+      hypotheses_(std::move(hypotheses)) {}
+
+void MadlibBase::Materialize(MadlibRunStats* stats) {
+  if (materialized_) return;
+  Stopwatch watch;
+  std::vector<std::string> ucols = {"symbolid"};
+  for (size_t u = 0; u < units_.size(); ++u) {
+    ucols.push_back("u_" + std::to_string(u));
+  }
+  std::vector<std::string> hcols = {"symbolid"};
+  for (size_t h = 0; h < hypotheses_.size(); ++h) {
+    hcols.push_back("h_" + std::to_string(h));
+  }
+  unitsb_ = RelTable(std::move(ucols));
+  hyposb_ = RelTable(std::move(hcols));
+  const size_t ns = dataset_->ns();
+  unitsb_.Reserve(dataset_->num_records() * ns);
+  hyposb_.Reserve(dataset_->num_records() * ns);
+
+  std::vector<double> urow(units_.size() + 1);
+  std::vector<double> hrow(hypotheses_.size() + 1);
+  for (size_t i = 0; i < dataset_->num_records(); ++i) {
+    const Record& rec = dataset_->record(i);
+    Matrix behaviors = extractor_->ExtractRecord(rec, units_);
+    std::vector<std::vector<float>> hyp_behaviors;
+    hyp_behaviors.reserve(hypotheses_.size());
+    for (const auto& hyp : hypotheses_) {
+      hyp_behaviors.push_back(hyp->Eval(rec));
+    }
+    for (size_t t = 0; t < ns; ++t) {
+      const double symbolid = static_cast<double>(i * ns + t);
+      urow[0] = symbolid;
+      for (size_t u = 0; u < units_.size(); ++u) urow[u + 1] = behaviors(t, u);
+      unitsb_.AppendRow(urow);
+      hrow[0] = symbolid;
+      for (size_t h = 0; h < hypotheses_.size(); ++h) {
+        hrow[h + 1] = hyp_behaviors[h][t];
+      }
+      hyposb_.AppendRow(hrow);
+    }
+  }
+  materialized_ = true;
+  if (stats != nullptr) stats->load_s += watch.Seconds();
+}
+
+ResultTable MadlibBase::RunCorrelation(MadlibRunStats* stats,
+                                       double time_budget_s) {
+  Materialize(stats);
+  Stopwatch watch;
+  ResultTable results;
+  const size_t num_pairs = units_.size() * hypotheses_.size();
+  size_t pair = 0;
+  while (pair < num_pairs && watch.Seconds() < time_budget_s) {
+    // One SELECT statement with up to the expression-limit corr() calls.
+    const size_t batch_end =
+        std::min(num_pairs, pair + kMaxExpressionsPerStatement);
+    std::vector<JoinCorrUda> aggs;
+    aggs.reserve(batch_end - pair);
+    for (size_t p = pair; p < batch_end; ++p) {
+      const size_t u = p / hypotheses_.size();
+      const size_t h = p % hypotheses_.size();
+      aggs.emplace_back(u + 1, h + 1);  // +1 skips symbolid
+    }
+    // Merge join on symbolid (both relations are clustered on it).
+    for (size_t r = 0; r < unitsb_.num_rows(); ++r) {
+      RowView u_row(&unitsb_, r);
+      RowView h_row(&hyposb_, r);
+      DB_DCHECK(u_row.Get(0) == h_row.Get(0));
+      for (auto& agg : aggs) agg.Step(u_row, h_row);
+    }
+    if (stats != nullptr) ++stats->scans;
+    for (size_t p = pair; p < batch_end; ++p) {
+      const size_t u = p / hypotheses_.size();
+      const size_t h = p % hypotheses_.size();
+      ResultRow row;
+      row.model_id = extractor_->model_id();
+      row.group_id = "all";
+      row.measure = "madlib_corr";
+      row.hypothesis = hypotheses_[h]->name();
+      row.unit = units_[u];
+      row.unit_score = static_cast<float>(aggs[p - pair].Final());
+      results.Add(row);
+    }
+    pair = batch_end;
+  }
+  if (stats != nullptr) stats->query_s += watch.Seconds();
+  return results;
+}
+
+ResultTable MadlibBase::RunLogReg(size_t epochs, MadlibRunStats* stats,
+                                  double time_budget_s) {
+  Materialize(stats);
+  Stopwatch watch;
+  ResultTable results;
+  const size_t nu = units_.size();
+  // One SVMTrain/LogRegTrain-style UDA invocation per hypothesis: each is
+  // `epochs` IGD scans plus one scoring scan (§5.1.1: "a full scan of the
+  // behavior tables and a full execution of the UDF for every hypothesis").
+  for (size_t h = 0;
+       h < hypotheses_.size() && watch.Seconds() < time_budget_s; ++h) {
+    std::vector<double> w(nu + 1, 0.0);
+    const double lr = 0.05;
+    for (size_t epoch = 0; epoch < epochs; ++epoch) {
+      for (size_t r = 0; r < unitsb_.num_rows(); ++r) {
+        RowView u_row(&unitsb_, r);
+        RowView h_row(&hyposb_, r);
+        double z = w[nu];
+        for (size_t u = 0; u < nu; ++u) z += w[u] * u_row.Get(u + 1);
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        const double d = p - (h_row.Get(h + 1) >= 0.5 ? 1.0 : 0.0);
+        for (size_t u = 0; u < nu; ++u) {
+          w[u] -= lr * d * u_row.Get(u + 1);
+        }
+        w[nu] -= lr * d;
+      }
+      if (stats != nullptr) ++stats->scans;
+    }
+    // Scoring scan: F1 of the trained model.
+    BinaryConfusion conf;
+    for (size_t r = 0; r < unitsb_.num_rows(); ++r) {
+      RowView u_row(&unitsb_, r);
+      RowView h_row(&hyposb_, r);
+      double z = w[nu];
+      for (size_t u = 0; u < nu; ++u) z += w[u] * u_row.Get(u + 1);
+      conf.Add(z > 0, h_row.Get(h + 1) >= 0.5);
+    }
+    if (stats != nullptr) ++stats->scans;
+    for (size_t u = 0; u < nu; ++u) {
+      ResultRow row;
+      row.model_id = extractor_->model_id();
+      row.group_id = "all";
+      row.measure = "madlib_logreg";
+      row.hypothesis = hypotheses_[h]->name();
+      row.unit = units_[u];
+      row.unit_score = static_cast<float>(w[u]);
+      row.group_score = static_cast<float>(conf.F1());
+      results.Add(row);
+    }
+  }
+  if (stats != nullptr) stats->query_s += watch.Seconds();
+  return results;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,59 @@
+// The DB-oriented baseline of paper §5.1.1: behaviors are fully
+// materialized into dense relations (unitsb_dense / hyposb_dense keyed by
+// symbolid), then affinity scores are computed with SQL-style aggregate
+// queries — correlation via batched `SELECT corr(U.uid_i, H.h_j), ...`
+// statements capped at the engine's expression limit (one full join scan
+// per statement), and logistic regression via a MADLib-style IGD UDA that
+// performs one full scan per epoch per hypothesis.
+
+#pragma once
+
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/result_table.h"
+#include "hypothesis/hypothesis.h"
+#include "relational/table.h"
+
+namespace deepbase {
+
+/// \brief Cost accounting for the baseline runs.
+struct MadlibRunStats {
+  double load_s = 0;   ///< behavior extraction + table materialization
+  double query_s = 0;  ///< aggregate query execution
+  size_t scans = 0;    ///< number of full table scans performed
+  double total_s() const { return load_s + query_s; }
+};
+
+/// \brief MADLib-style DNI runner over the mini relational engine.
+class MadlibBase {
+ public:
+  MadlibBase(const Extractor* extractor, const Dataset* dataset,
+             std::vector<int> units, std::vector<HypothesisPtr> hypotheses);
+
+  /// \brief Materialize the dense behavior relations (always the first
+  /// step for this design; its cost lands in stats->load_s).
+  void Materialize(MadlibRunStats* stats);
+
+  /// \brief Per-(unit, hypothesis) Pearson correlation via batched
+  /// aggregate statements (max `kMaxExpressionsPerStatement` expressions
+  /// per statement, one full scan each).
+  ResultTable RunCorrelation(MadlibRunStats* stats,
+                             double time_budget_s = 1e18);
+
+  /// \brief Logistic regression per hypothesis: `epochs` full-scan IGD
+  /// passes plus one scoring scan each (MADLib's UDF pattern).
+  ResultTable RunLogReg(size_t epochs, MadlibRunStats* stats,
+                        double time_budget_s = 1e18);
+
+ private:
+  const Extractor* extractor_;
+  const Dataset* dataset_;
+  std::vector<int> units_;
+  std::vector<HypothesisPtr> hypotheses_;
+  RelTable unitsb_;  // symbolid, u_0 .. u_{U-1}
+  RelTable hyposb_;  // symbolid, h_0 .. h_{H-1}
+  bool materialized_ = false;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,116 @@
+#include "baselines/netdissect.h"
+
+#include <algorithm>
+
+#include "measures/independent.h"
+#include "util/logging.h"
+
+namespace deepbase {
+
+CnnIouScores RunNetDissect(const TextureCnn& cnn,
+                           const std::vector<AnnotatedImage>& images,
+                           int num_concepts, double top_quantile) {
+  const size_t num_units = cnn.num_units();
+  // Pass 1: collect all activations per unit for exact quantile thresholds.
+  std::vector<std::vector<float>> all_acts(num_units);
+  std::vector<std::vector<Matrix>> unit_maps;  // per image, per unit
+  unit_maps.reserve(images.size());
+  for (const auto& img : images) {
+    std::vector<Matrix> maps = cnn.UnitActivations(img.pixels);
+    for (size_t u = 0; u < num_units; ++u) {
+      const Matrix& m = maps[u];
+      all_acts[u].insert(all_acts[u].end(), m.data(), m.data() + m.size());
+    }
+    unit_maps.push_back(std::move(maps));
+  }
+  std::vector<float> thresholds(num_units);
+  for (size_t u = 0; u < num_units; ++u) {
+    auto& v = all_acts[u];
+    size_t k = static_cast<size_t>((1.0 - top_quantile) *
+                                   static_cast<double>(v.size() - 1));
+    std::nth_element(v.begin(), v.begin() + k, v.end());
+    thresholds[u] = v[k];
+  }
+  // Pass 2: IoU per (unit, concept).
+  CnnIouScores out;
+  out.iou = Matrix(num_units, num_concepts);
+  std::vector<std::vector<size_t>> inter(num_units,
+                                         std::vector<size_t>(num_concepts, 0));
+  std::vector<std::vector<size_t>> uni(num_units,
+                                       std::vector<size_t>(num_concepts, 0));
+  for (size_t i = 0; i < images.size(); ++i) {
+    const auto& labels = images[i].labels;
+    for (size_t u = 0; u < num_units; ++u) {
+      const Matrix& m = unit_maps[i][u];
+      for (size_t p = 0; p < m.size(); ++p) {
+        const bool on = m.data()[p] > thresholds[u];
+        for (int c = 0; c < num_concepts; ++c) {
+          const bool is_concept = labels[p] == c + 1;
+          if (on && is_concept) ++inter[u][c];
+          if (on || is_concept) ++uni[u][c];
+        }
+      }
+    }
+  }
+  for (size_t u = 0; u < num_units; ++u) {
+    for (int c = 0; c < num_concepts; ++c) {
+      out.iou(u, c) = uni[u][c] == 0
+                          ? 0.0f
+                          : static_cast<float>(static_cast<double>(
+                                                   inter[u][c]) /
+                                               static_cast<double>(uni[u][c]));
+    }
+  }
+  return out;
+}
+
+CnnIouScores RunDeepBaseCnn(const TextureCnn& cnn,
+                            const std::vector<AnnotatedImage>& images,
+                            int num_concepts, double top_quantile,
+                            size_t images_per_block) {
+  const size_t num_units = cnn.num_units();
+  // One streaming Jaccard measure per concept, fed image blocks (pixels as
+  // symbols), exactly like the record pipeline feeds character blocks.
+  std::vector<std::unique_ptr<JaccardMeasure>> measures;
+  for (int c = 0; c < num_concepts; ++c) {
+    measures.push_back(
+        std::make_unique<JaccardMeasure>(num_units, top_quantile));
+  }
+  size_t i = 0;
+  while (i < images.size()) {
+    const size_t end = std::min(images.size(), i + images_per_block);
+    // Assemble the block's behavior matrix (pixels × units) and masks.
+    size_t rows = 0;
+    for (size_t j = i; j < end; ++j) rows += images[j].labels.size();
+    Matrix units(rows, num_units);
+    std::vector<std::vector<float>> masks(
+        num_concepts, std::vector<float>(rows, 0.0f));
+    size_t row = 0;
+    for (size_t j = i; j < end; ++j) {
+      std::vector<Matrix> maps = cnn.UnitActivations(images[j].pixels);
+      const size_t npix = images[j].labels.size();
+      for (size_t p = 0; p < npix; ++p) {
+        float* dst = units.row_data(row + p);
+        for (size_t u = 0; u < num_units; ++u) dst[u] = maps[u].data()[p];
+        const int label = images[j].labels[p];
+        if (label >= 1 && label <= num_concepts) {
+          masks[label - 1][row + p] = 1.0f;
+        }
+      }
+      row += npix;
+    }
+    for (int c = 0; c < num_concepts; ++c) {
+      measures[c]->ProcessBlock(units, masks[c]);
+    }
+    i = end;
+  }
+  CnnIouScores out;
+  out.iou = Matrix(num_units, num_concepts);
+  for (int c = 0; c < num_concepts; ++c) {
+    MeasureScores s = measures[c]->Scores();
+    for (size_t u = 0; u < num_units; ++u) out.iou(u, c) = s.unit_scores[u];
+  }
+  return out;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,40 @@
+// NetDissect reimplementation (paper Appendix E): for each CNN unit,
+// threshold its activation map at a top-quantile of its activation
+// distribution and compute the Intersection-over-Union with each concept's
+// pixel annotation mask. The DeepBase counterpart runs the same analysis
+// through the JaccardMeasure streaming pipeline; Figure 15 compares the
+// two score sets.
+
+#pragma once
+
+#include <vector>
+
+#include "data/images.h"
+#include "nn/conv.h"
+#include "tensor/matrix.h"
+
+namespace deepbase {
+
+/// \brief IoU scores per (unit, concept). Concepts are 1-based in the
+/// annotation masks; column c holds concept c+1.
+struct CnnIouScores {
+  Matrix iou;  ///< num_units × num_concepts
+};
+
+/// \brief NetDissect pipeline: exact per-unit quantile thresholds computed
+/// over the full activation distribution of all images, then IoU per
+/// concept over all pixels.
+CnnIouScores RunNetDissect(const TextureCnn& cnn,
+                           const std::vector<AnnotatedImage>& images,
+                           int num_concepts, double top_quantile = 0.1);
+
+/// \brief DeepBase pipeline over the same CNN and images: one streaming
+/// JaccardMeasure per concept, with thresholds estimated from the first
+/// block (the approximation difference the paper cites for the score
+/// deviations in Figure 15).
+CnnIouScores RunDeepBaseCnn(const TextureCnn& cnn,
+                            const std::vector<AnnotatedImage>& images,
+                            int num_concepts, double top_quantile = 0.1,
+                            size_t images_per_block = 8);
+
+}  // namespace deepbase

@@ -1,0 +1,36 @@
+#include "baselines/pybase.h"
+
+namespace deepbase {
+
+InspectOptions PyBaseOptions() {
+  InspectOptions opts;
+  opts.streaming = false;
+  opts.early_stopping = false;
+  opts.model_merging = false;
+  return opts;
+}
+
+InspectOptions MergedOptions() {
+  InspectOptions opts = PyBaseOptions();
+  opts.model_merging = true;
+  return opts;
+}
+
+InspectOptions MergedEarlyStopOptions() {
+  InspectOptions opts = MergedOptions();
+  opts.early_stopping = true;
+  return opts;
+}
+
+InspectOptions DeepBaseOptions() { return InspectOptions{}; }
+
+std::vector<SystemPreset> OptimizationLadder() {
+  return {
+      {"PyBase", PyBaseOptions()},
+      {"+MM", MergedOptions()},
+      {"+MM+ES", MergedEarlyStopOptions()},
+      {"DeepBase", DeepBaseOptions()},
+  };
+}
+
+}  // namespace deepbase

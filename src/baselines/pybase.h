@@ -1,0 +1,38 @@
+// System presets for the scalability ablations (paper §6.2): PyBase is the
+// standard Python-style pipeline (full materialization, one model per
+// hypothesis, no convergence checks); the optimizations are then enabled
+// cumulatively, exactly as in Figures 5-7.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace deepbase {
+
+/// \brief A named engine configuration for the benchmark harness.
+struct SystemPreset {
+  std::string name;
+  InspectOptions options;
+};
+
+/// \brief PyBase: materialize everything, per-hypothesis models, full data.
+InspectOptions PyBaseOptions();
+
+/// \brief +MM: PyBase plus model merging (§5.2.1).
+InspectOptions MergedOptions();
+
+/// \brief +MM+ES: merged training plus convergence-based early stopping
+/// (§5.2.2); extraction is still fully materialized.
+InspectOptions MergedEarlyStopOptions();
+
+/// \brief DeepBase: all optimizations, including streaming extraction
+/// (§5.2.3). Equal to a default-constructed InspectOptions.
+InspectOptions DeepBaseOptions();
+
+/// \brief The cumulative ladder used by the optimization-ablation figures.
+std::vector<SystemPreset> OptimizationLadder();
+
+}  // namespace deepbase

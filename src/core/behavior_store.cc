@@ -1,0 +1,249 @@
+#include "core/behavior_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "core/extractors.h"
+
+namespace deepbase {
+
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x44425354;  // "DBST"
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t MatrixChecksum(const Matrix& m) {
+  uint64_t h = 1469598103934665603ull;
+  h = Fnv1a(&m, 0, h);  // fold in the seed only
+  const uint64_t rows = m.rows(), cols = m.cols();
+  h = Fnv1a(&rows, sizeof(rows), h);
+  h = Fnv1a(&cols, sizeof(cols), h);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    h = Fnv1a(m.row_data(r), m.cols() * sizeof(float), h);
+  }
+  return h;
+}
+
+std::string HexKey(uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  uint64_t h = 1469598103934665603ull;
+  const uint64_t nd = dataset.num_records(), ns = dataset.ns();
+  h = Fnv1a(&nd, sizeof(nd), h);
+  h = Fnv1a(&ns, sizeof(ns), h);
+  for (const Record& rec : dataset.records()) {
+    h = Fnv1a(rec.ids.data(), rec.ids.size() * sizeof(int), h);
+  }
+  return h;
+}
+
+BehaviorStore::BehaviorStore(std::string root_dir,
+                             size_t memory_budget_bytes)
+    : root_dir_(std::move(root_dir)), memory_budget_(memory_budget_bytes) {}
+
+std::string BehaviorStore::PathForKey(const std::string& key) const {
+  // Hash the key for the file name: keys may contain characters that are
+  // not filesystem-safe.
+  return root_dir_ + "/" + HexKey(Fnv1a(key.data(), key.size(),
+                                        1469598103934665603ull)) +
+         ".behaviors";
+}
+
+Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory " + root_dir_ +
+                           ": " + ec.message());
+  }
+  const std::string path = PathForKey(key);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + path);
+    const uint32_t magic = kStoreMagic;
+    const uint64_t key_len = key.size();
+    const uint64_t checksum = MatrixChecksum(behaviors);
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&key_len), sizeof(key_len));
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    WriteMatrix(behaviors, &out);
+    if (!out) return Status::IOError("write failed for " + path);
+    stats_.bytes_written +=
+        behaviors.rows() * behaviors.cols() * sizeof(float);
+  }
+  Admit(key, behaviors);
+  return Status::OK();
+}
+
+Result<Matrix> BehaviorStore::Get(const std::string& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.mem_hits;
+    // Move to the front of the LRU.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  const std::string path = PathForKey(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++stats_.misses;
+    return Status::NotFound("no stored behaviors for key: " + key);
+  }
+  uint32_t magic = 0;
+  uint64_t key_len = 0, checksum = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
+  if (!in || magic != kStoreMagic || key_len > (1u << 20)) {
+    return Status::DataLoss("corrupt store file header: " + path);
+  }
+  std::string stored_key(key_len, '\0');
+  in.read(stored_key.data(), static_cast<std::streamsize>(key_len));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in || stored_key != key) {
+    return Status::DataLoss("store file key mismatch (hash collision?): " +
+                            path);
+  }
+  DB_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(&in));
+  if (MatrixChecksum(m) != checksum) {
+    return Status::DataLoss("checksum mismatch for key: " + key);
+  }
+  ++stats_.disk_hits;
+  Admit(key, m);
+  return m;
+}
+
+bool BehaviorStore::Contains(const std::string& key) const {
+  if (index_.count(key) > 0) return true;
+  std::error_code ec;
+  return std::filesystem::exists(PathForKey(key), ec);
+}
+
+void BehaviorStore::EvictFromMemory(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  memory_bytes_ -=
+      it->second->second.rows() * it->second->second.cols() * sizeof(float);
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.evictions;
+}
+
+Status BehaviorStore::Remove(const std::string& key) {
+  EvictFromMemory(key);
+  std::error_code ec;
+  std::filesystem::remove(PathForKey(key), ec);
+  if (ec) return Status::IOError("cannot remove " + PathForKey(key));
+  return Status::OK();
+}
+
+std::vector<std::string> BehaviorStore::Keys() const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  if (!std::filesystem::exists(root_dir_, ec)) return keys;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root_dir_, ec)) {
+    if (entry.path().extension() != ".behaviors") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    uint32_t magic = 0;
+    uint64_t key_len = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
+    if (!in || magic != kStoreMagic || key_len > (1u << 20)) continue;
+    std::string key(key_len, '\0');
+    in.read(key.data(), static_cast<std::streamsize>(key_len));
+    if (in) keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void BehaviorStore::Admit(const std::string& key, Matrix matrix) {
+  if (memory_budget_ == 0) return;
+  // Self-replacement is not an eviction; drop any existing entry silently.
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    memory_bytes_ -= it->second->second.rows() * it->second->second.cols() *
+                     sizeof(float);
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  const size_t bytes = matrix.rows() * matrix.cols() * sizeof(float);
+  lru_.emplace_front(key, std::move(matrix));
+  index_[key] = lru_.begin();
+  memory_bytes_ += bytes;
+  EnforceBudget();
+}
+
+void BehaviorStore::EnforceBudget() {
+  while (memory_bytes_ > memory_budget_ && lru_.size() > 1) {
+    const auto& back = lru_.back();
+    memory_bytes_ -= back.second.rows() * back.second.cols() * sizeof(float);
+    index_.erase(back.first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::string UnitBehaviorKey(const std::string& model_id,
+                            const Dataset& dataset) {
+  return "unit:" + model_id + ":" + HexKey(DatasetFingerprint(dataset));
+}
+
+std::string HypothesisBehaviorKey(const std::string& set_name,
+                                  const Dataset& dataset) {
+  return "hyp:" + set_name + ":" + HexKey(DatasetFingerprint(dataset));
+}
+
+Result<std::string> MaterializeUnitBehaviors(const Extractor& extractor,
+                                             const Dataset& dataset,
+                                             BehaviorStore* store) {
+  const std::string key = UnitBehaviorKey(extractor.model_id(), dataset);
+  if (store->Contains(key)) return key;
+  std::vector<int> unit_ids(extractor.num_units());
+  for (size_t u = 0; u < unit_ids.size(); ++u) {
+    unit_ids[u] = static_cast<int>(u);
+  }
+  std::vector<size_t> record_idx(dataset.num_records());
+  for (size_t i = 0; i < record_idx.size(); ++i) record_idx[i] = i;
+  Matrix behaviors = extractor.ExtractBlock(dataset, record_idx, unit_ids);
+  DB_RETURN_NOT_OK(store->Put(key, behaviors));
+  return key;
+}
+
+Result<PrecomputedExtractor> OpenStoredExtractor(const std::string& key,
+                                                 const std::string& model_id,
+                                                 const Dataset& dataset,
+                                                 BehaviorStore* store) {
+  DB_ASSIGN_OR_RETURN(Matrix behaviors, store->Get(key));
+  if (behaviors.rows() != dataset.num_records() * dataset.ns()) {
+    return Status::Invalid(
+        "stored behaviors do not align with the dataset: " +
+        std::to_string(behaviors.rows()) + " rows vs " +
+        std::to_string(dataset.num_records() * dataset.ns()) + " symbols");
+  }
+  return PrecomputedExtractor(model_id, std::move(behaviors), dataset.ns());
+}
+
+}  // namespace deepbase

@@ -1,0 +1,109 @@
+// Disk-backed behavior store — the Mistique-style substrate the paper
+// names as future work for managing extracted unit/hypothesis behaviors
+// (§5.1.2). Behavior matrices are persisted once per (key, dataset
+// fingerprint) and served from a bounded in-memory LRU tier backed by
+// checksummed files, so re-inspecting a model after a restart skips
+// extraction entirely (the §6.3 workflow: "DeepBase extracts the
+// activations once and makes the subsequent passes on the cached
+// version").
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/extractors.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief A stable fingerprint of a dataset's contents (records, ids, and
+/// shape). Keys derived from it invalidate automatically when the dataset
+/// changes.
+uint64_t DatasetFingerprint(const Dataset& dataset);
+
+/// \brief Two-tier (memory LRU over disk) store of behavior matrices.
+///
+/// Thread-compatibility: single-threaded, like the engine's driver loop.
+class BehaviorStore {
+ public:
+  struct Stats {
+    size_t mem_hits = 0;
+    size_t disk_hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t bytes_written = 0;
+  };
+
+  /// \param root_dir directory for the persisted matrices (created on
+  ///        first Put if missing).
+  /// \param memory_budget_bytes LRU tier capacity; 0 disables the memory
+  ///        tier (every Get reads from disk).
+  explicit BehaviorStore(std::string root_dir,
+                         size_t memory_budget_bytes = 64ull << 20);
+
+  /// \brief Persist `behaviors` under `key` (overwrites) and admit it to
+  /// the memory tier.
+  Status Put(const std::string& key, const Matrix& behaviors);
+
+  /// \brief Fetch a matrix: memory tier first, then disk (re-admitting to
+  /// memory). kNotFound if the key was never Put; kDataLoss if the on-disk
+  /// payload fails its checksum.
+  Result<Matrix> Get(const std::string& key);
+
+  /// \brief True if the key is available (either tier) without reading the
+  /// payload.
+  bool Contains(const std::string& key) const;
+
+  /// \brief Drop from the memory tier only (the persisted file survives).
+  void EvictFromMemory(const std::string& key);
+
+  /// \brief Delete from both tiers.
+  Status Remove(const std::string& key);
+
+  /// \brief All persisted keys, sorted.
+  std::vector<std::string> Keys() const;
+
+  size_t memory_bytes() const { return memory_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string PathForKey(const std::string& key) const;
+  void Admit(const std::string& key, Matrix matrix);
+  void EnforceBudget();
+
+  std::string root_dir_;
+  size_t memory_budget_;
+  size_t memory_bytes_ = 0;
+  // LRU: most-recent at the front.
+  std::list<std::pair<std::string, Matrix>> lru_;
+  std::map<std::string, std::list<std::pair<std::string, Matrix>>::iterator>
+      index_;
+  Stats stats_;
+};
+
+/// \brief Canonical store key for a model's unit behaviors over a dataset.
+std::string UnitBehaviorKey(const std::string& model_id,
+                            const Dataset& dataset);
+
+/// \brief Canonical store key for a hypothesis set's behaviors.
+std::string HypothesisBehaviorKey(const std::string& set_name,
+                                  const Dataset& dataset);
+
+/// \brief Extract all behaviors of `extractor` over `dataset` and persist
+/// them under UnitBehaviorKey. No-op (returns the key) if already stored.
+Result<std::string> MaterializeUnitBehaviors(const Extractor& extractor,
+                                             const Dataset& dataset,
+                                             BehaviorStore* store);
+
+/// \brief Build a PrecomputedExtractor serving a stored behavior matrix.
+Result<PrecomputedExtractor> OpenStoredExtractor(const std::string& key,
+                                                 const std::string& model_id,
+                                                 const Dataset& dataset,
+                                                 BehaviorStore* store);
+
+}  // namespace deepbase

@@ -1,0 +1,64 @@
+#include "core/cache.h"
+
+namespace deepbase {
+
+const std::vector<float>* HypothesisCache::Get(const std::string& hyp_name,
+                                               size_t record_idx) {
+  auto it = entries_.find(hyp_name);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Touch(hyp_name, &it->second);
+  auto rit = it->second.by_record.find(record_idx);
+  if (rit == it->second.by_record.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &rit->second;
+}
+
+void HypothesisCache::Put(const std::string& hyp_name, size_t record_idx,
+                          std::vector<float> behaviors) {
+  auto it = entries_.find(hyp_name);
+  if (it == entries_.end()) {
+    lru_.push_front(hyp_name);
+    HypEntry entry;
+    entry.lru_it = lru_.begin();
+    it = entries_.emplace(hyp_name, std::move(entry)).first;
+  } else {
+    Touch(hyp_name, &it->second);
+  }
+  auto [rit, inserted] = it->second.by_record.emplace(record_idx,
+                                                      std::move(behaviors));
+  if (inserted) {
+    it->second.values += rit->second.size();
+    size_values_ += rit->second.size();
+    EvictIfNeeded();
+  }
+}
+
+void HypothesisCache::Touch(const std::string& hyp_name, HypEntry* entry) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(hyp_name);
+  entry->lru_it = lru_.begin();
+}
+
+void HypothesisCache::EvictIfNeeded() {
+  while (size_values_ > max_values_ && entries_.size() > 1) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    size_values_ -= it->second.values;
+    entries_.erase(it);
+  }
+}
+
+void HypothesisCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  size_values_ = 0;
+}
+
+}  // namespace deepbase

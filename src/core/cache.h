@@ -1,0 +1,55 @@
+// Hypothesis-behavior cache (paper §5.1.2 / Figure 9): during model
+// development the hypothesis library is fixed while the model changes, so
+// DeepBase caches extracted hypothesis behaviors and reuses them when the
+// same analysis is re-run on a new model. Eviction is LRU at hypothesis
+// granularity ("simple LRU to pin the matrix in memory").
+
+#pragma once
+
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace deepbase {
+
+/// \brief Caches per-record hypothesis behaviors keyed by
+/// (hypothesis name, record index). One cache instance corresponds to one
+/// dataset; share it across Inspect() calls to get cross-model reuse.
+class HypothesisCache {
+ public:
+  /// \param max_values total cached floats across all hypotheses before
+  /// LRU eviction (default ~64M values = 256MB).
+  explicit HypothesisCache(size_t max_values = size_t{1} << 26)
+      : max_values_(max_values) {}
+
+  /// \brief Cached behaviors for (hyp, record), or nullptr on miss.
+  const std::vector<float>* Get(const std::string& hyp_name,
+                                size_t record_idx);
+
+  void Put(const std::string& hyp_name, size_t record_idx,
+           std::vector<float> behaviors);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size_values() const { return size_values_; }
+  void Clear();
+
+ private:
+  struct HypEntry {
+    std::unordered_map<size_t, std::vector<float>> by_record;
+    size_t values = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(const std::string& hyp_name, HypEntry* entry);
+  void EvictIfNeeded();
+
+  size_t max_values_;
+  size_t size_values_ = 0;
+  size_t hits_ = 0, misses_ = 0;
+  std::unordered_map<std::string, HypEntry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace deepbase

@@ -1,0 +1,364 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace deepbase {
+
+namespace {
+
+// Error threshold for a measure family (paper §6.2 defaults).
+double EpsilonFor(const MeasureFactory& factory, const InspectOptions& opts) {
+  const std::string& name = factory.name();
+  if (name.rfind("correlation", 0) == 0) return opts.corr_epsilon;
+  if (name.rfind("logreg", 0) == 0) return opts.logreg_epsilon;
+  return opts.default_epsilon;
+}
+
+struct PairState {
+  size_t model_i, group_i, score_i, hyp_i;
+  std::unique_ptr<Measure> measure;
+  double epsilon;
+  bool converged = false;
+};
+
+struct MergedState {
+  size_t model_i, group_i, score_i;
+  std::unique_ptr<MergedMeasure> merged;
+  std::vector<size_t> hyp_indices;  // indices into the hypothesis list
+  std::vector<bool> head_converged;
+  double epsilon;
+  bool all_converged = false;
+};
+
+struct BlockData {
+  std::vector<Matrix> unit_behaviors;  // one per model
+  Matrix hyp_behaviors;                // nsym × |H|
+};
+
+}  // namespace
+
+ModelSpec AllUnitsGroup(const Extractor* extractor,
+                        const std::string& group_id) {
+  ModelSpec spec;
+  spec.extractor = extractor;
+  UnitGroupSpec group;
+  group.group_id = group_id;
+  group.unit_ids.resize(extractor->num_units());
+  for (size_t u = 0; u < group.unit_ids.size(); ++u) {
+    group.unit_ids[u] = static_cast<int>(u);
+  }
+  spec.groups.push_back(std::move(group));
+  return spec;
+}
+
+ResultTable Inspect(const std::vector<ModelSpec>& models,
+                    const Dataset& dataset,
+                    const std::vector<MeasureFactoryPtr>& scores,
+                    const std::vector<HypothesisPtr>& hypotheses,
+                    const InspectOptions& options, RuntimeStats* stats) {
+  Stopwatch total_watch;
+  TimeAccumulator unit_time, hyp_time, inspect_time;
+
+  // --- Plan extraction: per model, the union of its groups' units, and per
+  // group the column indices into that union.
+  std::vector<std::vector<int>> model_units(models.size());
+  std::vector<std::vector<std::vector<size_t>>> group_cols(models.size());
+  for (size_t m = 0; m < models.size(); ++m) {
+    std::vector<int> units;
+    for (const auto& group : models[m].groups) {
+      units.insert(units.end(), group.unit_ids.begin(), group.unit_ids.end());
+    }
+    std::sort(units.begin(), units.end());
+    units.erase(std::unique(units.begin(), units.end()), units.end());
+    model_units[m] = units;
+    group_cols[m].resize(models[m].groups.size());
+    for (size_t g = 0; g < models[m].groups.size(); ++g) {
+      for (int uid : models[m].groups[g].unit_ids) {
+        auto it = std::lower_bound(units.begin(), units.end(), uid);
+        DB_DCHECK(it != units.end() && *it == uid);
+        group_cols[m][g].push_back(
+            static_cast<size_t>(it - units.begin()));
+      }
+    }
+  }
+
+  // --- Plan measures: merged states for mergeable joint measures over
+  // binary hypotheses (when model merging is on), individual Measure
+  // instances for everything else.
+  std::vector<PairState> pairs;
+  std::vector<MergedState> merged_states;
+  for (size_t m = 0; m < models.size(); ++m) {
+    for (size_t g = 0; g < models[m].groups.size(); ++g) {
+      const size_t nu = models[m].groups[g].unit_ids.size();
+      for (size_t s = 0; s < scores.size(); ++s) {
+        const MeasureFactory& factory = *scores[s];
+        const double eps = EpsilonFor(factory, options);
+        std::vector<size_t> mergeable_hyps;
+        for (size_t h = 0; h < hypotheses.size(); ++h) {
+          const bool binary = hypotheses[h]->num_classes() == 2;
+          if (options.model_merging && factory.mergeable() && binary) {
+            mergeable_hyps.push_back(h);
+          } else {
+            PairState pair;
+            pair.model_i = m;
+            pair.group_i = g;
+            pair.score_i = s;
+            pair.hyp_i = h;
+            pair.measure = factory.Create(nu, hypotheses[h]->num_classes());
+            pair.epsilon = eps;
+            pairs.push_back(std::move(pair));
+          }
+        }
+        if (!mergeable_hyps.empty()) {
+          MergedState ms;
+          ms.model_i = m;
+          ms.group_i = g;
+          ms.score_i = s;
+          ms.merged = factory.CreateMerged(nu, mergeable_hyps.size());
+          DB_DCHECK(ms.merged != nullptr);
+          ms.hyp_indices = std::move(mergeable_hyps);
+          ms.head_converged.assign(ms.hyp_indices.size(), false);
+          ms.epsilon = eps;
+          merged_states.push_back(std::move(ms));
+        }
+      }
+    }
+  }
+
+  auto all_converged = [&] {
+    for (const auto& pair : pairs) {
+      if (!pair.converged) return false;
+    }
+    for (const auto& ms : merged_states) {
+      if (!ms.all_converged) return false;
+    }
+    return !pairs.empty() || !merged_states.empty();
+  };
+
+  size_t records_processed = 0;
+
+  // --- Hypothesis extraction for one block (with optional caching).
+  // Output formats are checked during execution (paper §4.1): a hypothesis
+  // emitting the wrong number of behaviors is normalized (zero-pad /
+  // truncate) with a one-time warning, so a misbehaving user function
+  // cannot silently corrupt neighboring rows. InspectQuery::Execute
+  // additionally pre-flights this as a hard error.
+  std::vector<bool> warned_bad_size(hypotheses.size(), false);
+  auto extract_hypotheses = [&](const std::vector<size_t>& block) {
+    const size_t ns = dataset.ns();
+    Matrix hyp_m(block.size() * ns, hypotheses.size());
+    for (size_t h = 0; h < hypotheses.size(); ++h) {
+      const HypothesisFn& hyp = *hypotheses[h];
+      for (size_t i = 0; i < block.size(); ++i) {
+        const std::vector<float>* behaviors = nullptr;
+        std::vector<float> computed;
+        if (options.hypothesis_cache != nullptr) {
+          behaviors = options.hypothesis_cache->Get(hyp.name(), block[i]);
+        }
+        if (behaviors == nullptr) {
+          computed = hyp.Eval(dataset.record(block[i]));
+          if (computed.size() != ns) {
+            if (!warned_bad_size[h]) {
+              DB_LOG(Warn)
+                  << "hypothesis '" << hyp.name() << "' emitted "
+                  << computed.size() << " behaviors for a record of " << ns
+                  << " symbols; normalizing (zero-pad/truncate)";
+              warned_bad_size[h] = true;
+            }
+            computed.resize(ns, 0.0f);
+          }
+          if (options.hypothesis_cache != nullptr) {
+            options.hypothesis_cache->Put(hyp.name(), block[i], computed);
+          }
+          behaviors = &computed;
+        }
+        for (size_t t = 0; t < ns; ++t) {
+          hyp_m(i * ns + t, h) = (*behaviors)[t];
+        }
+      }
+    }
+    return hyp_m;
+  };
+
+  // --- Inspection of one block; returns true if all scores converged.
+  auto inspect_block = [&](const BlockData& data) {
+    // Gather per-(model, group) behavior submatrices once per block.
+    std::vector<std::vector<Matrix>> group_behaviors(models.size());
+    for (size_t m = 0; m < models.size(); ++m) {
+      group_behaviors[m].resize(models[m].groups.size());
+    }
+    auto group_matrix = [&](size_t m, size_t g) -> const Matrix& {
+      Matrix& cached = group_behaviors[m][g];
+      if (cached.empty()) {
+        cached = data.unit_behaviors[m].GatherCols(group_cols[m][g]);
+      }
+      return cached;
+    };
+
+    for (auto& pair : pairs) {
+      if (pair.converged) continue;
+      const Matrix& units = group_matrix(pair.model_i, pair.group_i);
+      std::vector<float> hyp_col(data.hyp_behaviors.rows());
+      for (size_t r = 0; r < hyp_col.size(); ++r) {
+        hyp_col[r] = data.hyp_behaviors(r, pair.hyp_i);
+      }
+      pair.measure->ProcessBlock(units, hyp_col);
+      if (options.early_stopping && pair.measure->SupportsConvergence() &&
+          pair.measure->ErrorEstimate() < pair.epsilon) {
+        pair.converged = true;
+      }
+    }
+    for (auto& ms : merged_states) {
+      if (ms.all_converged) continue;
+      const Matrix& units = group_matrix(ms.model_i, ms.group_i);
+      Matrix hyp_sub(data.hyp_behaviors.rows(), ms.hyp_indices.size());
+      for (size_t r = 0; r < hyp_sub.rows(); ++r) {
+        for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
+          hyp_sub(r, j) = data.hyp_behaviors(r, ms.hyp_indices[j]);
+        }
+      }
+      ms.merged->ProcessBlock(units, hyp_sub);
+      if (options.early_stopping) {
+        bool all_heads = true;
+        for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
+          if (!ms.head_converged[j]) {
+            ms.head_converged[j] = ms.merged->ErrorEstimate(j) < ms.epsilon;
+          }
+          all_heads = all_heads && ms.head_converged[j];
+        }
+        ms.all_converged = all_heads;
+      }
+    }
+    return options.early_stopping && all_converged();
+  };
+
+  size_t blocks_processed = 0;
+  bool stopped_early = false;
+  const size_t passes = std::max<size_t>(1, options.passes);
+
+  if (options.streaming) {
+    // Online extraction (§5.2.3): stop reading the moment scores converge.
+    // Extra passes re-extract with a different shuffle (rare for streaming;
+    // multi-pass workloads normally materialize instead).
+    for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
+      BlockIterator it(&dataset, options.block_size,
+                       options.shuffle_seed + pass);
+      while (it.HasNext() && blocks_processed < options.max_blocks &&
+             total_watch.Seconds() < options.time_budget_s) {
+        std::vector<size_t> block = it.NextBlock();
+        records_processed += block.size();
+        BlockData data;
+        unit_time.Start();
+        for (size_t m = 0; m < models.size(); ++m) {
+          data.unit_behaviors.push_back(models[m].extractor->ExtractBlock(
+              dataset, block, model_units[m]));
+        }
+        unit_time.Stop();
+        hyp_time.Start();
+        data.hyp_behaviors = extract_hypotheses(block);
+        hyp_time.Stop();
+        inspect_time.Start();
+        const bool done = inspect_block(data);
+        inspect_time.Stop();
+        ++blocks_processed;
+        if (done) {
+          stopped_early = true;
+          break;
+        }
+      }
+    }
+  } else {
+    // Full materialization first (naive design, §5.1.2): all behaviors are
+    // extracted regardless of convergence; early stopping (if enabled) can
+    // only save inspection work. Additional passes reuse the materialized
+    // blocks at no extraction cost (the §6.3 multi-pass pattern).
+    std::vector<BlockData> materialized;
+    BlockIterator it(&dataset, options.block_size, options.shuffle_seed);
+    while (it.HasNext() && materialized.size() < options.max_blocks &&
+           total_watch.Seconds() < options.time_budget_s) {
+      std::vector<size_t> block = it.NextBlock();
+      records_processed += block.size();
+      BlockData data;
+      unit_time.Start();
+      for (size_t m = 0; m < models.size(); ++m) {
+        data.unit_behaviors.push_back(models[m].extractor->ExtractBlock(
+            dataset, block, model_units[m]));
+      }
+      unit_time.Stop();
+      hyp_time.Start();
+      data.hyp_behaviors = extract_hypotheses(block);
+      hyp_time.Stop();
+      materialized.push_back(std::move(data));
+    }
+    for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
+      for (const BlockData& data : materialized) {
+        if (total_watch.Seconds() >= options.time_budget_s) break;
+        inspect_time.Start();
+        const bool done = inspect_block(data);
+        inspect_time.Stop();
+        ++blocks_processed;
+        if (done) {
+          stopped_early = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Assemble the result relation.
+  ResultTable results;
+  auto emit = [&](size_t m, size_t g, size_t s, size_t h,
+                  const MeasureScores& ms) {
+    const ModelSpec& model = models[m];
+    const UnitGroupSpec& group = model.groups[g];
+    ResultRow base;
+    base.model_id = model.extractor->model_id();
+    base.group_id = group.group_id;
+    base.measure = scores[s]->name();
+    base.hypothesis = hypotheses[h]->name();
+    base.group_score = ms.group_score;
+    if (ms.unit_scores.empty()) {
+      results.Add(base);
+      return;
+    }
+    DB_DCHECK(ms.unit_scores.size() == group.unit_ids.size());
+    for (size_t u = 0; u < ms.unit_scores.size(); ++u) {
+      ResultRow row = base;
+      row.unit = group.unit_ids[u];
+      row.unit_score = ms.unit_scores[u];
+      results.Add(row);
+    }
+  };
+  for (const auto& pair : pairs) {
+    emit(pair.model_i, pair.group_i, pair.score_i, pair.hyp_i,
+         pair.measure->Scores());
+  }
+  for (const auto& ms : merged_states) {
+    for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
+      emit(ms.model_i, ms.group_i, ms.score_i, ms.hyp_indices[j],
+           ms.merged->ScoresFor(j));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->unit_extraction_s = unit_time.Seconds();
+    stats->hyp_extraction_s = hyp_time.Seconds();
+    stats->inspection_s = inspect_time.Seconds();
+    stats->total_s = total_watch.Seconds();
+    stats->blocks_processed = blocks_processed;
+    stats->records_processed = records_processed;
+    stats->all_converged = stopped_early || all_converged();
+    if (options.hypothesis_cache != nullptr) {
+      stats->cache_hits = options.hypothesis_cache->hits();
+      stats->cache_misses = options.hypothesis_cache->misses();
+    } else {
+      stats->cache_misses = blocks_processed * hypotheses.size();
+    }
+  }
+  return results;
+}
+
+}  // namespace deepbase

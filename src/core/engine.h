@@ -1,0 +1,102 @@
+// The DeepBase engine (paper §5, Figure 4): given models/unit groups, a
+// dataset, measures, and hypotheses, compute all affinity scores. The
+// optimization flags correspond exactly to the paper's ablation systems:
+//
+//   streaming=false, model_merging=false, early_stopping=false  -> PyBase
+//   streaming=false, model_merging=true,  early_stopping=false  -> +MM
+//   streaming=false, model_merging=true,  early_stopping=true   -> +MM+ES
+//   streaming=true,  model_merging=true,  early_stopping=true   -> DeepBase
+//
+// plus the shared hypothesis-behavior cache (Figure 9) and thread-pool
+// batch extraction (the GPU substitute; Figures 5/7).
+
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/extractor.h"
+#include "core/result_table.h"
+#include "hypothesis/hypothesis.h"
+#include "measures/measure.h"
+
+namespace deepbase {
+
+/// \brief A named subset of one model's hidden units (paper Def. 1 takes
+/// unit groups, not whole models, so per-group joint measures are scoped
+/// correctly — e.g. "layer0", "layer1", "all").
+struct UnitGroupSpec {
+  std::string group_id;
+  std::vector<int> unit_ids;
+};
+
+/// \brief One model to inspect and the unit groups to score within it.
+struct ModelSpec {
+  const Extractor* extractor = nullptr;  // not owned
+  std::vector<UnitGroupSpec> groups;
+};
+
+/// \brief All units of the extractor as a single group.
+ModelSpec AllUnitsGroup(const Extractor* extractor,
+                        const std::string& group_id = "all");
+
+/// \brief Engine configuration (defaults = full DeepBase, paper §6.2).
+struct InspectOptions {
+  size_t block_size = 512;
+  uint64_t shuffle_seed = 7;
+
+  /// Number of passes over the dataset. SGD-based joint measures on small
+  /// datasets need several passes (§6.3: DeepBase extracts activations once
+  /// and makes subsequent passes on the cached/materialized version, which
+  /// is what streaming=false + passes>1 reproduces).
+  size_t passes = 1;
+
+  /// Lazy/online behavior extraction (§5.2.3).
+  bool streaming = true;
+  /// Convergence-based early stopping (§5.2.2).
+  bool early_stopping = true;
+  /// Composite-model training for mergeable joint measures (§5.2.1).
+  bool model_merging = true;
+
+  /// Error thresholds per measure family (paper defaults: ε=0.025 at 95%
+  /// confidence for correlation, 0.01 for logistic regression).
+  double corr_epsilon = 0.025;
+  double logreg_epsilon = 0.01;
+  double default_epsilon = 0.01;
+
+  /// Optional shared hypothesis-behavior cache (one per dataset).
+  HypothesisCache* hypothesis_cache = nullptr;
+
+  /// Hard limits (the paper enforces a 30-minute benchmark timeout).
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  size_t max_blocks = std::numeric_limits<size_t>::max();
+};
+
+/// \brief Engine instrumentation for the runtime-breakdown experiments
+/// (Figure 8) and cache studies (Figure 9).
+struct RuntimeStats {
+  double unit_extraction_s = 0;
+  double hyp_extraction_s = 0;
+  double inspection_s = 0;
+  double total_s = 0;
+  size_t blocks_processed = 0;
+  size_t records_processed = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// True if every score converged before the data ran out.
+  bool all_converged = false;
+};
+
+/// \brief Run Deep Neural Inspection (paper Def. 2 / deepbase.inspect()):
+/// returns scores for every (unit group, hypothesis, measure) triple.
+ResultTable Inspect(const std::vector<ModelSpec>& models,
+                    const Dataset& dataset,
+                    const std::vector<MeasureFactoryPtr>& scores,
+                    const std::vector<HypothesisPtr>& hypotheses,
+                    const InspectOptions& options = {},
+                    RuntimeStats* stats = nullptr);
+
+}  // namespace deepbase

@@ -1,0 +1,20 @@
+#include "core/extractor.h"
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+Matrix Extractor::ExtractBlock(const Dataset& dataset,
+                               const std::vector<size_t>& record_idx,
+                               const std::vector<int>& unit_ids) const {
+  const size_t ns = dataset.ns();
+  Matrix out(record_idx.size() * ns, unit_ids.size());
+  for (size_t i = 0; i < record_idx.size(); ++i) {
+    Matrix rec_m = ExtractRecord(dataset.record(record_idx[i]), unit_ids);
+    DB_DCHECK(rec_m.rows() == ns);
+    for (size_t t = 0; t < ns; ++t) out.SetRow(i * ns + t, rec_m.Row(t));
+  }
+  return out;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,45 @@
+// Unit-behavior extractors (paper §5.1.2): any object that can produce the
+// behavior matrix of selected hidden units for input records. Extractors
+// for the library's own models live in core/extractors.h; users can plug in
+// custom extractors for other model families, or read pre-extracted
+// behaviors from memory (PrecomputedExtractor).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace deepbase {
+
+/// \brief Produces unit behaviors: one row per input symbol, one column per
+/// requested hidden unit (the paper's extract(model, records, hid_units) ->
+/// behaviors contract).
+class Extractor {
+ public:
+  explicit Extractor(std::string model_id) : model_id_(std::move(model_id)) {}
+  virtual ~Extractor() = default;
+
+  const std::string& model_id() const { return model_id_; }
+
+  /// \brief Total addressable hidden units of the model.
+  virtual size_t num_units() const = 0;
+
+  /// \brief Behaviors for one record: rec.size() × |unit_ids|.
+  virtual Matrix ExtractRecord(const Record& rec,
+                               const std::vector<int>& unit_ids) const = 0;
+
+  /// \brief Behaviors for a block of records, rows concatenated in the
+  /// order of `record_idx`: (|record_idx| * ns) × |unit_ids|. The default
+  /// loops over ExtractRecord; extractors with batch backends override it.
+  virtual Matrix ExtractBlock(const Dataset& dataset,
+                              const std::vector<size_t>& record_idx,
+                              const std::vector<int>& unit_ids) const;
+
+ private:
+  std::string model_id_;
+};
+
+}  // namespace deepbase

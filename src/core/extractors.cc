@@ -1,0 +1,103 @@
+#include "core/extractors.h"
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+namespace {
+
+// Stack per-record behavior matrices for a block, optionally in parallel.
+template <typename ExtractFn>
+Matrix BlockFromRecords(const Dataset& dataset,
+                        const std::vector<size_t>& record_idx,
+                        size_t num_cols, ThreadPool* pool,
+                        const ExtractFn& extract) {
+  const size_t ns = dataset.ns();
+  Matrix out(record_idx.size() * ns, num_cols);
+  auto fill = [&](size_t i) {
+    Matrix rec_m = extract(dataset.record(record_idx[i]));
+    DB_DCHECK(rec_m.rows() == ns && rec_m.cols() == num_cols);
+    for (size_t t = 0; t < ns; ++t) {
+      out.SetRow(i * ns + t, rec_m.Row(t));
+    }
+  };
+  if (pool) {
+    pool->ParallelFor(record_idx.size(), fill);
+  } else {
+    for (size_t i = 0; i < record_idx.size(); ++i) fill(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix LstmLmExtractor::ExtractRecord(
+    const Record& rec, const std::vector<int>& unit_ids) const {
+  std::vector<size_t> cols(unit_ids.begin(), unit_ids.end());
+  return model_->HiddenStates(rec.ids).GatherCols(cols);
+}
+
+Matrix LstmLmExtractor::ExtractBlock(const Dataset& dataset,
+                                     const std::vector<size_t>& record_idx,
+                                     const std::vector<int>& unit_ids) const {
+  return BlockFromRecords(dataset, record_idx, unit_ids.size(), pool_,
+                          [&](const Record& rec) {
+                            return ExtractRecord(rec, unit_ids);
+                          });
+}
+
+Matrix LstmLmGradientExtractor::ExtractRecord(
+    const Record& rec, const std::vector<int>& unit_ids) const {
+  std::vector<size_t> cols(unit_ids.begin(), unit_ids.end());
+  return model_->HiddenGradients(rec.ids).GatherCols(cols);
+}
+
+Matrix LstmLmGradientExtractor::ExtractBlock(
+    const Dataset& dataset, const std::vector<size_t>& record_idx,
+    const std::vector<int>& unit_ids) const {
+  return BlockFromRecords(dataset, record_idx, unit_ids.size(), pool_,
+                          [&](const Record& rec) {
+                            return ExtractRecord(rec, unit_ids);
+                          });
+}
+
+Matrix Seq2SeqEncoderExtractor::ExtractRecord(
+    const Record& rec, const std::vector<int>& unit_ids) const {
+  std::vector<size_t> cols(unit_ids.begin(), unit_ids.end());
+  return model_->EncoderStates(rec.ids).GatherCols(cols);
+}
+
+Matrix Seq2SeqEncoderExtractor::ExtractBlock(
+    const Dataset& dataset, const std::vector<size_t>& record_idx,
+    const std::vector<int>& unit_ids) const {
+  return BlockFromRecords(dataset, record_idx, unit_ids.size(), pool_,
+                          [&](const Record& rec) {
+                            return ExtractRecord(rec, unit_ids);
+                          });
+}
+
+Matrix PrecomputedExtractor::ExtractRecord(
+    const Record& rec, const std::vector<int>& unit_ids) const {
+  (void)rec;
+  (void)unit_ids;
+  DB_DCHECK(false && "PrecomputedExtractor requires index-based access");
+  return Matrix();
+}
+
+Matrix PrecomputedExtractor::ExtractBlock(
+    const Dataset& dataset, const std::vector<size_t>& record_idx,
+    const std::vector<int>& unit_ids) const {
+  (void)dataset;
+  std::vector<size_t> cols(unit_ids.begin(), unit_ids.end());
+  Matrix out(record_idx.size() * ns_, unit_ids.size());
+  for (size_t i = 0; i < record_idx.size(); ++i) {
+    for (size_t t = 0; t < ns_; ++t) {
+      const float* src = behaviors_.row_data(record_idx[i] * ns_ + t);
+      float* dst = out.row_data(i * ns_ + t);
+      for (size_t j = 0; j < cols.size(); ++j) dst[j] = src[cols[j]];
+    }
+  }
+  return out;
+}
+
+}  // namespace deepbase

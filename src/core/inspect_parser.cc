@@ -1,0 +1,210 @@
+#include "core/inspect_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/inspect_query.h"
+#include "measures/mlp_probe.h"
+#include "measures/multivariate_mi.h"
+#include "measures/scores.h"
+
+namespace deepbase {
+
+const Extractor* Catalog::FindModel(const std::string& name) const {
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+const std::vector<HypothesisPtr>* Catalog::FindHypotheses(
+    const std::string& name) const {
+  auto it = hypotheses_.find(name);
+  return it == hypotheses_.end() ? nullptr : &it->second;
+}
+
+const Dataset* Catalog::FindDataset(const std::string& name) const {
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+// Whitespace/punctuation tokenizer: identifiers, numbers, and the symbols
+// ( ) , > are separate tokens.
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char ch : text) {
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      flush();
+    } else if (ch == '(' || ch == ')' || ch == ',' || ch == '>') {
+      flush();
+      tokens.push_back(std::string(1, ch));
+    } else {
+      cur += ch;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Result<MeasureFactoryPtr> MeasureByName(const std::string& raw) {
+  const std::string name = Lower(raw);
+  if (name == "pearson" || name == "corr" || name == "correlation") {
+    return MeasureFactoryPtr(std::make_shared<CorrelationScore>("pearson"));
+  }
+  if (name == "spearman") {
+    return MeasureFactoryPtr(std::make_shared<CorrelationScore>("spearman"));
+  }
+  if (name == "mutual_info") {
+    return MeasureFactoryPtr(std::make_shared<MutualInfoScore>());
+  }
+  if (name == "multivariate_mi") {
+    return MeasureFactoryPtr(std::make_shared<MultivariateMiScore>());
+  }
+  if (name == "diff_means") {
+    return MeasureFactoryPtr(std::make_shared<DiffMeansScore>());
+  }
+  if (name == "jaccard") {
+    return MeasureFactoryPtr(std::make_shared<JaccardScore>());
+  }
+  if (name == "logreg_l1") {
+    return MeasureFactoryPtr(std::make_shared<LogRegressionScore>("L1"));
+  }
+  if (name == "logreg_l2") {
+    return MeasureFactoryPtr(std::make_shared<LogRegressionScore>("L2"));
+  }
+  if (name == "mlp_probe") {
+    return MeasureFactoryPtr(std::make_shared<MlpProbeScore>());
+  }
+  if (name == "multiclass") {
+    return MeasureFactoryPtr(std::make_shared<MulticlassLogRegScore>());
+  }
+  if (name == "random_baseline") {
+    return MeasureFactoryPtr(std::make_shared<RandomBaselineScore>());
+  }
+  if (name == "majority_baseline") {
+    return MeasureFactoryPtr(std::make_shared<MajorityBaselineScore>());
+  }
+  return Status::Invalid("unknown measure: " + raw);
+}
+
+namespace {
+
+// Sequential token cursor with keyword matching.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool Done() const { return pos_ >= tokens_.size(); }
+  const std::string& Peek() const {
+    static const std::string kEmpty;
+    return Done() ? kEmpty : tokens_[pos_];
+  }
+  std::string Next() { return Done() ? "" : tokens_[pos_++]; }
+  bool TryKeyword(const std::string& kw) {
+    if (!Done() && Lower(tokens_[pos_]) == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (TryKeyword(kw)) return Status::OK();
+    return Status::Invalid("expected '" + kw + "' near '" + Peek() + "'");
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ResultTable> ExecuteInspect(const std::string& statement,
+                                   const Catalog& catalog,
+                                   const InspectOptions& options,
+                                   RuntimeStats* stats) {
+  Cursor cur(Tokenize(statement));
+  DB_RETURN_NOT_OK(cur.ExpectKeyword("inspect"));
+  DB_RETURN_NOT_OK(cur.ExpectKeyword("units"));
+  DB_RETURN_NOT_OK(cur.ExpectKeyword("of"));
+  const std::string model_name = cur.Next();
+  const Extractor* extractor = catalog.FindModel(model_name);
+  if (extractor == nullptr) {
+    return Status::NotFound("model not registered: " + model_name);
+  }
+  DB_RETURN_NOT_OK(cur.ExpectKeyword("and"));
+  const std::string hyp_name = cur.Next();
+  const std::vector<HypothesisPtr>* hyps = catalog.FindHypotheses(hyp_name);
+  if (hyps == nullptr) {
+    return Status::NotFound("hypothesis set not registered: " + hyp_name);
+  }
+
+  InspectQuery query;
+  query.Model(extractor).Hypotheses(*hyps).WithOptions(options);
+
+  if (cur.TryKeyword("using")) {
+    do {
+      DB_ASSIGN_OR_RETURN(MeasureFactoryPtr measure,
+                          MeasureByName(cur.Next()));
+      query.Using(std::move(measure));
+    } while (cur.TryKeyword(","));
+  }
+
+  DB_RETURN_NOT_OK(cur.ExpectKeyword("over"));
+  const std::string ds_name = cur.Next();
+  const Dataset* dataset = catalog.FindDataset(ds_name);
+  if (dataset == nullptr) {
+    return Status::NotFound("dataset not registered: " + ds_name);
+  }
+  query.Over(dataset);
+
+  if (cur.TryKeyword("group")) {
+    DB_RETURN_NOT_OK(cur.ExpectKeyword("by"));
+    DB_RETURN_NOT_OK(cur.ExpectKeyword("layer"));
+    DB_RETURN_NOT_OK(cur.ExpectKeyword("("));
+    const std::string n_str = cur.Next();
+    char* end = nullptr;
+    const long layer_size = std::strtol(n_str.c_str(), &end, 10);
+    if (end == n_str.c_str() || layer_size <= 0) {
+      return Status::Invalid("bad LAYER size: " + n_str);
+    }
+    DB_RETURN_NOT_OK(cur.ExpectKeyword(")"));
+    query.GroupByLayer(static_cast<size_t>(layer_size));
+  }
+
+  if (cur.TryKeyword("having")) {
+    DB_RETURN_NOT_OK(cur.ExpectKeyword("unit_score"));
+    DB_RETURN_NOT_OK(cur.ExpectKeyword(">"));
+    const std::string x_str = cur.Next();
+    char* end = nullptr;
+    const double threshold = std::strtod(x_str.c_str(), &end);
+    if (end == x_str.c_str()) {
+      return Status::Invalid("bad HAVING threshold: " + x_str);
+    }
+    query.HavingUnitScoreAbove(static_cast<float>(threshold));
+  }
+
+  if (!cur.Done()) {
+    return Status::Invalid("unexpected trailing token: '" + cur.Peek() + "'");
+  }
+  return query.Execute(stats);
+}
+
+}  // namespace deepbase

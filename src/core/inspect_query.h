@@ -1,0 +1,65 @@
+// Declarative query builder mirroring the paper's INSPECT clause
+// (Appendix B):
+//
+//   SELECT ... INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+//   ... GROUP BY ... HAVING S.unit_score > 0.8
+//
+// becomes
+//
+//   InspectQuery()
+//       .Model(&extractor)
+//       .GroupByLayer(hidden_dim)          // or .Group("layer0", units)
+//       .Hypotheses(hyps)
+//       .Using(std::make_shared<CorrelationScore>("pearson"))
+//       .Over(&dataset)
+//       .HavingUnitScoreAbove(0.8f)
+//       .Execute();
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace deepbase {
+
+/// \brief Fluent builder over Inspect(). Inputs are validated at Execute().
+class InspectQuery {
+ public:
+  /// \brief Add a model; subsequent Group() calls attach to it. If no
+  /// group is added, all units form one group.
+  InspectQuery& Model(const Extractor* extractor);
+
+  /// \brief Add a named unit group to the most recent model.
+  InspectQuery& Group(const std::string& group_id, std::vector<int> units);
+
+  /// \brief Partition the most recent model's units into per-layer groups
+  /// of `layer_size` consecutive units ("layer0", "layer1", ...).
+  InspectQuery& GroupByLayer(size_t layer_size);
+
+  InspectQuery& Hypotheses(std::vector<HypothesisPtr> hyps);
+  InspectQuery& Hypothesis(HypothesisPtr hyp);
+  InspectQuery& Using(MeasureFactoryPtr score);
+  InspectQuery& Over(const Dataset* dataset);
+  InspectQuery& WithOptions(InspectOptions options);
+
+  /// \brief HAVING clause on |unit_score| (applied after inspection).
+  InspectQuery& HavingUnitScoreAbove(float threshold);
+
+  /// \brief Validate and run. Defaults to Pearson correlation if no
+  /// measure was given (the paper's INSPECT default).
+  Result<ResultTable> Execute(RuntimeStats* stats = nullptr) const;
+
+ private:
+  std::vector<ModelSpec> models_;
+  std::vector<HypothesisPtr> hypotheses_;
+  std::vector<MeasureFactoryPtr> scores_;
+  const Dataset* dataset_ = nullptr;
+  InspectOptions options_;
+  float having_threshold_ = -1.0f;
+  bool has_having_ = false;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,150 @@
+#include "core/occlusion.h"
+
+#include <algorithm>
+
+namespace deepbase {
+
+namespace {
+
+// Mean of all entries of a matrix.
+float MatrixMean(const Matrix& m) {
+  if (m.rows() == 0 || m.cols() == 0) return 0.0f;
+  double acc = 0;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row_data(r);
+    for (size_t c = 0; c < m.cols(); ++c) acc += row[c];
+  }
+  return static_cast<float>(acc / (m.rows() * m.cols()));
+}
+
+}  // namespace
+
+std::vector<Matrix> OcclusionSensitivity(const TextureCnn& cnn,
+                                         const Matrix& image,
+                                         const OcclusionOptions& opts) {
+  const size_t h = image.rows(), w = image.cols();
+  const size_t num_units = cnn.num_units();
+
+  // Baseline mean activation per unit.
+  std::vector<Matrix> base_maps = cnn.UnitActivations(image);
+  std::vector<float> base_mean(num_units);
+  for (size_t u = 0; u < num_units; ++u) {
+    base_mean[u] = MatrixMean(base_maps[u]);
+  }
+
+  std::vector<Matrix> sensitivity(num_units, Matrix(h, w));
+  Matrix coverage(h, w);
+
+  const size_t stride = std::max<size_t>(opts.stride, 1);
+  for (size_t y0 = 0; y0 < h; y0 += stride) {
+    for (size_t x0 = 0; x0 < w; x0 += stride) {
+      const size_t y1 = std::min(y0 + opts.patch, h);
+      const size_t x1 = std::min(x0 + opts.patch, w);
+      // Occlude.
+      Matrix occluded = image;
+      for (size_t y = y0; y < y1; ++y) {
+        for (size_t x = x0; x < x1; ++x) occluded(y, x) = opts.fill;
+      }
+      std::vector<Matrix> maps = cnn.UnitActivations(occluded);
+      for (size_t u = 0; u < num_units; ++u) {
+        const float drop = base_mean[u] - MatrixMean(maps[u]);
+        for (size_t y = y0; y < y1; ++y) {
+          for (size_t x = x0; x < x1; ++x) sensitivity[u](y, x) += drop;
+        }
+      }
+      for (size_t y = y0; y < y1; ++y) {
+        for (size_t x = x0; x < x1; ++x) coverage(y, x) += 1.0f;
+      }
+    }
+  }
+
+  // Normalize by how many placements covered each pixel.
+  for (size_t u = 0; u < num_units; ++u) {
+    for (size_t y = 0; y < h; ++y) {
+      for (size_t x = 0; x < w; ++x) {
+        if (coverage(y, x) > 0) sensitivity[u](y, x) /= coverage(y, x);
+      }
+    }
+  }
+  return sensitivity;
+}
+
+Result<std::vector<OcclusionScore>> ScoreOcclusion(
+    const TextureCnn& cnn, const std::vector<AnnotatedImage>& images,
+    int num_concepts, const OcclusionOptions& opts) {
+  if (images.empty()) return Status::Invalid("no images to score");
+  if (num_concepts <= 0) return Status::Invalid("num_concepts must be > 0");
+  const size_t num_units = cnn.num_units();
+
+  // Accumulated (sum, count) of sensitivity inside/outside each concept.
+  std::vector<double> in_sum(num_units * num_concepts, 0.0);
+  std::vector<double> in_cnt(num_units * num_concepts, 0.0);
+  std::vector<double> out_sum(num_units * num_concepts, 0.0);
+  std::vector<double> out_cnt(num_units * num_concepts, 0.0);
+
+  for (const AnnotatedImage& image : images) {
+    const size_t h = image.pixels.rows(), w = image.pixels.cols();
+    if (image.labels.size() != h * w) {
+      return Status::Invalid("annotation mask does not match image size");
+    }
+    std::vector<Matrix> sens = OcclusionSensitivity(cnn, image.pixels, opts);
+    // Which concepts occur here?
+    std::vector<bool> present(static_cast<size_t>(num_concepts) + 1, false);
+    for (int label : image.labels) {
+      if (label > 0 && label <= num_concepts) {
+        present[static_cast<size_t>(label)] = true;
+      }
+    }
+    for (int c = 1; c <= num_concepts; ++c) {
+      if (!present[static_cast<size_t>(c)]) continue;
+      for (size_t u = 0; u < num_units; ++u) {
+        const size_t slot = u * num_concepts + static_cast<size_t>(c - 1);
+        for (size_t y = 0; y < h; ++y) {
+          for (size_t x = 0; x < w; ++x) {
+            const float s = sens[u](y, x);
+            if (image.labels[y * w + x] == c) {
+              in_sum[slot] += s;
+              in_cnt[slot] += 1;
+            } else {
+              out_sum[slot] += s;
+              out_cnt[slot] += 1;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<OcclusionScore> scores;
+  scores.reserve(num_units * static_cast<size_t>(num_concepts));
+  for (size_t u = 0; u < num_units; ++u) {
+    for (int c = 1; c <= num_concepts; ++c) {
+      const size_t slot = u * num_concepts + static_cast<size_t>(c - 1);
+      OcclusionScore score;
+      score.unit = u;
+      score.concept_id = c;
+      if (in_cnt[slot] > 0 && out_cnt[slot] > 0) {
+        score.score = static_cast<float>(in_sum[slot] / in_cnt[slot] -
+                                         out_sum[slot] / out_cnt[slot]);
+      }
+      scores.push_back(score);
+    }
+  }
+  return scores;
+}
+
+std::vector<int> AssignConcepts(const std::vector<OcclusionScore>& scores,
+                                size_t num_units, int num_concepts) {
+  std::vector<int> best(num_units, -1);
+  std::vector<float> best_score(num_units, 0.0f);
+  (void)num_concepts;
+  for (const OcclusionScore& s : scores) {
+    if (s.unit < num_units && s.score > best_score[s.unit]) {
+      best_score[s.unit] = s.score;
+      best[s.unit] = s.concept_id;
+    }
+  }
+  return best;
+}
+
+}  // namespace deepbase

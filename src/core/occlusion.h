@@ -1,0 +1,58 @@
+// Occlusion analysis (paper §7: "machine learning engineers selectively
+// replace patches of an image by a black area and observe which hidden
+// units are affected" [65]). A patch slides over the image; each unit's
+// sensitivity at a pixel is the mean activation drop caused by the patches
+// covering that pixel. Scoring sensitivity maps against per-pixel concept
+// annotations identifies which units depend on which concepts — the
+// occlusion counterpart of the §4.4 perturbation verification.
+
+#pragma once
+
+#include <vector>
+
+#include "data/images.h"
+#include "nn/conv.h"
+#include "util/status.h"
+
+namespace deepbase {
+
+struct OcclusionOptions {
+  /// Side length of the square occluder.
+  size_t patch = 4;
+  /// Slide stride; must divide the work into overlapping or abutting
+  /// placements (stride <= patch keeps full coverage).
+  size_t stride = 2;
+  /// Occluder pixel value (0 = the literature's black patch).
+  float fill = 0.0f;
+};
+
+/// \brief Per-unit occlusion sensitivity maps for one image, each H×W and
+/// aligned with the input: map[u](y, x) = mean over patch placements
+/// covering (y, x) of the drop in unit u's mean activation.
+std::vector<Matrix> OcclusionSensitivity(const TextureCnn& cnn,
+                                         const Matrix& image,
+                                         const OcclusionOptions& opts = {});
+
+/// \brief Affinity of one unit's sensitivity to one concept: mean
+/// sensitivity inside the concept's annotated pixels minus the mean
+/// outside (difference of means over the sensitivity map).
+struct OcclusionScore {
+  size_t unit = 0;
+  int concept_id = 0;
+  float score = 0;
+};
+
+/// \brief Score every (unit, concept) pair over a corpus of annotated
+/// images. Images without a given concept contribute nothing to that
+/// concept's score. Returns scores sorted by (unit, concept_id).
+Result<std::vector<OcclusionScore>> ScoreOcclusion(
+    const TextureCnn& cnn, const std::vector<AnnotatedImage>& images,
+    int num_concepts, const OcclusionOptions& opts = {});
+
+/// \brief The concept each unit is most sensitive to (score argmax), or -1
+/// for units with no positive score — the "unit u is a chair detector"
+/// readout.
+std::vector<int> AssignConcepts(const std::vector<OcclusionScore>& scores,
+                                size_t num_units, int num_concepts);
+
+}  // namespace deepbase

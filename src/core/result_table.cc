@@ -1,0 +1,145 @@
+#include "core/result_table.h"
+
+#include <algorithm>
+#include <map>
+
+namespace deepbase {
+
+void ResultTable::Append(const ResultTable& other) {
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+}
+
+ResultTable ResultTable::Filter(
+    const std::function<bool(const ResultRow&)>& pred) const {
+  ResultTable out;
+  for (const auto& row : rows_) {
+    if (pred(row)) out.Add(row);
+  }
+  return out;
+}
+
+ResultTable ResultTable::TopUnits(size_t k, bool by_absolute) const {
+  std::vector<ResultRow> unit_rows;
+  for (const auto& row : rows_) {
+    if (row.unit >= 0 && !std::isnan(row.unit_score)) unit_rows.push_back(row);
+  }
+  auto key = [by_absolute](const ResultRow& r) {
+    return by_absolute ? std::fabs(r.unit_score) : r.unit_score;
+  };
+  std::sort(unit_rows.begin(), unit_rows.end(),
+            [&](const ResultRow& a, const ResultRow& b) {
+              return key(a) > key(b);
+            });
+  if (unit_rows.size() > k) unit_rows.resize(k);
+  ResultTable out;
+  for (auto& row : unit_rows) out.Add(std::move(row));
+  return out;
+}
+
+std::vector<int> ResultTable::UnitsAbove(const std::string& measure,
+                                         const std::string& hypothesis,
+                                         float threshold) const {
+  std::vector<int> out;
+  for (const auto& row : rows_) {
+    if (row.measure == measure && row.hypothesis == hypothesis &&
+        row.unit >= 0 && !std::isnan(row.unit_score) &&
+        std::fabs(row.unit_score) > threshold) {
+      out.push_back(row.unit);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+float ResultTable::GroupScore(const std::string& measure,
+                              const std::string& hypothesis,
+                              const std::string& group_id) const {
+  for (const auto& row : rows_) {
+    if (row.measure == measure && row.hypothesis == hypothesis &&
+        (group_id.empty() || row.group_id == group_id) &&
+        !std::isnan(row.group_score)) {
+      return row.group_score;
+    }
+  }
+  return std::numeric_limits<float>::quiet_NaN();
+}
+
+float ResultTable::UnitScore(const std::string& measure,
+                             const std::string& hypothesis, int unit) const {
+  for (const auto& row : rows_) {
+    if (row.measure == measure && row.hypothesis == hypothesis &&
+        row.unit == unit) {
+      return row.unit_score;
+    }
+  }
+  return std::numeric_limits<float>::quiet_NaN();
+}
+
+std::vector<std::pair<std::string, size_t>> ResultTable::CountHighScorers(
+    const std::string& measure, float threshold) const {
+  std::map<std::string, size_t> counts;
+  for (const auto& row : rows_) {
+    if (row.measure == measure && row.unit >= 0 &&
+        !std::isnan(row.unit_score) &&
+        std::fabs(row.unit_score) > threshold) {
+      ++counts[row.hypothesis];
+    }
+  }
+  return {counts.begin(), counts.end()};
+}
+
+TextTable ResultTable::ToTextTable(size_t max_rows) const {
+  TextTable table({"model", "group", "measure", "hypothesis", "unit",
+                   "unit_score", "group_score"});
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    const auto& r = rows_[i];
+    table.AddRow({r.model_id, r.group_id, r.measure, r.hypothesis,
+                  r.unit < 0 ? "-" : std::to_string(r.unit),
+                  std::isnan(r.unit_score) ? "-" : TextTable::Num(r.unit_score),
+                  std::isnan(r.group_score) ? "-"
+                                            : TextTable::Num(r.group_score)});
+  }
+  return table;
+}
+
+namespace {
+
+void AppendCsvField(const std::string& field, std::string* out) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string ResultTable::ToCsv() const {
+  std::string out =
+      "model,group,measure,hypothesis,unit,unit_score,group_score\n";
+  for (const auto& r : rows_) {
+    AppendCsvField(r.model_id, &out);
+    out += ',';
+    AppendCsvField(r.group_id, &out);
+    out += ',';
+    AppendCsvField(r.measure, &out);
+    out += ',';
+    AppendCsvField(r.hypothesis, &out);
+    out += ',';
+    if (r.unit >= 0) out += std::to_string(r.unit);
+    out += ',';
+    if (!std::isnan(r.unit_score)) out += std::to_string(r.unit_score);
+    out += ',';
+    if (!std::isnan(r.group_score)) out += std::to_string(r.group_score);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace deepbase

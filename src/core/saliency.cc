@@ -1,0 +1,65 @@
+#include "core/saliency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace deepbase {
+
+namespace {
+
+// Shared top-k maintenance over per-symbol scores.
+SaliencyResult CollectTopK(const Extractor& extractor, const Dataset& dataset,
+                           const std::vector<int>& units, size_t k,
+                           const std::function<float(const float*, size_t)>&
+                               site_score) {
+  std::vector<SaliencyItem> items;
+  for (size_t i = 0; i < dataset.num_records(); ++i) {
+    const Record& rec = dataset.record(i);
+    Matrix behaviors = extractor.ExtractRecord(rec, units);
+    for (size_t t = 0; t < rec.size(); ++t) {
+      SaliencyItem item;
+      item.record_idx = i;
+      item.position = t;
+      item.token = rec.tokens[t];
+      item.behavior = site_score(behaviors.row_data(t), units.size());
+      items.push_back(std::move(item));
+    }
+  }
+  const size_t keep = std::min(k, items.size());
+  std::partial_sort(items.begin(), items.begin() + keep, items.end(),
+                    [](const SaliencyItem& a, const SaliencyItem& b) {
+                      return a.behavior > b.behavior;
+                    });
+  items.resize(keep);
+  SaliencyResult result;
+  for (const auto& item : items) ++result.token_counts[item.token];
+  result.top = std::move(items);
+  return result;
+}
+
+}  // namespace
+
+SaliencyResult TopKSaliency(const Extractor& extractor,
+                            const Dataset& dataset, int unit, size_t k,
+                            bool by_absolute) {
+  return CollectTopK(extractor, dataset, {unit}, k,
+                     [by_absolute](const float* row, size_t) {
+                       return by_absolute ? std::fabs(row[0]) : row[0];
+                     });
+}
+
+SaliencyResult TopKGroupSaliency(const Extractor& extractor,
+                                 const Dataset& dataset,
+                                 const std::vector<int>& units, size_t k) {
+  return CollectTopK(extractor, dataset, units, k,
+                     [](const float* row, size_t n) {
+                       float acc = 0;
+                       for (size_t u = 0; u < n; ++u) {
+                         acc += std::fabs(row[u]);
+                       }
+                       return acc / static_cast<float>(n);
+                     });
+}
+
+}  // namespace deepbase

@@ -1,0 +1,45 @@
+// Saliency analysis (paper §2.2): find the input symbols that most affect
+// a unit or group of units — "the procedure collects a unit's behaviors,
+// finds the top-k highest value behaviors, and reports the corresponding
+// input symbols."
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+
+namespace deepbase {
+
+/// \brief One top-scoring (record, position) site.
+struct SaliencyItem {
+  size_t record_idx = 0;
+  size_t position = 0;
+  std::string token;
+  float behavior = 0;
+};
+
+/// \brief Result of a saliency query.
+struct SaliencyResult {
+  /// Top-k sites by behavior value (descending).
+  std::vector<SaliencyItem> top;
+  /// How often each token appears among the top sites — the "whitespaces
+  /// and periods trigger the five highest activations for u86" readout.
+  std::map<std::string, size_t> token_counts;
+};
+
+/// \brief Saliency over one unit: top-k sites by (signed or absolute)
+/// behavior value across the whole dataset.
+SaliencyResult TopKSaliency(const Extractor& extractor,
+                            const Dataset& dataset, int unit, size_t k,
+                            bool by_absolute = false);
+
+/// \brief Saliency over a unit group: sites ranked by the mean absolute
+/// behavior across the group's units.
+SaliencyResult TopKGroupSaliency(const Extractor& extractor,
+                                 const Dataset& dataset,
+                                 const std::vector<int>& units, size_t k);
+
+}  // namespace deepbase

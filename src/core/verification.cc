@@ -1,0 +1,123 @@
+#include "core/verification.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace deepbase {
+
+namespace {
+double RowDistance(const Matrix& m1, size_t r1, const Matrix& m2, size_t r2) {
+  const float* a = m1.row_data(r1);
+  const float* b = m2.row_data(r2);
+  double acc = 0;
+  for (size_t c = 0; c < m1.cols(); ++c) {
+    const double d = static_cast<double>(a[c]) - b[c];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+}  // namespace
+
+double SilhouetteScore(const Matrix& a, const Matrix& b) {
+  const size_t na = a.rows(), nb = b.rows();
+  if (na < 2 || nb < 2) return 0.0;
+  double total = 0;
+  auto point_score = [&](const Matrix& own, size_t i, const Matrix& other) {
+    double within = 0;
+    for (size_t j = 0; j < own.rows(); ++j) {
+      if (j != i) within += RowDistance(own, i, own, j);
+    }
+    within /= static_cast<double>(own.rows() - 1);
+    double between = 0;
+    for (size_t j = 0; j < other.rows(); ++j) {
+      between += RowDistance(own, i, other, j);
+    }
+    between /= static_cast<double>(other.rows());
+    const double mx = std::max(within, between);
+    return mx > 0 ? (between - within) / mx : 0.0;
+  };
+  for (size_t i = 0; i < na; ++i) total += point_score(a, i, b);
+  for (size_t i = 0; i < nb; ++i) total += point_score(b, i, a);
+  return total / static_cast<double>(na + nb);
+}
+
+VerificationResult VerifyUnits(const Extractor& extractor,
+                               const Dataset& dataset,
+                               const std::vector<int>& units,
+                               const PerturbationSpec& spec,
+                               size_t max_samples, uint64_t seed) {
+  Rng rng(seed);
+  VerificationResult result;
+  std::vector<std::vector<float>> base_rows, treat_rows;
+
+  std::vector<size_t> order(dataset.num_records());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  for (size_t idx : order) {
+    if (base_rows.size() >= max_samples && treat_rows.size() >= max_samples) {
+      break;
+    }
+    const Record& rec = dataset.record(idx);
+    // Collect eligible positions and pick one at random per record.
+    std::vector<size_t> positions;
+    for (size_t k = 0; k < rec.size(); ++k) {
+      if (spec.eligible(rec, k)) positions.push_back(k);
+    }
+    if (positions.empty()) continue;
+    const size_t k = positions[rng.UniformInt(positions.size())];
+
+    const Matrix orig = extractor.ExtractRecord(rec, units);
+    auto perturb_delta =
+        [&](const std::string& token) -> std::optional<std::vector<float>> {
+      const int id = dataset.vocab().Lookup(token);
+      if (id < 0) return std::nullopt;
+      Record mod = rec;
+      mod.tokens[k] = token;
+      mod.ids[k] = id;
+      const Matrix after = extractor.ExtractRecord(mod, units);
+      std::vector<float> delta(units.size());
+      for (size_t u = 0; u < units.size(); ++u) {
+        delta[u] = after(k, u) - orig(k, u);
+      }
+      return delta;
+    };
+
+    if (base_rows.size() < max_samples) {
+      if (auto token = spec.baseline(rec, k)) {
+        if (auto delta = perturb_delta(*token)) {
+          base_rows.push_back(std::move(*delta));
+        }
+      }
+    }
+    if (treat_rows.size() < max_samples) {
+      if (auto token = spec.treatment(rec, k)) {
+        if (auto delta = perturb_delta(*token)) {
+          treat_rows.push_back(std::move(*delta));
+        }
+      }
+    }
+  }
+
+  result.n_baseline = base_rows.size();
+  result.n_treatment = treat_rows.size();
+  result.baseline_deltas = Matrix(base_rows.size(), units.size());
+  for (size_t i = 0; i < base_rows.size(); ++i) {
+    for (size_t u = 0; u < units.size(); ++u) {
+      result.baseline_deltas(i, u) = base_rows[i][u];
+    }
+  }
+  result.treatment_deltas = Matrix(treat_rows.size(), units.size());
+  for (size_t i = 0; i < treat_rows.size(); ++i) {
+    for (size_t u = 0; u < units.size(); ++u) {
+      result.treatment_deltas(i, u) = treat_rows[i][u];
+    }
+  }
+  result.silhouette =
+      SilhouetteScore(result.baseline_deltas, result.treatment_deltas);
+  return result;
+}
+
+}  // namespace deepbase

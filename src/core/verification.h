@@ -1,0 +1,57 @@
+// Perturbation-based verification (paper §4.4): to check that high-scoring
+// units really track a hypothesis, swap a symbol with a hypothesis-
+// consistent replacement (baseline) and a hypothesis-inconsistent one
+// (treatment), and test whether the units' activation deltas separate the
+// two conditions. Separation is scored with the Silhouette coefficient
+// (Rousseeuw 1987), as in the paper's Appendix C.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "tensor/matrix.h"
+
+namespace deepbase {
+
+/// \brief User-supplied perturbation logic for one hypothesis.
+struct PerturbationSpec {
+  /// Positions eligible for perturbation (typically where h(d) is active).
+  std::function<bool(const Record&, size_t)> eligible;
+  /// Replacement token that keeps the hypothesis behavior at the position
+  /// unchanged (e.g. '(' -> ')'); nullopt if no such swap exists here.
+  std::function<std::optional<std::string>(const Record&, size_t)> baseline;
+  /// Replacement token that changes the hypothesis behavior (e.g. '(' ->
+  /// '7'); nullopt if no such swap exists here.
+  std::function<std::optional<std::string>(const Record&, size_t)> treatment;
+};
+
+/// \brief Outcome of a verification run.
+struct VerificationResult {
+  /// Mean Silhouette coefficient over the two perturbation clusters;
+  /// near 0 = indistinguishable, towards 1 = clearly separated.
+  double silhouette = 0;
+  size_t n_baseline = 0;
+  size_t n_treatment = 0;
+  /// Δactivation vectors (one row per perturbed input, |units| columns).
+  Matrix baseline_deltas;
+  Matrix treatment_deltas;
+};
+
+/// \brief Mean Silhouette coefficient of a 2-cluster labeling (Euclidean).
+/// Rows of `a` form cluster 0, rows of `b` cluster 1.
+double SilhouetteScore(const Matrix& a, const Matrix& b);
+
+/// \brief Run the §4.4 randomized-perturbation procedure on `units` of the
+/// model behind `extractor`, sampling up to `max_samples` perturbations of
+/// each kind from `dataset`. Deterministic in `seed`.
+VerificationResult VerifyUnits(const Extractor& extractor,
+                               const Dataset& dataset,
+                               const std::vector<int>& units,
+                               const PerturbationSpec& spec,
+                               size_t max_samples, uint64_t seed);
+
+}  // namespace deepbase

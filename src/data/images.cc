@@ -1,0 +1,50 @@
+#include "data/images.h"
+
+#include <algorithm>
+
+namespace deepbase {
+
+std::vector<AnnotatedImage> GenerateAnnotatedImages(size_t n, size_t h,
+                                                    size_t w,
+                                                    int num_concepts,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AnnotatedImage> images;
+  images.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    AnnotatedImage img;
+    img.pixels = Matrix(h, w);
+    img.labels.assign(h * w, 0);
+    // Low-amplitude background noise.
+    for (size_t r = 0; r < h; ++r) {
+      for (size_t c = 0; c < w; ++c) {
+        img.pixels(r, c) = static_cast<float>(rng.Uniform(0.0, 0.15));
+      }
+    }
+    // Place 1-3 concept_id rectangles.
+    size_t num_shapes = 1 + rng.UniformInt(3);
+    for (size_t s = 0; s < num_shapes; ++s) {
+      int concept_id = 1 + static_cast<int>(rng.UniformInt(num_concepts));
+      size_t rh = 3 + rng.UniformInt(std::max<size_t>(1, h / 2));
+      size_t rw = 3 + rng.UniformInt(std::max<size_t>(1, w / 2));
+      size_t r0 = rng.UniformInt(std::max<size_t>(1, h - rh));
+      size_t c0 = rng.UniformInt(std::max<size_t>(1, w - rw));
+      const int period = concept_id + 1;
+      const float base = 0.4f + 0.5f * static_cast<float>(concept_id) /
+                                    static_cast<float>(num_concepts);
+      for (size_t r = r0; r < std::min(h, r0 + rh); ++r) {
+        for (size_t c = c0; c < std::min(w, c0 + rw); ++c) {
+          bool stripe = (concept_id % 2 == 1)
+                            ? (static_cast<int>(r) % period) < period / 2
+                            : (static_cast<int>(c) % period) < period / 2;
+          img.pixels(r, c) = stripe ? base : base * 0.3f;
+          img.labels[r * w + c] = concept_id;
+        }
+      }
+    }
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+}  // namespace deepbase

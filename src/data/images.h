@@ -1,0 +1,34 @@
+// Synthetic annotated images: the Broden-dataset substitute for the
+// NetDissect comparison (paper Appendix E). Each image contains textured
+// shapes with per-pixel concept labels, so IoU-based inspection has
+// planted ground truth.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace deepbase {
+
+/// \brief A grayscale image plus a per-pixel concept mask.
+struct AnnotatedImage {
+  /// H×W pixel intensities in [0, 1].
+  Matrix pixels;
+  /// H*W row-major concept labels; 0 is background, 1..num_concepts are
+  /// planted concepts (each with a distinctive texture).
+  std::vector<int> labels;
+};
+
+/// \brief Generate `n` images of size h×w containing randomly placed
+/// rectangles, one per concept occurrence. Concept c is rendered with a
+/// distinctive texture: horizontal stripes of period c+1 for odd concepts,
+/// vertical stripes for even ones, with concept-specific intensity.
+std::vector<AnnotatedImage> GenerateAnnotatedImages(size_t n, size_t h,
+                                                    size_t w,
+                                                    int num_concepts,
+                                                    uint64_t seed);
+
+}  // namespace deepbase

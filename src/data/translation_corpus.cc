@@ -1,0 +1,251 @@
+#include "data/translation_corpus.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+namespace {
+
+struct TaggedWord {
+  std::string word;
+  std::string tag;
+};
+
+// Closed lexicon, keyed by Penn Treebank tag. Kept small so a small seq2seq
+// model can learn the mapping, but large enough that tags are not trivially
+// identified by a single word.
+const std::map<std::string, std::vector<std::string>>& Lexicon() {
+  static const std::map<std::string, std::vector<std::string>> kLex = {
+      {"DT", {"the", "a", "this", "that", "every"}},
+      // "watch" and "run" are deliberately tag-ambiguous (NN here, verb
+      // below): gold tags for them are context-dependent, which is what
+      // separates a trained encoder from an untrained one in the probes.
+      {"NN", {"dog", "cat", "house", "tree", "car", "book", "river", "child",
+              "road", "garden", "watch", "run"}},
+      {"NNS", {"dogs", "cats", "houses", "books", "trees", "cars",
+               "watches", "finds"}},
+      {"NNP", {"john", "mary", "berlin", "paris", "anna", "peter"}},
+      {"PRP", {"he", "she", "they", "it", "we"}},
+      {"VBD", {"saw", "liked", "found", "watched", "built", "crossed"}},
+      {"VBZ", {"sees", "likes", "finds", "watches", "builds"}},
+      {"VBP", {"see", "like", "find", "watch"}},
+      {"VB", {"run", "read", "move", "wait"}},
+      {"VBN", {"seen", "liked", "found", "built"}},
+      {"MD", {"can", "will", "must"}},
+      {"JJ", {"big", "small", "red", "old", "happy", "quiet"}},
+      {"JJR", {"bigger", "smaller", "older", "happier"}},
+      {"RB", {"quickly", "slowly", "often", "here", "today"}},
+      {"IN", {"in", "on", "near", "with", "under"}},
+      {"CC", {"and", "or", "but"}},
+      {"CD", {"one", "two", "three", "seven", "ten"}},
+      {".", {"."}},
+      {",", {","}},
+  };
+  return kLex;
+}
+
+class SentenceSampler {
+ public:
+  explicit SentenceSampler(Rng* rng) : rng_(rng) {}
+
+  // Emits tokens and fills phrase membership flags.
+  void Sentence(std::vector<TaggedWord>* out,
+                std::vector<std::vector<int>>* phrase_flags) {
+    out->clear();
+    np_flags_.clear();
+    vp_flags_.clear();
+    pp_flags_.clear();
+    NounPhrase(out, /*allow_conj=*/true);
+    VerbPhrase(out);
+    Emit(out, ".", ".");
+    phrase_flags->assign({np_flags_, vp_flags_, pp_flags_});
+  }
+
+ private:
+  void Emit(std::vector<TaggedWord>* out, const std::string& tag,
+            const std::string& word) {
+    out->push_back({word, tag});
+    np_flags_.push_back(in_np_ > 0 ? 1 : 0);
+    vp_flags_.push_back(in_vp_ > 0 ? 1 : 0);
+    pp_flags_.push_back(in_pp_ > 0 ? 1 : 0);
+  }
+
+  void EmitTag(std::vector<TaggedWord>* out, const std::string& tag) {
+    const auto& words = Lexicon().at(tag);
+    Emit(out, tag, words[rng_->UniformInt(words.size())]);
+  }
+
+  void NounPhrase(std::vector<TaggedWord>* out, bool allow_conj) {
+    ++in_np_;
+    double r = rng_->Uniform();
+    if (r < 0.15) {
+      EmitTag(out, "PRP");
+    } else if (r < 0.30) {
+      EmitTag(out, "NNP");
+    } else if (r < 0.42) {
+      EmitTag(out, "CD");
+      EmitTag(out, "NNS");
+    } else if (r < 0.62) {
+      EmitTag(out, "DT");
+      EmitTag(out, "NN");
+    } else if (r < 0.82) {
+      EmitTag(out, "DT");
+      EmitTag(out, "JJ");
+      EmitTag(out, "NN");
+    } else {
+      EmitTag(out, "DT");
+      EmitTag(out, "JJR");
+      EmitTag(out, "NN");
+    }
+    if (allow_conj && rng_->Bernoulli(0.12)) {
+      EmitTag(out, "CC");
+      NounPhrase(out, /*allow_conj=*/false);
+    }
+    --in_np_;
+  }
+
+  void PrepPhrase(std::vector<TaggedWord>* out) {
+    ++in_pp_;
+    EmitTag(out, "IN");
+    NounPhrase(out, /*allow_conj=*/false);
+    --in_pp_;
+  }
+
+  void VerbPhrase(std::vector<TaggedWord>* out) {
+    ++in_vp_;
+    double r = rng_->Uniform();
+    if (r < 0.15) {
+      // Modal construction: MD VB NP
+      EmitTag(out, "MD");
+      EmitTag(out, "VB");
+      NounPhrase(out, /*allow_conj=*/false);
+    } else if (r < 0.30) {
+      // Past participle: VBD VBN (e.g. "was seen"-like, simplified)
+      EmitTag(out, "VBD");
+      EmitTag(out, "VBN");
+    } else if (r < 0.70) {
+      EmitTag(out, rng_->Bernoulli(0.6) ? "VBD" : "VBZ");
+      NounPhrase(out, /*allow_conj=*/false);
+      if (rng_->Bernoulli(0.35)) PrepPhrase(out);
+    } else if (r < 0.85) {
+      EmitTag(out, "VBP");
+      NounPhrase(out, /*allow_conj=*/false);
+      if (rng_->Bernoulli(0.4)) EmitTag(out, "RB");
+    } else {
+      EmitTag(out, rng_->Bernoulli(0.5) ? "VBD" : "VBZ");
+      EmitTag(out, "RB");
+    }
+    --in_vp_;
+  }
+
+  Rng* rng_;
+  int in_np_ = 0;
+  int in_vp_ = 0;
+  int in_pp_ = 0;
+  std::vector<int> np_flags_;
+  std::vector<int> vp_flags_;
+  std::vector<int> pp_flags_;
+};
+
+// Deterministic pseudo-German word: lexicon-mapped prefix form.
+std::string Germanize(const TaggedWord& tw) {
+  if (tw.tag == "." || tw.tag == ",") return tw.word;
+  // A fixed per-word mapping: suffix encodes the tag class so that the
+  // decoder must distinguish word classes, prefix keeps word identity.
+  std::string suffix = "en";
+  if (tw.tag[0] == 'N') suffix = "ung";
+  else if (tw.tag[0] == 'V' || tw.tag == "MD") suffix = "t";
+  else if (tw.tag[0] == 'J') suffix = "ig";
+  else if (tw.tag == "DT") suffix = "er";
+  return tw.word + suffix;
+}
+
+}  // namespace
+
+const std::vector<std::string>& TranslationTagset() {
+  static const std::vector<std::string> kTags = {
+      "DT", "NN", "NNS", "NNP", "PRP", "VBD", "VBZ", "VBP", "VB", "VBN",
+      "MD", "JJ", "JJR", "RB", "IN", "CC", "CD", ".", ","};
+  return kTags;
+}
+
+TranslationCorpus GenerateTranslationCorpus(size_t n_sentences, size_t ns,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  SentenceSampler sampler(&rng);
+
+  TranslationCorpus corpus;
+  // Pre-build the full source vocabulary from the lexicon so that records
+  // never contain unknown words.
+  Vocab vocab;
+  for (const auto& [tag, words] : Lexicon()) {
+    for (const auto& w : words) {
+      vocab.Add(w);
+      corpus.target_vocab.Add(Germanize({w, tag}));
+    }
+  }
+  corpus.source = Dataset(std::move(vocab), ns);
+  corpus.target_len = ns;
+
+  const std::vector<std::string> phrase_names = {"NP", "VP", "PP"};
+  for (size_t i = 0; i < n_sentences; ++i) {
+    std::vector<TaggedWord> words;
+    std::vector<std::vector<int>> flags;
+    sampler.Sentence(&words, &flags);
+    if (words.size() > ns) continue;  // resample implicitly: skip long ones
+
+    Record rec;
+    std::vector<std::string> pos;
+    for (const auto& tw : words) {
+      rec.tokens.push_back(tw.word);
+      rec.ids.push_back(corpus.source.vocab().LookupOrPad(tw.word));
+      pos.push_back(tw.tag);
+    }
+    rec.annotations["pos"] = std::move(pos);
+    for (size_t p = 0; p < phrase_names.size(); ++p) {
+      std::vector<std::string> track;
+      for (int f : flags[p]) track.push_back(f ? "1" : "0");
+      rec.annotations[phrase_names[p]] = std::move(track);
+    }
+
+    // Target: SOV-ish reorder — move the first verb-group to the end,
+    // then map every word through the pseudo-German lexicon.
+    std::vector<TaggedWord> target = words;
+    size_t verb_begin = target.size(), verb_end = target.size();
+    for (size_t k = 0; k < target.size(); ++k) {
+      const std::string& t = target[k].tag;
+      if (t[0] == 'V' || t == "MD") {
+        if (verb_begin == target.size()) verb_begin = k;
+        verb_end = k + 1;
+      } else if (verb_begin != target.size()) {
+        break;
+      }
+    }
+    std::vector<TaggedWord> reordered;
+    for (size_t k = 0; k < target.size(); ++k) {
+      if (k < verb_begin || k >= verb_end) reordered.push_back(target[k]);
+    }
+    // Verb group goes before the final period.
+    std::vector<TaggedWord> verbs(target.begin() + verb_begin,
+                                  target.begin() + verb_end);
+    if (!reordered.empty() && reordered.back().tag == ".") {
+      reordered.insert(reordered.end() - 1, verbs.begin(), verbs.end());
+    } else {
+      reordered.insert(reordered.end(), verbs.begin(), verbs.end());
+    }
+    std::vector<int> target_ids;
+    for (const auto& tw : reordered) {
+      target_ids.push_back(corpus.target_vocab.LookupOrPad(Germanize(tw)));
+    }
+    target_ids.resize(ns, Vocab::kPadId);
+
+    corpus.source.Add(std::move(rec));
+    corpus.targets.push_back(std::move(target_ids));
+  }
+  return corpus;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,43 @@
+// Synthetic English->pseudo-German parallel corpus with gold part-of-speech
+// tags and phrase-structure annotations.
+//
+// Substitutes for the WMT15 En-De corpus + Stanford CoreNLP tagging used in
+// the paper's §6.3 experiments (see DESIGN.md). Sentences are sampled from a
+// hand-written PCFG over a closed lexicon, so every token carries a Penn
+// Treebank tag and every phrase span (NP/VP/PP) is known exactly. The target
+// side applies a deterministic lexicon mapping plus SOV reordering, which
+// gives the seq2seq model a real structure-dependent task to learn.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace deepbase {
+
+/// \brief A parallel corpus: annotated source records + target id sequences.
+struct TranslationCorpus {
+  /// Word-level source sentences. Each record has annotation tracks:
+  ///  - "pos": Penn tag per token ("" on padding)
+  ///  - one binary track per phrase label ("NP", "VP", "PP"): "1" if the
+  ///    token is inside such a phrase, else "0".
+  Dataset source;
+  /// Target (pseudo-German) sentences, padded to target_len with kPadId.
+  std::vector<std::vector<int>> targets;
+  Vocab target_vocab;
+  size_t target_len = 0;
+};
+
+/// \brief The tags that the generator can emit, in a fixed order (used by
+/// the per-tag precision experiments, Figure 11).
+const std::vector<std::string>& TranslationTagset();
+
+/// \brief Sample `n_sentences` parallel sentences. Source records are padded
+/// to `ns` tokens. Deterministic in `seed`.
+TranslationCorpus GenerateTranslationCorpus(size_t n_sentences, size_t ns,
+                                            uint64_t seed);
+
+}  // namespace deepbase

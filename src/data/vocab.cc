@@ -1,0 +1,47 @@
+#include "data/vocab.h"
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+Vocab::Vocab() { Add(kPadToken); }
+
+int Vocab::Add(const std::string& token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  index_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Lookup(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int Vocab::LookupOrPad(const std::string& token) const {
+  int id = Lookup(token);
+  return id < 0 ? kPadId : id;
+}
+
+const std::string& Vocab::Token(int id) const {
+  DB_DCHECK(id >= 0 && static_cast<size_t>(id) < tokens_.size());
+  return tokens_[id];
+}
+
+Vocab Vocab::FromChars(const std::string& text) {
+  Vocab v;
+  for (char ch : text) v.Add(std::string(1, ch));
+  return v;
+}
+
+Vocab Vocab::FromTokens(const std::vector<std::vector<std::string>>& docs) {
+  Vocab v;
+  for (const auto& doc : docs) {
+    for (const auto& tok : doc) v.Add(tok);
+  }
+  return v;
+}
+
+}  // namespace deepbase

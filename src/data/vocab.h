@@ -1,0 +1,48 @@
+// Symbol vocabulary: bidirectional mapping between surface tokens
+// (characters or words) and dense integer ids.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief Token <-> id mapping with a reserved padding symbol at id 0.
+///
+/// Records in a Dataset are null-padded to a fixed length (paper §3); the
+/// padding token is "~" by convention, matching the paper's Figure 1.
+class Vocab {
+ public:
+  static constexpr int kPadId = 0;
+  static constexpr const char* kPadToken = "~";
+
+  Vocab();
+
+  /// \brief Add a token if absent; returns its id either way.
+  int Add(const std::string& token);
+
+  /// \brief Id for token, or -1 if unknown.
+  int Lookup(const std::string& token) const;
+
+  /// \brief Id for token; unknown tokens map to the pad id.
+  int LookupOrPad(const std::string& token) const;
+
+  const std::string& Token(int id) const;
+
+  size_t size() const { return tokens_.size(); }
+
+  /// \brief Build a character-level vocab from the distinct chars of a text.
+  static Vocab FromChars(const std::string& text);
+  /// \brief Build a word-level vocab from tokenized sentences.
+  static Vocab FromTokens(const std::vector<std::vector<std::string>>& docs);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace deepbase

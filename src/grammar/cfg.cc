@@ -1,0 +1,174 @@
+#include "grammar/cfg.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+SymbolId Cfg::Nonterminal(const std::string& name) {
+  auto it = nonterminal_index_.find(name);
+  if (it != nonterminal_index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.push_back(name);
+  terminal_.push_back(false);
+  nonterminal_index_.emplace(name, id);
+  min_depth_.clear();
+  return id;
+}
+
+SymbolId Cfg::Terminal(const std::string& text) {
+  auto it = terminal_index_.find(text);
+  if (it != terminal_index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.push_back(text);
+  terminal_.push_back(true);
+  terminal_index_.emplace(text, id);
+  min_depth_.clear();
+  return id;
+}
+
+SymbolId Cfg::FindNonterminal(const std::string& name) const {
+  auto it = nonterminal_index_.find(name);
+  return it == nonterminal_index_.end() ? -1 : it->second;
+}
+
+void Cfg::AddRule(SymbolId lhs, std::vector<SymbolId> rhs, double weight) {
+  DB_DCHECK(!IsTerminal(lhs));
+  size_t idx = rules_.size();
+  rules_.push_back(Rule{lhs, std::move(rhs), weight});
+  rules_by_lhs_[lhs].push_back(idx);
+  min_depth_.clear();
+}
+
+void Cfg::AddRuleSpec(const std::string& lhs,
+                      const std::vector<std::string>& rhs, double weight) {
+  SymbolId lhs_id = Nonterminal(lhs);
+  std::vector<SymbolId> rhs_ids;
+  for (const auto& item : rhs) {
+    if (item.size() >= 2 && item.front() == '<' && item.back() == '>') {
+      rhs_ids.push_back(Nonterminal(item.substr(1, item.size() - 2)));
+    } else {
+      rhs_ids.push_back(Terminal(item));
+    }
+  }
+  AddRule(lhs_id, std::move(rhs_ids), weight);
+  if (start_ < 0) start_ = lhs_id;
+}
+
+const std::vector<size_t>& Cfg::RulesFor(SymbolId lhs) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = rules_by_lhs_.find(lhs);
+  return it == rules_by_lhs_.end() ? kEmpty : it->second;
+}
+
+std::vector<SymbolId> Cfg::Nonterminals() const {
+  std::vector<SymbolId> out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (!terminal_[i]) out.push_back(static_cast<SymbolId>(i));
+  }
+  return out;
+}
+
+void Cfg::ComputeMinDepths() const {
+  const int kInf = std::numeric_limits<int>::max() / 4;
+  min_depth_.assign(names_.size(), kInf);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (terminal_[i]) min_depth_[i] = 0;
+  }
+  // Bellman-Ford style relaxation over rules.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules_) {
+      int depth = 0;
+      for (SymbolId s : rule.rhs) depth = std::max(depth, min_depth_[s]);
+      if (depth < kInf && depth + 1 < min_depth_[rule.lhs]) {
+        min_depth_[rule.lhs] = depth + 1;
+        changed = true;
+      }
+    }
+  }
+}
+
+int Cfg::MinDepth(SymbolId id) const {
+  if (min_depth_.empty()) ComputeMinDepths();
+  return min_depth_[id];
+}
+
+std::vector<std::pair<size_t, size_t>> ParseTree::SpansOf(
+    SymbolId symbol) const {
+  std::vector<std::pair<size_t, size_t>> spans;
+  Visit([&](const ParseNode& node) {
+    if (node.symbol == symbol) spans.emplace_back(node.begin, node.end);
+  });
+  return spans;
+}
+
+void ParseTree::Visit(
+    const std::function<void(const ParseNode&)>& fn) const {
+  if (!root) return;
+  std::function<void(const ParseNode&)> rec = [&](const ParseNode& node) {
+    fn(node);
+    for (const auto& child : node.children) rec(*child);
+  };
+  rec(*root);
+}
+
+std::string GrammarSampler::Sample(int soft_depth) {
+  std::string out;
+  Expand(cfg_->start(), 0, soft_depth, &out);
+  return out;
+}
+
+ParseTree GrammarSampler::SampleTree(int soft_depth) {
+  ParseTree tree;
+  tree.root = Expand(cfg_->start(), 0, soft_depth, &tree.text);
+  return tree;
+}
+
+std::unique_ptr<ParseNode> GrammarSampler::Expand(SymbolId sym, int depth,
+                                                  int soft_depth,
+                                                  std::string* out) {
+  auto node = std::make_unique<ParseNode>();
+  node->symbol = sym;
+  node->begin = out->size();
+  if (cfg_->IsTerminal(sym)) {
+    out->append(cfg_->Name(sym));
+    node->end = out->size();
+    return node;
+  }
+  const auto& rule_ids = cfg_->RulesFor(sym);
+  DB_DCHECK(!rule_ids.empty());
+  size_t chosen;
+  if (depth >= soft_depth) {
+    // Force termination: among this nonterminal's rules, take the one whose
+    // deepest RHS symbol has minimal derivation depth.
+    chosen = rule_ids[0];
+    int best = std::numeric_limits<int>::max();
+    for (size_t ri : rule_ids) {
+      int d = 0;
+      for (SymbolId s : cfg_->rules()[ri].rhs) {
+        d = std::max(d, cfg_->MinDepth(s));
+      }
+      if (d < best) {
+        best = d;
+        chosen = ri;
+      }
+    }
+  } else {
+    std::vector<double> weights;
+    weights.reserve(rule_ids.size());
+    for (size_t ri : rule_ids) weights.push_back(cfg_->rules()[ri].weight);
+    chosen = rule_ids[rng_.Categorical(weights)];
+  }
+  for (SymbolId child_sym : cfg_->rules()[chosen].rhs) {
+    node->children.push_back(Expand(child_sym, depth + 1, soft_depth, out));
+  }
+  node->end = out->size();
+  return node;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,127 @@
+// Context-free grammar with rule weights (PCFG), a depth-bounded weighted
+// sampler, and parse-tree structures. Substitutes for the NLTK grammar
+// tooling the paper uses to generate SQL corpora and hypothesis functions.
+//
+// Terminals are strings; at the character level a terminal may span several
+// input symbols (e.g. the keyword "SELECT "), and parse-tree spans are
+// expressed in *symbol* (character) positions so they align 1:1 with unit
+// behaviors.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief A grammar symbol id. Nonterminals and terminals share one id
+/// space; Cfg tracks which is which.
+using SymbolId = int;
+
+/// \brief One production lhs -> rhs with a sampling weight.
+struct Rule {
+  SymbolId lhs;
+  std::vector<SymbolId> rhs;  ///< empty = epsilon production
+  double weight = 1.0;
+};
+
+/// \brief A weighted context-free grammar.
+class Cfg {
+ public:
+  /// \brief Intern a nonterminal by name (idempotent).
+  SymbolId Nonterminal(const std::string& name);
+  /// \brief Intern a terminal by its surface string (idempotent).
+  SymbolId Terminal(const std::string& text);
+
+  bool IsTerminal(SymbolId id) const { return terminal_[id]; }
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+  /// \brief Id of a nonterminal if it exists, else -1.
+  SymbolId FindNonterminal(const std::string& name) const;
+
+  /// \brief Add a production. Symbols must already be interned.
+  void AddRule(SymbolId lhs, std::vector<SymbolId> rhs, double weight = 1.0);
+
+  /// \brief Convenience: lhs by name, rhs as a mixed list where each element
+  /// is either `nt("name")`-style nonterminal (marked by leading '<' and
+  /// trailing '>') or a literal terminal string.
+  void AddRuleSpec(const std::string& lhs, const std::vector<std::string>& rhs,
+                   double weight = 1.0);
+
+  void SetStart(SymbolId s) { start_ = s; }
+  SymbolId start() const { return start_; }
+
+  size_t num_rules() const { return rules_.size(); }
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::vector<size_t>& RulesFor(SymbolId lhs) const;
+
+  /// \brief All nonterminal ids, in interning order.
+  std::vector<SymbolId> Nonterminals() const;
+
+  /// \brief Minimal derivation depth per symbol (used by the sampler to
+  /// terminate recursion). Computed lazily.
+  int MinDepth(SymbolId id) const;
+
+ private:
+  void ComputeMinDepths() const;
+
+  std::vector<std::string> names_;
+  std::vector<bool> terminal_;
+  std::map<std::string, SymbolId> nonterminal_index_;
+  std::map<std::string, SymbolId> terminal_index_;
+  std::vector<Rule> rules_;
+  std::map<SymbolId, std::vector<size_t>> rules_by_lhs_;
+  SymbolId start_ = -1;
+
+  mutable std::vector<int> min_depth_;  // lazily computed
+};
+
+/// \brief A node in a parse tree. Spans are half-open [begin, end) over
+/// *symbol* positions (characters for char-level grammars).
+struct ParseNode {
+  SymbolId symbol;
+  size_t begin = 0;
+  size_t end = 0;
+  std::vector<std::unique_ptr<ParseNode>> children;
+
+  bool IsLeaf() const { return children.empty(); }
+};
+
+/// \brief An owned parse tree plus the text it parses.
+struct ParseTree {
+  std::unique_ptr<ParseNode> root;
+  std::string text;
+
+  /// \brief Collect spans of every node labeled `symbol` (pre-order).
+  std::vector<std::pair<size_t, size_t>> SpansOf(SymbolId symbol) const;
+  /// \brief Visit all nodes pre-order.
+  void Visit(const std::function<void(const ParseNode&)>& fn) const;
+};
+
+/// \brief Depth-bounded weighted sampling from a PCFG.
+class GrammarSampler {
+ public:
+  GrammarSampler(const Cfg* cfg, uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  /// \brief Sample one string from the start symbol. Beyond `soft_depth`,
+  /// only minimal-depth rules are chosen, guaranteeing termination.
+  std::string Sample(int soft_depth = 24);
+
+  /// \brief Sample a string together with its derivation tree (spans are
+  /// exact by construction; no parsing needed).
+  ParseTree SampleTree(int soft_depth = 24);
+
+ private:
+  std::unique_ptr<ParseNode> Expand(SymbolId sym, int depth, int soft_depth,
+                                    std::string* out);
+
+  const Cfg* cfg_;
+  Rng rng_;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,198 @@
+#include "grammar/earley.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+namespace {
+
+// Internal parse node with shared children so Earley items can be copied
+// cheaply; converted to the public unique_ptr tree on success.
+struct SNode {
+  SymbolId symbol;
+  size_t begin, end;
+  std::vector<std::shared_ptr<SNode>> children;
+};
+
+std::unique_ptr<ParseNode> ToParseNode(const SNode& n) {
+  auto out = std::make_unique<ParseNode>();
+  out->symbol = n.symbol;
+  out->begin = n.begin;
+  out->end = n.end;
+  for (const auto& c : n.children) out->children.push_back(ToParseNode(*c));
+  return out;
+}
+
+struct EItem {
+  size_t rule;
+  size_t dot;
+  size_t origin;
+  std::vector<std::shared_ptr<SNode>> kids;
+};
+
+using ItemKey = std::tuple<size_t, size_t, size_t>;
+
+// Nullable nonterminals (can derive the empty string).
+std::set<SymbolId> NullableSet(const Cfg& cfg) {
+  std::set<SymbolId> nullable;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : cfg.rules()) {
+      if (nullable.count(rule.lhs)) continue;
+      bool all = true;
+      for (SymbolId s : rule.rhs) {
+        if (cfg.IsTerminal(s) || !nullable.count(s)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        nullable.insert(rule.lhs);
+        changed = true;
+      }
+    }
+  }
+  return nullable;
+}
+
+class Chart {
+ public:
+  explicit Chart(size_t n) : items_(n + 1), seen_(n + 1) {}
+
+  // Returns true if the item was new at `pos`.
+  bool Add(size_t pos, EItem item) {
+    ItemKey key{item.rule, item.dot, item.origin};
+    if (!seen_[pos].insert(key).second) return false;
+    items_[pos].push_back(std::move(item));
+    return true;
+  }
+
+  std::vector<EItem>& At(size_t pos) { return items_[pos]; }
+
+ private:
+  std::vector<std::vector<EItem>> items_;
+  std::vector<std::set<ItemKey>> seen_;
+};
+
+// Shared recognizer/parser driver. On success (if build_tree), returns the
+// root SNode of the first complete parse.
+Result<std::shared_ptr<SNode>> Run(const Cfg& cfg, const std::string& text,
+                                   bool build_tree) {
+  const size_t n = text.size();
+  Chart chart(n);
+  const std::set<SymbolId> nullable = NullableSet(cfg);
+
+  for (size_t ri : cfg.RulesFor(cfg.start())) {
+    chart.Add(0, EItem{ri, 0, 0, {}});
+  }
+
+  for (size_t pos = 0; pos <= n; ++pos) {
+    // Index-based loop: completion/prediction may append to chart.At(pos).
+    for (size_t i = 0; i < chart.At(pos).size(); ++i) {
+      EItem item = chart.At(pos)[i];  // copy: vector may reallocate
+      const Rule& rule = cfg.rules()[item.rule];
+      if (item.dot < rule.rhs.size()) {
+        SymbolId sym = rule.rhs[item.dot];
+        if (cfg.IsTerminal(sym)) {
+          // Scan: match the terminal's full surface string.
+          const std::string& surface = cfg.Name(sym);
+          if (!surface.empty() &&
+              text.compare(pos, surface.size(), surface) == 0) {
+            EItem advanced = item;
+            advanced.dot++;
+            if (build_tree) {
+              auto leaf = std::make_shared<SNode>();
+              leaf->symbol = sym;
+              leaf->begin = pos;
+              leaf->end = pos + surface.size();
+              advanced.kids.push_back(std::move(leaf));
+            }
+            chart.Add(pos + surface.size(), std::move(advanced));
+          }
+        } else {
+          // Predict.
+          for (size_t ri : cfg.RulesFor(sym)) {
+            chart.Add(pos, EItem{ri, 0, pos, {}});
+          }
+          // Aycock-Horspool nullable fix: advance over a nullable
+          // nonterminal immediately with an empty constituent.
+          if (nullable.count(sym)) {
+            EItem advanced = item;
+            advanced.dot++;
+            if (build_tree) {
+              auto empty = std::make_shared<SNode>();
+              empty->symbol = sym;
+              empty->begin = pos;
+              empty->end = pos;
+              advanced.kids.push_back(std::move(empty));
+            }
+            chart.Add(pos, std::move(advanced));
+          }
+        }
+      } else {
+        // Complete: attach this constituent to items waiting at origin.
+        std::shared_ptr<SNode> node;
+        if (build_tree) {
+          node = std::make_shared<SNode>();
+          node->symbol = rule.lhs;
+          node->begin = item.origin;
+          node->end = pos;
+          node->children = item.kids;
+        }
+        // Iterate a snapshot of the origin set; additions to it with the
+        // searched dot-symbol will themselves be completed when reached.
+        for (size_t j = 0; j < chart.At(item.origin).size(); ++j) {
+          // Copy: Add() may reallocate the vector when origin == pos.
+          EItem waiting = chart.At(item.origin)[j];
+          const Rule& wrule = cfg.rules()[waiting.rule];
+          if (waiting.dot < wrule.rhs.size() &&
+              wrule.rhs[waiting.dot] == rule.lhs) {
+            EItem advanced = waiting;
+            advanced.dot++;
+            if (build_tree) advanced.kids.push_back(node);
+            chart.Add(pos, std::move(advanced));
+          }
+        }
+      }
+    }
+  }
+
+  for (const EItem& item : chart.At(n)) {
+    const Rule& rule = cfg.rules()[item.rule];
+    if (rule.lhs == cfg.start() && item.dot == rule.rhs.size() &&
+        item.origin == 0) {
+      if (!build_tree) return std::shared_ptr<SNode>();
+      auto root = std::make_shared<SNode>();
+      root->symbol = rule.lhs;
+      root->begin = 0;
+      root->end = n;
+      root->children = item.kids;
+      return root;
+    }
+  }
+  return Status::Invalid("text is not in the language");
+}
+
+}  // namespace
+
+Result<ParseTree> EarleyParser::Parse(const std::string& text) const {
+  DB_ASSIGN_OR_RETURN(std::shared_ptr<SNode> root,
+                      Run(*cfg_, text, /*build_tree=*/true));
+  ParseTree tree;
+  tree.text = text;
+  tree.root = ToParseNode(*root);
+  return tree;
+}
+
+bool EarleyParser::Recognizes(const std::string& text) const {
+  return Run(*cfg_, text, /*build_tree=*/false).ok();
+}
+
+}  // namespace deepbase

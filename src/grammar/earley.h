@@ -1,0 +1,39 @@
+// Earley chart parser over character strings with multi-character
+// terminals. Replaces NLTK's chart parser in the hypothesis-generation
+// pipeline (paper §4.2 / §6.1).
+//
+// A scan step at position i matches a terminal's full surface string
+// against text[i..], advancing by its length; chart positions are therefore
+// character positions and the resulting parse-tree spans align exactly with
+// per-symbol unit behaviors.
+
+#pragma once
+
+#include <string>
+
+#include "grammar/cfg.h"
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief Earley parser for a fixed grammar.
+class EarleyParser {
+ public:
+  explicit EarleyParser(const Cfg* cfg) : cfg_(cfg) {}
+
+  /// \brief Parse `text` from the grammar's start symbol.
+  ///
+  /// Returns the first complete parse found (the grammars used here are
+  /// nearly unambiguous; any parse yields the same hypothesis spans for the
+  /// rule occurrences we inspect), or Invalid if the text is not in the
+  /// language.
+  Result<ParseTree> Parse(const std::string& text) const;
+
+  /// \brief Recognition only (no tree construction).
+  bool Recognizes(const std::string& text) const;
+
+ private:
+  const Cfg* cfg_;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,130 @@
+#include "grammar/sql_grammar.h"
+
+#include <string>
+
+namespace deepbase {
+
+namespace {
+
+// Adds `name -> "0" | ... | "9"` (10 rules). Each syntactic context gets
+// its own digit nonterminal, mirroring how generated SQL grammars spell out
+// lexical rules per token class; this is also what scales the rule count
+// across complexity levels.
+void AddDigits(Cfg* cfg, const std::string& name) {
+  for (int d = 0; d <= 9; ++d) {
+    cfg->AddRuleSpec(name, {std::string(1, static_cast<char>('0' + d))});
+  }
+}
+
+}  // namespace
+
+Cfg MakeSqlGrammar(int level) {
+  Cfg cfg;
+  // ---- Level 0: SELECT core ------------------------------------------
+  cfg.AddRuleSpec("query", {"<select_core>"}, 2.0);
+  cfg.AddRuleSpec("select_core", {"<select_clause>", "<from_clause>"});
+  cfg.AddRuleSpec("select_clause", {"SELECT ", "<select_list>"});
+  cfg.AddRuleSpec("select_list", {"<result_column>"}, 3.0);
+  cfg.AddRuleSpec("select_list", {"<result_column>", ", ", "<select_list>"});
+  cfg.AddRuleSpec("result_column", {"<column_ref>"});
+  cfg.AddRuleSpec("column_ref", {"<table_name>", ".", "<column_name>"});
+  cfg.AddRuleSpec("table_name", {"table_", "<table_digit>"});
+  cfg.AddRuleSpec("column_name",
+                  {"col_", "<col_digit>", "<col_digit>", "<col_digit>",
+                   "<col_digit>", "<col_digit>"});
+  cfg.AddRuleSpec("from_clause", {" FROM ", "<table_list>"});
+  cfg.AddRuleSpec("table_list", {"<table_name>"}, 3.0);
+  cfg.AddRuleSpec("table_list", {"<table_name>", ", ", "<table_list>"});
+  AddDigits(&cfg, "table_digit");
+  AddDigits(&cfg, "col_digit");
+  cfg.SetStart(cfg.FindNonterminal("query"));
+  if (level == 0) return cfg;
+
+  // ---- Level 1: WHERE predicates --------------------------------------
+  cfg.AddRuleSpec("query", {"<select_core>", "<where_clause>"}, 2.0);
+  cfg.AddRuleSpec("where_clause", {" WHERE ", "<predicate>"});
+  cfg.AddRuleSpec("predicate", {"<comparison>"}, 4.0);
+  cfg.AddRuleSpec("predicate", {"<comparison>", " AND ", "<predicate>"});
+  cfg.AddRuleSpec("predicate", {"<comparison>", " OR ", "<predicate>"});
+  cfg.AddRuleSpec("comparison", {"<column_ref>", "<cmp_op>", "<value>"});
+  cfg.AddRuleSpec("cmp_op", {" = "}, 3.0);
+  cfg.AddRuleSpec("cmp_op", {" > "});
+  cfg.AddRuleSpec("cmp_op", {" < "});
+  cfg.AddRuleSpec("cmp_op", {" >= "});
+  cfg.AddRuleSpec("cmp_op", {" <= "});
+  cfg.AddRuleSpec("cmp_op", {" <> "});
+  cfg.AddRuleSpec("value", {"<number>"}, 2.0);
+  cfg.AddRuleSpec("value", {"<string_literal>"});
+  cfg.AddRuleSpec("value", {"<column_ref>"});
+  cfg.AddRuleSpec("number", {"<num_digit>"}, 2.0);
+  cfg.AddRuleSpec("number", {"<num_digit>", "<num_digit>"}, 2.0);
+  cfg.AddRuleSpec("number", {"<num_digit>", "<num_digit>", "<num_digit>"});
+  cfg.AddRuleSpec("string_literal", {"'str_", "<str_digit>", "'"});
+  AddDigits(&cfg, "num_digit");
+  AddDigits(&cfg, "str_digit");
+  if (level == 1) return cfg;
+
+  // ---- Level 2: ORDER BY / LIMIT --------------------------------------
+  cfg.AddRuleSpec("query", {"<select_core>", "<order_clause>"});
+  cfg.AddRuleSpec("query",
+                  {"<select_core>", "<where_clause>", "<order_clause>"});
+  cfg.AddRuleSpec("query", {"<select_core>", "<where_clause>",
+                            "<limit_clause>"});
+  cfg.AddRuleSpec("query", {"<select_core>", "<order_clause>",
+                            "<limit_clause>"});
+  cfg.AddRuleSpec("query", {"<select_core>", "<where_clause>",
+                            "<order_clause>", "<limit_clause>"});
+  cfg.AddRuleSpec("order_clause", {" ORDER BY ", "<ordering_term>"});
+  cfg.AddRuleSpec("ordering_term", {"<column_ref>"}, 2.0);
+  cfg.AddRuleSpec("ordering_term", {"<column_ref>", " ASC"});
+  cfg.AddRuleSpec("ordering_term", {"<column_ref>", " DESC"});
+  cfg.AddRuleSpec("limit_clause", {" LIMIT ", "<number>"});
+  if (level == 2) return cfg;
+
+  // ---- Level 3: aggregates, GROUP BY / HAVING, DISTINCT, JOIN ---------
+  cfg.AddRuleSpec("result_column", {"<agg_expr>"});
+  cfg.AddRuleSpec("agg_expr", {"<agg_fn>", "(", "<column_ref>", ")"});
+  cfg.AddRuleSpec("agg_fn", {"COUNT"}, 2.0);
+  cfg.AddRuleSpec("agg_fn", {"SUM"});
+  cfg.AddRuleSpec("agg_fn", {"AVG"});
+  cfg.AddRuleSpec("agg_fn", {"MIN"});
+  cfg.AddRuleSpec("agg_fn", {"MAX"});
+  cfg.AddRuleSpec("group_clause", {" GROUP BY ", "<group_list>"});
+  cfg.AddRuleSpec("group_list", {"<column_ref>"}, 2.0);
+  cfg.AddRuleSpec("group_list", {"<column_ref>", ", ", "<group_list>"});
+  cfg.AddRuleSpec("having_clause", {" HAVING ", "<comparison>"});
+  cfg.AddRuleSpec("query", {"<select_core>", "<group_clause>"});
+  cfg.AddRuleSpec("query",
+                  {"<select_core>", "<where_clause>", "<group_clause>"});
+  cfg.AddRuleSpec("query",
+                  {"<select_core>", "<group_clause>", "<having_clause>"});
+  cfg.AddRuleSpec("query", {"<select_core>", "<where_clause>",
+                            "<group_clause>", "<having_clause>"});
+  cfg.AddRuleSpec("query", {"<select_core>", "<where_clause>",
+                            "<group_clause>", "<order_clause>"});
+  cfg.AddRuleSpec("select_clause",
+                  {"SELECT ", "DISTINCT ", "<select_list>"}, 0.3);
+  cfg.AddRuleSpec("from_clause",
+                  {" FROM ", "<table_name>", "<join_clause>"}, 0.5);
+  cfg.AddRuleSpec("join_clause", {" JOIN ", "<table_name>", " ON ",
+                                  "<column_ref>", " = ", "<column_ref>"});
+  return cfg;
+}
+
+Cfg MakeParenGrammar() {
+  Cfg cfg;
+  // r_i -> i r_i | ( r_{i+1} ) for i < 4; r_4 -> ε | 4 r_4.
+  for (int i = 0; i < 4; ++i) {
+    std::string ri = "r" + std::to_string(i);
+    std::string rn = "r" + std::to_string(i + 1);
+    cfg.AddRuleSpec(ri, {std::to_string(i), "<" + ri + ">"});
+    cfg.AddRuleSpec(ri, {"(", "<" + rn + ">", ")"});
+  }
+  SymbolId r4 = cfg.Nonterminal("r4");
+  cfg.AddRule(r4, {});  // epsilon
+  cfg.AddRuleSpec("r4", {"4", "<r4>"});
+  cfg.SetStart(cfg.FindNonterminal("r0"));
+  return cfg;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,24 @@
+// The SQL subset grammar used by the paper's scalability benchmark (§6.1):
+// a character-level PCFG of SELECT queries whose complexity (number of
+// production rules, 95-171 in the paper) is controlled by a level knob.
+
+#pragma once
+
+#include "grammar/cfg.h"
+
+namespace deepbase {
+
+/// \brief Build the SQL PCFG at the given complexity level.
+///
+/// Level 0: SELECT ... FROM lists; level 1 adds WHERE predicates;
+/// level 2 adds ORDER BY / LIMIT; level 3 adds aggregates, GROUP BY /
+/// HAVING, DISTINCT and JOIN. Rule counts grow roughly from ~50 to ~170;
+/// use `Cfg::num_rules()` for the exact count reported by benchmarks.
+Cfg MakeSqlGrammar(int level);
+
+/// \brief The nesting-parenthesis PCFG from the accuracy benchmark
+/// (Appendix C): r_i -> i r_i | ( r_{i+1} ) for i < 4, r_4 -> ε | 4 r_4,
+/// generating strings like "0(1(2((44))))".
+Cfg MakeParenGrammar();
+
+}  // namespace deepbase

@@ -1,0 +1,54 @@
+#include "hypothesis/fsm.h"
+
+namespace deepbase {
+
+std::vector<int> Dfa::Run(const std::string& text) const {
+  std::vector<int> states;
+  states.reserve(text.size());
+  int state = 0;
+  for (char ch : text) {
+    state = Next(state, ch);
+    states.push_back(state);
+  }
+  return states;
+}
+
+Dfa Dfa::KeywordMatcher(const std::string& keyword) {
+  const int n = static_cast<int>(keyword.size());
+  Dfa dfa(n + 1);
+  for (int k = 0; k < n; ++k) dfa.AddTransition(k, keyword[k], k + 1);
+  if (n > 0) dfa.AddTransition(n, keyword[0], 1);
+  return dfa;
+}
+
+std::vector<float> FsmStateHypothesis::Eval(const Record& rec) const {
+  const std::string text = rec.Text();
+  std::vector<int> states = dfa_->Run(text);
+  std::vector<float> out(rec.size(), 0.0f);
+  for (size_t i = 0; i < out.size() && i < states.size(); ++i) {
+    out[i] = states[i] == state_ ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+std::vector<float> FsmLabelHypothesis::Eval(const Record& rec) const {
+  const std::string text = rec.Text();
+  std::vector<int> states = dfa_->Run(text);
+  std::vector<float> out(rec.size(), 0.0f);
+  for (size_t i = 0; i < out.size() && i < states.size(); ++i) {
+    out[i] = static_cast<float>(states[i]);
+  }
+  return out;
+}
+
+std::vector<HypothesisPtr> MakeFsmHypotheses(const std::string& name,
+                                             std::shared_ptr<const Dfa> dfa) {
+  std::vector<HypothesisPtr> out;
+  for (int s = 0; s < dfa->num_states(); ++s) {
+    out.push_back(std::make_shared<FsmStateHypothesis>(
+        name + ":state" + std::to_string(s), dfa, s));
+  }
+  return out;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,81 @@
+// Finite-state-machine hypotheses (paper §4.2): an FSM consumes one input
+// symbol per transition; wrapping it as a hypothesis function emits the
+// current state (or a one-hot per state) after reading each symbol.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypothesis/hypothesis.h"
+
+namespace deepbase {
+
+/// \brief A deterministic finite automaton over characters.
+///
+/// Transitions default to state 0 unless overridden; this makes keyword
+/// matchers easy to express (KMP-style failure to the start state is
+/// approximated by reset-to-0, which is exact for keywords with no
+/// self-overlap — true of SQL keywords).
+class Dfa {
+ public:
+  explicit Dfa(int num_states) : transitions_(num_states) {}
+
+  int num_states() const { return static_cast<int>(transitions_.size()); }
+
+  void AddTransition(int from, char symbol, int to) {
+    transitions_[from][symbol] = to;
+  }
+
+  int Next(int state, char symbol) const {
+    auto it = transitions_[state].find(symbol);
+    return it == transitions_[state].end() ? 0 : it->second;
+  }
+
+  /// \brief State sequence after reading each character (starting at 0).
+  std::vector<int> Run(const std::string& text) const;
+
+  /// \brief DFA that walks through `keyword` character by character; state
+  /// k means "the last k characters matched the keyword prefix", and the
+  /// final state (len) loops on re-entry via the keyword's first char.
+  static Dfa KeywordMatcher(const std::string& keyword);
+
+ private:
+  std::vector<std::map<char, int>> transitions_;
+};
+
+/// \brief Emits 1 whenever the DFA is in `state` after reading the symbol,
+/// 0 otherwise (the paper's hot-one encoding of FSM states).
+class FsmStateHypothesis : public HypothesisFn {
+ public:
+  FsmStateHypothesis(std::string name, std::shared_ptr<const Dfa> dfa,
+                     int state)
+      : HypothesisFn(std::move(name)), dfa_(std::move(dfa)), state_(state) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  std::shared_ptr<const Dfa> dfa_;
+  int state_;
+};
+
+/// \brief Emits the raw state label after each symbol (categorical).
+class FsmLabelHypothesis : public HypothesisFn {
+ public:
+  FsmLabelHypothesis(std::string name, std::shared_ptr<const Dfa> dfa)
+      : HypothesisFn(std::move(name)), dfa_(std::move(dfa)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override { return dfa_->num_states(); }
+
+ private:
+  std::shared_ptr<const Dfa> dfa_;
+};
+
+/// \brief One binary hypothesis per DFA state (hot-one encoding).
+std::vector<HypothesisPtr> MakeFsmHypotheses(const std::string& name,
+                                             std::shared_ptr<const Dfa> dfa);
+
+}  // namespace deepbase

@@ -1,0 +1,90 @@
+#include "hypothesis/grammar_hypotheses.h"
+
+namespace deepbase {
+
+namespace {
+// Strips the trailing padding ("~") appended by Dataset::Add; grammar text
+// never contains the pad token.
+std::string UnpaddedText(const Record& rec) {
+  std::string text = rec.Text();
+  size_t end = text.size();
+  while (end > 0 && text[end - 1] == '~') --end;
+  return text.substr(0, end);
+}
+}  // namespace
+
+const ParseTree* ParseCache::Get(const std::string& text) {
+  auto it = cache_.find(text);
+  if (it != cache_.end()) return it->second.get();
+  ++parse_calls_;
+  Result<ParseTree> parsed = parser_.Parse(text);
+  std::unique_ptr<ParseTree> tree;
+  if (parsed.ok()) {
+    tree = std::make_unique<ParseTree>(std::move(parsed).ValueOrDie());
+  }
+  const ParseTree* out = tree.get();
+  cache_.emplace(text, std::move(tree));
+  return out;
+}
+
+GrammarRuleHypothesis::GrammarRuleHypothesis(
+    const Cfg* cfg, std::shared_ptr<ParseCache> cache, SymbolId symbol,
+    GrammarHypothesisMode mode)
+    : HypothesisFn(
+          cfg->Name(symbol) +
+          (mode == GrammarHypothesisMode::kTimeDomain
+               ? ":time"
+               : mode == GrammarHypothesisMode::kSignal ? ":signal"
+                                                        : ":depth")),
+      cfg_(cfg),
+      cache_(std::move(cache)),
+      symbol_(symbol),
+      mode_(mode) {}
+
+std::vector<float> GrammarRuleHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  const std::string text = UnpaddedText(rec);
+  if (text.empty()) return out;
+  const ParseTree* tree = cache_->Get(text);
+  if (tree == nullptr) return out;  // unparseable: inactive everywhere
+  for (const auto& [begin, end] : tree->SpansOf(symbol_)) {
+    if (begin >= end) continue;
+    switch (mode_) {
+      case GrammarHypothesisMode::kTimeDomain:
+        for (size_t i = begin; i < end && i < out.size(); ++i) out[i] = 1.0f;
+        break;
+      case GrammarHypothesisMode::kSignal:
+        if (begin < out.size()) out[begin] = 1.0f;
+        if (end - 1 < out.size()) out[end - 1] = 1.0f;
+        break;
+      case GrammarHypothesisMode::kDepth:
+        for (size_t i = begin; i < end && i < out.size(); ++i) out[i] += 1.0f;
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<HypothesisPtr> MakeGrammarHypotheses(const Cfg* cfg) {
+  auto cache = std::make_shared<ParseCache>(cfg);
+  std::vector<HypothesisPtr> out;
+  for (SymbolId nt : cfg->Nonterminals()) {
+    out.push_back(std::make_shared<GrammarRuleHypothesis>(
+        cfg, cache, nt, GrammarHypothesisMode::kTimeDomain));
+    out.push_back(std::make_shared<GrammarRuleHypothesis>(
+        cfg, cache, nt, GrammarHypothesisMode::kSignal));
+  }
+  return out;
+}
+
+std::vector<HypothesisPtr> MakeTimeDomainHypotheses(const Cfg* cfg) {
+  auto cache = std::make_shared<ParseCache>(cfg);
+  std::vector<HypothesisPtr> out;
+  for (SymbolId nt : cfg->Nonterminals()) {
+    out.push_back(std::make_shared<GrammarRuleHypothesis>(
+        cfg, cache, nt, GrammarHypothesisMode::kTimeDomain));
+  }
+  return out;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,79 @@
+// Hypothesis functions generated from parse trees (paper §4.2, Figure 3):
+// for every grammar nonterminal we emit a *time-domain* hypothesis (1 for
+// every symbol inside an occurrence of the rule), a *signal* hypothesis
+// (1 only at the first and last symbol of each occurrence), and optionally
+// a *depth* composite (the nesting count of the rule at each symbol).
+//
+// Parsing is expensive and amortized: all hypotheses derived from the same
+// grammar share a ParseCache, so each record is parsed at most once per
+// analysis regardless of how many hypotheses are evaluated (§6.1: "the
+// other hypothesis functions based on the parser do not need to re-parse").
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "grammar/cfg.h"
+#include "grammar/earley.h"
+#include "hypothesis/hypothesis.h"
+
+namespace deepbase {
+
+/// \brief Memoizes parse trees by record text. Not thread-safe (hypothesis
+/// extraction runs on a single core, as in the paper).
+class ParseCache {
+ public:
+  ParseCache(const Cfg* cfg) : parser_(cfg) {}
+
+  /// \brief Parse (or fetch the cached parse of) `text`. Returns nullptr if
+  /// the text is not in the language.
+  const ParseTree* Get(const std::string& text);
+
+  /// \brief Number of actual parser invocations (cache misses), used to
+  /// verify parse-cost amortization.
+  size_t parse_calls() const { return parse_calls_; }
+  void Clear() { cache_.clear(); }
+
+ private:
+  EarleyParser parser_;
+  std::unordered_map<std::string, std::unique_ptr<ParseTree>> cache_;
+  size_t parse_calls_ = 0;
+};
+
+/// \brief Representation of a rule occurrence as a per-symbol signal.
+enum class GrammarHypothesisMode {
+  kTimeDomain,  ///< 1 throughout each occurrence span
+  kSignal,      ///< 1 at the first and last symbol of each span
+  kDepth,       ///< number of nested occurrences covering the symbol
+};
+
+/// \brief Binary/numeric hypothesis for one nonterminal of a grammar.
+class GrammarRuleHypothesis : public HypothesisFn {
+ public:
+  GrammarRuleHypothesis(const Cfg* cfg, std::shared_ptr<ParseCache> cache,
+                        SymbolId symbol, GrammarHypothesisMode mode);
+
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override {
+    return mode_ == GrammarHypothesisMode::kDepth ? 0 : 2;
+  }
+
+ private:
+  const Cfg* cfg_;
+  std::shared_ptr<ParseCache> cache_;
+  SymbolId symbol_;
+  GrammarHypothesisMode mode_;
+};
+
+/// \brief Build the paper's default hypothesis set: two hypotheses (time +
+/// signal) per nonterminal (§6.2: "we build two hypotheses per
+/// non-terminal"). All share one ParseCache.
+std::vector<HypothesisPtr> MakeGrammarHypotheses(const Cfg* cfg);
+
+/// \brief As above but only the time-domain representation.
+std::vector<HypothesisPtr> MakeTimeDomainHypotheses(const Cfg* cfg);
+
+}  // namespace deepbase

@@ -1,0 +1,53 @@
+#include "hypothesis/hypothesis.h"
+
+namespace deepbase {
+
+std::vector<float> AnnotationHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  auto it = rec.annotations.find(track_);
+  if (it == rec.annotations.end()) return out;
+  const auto& track = it->second;
+  for (size_t i = 0; i < rec.size() && i < track.size(); ++i) {
+    if (track[i] == label_) out[i] = 1.0f;
+  }
+  return out;
+}
+
+MultiClassAnnotationHypothesis::MultiClassAnnotationHypothesis(
+    std::string track, std::vector<std::string> labels)
+    : HypothesisFn(track + ":multiclass"),
+      track_(std::move(track)),
+      labels_(std::move(labels)) {}
+
+std::vector<float> MultiClassAnnotationHypothesis::Eval(
+    const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  auto it = rec.annotations.find(track_);
+  if (it == rec.annotations.end()) return out;
+  const auto& track = it->second;
+  for (size_t i = 0; i < rec.size() && i < track.size(); ++i) {
+    for (size_t c = 0; c < labels_.size(); ++c) {
+      if (track[i] == labels_[c]) {
+        out[i] = static_cast<float>(c);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> KeywordHypothesis::Eval(const Record& rec) const {
+  const std::string text = rec.Text();
+  std::vector<float> out(rec.size(), 0.0f);
+  if (keyword_.empty()) return out;
+  size_t pos = 0;
+  while ((pos = text.find(keyword_, pos)) != std::string::npos) {
+    for (size_t i = pos; i < pos + keyword_.size() && i < out.size(); ++i) {
+      out[i] = 1.0f;
+    }
+    pos += keyword_.size();
+  }
+  return out;
+}
+
+}  // namespace deepbase

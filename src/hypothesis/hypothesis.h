@@ -1,0 +1,113 @@
+// Hypothesis functions h(d) ∈ R^ns (paper §3): user-provided logic that
+// annotates each symbol of a record with a behavior value. The engine
+// measures statistical affinity between these behaviors and hidden-unit
+// behaviors.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace deepbase {
+
+/// \brief Base class for hypothesis functions.
+///
+/// The only contract (paper §3) is that Eval returns one value per record
+/// symbol. Binary hypotheses emit {0,1}; categorical hypotheses emit class
+/// ids in [0, num_classes); numeric hypotheses (e.g. "counts characters")
+/// emit arbitrary floats with num_classes() == 0.
+class HypothesisFn {
+ public:
+  explicit HypothesisFn(std::string name) : name_(std::move(name)) {}
+  virtual ~HypothesisFn() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Hypothesis behaviors for one record; must have rec.size()
+  /// entries.
+  virtual std::vector<float> Eval(const Record& rec) const = 0;
+
+  /// \brief 2 for binary, k for categorical, 0 for unrestricted numeric.
+  virtual int num_classes() const { return 2; }
+
+ private:
+  std::string name_;
+};
+
+using HypothesisPtr = std::shared_ptr<HypothesisFn>;
+
+/// \brief Wraps an arbitrary callable as a hypothesis (the paper's "any
+/// Python function" escape hatch).
+class FunctionHypothesis : public HypothesisFn {
+ public:
+  using Fn = std::function<std::vector<float>(const Record&)>;
+  FunctionHypothesis(std::string name, Fn fn, int num_classes = 2)
+      : HypothesisFn(std::move(name)),
+        fn_(std::move(fn)),
+        num_classes_(num_classes) {}
+
+  std::vector<float> Eval(const Record& rec) const override {
+    return fn_(rec);
+  }
+  int num_classes() const override { return num_classes_; }
+
+ private:
+  Fn fn_;
+  int num_classes_;
+};
+
+/// \brief Binary hypothesis from a per-symbol annotation track: emits 1
+/// where annotations[track][i] == label (paper §4.2 "Annotations").
+class AnnotationHypothesis : public HypothesisFn {
+ public:
+  AnnotationHypothesis(std::string track, std::string label)
+      : HypothesisFn(track + "=" + label),
+        track_(std::move(track)),
+        label_(std::move(label)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  std::string track_;
+  std::string label_;
+};
+
+/// \brief Categorical hypothesis from an annotation track: emits the index
+/// of the symbol's label within a fixed label set (used by multi-class
+/// probes such as the POS-tag analysis of §6.3.1). Unknown labels map to
+/// class 0.
+class MultiClassAnnotationHypothesis : public HypothesisFn {
+ public:
+  MultiClassAnnotationHypothesis(std::string track,
+                                 std::vector<std::string> labels);
+
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override {
+    return static_cast<int>(labels_.size());
+  }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::string track_;
+  std::vector<std::string> labels_;
+};
+
+/// \brief Binary hypothesis that marks every character covered by an
+/// occurrence of `keyword` in the record's text (e.g. "detects the SELECT
+/// keyword", §2.3).
+class KeywordHypothesis : public HypothesisFn {
+ public:
+  explicit KeywordHypothesis(std::string keyword)
+      : HypothesisFn("keyword:" + keyword), keyword_(std::move(keyword)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  std::string keyword_;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,47 @@
+#include "hypothesis/iterators.h"
+
+namespace deepbase {
+
+std::vector<float> NestingDepthHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  int depth = 0;
+  for (size_t i = 0; i < rec.size(); ++i) {
+    const std::string& tok = rec.tokens[i];
+    if (!tok.empty()) {
+      if (open_.find(tok[0]) != std::string::npos) ++depth;
+      if (close_.find(tok[0]) != std::string::npos && depth > 0) --depth;
+    }
+    out[i] = static_cast<float>(depth);
+  }
+  return out;
+}
+
+std::vector<float> PositionIndexHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size());
+  for (size_t i = 0; i < rec.size(); ++i) out[i] = static_cast<float>(i);
+  return out;
+}
+
+std::vector<float> CharClassHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  for (size_t i = 0; i < rec.size(); ++i) {
+    const std::string& tok = rec.tokens[i];
+    if (!tok.empty() && chars_.find(tok[0]) != std::string::npos) {
+      out[i] = 1.0f;
+    }
+  }
+  return out;
+}
+
+std::vector<float> RemainingLengthHypothesis::Eval(const Record& rec) const {
+  // Find the unpadded length.
+  size_t len = rec.size();
+  while (len > 0 && rec.ids[len - 1] == Vocab::kPadId) --len;
+  std::vector<float> out(rec.size(), 0.0f);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<float>(len - 1 - i);
+  }
+  return out;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,63 @@
+// "General iterator" hypotheses (paper §4.2): any program that iterates
+// over input symbols can label each symbol with the state of its variables
+// — e.g. a shift-reduce parser's stack depth, a character counter, or a
+// character-class detector.
+
+#pragma once
+
+#include <string>
+
+#include "hypothesis/hypothesis.h"
+
+namespace deepbase {
+
+/// \brief Emits the current nesting depth after reading each symbol, where
+/// `open` characters increase and `close` characters decrease the depth
+/// (the stack-size feature of the paper's shift-reduce example).
+class NestingDepthHypothesis : public HypothesisFn {
+ public:
+  NestingDepthHypothesis(std::string open, std::string close)
+      : HypothesisFn("nesting_depth"),
+        open_(std::move(open)),
+        close_(std::move(close)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override { return 0; }
+
+ private:
+  std::string open_, close_;
+};
+
+/// \brief Emits the 0-based symbol index — the "model counts characters"
+/// hypothesis of §2.3/§3 (the paper's example of a value in [0, 100]).
+class PositionIndexHypothesis : public HypothesisFn {
+ public:
+  PositionIndexHypothesis() : HypothesisFn("position_index") {}
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override { return 0; }
+};
+
+/// \brief Emits 1 for symbols whose first character belongs to `chars`
+/// (e.g. whitespace or digit detectors, the u12 observation in Figure 1).
+class CharClassHypothesis : public HypothesisFn {
+ public:
+  CharClassHypothesis(std::string name, std::string chars)
+      : HypothesisFn(std::move(name)), chars_(std::move(chars)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  std::string chars_;
+};
+
+/// \brief Emits the number of symbols remaining until the end of the
+/// unpadded record — a "sentence length tracker" hypothesis (§6.3.2 finds
+/// such a unit in the trained NMT encoder).
+class RemainingLengthHypothesis : public HypothesisFn {
+ public:
+  RemainingLengthHypothesis() : HypothesisFn("remaining_length") {}
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override { return 0; }
+};
+
+}  // namespace deepbase

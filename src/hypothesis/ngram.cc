@@ -1,0 +1,96 @@
+#include "hypothesis/ngram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+NgramModel::NgramModel(size_t order, size_t vocab_size)
+    : order_(order), vocab_size_(std::max<size_t>(vocab_size, 1)) {
+  DB_DCHECK(order >= 1);
+}
+
+std::string NgramModel::ContextKey(const std::vector<int>& ids,
+                                   size_t t) const {
+  // The up-to-(order-1) symbols before position t, as a compact key.
+  const size_t history = order_ - 1;
+  const size_t start = t >= history ? t - history : 0;
+  std::string key;
+  key.reserve((t - start) * 3);
+  for (size_t i = start; i < t; ++i) {
+    key += std::to_string(ids[i]);
+    key += ',';
+  }
+  return key;
+}
+
+void NgramModel::Fit(const Dataset& corpus) {
+  for (const Record& rec : corpus.records()) {
+    for (size_t t = 0; t < rec.ids.size(); ++t) {
+      const std::string key = ContextKey(rec.ids, t);
+      ++counts_[key][rec.ids[t]];
+      ++totals_[key];
+    }
+  }
+}
+
+double NgramModel::Prob(const std::vector<int>& ids, size_t t) const {
+  const std::string key = ContextKey(ids, t);
+  auto ctx = counts_.find(key);
+  const size_t total = ctx == counts_.end() ? 0 : totals_.at(key);
+  size_t count = 0;
+  if (ctx != counts_.end()) {
+    auto sym = ctx->second.find(ids[t]);
+    if (sym != ctx->second.end()) count = sym->second;
+  }
+  // Add-one smoothing over the vocabulary.
+  return (static_cast<double>(count) + 1.0) /
+         (static_cast<double>(total) + static_cast<double>(vocab_size_));
+}
+
+int NgramModel::Predict(const std::vector<int>& ids, size_t t) const {
+  const std::string key = ContextKey(ids, t);
+  auto ctx = counts_.find(key);
+  if (ctx == counts_.end() || ctx->second.empty()) return -1;
+  int best = -1;
+  size_t best_count = 0;
+  for (const auto& [symbol, count] : ctx->second) {
+    if (count > best_count) {
+      best_count = count;
+      best = symbol;
+    }
+  }
+  return best;
+}
+
+std::vector<float> NgramProbHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size());
+  for (size_t t = 0; t < rec.size(); ++t) {
+    out[t] = static_cast<float>(model_->Prob(rec.ids, t));
+  }
+  return out;
+}
+
+std::vector<float> NgramCorrectHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size());
+  for (size_t t = 0; t < rec.size(); ++t) {
+    out[t] = model_->Predict(rec.ids, t) == rec.ids[t] ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+std::vector<HypothesisPtr> MakeNgramHypotheses(
+    const Dataset& corpus, const std::vector<size_t>& orders) {
+  std::vector<HypothesisPtr> out;
+  for (size_t order : orders) {
+    auto model =
+        std::make_shared<NgramModel>(order, corpus.vocab().size());
+    model->Fit(corpus);
+    out.push_back(std::make_shared<NgramProbHypothesis>(model));
+    out.push_back(std::make_shared<NgramCorrectHypothesis>(model));
+  }
+  return out;
+}
+
+}  // namespace deepbase

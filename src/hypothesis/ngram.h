@@ -1,0 +1,86 @@
+// N-gram hypotheses (paper §2.1: one candidate explanation of the SQL
+// auto-completion model is that "it learns an N-gram model that uses the
+// previous N-1 characters to predict the next"; Appendix D concludes the
+// model learns grammar rules "rather than arbitrary N-grams"). A
+// count-based n-gram language model is fit on a reference corpus; its
+// per-symbol predictions become hypothesis behaviors that DNI can score
+// against hidden units — if units track the n-gram signal more strongly
+// than grammar hypotheses, the model is memorizing local statistics.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypothesis/hypothesis.h"
+
+namespace deepbase {
+
+/// \brief Count-based n-gram model over vocab ids with add-one smoothing.
+class NgramModel {
+ public:
+  /// \param order n in n-gram: context size is n-1 symbols. order >= 1.
+  NgramModel(size_t order, size_t vocab_size);
+
+  /// \brief Accumulate counts from every record of the corpus.
+  void Fit(const Dataset& corpus);
+
+  /// \brief P(symbol at position t | previous order-1 symbols) with
+  /// add-one smoothing. Positions with shorter history use the available
+  /// prefix (backoff to the shorter context).
+  double Prob(const std::vector<int>& ids, size_t t) const;
+
+  /// \brief The argmax next-symbol prediction for position t (the symbol
+  /// the n-gram model would auto-complete).
+  int Predict(const std::vector<int>& ids, size_t t) const;
+
+  size_t order() const { return order_; }
+
+ private:
+  std::string ContextKey(const std::vector<int>& ids, size_t t) const;
+
+  size_t order_;
+  size_t vocab_size_;
+  // context key -> (symbol -> count), plus a per-context total.
+  std::map<std::string, std::map<int, size_t>> counts_;
+  std::map<std::string, size_t> totals_;
+};
+
+/// \brief Emits the n-gram probability of each observed symbol (numeric
+/// hypothesis): high where the record is n-gram-predictable.
+class NgramProbHypothesis : public HypothesisFn {
+ public:
+  NgramProbHypothesis(std::shared_ptr<const NgramModel> model)
+      : HypothesisFn("ngram" + std::to_string(model->order()) + ":prob"),
+        model_(std::move(model)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override { return 0; }
+
+ private:
+  std::shared_ptr<const NgramModel> model_;
+};
+
+/// \brief Emits 1 where the n-gram model's argmax prediction matches the
+/// observed symbol (binary hypothesis): "this symbol is n-gram guessable".
+class NgramCorrectHypothesis : public HypothesisFn {
+ public:
+  NgramCorrectHypothesis(std::shared_ptr<const NgramModel> model)
+      : HypothesisFn("ngram" + std::to_string(model->order()) + ":correct"),
+        model_(std::move(model)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  std::shared_ptr<const NgramModel> model_;
+};
+
+/// \brief Fit an n-gram model on `corpus` and build both hypothesis
+/// encodings for each order in `orders` (e.g. {2, 3} gives bigram and
+/// trigram hypotheses — the "compare against N-grams" sweep).
+std::vector<HypothesisPtr> MakeNgramHypotheses(
+    const Dataset& corpus, const std::vector<size_t>& orders);
+
+}  // namespace deepbase

@@ -1,0 +1,107 @@
+#include "hypothesis/pos_tagger.h"
+
+#include "data/translation_corpus.h"
+
+namespace deepbase {
+
+void PosTagger::AddWord(const std::string& word, const std::string& tag) {
+  lexicon_.emplace(word, tag);  // first tag wins, as in simple POS lexicons
+}
+
+std::vector<std::string> PosTagger::Tag(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> tags;
+  tags.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    if (tok == Vocab::kPadToken || tok.empty()) {
+      tags.push_back("");
+      continue;
+    }
+    auto it = lexicon_.find(tok);
+    if (it != lexicon_.end()) {
+      tags.push_back(it->second);
+      continue;
+    }
+    // Suffix fallback rules.
+    auto ends_with = [&](const char* suf) {
+      size_t n = std::string(suf).size();
+      return tok.size() >= n && tok.compare(tok.size() - n, n, suf) == 0;
+    };
+    if (std::isdigit(static_cast<unsigned char>(tok[0]))) {
+      tags.push_back("CD");
+    } else if (ends_with("ly")) {
+      tags.push_back("RB");
+    } else if (ends_with("ed")) {
+      tags.push_back("VBD");
+    } else if (ends_with("s")) {
+      tags.push_back("NNS");
+    } else {
+      tags.push_back("NN");
+    }
+  }
+  return tags;
+}
+
+std::shared_ptr<PosTagger> PosTagger::ForTranslationCorpus() {
+  auto tagger = std::make_shared<PosTagger>();
+  // Derive word->tag pairs by sampling the corpus generator once: every
+  // vocabulary word appears with its gold tag.
+  TranslationCorpus corpus = GenerateTranslationCorpus(2000, 24, /*seed=*/11);
+  for (const Record& rec : corpus.source.records()) {
+    const auto& pos = rec.annotations.at("pos");
+    for (size_t i = 0; i < rec.tokens.size(); ++i) {
+      if (!pos[i].empty() && rec.tokens[i] != Vocab::kPadToken) {
+        tagger->AddWord(rec.tokens[i], pos[i]);
+      }
+    }
+  }
+  return tagger;
+}
+
+std::vector<float> PosTagHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  std::vector<std::string> tags;
+  if (use_gold_) {
+    auto it = rec.annotations.find("pos");
+    if (it != rec.annotations.end()) tags = it->second;
+  }
+  if (tags.empty()) tags = tagger_->Tag(rec.tokens);
+  for (size_t i = 0; i < out.size() && i < tags.size(); ++i) {
+    if (tags[i] == tag_) out[i] = 1.0f;
+  }
+  return out;
+}
+
+MultiClassPosHypothesis::MultiClassPosHypothesis(
+    std::shared_ptr<const PosTagger> tagger, std::vector<std::string> tagset,
+    bool use_gold)
+    : HypothesisFn("pos:multiclass"),
+      tagger_(std::move(tagger)),
+      tagset_(std::move(tagset)),
+      use_gold_(use_gold) {}
+
+std::vector<float> MultiClassPosHypothesis::Eval(const Record& rec) const {
+  std::vector<std::string> tags;
+  if (use_gold_) {
+    auto it = rec.annotations.find("pos");
+    if (it != rec.annotations.end()) tags = it->second;
+  }
+  if (tags.empty()) tags = tagger_->Tag(rec.tokens);
+  std::vector<float> out(rec.size(), 0.0f);
+  for (size_t i = 0; i < out.size() && i < tags.size(); ++i) {
+    for (size_t c = 0; c < tagset_.size(); ++c) {
+      if (tags[i] == tagset_[c]) {
+        out[i] = static_cast<float>(c + 1);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MultiClassPosHypothesis::ClassName(int c) const {
+  if (c <= 0 || c > static_cast<int>(tagset_.size())) return "<pad>";
+  return tagset_[c - 1];
+}
+
+}  // namespace deepbase

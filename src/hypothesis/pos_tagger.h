@@ -1,0 +1,80 @@
+// Rule-based part-of-speech tagger: the CoreNLP substitute for the NMT
+// experiments (§6.3). Tags come from a word lexicon with suffix-rule
+// fallback; because the synthetic corpus has a closed vocabulary, the
+// tagger reproduces the generator's gold tags exactly — what matters for
+// the experiments is that tagging runs as real hypothesis-extraction work.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypothesis/hypothesis.h"
+
+namespace deepbase {
+
+/// \brief Lexicon + suffix-rule POS tagger over word tokens.
+class PosTagger {
+ public:
+  /// \brief Add a word -> tag entry.
+  void AddWord(const std::string& word, const std::string& tag);
+
+  /// \brief Tag a token sequence. Unknown words fall back to suffix rules
+  /// (-s -> NNS, -ed -> VBD, -ly -> RB, digit -> CD), else "NN".
+  std::vector<std::string> Tag(const std::vector<std::string>& tokens) const;
+
+  /// \brief Tagger pre-loaded with the synthetic translation lexicon.
+  static std::shared_ptr<PosTagger> ForTranslationCorpus();
+
+ private:
+  std::map<std::string, std::string> lexicon_;
+};
+
+/// \brief Binary hypothesis: 1 where the tagger assigns `tag`. Prefers the
+/// record's gold "pos" annotation if present; otherwise invokes the tagger
+/// (the extraction-cost path).
+class PosTagHypothesis : public HypothesisFn {
+ public:
+  PosTagHypothesis(std::shared_ptr<const PosTagger> tagger, std::string tag,
+                   bool use_gold = false)
+      : HypothesisFn("pos=" + tag),
+        tagger_(std::move(tagger)),
+        tag_(std::move(tag)),
+        use_gold_(use_gold) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  std::shared_ptr<const PosTagger> tagger_;
+  std::string tag_;
+  bool use_gold_;
+};
+
+/// \brief Categorical hypothesis: emits the tag's index in `tagset` per
+/// token (class 0 for padding / unknown) — the multi-class probe target of
+/// the Belinkov et al. reproduction (Figure 11).
+class MultiClassPosHypothesis : public HypothesisFn {
+ public:
+  /// \param use_gold prefer the record's gold "pos" annotation when present
+  ///        (context-dependent tags for ambiguous words); otherwise always
+  ///        run the lexicon tagger.
+  MultiClassPosHypothesis(std::shared_ptr<const PosTagger> tagger,
+                          std::vector<std::string> tagset,
+                          bool use_gold = false);
+
+  std::vector<float> Eval(const Record& rec) const override;
+  int num_classes() const override {
+    return static_cast<int>(tagset_.size()) + 1;  // +1 for pad/unknown
+  }
+  /// \brief Tag name for class index c (c >= 1); class 0 is "<pad>".
+  std::string ClassName(int c) const;
+
+ private:
+  std::shared_ptr<const PosTagger> tagger_;
+  std::vector<std::string> tagset_;
+  bool use_gold_;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,536 @@
+#include "hypothesis/regex.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace deepbase {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing: pattern string → syntax tree.
+// ---------------------------------------------------------------------------
+
+enum class NodeKind { kCharSet, kConcat, kAlt, kStar, kPlus, kOpt, kEmpty };
+
+struct AstNode {
+  NodeKind kind;
+  CharSet chars;                             // kCharSet
+  std::unique_ptr<AstNode> left, right;      // children
+
+  explicit AstNode(NodeKind k) : kind(k) {}
+};
+
+using AstPtr = std::unique_ptr<AstNode>;
+
+AstPtr MakeCharSet(const CharSet& set) {
+  auto node = std::make_unique<AstNode>(NodeKind::kCharSet);
+  node->chars = set;
+  return node;
+}
+
+AstPtr MakeBinary(NodeKind kind, AstPtr left, AstPtr right) {
+  auto node = std::make_unique<AstNode>(kind);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+AstPtr MakeUnary(NodeKind kind, AstPtr child) {
+  auto node = std::make_unique<AstNode>(kind);
+  node->left = std::move(child);
+  return node;
+}
+
+CharSet SetOf(const std::string& chars) {
+  CharSet s;
+  for (unsigned char c : chars) {
+    if (c < kRegexAlphabetSize) s.set(c);
+  }
+  return s;
+}
+
+CharSet RangeSet(unsigned char lo, unsigned char hi) {
+  CharSet s;
+  for (unsigned c = lo; c <= hi && c < kRegexAlphabetSize; ++c) s.set(c);
+  return s;
+}
+
+CharSet DotSet() {
+  CharSet s;
+  s.set();       // all of ASCII ...
+  s.reset('\n');  // ... except newline, the conventional '.' semantics
+  return s;
+}
+
+// Recursive-descent parser. Grammar:
+//   alt    := concat ('|' concat)*
+//   concat := repeat*
+//   repeat := atom ('*' | '+' | '?')*
+//   atom   := '(' alt ')' | '[' class ']' | '.' | escape | literal
+class Parser {
+ public:
+  explicit Parser(const std::string& pattern) : pattern_(pattern) {}
+
+  Result<AstPtr> Parse() {
+    DB_ASSIGN_OR_RETURN(AstPtr root, ParseAlt());
+    if (pos_ != pattern_.size()) {
+      return Status::Invalid("regex: unexpected '" +
+                             std::string(1, pattern_[pos_]) + "' at offset " +
+                             std::to_string(pos_));
+    }
+    return root;
+  }
+
+ private:
+  bool Done() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+
+  Result<AstPtr> ParseAlt() {
+    DB_ASSIGN_OR_RETURN(AstPtr left, ParseConcat());
+    while (!Done() && Peek() == '|') {
+      ++pos_;
+      DB_ASSIGN_OR_RETURN(AstPtr right, ParseConcat());
+      left = MakeBinary(NodeKind::kAlt, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstPtr> ParseConcat() {
+    AstPtr left = std::make_unique<AstNode>(NodeKind::kEmpty);
+    bool first = true;
+    while (!Done() && Peek() != '|' && Peek() != ')') {
+      DB_ASSIGN_OR_RETURN(AstPtr atom, ParseRepeat());
+      if (first) {
+        left = std::move(atom);
+        first = false;
+      } else {
+        left =
+            MakeBinary(NodeKind::kConcat, std::move(left), std::move(atom));
+      }
+    }
+    return left;
+  }
+
+  Result<AstPtr> ParseRepeat() {
+    DB_ASSIGN_OR_RETURN(AstPtr atom, ParseAtom());
+    while (!Done()) {
+      const char c = Peek();
+      if (c == '*') {
+        atom = MakeUnary(NodeKind::kStar, std::move(atom));
+      } else if (c == '+') {
+        atom = MakeUnary(NodeKind::kPlus, std::move(atom));
+      } else if (c == '?') {
+        atom = MakeUnary(NodeKind::kOpt, std::move(atom));
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    return atom;
+  }
+
+  Result<AstPtr> ParseAtom() {
+    if (Done()) return Status::Invalid("regex: pattern ends unexpectedly");
+    const char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      DB_ASSIGN_OR_RETURN(AstPtr inner, ParseAlt());
+      if (Done() || Peek() != ')') {
+        return Status::Invalid("regex: missing ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') return ParseClass();
+    if (c == '.') {
+      ++pos_;
+      return MakeCharSet(DotSet());
+    }
+    if (c == '\\') return ParseEscape();
+    if (c == '*' || c == '+' || c == '?') {
+      return Status::Invalid(std::string("regex: dangling quantifier '") + c +
+                             "'");
+    }
+    if (c == ')') return Status::Invalid("regex: unmatched ')'");
+    ++pos_;
+    return MakeCharSet(SetOf(std::string(1, c)));
+  }
+
+  Result<CharSet> EscapeSet() {
+    ++pos_;  // consume '\'
+    if (Done()) return Status::Invalid("regex: trailing backslash");
+    const char c = pattern_[pos_++];
+    switch (c) {
+      case 'd':
+        return RangeSet('0', '9');
+      case 'w': {
+        CharSet s = RangeSet('a', 'z') | RangeSet('A', 'Z') |
+                    RangeSet('0', '9');
+        s.set('_');
+        return s;
+      }
+      case 's':
+        return SetOf(" \t\n\r\f\v");
+      case 'n':
+        return SetOf("\n");
+      case 't':
+        return SetOf("\t");
+      default:
+        // Escaped metacharacter or literal.
+        return SetOf(std::string(1, c));
+    }
+  }
+
+  Result<AstPtr> ParseEscape() {
+    DB_ASSIGN_OR_RETURN(CharSet set, EscapeSet());
+    return MakeCharSet(set);
+  }
+
+  Result<AstPtr> ParseClass() {
+    ++pos_;  // consume '['
+    bool negate = false;
+    if (!Done() && Peek() == '^') {
+      negate = true;
+      ++pos_;
+    }
+    CharSet set;
+    bool first = true;
+    while (!Done() && (Peek() != ']' || first)) {
+      first = false;
+      CharSet item;
+      unsigned char lo;
+      if (Peek() == '\\') {
+        DB_ASSIGN_OR_RETURN(item, EscapeSet());
+        // Ranges starting with a multi-char escape are not supported.
+        set |= item;
+        continue;
+      }
+      lo = static_cast<unsigned char>(pattern_[pos_++]);
+      if (!Done() && Peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        ++pos_;  // consume '-'
+        const auto hi = static_cast<unsigned char>(pattern_[pos_++]);
+        if (hi < lo) return Status::Invalid("regex: inverted range in class");
+        set |= RangeSet(lo, hi);
+      } else {
+        if (lo < kRegexAlphabetSize) set.set(lo);
+      }
+    }
+    if (Done()) return Status::Invalid("regex: missing ']'");
+    ++pos_;  // consume ']'
+    if (negate) set.flip();
+    return MakeCharSet(set);
+  }
+
+  const std::string& pattern_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Thompson construction: syntax tree → NFA with epsilon transitions.
+// ---------------------------------------------------------------------------
+
+struct NfaState {
+  // At most one char-set transition (Thompson invariant) ...
+  CharSet chars;
+  int char_next = -1;
+  // ... plus up to two epsilon transitions.
+  int eps[2] = {-1, -1};
+};
+
+struct Nfa {
+  std::vector<NfaState> states;
+  int start = 0;
+  int accept = 0;
+
+  int NewState() {
+    states.emplace_back();
+    return static_cast<int>(states.size()) - 1;
+  }
+
+  void AddEps(int from, int to) {
+    NfaState& s = states[static_cast<size_t>(from)];
+    if (s.eps[0] < 0) {
+      s.eps[0] = to;
+    } else {
+      s.eps[1] = to;
+    }
+  }
+};
+
+// Builds the fragment for `node`, returns {start, accept}.
+std::pair<int, int> BuildNfa(const AstNode& node, Nfa* nfa) {
+  switch (node.kind) {
+    case NodeKind::kCharSet: {
+      const int s = nfa->NewState(), t = nfa->NewState();
+      nfa->states[static_cast<size_t>(s)].chars = node.chars;
+      nfa->states[static_cast<size_t>(s)].char_next = t;
+      return {s, t};
+    }
+    case NodeKind::kEmpty: {
+      const int s = nfa->NewState(), t = nfa->NewState();
+      nfa->AddEps(s, t);
+      return {s, t};
+    }
+    case NodeKind::kConcat: {
+      const auto [ls, lt] = BuildNfa(*node.left, nfa);
+      const auto [rs, rt] = BuildNfa(*node.right, nfa);
+      nfa->AddEps(lt, rs);
+      return {ls, rt};
+    }
+    case NodeKind::kAlt: {
+      const int s = nfa->NewState(), t = nfa->NewState();
+      const auto [ls, lt] = BuildNfa(*node.left, nfa);
+      const auto [rs, rt] = BuildNfa(*node.right, nfa);
+      nfa->AddEps(s, ls);
+      nfa->AddEps(s, rs);
+      nfa->AddEps(lt, t);
+      nfa->AddEps(rt, t);
+      return {s, t};
+    }
+    case NodeKind::kStar: {
+      const int s = nfa->NewState(), t = nfa->NewState();
+      const auto [cs, ct] = BuildNfa(*node.left, nfa);
+      nfa->AddEps(s, cs);
+      nfa->AddEps(s, t);
+      nfa->AddEps(ct, cs);
+      nfa->AddEps(ct, t);
+      return {s, t};
+    }
+    case NodeKind::kPlus: {
+      const auto [cs, ct] = BuildNfa(*node.left, nfa);
+      const int t = nfa->NewState();
+      nfa->AddEps(ct, cs);
+      nfa->AddEps(ct, t);
+      return {cs, t};
+    }
+    case NodeKind::kOpt: {
+      const int s = nfa->NewState(), t = nfa->NewState();
+      const auto [cs, ct] = BuildNfa(*node.left, nfa);
+      nfa->AddEps(s, cs);
+      nfa->AddEps(s, t);
+      nfa->AddEps(ct, t);
+      return {s, t};
+    }
+  }
+  return {0, 0};  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Subset construction: NFA → DFA.
+// ---------------------------------------------------------------------------
+
+void EpsClosure(const Nfa& nfa, std::set<int>* states) {
+  std::vector<int> stack(states->begin(), states->end());
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    for (int e : nfa.states[static_cast<size_t>(s)].eps) {
+      if (e >= 0 && states->insert(e).second) stack.push_back(e);
+    }
+  }
+}
+
+RegexDfa SubsetConstruct(const Nfa& nfa) {
+  std::map<std::set<int>, int> ids;
+  std::vector<std::set<int>> worklist;
+
+  std::set<int> start = {nfa.start};
+  EpsClosure(nfa, &start);
+  ids[start] = 0;
+  worklist.push_back(start);
+
+  std::vector<int> transitions;
+  std::vector<bool> accepting;
+
+  for (size_t i = 0; i < worklist.size(); ++i) {
+    const std::set<int> current = worklist[i];
+    transitions.resize((i + 1) * kRegexAlphabetSize, RegexDfa::kDeadState);
+    accepting.resize(i + 1);
+    accepting[i] = current.count(nfa.accept) > 0;
+
+    // Group reachable targets per character.
+    for (unsigned c = 0; c < kRegexAlphabetSize; ++c) {
+      std::set<int> next;
+      for (int s : current) {
+        const NfaState& st = nfa.states[static_cast<size_t>(s)];
+        if (st.char_next >= 0 && st.chars.test(c)) next.insert(st.char_next);
+      }
+      if (next.empty()) continue;
+      EpsClosure(nfa, &next);
+      auto [it, inserted] = ids.emplace(next, static_cast<int>(ids.size()));
+      if (inserted) worklist.push_back(next);
+      transitions[i * kRegexAlphabetSize + c] = it->second;
+    }
+  }
+
+  return RegexDfa::FromTables(std::move(transitions), std::move(accepting));
+}
+
+// ---------------------------------------------------------------------------
+// Minimization: partition refinement (Moore's algorithm). The DFAs here are
+// small (tens of states), so the O(n² · Σ) refinement is plenty.
+// ---------------------------------------------------------------------------
+
+RegexDfa Minimize(const RegexDfa& dfa) {
+  const int n = dfa.num_states();
+  if (n == 0) return dfa;
+  // Initial partition: accepting vs non-accepting (dead state: class -1).
+  std::vector<int> cls(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) cls[static_cast<size_t>(s)] = dfa.accepting(s);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature of a state: (class, class of target per char).
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> next_cls(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> sig;
+      sig.reserve(kRegexAlphabetSize + 1);
+      sig.push_back(cls[static_cast<size_t>(s)]);
+      for (unsigned c = 0; c < kRegexAlphabetSize; ++c) {
+        const int t = dfa.Next(s, static_cast<unsigned char>(c));
+        sig.push_back(t < 0 ? -1 : cls[static_cast<size_t>(t)]);
+      }
+      auto [it, _] = sig_ids.emplace(std::move(sig),
+                                     static_cast<int>(sig_ids.size()));
+      next_cls[static_cast<size_t>(s)] = it->second;
+    }
+    if (next_cls != cls) {
+      cls = std::move(next_cls);
+      changed = true;
+    }
+  }
+
+  // Rebuild with the start state's class renumbered to 0.
+  const int num_classes =
+      *std::max_element(cls.begin(), cls.end()) + 1;
+  std::vector<int> renumber(static_cast<size_t>(num_classes), -1);
+  std::vector<int> order;
+  renumber[static_cast<size_t>(cls[0])] = 0;
+  order.push_back(0);  // representative state for new state 0
+  for (int s = 1; s < n; ++s) {
+    int& r = renumber[static_cast<size_t>(cls[static_cast<size_t>(s)])];
+    if (r < 0) {
+      r = static_cast<int>(order.size());
+      order.push_back(s);
+    }
+  }
+
+  std::vector<bool> accepting(order.size());
+  std::vector<int> transitions(order.size() * kRegexAlphabetSize,
+                               RegexDfa::kDeadState);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const int rep = order[i];
+    accepting[i] = dfa.accepting(rep);
+    for (unsigned c = 0; c < kRegexAlphabetSize; ++c) {
+      const int t = dfa.Next(rep, static_cast<unsigned char>(c));
+      if (t >= 0) {
+        transitions[i * kRegexAlphabetSize + c] =
+            renumber[static_cast<size_t>(cls[static_cast<size_t>(t)])];
+      }
+    }
+  }
+  return RegexDfa::FromTables(std::move(transitions), std::move(accepting));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Regex public API.
+// ---------------------------------------------------------------------------
+
+Result<Regex> Regex::Compile(const std::string& pattern) {
+  Parser parser(pattern);
+  DB_ASSIGN_OR_RETURN(AstPtr ast, parser.Parse());
+  Nfa nfa;
+  const auto [start, accept] = BuildNfa(*ast, &nfa);
+  nfa.start = start;
+  nfa.accept = accept;
+  Regex regex;
+  regex.pattern_ = pattern;
+  regex.dfa_ = Minimize(SubsetConstruct(nfa));
+  return regex;
+}
+
+bool Regex::FullMatch(const std::string& text) const {
+  int state = 0;
+  for (unsigned char c : text) {
+    state = dfa_.Next(state, c);
+    if (state == RegexDfa::kDeadState) return false;
+  }
+  return dfa_.accepting(state);
+}
+
+bool Regex::PartialMatch(const std::string& text) const {
+  for (size_t start = 0; start <= text.size(); ++start) {
+    int state = 0;
+    if (dfa_.accepting(state)) return true;
+    for (size_t i = start; i < text.size(); ++i) {
+      state = dfa_.Next(state, static_cast<unsigned char>(text[i]));
+      if (state == RegexDfa::kDeadState) break;
+      if (dfa_.accepting(state)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<MatchSpan> Regex::FindAll(const std::string& text) const {
+  std::vector<MatchSpan> spans;
+  size_t start = 0;
+  while (start < text.size()) {
+    int state = 0;
+    size_t longest_end = dfa_.accepting(state) ? start : std::string::npos;
+    for (size_t i = start; i < text.size(); ++i) {
+      state = dfa_.Next(state, static_cast<unsigned char>(text[i]));
+      if (state == RegexDfa::kDeadState) break;
+      if (dfa_.accepting(state)) longest_end = i + 1;
+    }
+    if (longest_end == std::string::npos || longest_end == start) {
+      ++start;  // no match (or an empty one) here — advance
+    } else {
+      spans.push_back({start, longest_end});
+      start = longest_end;
+    }
+  }
+  return spans;
+}
+
+// ---------------------------------------------------------------------------
+// Hypothesis wrappers.
+// ---------------------------------------------------------------------------
+
+std::vector<float> RegexMatchHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  for (const MatchSpan& span : regex_.FindAll(rec.Text())) {
+    for (size_t i = span.begin; i < span.end && i < out.size(); ++i) {
+      out[i] = 1.0f;
+    }
+  }
+  return out;
+}
+
+std::vector<float> RegexBoundaryHypothesis::Eval(const Record& rec) const {
+  std::vector<float> out(rec.size(), 0.0f);
+  for (const MatchSpan& span : regex_.FindAll(rec.Text())) {
+    if (span.begin < out.size()) out[span.begin] = 1.0f;
+    if (span.end > 0 && span.end - 1 < out.size()) out[span.end - 1] = 1.0f;
+  }
+  return out;
+}
+
+Result<std::vector<HypothesisPtr>> MakeRegexHypotheses(
+    const std::string& label, const std::string& pattern) {
+  DB_ASSIGN_OR_RETURN(Regex regex, Regex::Compile(pattern));
+  std::vector<HypothesisPtr> hyps;
+  hyps.push_back(
+      std::make_shared<RegexMatchHypothesis>("regex:" + label, regex));
+  hyps.push_back(std::make_shared<RegexBoundaryHypothesis>(
+      "regex_signal:" + label, std::move(regex)));
+  return hyps;
+}
+
+}  // namespace deepbase

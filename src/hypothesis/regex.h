@@ -1,0 +1,128 @@
+// Regular-expression hypotheses (paper §4.2: "Regular expressions, simple
+// rules, and pattern detectors are easily expressed as finite state
+// machines"). A pattern is compiled through the classical pipeline —
+// parse → Thompson NFA → subset-construction DFA → partition-refinement
+// minimization — and wrapped as hypothesis functions that mark the symbols
+// covered by matches (time-domain) or the match boundaries (signal), the
+// same two encodings used for parse-tree hypotheses.
+//
+// Supported syntax: literals, '.', escapes (\d \w \s \n \t and escaped
+// metacharacters), character classes with ranges and negation ([a-z0-9],
+// [^ ]), grouping, alternation '|', and the quantifiers '*', '+', '?'.
+
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hypothesis/hypothesis.h"
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief Character-set alphabet: 7-bit ASCII.
+inline constexpr size_t kRegexAlphabetSize = 128;
+using CharSet = std::bitset<kRegexAlphabetSize>;
+
+/// \brief A compiled deterministic automaton. States are dense ints;
+/// state 0 is the start state; `kDeadState` (-1) has no outgoing matches.
+class RegexDfa {
+ public:
+  static constexpr int kDeadState = -1;
+
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  bool accepting(int state) const {
+    return state >= 0 && accepting_[static_cast<size_t>(state)];
+  }
+
+  /// \brief Next state (kDeadState if no transition).
+  int Next(int state, unsigned char c) const {
+    if (state < 0 || c >= kRegexAlphabetSize) return kDeadState;
+    return transitions_[static_cast<size_t>(state) * kRegexAlphabetSize + c];
+  }
+
+  /// \brief Assemble a DFA from a dense transition table (one row of
+  /// kRegexAlphabetSize entries per state) and per-state accept flags.
+  /// Used by the compiler stages; not meant for end users.
+  static RegexDfa FromTables(std::vector<int> transitions,
+                             std::vector<bool> accepting) {
+    RegexDfa dfa;
+    dfa.transitions_ = std::move(transitions);
+    dfa.accepting_ = std::move(accepting);
+    return dfa;
+  }
+
+ private:
+  std::vector<int> transitions_;  // num_states × kRegexAlphabetSize
+  std::vector<bool> accepting_;
+};
+
+/// \brief [begin, end) character span of one match.
+struct MatchSpan {
+  size_t begin = 0;
+  size_t end = 0;
+  bool operator==(const MatchSpan&) const = default;
+};
+
+/// \brief A compiled regular expression.
+class Regex {
+ public:
+  /// \brief Compile `pattern`; fails with InvalidArgument on syntax errors.
+  static Result<Regex> Compile(const std::string& pattern);
+
+  /// \brief True if the whole text matches the pattern.
+  bool FullMatch(const std::string& text) const;
+
+  /// \brief True if any substring matches.
+  bool PartialMatch(const std::string& text) const;
+
+  /// \brief Non-overlapping leftmost-longest matches, scanning left to
+  /// right (the POSIX-style semantics a grep user expects). Empty matches
+  /// are skipped so the scan always advances.
+  std::vector<MatchSpan> FindAll(const std::string& text) const;
+
+  const std::string& pattern() const { return pattern_; }
+  const RegexDfa& dfa() const { return dfa_; }
+
+ private:
+  Regex() = default;
+  std::string pattern_;
+  RegexDfa dfa_;
+};
+
+/// \brief Emits 1 for every symbol covered by a match of `pattern`
+/// (time-domain encoding), 0 elsewhere.
+class RegexMatchHypothesis : public HypothesisFn {
+ public:
+  RegexMatchHypothesis(std::string name, Regex regex)
+      : HypothesisFn(std::move(name)), regex_(std::move(regex)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  Regex regex_;
+};
+
+/// \brief Emits 1 only at the first and last symbol of each match (signal
+/// encoding, the h5-style boundary representation of paper §4.2).
+class RegexBoundaryHypothesis : public HypothesisFn {
+ public:
+  RegexBoundaryHypothesis(std::string name, Regex regex)
+      : HypothesisFn(std::move(name)), regex_(std::move(regex)) {}
+
+  std::vector<float> Eval(const Record& rec) const override;
+
+ private:
+  Regex regex_;
+};
+
+/// \brief Compile `pattern` and build both encodings: "regex:<label>" and
+/// "regex_signal:<label>". Fails if the pattern does not compile.
+Result<std::vector<HypothesisPtr>> MakeRegexHypotheses(
+    const std::string& label, const std::string& pattern);
+
+}  // namespace deepbase

@@ -1,0 +1,361 @@
+#include "measures/independent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+namespace {
+
+// Pearson r from raw moment sums.
+double PearsonFromSums(double n, double sx, double sxx, double sy, double syy,
+                       double sxy) {
+  const double cov = n * sxy - sx * sy;
+  const double vx = n * sxx - sx * sx;
+  const double vy = n * syy - sy * sy;
+  if (vx <= 0 || vy <= 0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+// Fisher-CI half width mapped back to r-space: d r/d z = 1 - r^2.
+double FisherHalfWidth(double r, size_t n, double z_critical) {
+  if (n < 8) return std::numeric_limits<double>::infinity();
+  return (1.0 - r * r) * z_critical / std::sqrt(static_cast<double>(n) - 3.0);
+}
+
+// Ranks with average ties.
+std::vector<double> Ranks(const std::vector<float>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    const double avg = 0.5 * (i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Pearson
+
+PearsonMeasure::PearsonMeasure(size_t num_units, double z_critical)
+    : num_units_(num_units),
+      z_critical_(z_critical),
+      sx_(num_units, 0),
+      sxx_(num_units, 0),
+      sxy_(num_units, 0) {}
+
+void PearsonMeasure::ProcessBlock(const Matrix& units,
+                                  const std::vector<float>& hyp) {
+  DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
+  for (size_t r = 0; r < units.rows(); ++r) {
+    const float y = hyp[r];
+    sy_ += y;
+    syy_ += static_cast<double>(y) * y;
+    const float* row = units.row_data(r);
+    for (size_t u = 0; u < num_units_; ++u) {
+      const double x = row[u];
+      sx_[u] += x;
+      sxx_[u] += x * x;
+      sxy_[u] += x * y;
+    }
+  }
+  n_ += units.rows();
+}
+
+double PearsonMeasure::UnitR(size_t u) const {
+  return PearsonFromSums(static_cast<double>(n_), sx_[u], sxx_[u], sy_, syy_,
+                         sxy_[u]);
+}
+
+MeasureScores PearsonMeasure::Scores() const {
+  MeasureScores out;
+  out.unit_scores.resize(num_units_);
+  for (size_t u = 0; u < num_units_; ++u) {
+    out.unit_scores[u] = static_cast<float>(UnitR(u));
+  }
+  return out;
+}
+
+double PearsonMeasure::ErrorEstimate() const {
+  if (n_ < 8) return std::numeric_limits<double>::infinity();
+  double worst = 0;
+  for (size_t u = 0; u < num_units_; ++u) {
+    worst = std::max(worst, FisherHalfWidth(UnitR(u), n_, z_critical_));
+  }
+  return worst;
+}
+
+// --------------------------------------------------------------- Spearman
+
+SpearmanMeasure::SpearmanMeasure(size_t num_units, size_t max_rows,
+                                 double z_critical)
+    : num_units_(num_units),
+      max_rows_(max_rows),
+      z_critical_(z_critical),
+      unit_buf_(num_units) {}
+
+void SpearmanMeasure::ProcessBlock(const Matrix& units,
+                                   const std::vector<float>& hyp) {
+  DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
+  for (size_t r = 0; r < units.rows() && hyp_buf_.size() < max_rows_; ++r) {
+    hyp_buf_.push_back(hyp[r]);
+    const float* row = units.row_data(r);
+    for (size_t u = 0; u < num_units_; ++u) unit_buf_[u].push_back(row[u]);
+  }
+}
+
+MeasureScores SpearmanMeasure::Scores() const {
+  MeasureScores out;
+  out.unit_scores.resize(num_units_, 0.0f);
+  if (hyp_buf_.size() < 3) return out;
+  const std::vector<double> hyp_ranks = Ranks(hyp_buf_);
+  const double n = static_cast<double>(hyp_buf_.size());
+  double sy = 0, syy = 0;
+  for (double v : hyp_ranks) {
+    sy += v;
+    syy += v * v;
+  }
+  for (size_t u = 0; u < num_units_; ++u) {
+    const std::vector<double> xr = Ranks(unit_buf_[u]);
+    double sx = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < xr.size(); ++i) {
+      sx += xr[i];
+      sxx += xr[i] * xr[i];
+      sxy += xr[i] * hyp_ranks[i];
+    }
+    out.unit_scores[u] =
+        static_cast<float>(PearsonFromSums(n, sx, sxx, sy, syy, sxy));
+  }
+  return out;
+}
+
+double SpearmanMeasure::ErrorEstimate() const {
+  const size_t n = hyp_buf_.size();
+  if (n < 8) return std::numeric_limits<double>::infinity();
+  // Conservative: use the worst-case r = 0 Fisher width.
+  return FisherHalfWidth(0.0, n, z_critical_);
+}
+
+// -------------------------------------------------------------- DiffMeans
+
+DiffMeansMeasure::DiffMeansMeasure(size_t num_units)
+    : num_units_(num_units),
+      s1_(num_units, 0),
+      ss1_(num_units, 0),
+      s0_(num_units, 0),
+      ss0_(num_units, 0) {}
+
+void DiffMeansMeasure::ProcessBlock(const Matrix& units,
+                                    const std::vector<float>& hyp) {
+  DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
+  for (size_t r = 0; r < units.rows(); ++r) {
+    const bool pos = hyp[r] >= 0.5f;
+    auto& s = pos ? s1_ : s0_;
+    auto& ss = pos ? ss1_ : ss0_;
+    (pos ? n1_ : n0_) += 1;
+    const float* row = units.row_data(r);
+    for (size_t u = 0; u < num_units_; ++u) {
+      s[u] += row[u];
+      ss[u] += static_cast<double>(row[u]) * row[u];
+    }
+  }
+}
+
+MeasureScores DiffMeansMeasure::Scores() const {
+  MeasureScores out;
+  out.unit_scores.resize(num_units_, 0.0f);
+  if (n1_ == 0 || n0_ == 0) return out;
+  for (size_t u = 0; u < num_units_; ++u) {
+    const double m1 = s1_[u] / n1_, m0 = s0_[u] / n0_;
+    const double v1 = std::max(0.0, ss1_[u] / n1_ - m1 * m1);
+    const double v0 = std::max(0.0, ss0_[u] / n0_ - m0 * m0);
+    const double pooled =
+        std::sqrt((n1_ * v1 + n0_ * v0) / std::max<size_t>(1, n1_ + n0_));
+    out.unit_scores[u] =
+        pooled > 1e-9 ? static_cast<float>((m1 - m0) / pooled) : 0.0f;
+  }
+  return out;
+}
+
+double DiffMeansMeasure::ErrorEstimate() const {
+  if (n1_ < 8 || n0_ < 8) return std::numeric_limits<double>::infinity();
+  // CI half-width of a standardized mean difference ~ 1.96*sqrt(1/n1+1/n0).
+  return 1.96 * std::sqrt(1.0 / n1_ + 1.0 / n0_);
+}
+
+// ---------------------------------------------------------------- Jaccard
+
+JaccardMeasure::JaccardMeasure(size_t num_units, double top_quantile)
+    : num_units_(num_units),
+      top_quantile_(top_quantile),
+      inter_(num_units, 0),
+      uni_(num_units, 0) {}
+
+void JaccardMeasure::ProcessBlock(const Matrix& units,
+                                  const std::vector<float>& hyp) {
+  DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
+  if (!thresholds_ready_) {
+    // Estimate the (1 - q) activation quantile per unit from this block.
+    thresholds_.resize(num_units_);
+    std::vector<float> col(units.rows());
+    for (size_t u = 0; u < num_units_; ++u) {
+      for (size_t r = 0; r < units.rows(); ++r) col[r] = units(r, u);
+      size_t k = static_cast<size_t>(
+          (1.0 - top_quantile_) * static_cast<double>(col.size() - 1));
+      std::nth_element(col.begin(), col.begin() + k, col.end());
+      thresholds_[u] = col[k];
+    }
+    thresholds_ready_ = true;
+  }
+  for (size_t r = 0; r < units.rows(); ++r) {
+    const bool label = hyp[r] >= 0.5f;
+    const float* row = units.row_data(r);
+    for (size_t u = 0; u < num_units_; ++u) {
+      const bool on = row[u] > thresholds_[u];
+      if (on && label) ++inter_[u];
+      if (on || label) ++uni_[u];
+    }
+  }
+  n_ += units.rows();
+}
+
+MeasureScores JaccardMeasure::Scores() const {
+  MeasureScores out;
+  out.unit_scores.resize(num_units_, 0.0f);
+  for (size_t u = 0; u < num_units_; ++u) {
+    out.unit_scores[u] =
+        uni_[u] == 0 ? 0.0f
+                     : static_cast<float>(static_cast<double>(inter_[u]) /
+                                          static_cast<double>(uni_[u]));
+  }
+  return out;
+}
+
+double JaccardMeasure::ErrorEstimate() const {
+  if (n_ < 64) return std::numeric_limits<double>::infinity();
+  double worst = 0;
+  for (size_t u = 0; u < num_units_; ++u) {
+    if (uni_[u] == 0) continue;
+    const double j = static_cast<double>(inter_[u]) / uni_[u];
+    worst = std::max(
+        worst, 1.96 * std::sqrt(j * (1 - j) / static_cast<double>(uni_[u])));
+  }
+  return worst;
+}
+
+// ------------------------------------------------------------ Mutual info
+
+MutualInfoMeasure::MutualInfoMeasure(size_t num_units, int num_classes,
+                                     int num_bins)
+    : num_units_(num_units),
+      num_classes_(num_classes >= 2 ? num_classes : num_bins),
+      num_bins_(num_bins),
+      hyp_numeric_(num_classes < 2) {
+  counts_.assign(num_units_ * num_bins_ * num_classes_, 0);
+}
+
+int MutualInfoMeasure::HypClass(float v) const {
+  if (!hyp_numeric_) {
+    int c = static_cast<int>(v + 0.5f);
+    return std::clamp(c, 0, num_classes_ - 1);
+  }
+  int c = 0;
+  for (float e : hyp_edges_) {
+    if (v > e) ++c;
+  }
+  return std::min(c, num_classes_ - 1);
+}
+
+void MutualInfoMeasure::ProcessBlock(const Matrix& units,
+                                     const std::vector<float>& hyp) {
+  DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
+  if (!edges_ready_) {
+    // Quantile bin edges per unit from the first block.
+    edges_.resize(num_units_ * (num_bins_ - 1));
+    std::vector<float> col(units.rows());
+    for (size_t u = 0; u < num_units_; ++u) {
+      for (size_t r = 0; r < units.rows(); ++r) col[r] = units(r, u);
+      std::sort(col.begin(), col.end());
+      for (int b = 1; b < num_bins_; ++b) {
+        size_t k = b * col.size() / num_bins_;
+        edges_[u * (num_bins_ - 1) + b - 1] = col[std::min(k, col.size() - 1)];
+      }
+    }
+    if (hyp_numeric_) {
+      std::vector<float> hv = hyp;
+      std::sort(hv.begin(), hv.end());
+      hyp_edges_.clear();
+      for (int b = 1; b < num_bins_; ++b) {
+        size_t k = b * hv.size() / num_bins_;
+        hyp_edges_.push_back(hv[std::min(k, hv.size() - 1)]);
+      }
+    }
+    edges_ready_ = true;
+  }
+  for (size_t r = 0; r < units.rows(); ++r) {
+    const int cls = HypClass(hyp[r]);
+    const float* row = units.row_data(r);
+    for (size_t u = 0; u < num_units_; ++u) {
+      const float* e = &edges_[u * (num_bins_ - 1)];
+      int bin = 0;
+      for (int b = 0; b < num_bins_ - 1; ++b) {
+        if (row[u] > e[b]) ++bin;
+      }
+      ++counts_[(u * num_bins_ + bin) * num_classes_ + cls];
+    }
+  }
+  n_ += units.rows();
+}
+
+MeasureScores MutualInfoMeasure::Scores() const {
+  MeasureScores out;
+  out.unit_scores.resize(num_units_, 0.0f);
+  if (n_ == 0) return out;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (size_t u = 0; u < num_units_; ++u) {
+    std::vector<double> pb(num_bins_, 0), pc(num_classes_, 0);
+    for (int b = 0; b < num_bins_; ++b) {
+      for (int c = 0; c < num_classes_; ++c) {
+        const double p =
+            counts_[(u * num_bins_ + b) * num_classes_ + c] * inv_n;
+        pb[b] += p;
+        pc[c] += p;
+      }
+    }
+    double mi = 0;
+    for (int b = 0; b < num_bins_; ++b) {
+      for (int c = 0; c < num_classes_; ++c) {
+        const double p =
+            counts_[(u * num_bins_ + b) * num_classes_ + c] * inv_n;
+        if (p > 0 && pb[b] > 0 && pc[c] > 0) {
+          mi += p * std::log2(p / (pb[b] * pc[c]));
+        }
+      }
+    }
+    out.unit_scores[u] = static_cast<float>(std::max(0.0, mi));
+  }
+  return out;
+}
+
+double MutualInfoMeasure::ErrorEstimate() const {
+  if (n_ < 64) return std::numeric_limits<double>::infinity();
+  // Miller–Madow bias of the plug-in MI estimator.
+  size_t nonzero = 0;
+  for (size_t c : counts_) nonzero += (c > 0);
+  const double cells = static_cast<double>(nonzero) /
+                       std::max<size_t>(1, num_units_);
+  return (cells - 1.0) / (2.0 * static_cast<double>(n_) * std::log(2.0));
+}
+
+}  // namespace deepbase

@@ -1,0 +1,120 @@
+// Independent (per-unit) affinity measures: Pearson and Spearman
+// correlation, mutual information, difference of means, and Jaccard
+// coefficient — the measures the paper cites from the RNN interpretation
+// literature (§4.3) and implements natively.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "measures/measure.h"
+
+namespace deepbase {
+
+/// \brief Streaming Pearson correlation per unit.
+///
+/// Convergence uses the Fisher z-transform normal confidence interval
+/// (paper §5.2.2): the error estimate is the maximum CI half-width (mapped
+/// back to r-space) across units.
+class PearsonMeasure : public Measure {
+ public:
+  PearsonMeasure(size_t num_units, double z_critical = 1.96);
+
+  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  MeasureScores Scores() const override;
+  double ErrorEstimate() const override;
+
+ private:
+  double UnitR(size_t u) const;
+
+  size_t num_units_;
+  double z_critical_;
+  size_t n_ = 0;
+  std::vector<double> sx_, sxx_, sxy_;
+  double sy_ = 0, syy_ = 0;
+};
+
+/// \brief Spearman rank correlation per unit, computed over a bounded
+/// sample buffer (ranking is not streamable exactly; the buffer cap is the
+/// documented approximation).
+class SpearmanMeasure : public Measure {
+ public:
+  SpearmanMeasure(size_t num_units, size_t max_rows = 20000,
+                  double z_critical = 1.96);
+
+  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  MeasureScores Scores() const override;
+  double ErrorEstimate() const override;
+
+ private:
+  size_t num_units_, max_rows_;
+  double z_critical_;
+  std::vector<std::vector<float>> unit_buf_;
+  std::vector<float> hyp_buf_;
+};
+
+/// \brief Standardized difference of means: (mean(x|h=1) − mean(x|h=0)) /
+/// pooled standard deviation, per unit. Hypothesis is binarized at 0.5.
+class DiffMeansMeasure : public Measure {
+ public:
+  explicit DiffMeansMeasure(size_t num_units);
+
+  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  MeasureScores Scores() const override;
+  double ErrorEstimate() const override;
+
+ private:
+  size_t num_units_;
+  size_t n1_ = 0, n0_ = 0;
+  std::vector<double> s1_, ss1_, s0_, ss0_;
+};
+
+/// \brief Jaccard coefficient (intersection over union) between the
+/// thresholded unit activation and the binary hypothesis — NetDissect's
+/// measure (§4.3, Appendix E). Units are binarized at the per-unit
+/// activation quantile estimated from the first block (NetDissect's
+/// quantile binning).
+class JaccardMeasure : public Measure {
+ public:
+  JaccardMeasure(size_t num_units, double top_quantile = 0.2);
+
+  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  MeasureScores Scores() const override;
+  double ErrorEstimate() const override;
+
+ private:
+  size_t num_units_;
+  double top_quantile_;
+  bool thresholds_ready_ = false;
+  std::vector<float> thresholds_;
+  std::vector<size_t> inter_, uni_;
+  size_t n_ = 0;
+};
+
+/// \brief Mutual information between the quantile-binned unit activation
+/// and the (categorical) hypothesis, in bits. Bin edges are estimated from
+/// the first block. The error estimate is the Miller–Madow bias term.
+class MutualInfoMeasure : public Measure {
+ public:
+  MutualInfoMeasure(size_t num_units, int num_classes, int num_bins = 4);
+
+  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  MeasureScores Scores() const override;
+  double ErrorEstimate() const override;
+
+ private:
+  int HypClass(float v) const;
+
+  size_t num_units_;
+  int num_classes_;  // effective hypothesis classes (>= 2)
+  int num_bins_;
+  bool edges_ready_ = false;
+  std::vector<float> edges_;        // num_units × (num_bins-1)
+  std::vector<float> hyp_edges_;    // for numeric hypotheses
+  bool hyp_numeric_;
+  std::vector<size_t> counts_;      // num_units × num_bins × num_classes
+  size_t n_ = 0;
+};
+
+}  // namespace deepbase

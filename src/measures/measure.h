@@ -1,0 +1,96 @@
+// Statistical affinity measures l(U, h, D) -> ([s_u | u in U], s_U)
+// (paper §3) with the incremental computation API of §5.2.2:
+//     l.process_block(U, h, recs) -> (scores, err)
+// Independent measures score each unit separately; joint measures (e.g.
+// logistic regression) fit one model over the whole unit group.
+
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace deepbase {
+
+/// \brief Affinity scores for one (unit group, hypothesis) pair.
+struct MeasureScores {
+  /// One score per unit in the group (empty for group-only measures).
+  std::vector<float> unit_scores;
+  /// Group affinity (NaN when the measure is per-unit only).
+  float group_score = std::numeric_limits<float>::quiet_NaN();
+};
+
+/// \brief Stateful incremental computation of one measure for one
+/// (unit group, hypothesis) pair.
+class Measure {
+ public:
+  virtual ~Measure() = default;
+
+  /// \brief Consume one block of behaviors: `units` is (#symbols × #units),
+  /// `hyp` has one hypothesis behavior per symbol row.
+  virtual void ProcessBlock(const Matrix& units,
+                            const std::vector<float>& hyp) = 0;
+
+  /// \brief Current score estimates.
+  virtual MeasureScores Scores() const = 0;
+
+  /// \brief Estimated error of the current scores; +inf when unknown.
+  /// Convergence = ErrorEstimate() < threshold (paper §5.2.2).
+  virtual double ErrorEstimate() const = 0;
+
+  /// \brief False for measures with no error estimate; the engine then
+  /// processes all of D (paper: "Otherwise, DeepBase ignores the threshold").
+  virtual bool SupportsConvergence() const { return true; }
+};
+
+/// \brief Jointly trained measure over |H| hypotheses sharing one input
+/// (model merging, §5.2.1): one composite model, one output head per
+/// hypothesis. Scores are exactly those of per-hypothesis training in
+/// expectation, since heads share no parameters.
+class MergedMeasure {
+ public:
+  virtual ~MergedMeasure() = default;
+
+  /// \brief `hyps` is (#symbols × #hypotheses).
+  virtual void ProcessBlock(const Matrix& units, const Matrix& hyps) = 0;
+  virtual MeasureScores ScoresFor(size_t hyp_index) const = 0;
+  virtual double ErrorEstimate(size_t hyp_index) const = 0;
+};
+
+/// \brief Factory for measure instances — the objects users put in the
+/// `scores` list of deepbase.inspect() (paper §4.1, e.g.
+/// CorrelationScore('pearson'), LogRegressionScore(regul='L1')).
+class MeasureFactory {
+ public:
+  explicit MeasureFactory(std::string name) : name_(std::move(name)) {}
+  virtual ~MeasureFactory() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Joint measures produce a meaningful group score.
+  virtual bool is_joint() const = 0;
+  /// \brief True if CreateMerged is supported (linear-model measures).
+  virtual bool mergeable() const { return false; }
+
+  /// \param num_units size of the unit group.
+  /// \param num_classes hypothesis class count (2 binary, k categorical,
+  ///        0 numeric).
+  virtual std::unique_ptr<Measure> Create(size_t num_units,
+                                          int num_classes) const = 0;
+
+  virtual std::unique_ptr<MergedMeasure> CreateMerged(
+      size_t /*num_units*/, size_t /*num_hyps*/) const {
+    return nullptr;
+  }
+
+ private:
+  std::string name_;
+};
+
+using MeasureFactoryPtr = std::shared_ptr<MeasureFactory>;
+
+}  // namespace deepbase

@@ -1,0 +1,49 @@
+#include "measures/metrics.h"
+
+namespace deepbase {
+
+double MulticlassConfusion::Precision(size_t c) const {
+  size_t tp = counts_[c * k_ + c];
+  size_t pred = 0;
+  for (size_t a = 0; a < k_; ++a) pred += counts_[a * k_ + c];
+  return pred == 0 ? 0.0 : static_cast<double>(tp) / pred;
+}
+
+double MulticlassConfusion::Recall(size_t c) const {
+  size_t tp = counts_[c * k_ + c];
+  size_t act = Support(c);
+  return act == 0 ? 0.0 : static_cast<double>(tp) / act;
+}
+
+double MulticlassConfusion::F1(size_t c) const {
+  const double p = Precision(c), r = Recall(c);
+  return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+}
+
+double MulticlassConfusion::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t c = 0; c < k_; ++c) correct += counts_[c * k_ + c];
+  return static_cast<double>(correct) / total_;
+}
+
+double MulticlassConfusion::MacroF1() const {
+  if (k_ == 0) return 0.0;
+  double sum = 0;
+  size_t n = 0;
+  for (size_t c = 0; c < k_; ++c) {
+    if (Support(c) > 0) {
+      sum += F1(c);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+size_t MulticlassConfusion::Support(size_t c) const {
+  size_t act = 0;
+  for (size_t p = 0; p < k_; ++p) act += counts_[c * k_ + p];
+  return act;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,69 @@
+// Classification quality metrics shared by the joint measures: binary and
+// multi-class confusion counts with precision / recall / F1 / accuracy.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deepbase {
+
+/// \brief Binary confusion counts with derived metrics. The positive class
+/// is label 1.
+struct BinaryConfusion {
+  size_t tp = 0, fp = 0, fn = 0, tn = 0;
+
+  void Add(bool predicted, bool actual) {
+    if (predicted && actual) ++tp;
+    else if (predicted && !actual) ++fp;
+    else if (!predicted && actual) ++fn;
+    else ++tn;
+  }
+
+  size_t total() const { return tp + fp + fn + tn; }
+  double Precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double F1() const {
+    const double p = Precision(), r = Recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+  double Accuracy() const {
+    return total() == 0 ? 0.0 : static_cast<double>(tp + tn) / total();
+  }
+};
+
+/// \brief Multi-class confusion matrix with per-class precision/F1.
+class MulticlassConfusion {
+ public:
+  explicit MulticlassConfusion(size_t num_classes)
+      : k_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+  void Add(size_t predicted, size_t actual) {
+    if (predicted < k_ && actual < k_) {
+      ++counts_[actual * k_ + predicted];
+      ++total_;
+    }
+  }
+
+  size_t num_classes() const { return k_; }
+  size_t total() const { return total_; }
+
+  double Precision(size_t c) const;
+  double Recall(size_t c) const;
+  double F1(size_t c) const;
+  double Accuracy() const;
+  double MacroF1() const;
+  /// \brief Number of samples whose actual class is c.
+  size_t Support(size_t c) const;
+
+ private:
+  size_t k_;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;  // counts_[actual*k + predicted]
+};
+
+}  // namespace deepbase

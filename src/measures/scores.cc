@@ -1,0 +1,149 @@
+#include "measures/scores.h"
+
+#include "measures/metrics.h"
+#include "util/logging.h"
+
+namespace deepbase {
+
+namespace {
+
+// Shared implementation of the two naive baselines: accumulate the label
+// distribution, score a trivial predictor analytically.
+class NaiveBaselineMeasure : public Measure {
+ public:
+  explicit NaiveBaselineMeasure(bool majority) : majority_(majority) {}
+
+  void ProcessBlock(const Matrix& units,
+                    const std::vector<float>& hyp) override {
+    (void)units;
+    for (float y : hyp) {
+      ++n_;
+      if (y >= 0.5f) ++pos_;
+    }
+  }
+
+  MeasureScores Scores() const override {
+    MeasureScores out;
+    if (n_ == 0) return out;
+    const double p1 = static_cast<double>(pos_) / n_;
+    double f1;
+    if (majority_) {
+      // Majority predictor: if the positive class dominates, precision=p1,
+      // recall=1; otherwise it never predicts positive and F1=0.
+      f1 = p1 >= 0.5 ? 2 * p1 / (1 + p1) : 0.0;
+    } else {
+      // Uniform random predictor: precision=p1, recall=0.5.
+      f1 = (0.5 + p1) > 0 ? 2 * 0.5 * p1 / (0.5 + p1) : 0.0;
+    }
+    out.group_score = static_cast<float>(f1);
+    return out;
+  }
+
+  double ErrorEstimate() const override {
+    if (n_ < 64) return std::numeric_limits<double>::infinity();
+    const double p1 = static_cast<double>(pos_) / n_;
+    return 1.96 * std::sqrt(p1 * (1 - p1) / static_cast<double>(n_));
+  }
+
+ private:
+  bool majority_;
+  size_t n_ = 0, pos_ = 0;
+};
+
+}  // namespace
+
+CorrelationScore::CorrelationScore(const std::string& kind)
+    : MeasureFactory("correlation_" + kind), spearman_(kind == "spearman") {
+  DB_DCHECK(kind == "pearson" || kind == "spearman");
+}
+
+std::unique_ptr<Measure> CorrelationScore::Create(size_t num_units,
+                                                  int num_classes) const {
+  (void)num_classes;
+  if (spearman_) return std::make_unique<SpearmanMeasure>(num_units);
+  return std::make_unique<PearsonMeasure>(num_units);
+}
+
+std::unique_ptr<Measure> DiffMeansScore::Create(size_t num_units,
+                                                int num_classes) const {
+  (void)num_classes;
+  return std::make_unique<DiffMeansMeasure>(num_units);
+}
+
+std::unique_ptr<Measure> JaccardScore::Create(size_t num_units,
+                                              int num_classes) const {
+  (void)num_classes;
+  return std::make_unique<JaccardMeasure>(num_units, top_quantile_);
+}
+
+std::unique_ptr<Measure> MutualInfoScore::Create(size_t num_units,
+                                                 int num_classes) const {
+  return std::make_unique<MutualInfoMeasure>(num_units, num_classes,
+                                             num_bins_);
+}
+
+LogRegressionScore::LogRegressionScore(const std::string& regul, float lambda,
+                                       float lr)
+    : MeasureFactory("logreg_" + regul) {
+  opts_.lr = lr;
+  if (regul == "L1") {
+    opts_.l1 = lambda;
+  } else {
+    DB_DCHECK(regul == "L2");
+    opts_.l2 = lambda;
+  }
+}
+
+std::unique_ptr<Measure> LogRegressionScore::Create(size_t num_units,
+                                                    int num_classes) const {
+  (void)num_classes;
+  return std::make_unique<BinaryLogRegMeasure>(num_units, opts_);
+}
+
+std::unique_ptr<MergedMeasure> LogRegressionScore::CreateMerged(
+    size_t num_units, size_t num_hyps) const {
+  return std::make_unique<MergedLogRegMeasure>(num_units, num_hyps, opts_);
+}
+
+MulticlassLogRegScore::MulticlassLogRegScore(float lambda_l2, float lr)
+    : MeasureFactory("logreg_multiclass") {
+  opts_.lr = lr;
+  opts_.l2 = lambda_l2;
+}
+
+std::unique_ptr<Measure> MulticlassLogRegScore::Create(
+    size_t num_units, int num_classes) const {
+  return std::make_unique<MulticlassLogRegMeasure>(
+      num_units, num_classes >= 2 ? num_classes : 2, opts_);
+}
+
+std::unique_ptr<Measure> RandomBaselineScore::Create(size_t num_units,
+                                                     int num_classes) const {
+  (void)num_units;
+  (void)num_classes;
+  return std::make_unique<NaiveBaselineMeasure>(/*majority=*/false);
+}
+
+std::unique_ptr<Measure> MajorityBaselineScore::Create(
+    size_t num_units, int num_classes) const {
+  (void)num_units;
+  (void)num_classes;
+  return std::make_unique<NaiveBaselineMeasure>(/*majority=*/true);
+}
+
+std::vector<MeasureFactoryPtr> StandardScores() {
+  return {
+      std::make_shared<CorrelationScore>("pearson"),
+      std::make_shared<CorrelationScore>("spearman"),
+      std::make_shared<MutualInfoScore>(),
+      std::make_shared<DiffMeansScore>(),
+      std::make_shared<JaccardScore>(),
+      std::make_shared<LogRegressionScore>("L1"),
+      std::make_shared<LogRegressionScore>("L2"),
+      std::make_shared<MulticlassLogRegScore>(),
+      std::make_shared<RandomBaselineScore>(),
+      std::make_shared<MajorityBaselineScore>(),
+  };
+}
+
+}  // namespace deepbase

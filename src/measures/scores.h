@@ -1,0 +1,119 @@
+// Factory classes for DeepBase's natively supported measures — the
+// objects users pass in the `scores` list of Inspect() (paper §4.1/4.3):
+// 8 statistical measures plus the 2 naive baselines (random class,
+// majority class).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measures/independent.h"
+#include "measures/logreg.h"
+#include "measures/measure.h"
+
+namespace deepbase {
+
+/// \brief CorrelationScore("pearson") / CorrelationScore("spearman").
+class CorrelationScore : public MeasureFactory {
+ public:
+  explicit CorrelationScore(const std::string& kind = "pearson");
+  bool is_joint() const override { return false; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+
+ private:
+  bool spearman_;
+};
+
+/// \brief Standardized difference of means between h=1 and h=0 symbols.
+class DiffMeansScore : public MeasureFactory {
+ public:
+  DiffMeansScore() : MeasureFactory("diff_means") {}
+  bool is_joint() const override { return false; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+};
+
+/// \brief Intersection-over-union of thresholded activations vs hypothesis
+/// (NetDissect's measure).
+class JaccardScore : public MeasureFactory {
+ public:
+  explicit JaccardScore(double top_quantile = 0.2)
+      : MeasureFactory("jaccard"), top_quantile_(top_quantile) {}
+  bool is_joint() const override { return false; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+
+ private:
+  double top_quantile_;
+};
+
+/// \brief Mutual information (bits) between binned activation and
+/// hypothesis class.
+class MutualInfoScore : public MeasureFactory {
+ public:
+  explicit MutualInfoScore(int num_bins = 4)
+      : MeasureFactory("mutual_info"), num_bins_(num_bins) {}
+  bool is_joint() const override { return false; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+
+ private:
+  int num_bins_;
+};
+
+/// \brief LogRegressionScore(regul="L1"|"L2", lambda): joint measure,
+/// mergeable (paper §5.2.1). Group score = validation F1; unit scores =
+/// coefficients.
+class LogRegressionScore : public MeasureFactory {
+ public:
+  explicit LogRegressionScore(const std::string& regul = "L1",
+                              float lambda = 1e-3f, float lr = 0.05f);
+  bool is_joint() const override { return true; }
+  bool mergeable() const override { return true; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+  std::unique_ptr<MergedMeasure> CreateMerged(size_t num_units,
+                                              size_t num_hyps) const override;
+  const LogRegOptions& options() const { return opts_; }
+
+ private:
+  LogRegOptions opts_;
+};
+
+/// \brief Multi-class softmax probe (per-tag analyses of §6.3).
+class MulticlassLogRegScore : public MeasureFactory {
+ public:
+  explicit MulticlassLogRegScore(float lambda_l2 = 1e-4f, float lr = 0.05f);
+  bool is_joint() const override { return true; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+
+ private:
+  LogRegOptions opts_;
+};
+
+/// \brief Naive baseline: F1 of a uniformly random predictor, computed
+/// analytically from the label distribution. Ignores unit behaviors.
+class RandomBaselineScore : public MeasureFactory {
+ public:
+  RandomBaselineScore() : MeasureFactory("random_baseline") {}
+  bool is_joint() const override { return true; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+};
+
+/// \brief Naive baseline: F1 of always predicting the majority class.
+class MajorityBaselineScore : public MeasureFactory {
+ public:
+  MajorityBaselineScore() : MeasureFactory("majority_baseline") {}
+  bool is_joint() const override { return true; }
+  std::unique_ptr<Measure> Create(size_t num_units,
+                                  int num_classes) const override;
+};
+
+/// \brief The full standard library: 8 measures + 2 baselines (§4.1).
+std::vector<MeasureFactoryPtr> StandardScores();
+
+}  // namespace deepbase

@@ -1,0 +1,64 @@
+// Adam optimizer over a flat list of parameter/gradient matrix pairs.
+
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace deepbase {
+
+/// \brief Adam with bias correction (Kingma & Ba 2015), the optimizer the
+/// paper uses for both model training and logistic-regression measures.
+class Adam {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  /// \brief Apply one update step. `params[i]` is updated in place from
+  /// `grads[i]`; state slots are created lazily and keyed by position, so
+  /// the same parameter list must be passed in the same order every step.
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<const Matrix*>& grads) {
+    DB_DCHECK(params.size() == grads.size());
+    if (m_.size() != params.size()) {
+      m_.clear();
+      v_.clear();
+      for (const Matrix* g : grads) {
+        m_.emplace_back(g->rows(), g->cols());
+        v_.emplace_back(g->rows(), g->cols());
+      }
+      t_ = 0;
+    }
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t i = 0; i < params.size(); ++i) {
+      float* p = params[i]->data();
+      const float* g = grads[i]->data();
+      float* m = m_[i].data();
+      float* v = v_[i].data();
+      const size_t n = params[i]->size();
+      DB_DCHECK(n == grads[i]->size());
+      for (size_t k = 0; k < n; ++k) {
+        m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
+        v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
+        const float mhat = m[k] / bc1;
+        const float vhat = v[k] / bc2;
+        p[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<Matrix> m_, v_;
+  int t_ = 0;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,116 @@
+#include "nn/conv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+Matrix Conv2DSame(const Matrix& image, const Matrix& kernel, float bias) {
+  const int h = static_cast<int>(image.rows());
+  const int w = static_cast<int>(image.cols());
+  const int kh = static_cast<int>(kernel.rows());
+  const int kw = static_cast<int>(kernel.cols());
+  const int ph = kh / 2, pw = kw / 2;
+  Matrix out(h, w);
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      float acc = bias;
+      for (int i = 0; i < kh; ++i) {
+        const int rr = r + i - ph;
+        if (rr < 0 || rr >= h) continue;
+        for (int j = 0; j < kw; ++j) {
+          const int cc = c + j - pw;
+          if (cc < 0 || cc >= w) continue;
+          acc += image(rr, cc) * kernel(i, j);
+        }
+      }
+      out(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MaxPool2(const Matrix& map) {
+  const size_t h = (map.rows() + 1) / 2;
+  const size_t w = (map.cols() + 1) / 2;
+  Matrix out(h, w);
+  for (size_t r = 0; r < h; ++r) {
+    for (size_t c = 0; c < w; ++c) {
+      float m = map(2 * r, 2 * c);
+      for (size_t i = 0; i < 2; ++i) {
+        for (size_t j = 0; j < 2; ++j) {
+          size_t rr = 2 * r + i, cc = 2 * c + j;
+          if (rr < map.rows() && cc < map.cols()) m = std::max(m, map(rr, cc));
+        }
+      }
+      out(r, c) = m;
+    }
+  }
+  return out;
+}
+
+Matrix UpsampleNearest(const Matrix& map, size_t h, size_t w) {
+  Matrix out(h, w);
+  for (size_t r = 0; r < h; ++r) {
+    size_t sr = std::min(map.rows() - 1, r * map.rows() / h);
+    for (size_t c = 0; c < w; ++c) {
+      size_t sc = std::min(map.cols() - 1, c * map.cols() / w);
+      out(r, c) = map(sr, sc);
+    }
+  }
+  return out;
+}
+
+TextureCnn::TextureCnn(int num_concepts, int extra_random,
+                       int layer2_channels, uint64_t seed) {
+  Rng rng(seed);
+  const int k = 5;
+  // Planted detectors: cosine stripe kernels matched to the generator's
+  // textures (period c+1; odd concepts horizontal, even vertical).
+  for (int c = 1; c <= num_concepts; ++c) {
+    Matrix kernel(k, k);
+    const double period = c + 1;
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        const int phase_idx = (c % 2 == 1) ? i : j;
+        kernel(i, j) = static_cast<float>(
+            std::cos(2.0 * M_PI * phase_idx / period) / k);
+      }
+    }
+    layer1_.push_back({std::move(kernel), -0.05f});
+  }
+  for (int e = 0; e < extra_random; ++e) {
+    layer1_.push_back(
+        {Matrix::RandomNormal(k, k, &rng, 0.0f, 0.15f), -0.05f});
+  }
+  for (int c2 = 0; c2 < layer2_channels; ++c2) {
+    layer2_.push_back(
+        {Matrix::RandomNormal(3, 3, &rng, 0.0f, 0.3f), 0.0f});
+  }
+}
+
+std::vector<Matrix> TextureCnn::UnitActivations(const Matrix& image) const {
+  const size_t h = image.rows(), w = image.cols();
+  std::vector<Matrix> units;
+  units.reserve(num_units());
+  // Layer 1.
+  std::vector<Matrix> l1;
+  for (const Filter& f : layer1_) {
+    Matrix a = Relu(Conv2DSame(image, f.kernel, f.bias));
+    l1.push_back(a);
+    units.push_back(std::move(a));
+  }
+  // Layer 2 over the pooled layer-1 channel sum.
+  Matrix summed(h, w);
+  for (const Matrix& a : l1) summed += a;
+  Matrix pooled = MaxPool2(summed);
+  for (const Filter& f : layer2_) {
+    Matrix a = Relu(Conv2DSame(pooled, f.kernel, f.bias));
+    units.push_back(UpsampleNearest(a, h, w));
+  }
+  return units;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,56 @@
+// Minimal convolutional network (forward only) for the NetDissect
+// comparison (paper Appendix E). The paper inspects a pretrained VGG16; we
+// substitute a small CNN whose first layer contains planted stripe-texture
+// detectors matched to the synthetic Broden-substitute dataset, so that
+// IoU-based inspection has non-degenerate planted ground truth.
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace deepbase {
+
+/// \brief 2D convolution of a single-channel image with 'same' zero padding.
+Matrix Conv2DSame(const Matrix& image, const Matrix& kernel, float bias);
+
+/// \brief 2×2 max pooling with stride 2 (ceil semantics on odd sizes).
+Matrix MaxPool2(const Matrix& map);
+
+/// \brief Nearest-neighbour upsampling to (h, w) — used to align pooled
+/// activation maps with pixel-level annotation masks, as NetDissect does.
+Matrix UpsampleNearest(const Matrix& map, size_t h, size_t w);
+
+/// \brief Two-layer CNN with planted texture detectors.
+///
+/// Layer 1: one 5×5 cosine-stripe kernel per concept (horizontal stripes of
+/// period c+1 for odd concepts, vertical for even — matching the generator
+/// in data/images.h) plus `extra_random` random kernels; ReLU.
+/// Layer 2: random 3×3 kernels over pooled layer-1 sums; ReLU.
+/// Every channel of both layers is an inspectable unit.
+class TextureCnn {
+ public:
+  TextureCnn(int num_concepts, int extra_random, int layer2_channels,
+             uint64_t seed);
+
+  size_t num_units() const {
+    return layer1_.size() + layer2_.size();
+  }
+  size_t layer1_units() const { return layer1_.size(); }
+
+  /// \brief Per-unit activation maps for an image, each upsampled back to
+  /// the input resolution so they align with pixel annotations.
+  std::vector<Matrix> UnitActivations(const Matrix& image) const;
+
+ private:
+  struct Filter {
+    Matrix kernel;
+    float bias;
+  };
+  std::vector<Filter> layer1_;
+  std::vector<Filter> layer2_;
+};
+
+}  // namespace deepbase

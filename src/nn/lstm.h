@@ -1,0 +1,84 @@
+// LSTM layer with full backpropagation-through-time. The hidden states h_t
+// are the "unit behaviors" that DeepBase inspects (paper §3: behaviors are
+// unit activations per input symbol).
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace deepbase {
+
+/// \brief Per-sequence forward cache needed by Backward().
+struct LstmCache {
+  Matrix inputs;   ///< T × in
+  Matrix gates;    ///< T × 4h, post-activation [i f o g]
+  Matrix cells;    ///< T × h, c_t
+  Matrix hiddens;  ///< T × h, h_t
+  Matrix tanh_c;   ///< T × h, tanh(c_t)
+};
+
+/// \brief Single LSTM layer processing one sequence at a time.
+///
+/// Gate layout in the 4h dimension is [input | forget | output | candidate].
+/// Initial state is zero (records are independent windows).
+class LstmLayer {
+ public:
+  LstmLayer(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+  /// \brief Run the sequence; returns T×h hidden states. If `cache` is
+  /// non-null it is filled for a later Backward().
+  Matrix Forward(const Matrix& inputs, LstmCache* cache) const;
+
+  /// \brief Like Forward but inputs are one-hot token ids (row lookup into
+  /// Wx, avoiding the dense product). `cache->inputs` stays empty; pass the
+  /// same ids to BackwardIds.
+  Matrix ForwardIds(const std::vector<int>& ids, LstmCache* cache) const;
+
+  /// \brief BPTT. `dh` is dLoss/dh_t (T×h). Accumulates parameter grads
+  /// into this layer's grad buffers and writes dLoss/dinputs if non-null.
+  void Backward(const LstmCache& cache, const Matrix& dh,
+                Matrix* dinputs) const;
+
+  /// \brief BPTT for ForwardIds; gradient w.r.t. one-hot inputs lands
+  /// directly in the Wx rows of the seen ids.
+  void BackwardIds(const std::vector<int>& ids, const LstmCache& cache,
+                   const Matrix& dh) const;
+
+  /// \brief Total loss gradient at each hidden state, dL/dh_t (T×h),
+  /// including the recurrent contribution from future timesteps — the
+  /// "gradient of the activations" behavior some DNI papers inspect
+  /// instead of the activation magnitude (paper §3). Does not touch the
+  /// parameter gradient buffers. If `dinputs` is non-null it receives
+  /// dL/dinputs for propagation into a lower layer.
+  Matrix HiddenGradients(const LstmCache& cache, const Matrix& dh,
+                         Matrix* dinputs = nullptr) const;
+
+  /// \brief Parameter and gradient matrices, in a fixed order for Adam.
+  std::vector<Matrix*> Params();
+  std::vector<const Matrix*> Grads() const;
+  void ZeroGrads();
+
+  Matrix wx, wh, b;  ///< in×4h, h×4h, 1×4h
+
+ private:
+  // Shared core once the per-step pre-activation rows are computed.
+  Matrix RunGates(size_t T, Matrix preact, LstmCache* cache) const;
+  // Common BPTT returning d(pre-activations) (T×4h) for the caller to
+  // propagate into Wx / inputs. When `dh_total_out` is non-null it receives
+  // the total dL/dh_t; when `accumulate_grads` is false the parameter
+  // gradient buffers are left untouched (read-only inspection mode).
+  Matrix BackwardCore(const LstmCache& cache, const Matrix& dh,
+                      Matrix* dh_total_out = nullptr,
+                      bool accumulate_grads = true) const;
+
+  size_t input_dim_, hidden_dim_;
+  mutable Matrix dwx_, dwh_, db_;
+};
+
+}  // namespace deepbase

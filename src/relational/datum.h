@@ -1,0 +1,97 @@
+// Typed scalar values for the SQL layer. The behavior-matrix tables of the
+// MADLib baseline stay double-only (table.h); the query front-end of
+// Appendix B additionally needs strings (model ids, hypothesis names) and
+// NULLs, which Datum provides.
+
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace deepbase {
+
+enum class DataType { kNull, kDouble, kString };
+
+/// \brief A nullable scalar: double or string.
+struct Datum {
+  DataType type = DataType::kNull;
+  double num = 0;
+  std::string str;
+
+  static Datum Null() { return {}; }
+  static Datum Number(double v) {
+    Datum d;
+    d.type = DataType::kDouble;
+    d.num = v;
+    return d;
+  }
+  static Datum Str(std::string v) {
+    Datum d;
+    d.type = DataType::kString;
+    d.str = std::move(v);
+    return d;
+  }
+  static Datum Bool(bool v) { return Number(v ? 1.0 : 0.0); }
+
+  bool is_null() const { return type == DataType::kNull; }
+  bool is_number() const { return type == DataType::kDouble; }
+  bool is_string() const { return type == DataType::kString; }
+
+  /// \brief SQL-ish truthiness: non-null and non-zero (strings are truthy
+  /// when non-empty).
+  bool Truthy() const {
+    switch (type) {
+      case DataType::kNull:
+        return false;
+      case DataType::kDouble:
+        return num != 0.0;
+      case DataType::kString:
+        return !str.empty();
+    }
+    return false;
+  }
+
+  /// \brief Total order: NULL < numbers < strings; numbers by value,
+  /// strings lexicographically. Returns -1/0/+1.
+  int Compare(const Datum& other) const {
+    if (type != other.type) {
+      return static_cast<int>(type) < static_cast<int>(other.type) ? -1 : 1;
+    }
+    switch (type) {
+      case DataType::kNull:
+        return 0;
+      case DataType::kDouble:
+        if (num < other.num) return -1;
+        if (num > other.num) return 1;
+        return 0;
+      case DataType::kString:
+        return str.compare(other.str) < 0   ? -1
+               : str.compare(other.str) > 0 ? 1
+                                            : 0;
+    }
+    return 0;
+  }
+
+  bool operator==(const Datum& other) const { return Compare(other) == 0; }
+  bool operator<(const Datum& other) const { return Compare(other) < 0; }
+
+  /// \brief Display form (integers print without a trailing ".000000").
+  std::string ToString() const {
+    switch (type) {
+      case DataType::kNull:
+        return "NULL";
+      case DataType::kDouble: {
+        if (std::isfinite(num) && num == std::floor(num) &&
+            std::fabs(num) < 1e15) {
+          return std::to_string(static_cast<long long>(num));
+        }
+        return std::to_string(num);
+      }
+      case DataType::kString:
+        return str;
+    }
+    return "";
+  }
+};
+
+}  // namespace deepbase

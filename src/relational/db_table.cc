@@ -1,0 +1,114 @@
+#include "relational/db_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace deepbase {
+
+Result<size_t> DbSchema::Resolve(const std::string& ref) const {
+  // Pass 1: exact (qualified) match.
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == ref) return i;
+  }
+  // Pass 2: unique suffix match — "uid" resolves "U.uid".
+  size_t found = names_.size();
+  size_t matches = 0;
+  const std::string suffix = "." + ref;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i].size() > suffix.size() &&
+        names_[i].compare(names_[i].size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+      found = i;
+      ++matches;
+    }
+  }
+  if (matches == 1) return found;
+  if (matches > 1) {
+    return Status::Invalid("ambiguous column reference: " + ref);
+  }
+  return Status::NotFound("no such column: " + ref);
+}
+
+Status DbTable::AppendRow(DbRow row) {
+  if (row.size() != schema_.size()) {
+    return Status::Invalid("row arity " + std::to_string(row.size()) +
+                           " does not match schema arity " +
+                           std::to_string(schema_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Datum> DbTable::At(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::Invalid("row index out of range: " + std::to_string(row));
+  }
+  DB_ASSIGN_OR_RETURN(size_t col, schema_.Resolve(column));
+  return rows_[row][col];
+}
+
+namespace {
+
+void AppendCsvField(const std::string& field, std::string* out) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string DbTable::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (c) out += ',';
+    AppendCsvField(schema_.name(c), &out);
+  }
+  out += '\n';
+  for (const DbRow& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      if (!row[c].is_null()) AppendCsvField(row[c].ToString(), &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DbTable::ToText(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    widths[c] = schema_.name(c).size();
+  }
+  const size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.size());
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream out;
+  auto pad = [&](const std::string& s, size_t w) {
+    out << s << std::string(w - s.size() + 2, ' ');
+  };
+  for (size_t c = 0; c < schema_.size(); ++c) pad(schema_.name(c), widths[c]);
+  out << "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema_.size(); ++c) pad(cells[r][c], widths[c]);
+    out << "\n";
+  }
+  if (shown < rows_.size()) {
+    out << "... (" << rows_.size() - shown << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace deepbase

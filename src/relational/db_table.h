@@ -1,0 +1,80 @@
+// Typed relations for the SQL front-end. Columns carry (possibly qualified)
+// names; name resolution follows SQL scoping: an exact match on the
+// qualified name wins, otherwise a bare name resolves if it matches exactly
+// one column's unqualified suffix.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/datum.h"
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief Ordered column names ("uid" or qualified "U.uid").
+class DbSchema {
+ public:
+  DbSchema() = default;
+  explicit DbSchema(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  void Append(std::string name) { names_.push_back(std::move(name)); }
+  void Append(const DbSchema& other) {
+    names_.insert(names_.end(), other.names_.begin(), other.names_.end());
+  }
+
+  /// \brief Resolve a column reference. Exact match first; then unique
+  /// suffix match on ".<name>"; kNotFound / kInvalidArgument (ambiguous)
+  /// otherwise.
+  Result<size_t> Resolve(const std::string& ref) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+using DbRow = std::vector<Datum>;
+
+/// \brief An in-memory typed relation (row store — the SQL layer is a
+/// catalog/metadata engine, not the behavior-matrix hot path, which stays
+/// in the columnar RelTable).
+class DbTable {
+ public:
+  DbTable() = default;
+  explicit DbTable(DbSchema schema) : schema_(std::move(schema)) {}
+  explicit DbTable(std::vector<std::string> names)
+      : schema_(std::move(names)) {}
+
+  const DbSchema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return schema_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const DbRow& row(size_t i) const { return rows_[i]; }
+  const std::vector<DbRow>& rows() const { return rows_; }
+
+  /// \brief Append one row; the arity must match the schema.
+  Status AppendRow(DbRow row);
+
+  /// \brief Value at (row, column-name); error if the name doesn't resolve.
+  Result<Datum> At(size_t row, const std::string& column) const;
+
+  /// \brief Render as an aligned text table (up to max_rows rows).
+  std::string ToText(size_t max_rows = 50) const;
+
+  /// \brief Render as RFC-4180 CSV (header row + all rows); fields
+  /// containing commas, quotes, or newlines are quoted, quotes doubled.
+  /// NULLs render as empty fields.
+  std::string ToCsv() const;
+
+ private:
+  DbSchema schema_;
+  std::vector<DbRow> rows_;
+};
+
+}  // namespace deepbase

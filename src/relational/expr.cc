@@ -1,0 +1,402 @@
+#include "relational/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace deepbase {
+
+ExprPtr Expr::Literal(Datum value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Unary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Binary(std::string op, ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(left));
+  e->args.push_back(std::move(right));
+  return e;
+}
+
+ExprPtr Expr::Call(std::string func, std::vector<ExprPtr> call_args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->func = std::move(func);
+  std::transform(e->func.begin(), e->func.end(), e->func.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  e->args = std::move(call_args);
+  return e;
+}
+
+ExprPtr Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+bool IsAggregateFunction(const std::string& func) {
+  return func == "count" || func == "count_distinct" || func == "sum" ||
+         func == "avg" || func == "min" || func == "max" || func == "corr";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kCall && IsAggregateFunction(func)) return true;
+  for (const ExprPtr& arg : args) {
+    if (arg->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.is_string() ? "'" + literal.str + "'"
+                                 : literal.ToString();
+    case ExprKind::kColumn:
+      return column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      // Parenthesized so the display form reparses with the original
+      // structure regardless of operator precedence.
+      return "(" + op + " " + args[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + op + " " +
+             args[1]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string out = func + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->column = column;
+  e->op = op;
+  e->func = func;
+  for (const ExprPtr& arg : args) e->args.push_back(arg->Clone());
+  return e;
+}
+
+namespace {
+
+// SQL LIKE: '%' matches any run (including empty), '_' any one character.
+// Classic two-pointer backtracking matcher, linear for realistic patterns.
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Status TypeError(const std::string& op, const Datum& a, const Datum& b) {
+  return Status::Invalid("cannot apply '" + op + "' to " + a.ToString() +
+                         " and " + b.ToString());
+}
+
+Result<Datum> EvalBinary(const std::string& op, const Datum& a,
+                         const Datum& b) {
+  // Three-valued-ish NULL handling: any NULL operand yields NULL, except
+  // the logical connectives which treat NULL as false (enough for a
+  // metadata engine; full Kleene logic is out of scope).
+  if (op == "and") return Datum::Bool(a.Truthy() && b.Truthy());
+  if (op == "or") return Datum::Bool(a.Truthy() || b.Truthy());
+  if (a.is_null() || b.is_null()) return Datum::Null();
+
+  if (op == "like") {
+    if (!a.is_string() || !b.is_string()) {
+      return Status::Invalid("LIKE expects string operands");
+    }
+    return Datum::Bool(LikeMatch(a.str, b.str));
+  }
+  if (op == "=") return Datum::Bool(a == b);
+  if (op == "<>" || op == "!=") return Datum::Bool(!(a == b));
+  if (op == "<") return Datum::Bool(a.Compare(b) < 0);
+  if (op == "<=") return Datum::Bool(a.Compare(b) <= 0);
+  if (op == ">") return Datum::Bool(a.Compare(b) > 0);
+  if (op == ">=") return Datum::Bool(a.Compare(b) >= 0);
+
+  if (op == "+" || op == "-" || op == "*" || op == "/") {
+    if (op == "+" && a.is_string() && b.is_string()) {
+      return Datum::Str(a.str + b.str);  // string concatenation
+    }
+    if (!a.is_number() || !b.is_number()) return TypeError(op, a, b);
+    if (op == "+") return Datum::Number(a.num + b.num);
+    if (op == "-") return Datum::Number(a.num - b.num);
+    if (op == "*") return Datum::Number(a.num * b.num);
+    if (b.num == 0) return Datum::Null();  // SQL: division by zero -> NULL
+    return Datum::Number(a.num / b.num);
+  }
+  return Status::Invalid("unknown operator: " + op);
+}
+
+Result<Datum> EvalScalarCall(const Expr& expr, const DbSchema& schema,
+                             const DbRow& row) {
+  if (IsAggregateFunction(expr.func)) {
+    return Status::Invalid("aggregate '" + expr.func +
+                           "' not allowed in this context");
+  }
+  std::vector<Datum> values;
+  values.reserve(expr.args.size());
+  for (const ExprPtr& arg : expr.args) {
+    DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*arg, schema, row));
+    values.push_back(std::move(v));
+  }
+  if (expr.func == "abs" && values.size() == 1) {
+    if (values[0].is_null()) return Datum::Null();
+    if (!values[0].is_number()) {
+      return Status::Invalid("abs() expects a number");
+    }
+    return Datum::Number(std::fabs(values[0].num));
+  }
+  if (expr.func == "coalesce") {
+    for (const Datum& v : values) {
+      if (!v.is_null()) return v;
+    }
+    return Datum::Null();
+  }
+  if (expr.func == "length" && values.size() == 1) {
+    if (values[0].is_null()) return Datum::Null();
+    return Datum::Number(static_cast<double>(values[0].ToString().size()));
+  }
+  if (expr.func == "round" && (values.size() == 1 || values.size() == 2)) {
+    if (values[0].is_null()) return Datum::Null();
+    if (!values[0].is_number()) {
+      return Status::Invalid("round() expects a number");
+    }
+    double scale = 1.0;
+    if (values.size() == 2 && values[1].is_number()) {
+      scale = std::pow(10.0, values[1].num);
+    }
+    return Datum::Number(std::round(values[0].num * scale) / scale);
+  }
+  return Status::Invalid("unknown function: " + expr.func + "/" +
+                         std::to_string(values.size()));
+}
+
+}  // namespace
+
+Result<Datum> EvalScalar(const Expr& expr, const DbSchema& schema,
+                         const DbRow& row) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kStar:
+      return Status::Invalid("'*' is only valid inside count(*)");
+    case ExprKind::kColumn: {
+      DB_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(expr.column));
+      return row[idx];
+    }
+    case ExprKind::kUnary: {
+      DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*expr.args[0], schema, row));
+      if (expr.op == "not") return Datum::Bool(!v.Truthy());
+      if (expr.op == "-") {
+        if (v.is_null()) return Datum::Null();
+        if (!v.is_number()) {
+          return Status::Invalid("cannot negate " + v.ToString());
+        }
+        return Datum::Number(-v.num);
+      }
+      return Status::Invalid("unknown unary operator: " + expr.op);
+    }
+    case ExprKind::kBinary: {
+      DB_ASSIGN_OR_RETURN(Datum a, EvalScalar(*expr.args[0], schema, row));
+      DB_ASSIGN_OR_RETURN(Datum b, EvalScalar(*expr.args[1], schema, row));
+      return EvalBinary(expr.op, a, b);
+    }
+    case ExprKind::kCall:
+      return EvalScalarCall(expr, schema, row);
+  }
+  return Status::Invalid("bad expression");
+}
+
+namespace {
+
+// Reduce one aggregate call over the group rows.
+Result<Datum> ReduceAggregate(const Expr& expr, const DbSchema& schema,
+                              const std::vector<const DbRow*>& group) {
+  const std::string& f = expr.func;
+  if (f == "count") {
+    if (expr.args.size() == 1 && expr.args[0]->kind == ExprKind::kStar) {
+      return Datum::Number(static_cast<double>(group.size()));
+    }
+    if (expr.args.size() != 1) {
+      return Status::Invalid("count() takes one argument");
+    }
+    double n = 0;
+    for (const DbRow* row : group) {
+      DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*expr.args[0], schema, *row));
+      n += !v.is_null();
+    }
+    return Datum::Number(n);
+  }
+  if (f == "count_distinct") {
+    if (expr.args.size() != 1) {
+      return Status::Invalid("count(DISTINCT x) takes one argument");
+    }
+    std::set<std::string> seen;
+    for (const DbRow* row : group) {
+      DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*expr.args[0], schema, *row));
+      if (v.is_null()) continue;
+      seen.insert(std::to_string(static_cast<int>(v.type)) + "\x1f" +
+                  v.ToString());
+    }
+    return Datum::Number(static_cast<double>(seen.size()));
+  }
+  if (f == "corr") {
+    if (expr.args.size() != 2) {
+      return Status::Invalid("corr() takes two arguments");
+    }
+    double n = 0, sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (const DbRow* row : group) {
+      DB_ASSIGN_OR_RETURN(Datum x, EvalScalar(*expr.args[0], schema, *row));
+      DB_ASSIGN_OR_RETURN(Datum y, EvalScalar(*expr.args[1], schema, *row));
+      if (x.is_null() || y.is_null()) continue;
+      if (!x.is_number() || !y.is_number()) {
+        return Status::Invalid("corr() expects numbers");
+      }
+      n += 1;
+      sx += x.num;
+      sy += y.num;
+      sxx += x.num * x.num;
+      syy += y.num * y.num;
+      sxy += x.num * y.num;
+    }
+    if (n < 2) return Datum::Null();
+    const double cov = sxy - sx * sy / n;
+    const double vx = sxx - sx * sx / n;
+    const double vy = syy - sy * sy / n;
+    if (vx <= 0 || vy <= 0) return Datum::Null();
+    return Datum::Number(cov / std::sqrt(vx * vy));
+  }
+  // sum / avg / min / max share the scan.
+  if (expr.args.size() != 1) {
+    return Status::Invalid(f + "() takes one argument");
+  }
+  bool any = false;
+  double sum = 0;
+  Datum min_v = Datum::Null(), max_v = Datum::Null();
+  for (const DbRow* row : group) {
+    DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*expr.args[0], schema, *row));
+    if (v.is_null()) continue;
+    if ((f == "sum" || f == "avg") && !v.is_number()) {
+      return Status::Invalid(f + "() expects numbers");
+    }
+    if (!any) {
+      min_v = v;
+      max_v = v;
+    } else {
+      if (v.Compare(min_v) < 0) min_v = v;
+      if (v.Compare(max_v) > 0) max_v = v;
+    }
+    sum += v.is_number() ? v.num : 0;
+    any = true;
+  }
+  if (!any) return Datum::Null();
+  if (f == "sum") return Datum::Number(sum);
+  if (f == "avg") {
+    double n = 0;
+    for (const DbRow* row : group) {
+      DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*expr.args[0], schema, *row));
+      n += !v.is_null();
+    }
+    return Datum::Number(sum / n);
+  }
+  if (f == "min") return min_v;
+  if (f == "max") return max_v;
+  return Status::Invalid("unknown aggregate: " + f);
+}
+
+}  // namespace
+
+Result<Datum> EvalAggregate(const Expr& expr, const DbSchema& schema,
+                            const std::vector<const DbRow*>& group) {
+  if (group.empty()) return Datum::Null();
+  switch (expr.kind) {
+    case ExprKind::kCall: {
+      if (IsAggregateFunction(expr.func)) {
+        return ReduceAggregate(expr, schema, group);
+      }
+      // Scalar function over (possibly aggregated) arguments, e.g.
+      // abs(corr(x, y)).
+      Expr wrapper;
+      wrapper.kind = ExprKind::kCall;
+      wrapper.func = expr.func;
+      for (const ExprPtr& arg : expr.args) {
+        DB_ASSIGN_OR_RETURN(Datum v, EvalAggregate(*arg, schema, group));
+        wrapper.args.push_back(Expr::Literal(std::move(v)));
+      }
+      return EvalScalar(wrapper, schema, *group[0]);
+    }
+    case ExprKind::kLiteral:
+    case ExprKind::kColumn:
+    case ExprKind::kStar:
+      return EvalScalar(expr, schema, *group[0]);
+    case ExprKind::kUnary: {
+      DB_ASSIGN_OR_RETURN(Datum v,
+                          EvalAggregate(*expr.args[0], schema, group));
+      Expr wrapper;
+      wrapper.kind = ExprKind::kUnary;
+      wrapper.op = expr.op;
+      wrapper.args.push_back(Expr::Literal(std::move(v)));
+      return EvalScalar(wrapper, schema, *group[0]);
+    }
+    case ExprKind::kBinary: {
+      DB_ASSIGN_OR_RETURN(Datum a,
+                          EvalAggregate(*expr.args[0], schema, group));
+      DB_ASSIGN_OR_RETURN(Datum b,
+                          EvalAggregate(*expr.args[1], schema, group));
+      Expr wrapper;
+      wrapper.kind = ExprKind::kBinary;
+      wrapper.op = expr.op;
+      wrapper.args.push_back(Expr::Literal(std::move(a)));
+      wrapper.args.push_back(Expr::Literal(std::move(b)));
+      return EvalScalar(wrapper, schema, *group[0]);
+    }
+  }
+  return Status::Invalid("bad expression");
+}
+
+}  // namespace deepbase

@@ -1,0 +1,69 @@
+// SQL expression trees and their evaluator. Scalar expressions evaluate
+// against one row; aggregate calls (COUNT/SUM/AVG/MIN/MAX/CORR) evaluate
+// against a group of rows, with their argument sub-expressions evaluated
+// per row — the shape PostgreSQL's executor gives UDAs, and what the
+// MADLib-style baseline queries of paper §5.1.1 rely on.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/db_table.h"
+
+namespace deepbase {
+
+enum class ExprKind {
+  kLiteral,   // 3.5, 'sqlparser'
+  kColumn,    // uid, U.uid
+  kUnary,     // -x, NOT x
+  kBinary,    // x + y, x AND y, x = y
+  kCall,      // corr(a, b), count(*), abs(x)
+  kStar,      // '*' inside count(*)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  Datum literal;                 // kLiteral
+  std::string column;            // kColumn
+  std::string op;                // kUnary/kBinary: "-", "not", "+", "=", ...
+  std::string func;              // kCall, lower-cased
+  std::vector<ExprPtr> args;     // children
+
+  static ExprPtr Literal(Datum value);
+  static ExprPtr Column(std::string name);
+  static ExprPtr Unary(std::string op, ExprPtr operand);
+  static ExprPtr Binary(std::string op, ExprPtr left, ExprPtr right);
+  static ExprPtr Call(std::string func, std::vector<ExprPtr> call_args);
+  static ExprPtr Star();
+
+  /// \brief True if the tree contains an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// \brief Round-trip display form (for error messages and result-column
+  /// naming).
+  std::string ToString() const;
+
+  /// \brief Deep copy.
+  ExprPtr Clone() const;
+};
+
+/// \brief True if `func` names an aggregate function.
+bool IsAggregateFunction(const std::string& func);
+
+/// \brief Evaluate a scalar expression against one row. Aggregate calls are
+/// an error here.
+Result<Datum> EvalScalar(const Expr& expr, const DbSchema& schema,
+                         const DbRow& row);
+
+/// \brief Evaluate an expression that may contain aggregates against a
+/// group of rows: aggregates reduce over `group`, scalar parts evaluate on
+/// `representative` (the first row of the group, holding the grouping key).
+Result<Datum> EvalAggregate(const Expr& expr, const DbSchema& schema,
+                            const std::vector<const DbRow*>& group);
+
+}  // namespace deepbase

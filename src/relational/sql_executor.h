@@ -1,0 +1,91 @@
+// Executor for plain SELECT statements over registered DbTables. Joins use
+// hash joins when the WHERE clause contains an equality between columns of
+// different tables, and fall back to nested-loop cross products otherwise —
+// the plan a tutorial-grade RDBMS would pick, and the cost structure the
+// MADLib baseline of paper §5.1.1 assumes.
+//
+// Statements with an INSPECT clause require the core engine and are handled
+// by SqlSession (src/sql); passing one here is an error.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "relational/sql_parser.h"
+
+namespace deepbase {
+
+/// \brief Name → table registry for the executor.
+class DbCatalog {
+ public:
+  void Register(const std::string& name, const DbTable* table) {
+    tables_[name] = table;
+  }
+  const DbTable* Find(const std::string& name) const {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::string, const DbTable*> tables_;
+};
+
+/// \brief Execute a parsed plain SELECT.
+Result<DbTable> ExecuteSelect(const SelectStmt& stmt,
+                              const DbCatalog& catalog);
+
+/// \brief Parse and execute. A leading EXPLAIN returns the plan (one
+/// operator per row in a single "plan" column) instead of running it.
+Result<DbTable> ExecuteSql(const std::string& sql, const DbCatalog& catalog);
+
+/// \brief If `sql` starts with the EXPLAIN keyword, strip it and return
+/// true. Shared by ExecuteSql and SqlSession.
+bool StripExplainPrefix(std::string* sql);
+
+/// \brief Plan (without executing) and render as a one-column relation.
+Result<DbTable> ExplainToTable(const SelectStmt& stmt,
+                               const DbCatalog& catalog);
+
+// --- building blocks shared with the INSPECT path (src/sql) ---
+
+/// \brief One table of the join order. Steps after the first carry the
+/// equality keys of their hash join, or none for a cross product.
+struct JoinPlanStep {
+  std::string name;
+  std::string alias;
+  const DbTable* table = nullptr;
+  DbSchema schema;                  // columns qualified "<alias>.<col>"
+  const Expr* left_key = nullptr;   // resolves in the accumulated schema
+  const Expr* right_key = nullptr;  // resolves in this step's schema
+};
+
+/// \brief The executor's physical plan for FROM/WHERE.
+struct QueryPlan {
+  std::vector<JoinPlanStep> steps;
+  /// WHERE conjuncts not consumed as join keys, applied post-join.
+  std::vector<const Expr*> residual_filters;
+};
+
+/// \brief Left-to-right join planning: resolve tables, pick an unused
+/// equality conjunct as the hash-join key for each table after the first,
+/// leave the rest as residual filters.
+Result<QueryPlan> PlanJoins(const SelectStmt& stmt, const DbCatalog& catalog);
+
+/// \brief Human-readable plan (the EXPLAIN output), one operator per line.
+std::string FormatPlan(const SelectStmt& stmt, const QueryPlan& plan);
+
+/// \brief FROM/WHERE evaluation: join the FROM tables (schema columns are
+/// qualified "<alias>.<col>") and filter by the WHERE clause. Equality
+/// conjuncts across tables become hash joins.
+Result<DbTable> JoinAndFilter(const SelectStmt& stmt,
+                              const DbCatalog& catalog);
+
+/// \brief Apply projection, grouping/aggregation, HAVING, ORDER BY, and
+/// LIMIT to an input relation (used after the INSPECT clause materializes
+/// its temporary relation).
+Result<DbTable> ProjectAndFinalize(const SelectStmt& stmt,
+                                   const DbTable& input,
+                                   bool skip_group_by = false);
+
+}  // namespace deepbase

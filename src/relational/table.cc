@@ -1,0 +1,76 @@
+#include "relational/table.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+RelTable::RelTable(std::vector<std::string> column_names) {
+  columns_.reserve(column_names.size());
+  for (auto& name : column_names) {
+    index_.emplace(name, columns_.size());
+    columns_.push_back(Column{std::move(name), {}});
+  }
+}
+
+void RelTable::AppendRow(const std::vector<double>& values) {
+  DB_DCHECK(values.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].data.push_back(values[c]);
+  }
+  ++num_rows_;
+}
+
+int RelTable::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+const std::vector<double>& RelTable::col(const std::string& name) const {
+  int idx = ColumnIndex(name);
+  DB_DCHECK(idx >= 0);
+  return columns_[idx].data;
+}
+
+void RelTable::Reserve(size_t rows) {
+  for (auto& c : columns_) c.data.reserve(rows);
+}
+
+void CorrUda::Init() { n_ = sx_ = sxx_ = sy_ = syy_ = sxy_ = 0; }
+
+void CorrUda::Step(const RowView& row) {
+  const double x = row.Get(x_col_);
+  const double y = row.Get(y_col_);
+  n_ += 1;
+  sx_ += x;
+  sxx_ += x * x;
+  sy_ += y;
+  syy_ += y * y;
+  sxy_ += x * y;
+}
+
+double CorrUda::Final() const {
+  const double cov = n_ * sxy_ - sx_ * sy_;
+  const double vx = n_ * sxx_ - sx_ * sx_;
+  const double vy = n_ * syy_ - sy_ * sy_;
+  if (vx <= 0 || vy <= 0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+std::vector<double> ScanAggregate(const RelTable& table,
+                                  std::vector<std::unique_ptr<Uda>>* aggs) {
+  for (auto& agg : *aggs) agg->Init();
+  // Row-at-a-time Volcano execution: every aggregate's Step is a virtual
+  // call per row, as in an RDBMS expression evaluator.
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    RowView row(&table, r);
+    for (auto& agg : *aggs) agg->Step(row);
+  }
+  std::vector<double> out;
+  out.reserve(aggs->size());
+  for (auto& agg : *aggs) out.push_back(agg->Final());
+  return out;
+}
+
+}  // namespace deepbase

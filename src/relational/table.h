@@ -1,0 +1,104 @@
+// Minimal in-memory relational engine: tables with named numeric columns,
+// row-at-a-time scans, hash joins, group-by aggregation with user-defined
+// aggregates, and a per-statement expression limit. This is the substrate
+// for the DB-oriented (MADLib-style) baseline of paper §5.1.1 — it
+// deliberately reproduces the cost structure of evaluating DNI inside an
+// RDBMS: full materialization of behavior relations and one pass per
+// batched aggregate query.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief A named column of doubles (ids are stored as doubles too, as in
+/// a float8-only teaching engine).
+struct Column {
+  std::string name;
+  std::vector<double> data;
+};
+
+/// \brief Column-oriented storage, row-oriented execution (Volcano-style
+/// scans evaluate expressions row at a time, like the Postgres executor).
+class RelTable {
+ public:
+  RelTable() = default;
+  explicit RelTable(std::vector<std::string> column_names);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return columns_.size(); }
+
+  /// \brief Append one row; values must match the column count.
+  void AppendRow(const std::vector<double>& values);
+
+  /// \brief Column index by name, or -1.
+  int ColumnIndex(const std::string& name) const;
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<double>& col(const std::string& name) const;
+
+  /// \brief Reserve row capacity in every column.
+  void Reserve(size_t rows);
+
+  /// \brief Approximate size in bytes (for the "exceeds main memory"
+  /// discussion of §5.1.1).
+  size_t SizeBytes() const { return num_rows_ * num_cols() * sizeof(double); }
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t num_rows_ = 0;
+};
+
+/// \brief A view of one row during a scan.
+class RowView {
+ public:
+  RowView(const RelTable* table, size_t row) : table_(table), row_(row) {}
+  double Get(size_t col) const { return table_->column(col).data[row_]; }
+
+ private:
+  const RelTable* table_;
+  size_t row_;
+};
+
+/// \brief User-defined aggregate, the MADLib extension mechanism: Init,
+/// Step per row, Final.
+class Uda {
+ public:
+  virtual ~Uda() = default;
+  virtual void Init() = 0;
+  virtual void Step(const RowView& row) = 0;
+  virtual double Final() const = 0;
+};
+
+/// \brief corr(x, y) aggregate (the Postgres built-in used by the
+/// baseline's correlation query).
+class CorrUda : public Uda {
+ public:
+  CorrUda(size_t x_col, size_t y_col) : x_col_(x_col), y_col_(y_col) {}
+  void Init() override;
+  void Step(const RowView& row) override;
+  double Final() const override;
+
+ private:
+  size_t x_col_, y_col_;
+  double n_ = 0, sx_ = 0, sxx_ = 0, sy_ = 0, syy_ = 0, sxy_ = 0;
+};
+
+/// \brief Execute `SELECT agg_1, ..., agg_k FROM table` as one full
+/// sequential scan feeding every aggregate row at a time. Returns one value
+/// per aggregate. This is the batched-expressions query of §5.1.1.
+std::vector<double> ScanAggregate(const RelTable& table,
+                                  std::vector<std::unique_ptr<Uda>>* aggs);
+
+/// \brief Default per-statement expression limit (PostgreSQL's ~1600
+/// target-list limit cited in §5.1.1).
+inline constexpr size_t kMaxExpressionsPerStatement = 1600;
+
+}  // namespace deepbase

@@ -1,0 +1,338 @@
+#include "sql/sql_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/inspect_parser.h"
+
+namespace deepbase {
+
+void SqlSession::RegisterTable(const std::string& name,
+                               const DbTable* table) {
+  user_tables_[name] = table;
+}
+
+void SqlSession::RegisterModel(const std::string& name,
+                               const Extractor* extractor, size_t layer_size,
+                               std::map<std::string, Datum> attrs) {
+  models_[name] = ModelEntry{extractor, layer_size, std::move(attrs)};
+  catalog_dirty_ = true;
+}
+
+void SqlSession::RegisterHypotheses(const std::string& set_name,
+                                    std::vector<HypothesisPtr> hypotheses) {
+  hypothesis_sets_[set_name] = std::move(hypotheses);
+  catalog_dirty_ = true;
+}
+
+void SqlSession::RegisterDataset(const std::string& name,
+                                 const Dataset* dataset) {
+  datasets_[name] = dataset;
+  catalog_dirty_ = true;
+}
+
+void SqlSession::RebuildCatalogTables() {
+  if (!catalog_dirty_) return;
+  catalog_dirty_ = false;
+
+  // models: mid + the union of attribute keys across models.
+  std::set<std::string> attr_keys;
+  for (const auto& [name, entry] : models_) {
+    for (const auto& [key, value] : entry.attrs) attr_keys.insert(key);
+  }
+  std::vector<std::string> model_cols = {"mid"};
+  model_cols.insert(model_cols.end(), attr_keys.begin(), attr_keys.end());
+  models_table_ = DbTable(model_cols);
+  for (const auto& [name, entry] : models_) {
+    DbRow row = {Datum::Str(name)};
+    for (const std::string& key : attr_keys) {
+      auto it = entry.attrs.find(key);
+      row.push_back(it == entry.attrs.end() ? Datum::Null() : it->second);
+    }
+    DB_CHECK_OK(models_table_.AppendRow(std::move(row)));
+  }
+
+  // units: (mid, uid, layer).
+  units_table_ = DbTable({"mid", "uid", "layer"});
+  for (const auto& [name, entry] : models_) {
+    for (size_t u = 0; u < entry.extractor->num_units(); ++u) {
+      const double layer =
+          entry.layer_size > 0
+              ? static_cast<double>(u / entry.layer_size)
+              : 0.0;
+      DB_CHECK_OK(units_table_.AppendRow(
+          {Datum::Str(name), Datum::Number(static_cast<double>(u)),
+           Datum::Number(layer)}));
+    }
+  }
+
+  // hypotheses: (h, name).
+  hypotheses_table_ = DbTable({"h", "name"});
+  for (const auto& [set_name, hyps] : hypothesis_sets_) {
+    for (const HypothesisPtr& hyp : hyps) {
+      DB_CHECK_OK(hypotheses_table_.AppendRow(
+          {Datum::Str(hyp->name()), Datum::Str(set_name)}));
+    }
+  }
+
+  // inputs: (did, seq).
+  inputs_table_ = DbTable({"did", "seq"});
+  for (const auto& [name, ds] : datasets_) {
+    DB_CHECK_OK(
+        inputs_table_.AppendRow({Datum::Str(name), Datum::Str(name)}));
+  }
+}
+
+Result<DbTable> SqlSession::Execute(const std::string& sql,
+                                    RuntimeStats* stats) {
+  std::string text = sql;
+  const bool explain = StripExplainPrefix(&text);
+  DB_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSql(text));
+  RebuildCatalogTables();
+
+  DbCatalog catalog;
+  catalog.Register("models", &models_table_);
+  catalog.Register("units", &units_table_);
+  catalog.Register("hypotheses", &hypotheses_table_);
+  catalog.Register("inputs", &inputs_table_);
+  for (const auto& [name, table] : user_tables_) {
+    catalog.Register(name, table);
+  }
+  if (explain) return ExplainToTable(stmt, catalog);
+  if (stmt.inspect.has_value()) return ExecuteInspectStmt(stmt, stats);
+  return ExecuteSelect(stmt, catalog);
+}
+
+namespace {
+
+// The alias prefix of a resolved qualified column name ("U.uid" -> "U").
+Result<std::string> AliasPrefix(const DbSchema& schema,
+                                const std::string& column_ref) {
+  DB_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(column_ref));
+  const std::string& qualified = schema.name(idx);
+  const size_t dot = qualified.find('.');
+  if (dot == std::string::npos) {
+    return Status::Invalid("column is not table-qualified: " + qualified);
+  }
+  return qualified.substr(0, dot);
+}
+
+Status RequireColumn(const ExprPtr& expr, const char* what) {
+  if (expr == nullptr || expr->kind != ExprKind::kColumn) {
+    return Status::Invalid(std::string("INSPECT ") + what +
+                           " must be a column reference");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DbTable> SqlSession::ExecuteInspectStmt(const SelectStmt& stmt,
+                                               RuntimeStats* stats) {
+  const InspectClause& clause = *stmt.inspect;
+  DB_RETURN_NOT_OK(RequireColumn(clause.unit_expr, "unit reference"));
+  DB_RETURN_NOT_OK(RequireColumn(clause.hypothesis_expr,
+                                 "hypothesis reference"));
+  DB_RETURN_NOT_OK(RequireColumn(clause.over_expr, "OVER reference"));
+
+  // 1. FROM/WHERE over the catalog relations.
+  DbCatalog catalog;
+  catalog.Register("models", &models_table_);
+  catalog.Register("units", &units_table_);
+  catalog.Register("hypotheses", &hypotheses_table_);
+  catalog.Register("inputs", &inputs_table_);
+  for (const auto& [name, table] : user_tables_) {
+    catalog.Register(name, table);
+  }
+  DB_ASSIGN_OR_RETURN(DbTable joined, JoinAndFilter(stmt, catalog));
+  const DbSchema& schema = joined.schema();
+
+  // 2. Resolve the INSPECT references against the joined schema. The unit
+  // reference's table alias also provides the model id column; the
+  // hypothesis reference's alias provides the set-name column.
+  DB_ASSIGN_OR_RETURN(std::string unit_alias,
+                      AliasPrefix(schema, clause.unit_expr->column));
+  DB_ASSIGN_OR_RETURN(std::string hyp_alias,
+                      AliasPrefix(schema, clause.hypothesis_expr->column));
+  DB_ASSIGN_OR_RETURN(size_t uid_col,
+                      schema.Resolve(clause.unit_expr->column));
+  DB_ASSIGN_OR_RETURN(size_t mid_col, schema.Resolve(unit_alias + ".mid"));
+  DB_ASSIGN_OR_RETURN(size_t h_col,
+                      schema.Resolve(clause.hypothesis_expr->column));
+  DB_ASSIGN_OR_RETURN(size_t hset_col, schema.Resolve(hyp_alias + ".name"));
+  DB_ASSIGN_OR_RETURN(std::string over_alias,
+                      AliasPrefix(schema, clause.over_expr->column));
+  DB_ASSIGN_OR_RETURN(size_t did_col, schema.Resolve(over_alias + ".did"));
+
+  // 3. Measures (default: correlation, as in the paper).
+  std::vector<MeasureFactoryPtr> measures;
+  for (const std::string& name : clause.measures) {
+    DB_ASSIGN_OR_RETURN(MeasureFactoryPtr m, MeasureByName(name));
+    measures.push_back(std::move(m));
+  }
+  if (measures.empty()) {
+    DB_ASSIGN_OR_RETURN(MeasureFactoryPtr m, MeasureByName("pearson"));
+    measures.push_back(std::move(m));
+  }
+
+  // 4. Partition the joined rows by the GROUP BY key; collect the units,
+  // hypotheses, and dataset of each group.
+  struct GroupSpec {
+    std::vector<Datum> key;
+    std::map<std::string, std::set<int>> units_by_model;
+    std::set<std::pair<std::string, std::string>> hyps;  // (set, fn name)
+    std::set<std::string> dataset_names;
+  };
+  std::vector<GroupSpec> groups;
+  std::map<std::string, size_t> group_index;
+  for (size_t r = 0; r < joined.num_rows(); ++r) {
+    const DbRow& row = joined.row(r);
+    std::vector<Datum> key;
+    std::string key_str;
+    for (const ExprPtr& g : stmt.group_by) {
+      DB_ASSIGN_OR_RETURN(Datum v, EvalScalar(*g, schema, row));
+      key_str += v.ToString();
+      key_str += '\x1f';
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = group_index.emplace(key_str, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      groups.back().key = std::move(key);
+    }
+    GroupSpec& group = groups[it->second];
+    if (!row[mid_col].is_string() || !row[uid_col].is_number()) {
+      return Status::Invalid(
+          "INSPECT unit reference must join a string mid with a numeric "
+          "uid");
+    }
+    group.units_by_model[row[mid_col].str].insert(
+        static_cast<int>(row[uid_col].num));
+    group.hyps.emplace(row[hset_col].ToString(), row[h_col].ToString());
+    group.dataset_names.insert(row[did_col].ToString());
+  }
+
+  // 5. Output relation S: GROUP BY columns + the scores.
+  DbSchema s_schema;
+  for (const ExprPtr& g : stmt.group_by) s_schema.Append(g->ToString());
+  const std::string& alias = clause.alias;
+  for (const char* col : {"mid", "uid", "hid", "measure", "group_score",
+                          "unit_score"}) {
+    s_schema.Append(alias + "." + col);
+  }
+  DbTable s_table(s_schema);
+
+  for (const GroupSpec& group : groups) {
+    if (group.dataset_names.size() != 1) {
+      return Status::Invalid(
+          "INSPECT requires exactly one dataset per group; got " +
+          std::to_string(group.dataset_names.size()));
+    }
+    const Dataset* dataset = nullptr;
+    {
+      auto it = datasets_.find(*group.dataset_names.begin());
+      if (it == datasets_.end()) {
+        return Status::NotFound("dataset not registered: " +
+                                *group.dataset_names.begin());
+      }
+      dataset = it->second;
+    }
+
+    // Resolve hypothesis functions through their sets.
+    std::vector<HypothesisPtr> hyps;
+    std::set<std::string> seen_hyp_names;
+    for (const auto& [set_name, fn_name] : group.hyps) {
+      auto set_it = hypothesis_sets_.find(set_name);
+      if (set_it == hypothesis_sets_.end()) {
+        return Status::NotFound("hypothesis set not registered: " +
+                                set_name);
+      }
+      bool found = false;
+      for (const HypothesisPtr& hyp : set_it->second) {
+        if (hyp->name() == fn_name) {
+          if (seen_hyp_names.insert(fn_name).second) hyps.push_back(hyp);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("hypothesis '" + fn_name +
+                                "' not found in set '" + set_name + "'");
+      }
+    }
+
+    // One ModelSpec per model, with the group's units.
+    std::vector<ModelSpec> model_specs;
+    for (const auto& [mid, uids] : group.units_by_model) {
+      auto model_it = models_.find(mid);
+      if (model_it == models_.end()) {
+        return Status::NotFound("model not registered: " + mid);
+      }
+      ModelSpec spec;
+      spec.extractor = model_it->second.extractor;
+      UnitGroupSpec ugroup;
+      ugroup.group_id = "sql_group";
+      ugroup.unit_ids.assign(uids.begin(), uids.end());
+      spec.groups.push_back(std::move(ugroup));
+      model_specs.push_back(std::move(spec));
+    }
+
+    RuntimeStats group_stats;
+    ResultTable results =
+        Inspect(model_specs, *dataset, measures, hyps, options_,
+                &group_stats);
+    if (stats != nullptr) {
+      stats->unit_extraction_s += group_stats.unit_extraction_s;
+      stats->hyp_extraction_s += group_stats.hyp_extraction_s;
+      stats->inspection_s += group_stats.inspection_s;
+      stats->total_s += group_stats.total_s;
+      stats->blocks_processed += group_stats.blocks_processed;
+      stats->records_processed += group_stats.records_processed;
+      stats->cache_hits += group_stats.cache_hits;
+      stats->cache_misses += group_stats.cache_misses;
+    }
+
+    for (const ResultRow& row : results.rows()) {
+      if (row.unit < 0) continue;  // group-level rows are folded into
+                                   // group_score on the unit rows
+      DbRow out;
+      out.reserve(s_schema.size());
+      for (const Datum& k : group.key) out.push_back(k);
+      out.push_back(Datum::Str(row.model_id));
+      out.push_back(Datum::Number(row.unit));
+      out.push_back(Datum::Str(row.hypothesis));
+      out.push_back(Datum::Str(row.measure));
+      out.push_back(std::isnan(row.group_score)
+                        ? Datum::Null()
+                        : Datum::Number(row.group_score));
+      out.push_back(std::isnan(row.unit_score)
+                        ? Datum::Null()
+                        : Datum::Number(row.unit_score));
+      DB_RETURN_NOT_OK(s_table.AppendRow(std::move(out)));
+    }
+  }
+
+  // 6. SELECT / HAVING / ORDER BY / LIMIT over S. GROUP BY was consumed by
+  // the inspection, and HAVING filters the unit rows of S (the Appendix-B
+  // idiom `HAVING S.unit_score > 0.8`), so grouping is skipped here.
+  return ProjectAndFinalize(stmt, s_table, /*skip_group_by=*/true);
+}
+
+DbTable ResultsToDbTable(const ResultTable& results) {
+  DbTable out({"model", "group_id", "measure", "hypothesis", "unit",
+               "unit_score", "group_score"});
+  for (const ResultRow& row : results.rows()) {
+    DB_CHECK_OK(out.AppendRow(
+        {Datum::Str(row.model_id), Datum::Str(row.group_id),
+         Datum::Str(row.measure), Datum::Str(row.hypothesis),
+         row.unit < 0 ? Datum::Null() : Datum::Number(row.unit),
+         std::isnan(row.unit_score) ? Datum::Null()
+                                    : Datum::Number(row.unit_score),
+         std::isnan(row.group_score) ? Datum::Null()
+                                     : Datum::Number(row.group_score)}));
+  }
+  return out;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,93 @@
+// SqlSession: the Appendix-B integration of DNI into SQL. Models, hidden
+// units, hypotheses, and input datasets are exposed as relations
+// (`models`, `units`, `hypotheses`, `inputs`); the INSPECT clause is
+// evaluated before SELECT and materializes a temporary relation with
+// per-unit affinity scores that later clauses can reference:
+//
+//   SELECT M.epoch, S.uid
+//   INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+//   FROM models M, units U, hypotheses H, inputs D
+//   WHERE M.mid = U.mid AND M.mid = 'sqlparser' AND
+//         U.layer = 0 AND H.name = 'keywords'
+//   GROUP BY M.epoch
+//   HAVING S.unit_score > 0.8
+//
+// Plain SELECT statements (no INSPECT) run directly on the relational
+// executor and may also use registered user tables.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "relational/sql_executor.h"
+
+namespace deepbase {
+
+class SqlSession {
+ public:
+  explicit SqlSession(InspectOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// \brief Register a user table for plain SELECT queries.
+  void RegisterTable(const std::string& name, const DbTable* table);
+
+  /// \brief Register a model. It appears as a row of `models` with column
+  /// mid = name plus one column per attribute (e.g. epoch); its hidden
+  /// units appear in `units` (mid, uid, layer), where layer = uid /
+  /// layer_size (single layer 0 when layer_size == 0).
+  void RegisterModel(const std::string& name, const Extractor* extractor,
+                     size_t layer_size = 0,
+                     std::map<std::string, Datum> attrs = {});
+
+  /// \brief Register a named hypothesis set. Each function appears as a row
+  /// of `hypotheses` (h = function name, name = set name).
+  void RegisterHypotheses(const std::string& set_name,
+                          std::vector<HypothesisPtr> hypotheses);
+
+  /// \brief Register a dataset; appears as a row of `inputs` (did, seq).
+  void RegisterDataset(const std::string& name, const Dataset* dataset);
+
+  /// \brief Parse and execute one statement (plain SELECT or
+  /// SELECT-with-INSPECT).
+  Result<DbTable> Execute(const std::string& sql,
+                          RuntimeStats* stats = nullptr);
+
+  InspectOptions* mutable_options() { return &options_; }
+
+ private:
+  struct ModelEntry {
+    const Extractor* extractor;
+    size_t layer_size;
+    std::map<std::string, Datum> attrs;
+  };
+
+  void RebuildCatalogTables();
+  Result<DbTable> ExecuteInspectStmt(const SelectStmt& stmt,
+                                     RuntimeStats* stats);
+
+  InspectOptions options_;
+  std::map<std::string, ModelEntry> models_;
+  std::map<std::string, std::vector<HypothesisPtr>> hypothesis_sets_;
+  std::map<std::string, const Dataset*> datasets_;
+  std::map<std::string, const DbTable*> user_tables_;
+
+  // Materialized catalog relations (rebuilt on registration changes).
+  bool catalog_dirty_ = true;
+  DbTable models_table_;
+  DbTable units_table_;
+  DbTable hypotheses_table_;
+  DbTable inputs_table_;
+};
+
+/// \brief Convert an engine ResultTable into a typed relation with schema
+/// (model, group_id, measure, hypothesis, unit, unit_score, group_score) —
+/// the paper's §4.1 post-processing path: register the result as a user
+/// table and slice it with plain SQL (top-k, grouping, joins against other
+/// statistics).
+DbTable ResultsToDbTable(const ResultTable& results);
+
+}  // namespace deepbase

@@ -1,0 +1,360 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace deepbase {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    DB_DCHECK(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::RandomNormal(size_t rows, size_t cols, Rng* rng, float mean,
+                            float stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng->Normal(mean, stddev));
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, Rng* rng, float lo,
+                             float hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  return m;
+}
+
+Matrix Matrix::Glorot(size_t fan_in, size_t fan_out, Rng* rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(fan_in, fan_out, rng, -limit, limit);
+}
+
+Matrix Matrix::Row(size_t r) const {
+  DB_DCHECK(r < rows_);
+  Matrix out(1, cols_);
+  std::memcpy(out.data(), row_data(r), cols_ * sizeof(float));
+  return out;
+}
+
+Matrix Matrix::Col(size_t c) const {
+  DB_DCHECK(c < cols_);
+  Matrix out(rows_, 1);
+  for (size_t r = 0; r < rows_; ++r) out(r, 0) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::RowSlice(size_t begin, size_t end) const {
+  DB_DCHECK(begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  std::memcpy(out.data(), data_.data() + begin * cols_,
+              (end - begin) * cols_ * sizeof(float));
+  return out;
+}
+
+Matrix Matrix::GatherCols(const std::vector<size_t>& cols) const {
+  Matrix out(rows_, cols.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    float* dst = out.row_data(r);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      DB_DCHECK(cols[j] < cols_);
+      dst[j] = src[cols[j]];
+    }
+  }
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Matrix& src) {
+  DB_DCHECK(r < rows_ && src.size() >= cols_);
+  std::memcpy(row_data(r), src.data(), cols_ * sizeof(float));
+}
+
+Matrix Matrix::VStack(const Matrix& top, const Matrix& bottom) {
+  if (top.empty()) return bottom;
+  if (bottom.empty()) return top;
+  DB_DCHECK(top.cols() == bottom.cols());
+  Matrix out(top.rows() + bottom.rows(), top.cols());
+  std::memcpy(out.data(), top.data(), top.size() * sizeof(float));
+  std::memcpy(out.data() + top.size(), bottom.data(),
+              bottom.size() * sizeof(float));
+  return out;
+}
+
+Matrix Matrix::HStack(const Matrix& left, const Matrix& right) {
+  if (left.empty()) return right;
+  if (right.empty()) return left;
+  DB_DCHECK(left.rows() == right.rows());
+  Matrix out(left.rows(), left.cols() + right.cols());
+  for (size_t r = 0; r < left.rows(); ++r) {
+    std::memcpy(out.row_data(r), left.row_data(r), left.cols() * sizeof(float));
+    std::memcpy(out.row_data(r) + left.cols(), right.row_data(r),
+                right.cols() * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  DB_DCHECK(SameShape(o));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  DB_DCHECK(SameShape(o));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::HadamardInPlace(const Matrix& o) {
+  DB_DCHECK(SameShape(o));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= o.data_[i];
+  return *this;
+}
+
+Matrix Matrix::Apply(const std::function<float(float)>& fn) const {
+  Matrix out = *this;
+  out.ApplyInPlace(fn);
+  return out;
+}
+
+void Matrix::ApplyInPlace(const std::function<float(float)>& fn) {
+  for (auto& v : data_) v = fn(v);
+}
+
+void Matrix::AddRowBroadcast(const Matrix& row_vec) {
+  DB_DCHECK(row_vec.size() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    float* dst = row_data(r);
+    const float* src = row_vec.data();
+    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+}
+
+float Matrix::Sum() const {
+  double s = 0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Matrix::Mean() const {
+  return data_.empty() ? 0.0f : Sum() / static_cast<float>(data_.size());
+}
+
+float Matrix::Min() const {
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : data_) m = std::min(m, v);
+  return m;
+}
+
+float Matrix::Max() const {
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : data_) m = std::max(m, v);
+  return m;
+}
+
+float Matrix::SquaredNorm() const {
+  double s = 0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(s);
+}
+
+Matrix Matrix::ColMeans() const {
+  Matrix out(1, cols_);
+  if (rows_ == 0) return out;
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    for (size_t c = 0; c < cols_; ++c) out(0, c) += src[c];
+  }
+  out *= 1.0f / static_cast<float>(rows_);
+  return out;
+}
+
+std::vector<size_t> Matrix::ArgmaxRows() const {
+  std::vector<size_t> out(rows_, 0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    size_t best = 0;
+    for (size_t c = 1; c < cols_; ++c) {
+      if (src[c] > src[best]) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream out;
+  out.precision(precision);
+  out << std::fixed;
+  out << "[" << rows_ << "x" << cols_ << "]\n";
+  for (size_t r = 0; r < std::min<size_t>(rows_, 8); ++r) {
+    for (size_t c = 0; c < std::min<size_t>(cols_, 12); ++c) {
+      out << (*this)(r, c) << " ";
+    }
+    if (cols_ > 12) out << "...";
+    out << "\n";
+  }
+  if (rows_ > 8) out << "...\n";
+  return out.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  DB_DCHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  // i-k-j loop order: streams through b and out row-wise (cache friendly).
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.row_data(i);
+    float* orow = out.row_data(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.row_data(kk);
+      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  DB_DCHECK(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.row_data(i);
+    const float* brow = b.row_data(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* orow = out.row_data(kk);
+      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  DB_DCHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.row_data(i);
+    float* orow = out.row_data(i);
+    for (size_t j = 0; j < m; ++j) {
+      const float* brow = b.row_data(j);
+      double acc = 0;
+      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+Matrix operator*(Matrix a, float s) {
+  a *= s;
+  return a;
+}
+Matrix Hadamard(Matrix a, const Matrix& b) {
+  a.HadamardInPlace(b);
+  return a;
+}
+
+Matrix Softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row_data(r);
+    float mx = row[0];
+    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
+    double total = 0;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      total += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+Matrix Sigmoid(const Matrix& x) {
+  return x.Apply([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Matrix Tanh(const Matrix& x) {
+  return x.Apply([](float v) { return std::tanh(v); });
+}
+
+Matrix Relu(const Matrix& x) {
+  return x.Apply([](float v) { return v > 0 ? v : 0.0f; });
+}
+
+void WriteMatrix(const Matrix& m, std::ostream* out) {
+  const uint64_t rows = m.rows(), cols = m.cols();
+  out->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out->write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Result<Matrix> ReadMatrix(std::istream* in) {
+  uint64_t rows = 0, cols = 0;
+  in->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!*in) return Status::Invalid("truncated matrix header");
+  if (rows * cols > (uint64_t{1} << 32)) {
+    return Status::Invalid("implausible matrix dimensions");
+  }
+  Matrix m(rows, cols);
+  in->read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!*in) return Status::Invalid("truncated matrix data");
+  return m;
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  DB_DCHECK(a.SameShape(b));
+  float m = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace deepbase

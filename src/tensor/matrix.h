@@ -1,0 +1,155 @@
+// Dense row-major float32 matrix — the numeric substrate for the NN library
+// and for behavior matrices ("skinny and tall" symbol × unit blocks).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief Dense row-major matrix of floats.
+///
+/// Rows×cols with contiguous storage; behaviors, weights, and activations in
+/// the rest of the library are all Matrix. A Vector is a 1×n or n×1 Matrix
+/// by convention; free functions below operate generically.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// \brief Construct from nested initializer lists (row-major).
+  Matrix(std::initializer_list<std::initializer_list<float>> init);
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  static Matrix Ones(size_t rows, size_t cols) {
+    return Matrix(rows, cols, 1.0f);
+  }
+  static Matrix Identity(size_t n);
+  /// \brief i.i.d. N(mean, stddev) entries.
+  static Matrix RandomNormal(size_t rows, size_t cols, Rng* rng,
+                             float mean = 0.0f, float stddev = 1.0f);
+  /// \brief i.i.d. U[lo, hi) entries.
+  static Matrix RandomUniform(size_t rows, size_t cols, Rng* rng, float lo,
+                              float hi);
+  /// \brief Glorot/Xavier uniform initialization for a fan_in×fan_out weight.
+  static Matrix Glorot(size_t fan_in, size_t fan_out, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) {
+    DB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    DB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row_data(size_t r) { return data_.data() + r * cols_; }
+  const float* row_data(size_t r) const { return data_.data() + r * cols_; }
+
+  /// \brief Copy of row r as a 1×cols matrix.
+  Matrix Row(size_t r) const;
+  /// \brief Copy of column c as a rows×1 matrix.
+  Matrix Col(size_t c) const;
+  /// \brief Copy rows [begin, end) as a new matrix.
+  Matrix RowSlice(size_t begin, size_t end) const;
+  /// \brief Copy columns from `cols` (in order) into a new matrix.
+  Matrix GatherCols(const std::vector<size_t>& cols) const;
+  /// \brief Overwrite row r with the first cols() values of src.
+  void SetRow(size_t r, const Matrix& src);
+
+  /// \brief Stack `top` above `bottom`; column counts must match.
+  static Matrix VStack(const Matrix& top, const Matrix& bottom);
+  /// \brief Concatenate side by side; row counts must match.
+  static Matrix HStack(const Matrix& left, const Matrix& right);
+
+  Matrix Transpose() const;
+
+  // Elementwise in-place ops (shapes must match).
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(float s);
+  /// \brief Hadamard (elementwise) product in place.
+  Matrix& HadamardInPlace(const Matrix& o);
+
+  /// \brief Apply fn to every element, returning a new matrix.
+  Matrix Apply(const std::function<float(float)>& fn) const;
+  /// \brief Apply fn to every element in place.
+  void ApplyInPlace(const std::function<float(float)>& fn);
+
+  /// \brief Add a 1×cols row vector to every row (broadcast), in place.
+  void AddRowBroadcast(const Matrix& row_vec);
+
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  /// \brief Sum of squares of all entries.
+  float SquaredNorm() const;
+  /// \brief Column means as a 1×cols matrix.
+  Matrix ColMeans() const;
+
+  /// \brief Row-wise argmax indices.
+  std::vector<size_t> ArgmaxRows() const;
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  std::string ToString(int precision = 3) const;
+
+  bool SameShape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// \brief Matrix product a×b (naive tiled GEMM). Shapes must agree.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// \brief a^T × b without materializing the transpose.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// \brief a × b^T without materializing the transpose.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, float s);
+/// \brief Elementwise product.
+Matrix Hadamard(Matrix a, const Matrix& b);
+
+/// \brief Numerically stable row-wise softmax.
+Matrix Softmax(const Matrix& logits);
+/// \brief Elementwise logistic sigmoid.
+Matrix Sigmoid(const Matrix& x);
+/// \brief Elementwise tanh.
+Matrix Tanh(const Matrix& x);
+/// \brief Elementwise max(0, x).
+Matrix Relu(const Matrix& x);
+
+/// \brief Max absolute elementwise difference; matrices must share shape.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+/// \brief Binary serialization: rows, cols (u64 little-endian), then data.
+void WriteMatrix(const Matrix& m, std::ostream* out);
+/// \brief Inverse of WriteMatrix; Invalid on malformed input.
+Result<Matrix> ReadMatrix(std::istream* in);
+
+}  // namespace deepbase

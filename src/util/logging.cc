@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace deepbase {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+void FatalCheckFailure(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: DB_DCHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace deepbase

@@ -1,0 +1,54 @@
+// Lightweight leveled logging and assertion macros.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace deepbase {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* expr);
+
+}  // namespace internal
+
+#define DB_LOG(level)                                                     \
+  ::deepbase::internal::LogMessage(::deepbase::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+/// Hard invariant check; aborts on failure. Used for programmer errors, not
+/// user-input validation (which returns Status).
+#define DB_DCHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::deepbase::internal::FatalCheckFailure(__FILE__, __LINE__, #expr); \
+  } while (false)
+
+}  // namespace deepbase

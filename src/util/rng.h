@@ -1,0 +1,112 @@
+// Deterministic random number generation. All randomness in the library
+// flows through Rng so that experiments, tests, and benchmarks are exactly
+// reproducible from a seed.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace deepbase {
+
+/// \brief xoshiro256** PRNG seeded through SplitMix64.
+///
+/// Small, fast, and high-quality; a single Rng instance is not thread-safe,
+/// use Rng::Split() to derive independent per-thread streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// \brief Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return Next() % n; }
+
+  /// \brief Uniform integer in [lo, hi).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo)));
+  }
+
+  /// \brief Standard normal via Box-Muller.
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    cached_ = r * std::sin(2.0 * M_PI * u2);
+    has_cached_ = true;
+    return r * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// \brief Normal with given mean and stddev.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// \brief Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// \brief Sample an index from unnormalized non-negative weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = Uniform() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// \brief Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// \brief Derive an independent child stream (for worker threads).
+  Rng Split() { return Rng(Next() ^ 0xA3EC4E93D0B4C123ull); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  double cached_ = 0;
+  bool has_cached_ = false;
+};
+
+}  // namespace deepbase

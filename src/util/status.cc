@@ -1,0 +1,51 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace deepbase {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void CheckOk(const Status& st, const char* file, int line) {
+  if (st.ok()) return;
+  std::fprintf(stderr, "%s:%d: DB_CHECK_OK failed: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace deepbase

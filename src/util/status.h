@@ -1,0 +1,140 @@
+// Status and Result<T> error-handling primitives, following the
+// Arrow/RocksDB idiom: no exceptions on hot paths, explicit propagation
+// through DB_RETURN_NOT_OK / DB_ASSIGN_OR_RETURN.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace deepbase {
+
+/// \brief Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kNotImplemented,
+  kInternal,
+  kIOError,
+  kDataLoss,
+};
+
+/// \brief Outcome of an operation: OK or an error code with a message.
+///
+/// Cheap to copy in the OK case (no allocation); error details are stored
+/// out-of-line. Modeled after arrow::Status.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A value or an error Status, modeled after arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, as in Arrow.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Access the value. Undefined behaviour if !ok().
+  const T& ValueOrDie() const& { return *value_; }
+  T& ValueOrDie() & { return *value_; }
+  T ValueOrDie() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// \brief Move the value out, or return a default if this is an error.
+  T ValueOr(T default_value) && {
+    return ok() ? std::move(*value_) : std::move(default_value);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define DB_CONCAT_IMPL(x, y) x##y
+#define DB_CONCAT(x, y) DB_CONCAT_IMPL(x, y)
+
+/// Propagate a non-OK Status to the caller.
+#define DB_RETURN_NOT_OK(expr)              \
+  do {                                      \
+    ::deepbase::Status _st = (expr);        \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Evaluate a Result<T> expression; on error return its Status, otherwise
+/// bind the value to `lhs`.
+#define DB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define DB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DB_ASSIGN_OR_RETURN_IMPL(DB_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+/// Abort the process if `expr` is not OK. For use in tests, examples, and
+/// benchmark drivers where errors are programming bugs.
+#define DB_CHECK_OK(expr) ::deepbase::internal::CheckOk((expr), __FILE__, __LINE__)
+
+namespace internal {
+void CheckOk(const Status& st, const char* file, int line);
+}  // namespace internal
+
+}  // namespace deepbase

@@ -1,0 +1,43 @@
+// Wall-clock timing for the benchmark harness and the engine's runtime
+// breakdown instrumentation (Figure 8).
+
+#pragma once
+
+#include <chrono>
+
+namespace deepbase {
+
+/// \brief Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates time across multiple start/stop intervals, used for
+/// per-component cost breakdowns (extraction vs inspection).
+class TimeAccumulator {
+ public:
+  void Start() { watch_.Restart(); }
+  void Stop() { total_ += watch_.Seconds(); }
+  double Seconds() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,74 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace deepbase {
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  size_t total = 2 * widths.size();
+  for (size_t w : widths) total += w;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string TextTable::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << CsvEscape(row[c]);
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+Status TextTable::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  f << ToCsv();
+  return Status::OK();
+}
+
+}  // namespace deepbase

@@ -1,0 +1,47 @@
+// Console/CSV table rendering used by the benchmark harness to print the
+// rows/series that each paper figure reports.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepbase {
+
+/// \brief A small textual table: header row + string cells.
+///
+/// Supports aligned console printing and CSV export; numeric cells are
+/// formatted by the caller via AddRow's double overloads.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// \brief Format a double with the given precision (fixed).
+  static std::string Num(double v, int precision = 4);
+
+  /// \brief Render with padded columns, suitable for terminal output.
+  std::string ToString() const;
+
+  /// \brief RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+  /// \brief Write the CSV form to a file.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace deepbase {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  auto fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t nt = num_threads();
+  if (nt <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t chunks = std::min(n, nt * 4);
+  std::atomic<size_t> next_chunk{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  const size_t per_chunk = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    futs.push_back(Submit([&, per_chunk, n] {
+      for (;;) {
+        size_t chunk = next_chunk.fetch_add(1);
+        size_t begin = chunk * per_chunk;
+        if (begin >= n) return;
+        size_t end = std::min(n, begin + per_chunk);
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace deepbase

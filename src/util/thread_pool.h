@@ -1,0 +1,48 @@
+// Fixed-size thread pool. In this reproduction the pool stands in for the
+// paper's GPU execution path: it provides batch-parallel unit extraction and
+// merged-model training (see DESIGN.md, substitution table).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace deepbase {
+
+/// \brief A minimal fixed-size thread pool with a ParallelFor convenience.
+class ThreadPool {
+ public:
+  /// \param num_threads number of workers; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueue a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// \brief Run fn(i) for i in [0, n), blocking until all complete.
+  ///
+  /// Work is chunked to limit queueing overhead. Safe to call with n == 0.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,175 @@
+// Unit tests for the baseline systems: MADLib-style runner, system
+// presets, and the NetDissect reimplementation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/madlib.h"
+#include "baselines/netdissect.h"
+#include "baselines/pybase.h"
+#include "core/engine.h"
+#include "hypothesis/hypothesis.h"
+#include "measures/scores.h"
+
+namespace deepbase {
+namespace {
+
+// Same planted-model trick as core_test: unit 0 detects 'a'.
+class PlantedExtractor : public Extractor {
+ public:
+  PlantedExtractor() : Extractor("planted") {}
+  size_t num_units() const override { return 2; }
+  Matrix ExtractRecord(const Record& rec,
+                       const std::vector<int>& unit_ids) const override {
+    Matrix out(rec.size(), unit_ids.size());
+    for (size_t t = 0; t < rec.size(); ++t) {
+      const float noise =
+          static_cast<float>((rec.ids[t] * 7919u + t * 104729u) % 997) /
+              498.5f -
+          1.0f;
+      float all[2] = {rec.tokens[t] == "a" ? 1.0f : 0.0f, noise};
+      for (size_t j = 0; j < unit_ids.size(); ++j) {
+        out(t, j) = all[unit_ids[j]];
+      }
+    }
+    return out;
+  }
+};
+
+Dataset MakeDataset(size_t n) {
+  Dataset ds(Vocab::FromChars("ab"), 8);
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    std::string text;
+    for (int t = 0; t < 8; ++t) text += rng.Bernoulli(0.4) ? 'a' : 'b';
+    ds.AddText(text);
+  }
+  return ds;
+}
+
+std::vector<HypothesisPtr> IsAHypothesis() {
+  return {std::make_shared<FunctionHypothesis>(
+      "is_a", [](const Record& rec) {
+        std::vector<float> out(rec.size(), 0.0f);
+        for (size_t i = 0; i < rec.size(); ++i) {
+          if (rec.tokens[i] == "a") out[i] = 1.0f;
+        }
+        return out;
+      })};
+}
+
+TEST(PresetsTest, LadderTogglesFlagsCumulatively) {
+  auto ladder = OptimizationLadder();
+  ASSERT_EQ(ladder.size(), 4u);
+  EXPECT_EQ(ladder[0].name, "PyBase");
+  EXPECT_FALSE(ladder[0].options.model_merging);
+  EXPECT_FALSE(ladder[0].options.early_stopping);
+  EXPECT_FALSE(ladder[0].options.streaming);
+  EXPECT_TRUE(ladder[1].options.model_merging);
+  EXPECT_FALSE(ladder[1].options.early_stopping);
+  EXPECT_TRUE(ladder[2].options.early_stopping);
+  EXPECT_FALSE(ladder[2].options.streaming);
+  EXPECT_TRUE(ladder[3].options.streaming);
+}
+
+TEST(MadlibTest, CorrelationMatchesEngineScores) {
+  PlantedExtractor ex;
+  Dataset ds = MakeDataset(60);
+  auto hyps = IsAHypothesis();
+  MadlibBase madlib(&ex, &ds, {0, 1}, hyps);
+  MadlibRunStats stats;
+  ResultTable db_scores = madlib.RunCorrelation(&stats);
+
+  InspectOptions opts = PyBaseOptions();
+  opts.block_size = 16;
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<CorrelationScore>("pearson")};
+  ResultTable engine_scores =
+      Inspect({AllUnitsGroup(&ex)}, ds, scores, hyps, opts);
+
+  for (int u = 0; u < 2; ++u) {
+    const float madlib_r = db_scores.UnitScore("madlib_corr", "is_a", u);
+    const float engine_r =
+        engine_scores.UnitScore("correlation_pearson", "is_a", u);
+    EXPECT_NEAR(madlib_r, engine_r, 1e-4) << "unit " << u;
+  }
+  EXPECT_GT(stats.load_s, 0.0);
+  EXPECT_EQ(stats.scans, 1u);  // 2 pairs fit in one 1600-expression batch
+}
+
+TEST(MadlibTest, BatchingRespectsExpressionLimit) {
+  // With > 1600 unit-hypothesis pairs, multiple scans are needed. Use many
+  // hypotheses cheaply by duplicating the indicator.
+  PlantedExtractor ex;
+  Dataset ds = MakeDataset(10);
+  std::vector<HypothesisPtr> hyps;
+  for (int i = 0; i < 900; ++i) {
+    hyps.push_back(std::make_shared<FunctionHypothesis>(
+        "h" + std::to_string(i), [](const Record& rec) {
+          return std::vector<float>(rec.size(), 0.0f);
+        }));
+  }
+  MadlibBase madlib(&ex, &ds, {0, 1}, hyps);  // 1800 pairs -> 2 scans
+  MadlibRunStats stats;
+  madlib.RunCorrelation(&stats);
+  EXPECT_EQ(stats.scans, 2u);
+}
+
+TEST(MadlibTest, LogRegLearnsPlantedDetector) {
+  PlantedExtractor ex;
+  Dataset ds = MakeDataset(80);
+  auto hyps = IsAHypothesis();
+  MadlibBase madlib(&ex, &ds, {0, 1}, hyps);
+  MadlibRunStats stats;
+  ResultTable scores = madlib.RunLogReg(/*epochs=*/3, &stats);
+  EXPECT_GT(scores.GroupScore("madlib_logreg", "is_a"), 0.95f);
+  // 3 training scans + 1 scoring scan.
+  EXPECT_EQ(stats.scans, 4u);
+  // The planted unit's weight dominates the noise unit's.
+  EXPECT_GT(std::fabs(scores.UnitScore("madlib_logreg", "is_a", 0)),
+            std::fabs(scores.UnitScore("madlib_logreg", "is_a", 1)));
+}
+
+TEST(NetDissectTest, PlantedFiltersDetectTheirConcepts) {
+  const int num_concepts = 3;
+  TextureCnn cnn(num_concepts, /*extra_random=*/2, /*layer2=*/2, 7);
+  auto images = GenerateAnnotatedImages(24, 20, 20, num_concepts, 11);
+  CnnIouScores nd = RunNetDissect(cnn, images, num_concepts, 0.1);
+  ASSERT_EQ(nd.iou.rows(), cnn.num_units());
+  ASSERT_EQ(nd.iou.cols(), static_cast<size_t>(num_concepts));
+  // For each concept, its planted filter (unit c-1) should be among the
+  // better-scoring units.
+  for (int c = 0; c < num_concepts; ++c) {
+    float planted = nd.iou(c, c);
+    EXPECT_GT(planted, 0.0f) << "concept " << c;
+  }
+}
+
+TEST(NetDissectTest, DeepBasePipelineCorrelatesWithNetDissect) {
+  const int num_concepts = 3;
+  TextureCnn cnn(num_concepts, 2, 2, 7);
+  auto images = GenerateAnnotatedImages(24, 20, 20, num_concepts, 11);
+  CnnIouScores nd = RunNetDissect(cnn, images, num_concepts, 0.1);
+  CnnIouScores db = RunDeepBaseCnn(cnn, images, num_concepts, 0.1);
+  // Figure 15: the two pipelines' scores are strongly correlated (not
+  // identical — thresholds are estimated differently).
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const size_t n = nd.iou.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double x = nd.iou.data()[i], y = db.iou.data()[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double num = n * sxy - sx * sy;
+  const double den =
+      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  ASSERT_GT(den, 0.0);
+  EXPECT_GT(num / den, 0.8);
+}
+
+}  // namespace
+}  // namespace deepbase

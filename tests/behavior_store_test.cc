@@ -1,0 +1,217 @@
+// Tests for the disk-backed behavior store: round-trips, the memory LRU
+// tier, checksum validation / corruption detection, dataset fingerprints,
+// and the materialize-then-reinspect workflow of paper §6.3.
+
+#include "core/behavior_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.h"
+#include "measures/scores.h"
+#include "nn/lstm_lm.h"
+#include "util/rng.h"
+
+namespace deepbase {
+namespace {
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  StoreFixture() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("deepbase_store_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  ~StoreFixture() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+Matrix TestMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomNormal(rows, cols, &rng);
+}
+
+TEST_F(StoreFixture, PutGetRoundTrip) {
+  BehaviorStore store(dir_.string());
+  Matrix m = TestMatrix(12, 7, 1);
+  ASSERT_TRUE(store.Put("key1", m).ok());
+  Result<Matrix> back = store.Get("key1");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(MaxAbsDiff(*back, m), 0.0f);
+  EXPECT_EQ(store.stats().mem_hits, 1u);  // served from the memory tier
+}
+
+TEST_F(StoreFixture, MissingKeyIsNotFound) {
+  BehaviorStore store(dir_.string());
+  EXPECT_EQ(store.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(store.Contains("nope"));
+}
+
+TEST_F(StoreFixture, SurvivesReopen) {
+  {
+    BehaviorStore store(dir_.string());
+    ASSERT_TRUE(store.Put("persisted", TestMatrix(4, 4, 2)).ok());
+  }
+  BehaviorStore reopened(dir_.string());
+  EXPECT_TRUE(reopened.Contains("persisted"));
+  Result<Matrix> back = reopened.Get("persisted");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(MaxAbsDiff(*back, TestMatrix(4, 4, 2)), 0.0f);
+  EXPECT_EQ(reopened.stats().disk_hits, 1u);
+  // Second read hits memory.
+  ASSERT_TRUE(reopened.Get("persisted").ok());
+  EXPECT_EQ(reopened.stats().mem_hits, 1u);
+}
+
+TEST_F(StoreFixture, OverwriteReplacesPayload) {
+  BehaviorStore store(dir_.string());
+  ASSERT_TRUE(store.Put("k", TestMatrix(3, 3, 1)).ok());
+  ASSERT_TRUE(store.Put("k", TestMatrix(5, 2, 9)).ok());
+  Result<Matrix> back = store.Get("k");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows(), 5u);
+  EXPECT_EQ(back->cols(), 2u);
+}
+
+TEST_F(StoreFixture, LruEvictsUnderMemoryPressureButDiskServes) {
+  // Budget fits two 100×10 float matrices (4000 B each), not three.
+  BehaviorStore store(dir_.string(), /*memory_budget_bytes=*/9000);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store
+                    .Put("k" + std::to_string(i),
+                         TestMatrix(100, 10, static_cast<uint64_t>(i)))
+                    .ok());
+  }
+  EXPECT_LE(store.memory_bytes(), 9000u);
+  EXPECT_GE(store.stats().evictions, 1u);
+  // The evicted key still loads (from disk).
+  Result<Matrix> k0 = store.Get("k0");
+  ASSERT_TRUE(k0.ok());
+  EXPECT_EQ(MaxAbsDiff(*k0, TestMatrix(100, 10, 0)), 0.0f);
+}
+
+TEST_F(StoreFixture, ZeroBudgetDisablesMemoryTier) {
+  BehaviorStore store(dir_.string(), 0);
+  ASSERT_TRUE(store.Put("k", TestMatrix(4, 4, 3)).ok());
+  EXPECT_EQ(store.memory_bytes(), 0u);
+  ASSERT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(store.stats().disk_hits, 1u);
+  EXPECT_EQ(store.stats().mem_hits, 0u);
+}
+
+TEST_F(StoreFixture, CorruptionIsDetected) {
+  BehaviorStore store(dir_.string());
+  ASSERT_TRUE(store.Put("fragile", TestMatrix(8, 8, 4)).ok());
+  store.EvictFromMemory("fragile");
+  // Flip one payload byte in the single stored file.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::fstream f(entry.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-5, std::ios::end);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(-5, std::ios::end);
+    c = static_cast<char>(c ^ 0x40);
+    f.write(&c, 1);
+  }
+  EXPECT_EQ(store.Get("fragile").status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StoreFixture, RemoveDeletesBothTiers) {
+  BehaviorStore store(dir_.string());
+  ASSERT_TRUE(store.Put("gone", TestMatrix(2, 2, 5)).ok());
+  ASSERT_TRUE(store.Remove("gone").ok());
+  EXPECT_FALSE(store.Contains("gone"));
+  EXPECT_EQ(store.Get("gone").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreFixture, KeysListsPersistedEntries) {
+  BehaviorStore store(dir_.string());
+  ASSERT_TRUE(store.Put("b", TestMatrix(2, 2, 1)).ok());
+  ASSERT_TRUE(store.Put("a", TestMatrix(2, 2, 2)).ok());
+  EXPECT_EQ(store.Keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(DatasetFingerprintTest, SensitiveToContentAndShape) {
+  Dataset a(Vocab::FromChars("ab"), 4);
+  a.AddText("abab");
+  Dataset b(Vocab::FromChars("ab"), 4);
+  b.AddText("abab");
+  EXPECT_EQ(DatasetFingerprint(a), DatasetFingerprint(b));
+
+  Dataset c(Vocab::FromChars("ab"), 4);
+  c.AddText("abba");
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(c));
+
+  b.AddText("abab");  // extra record
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(b));
+}
+
+TEST_F(StoreFixture, MaterializeThenReinspectSkipsExtraction) {
+  // The §6.3 workflow: extract once, persist, then re-run the inspection
+  // from the stored behaviors with identical scores.
+  Dataset ds(Vocab::FromChars("ab"), 8);
+  Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    std::string text;
+    for (int t = 0; t < 8; ++t) text += rng.Bernoulli(0.5) ? 'a' : 'b';
+    ds.AddText(text);
+  }
+  LstmLm model(ds.vocab().size(), 6, 1, 23);
+  LstmLmExtractor live("lm", &model);
+
+  BehaviorStore store(dir_.string());
+  Result<std::string> key = MaterializeUnitBehaviors(live, ds, &store);
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+
+  Result<PrecomputedExtractor> stored =
+      OpenStoredExtractor(*key, "lm", ds, &store);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+
+  std::vector<HypothesisPtr> hyps = {
+      std::make_shared<KeywordHypothesis>("ab")};
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<CorrelationScore>("pearson")};
+  InspectOptions opts;
+  opts.block_size = 16;
+  opts.early_stopping = false;
+  ResultTable from_live =
+      Inspect({AllUnitsGroup(&live)}, ds, scores, hyps, opts);
+  ResultTable from_store =
+      Inspect({AllUnitsGroup(&*stored)}, ds, scores, hyps, opts);
+  ASSERT_EQ(from_live.size(), from_store.size());
+  for (size_t i = 0; i < from_live.size(); ++i) {
+    EXPECT_FLOAT_EQ(from_live.row(i).unit_score,
+                    from_store.row(i).unit_score)
+        << "row " << i;
+  }
+
+  // Re-materializing is a no-op (same key, no second extraction write).
+  const size_t written = store.stats().bytes_written;
+  ASSERT_TRUE(MaterializeUnitBehaviors(live, ds, &store).ok());
+  EXPECT_EQ(store.stats().bytes_written, written);
+
+  // A different dataset gets a different key.
+  Dataset other(ds.vocab(), 8);
+  other.AddText("abababab");
+  EXPECT_NE(UnitBehaviorKey("lm", ds), UnitBehaviorKey("lm", other));
+}
+
+TEST_F(StoreFixture, StoredExtractorRejectsMisalignedDataset) {
+  BehaviorStore store(dir_.string());
+  ASSERT_TRUE(store.Put("misaligned", TestMatrix(10, 3, 6)).ok());
+  Dataset ds(Vocab::FromChars("a"), 4);
+  ds.AddText("aaaa");  // 4 symbols != 10 rows
+  EXPECT_FALSE(OpenStoredExtractor("misaligned", "m", ds, &store).ok());
+}
+
+}  // namespace
+}  // namespace deepbase

@@ -1,0 +1,251 @@
+// Unit tests for src/data: vocab, dataset padding, block iteration,
+// sliding windows, the synthetic translation corpus, annotated images.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.h"
+#include "data/images.h"
+#include "data/translation_corpus.h"
+#include "data/vocab.h"
+
+namespace deepbase {
+namespace {
+
+TEST(VocabTest, PadIsIdZero) {
+  Vocab v;
+  EXPECT_EQ(v.Lookup(Vocab::kPadToken), Vocab::kPadId);
+  EXPECT_EQ(v.Token(Vocab::kPadId), Vocab::kPadToken);
+}
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocab v;
+  int a = v.Add("x");
+  int b = v.Add("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 2u);  // pad + x
+}
+
+TEST(VocabTest, UnknownLookup) {
+  Vocab v;
+  EXPECT_EQ(v.Lookup("nope"), -1);
+  EXPECT_EQ(v.LookupOrPad("nope"), Vocab::kPadId);
+}
+
+TEST(VocabTest, FromCharsCoversDistinctChars) {
+  Vocab v = Vocab::FromChars("abca");
+  EXPECT_GE(v.Lookup("a"), 0);
+  EXPECT_GE(v.Lookup("b"), 0);
+  EXPECT_GE(v.Lookup("c"), 0);
+  EXPECT_EQ(v.size(), 4u);  // pad + 3 chars
+}
+
+TEST(DatasetTest, PadsShortRecords) {
+  Dataset ds(Vocab::FromChars("ab"), 5);
+  ds.AddText("ab");
+  const Record& rec = ds.record(0);
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.tokens[4], Vocab::kPadToken);
+  EXPECT_EQ(rec.ids[4], Vocab::kPadId);
+  EXPECT_EQ(rec.Text(), "ab~~~");
+}
+
+TEST(DatasetTest, TruncatesLongRecords) {
+  Dataset ds(Vocab::FromChars("abcdef"), 3);
+  ds.AddText("abcdef");
+  EXPECT_EQ(ds.record(0).size(), 3u);
+  EXPECT_EQ(ds.record(0).Text(), "abc");
+}
+
+TEST(DatasetTest, AnnotationsArePaddedWithEmpty) {
+  Dataset ds(Vocab::FromChars("ab"), 4);
+  Record rec;
+  rec.tokens = {"a", "b"};
+  rec.ids = {ds.vocab().Lookup("a"), ds.vocab().Lookup("b")};
+  rec.annotations["tag"] = {"T1", "T2"};
+  ds.Add(std::move(rec));
+  const auto& track = ds.record(0).annotations.at("tag");
+  ASSERT_EQ(track.size(), 4u);
+  EXPECT_EQ(track[1], "T2");
+  EXPECT_EQ(track[3], "");
+}
+
+TEST(DatasetTest, SliceCopiesRange) {
+  Dataset ds(Vocab::FromChars("abc"), 2);
+  ds.AddText("ab");
+  ds.AddText("bc");
+  ds.AddText("ca");
+  Dataset s = ds.Slice(1, 3);
+  EXPECT_EQ(s.num_records(), 2u);
+  EXPECT_EQ(s.record(0).Text(), "bc");
+}
+
+TEST(BlockIteratorTest, CoversAllRecordsExactlyOnce) {
+  Dataset ds(Vocab::FromChars("x"), 1);
+  for (int i = 0; i < 23; ++i) ds.AddText("x");
+  BlockIterator it(&ds, 5, /*seed=*/3);
+  std::set<size_t> seen;
+  size_t blocks = 0;
+  while (it.HasNext()) {
+    for (size_t idx : it.NextBlock()) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate " << idx;
+    }
+    ++blocks;
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  EXPECT_EQ(blocks, 5u);  // ceil(23/5)
+}
+
+TEST(BlockIteratorTest, DeterministicGivenSeed) {
+  Dataset ds(Vocab::FromChars("x"), 1);
+  for (int i = 0; i < 17; ++i) ds.AddText("x");
+  BlockIterator a(&ds, 4, 9), b(&ds, 4, 9);
+  while (a.HasNext()) {
+    ASSERT_TRUE(b.HasNext());
+    EXPECT_EQ(a.NextBlock(), b.NextBlock());
+  }
+}
+
+TEST(BlockIteratorTest, ShuffleActuallyPermutes) {
+  Dataset ds(Vocab::FromChars("x"), 1);
+  for (int i = 0; i < 100; ++i) ds.AddText("x");
+  BlockIterator it(&ds, 100, 1);
+  std::vector<size_t> order = it.NextBlock();
+  bool any_moved = false;
+  for (size_t i = 0; i < order.size(); ++i) any_moved |= (order[i] != i);
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(BlockIteratorTest, NoShuffleKeepsOrder) {
+  Dataset ds(Vocab::FromChars("x"), 1);
+  for (int i = 0; i < 10; ++i) ds.AddText("x");
+  BlockIterator it(&ds, 4, 1, /*shuffle=*/false);
+  std::vector<size_t> first = it.NextBlock();
+  EXPECT_EQ(first, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(SlidingWindowTest, WindowsCoverTextWithStride) {
+  Dataset ds = SlidingWindowDataset({"abcdefgh"}, 4, 2);
+  // Windows stop once the text end is reached: abcd, cdef, efgh.
+  EXPECT_EQ(ds.num_records(), 3u);
+  EXPECT_EQ(ds.record(0).Text(), "abcd");
+  EXPECT_EQ(ds.record(1).Text(), "cdef");
+  EXPECT_EQ(ds.record(2).Text(), "efgh");
+}
+
+TEST(SlidingWindowTest, ShortTextGetsPaddedWindow) {
+  Dataset ds = SlidingWindowDataset({"abc"}, 5, 2);
+  EXPECT_EQ(ds.num_records(), 1u);
+  EXPECT_EQ(ds.record(0).Text(), "abc~~");
+}
+
+TEST(SlidingWindowTest, VocabContainsAllChars) {
+  Dataset ds = SlidingWindowDataset({"xyz"}, 2, 1);
+  EXPECT_GE(ds.vocab().Lookup("x"), 0);
+  EXPECT_GE(ds.vocab().Lookup("z"), 0);
+}
+
+TEST(TranslationCorpusTest, GeneratesAlignedAnnotations) {
+  TranslationCorpus corpus = GenerateTranslationCorpus(200, 20, 42);
+  ASSERT_GT(corpus.source.num_records(), 100u);
+  ASSERT_EQ(corpus.source.num_records(), corpus.targets.size());
+  for (size_t i = 0; i < corpus.source.num_records(); ++i) {
+    const Record& rec = corpus.source.record(i);
+    ASSERT_EQ(rec.annotations.at("pos").size(), rec.size());
+    ASSERT_EQ(rec.annotations.at("NP").size(), rec.size());
+    EXPECT_EQ(corpus.targets[i].size(), corpus.target_len);
+  }
+}
+
+TEST(TranslationCorpusTest, SentencesEndWithPeriodTag) {
+  TranslationCorpus corpus = GenerateTranslationCorpus(50, 20, 1);
+  for (const Record& rec : corpus.source.records()) {
+    const auto& pos = rec.annotations.at("pos");
+    // Find the last non-empty tag; it must be ".".
+    std::string last;
+    for (const auto& t : pos) {
+      if (!t.empty()) last = t;
+    }
+    EXPECT_EQ(last, ".");
+  }
+}
+
+TEST(TranslationCorpusTest, NounPhrasesContainNouns) {
+  TranslationCorpus corpus = GenerateTranslationCorpus(100, 20, 2);
+  size_t np_tokens = 0, np_nouny = 0;
+  for (const Record& rec : corpus.source.records()) {
+    const auto& pos = rec.annotations.at("pos");
+    const auto& np = rec.annotations.at("NP");
+    for (size_t k = 0; k < rec.size(); ++k) {
+      if (np[k] == "1") {
+        ++np_tokens;
+        if (!pos[k].empty() &&
+            (pos[k][0] == 'N' || pos[k] == "DT" || pos[k][0] == 'J' ||
+             pos[k] == "PRP" || pos[k] == "CD" || pos[k] == "CC")) {
+          ++np_nouny;
+        }
+      }
+    }
+  }
+  ASSERT_GT(np_tokens, 0u);
+  EXPECT_EQ(np_tokens, np_nouny);  // NP spans contain only nominal material
+}
+
+TEST(TranslationCorpusTest, DeterministicInSeed) {
+  TranslationCorpus a = GenerateTranslationCorpus(30, 16, 5);
+  TranslationCorpus b = GenerateTranslationCorpus(30, 16, 5);
+  ASSERT_EQ(a.source.num_records(), b.source.num_records());
+  for (size_t i = 0; i < a.source.num_records(); ++i) {
+    EXPECT_EQ(a.source.record(i).Text(" "), b.source.record(i).Text(" "));
+    EXPECT_EQ(a.targets[i], b.targets[i]);
+  }
+}
+
+TEST(TranslationCorpusTest, TagsetCoversAllEmittedTags) {
+  TranslationCorpus corpus = GenerateTranslationCorpus(200, 20, 3);
+  std::set<std::string> tagset(TranslationTagset().begin(),
+                               TranslationTagset().end());
+  for (const Record& rec : corpus.source.records()) {
+    for (const auto& tag : rec.annotations.at("pos")) {
+      if (!tag.empty()) EXPECT_TRUE(tagset.count(tag)) << tag;
+    }
+  }
+}
+
+TEST(ImagesTest, ShapesAndLabelRange) {
+  auto images = GenerateAnnotatedImages(10, 16, 16, 4, 7);
+  ASSERT_EQ(images.size(), 10u);
+  for (const auto& img : images) {
+    EXPECT_EQ(img.pixels.rows(), 16u);
+    EXPECT_EQ(img.pixels.cols(), 16u);
+    EXPECT_EQ(img.labels.size(), 256u);
+    for (int label : img.labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LE(label, 4);
+    }
+  }
+}
+
+TEST(ImagesTest, ConceptPixelsAreBrighterThanBackground) {
+  auto images = GenerateAnnotatedImages(20, 16, 16, 3, 9);
+  double bg_sum = 0, fg_sum = 0;
+  size_t bg_n = 0, fg_n = 0;
+  for (const auto& img : images) {
+    for (size_t p = 0; p < img.labels.size(); ++p) {
+      const float v = img.pixels.data()[p];
+      if (img.labels[p] == 0) {
+        bg_sum += v;
+        ++bg_n;
+      } else {
+        fg_sum += v;
+        ++fg_n;
+      }
+    }
+  }
+  ASSERT_GT(fg_n, 0u);
+  EXPECT_GT(fg_sum / fg_n, bg_sum / bg_n);
+}
+
+}  // namespace
+}  // namespace deepbase

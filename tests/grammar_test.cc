@@ -1,0 +1,173 @@
+// Unit + property tests for src/grammar: CFG construction, sampling,
+// Earley parsing (every sampled string must parse, spans must align),
+// the SQL grammar levels, and the parenthesis grammar of Appendix C.
+
+#include <gtest/gtest.h>
+
+#include "grammar/cfg.h"
+#include "grammar/earley.h"
+#include "grammar/sql_grammar.h"
+
+namespace deepbase {
+namespace {
+
+Cfg TinyExprGrammar() {
+  // expr -> term | expr "+" term ; term -> digit | "(" expr ")"
+  Cfg cfg;
+  cfg.AddRuleSpec("expr", {"<term>"}, 2.0);
+  cfg.AddRuleSpec("expr", {"<expr>", "+", "<term>"});
+  cfg.AddRuleSpec("term", {"<digit>"}, 2.0);
+  cfg.AddRuleSpec("term", {"(", "<expr>", ")"});
+  for (int d = 0; d < 3; ++d) cfg.AddRuleSpec("digit", {std::to_string(d)});
+  cfg.SetStart(cfg.FindNonterminal("expr"));
+  return cfg;
+}
+
+TEST(CfgTest, InterningIsIdempotent) {
+  Cfg cfg;
+  EXPECT_EQ(cfg.Nonterminal("a"), cfg.Nonterminal("a"));
+  EXPECT_EQ(cfg.Terminal("x"), cfg.Terminal("x"));
+  EXPECT_NE(cfg.Nonterminal("a"), cfg.Terminal("a"));
+}
+
+TEST(CfgTest, RuleSpecBuildsRules) {
+  Cfg cfg = TinyExprGrammar();
+  EXPECT_EQ(cfg.num_rules(), 7u);
+  EXPECT_EQ(cfg.Nonterminals().size(), 3u);
+  EXPECT_GE(cfg.FindNonterminal("expr"), 0);
+  EXPECT_EQ(cfg.FindNonterminal("nope"), -1);
+}
+
+TEST(CfgTest, MinDepthTerminatesRecursion) {
+  Cfg cfg = TinyExprGrammar();
+  EXPECT_EQ(cfg.MinDepth(cfg.Terminal("+")), 0);
+  EXPECT_GE(cfg.MinDepth(cfg.FindNonterminal("expr")), 2);
+}
+
+TEST(SamplerTest, ProducesNonEmptyStrings) {
+  Cfg cfg = TinyExprGrammar();
+  GrammarSampler sampler(&cfg, 11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(sampler.Sample().empty());
+  }
+}
+
+TEST(SamplerTest, TreeSpansAreConsistent) {
+  Cfg cfg = TinyExprGrammar();
+  GrammarSampler sampler(&cfg, 13);
+  for (int i = 0; i < 20; ++i) {
+    ParseTree tree = sampler.SampleTree();
+    ASSERT_TRUE(tree.root != nullptr);
+    EXPECT_EQ(tree.root->begin, 0u);
+    EXPECT_EQ(tree.root->end, tree.text.size());
+    // Children partition the parent's span.
+    tree.Visit([&](const ParseNode& node) {
+      if (node.children.empty()) return;
+      EXPECT_EQ(node.children.front()->begin, node.begin);
+      EXPECT_EQ(node.children.back()->end, node.end);
+      for (size_t c = 1; c < node.children.size(); ++c) {
+        EXPECT_EQ(node.children[c - 1]->end, node.children[c]->begin);
+      }
+    });
+  }
+}
+
+TEST(EarleyTest, AcceptsSimpleStrings) {
+  Cfg cfg = TinyExprGrammar();
+  EarleyParser parser(&cfg);
+  EXPECT_TRUE(parser.Recognizes("1"));
+  EXPECT_TRUE(parser.Recognizes("1+2"));
+  EXPECT_TRUE(parser.Recognizes("(1+2)+0"));
+  EXPECT_FALSE(parser.Recognizes("+1"));
+  EXPECT_FALSE(parser.Recognizes("(1"));
+  EXPECT_FALSE(parser.Recognizes(""));
+}
+
+TEST(EarleyTest, ParseTreeSpansMatchText) {
+  Cfg cfg = TinyExprGrammar();
+  EarleyParser parser(&cfg);
+  Result<ParseTree> tree = parser.Parse("(1+2)");
+  ASSERT_TRUE(tree.ok());
+  const SymbolId term = cfg.FindNonterminal("term");
+  auto spans = tree->SpansOf(term);
+  // The outer parenthesized term spans the whole string.
+  bool found_outer = false;
+  for (auto [b, e] : spans) found_outer |= (b == 0 && e == 5);
+  EXPECT_TRUE(found_outer);
+}
+
+TEST(EarleyTest, HandlesEpsilonRules) {
+  Cfg cfg = MakeParenGrammar();
+  EarleyParser parser(&cfg);
+  // r0 -> ( r1 ), r1 -> ( r2 ), ..., r4 -> epsilon.
+  EXPECT_TRUE(parser.Recognizes("(((())))"));
+  EXPECT_TRUE(parser.Recognizes("0(1(2((44))))"));
+  EXPECT_FALSE(parser.Recognizes("(("));
+  EXPECT_FALSE(parser.Recognizes("4"));  // digit 4 only valid at depth 4
+}
+
+TEST(ParenGrammarTest, SamplesParseBack) {
+  Cfg cfg = MakeParenGrammar();
+  GrammarSampler sampler(&cfg, 17);
+  EarleyParser parser(&cfg);
+  for (int i = 0; i < 50; ++i) {
+    std::string s = sampler.Sample(12);
+    EXPECT_TRUE(parser.Recognizes(s)) << s;
+  }
+}
+
+TEST(SqlGrammarTest, RuleCountsGrowWithLevel) {
+  size_t prev = 0;
+  for (int level = 0; level <= 3; ++level) {
+    Cfg cfg = MakeSqlGrammar(level);
+    EXPECT_GT(cfg.num_rules(), prev);
+    prev = cfg.num_rules();
+  }
+  // The paper's benchmark grammars have 95-171 rules; level 3 should be in
+  // the same regime.
+  EXPECT_GE(MakeSqlGrammar(3).num_rules(), 95u);
+}
+
+TEST(SqlGrammarTest, SampledQueriesLookLikeSql) {
+  Cfg cfg = MakeSqlGrammar(2);
+  GrammarSampler sampler(&cfg, 19);
+  for (int i = 0; i < 20; ++i) {
+    std::string q = sampler.Sample(14);
+    EXPECT_EQ(q.rfind("SELECT ", 0), 0u) << q;
+    EXPECT_NE(q.find(" FROM "), std::string::npos) << q;
+  }
+}
+
+// Property: every sampled query parses back under its own grammar, at every
+// complexity level (the paper's pipeline depends on this round trip).
+class SqlRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlRoundTripTest, SampleThenParse) {
+  Cfg cfg = MakeSqlGrammar(GetParam());
+  GrammarSampler sampler(&cfg, 23 + GetParam());
+  EarleyParser parser(&cfg);
+  for (int i = 0; i < 15; ++i) {
+    std::string q = sampler.Sample(12);
+    Result<ParseTree> tree = parser.Parse(q);
+    ASSERT_TRUE(tree.ok()) << "level " << GetParam() << ": " << q;
+    EXPECT_EQ(tree->root->end, q.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SqlRoundTripTest, ::testing::Values(0, 1, 2, 3));
+
+TEST(SqlGrammarTest, SelectKeywordSpanIsAtStart) {
+  Cfg cfg = MakeSqlGrammar(1);
+  GrammarSampler sampler(&cfg, 29);
+  EarleyParser parser(&cfg);
+  std::string q = sampler.Sample(10);
+  Result<ParseTree> tree = parser.Parse(q);
+  ASSERT_TRUE(tree.ok());
+  SymbolId select_clause = cfg.FindNonterminal("select_clause");
+  auto spans = tree->SpansOf(select_clause);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].first, 0u);
+}
+
+}  // namespace
+}  // namespace deepbase

@@ -1,0 +1,342 @@
+// Unit tests for src/hypothesis: annotation/keyword/FSM/iterator/grammar
+// hypotheses, parse caching, and the POS tagger.
+
+#include <gtest/gtest.h>
+
+#include "data/translation_corpus.h"
+#include "grammar/sql_grammar.h"
+#include "hypothesis/fsm.h"
+#include "hypothesis/grammar_hypotheses.h"
+#include "hypothesis/hypothesis.h"
+#include "hypothesis/iterators.h"
+#include "hypothesis/ngram.h"
+#include "hypothesis/pos_tagger.h"
+
+namespace deepbase {
+namespace {
+
+Record CharRecord(const std::string& text, const Vocab& vocab) {
+  Record rec;
+  for (char ch : text) {
+    std::string tok(1, ch);
+    rec.ids.push_back(vocab.LookupOrPad(tok));
+    rec.tokens.push_back(std::move(tok));
+  }
+  return rec;
+}
+
+TEST(KeywordHypothesisTest, MarksAllOccurrences) {
+  Vocab vocab = Vocab::FromChars("SELECT a FROM b SELECT");
+  Record rec = CharRecord("SELECT a FROM b", vocab);
+  KeywordHypothesis hyp("SELECT");
+  std::vector<float> out = hyp.Eval(rec);
+  ASSERT_EQ(out.size(), rec.size());
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(out[i], 1.0f);
+  for (size_t i = 6; i < out.size(); ++i) EXPECT_EQ(out[i], 0.0f);
+}
+
+TEST(KeywordHypothesisTest, OverlappingTextTwoMatches) {
+  Vocab vocab = Vocab::FromChars("abcab");
+  Record rec = CharRecord("abcab", vocab);
+  KeywordHypothesis hyp("ab");
+  std::vector<float> out = hyp.Eval(rec);
+  EXPECT_EQ(out, (std::vector<float>{1, 1, 0, 1, 1}));
+}
+
+TEST(AnnotationHypothesisTest, ReadsTrack) {
+  Record rec;
+  rec.tokens = {"he", "ran", "."};
+  rec.ids = {1, 2, 3};
+  rec.annotations["pos"] = {"PRP", "VBD", "."};
+  AnnotationHypothesis hyp("pos", "VBD");
+  EXPECT_EQ(hyp.Eval(rec), (std::vector<float>{0, 1, 0}));
+  AnnotationHypothesis missing("nope", "x");
+  EXPECT_EQ(missing.Eval(rec), (std::vector<float>{0, 0, 0}));
+}
+
+TEST(MultiClassAnnotationHypothesisTest, EmitsClassIndices) {
+  Record rec;
+  rec.tokens = {"a", "b", "c"};
+  rec.ids = {1, 2, 3};
+  rec.annotations["t"] = {"Y", "X", "Z"};
+  MultiClassAnnotationHypothesis hyp("t", {"X", "Y", "Z"});
+  EXPECT_EQ(hyp.num_classes(), 3);
+  EXPECT_EQ(hyp.Eval(rec), (std::vector<float>{1, 0, 2}));
+}
+
+TEST(FsmTest, KeywordMatcherWalksStates) {
+  Dfa dfa = Dfa::KeywordMatcher("ab");
+  std::vector<int> states = dfa.Run("xabab");
+  EXPECT_EQ(states, (std::vector<int>{0, 1, 2, 1, 2}));
+}
+
+TEST(FsmStateHypothesisTest, OneHotPerState) {
+  auto dfa = std::make_shared<Dfa>(Dfa::KeywordMatcher("ab"));
+  Vocab vocab = Vocab::FromChars("xab");
+  Record rec = CharRecord("xab", vocab);
+  FsmStateHypothesis h2("m:2", dfa, 2);
+  EXPECT_EQ(h2.Eval(rec), (std::vector<float>{0, 0, 1}));
+  auto all = MakeFsmHypotheses("m", dfa);
+  EXPECT_EQ(all.size(), 3u);  // states 0,1,2
+}
+
+TEST(FsmLabelHypothesisTest, EmitsRawStates) {
+  auto dfa = std::make_shared<Dfa>(Dfa::KeywordMatcher("ab"));
+  Vocab vocab = Vocab::FromChars("ab");
+  Record rec = CharRecord("ab", vocab);
+  FsmLabelHypothesis hyp("m", dfa);
+  EXPECT_EQ(hyp.Eval(rec), (std::vector<float>{1, 2}));
+  EXPECT_EQ(hyp.num_classes(), 3);
+}
+
+TEST(IteratorHypothesesTest, NestingDepthTracksParens) {
+  Vocab vocab = Vocab::FromChars("(a(b))");
+  Record rec = CharRecord("(a(b))", vocab);
+  NestingDepthHypothesis hyp("(", ")");
+  EXPECT_EQ(hyp.Eval(rec), (std::vector<float>{1, 1, 2, 2, 1, 0}));
+}
+
+TEST(IteratorHypothesesTest, PositionIndexCounts) {
+  Vocab vocab = Vocab::FromChars("abc");
+  Record rec = CharRecord("abc", vocab);
+  PositionIndexHypothesis hyp;
+  EXPECT_EQ(hyp.Eval(rec), (std::vector<float>{0, 1, 2}));
+  EXPECT_EQ(hyp.num_classes(), 0);
+}
+
+TEST(IteratorHypothesesTest, CharClassDetectsMembers) {
+  Vocab vocab = Vocab::FromChars("a b1");
+  Record rec = CharRecord("a b1", vocab);
+  CharClassHypothesis hyp("digits", "0123456789");
+  EXPECT_EQ(hyp.Eval(rec), (std::vector<float>{0, 0, 0, 1}));
+}
+
+TEST(IteratorHypothesesTest, RemainingLengthIgnoresPadding) {
+  Dataset ds(Vocab::FromChars("ab"), 5);
+  ds.AddText("aba");
+  RemainingLengthHypothesis hyp;
+  EXPECT_EQ(hyp.Eval(ds.record(0)), (std::vector<float>{2, 1, 0, 0, 0}));
+}
+
+class GrammarHypothesisFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = MakeSqlGrammar(1);
+    GrammarSampler sampler(&cfg_, 31);
+    std::vector<std::string> queries;
+    for (int i = 0; i < 10; ++i) queries.push_back(sampler.Sample(10));
+    std::string all;
+    for (const auto& q : queries) all += q;
+    dataset_ = Dataset(Vocab::FromChars(all), 80);
+    for (const auto& q : queries) dataset_.AddText(q);
+  }
+  Cfg cfg_;
+  Dataset dataset_;
+};
+
+TEST_F(GrammarHypothesisFixture, TimeDomainMarksSelectClause) {
+  auto cache = std::make_shared<ParseCache>(&cfg_);
+  GrammarRuleHypothesis hyp(&cfg_, cache,
+                            cfg_.FindNonterminal("select_clause"),
+                            GrammarHypothesisMode::kTimeDomain);
+  std::vector<float> out = hyp.Eval(dataset_.record(0));
+  // select_clause starts at position 0 and covers "SELECT ..." prefix.
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[6], 1.0f);
+  // Padding positions are always 0.
+  EXPECT_EQ(out.back(), 0.0f);
+}
+
+TEST_F(GrammarHypothesisFixture, SignalMarksOnlyBoundaries) {
+  auto cache = std::make_shared<ParseCache>(&cfg_);
+  SymbolId sym = cfg_.FindNonterminal("select_clause");
+  GrammarRuleHypothesis time_hyp(&cfg_, cache, sym,
+                                 GrammarHypothesisMode::kTimeDomain);
+  GrammarRuleHypothesis signal_hyp(&cfg_, cache, sym,
+                                   GrammarHypothesisMode::kSignal);
+  auto t = time_hyp.Eval(dataset_.record(0));
+  auto s = signal_hyp.Eval(dataset_.record(0));
+  float t_sum = 0, s_sum = 0;
+  for (float v : t) t_sum += v;
+  for (float v : s) s_sum += v;
+  EXPECT_GT(t_sum, s_sum);  // time-domain covers the span, signal only ends
+  EXPECT_GT(s_sum, 0.0f);
+  EXPECT_LE(s_sum, 2.0f);
+}
+
+TEST_F(GrammarHypothesisFixture, ParseCacheAmortizesAcrossHypotheses) {
+  auto hyps = MakeGrammarHypotheses(&cfg_);
+  // Two hypotheses per nonterminal (paper §6.2).
+  EXPECT_EQ(hyps.size(), 2 * cfg_.Nonterminals().size());
+  // Evaluating every hypothesis over every record parses each record once.
+  for (const auto& hyp : hyps) {
+    for (const auto& rec : dataset_.records()) hyp->Eval(rec);
+  }
+  // Re-fetch the shared cache through a fresh hypothesis set: we can't
+  // reach the internal cache from here, so validate via a dedicated cache.
+  auto cache = std::make_shared<ParseCache>(&cfg_);
+  GrammarRuleHypothesis h1(&cfg_, cache, cfg_.FindNonterminal("query"),
+                           GrammarHypothesisMode::kTimeDomain);
+  GrammarRuleHypothesis h2(&cfg_, cache,
+                           cfg_.FindNonterminal("select_clause"),
+                           GrammarHypothesisMode::kSignal);
+  for (const auto& rec : dataset_.records()) {
+    h1.Eval(rec);
+    h2.Eval(rec);
+  }
+  EXPECT_EQ(cache->parse_calls(), dataset_.num_records());
+}
+
+TEST_F(GrammarHypothesisFixture, UnparseableTextYieldsZeros) {
+  auto cache = std::make_shared<ParseCache>(&cfg_);
+  GrammarRuleHypothesis hyp(&cfg_, cache, cfg_.FindNonterminal("query"),
+                            GrammarHypothesisMode::kTimeDomain);
+  Record rec = dataset_.record(0);
+  rec.tokens[0] = "Z";  // corrupt the query
+  std::vector<float> out = hyp.Eval(rec);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(PosTaggerTest, LexiconAndSuffixFallback) {
+  PosTagger tagger;
+  tagger.AddWord("dog", "NN");
+  auto tags = tagger.Tag({"dog", "walked", "quickly", "7", "cats", "~"});
+  EXPECT_EQ(tags[0], "NN");
+  EXPECT_EQ(tags[1], "VBD");   // -ed
+  EXPECT_EQ(tags[2], "RB");    // -ly
+  EXPECT_EQ(tags[3], "CD");    // digit
+  EXPECT_EQ(tags[4], "NNS");   // -s
+  EXPECT_EQ(tags[5], "");      // padding
+}
+
+TEST(PosTaggerTest, TranslationTaggerReproducesGoldTags) {
+  auto tagger = PosTagger::ForTranslationCorpus();
+  TranslationCorpus corpus = GenerateTranslationCorpus(100, 20, 77);
+  size_t total = 0, correct = 0;
+  for (const Record& rec : corpus.source.records()) {
+    auto tags = tagger->Tag(rec.tokens);
+    const auto& gold = rec.annotations.at("pos");
+    for (size_t i = 0; i < rec.size(); ++i) {
+      if (gold[i].empty()) continue;
+      ++total;
+      correct += (tags[i] == gold[i]);
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // Closed vocabulary: the lexicon tagger should be near-perfect (a few
+  // words are tag-ambiguous between lexicon entries).
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(PosTagHypothesisTest, MarksTaggedPositions) {
+  auto tagger = PosTagger::ForTranslationCorpus();
+  TranslationCorpus corpus = GenerateTranslationCorpus(10, 16, 5);
+  PosTagHypothesis hyp(tagger, ".", /*use_gold=*/false);
+  std::vector<float> out = hyp.Eval(corpus.source.record(0));
+  float sum = 0;
+  for (float v : out) sum += v;
+  EXPECT_EQ(sum, 1.0f);  // exactly one sentence-final period
+}
+
+TEST(MultiClassPosHypothesisTest, ClassIndicesMatchTagset) {
+  auto tagger = PosTagger::ForTranslationCorpus();
+  MultiClassPosHypothesis hyp(tagger, TranslationTagset());
+  EXPECT_EQ(hyp.num_classes(),
+            static_cast<int>(TranslationTagset().size()) + 1);
+  EXPECT_EQ(hyp.ClassName(0), "<pad>");
+  EXPECT_EQ(hyp.ClassName(1), TranslationTagset()[0]);
+  TranslationCorpus corpus = GenerateTranslationCorpus(5, 16, 6);
+  std::vector<float> out = hyp.Eval(corpus.source.record(0));
+  // Padding positions are class 0.
+  EXPECT_EQ(out.back(), 0.0f);
+}
+
+Dataset AbCorpus() {
+  // Deterministic alternation: after 'a' always 'b', after 'b' always 'a'.
+  Dataset ds(Vocab::FromChars("ab"), 8);
+  for (int i = 0; i < 10; ++i) ds.AddText(i % 2 ? "abababab" : "babababa");
+  return ds;
+}
+
+TEST(NgramModelTest, BigramLearnsDeterministicAlternation) {
+  Dataset ds = AbCorpus();
+  NgramModel model(/*order=*/2, ds.vocab().size());
+  model.Fit(ds);
+  const std::vector<int>& ids = ds.record(0).ids;  // "abababab"
+  // After the first symbol, every position is perfectly predicted.
+  for (size_t t = 1; t < ids.size(); ++t) {
+    EXPECT_EQ(model.Predict(ids, t), ids[t]) << "t=" << t;
+    EXPECT_GT(model.Prob(ids, t), 0.8) << "t=" << t;
+  }
+}
+
+TEST(NgramModelTest, ProbsAreSmoothedAndNormalizable) {
+  Dataset ds = AbCorpus();
+  NgramModel model(2, ds.vocab().size());
+  model.Fit(ds);
+  // An unseen continuation gets a small but non-zero probability.
+  std::vector<int> ids = ds.record(0).ids;
+  ids[3] = ids[2];  // "aa" never occurs
+  const double p = model.Prob(ids, 3);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.2);
+}
+
+TEST(NgramModelTest, UnigramIsContextFree) {
+  Dataset ds(Vocab::FromChars("ab"), 4);
+  ds.AddText("aaab");  // 3 a's, 1 b
+  NgramModel model(1, ds.vocab().size());
+  model.Fit(ds);
+  std::vector<int> probe = ds.record(0).ids;
+  // Unigram prediction is the majority symbol everywhere.
+  for (size_t t = 0; t < probe.size(); ++t) {
+    EXPECT_EQ(model.Predict(probe, t), probe[0]);
+  }
+}
+
+TEST(NgramHypothesisTest, CorrectHypothesisFlagsPredictablePositions) {
+  Dataset ds = AbCorpus();
+  std::vector<HypothesisPtr> hyps = MakeNgramHypotheses(ds, {2});
+  ASSERT_EQ(hyps.size(), 2u);
+  EXPECT_EQ(hyps[0]->name(), "ngram2:prob");
+  EXPECT_EQ(hyps[1]->name(), "ngram2:correct");
+  EXPECT_EQ(hyps[0]->num_classes(), 0);  // numeric
+  EXPECT_EQ(hyps[1]->num_classes(), 2);  // binary
+
+  std::vector<float> correct = hyps[1]->Eval(ds.record(0));
+  // All positions after the first are bigram-predictable.
+  for (size_t t = 1; t < correct.size(); ++t) {
+    EXPECT_EQ(correct[t], 1.0f) << "t=" << t;
+  }
+
+  // A pattern-violating record is not.
+  Record violating;
+  for (char c : std::string("abbbabab")) {
+    violating.tokens.push_back(std::string(1, c));
+    violating.ids.push_back(ds.vocab().LookupOrPad(std::string(1, c)));
+  }
+  std::vector<float> v = hyps[1]->Eval(violating);
+  EXPECT_EQ(v[2], 0.0f);  // 'b' after 'b' contradicts the corpus
+}
+
+TEST(NgramHypothesisTest, HigherOrderSeparatesFromBigramOnLongerPatterns) {
+  // Period-3 pattern: bigram is ambiguous after 'a' (follows both 'a' and
+  // 'b'), trigram is deterministic.
+  Dataset ds(Vocab::FromChars("ab"), 9);
+  for (int i = 0; i < 12; ++i) ds.AddText("aabaabaab");
+  std::vector<HypothesisPtr> hyps = MakeNgramHypotheses(ds, {2, 3});
+  ASSERT_EQ(hyps.size(), 4u);
+  const Record& rec = ds.record(0);
+  std::vector<float> bi = hyps[1]->Eval(rec);   // ngram2:correct
+  std::vector<float> tri = hyps[3]->Eval(rec);  // ngram3:correct
+  float bi_sum = 0, tri_sum = 0;
+  for (size_t t = 2; t < rec.size(); ++t) {
+    bi_sum += bi[t];
+    tri_sum += tri[t];
+  }
+  EXPECT_EQ(tri_sum, static_cast<float>(rec.size() - 2));  // perfect
+  EXPECT_LT(bi_sum, tri_sum);  // bigram misses the ambiguous positions
+}
+
+}  // namespace
+}  // namespace deepbase

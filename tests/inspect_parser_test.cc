@@ -1,0 +1,194 @@
+// Tests for the textual INSPECT front-end (paper Appendix B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/extractor.h"
+#include "core/inspect_parser.h"
+#include "hypothesis/hypothesis.h"
+
+namespace deepbase {
+namespace {
+
+// Planted model: unit 0 tracks 'a' (plus jitter), unit 1 is hash noise.
+class PlantedExtractor : public Extractor {
+ public:
+  PlantedExtractor() : Extractor("planted") {}
+  size_t num_units() const override { return 4; }
+  Matrix ExtractRecord(const Record& rec,
+                       const std::vector<int>& unit_ids) const override {
+    // Noise units hash the whole record content, not just the local token:
+    // with a 3-symbol vocab a per-token hash would be a deterministic
+    // function of the token and correlate spuriously with the hypothesis.
+    size_t rec_hash = 1469598103u;
+    for (int id : rec.ids) rec_hash = rec_hash * 1099511628211ull + id + 1;
+    Matrix out(rec.size(), unit_ids.size());
+    for (size_t t = 0; t < rec.size(); ++t) {
+      const float jitter =
+          0.01f * static_cast<float>((rec.ids[t] * 31 + t * 7) % 13);
+      for (size_t j = 0; j < unit_ids.size(); ++j) {
+        const int u = unit_ids[j];
+        if (u == 0) {
+          out(t, j) = (rec.tokens[t] == "a" ? 1.0f : 0.0f) + jitter;
+        } else {
+          out(t, j) = static_cast<float>(
+                          (rec_hash * 40503u * (u + 1) + t * 2654435761u) %
+                          997) /
+                          498.5f -
+                      1.0f;
+        }
+      }
+    }
+    return out;
+  }
+};
+
+class InspectParserFixture : public ::testing::Test {
+ protected:
+  InspectParserFixture() : dataset_(Vocab::FromChars("ab"), 8) {
+    Rng rng(3);
+    for (int i = 0; i < 120; ++i) {
+      std::string text;
+      for (int t = 0; t < 8; ++t) text += rng.Bernoulli(0.4) ? 'a' : 'b';
+      dataset_.AddText(text);
+    }
+    catalog_.RegisterModel("sqlparser", &extractor_);
+    catalog_.RegisterDataset("queries", &dataset_);
+    catalog_.RegisterHypotheses(
+        "keywords", {std::make_shared<FunctionHypothesis>(
+                        "is_a", [](const Record& rec) {
+                          std::vector<float> out(rec.size(), 0.0f);
+                          for (size_t i = 0; i < rec.size(); ++i) {
+                            if (rec.tokens[i] == "a") out[i] = 1.0f;
+                          }
+                          return out;
+                        })});
+    options_.block_size = 32;
+  }
+
+  PlantedExtractor extractor_;
+  Dataset dataset_;
+  Catalog catalog_;
+  InspectOptions options_;
+};
+
+TEST_F(InspectParserFixture, BasicStatementDefaultsToCorrelation) {
+  auto result = ExecuteInspect(
+      "INSPECT units OF sqlparser AND keywords OVER queries", catalog_,
+      options_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 4u);  // one row per unit
+  EXPECT_GT(result->UnitScore("correlation_pearson", "is_a", 0), 0.9f);
+}
+
+TEST_F(InspectParserFixture, KeywordsAreCaseInsensitive) {
+  auto result = ExecuteInspect(
+      "inspect UNITS of sqlparser And keywords over queries", catalog_,
+      options_);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST_F(InspectParserFixture, UsingMultipleMeasures) {
+  auto result = ExecuteInspect(
+      "INSPECT units OF sqlparser AND keywords USING pearson, jaccard "
+      "OVER queries",
+      catalog_, options_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool saw_pearson = false, saw_jaccard = false;
+  for (const auto& row : result->rows()) {
+    saw_pearson |= row.measure == "correlation_pearson";
+    saw_jaccard |= row.measure == "jaccard";
+  }
+  EXPECT_TRUE(saw_pearson);
+  EXPECT_TRUE(saw_jaccard);
+}
+
+TEST_F(InspectParserFixture, HavingFiltersUnits) {
+  auto result = ExecuteInspect(
+      "INSPECT units OF sqlparser AND keywords USING pearson OVER queries "
+      "HAVING unit_score > 0.8",
+      catalog_, options_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);  // only the planted unit survives
+  EXPECT_EQ(result->row(0).unit, 0);
+}
+
+TEST_F(InspectParserFixture, GroupByLayerCreatesGroups) {
+  auto result = ExecuteInspect(
+      "INSPECT units OF sqlparser AND keywords OVER queries "
+      "GROUP BY LAYER(2)",
+      catalog_, options_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool saw0 = false, saw1 = false;
+  for (const auto& row : result->rows()) {
+    saw0 |= row.group_id == "layer0";
+    saw1 |= row.group_id == "layer1";
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+}
+
+TEST_F(InspectParserFixture, ErrorsAreDescriptive) {
+  auto missing_model = ExecuteInspect(
+      "INSPECT units OF nope AND keywords OVER queries", catalog_, options_);
+  EXPECT_EQ(missing_model.status().code(), StatusCode::kNotFound);
+
+  auto missing_hyps = ExecuteInspect(
+      "INSPECT units OF sqlparser AND nope OVER queries", catalog_,
+      options_);
+  EXPECT_EQ(missing_hyps.status().code(), StatusCode::kNotFound);
+
+  auto bad_measure = ExecuteInspect(
+      "INSPECT units OF sqlparser AND keywords USING vibes OVER queries",
+      catalog_, options_);
+  EXPECT_EQ(bad_measure.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_syntax =
+      ExecuteInspect("SELECT * FROM queries", catalog_, options_);
+  EXPECT_FALSE(bad_syntax.ok());
+
+  auto trailing = ExecuteInspect(
+      "INSPECT units OF sqlparser AND keywords OVER queries garbage",
+      catalog_, options_);
+  EXPECT_FALSE(trailing.ok());
+
+  auto bad_threshold = ExecuteInspect(
+      "INSPECT units OF sqlparser AND keywords OVER queries "
+      "HAVING unit_score > oops",
+      catalog_, options_);
+  EXPECT_FALSE(bad_threshold.ok());
+}
+
+TEST_F(InspectParserFixture, MalformedHypothesisOutputIsRejected) {
+  // Paper §4.1: "output formats are checked during execution". A
+  // hypothesis that emits the wrong number of behaviors is a statement
+  // error, not silent corruption.
+  catalog_.RegisterHypotheses(
+      "broken", {std::make_shared<FunctionHypothesis>(
+                    "half", [](const Record& rec) {
+                      return std::vector<float>(rec.size() / 2, 1.0f);
+                    })});
+  auto result = ExecuteInspect(
+      "INSPECT units OF sqlparser AND broken OVER queries", catalog_,
+      options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("half"), std::string::npos);
+}
+
+TEST_F(InspectParserFixture, AllMeasureNamesResolve) {
+  for (const char* name :
+       {"pearson", "spearman", "mutual_info", "multivariate_mi",
+        "diff_means", "jaccard", "logreg_l1", "logreg_l2", "multiclass",
+        "mlp_probe", "random_baseline", "majority_baseline"}) {
+    auto result = ExecuteInspect(
+        std::string("INSPECT units OF sqlparser AND keywords USING ") +
+            name + " OVER queries",
+        catalog_, options_);
+    EXPECT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace deepbase

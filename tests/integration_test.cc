@@ -1,0 +1,219 @@
+// End-to-end integration tests: the full paper pipeline on small scales —
+// sample a SQL corpus from the grammar, train the char-LSTM, generate
+// grammar hypotheses, inspect with multiple measures and engine modes, and
+// run the trained-vs-untrained NMT probe.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/extractors.h"
+#include "core/verification.h"
+#include "data/translation_corpus.h"
+#include "grammar/sql_grammar.h"
+#include "hypothesis/grammar_hypotheses.h"
+#include "hypothesis/pos_tagger.h"
+#include "measures/logreg.h"
+#include "measures/scores.h"
+#include "nn/lstm_lm.h"
+#include "nn/seq2seq.h"
+
+namespace deepbase {
+namespace {
+
+struct SqlWorld {
+  Cfg grammar;
+  Dataset dataset;
+  LstmLm model;
+
+  SqlWorld(int level, size_t n_queries, size_t ns, size_t hidden)
+      : grammar(MakeSqlGrammar(level)),
+        dataset(BuildDataset(grammar, n_queries, ns)),
+        model(dataset.vocab().size(), hidden, 1, /*seed=*/17) {}
+
+  static Dataset BuildDataset(const Cfg& grammar, size_t n, size_t ns) {
+    GrammarSampler sampler(&grammar, 41);
+    std::vector<std::string> queries;
+    std::string all;
+    size_t attempts = 0;
+    while (queries.size() < n) {
+      // Resample until the query fits: truncated queries would not parse.
+      // Bail out if ns is below the grammar's minimum query length, which
+      // would otherwise loop forever.
+      if (++attempts > 200 * n) {
+        ADD_FAILURE() << "SqlWorld: cannot sample queries of length <= " << ns;
+        break;
+      }
+      std::string q = sampler.Sample(6);
+      if (q.size() > ns) continue;
+      all += q;
+      queries.push_back(std::move(q));
+    }
+    Dataset ds(Vocab::FromChars(all), ns);
+    for (const auto& q : queries) ds.AddText(q);
+    return ds;
+  }
+};
+
+TEST(SqlPipelineTest, TrainInspectVerifyEndToEnd) {
+  SqlWorld world(/*level=*/1, /*n_queries=*/120, /*ns=*/48, /*hidden=*/16);
+  // A few epochs: prediction should beat the random-guess floor.
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    world.model.TrainEpoch(world.dataset, 0.01f, 300 + epoch);
+  }
+  const double acc = world.model.Accuracy(world.dataset);
+  EXPECT_GT(acc, 1.5 / world.dataset.vocab().size());
+
+  LstmLmExtractor extractor("sql_lm", &world.model);
+  std::vector<HypothesisPtr> hyps = MakeGrammarHypotheses(&world.grammar);
+  ASSERT_EQ(hyps.size(), 2 * world.grammar.Nonterminals().size());
+  // Keep the test fast: correlation over a subset of hypotheses.
+  hyps.resize(12);
+
+  InspectOptions opts;
+  opts.block_size = 32;
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<CorrelationScore>("pearson")};
+  RuntimeStats stats;
+  ResultTable results = Inspect({AllUnitsGroup(&extractor)}, world.dataset,
+                                scores, hyps, opts, &stats);
+  // One row per (unit, hypothesis).
+  EXPECT_EQ(results.size(), extractor.num_units() * hyps.size());
+  for (const auto& row : results.rows()) {
+    if (row.unit >= 0 && !std::isnan(row.unit_score)) {
+      EXPECT_GE(row.unit_score, -1.0001f);
+      EXPECT_LE(row.unit_score, 1.0001f);
+    }
+  }
+  EXPECT_GT(stats.blocks_processed, 0u);
+}
+
+TEST(SqlPipelineTest, LogRegGroupScoresAreValid) {
+  SqlWorld world(0, 80, 40, 12);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    world.model.TrainEpoch(world.dataset, 0.01f, 400 + epoch);
+  }
+  LstmLmExtractor extractor("sql_lm", &world.model);
+  std::vector<HypothesisPtr> hyps = {
+      std::make_shared<KeywordHypothesis>("SELECT "),
+      std::make_shared<KeywordHypothesis>(" FROM ")};
+  InspectOptions opts;
+  opts.block_size = 16;
+  opts.early_stopping = false;
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<LogRegressionScore>("L1", 1e-3f)};
+  ResultTable results =
+      Inspect({AllUnitsGroup(&extractor)}, world.dataset, scores, hyps, opts);
+  for (const auto* name : {"keyword:SELECT ", "keyword: FROM "}) {
+    const float f1 = results.GroupScore("logreg_L1", name);
+    ASSERT_FALSE(std::isnan(f1)) << name;
+    EXPECT_GE(f1, 0.0f);
+    EXPECT_LE(f1, 1.0f);
+  }
+}
+
+TEST(SqlPipelineTest, SpecializedUnitsScoreHigherThanOthers) {
+  // Appendix C: force units {0,1} to track the SELECT keyword, then check
+  // DNI assigns them the top correlation scores.
+  SqlWorld world(0, 100, 40, 12);
+  KeywordHypothesis select_hyp("SELECT ");
+  world.model.SetSpecialization(
+      {0, 1}, /*weight=*/0.7f,
+      [&select_hyp](const Record& rec) { return select_hyp.Eval(rec); });
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    world.model.TrainEpoch(world.dataset, 0.02f, 500 + epoch);
+  }
+  LstmLmExtractor extractor("specialized", &world.model);
+  std::vector<HypothesisPtr> hyps = {
+      std::make_shared<KeywordHypothesis>("SELECT ")};
+  InspectOptions opts;
+  opts.block_size = 16;
+  opts.early_stopping = false;
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<CorrelationScore>("pearson")};
+  ResultTable results =
+      Inspect({AllUnitsGroup(&extractor)}, world.dataset, scores, hyps, opts);
+  const float planted0 =
+      std::fabs(results.UnitScore("correlation_pearson", "keyword:SELECT ", 0));
+  float best_other = 0;
+  for (size_t u = 2; u < extractor.num_units(); ++u) {
+    best_other = std::max(
+        best_other, std::fabs(results.UnitScore("correlation_pearson",
+                                                "keyword:SELECT ",
+                                                static_cast<int>(u))));
+  }
+  EXPECT_GT(planted0, 0.6f);
+  EXPECT_GT(planted0, best_other - 0.15f);
+}
+
+TEST(NmtPipelineTest, TrainedEncoderBeatsUntrainedOnPosProbe) {
+  TranslationCorpus corpus = GenerateTranslationCorpus(400, 12, 61);
+  const size_t hidden = 24;
+  Seq2Seq trained(corpus.source.vocab().size(), corpus.target_vocab.size(),
+                  hidden, 5);
+  Seq2Seq untrained(corpus.source.vocab().size(), corpus.target_vocab.size(),
+                    hidden, 6);
+  // Train to convergence: the trained-vs-untrained probe gap only emerges
+  // once the model actually solves the translation task (paper §6.3.2).
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    trained.TrainEpoch(corpus.source, corpus.targets, 0.015f, 700 + epoch);
+  }
+  EXPECT_GT(trained.Accuracy(corpus.source, corpus.targets), 0.9);
+
+  auto tagger = PosTagger::ForTranslationCorpus();
+  // Gold tags: ambiguous words make the target context-dependent, which is
+  // what distinguishes the trained encoder (paper §6.3.2).
+  std::vector<HypothesisPtr> hyps = {std::make_shared<MultiClassPosHypothesis>(
+      tagger, TranslationTagset(), /*use_gold=*/true)};
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<MulticlassLogRegScore>()};
+  InspectOptions opts;
+  opts.block_size = 32;
+  opts.early_stopping = false;
+  opts.streaming = false;  // materialize once, then multi-pass probe training
+  opts.passes = 10;
+
+  Seq2SeqEncoderExtractor ex_trained("trained", &trained);
+  Seq2SeqEncoderExtractor ex_untrained("untrained", &untrained);
+  ResultTable r_trained = Inspect({AllUnitsGroup(&ex_trained)}, corpus.source,
+                                  scores, hyps, opts);
+  ResultTable r_untrained = Inspect({AllUnitsGroup(&ex_untrained)},
+                                    corpus.source, scores, hyps, opts);
+  const float acc_trained =
+      r_trained.GroupScore("logreg_multiclass", "pos:multiclass");
+  const float acc_untrained =
+      r_untrained.GroupScore("logreg_multiclass", "pos:multiclass");
+  ASSERT_FALSE(std::isnan(acc_trained));
+  ASSERT_FALSE(std::isnan(acc_untrained));
+  // Figure 12 direction: the trained encoder is clearly more predictive of
+  // (context-dependent) POS tags than the untrained one.
+  EXPECT_GT(acc_trained, acc_untrained + 0.05f);
+  EXPECT_GT(acc_trained, 0.7f);
+}
+
+TEST(MultiModelTest, InspectingTwoModelsInOneCall) {
+  SqlWorld world(0, 60, 48, 8);
+  LstmLm second(world.dataset.vocab().size(), 8, 1, 99);
+  LstmLmExtractor ex1("model_a", &world.model);
+  LstmLmExtractor ex2("model_b", &second);
+  std::vector<HypothesisPtr> hyps = {
+      std::make_shared<KeywordHypothesis>("SELECT ")};
+  std::vector<MeasureFactoryPtr> scores = {
+      std::make_shared<CorrelationScore>("pearson")};
+  InspectOptions opts;
+  opts.block_size = 16;
+  ResultTable results =
+      Inspect({AllUnitsGroup(&ex1), AllUnitsGroup(&ex2)}, world.dataset,
+              scores, hyps, opts);
+  size_t a_rows = 0, b_rows = 0;
+  for (const auto& row : results.rows()) {
+    a_rows += row.model_id == "model_a";
+    b_rows += row.model_id == "model_b";
+  }
+  EXPECT_EQ(a_rows, ex1.num_units());
+  EXPECT_EQ(b_rows, ex2.num_units());
+}
+
+}  // namespace
+}  // namespace deepbase

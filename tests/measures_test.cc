@@ -1,0 +1,398 @@
+// Unit + property tests for src/measures: closed-form correctness,
+// invariances, convergence behaviour, merged-vs-individual equivalence,
+// multiclass probes, and the naive baselines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measures/independent.h"
+#include "measures/logreg.h"
+#include "measures/metrics.h"
+#include "measures/scores.h"
+#include "util/rng.h"
+
+namespace deepbase {
+namespace {
+
+// Builds units matrix (n × 1) and hypothesis vector from two series.
+void FeedPairs(Measure* m, const std::vector<float>& x,
+               const std::vector<float>& y, size_t block = 64) {
+  for (size_t begin = 0; begin < x.size(); begin += block) {
+    const size_t end = std::min(x.size(), begin + block);
+    Matrix units(end - begin, 1);
+    std::vector<float> hyp(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      units(i - begin, 0) = x[i];
+      hyp[i - begin] = y[i];
+    }
+    m->ProcessBlock(units, hyp);
+  }
+}
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  std::vector<float> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> y = x;
+  PearsonMeasure pos(1);
+  FeedPairs(&pos, x, y);
+  EXPECT_NEAR(pos.Scores().unit_scores[0], 1.0f, 1e-5);
+
+  std::vector<float> ny;
+  for (float v : x) ny.push_back(-v);
+  PearsonMeasure neg(1);
+  FeedPairs(&neg, x, ny);
+  EXPECT_NEAR(neg.Scores().unit_scores[0], -1.0f, 1e-5);
+}
+
+TEST(PearsonTest, IndependentSeriesNearZero) {
+  Rng rng(1);
+  std::vector<float> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.Normal());
+    y[i] = static_cast<float>(rng.Normal());
+  }
+  PearsonMeasure m(1);
+  FeedPairs(&m, x, y);
+  EXPECT_LT(std::fabs(m.Scores().unit_scores[0]), 0.08f);
+}
+
+TEST(PearsonTest, ErrorShrinksWithData) {
+  Rng rng(2);
+  PearsonMeasure m(1);
+  std::vector<double> errs;
+  for (int block = 0; block < 6; ++block) {
+    Matrix units(256, 1);
+    std::vector<float> hyp(256);
+    for (size_t i = 0; i < 256; ++i) {
+      const float v = static_cast<float>(rng.Normal());
+      units(i, 0) = v;
+      hyp[i] = v * 0.5f + static_cast<float>(rng.Normal()) * 0.5f;
+    }
+    m.ProcessBlock(units, hyp);
+    errs.push_back(m.ErrorEstimate());
+  }
+  EXPECT_LT(errs.back(), errs.front());
+  EXPECT_LT(errs.back(), 0.1);
+}
+
+// Property: Pearson is invariant to positive affine transforms of either
+// variable (paper: correlation as a robust affinity measure).
+class PearsonInvarianceTest
+    : public ::testing::TestWithParam<std::pair<float, float>> {};
+
+TEST_P(PearsonInvarianceTest, AffineInvariance) {
+  auto [scale, shift] = GetParam();
+  Rng rng(3);
+  std::vector<float> x(500), y(500), xt(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.Normal());
+    y[i] = x[i] + static_cast<float>(rng.Normal());
+    xt[i] = scale * x[i] + shift;
+  }
+  PearsonMeasure base(1), transformed(1);
+  FeedPairs(&base, x, y);
+  FeedPairs(&transformed, xt, y);
+  EXPECT_NEAR(base.Scores().unit_scores[0],
+              transformed.Scores().unit_scores[0], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transforms, PearsonInvarianceTest,
+    ::testing::Values(std::make_pair(2.0f, 0.0f), std::make_pair(0.5f, 3.0f),
+                      std::make_pair(10.0f, -7.0f),
+                      std::make_pair(1.0f, 100.0f)));
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  std::vector<float> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(static_cast<float>(i));
+    y.push_back(std::exp(0.1f * i));  // monotone, nonlinear
+  }
+  SpearmanMeasure m(1);
+  FeedPairs(&m, x, y);
+  EXPECT_NEAR(m.Scores().unit_scores[0], 1.0f, 1e-5);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  std::vector<float> x = {1, 1, 2, 2, 3, 3};
+  std::vector<float> y = {1, 1, 2, 2, 3, 3};
+  SpearmanMeasure m(1);
+  FeedPairs(&m, x, y);
+  EXPECT_NEAR(m.Scores().unit_scores[0], 1.0f, 1e-5);
+}
+
+TEST(DiffMeansTest, SeparatedClassesScoreHigh) {
+  Rng rng(4);
+  std::vector<float> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    const bool pos = rng.Bernoulli(0.5);
+    x.push_back(static_cast<float>(rng.Normal(pos ? 2.0 : -2.0, 1.0)));
+    y.push_back(pos ? 1.0f : 0.0f);
+  }
+  DiffMeansMeasure m(1);
+  FeedPairs(&m, x, y);
+  EXPECT_GT(m.Scores().unit_scores[0], 3.0f);
+  EXPECT_LT(m.ErrorEstimate(), 0.2);
+}
+
+TEST(DiffMeansTest, IdenticalDistributionsNearZero) {
+  Rng rng(5);
+  std::vector<float> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(static_cast<float>(rng.Normal()));
+    y.push_back(rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  DiffMeansMeasure m(1);
+  FeedPairs(&m, x, y);
+  EXPECT_LT(std::fabs(m.Scores().unit_scores[0]), 0.15f);
+}
+
+TEST(JaccardTest, PerfectOverlapAfterThreshold) {
+  // Activation is exactly 1 on label, 0 elsewhere; top-50% threshold.
+  std::vector<float> x, y;
+  for (int i = 0; i < 400; ++i) {
+    const bool on = (i % 2 == 0);
+    x.push_back(on ? 1.0f : 0.0f);
+    y.push_back(on ? 1.0f : 0.0f);
+  }
+  JaccardMeasure m(1, /*top_quantile=*/0.5);
+  FeedPairs(&m, x, y, 128);
+  EXPECT_GT(m.Scores().unit_scores[0], 0.95f);
+}
+
+TEST(JaccardTest, BoundsRespected) {
+  Rng rng(6);
+  std::vector<float> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(static_cast<float>(rng.Uniform()));
+    y.push_back(rng.Bernoulli(0.3) ? 1.0f : 0.0f);
+  }
+  JaccardMeasure m(1);
+  FeedPairs(&m, x, y);
+  const float j = m.Scores().unit_scores[0];
+  EXPECT_GE(j, 0.0f);
+  EXPECT_LE(j, 1.0f);
+}
+
+TEST(MutualInfoTest, DependentVariablesHaveHigherMi) {
+  Rng rng(7);
+  std::vector<float> x_dep, x_ind, y;
+  for (int i = 0; i < 4000; ++i) {
+    const bool label = rng.Bernoulli(0.5);
+    y.push_back(label ? 1.0f : 0.0f);
+    x_dep.push_back(static_cast<float>(rng.Normal(label ? 1.5 : -1.5, 0.5)));
+    x_ind.push_back(static_cast<float>(rng.Normal()));
+  }
+  MutualInfoMeasure dep(1, 2), ind(1, 2);
+  FeedPairs(&dep, x_dep, y);
+  FeedPairs(&ind, x_ind, y);
+  EXPECT_GT(dep.Scores().unit_scores[0], 0.5f);
+  EXPECT_LT(ind.Scores().unit_scores[0], 0.05f);
+}
+
+TEST(MutualInfoTest, NonNegative) {
+  Rng rng(8);
+  std::vector<float> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(static_cast<float>(rng.Uniform()));
+    y.push_back(rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  MutualInfoMeasure m(1, 2);
+  FeedPairs(&m, x, y);
+  EXPECT_GE(m.Scores().unit_scores[0], 0.0f);
+}
+
+// Generates a separable binary problem over `nu` units: label determined by
+// the sign of unit 0 plus noise in the others.
+void SeparableBlock(Rng* rng, size_t rows, size_t nu, Matrix* units,
+                    std::vector<float>* labels) {
+  *units = Matrix(rows, nu);
+  labels->resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const bool pos = rng->Bernoulli(0.5);
+    (*units)(r, 0) = static_cast<float>(rng->Normal(pos ? 1.0 : -1.0, 0.3));
+    for (size_t u = 1; u < nu; ++u) {
+      (*units)(r, u) = static_cast<float>(rng->Normal());
+    }
+    (*labels)[r] = pos ? 1.0f : 0.0f;
+  }
+}
+
+TEST(LogRegTest, LearnsSeparableProblem) {
+  Rng rng(9);
+  LogRegOptions opts;
+  BinaryLogRegMeasure m(4, opts);
+  for (int block = 0; block < 20; ++block) {
+    Matrix units;
+    std::vector<float> labels;
+    SeparableBlock(&rng, 256, 4, &units, &labels);
+    m.ProcessBlock(units, labels);
+  }
+  MeasureScores s = m.Scores();
+  EXPECT_GT(s.group_score, 0.9f);
+  // The informative unit carries the largest coefficient.
+  float max_other = 0;
+  for (size_t u = 1; u < 4; ++u) {
+    max_other = std::max(max_other, std::fabs(s.unit_scores[u]));
+  }
+  EXPECT_GT(std::fabs(s.unit_scores[0]), max_other);
+}
+
+TEST(LogRegTest, ConvergenceErrorEventuallySmall) {
+  Rng rng(10);
+  BinaryLogRegMeasure m(3, LogRegOptions{});
+  for (int block = 0; block < 25; ++block) {
+    Matrix units;
+    std::vector<float> labels;
+    SeparableBlock(&rng, 256, 3, &units, &labels);
+    m.ProcessBlock(units, labels);
+  }
+  EXPECT_LT(m.ErrorEstimate(), 0.05);
+}
+
+TEST(LogRegTest, L1DrivesNoiseCoefficientsDown) {
+  Rng rng(11);
+  LogRegOptions l1_opts;
+  l1_opts.l1 = 0.02f;
+  BinaryLogRegMeasure l1(6, l1_opts);
+  BinaryLogRegMeasure plain(6, LogRegOptions{});
+  for (int block = 0; block < 15; ++block) {
+    Matrix units;
+    std::vector<float> labels;
+    SeparableBlock(&rng, 256, 6, &units, &labels);
+    l1.ProcessBlock(units, labels);
+    plain.ProcessBlock(units, labels);
+  }
+  auto noise_mass = [](const MeasureScores& s) {
+    float total = 0;
+    for (size_t u = 1; u < s.unit_scores.size(); ++u) {
+      total += std::fabs(s.unit_scores[u]);
+    }
+    return total;
+  };
+  EXPECT_LT(noise_mass(l1.Scores()), noise_mass(plain.Scores()));
+}
+
+TEST(MergedLogRegTest, MatchesIndividualTraining) {
+  // Model merging must not change scores (paper §5.2.1: "This optimization
+  // is exact"). Train merged-over-2-heads vs two individual models on the
+  // same stream and compare F1.
+  Rng rng_a(12), rng_b(12);
+  LogRegOptions opts;
+  MergedLogRegMeasure merged(3, 2, opts);
+  BinaryLogRegMeasure solo0(3, opts), solo1(3, opts);
+  for (int block = 0; block < 15; ++block) {
+    Matrix units;
+    std::vector<float> labels;
+    SeparableBlock(&rng_a, 256, 3, &units, &labels);
+    // Head 0 = labels, head 1 = inverted labels.
+    Matrix hyps(units.rows(), 2);
+    std::vector<float> inverted(labels.size());
+    for (size_t r = 0; r < labels.size(); ++r) {
+      hyps(r, 0) = labels[r];
+      hyps(r, 1) = 1.0f - labels[r];
+      inverted[r] = 1.0f - labels[r];
+    }
+    merged.ProcessBlock(units, hyps);
+    Matrix units_b;
+    std::vector<float> labels_b;
+    SeparableBlock(&rng_b, 256, 3, &units_b, &labels_b);
+    std::vector<float> inverted_b(labels_b.size());
+    for (size_t r = 0; r < labels_b.size(); ++r) {
+      inverted_b[r] = 1.0f - labels_b[r];
+    }
+    solo0.ProcessBlock(units_b, labels_b);
+    solo1.ProcessBlock(units_b, inverted_b);
+  }
+  EXPECT_NEAR(merged.ScoresFor(0).group_score, solo0.Scores().group_score,
+              0.05);
+  EXPECT_NEAR(merged.ScoresFor(1).group_score, solo1.Scores().group_score,
+              0.05);
+  EXPECT_GT(merged.ScoresFor(0).group_score, 0.9f);
+}
+
+TEST(MulticlassLogRegTest, LearnsThreeClasses) {
+  Rng rng(13);
+  MulticlassLogRegMeasure m(2, 3, LogRegOptions{});
+  for (int block = 0; block < 20; ++block) {
+    Matrix units(300, 2);
+    std::vector<float> labels(300);
+    for (size_t r = 0; r < 300; ++r) {
+      const int cls = static_cast<int>(rng.UniformInt(3));
+      // Class clusters at angles 0, 120, 240 degrees.
+      const double angle = 2 * M_PI * cls / 3;
+      units(r, 0) = static_cast<float>(std::cos(angle) + rng.Normal() * 0.2);
+      units(r, 1) = static_cast<float>(std::sin(angle) + rng.Normal() * 0.2);
+      labels[r] = static_cast<float>(cls);
+    }
+    m.ProcessBlock(units, labels);
+  }
+  EXPECT_GT(m.Scores().group_score, 0.9f);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_GT(m.ClassPrecision(c), 0.85) << "class " << c;
+    EXPECT_GT(m.ClassF1(c), 0.85) << "class " << c;
+    EXPECT_GT(m.ClassSupport(c), 0u);
+  }
+}
+
+TEST(BaselineScoresTest, MajorityAndRandomAnalyticF1) {
+  // 80% positive labels.
+  Matrix units(1000, 1);
+  std::vector<float> labels(1000);
+  for (size_t i = 0; i < 1000; ++i) labels[i] = i < 800 ? 1.0f : 0.0f;
+  auto majority = MajorityBaselineScore().Create(1, 2);
+  auto random = RandomBaselineScore().Create(1, 2);
+  majority->ProcessBlock(units, labels);
+  random->ProcessBlock(units, labels);
+  // Majority: precision 0.8, recall 1 -> F1 = 2*0.8/1.8.
+  EXPECT_NEAR(majority->Scores().group_score, 2 * 0.8 / 1.8, 1e-4);
+  // Random: precision 0.8, recall 0.5 -> F1 = 2*0.4/1.3.
+  EXPECT_NEAR(random->Scores().group_score, 2 * 0.5 * 0.8 / 1.3, 1e-4);
+}
+
+TEST(MetricsTest, BinaryConfusionFormulas) {
+  BinaryConfusion c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 4;
+  c.tn = 6;
+  EXPECT_NEAR(c.Precision(), 0.8, 1e-9);
+  EXPECT_NEAR(c.Recall(), 8.0 / 12, 1e-9);
+  EXPECT_NEAR(c.Accuracy(), 14.0 / 20, 1e-9);
+  const double p = 0.8, r = 8.0 / 12;
+  EXPECT_NEAR(c.F1(), 2 * p * r / (p + r), 1e-9);
+}
+
+TEST(MetricsTest, MulticlassConfusionPerClass) {
+  MulticlassConfusion c(3);
+  // Perfect on class 0, confuses 1 and 2.
+  c.Add(0, 0);
+  c.Add(0, 0);
+  c.Add(1, 1);
+  c.Add(2, 1);
+  c.Add(1, 2);
+  c.Add(2, 2);
+  EXPECT_NEAR(c.Precision(0), 1.0, 1e-9);
+  EXPECT_NEAR(c.Recall(1), 0.5, 1e-9);
+  EXPECT_NEAR(c.Accuracy(), 4.0 / 6, 1e-9);
+  EXPECT_EQ(c.Support(1), 2u);
+  EXPECT_GT(c.MacroF1(), 0.0);
+}
+
+TEST(StandardScoresTest, ProvidesEightMeasuresPlusTwoBaselines) {
+  auto scores = StandardScores();
+  EXPECT_EQ(scores.size(), 10u);
+  size_t joint = 0, mergeable = 0;
+  for (const auto& s : scores) {
+    joint += s->is_joint();
+    mergeable += s->mergeable();
+    // Every factory can create a working measure.
+    auto m = s->Create(2, 2);
+    ASSERT_NE(m, nullptr) << s->name();
+  }
+  EXPECT_EQ(mergeable, 2u);  // logreg L1 + L2
+  EXPECT_GE(joint, 4u);
+}
+
+}  // namespace
+}  // namespace deepbase

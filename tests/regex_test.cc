@@ -1,0 +1,316 @@
+// Tests for the regex → NFA → DFA → minimized-DFA pipeline and the
+// regex-backed hypothesis functions (paper §4.2, FSM hypotheses).
+
+#include "hypothesis/regex.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace deepbase {
+namespace {
+
+Regex MustCompile(const std::string& pattern) {
+  Result<Regex> r = Regex::Compile(pattern);
+  EXPECT_TRUE(r.ok()) << pattern << ": " << r.status().ToString();
+  return std::move(*r);
+}
+
+TEST(RegexCompileTest, LiteralMatchesOnlyItself) {
+  Regex re = MustCompile("abc");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_FALSE(re.FullMatch("ab"));
+  EXPECT_FALSE(re.FullMatch("abcd"));
+  EXPECT_FALSE(re.FullMatch(""));
+}
+
+TEST(RegexCompileTest, EmptyPatternMatchesEmptyString) {
+  Regex re = MustCompile("");
+  EXPECT_TRUE(re.FullMatch(""));
+  EXPECT_FALSE(re.FullMatch("x"));
+}
+
+TEST(RegexCompileTest, AlternationPicksEitherBranch) {
+  Regex re = MustCompile("cat|dog");
+  EXPECT_TRUE(re.FullMatch("cat"));
+  EXPECT_TRUE(re.FullMatch("dog"));
+  EXPECT_FALSE(re.FullMatch("cow"));
+  EXPECT_FALSE(re.FullMatch("catdog"));
+}
+
+TEST(RegexCompileTest, StarMatchesZeroOrMore) {
+  Regex re = MustCompile("ab*c");
+  EXPECT_TRUE(re.FullMatch("ac"));
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("abbbbc"));
+  EXPECT_FALSE(re.FullMatch("a"));
+}
+
+TEST(RegexCompileTest, PlusRequiresAtLeastOne) {
+  Regex re = MustCompile("ab+c");
+  EXPECT_FALSE(re.FullMatch("ac"));
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("abbc"));
+}
+
+TEST(RegexCompileTest, OptionalMatchesZeroOrOne) {
+  Regex re = MustCompile("colou?r");
+  EXPECT_TRUE(re.FullMatch("color"));
+  EXPECT_TRUE(re.FullMatch("colour"));
+  EXPECT_FALSE(re.FullMatch("colouur"));
+}
+
+TEST(RegexCompileTest, GroupingAndNestedQuantifiers) {
+  Regex re = MustCompile("(ab)+");
+  EXPECT_TRUE(re.FullMatch("ab"));
+  EXPECT_TRUE(re.FullMatch("abab"));
+  EXPECT_FALSE(re.FullMatch("aba"));
+
+  Regex re2 = MustCompile("(a|b)*c");
+  EXPECT_TRUE(re2.FullMatch("c"));
+  EXPECT_TRUE(re2.FullMatch("abbac"));
+  EXPECT_FALSE(re2.FullMatch("abba"));
+}
+
+TEST(RegexCompileTest, DotMatchesAnythingButNewline) {
+  Regex re = MustCompile("a.c");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("a c"));
+  EXPECT_FALSE(re.FullMatch("a\nc"));
+  EXPECT_FALSE(re.FullMatch("ac"));
+}
+
+TEST(RegexCompileTest, CharacterClassesAndRanges) {
+  Regex re = MustCompile("[a-c]+");
+  EXPECT_TRUE(re.FullMatch("abacab"));
+  EXPECT_FALSE(re.FullMatch("abd"));
+
+  Regex neg = MustCompile("[^0-9]+");
+  EXPECT_TRUE(neg.FullMatch("hello!"));
+  EXPECT_FALSE(neg.FullMatch("h3llo"));
+
+  Regex multi = MustCompile("[A-Za-z_][A-Za-z0-9_]*");
+  EXPECT_TRUE(multi.FullMatch("table_5"));
+  EXPECT_TRUE(multi.FullMatch("_x9"));
+  EXPECT_FALSE(multi.FullMatch("9lives"));
+}
+
+TEST(RegexCompileTest, ClassWithLeadingCloseBracketIsLiteral) {
+  Regex re = MustCompile("[]a]+");
+  EXPECT_TRUE(re.FullMatch("]a]"));
+  EXPECT_FALSE(re.FullMatch("b"));
+}
+
+TEST(RegexCompileTest, EscapeClasses) {
+  EXPECT_TRUE(MustCompile("\\d+").FullMatch("12345"));
+  EXPECT_FALSE(MustCompile("\\d+").FullMatch("12a45"));
+  EXPECT_TRUE(MustCompile("\\w+").FullMatch("col_00859"));
+  EXPECT_TRUE(MustCompile("\\s").FullMatch(" "));
+  EXPECT_TRUE(MustCompile("\\s").FullMatch("\t"));
+  EXPECT_TRUE(MustCompile("a\\.b").FullMatch("a.b"));
+  EXPECT_FALSE(MustCompile("a\\.b").FullMatch("axb"));
+  EXPECT_TRUE(MustCompile("a\\|b").FullMatch("a|b"));
+}
+
+TEST(RegexCompileTest, EscapesInsideClasses) {
+  Regex re = MustCompile("[\\d_]+");
+  EXPECT_TRUE(re.FullMatch("12_3"));
+  EXPECT_FALSE(re.FullMatch("a"));
+}
+
+TEST(RegexCompileTest, SyntaxErrorsAreInvalidArgument) {
+  for (const char* bad : {"(", ")", "(a", "a)", "[abc", "*a", "+", "?x",
+                          "a\\", "[z-a]"}) {
+    Result<Regex> r = Regex::Compile(bad);
+    EXPECT_FALSE(r.ok()) << "pattern should fail: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(RegexMatchTest, PartialMatchScansSubstrings) {
+  Regex re = MustCompile("FROM");
+  EXPECT_TRUE(re.PartialMatch("SELECT x FROM t"));
+  EXPECT_FALSE(re.PartialMatch("SELECT x"));
+  EXPECT_TRUE(MustCompile("a*").PartialMatch(""));  // empty match allowed
+}
+
+TEST(RegexMatchTest, FindAllIsLeftmostLongestNonOverlapping) {
+  Regex re = MustCompile("a+");
+  std::vector<MatchSpan> spans = re.FindAll("aa b aaa ca");
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0], (MatchSpan{0, 2}));
+  EXPECT_EQ(spans[1], (MatchSpan{5, 8}));
+  EXPECT_EQ(spans[2], (MatchSpan{10, 11}));
+}
+
+TEST(RegexMatchTest, FindAllPrefersLongestAtEachStart) {
+  Regex re = MustCompile("ab|abc");
+  std::vector<MatchSpan> spans = re.FindAll("abc");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (MatchSpan{0, 3}));  // longest, not first alternative
+}
+
+TEST(RegexMatchTest, FindAllSkipsEmptyMatches) {
+  Regex re = MustCompile("a*");
+  std::vector<MatchSpan> spans = re.FindAll("bab");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (MatchSpan{1, 2}));
+}
+
+TEST(RegexDfaTest, MinimizationMergesEquivalentStates) {
+  // (a|b)*abb over {a,b}: textbook minimal DFA has 4 live states.
+  Regex re = MustCompile("(a|b)*abb");
+  EXPECT_LE(re.dfa().num_states(), 4);
+  EXPECT_TRUE(re.FullMatch("abb"));
+  EXPECT_TRUE(re.FullMatch("aabb"));
+  EXPECT_TRUE(re.FullMatch("babb"));
+  EXPECT_FALSE(re.FullMatch("ab"));
+}
+
+TEST(RegexDfaTest, EquivalentPatternsYieldSameSizeMinimalDfa) {
+  // Minimal DFAs are unique up to renaming, so equivalent regexes must
+  // minimize to the same number of states.
+  Regex a = MustCompile("aa*");
+  Regex b = MustCompile("a+");
+  EXPECT_EQ(a.dfa().num_states(), b.dfa().num_states());
+
+  Regex c = MustCompile("(ab|ac)");
+  Regex d = MustCompile("a(b|c)");
+  EXPECT_EQ(c.dfa().num_states(), d.dfa().num_states());
+}
+
+// Property sweep: DFA match must agree with a simple backtracking oracle on
+// every string over a tiny alphabet.
+class RegexOracleTest
+    : public ::testing::TestWithParam<const char*> {};
+
+// Exponential-time oracle via derivative-free recursive matching on the
+// pattern through the compiled DFA of a *fresh* compile — instead we
+// enumerate strings and compare FullMatch against PartialMatch-derived
+// facts. For a stronger oracle we compare two equivalent pipelines:
+// match(text) must equal "some FindAll span covers the whole text when
+// anchored". Here we simply cross-check FullMatch consistency properties.
+TEST_P(RegexOracleTest, FullMatchImpliesPartialAndFindAllCoverage) {
+  Regex re = MustCompile(GetParam());
+  const std::string alphabet = "ab";
+  // Enumerate all strings over {a,b} of length <= 6.
+  std::vector<std::string> all = {""};
+  for (int len = 1; len <= 6; ++len) {
+    size_t count = 1;
+    for (int i = 0; i < len; ++i) count *= alphabet.size();
+    for (size_t code = 0; code < count; ++code) {
+      std::string s;
+      size_t c = code;
+      for (int i = 0; i < len; ++i) {
+        s += alphabet[c % alphabet.size()];
+        c /= alphabet.size();
+      }
+      all.push_back(std::move(s));
+    }
+  }
+  for (const std::string& s : all) {
+    const bool full = re.FullMatch(s);
+    if (full) {
+      EXPECT_TRUE(re.PartialMatch(s)) << GetParam() << " on '" << s << "'";
+    }
+    // FindAll spans must be sorted, non-overlapping, in range, non-empty.
+    size_t prev_end = 0;
+    for (const MatchSpan& span : re.FindAll(s)) {
+      EXPECT_LT(span.begin, span.end);
+      EXPECT_GE(span.begin, prev_end);
+      EXPECT_LE(span.end, s.size());
+      prev_end = span.end;
+      // Each reported span itself must fully match.
+      EXPECT_TRUE(re.FullMatch(s.substr(span.begin, span.end - span.begin)))
+          << GetParam() << " span on '" << s << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, RegexOracleTest,
+                         ::testing::Values("a", "ab", "a*", "a+b", "(ab)*",
+                                           "a(a|b)*b", "a?b?a?", "(a|b)+",
+                                           "aba|bab", "a*b*a*"));
+
+// Property: for patterns that are plain literals, the regex time-domain
+// hypothesis must agree with KeywordHypothesis on every record.
+class RegexKeywordEquivalenceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegexKeywordEquivalenceTest, LiteralPatternMatchesKeyword) {
+  const std::string keyword = GetParam();
+  Result<std::vector<HypothesisPtr>> regex_hyps =
+      MakeRegexHypotheses("kw", keyword);
+  ASSERT_TRUE(regex_hyps.ok());
+  KeywordHypothesis keyword_hyp(keyword);
+
+  // Random records over a small alphabet including the keyword's chars.
+  std::string alphabet = "abc " + keyword;
+  uint64_t state = 12345;
+  for (int trial = 0; trial < 50; ++trial) {
+    Record rec;
+    for (int t = 0; t < 20; ++t) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      char c = alphabet[(state >> 33) % alphabet.size()];
+      rec.tokens.push_back(std::string(1, c));
+      rec.ids.push_back(c);
+    }
+    EXPECT_EQ((*regex_hyps)[0]->Eval(rec), keyword_hyp.Eval(rec))
+        << "keyword '" << keyword << "' on '" << rec.Text() << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Keywords, RegexKeywordEquivalenceTest,
+                         ::testing::Values("SELECT", "a", "ab", "cab",
+                                           "FROM"));
+
+TEST(RegexHypothesisTest, TimeDomainMarksCoveredSymbols) {
+  Result<std::vector<HypothesisPtr>> hyps =
+      MakeRegexHypotheses("num", "\\d+");
+  ASSERT_TRUE(hyps.ok());
+  ASSERT_EQ(hyps->size(), 2u);
+  EXPECT_EQ((*hyps)[0]->name(), "regex:num");
+  EXPECT_EQ((*hyps)[1]->name(), "regex_signal:num");
+
+  Record rec;
+  for (char c : std::string("ab12c345")) {
+    rec.tokens.push_back(std::string(1, c));
+    rec.ids.push_back(c);
+  }
+  std::vector<float> time = (*hyps)[0]->Eval(rec);
+  std::vector<float> expected_time = {0, 0, 1, 1, 0, 1, 1, 1};
+  EXPECT_EQ(time, expected_time);
+
+  std::vector<float> signal = (*hyps)[1]->Eval(rec);
+  std::vector<float> expected_signal = {0, 0, 1, 1, 0, 1, 0, 1};
+  EXPECT_EQ(signal, expected_signal);
+}
+
+TEST(RegexHypothesisTest, BadPatternPropagatesError) {
+  Result<std::vector<HypothesisPtr>> hyps = MakeRegexHypotheses("bad", "(");
+  EXPECT_FALSE(hyps.ok());
+}
+
+TEST(RegexHypothesisTest, SqlKeywordPatternOnQueryText) {
+  // The motivating example: mark table references after FROM.
+  Result<std::vector<HypothesisPtr>> hyps =
+      MakeRegexHypotheses("table_ref", "table_\\d+");
+  ASSERT_TRUE(hyps.ok());
+  Record rec;
+  for (char c : std::string("FROM table_9,x")) {
+    rec.tokens.push_back(std::string(1, c));
+    rec.ids.push_back(c);
+  }
+  std::vector<float> v = (*hyps)[0]->Eval(rec);
+  float covered = 0;
+  for (float x : v) covered += x;
+  EXPECT_EQ(covered, 7.0f);  // "table_9"
+  EXPECT_EQ(v[5], 1.0f);
+  EXPECT_EQ(v[11], 1.0f);
+  EXPECT_EQ(v[12], 0.0f);  // comma
+}
+
+}  // namespace
+}  // namespace deepbase

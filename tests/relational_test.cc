@@ -1,0 +1,87 @@
+// Unit tests for the mini relational engine backing the MADLib baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relational/table.h"
+#include "util/rng.h"
+
+namespace deepbase {
+namespace {
+
+TEST(RelTableTest, AppendAndLookup) {
+  RelTable t({"id", "x", "y"});
+  t.AppendRow({0, 1.5, 2.5});
+  t.AppendRow({1, -1.0, 4.0});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.ColumnIndex("x"), 1);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+  EXPECT_DOUBLE_EQ(t.col("y")[1], 4.0);
+  EXPECT_EQ(t.SizeBytes(), 2 * 3 * sizeof(double));
+}
+
+TEST(RowViewTest, ReadsCells) {
+  RelTable t({"a", "b"});
+  t.AppendRow({7, 8});
+  RowView row(&t, 0);
+  EXPECT_DOUBLE_EQ(row.Get(0), 7.0);
+  EXPECT_DOUBLE_EQ(row.Get(1), 8.0);
+}
+
+TEST(CorrUdaTest, MatchesClosedForm) {
+  RelTable t({"x", "y"});
+  // y = 2x exactly => corr = 1.
+  for (int i = 0; i < 50; ++i) {
+    t.AppendRow({static_cast<double>(i), 2.0 * i});
+  }
+  std::vector<std::unique_ptr<Uda>> aggs;
+  aggs.push_back(std::make_unique<CorrUda>(0, 1));
+  auto out = ScanAggregate(t, &aggs);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 1.0, 1e-9);
+}
+
+TEST(CorrUdaTest, AntiCorrelatedAndIndependent) {
+  Rng rng(1);
+  RelTable t({"x", "neg", "noise"});
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Normal();
+    t.AppendRow({x, -x + rng.Normal() * 0.1, rng.Normal()});
+  }
+  std::vector<std::unique_ptr<Uda>> aggs;
+  aggs.push_back(std::make_unique<CorrUda>(0, 1));
+  aggs.push_back(std::make_unique<CorrUda>(0, 2));
+  auto out = ScanAggregate(t, &aggs);
+  EXPECT_LT(out[0], -0.98);
+  EXPECT_LT(std::fabs(out[1]), 0.07);
+}
+
+TEST(ScanAggregateTest, MultipleAggregatesOneScan) {
+  RelTable t({"x", "y"});
+  for (int i = 1; i <= 10; ++i) {
+    t.AppendRow({static_cast<double>(i), static_cast<double>(11 - i)});
+  }
+  std::vector<std::unique_ptr<Uda>> aggs;
+  aggs.push_back(std::make_unique<CorrUda>(0, 1));
+  aggs.push_back(std::make_unique<CorrUda>(0, 0));
+  auto out = ScanAggregate(t, &aggs);
+  EXPECT_NEAR(out[0], -1.0, 1e-9);
+  EXPECT_NEAR(out[1], 1.0, 1e-9);
+}
+
+TEST(ExpressionLimitTest, MatchesPostgresDefault) {
+  EXPECT_EQ(kMaxExpressionsPerStatement, 1600u);
+}
+
+TEST(CorrUdaTest, DegenerateConstantColumnIsZero) {
+  RelTable t({"x", "y"});
+  for (int i = 0; i < 10; ++i) t.AppendRow({1.0, static_cast<double>(i)});
+  std::vector<std::unique_ptr<Uda>> aggs;
+  aggs.push_back(std::make_unique<CorrUda>(0, 1));
+  EXPECT_DOUBLE_EQ(ScanAggregate(t, &aggs)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace deepbase

@@ -1,0 +1,196 @@
+// Unit tests for src/util: Status/Result, Rng, ThreadPool, TextTable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/text_table.h"
+#include "util/thread_pool.h"
+
+namespace deepbase {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "Invalid: bad input");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+Status UseParsed(int v, int* out) {
+  DB_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParsed(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseParsed(-5, &out).ok());
+}
+
+TEST(ResultTest, ValueOrDefault) {
+  EXPECT_EQ(Result<int>(7).ValueOr(3), 7);
+  EXPECT_EQ(Result<int>(Status::Internal("x")).ValueOr(3), 3);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double mean = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mean += v;
+  }
+  mean /= 10000;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double mean = 0, var = 0;
+  const int n = 20000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.Normal();
+  for (double x : xs) mean += x;
+  mean /= n;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(3);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.Categorical(weights) == 1;
+  EXPECT_NEAR(ones / 10000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(9);
+  Rng child = parent.Split();
+  // The child stream is not a shifted copy of the parent's.
+  Rng parent2(9);
+  parent2.Next();  // align with parent after Split consumed one value
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.Next() == parent2.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(ThreadPoolTest, RunsAllIterations) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(1000, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SubmitReturnsCompletableFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] {});
+  fut.get();  // must not deadlock
+}
+
+TEST(StopwatchTest, AccumulatorSumsIntervals) {
+  TimeAccumulator acc;
+  acc.Start();
+  acc.Stop();
+  acc.Start();
+  acc.Stop();
+  EXPECT_GE(acc.Seconds(), 0.0);
+  acc.Reset();
+  EXPECT_EQ(acc.Seconds(), 0.0);
+}
+
+TEST(TextTableTest, AlignsAndRenders) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", TextTable::Num(1.5, 2)});
+  t.AddRow({"b", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable t({"a", "b"});
+  t.AddRow({"has,comma", "has\"quote"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepbase
