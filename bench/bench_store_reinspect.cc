@@ -1,52 +1,62 @@
 // Ablation: the disk-backed behavior store (Mistique-style, the "caching
 // systems such as Mistique for unit and hypothesis behaviors" extension
-// that §5.1.2 names as future work). The model-diagnosis loop re-inspects
-// the same model repeatedly (new hypotheses, new measures); materializing
-// its unit behaviors once and re-serving them from the store removes the
+// that §5.1.2 names as future work), driven through the InspectionSession
+// facade. The model-diagnosis loop re-inspects the same model repeatedly
+// (new hypotheses, new measures); a store-backed session materializes its
+// unit behaviors once and re-serves them from the store, removing the
 // forward-pass extraction cost from every later query — including across
-// process restarts, which the in-memory hypothesis cache (Figure 9) cannot
-// survive.
+// process restarts, which the in-memory hypothesis cache (Figure 9)
+// cannot survive.
 //
 // Cells:
-//   live          — extract behaviors from the model (the cold baseline)
-//   store (mem)   — behaviors served from the store's memory LRU tier
-//   store (disk)  — fresh store handle on the same directory, simulating a
+//   live          — session without a store: every query extracts from
+//                   the model (the cold baseline)
+//   store (mem)   — same session, second query: behaviors served from the
+//                   store's memory LRU tier
+//   store (disk)  — fresh session on the same directory, simulating a
 //                   restart: behaviors reload from the checksummed file
+//
+// Counters are the unified RuntimeStats store_* set (the former
+// BehaviorStore::Stats, folded).
 
 #include <cstdio>
 #include <filesystem>
 
 #include "bench/scalability.h"
-#include "core/behavior_store.h"
-#include "measures/scores.h"
+#include "service/inspection_session.h"
 #include "util/stopwatch.h"
 
 namespace deepbase {
 namespace bench {
 namespace {
 
-double RunInspection(const Extractor& extractor, const Dataset& dataset,
-                     const std::vector<HypothesisPtr>& hyps) {
-  InspectOptions options;
-  options.block_size = 256;
-  options.early_stopping = false;  // fixed work per cell
-  std::vector<MeasureFactoryPtr> scores = {
-      std::make_shared<CorrelationScore>("pearson")};
+struct Cell {
+  double seconds = 0;
+  RuntimeStats stats;
+};
+
+Cell RunInspection(InspectionSession* session,
+                   const std::vector<HypothesisPtr>& hyps) {
+  InspectRequest request;
+  request.models.push_back({.name = "sql_lm"});
+  request.hypotheses = hyps;
+  request.dataset_name = "queries";
+  Cell cell;
   Stopwatch watch;
-  ResultTable results =
-      Inspect({AllUnitsGroup(&extractor)}, dataset, scores, hyps, options);
-  const double seconds = watch.Seconds();
-  if (results.empty()) {
+  Result<ResultTable> results = session->Inspect(request, &cell.stats);
+  cell.seconds = watch.Seconds();
+  DB_CHECK_OK(results.status());
+  if (results->empty()) {
     std::fprintf(stderr, "inspection produced no rows\n");
     std::abort();
   }
-  return seconds;
+  return cell;
 }
 
 void Run(bool full) {
   PrintHeader("Store ablation",
-              "Re-inspection cost: live extraction vs the behavior store's "
-              "memory and disk tiers.");
+              "Re-inspection cost through the session: live extraction vs "
+              "the behavior store's memory and disk tiers.");
   SqlWorld world = ScalabilityWorld(full);
   std::vector<HypothesisPtr> hyps =
       SqlHypotheses(&world.grammar, full ? 48 : 24);
@@ -57,40 +67,59 @@ void Run(bool full) {
 
   LstmLmExtractor live("sql_lm", world.model.get());
 
-  // Materialize once (reported separately: it is a one-time cost).
-  BehaviorStore store(dir.string());
+  SessionConfig base_config;
+  base_config.options.block_size = 256;
+  base_config.options.early_stopping = false;  // fixed work per cell
+  base_config.hypothesis_cache_values = 0;     // isolate the store effect
+
+  auto make_session = [&](bool with_store) {
+    SessionConfig config = base_config;
+    if (with_store) config.store_dir = dir.string();
+    auto session = std::make_unique<InspectionSession>(std::move(config));
+    session->catalog().RegisterModel("sql_lm", &live);
+    session->catalog().RegisterDataset("queries", &world.dataset);
+    return session;
+  };
+
+  // Live baseline: no store attached to the session.
+  auto live_session = make_session(/*with_store=*/false);
+  const Cell live_cell = RunInspection(live_session.get(), hyps);
+
+  // Store-backed session: first query pays the one-time materialization,
+  // the second is a memory-tier hit.
+  auto store_session = make_session(/*with_store=*/true);
   Stopwatch mat_watch;
-  Result<std::string> key =
-      MaterializeUnitBehaviors(live, world.dataset, &store);
-  DB_CHECK_OK(key.status());
+  const Cell materialize_cell = RunInspection(store_session.get(), hyps);
   const double materialize_s = mat_watch.Seconds();
+  const Cell mem_cell = RunInspection(store_session.get(), hyps);
 
-  const double live_s = RunInspection(live, world.dataset, hyps);
+  // Fresh session on the same directory = post-restart disk read.
+  auto reopened_session = make_session(/*with_store=*/true);
+  const Cell disk_cell = RunInspection(reopened_session.get(), hyps);
 
-  Result<PrecomputedExtractor> mem_served =
-      OpenStoredExtractor(*key, "sql_lm", world.dataset, &store);
-  DB_CHECK_OK(mem_served.status());
-  const double mem_s = RunInspection(*mem_served, world.dataset, hyps);
-
-  // Fresh handle on the same directory = post-restart disk read.
-  BehaviorStore reopened(dir.string());
-  Stopwatch load_watch;
-  Result<PrecomputedExtractor> disk_served =
-      OpenStoredExtractor(*key, "sql_lm", world.dataset, &reopened);
-  DB_CHECK_OK(disk_served.status());
-  const double disk_load_s = load_watch.Seconds();
-  const double disk_s = RunInspection(*disk_served, world.dataset, hyps);
-
-  TextTable table({"cell", "seconds", "speedup vs live"});
-  table.AddRow({"live extraction", TextTable::Num(live_s, 3), "1.0"});
-  table.AddRow({"store, memory tier", TextTable::Num(mem_s, 3),
-                TextTable::Num(live_s / std::max(mem_s, 1e-9), 1)});
+  TextTable table({"cell", "seconds", "store mem/disk/miss",
+                   "speedup vs live"});
+  auto counters = [](const RuntimeStats& stats) {
+    return std::to_string(stats.store_mem_hits) + "/" +
+           std::to_string(stats.store_disk_hits) + "/" +
+           std::to_string(stats.store_misses);
+  };
+  table.AddRow({"live extraction", TextTable::Num(live_cell.seconds, 3),
+                counters(live_cell.stats), "1.0"});
+  table.AddRow({"store, memory tier", TextTable::Num(mem_cell.seconds, 3),
+                counters(mem_cell.stats),
+                TextTable::Num(
+                    live_cell.seconds / std::max(mem_cell.seconds, 1e-9),
+                    1)});
   table.AddRow({"store, disk tier (incl. reload)",
-                TextTable::Num(disk_s + disk_load_s, 3),
-                TextTable::Num(live_s / std::max(disk_s + disk_load_s, 1e-9),
-                               1)});
-  table.AddRow({"one-time materialization", TextTable::Num(materialize_s, 3),
-                "-"});
+                TextTable::Num(disk_cell.seconds, 3),
+                counters(disk_cell.stats),
+                TextTable::Num(
+                    live_cell.seconds / std::max(disk_cell.seconds, 1e-9),
+                    1)});
+  table.AddRow({"one-time materialization (first query)",
+                TextTable::Num(materialize_s, 3),
+                counters(materialize_cell.stats), "-"});
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
       "Expectation: both store tiers beat live extraction (no forward "

@@ -1,19 +1,23 @@
-// Quickstart: the smallest complete DeepBase analysis.
+// Quickstart: the smallest complete DeepBase analysis, through the
+// InspectionSession facade (the single front door shared by every
+// frontend — fluent builder, textual INSPECT, and SQL).
 //
 // 1. Build a toy character dataset and train a small LSTM language model.
 // 2. Write a hypothesis function ("this character is a vowel").
-// 3. Ask DeepBase which hidden units behave like that hypothesis.
+// 3. Register model/hypothesis/dataset in the session catalog and ask
+//    DeepBase which hidden units behave like that hypothesis — once
+//    synchronously, once as an async job.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/engine.h"
 #include "core/extractors.h"
 #include "hypothesis/hypothesis.h"
 #include "hypothesis/iterators.h"
 #include "measures/scores.h"
 #include "nn/lstm_lm.h"
+#include "service/inspection_session.h"
 
 using namespace deepbase;
 
@@ -43,18 +47,39 @@ int main() {
   }
   std::printf("next-char accuracy: %.3f\n\n", model.Accuracy(dataset));
 
-  // --- 3. Hypothesis: "the current character is a vowel".
-  auto is_vowel = std::make_shared<CharClassHypothesis>("is_vowel", vowels);
+  // --- 3. One session, one catalog: register the model, the hypothesis
+  // ("the current character is a vowel"), and the dataset by name.
+  SessionConfig config;
+  config.options.block_size = 64;
+  InspectionSession session(std::move(config));
+
+  LstmLmExtractor extractor("toy_lm", &model);
+  session.catalog().RegisterModel("toy_lm", &extractor);
+  session.catalog().RegisterHypotheses(
+      "vowels", {std::make_shared<CharClassHypothesis>("is_vowel", vowels)});
+  session.catalog().RegisterDataset("words", &dataset);
 
   // --- 4. Inspect: correlation between every unit and the hypothesis.
-  LstmLmExtractor extractor("toy_lm", &model);
-  InspectOptions options;
-  options.block_size = 64;
-  ResultTable results = Inspect(
-      {AllUnitsGroup(&extractor)}, dataset,
-      {std::make_shared<CorrelationScore>("pearson")}, {is_vowel}, options);
+  InspectRequest request;
+  request.models.push_back({.name = "toy_lm"});
+  request.hypothesis_sets = {"vowels"};
+  request.dataset_name = "words";
+  request.measure_names = {"pearson"};
 
+  Result<ResultTable> results = session.Inspect(request);
+  DB_CHECK_OK(results.status());
   std::printf("Top units by |correlation| with is_vowel:\n%s\n",
-              results.TopUnits(5).ToTextTable().ToString().c_str());
+              results->TopUnits(5).ToTextTable().ToString().c_str());
+
+  // --- 5. The same request as an async job: submit, poll, wait.
+  JobHandle job = session.Submit(request);
+  const Result<ResultTable>& async_results = job.Wait();
+  DB_CHECK_OK(async_results.status());
+  const RuntimeStats stats = job.Stats();
+  std::printf(
+      "async job %llu: %zu rows in %.3f s (%zu blocks, converged=%s)\n",
+      static_cast<unsigned long long>(job.id()), async_results->size(),
+      stats.total_s, stats.blocks_processed,
+      stats.all_converged ? "yes" : "no");
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "grammar/sql_grammar.h"
 #include "hypothesis/grammar_hypotheses.h"
 #include "hypothesis/regex.h"
+#include "service/inspection_session.h"
 #include "sql/sql_session.h"
 
 using namespace deepbase;
@@ -59,8 +60,13 @@ int main() {
     model.TrainEpoch(dataset, 0.01f, 700 + epoch);
   }
 
-  SqlSession session;
-  session.mutable_options()->block_size = 64;
+  // One InspectionSession is the shared substrate (catalog + hypothesis
+  // cache); the SQL shell is just a frontend over it. Re-running an
+  // INSPECT statement reuses cached hypothesis behaviors (Figure 9).
+  SessionConfig config;
+  config.options.block_size = 64;
+  InspectionSession inspection_session(std::move(config));
+  SqlSession session(&inspection_session);
   LstmLmExtractor extractor("sqlparser", &model);
   session.RegisterModel("sqlparser", &extractor, /*layer_size=*/16,
                         {{"epoch", Datum::Number(5)}});

@@ -1,44 +1,49 @@
 // The model-diagnosis loop with the behavior store (the Mistique-style
-// workflow of §5.1.2/§6.3): extract a model's unit behaviors once, persist
-// them, and re-run new inspection queries — including after a process
-// restart — without ever re-running the model.
+// workflow of §5.1.2/§6.3), driven entirely through InspectionSession:
+// configure a session with a store directory and every inspection serves
+// unit behaviors from the store — the model runs exactly once, and
+// re-inspection (new hypotheses, new measures, even after a process
+// restart) becomes memory/disk hits.
 //
-//   1. Train the SQL model; materialize its behaviors into the store.
-//   2. Query #1: correlation against keyword hypotheses (from the store).
-//   3. "Restart": reopen the store directory with a fresh handle and run
-//      query #2 (a different hypothesis set) from the checksummed file.
-//   4. Print the store's tier statistics.
+//   1. Train the SQL model; register it in a store-backed session.
+//   2. Query #1: correlation against keyword hypotheses (materializes the
+//      behaviors into the store on first use).
+//   3. Query #2: a different hypothesis set — store memory-tier hit.
+//   4. "Restart": a fresh session over the same directory runs query #3
+//      from the checksummed file (disk tier).
 //
 // Build & run:  ./build/examples/store_workflow
 
 #include <cstdio>
 #include <filesystem>
 
-#include "core/behavior_store.h"
-#include "core/engine.h"
 #include "core/extractors.h"
 #include "grammar/sql_grammar.h"
 #include "hypothesis/regex.h"
-#include "measures/scores.h"
 #include "nn/lstm_lm.h"
+#include "service/inspection_session.h"
 #include "util/stopwatch.h"
 
 using namespace deepbase;
 
 namespace {
 
-ResultTable RunQuery(const Extractor& behaviors, const Dataset& dataset,
-                     std::vector<HypothesisPtr> hyps, const char* title) {
-  InspectOptions options;
-  options.block_size = 128;
+ResultTable RunQuery(InspectionSession* session, const char* hypothesis_set,
+                     const char* title) {
+  InspectRequest request;
+  request.models.push_back({.name = "sql_lm"});
+  request.hypothesis_sets = {hypothesis_set};
+  request.dataset_name = "queries";
   Stopwatch watch;
-  ResultTable results =
-      Inspect({AllUnitsGroup(&behaviors)}, dataset,
-              {std::make_shared<CorrelationScore>("pearson")}, hyps,
-              options);
-  std::printf("-- %s (%.3f s)\n%s\n", title, watch.Seconds(),
-              results.TopUnits(4).ToTextTable().ToString().c_str());
-  return results;
+  RuntimeStats stats;
+  Result<ResultTable> results = session->Inspect(request, &stats);
+  DB_CHECK_OK(results.status());
+  std::printf(
+      "-- %s (%.3f s; store: mem_hits=%zu disk_hits=%zu misses=%zu)\n%s\n",
+      title, watch.Seconds(), stats.store_mem_hits, stats.store_disk_hits,
+      stats.store_misses,
+      results->TopUnits(4).ToTextTable().ToString().c_str());
+  return std::move(*results);
 }
 
 }  // namespace
@@ -48,7 +53,7 @@ int main() {
       std::filesystem::temp_directory_path() / "deepbase_store_example";
   std::filesystem::remove_all(dir);
 
-  // --- 1. Train once; materialize behaviors once.
+  // --- 1. Train once.
   Cfg grammar = MakeSqlGrammar(1);
   GrammarSampler sampler(&grammar, 29);
   std::string all_text;
@@ -65,42 +70,47 @@ int main() {
   }
   LstmLmExtractor live("sql_lm", &model);
 
-  BehaviorStore store(dir.string());
-  Stopwatch mat_watch;
-  Result<std::string> key = MaterializeUnitBehaviors(live, dataset, &store);
-  DB_CHECK_OK(key.status());
-  std::printf("materialized %zu units × %zu symbols in %.3f s (key %s)\n\n",
-              live.num_units(), dataset.num_symbols(), mat_watch.Seconds(),
-              key->c_str());
+  auto regex_hyps = MakeRegexHypotheses("table_ref", "table_\\d+");
+  DB_CHECK_OK(regex_hyps.status());
 
-  // --- 2. First inspection, behaviors served from the store.
+  auto register_catalog = [&](InspectionSession* session) {
+    session->catalog().RegisterModel("sql_lm", &live);
+    session->catalog().RegisterDataset("queries", &dataset);
+    session->catalog().RegisterHypotheses(
+        "keywords", {std::make_shared<KeywordHypothesis>("SELECT"),
+                     std::make_shared<KeywordHypothesis>("FROM")});
+    session->catalog().RegisterHypotheses("table_refs", *regex_hyps);
+  };
+
+  // --- 2./3. A store-backed session: the first query materializes the
+  // behaviors (store miss), the second serves them from the memory tier.
   {
-    Result<PrecomputedExtractor> stored =
-        OpenStoredExtractor(*key, "sql_lm", dataset, &store);
-    DB_CHECK_OK(stored.status());
-    RunQuery(*stored, dataset,
-             {std::make_shared<KeywordHypothesis>("SELECT"),
-              std::make_shared<KeywordHypothesis>("FROM")},
-             "query 1: keyword hypotheses (store, memory tier)");
+    SessionConfig config;
+    config.options.block_size = 128;
+    config.store_dir = dir.string();
+    InspectionSession session(std::move(config));
+    register_catalog(&session);
+    RunQuery(&session, "keywords",
+             "query 1: keyword hypotheses (materializes into the store)");
+    RunQuery(&session, "table_refs",
+             "query 2: regex hypotheses (store, memory tier)");
   }
 
-  // --- 3. Simulated restart: a fresh handle reloads from disk, checksummed.
+  // --- 4. Simulated restart: a fresh session on the same directory
+  // reloads the checksummed file from disk — no forward passes.
   {
-    BehaviorStore reopened(dir.string());
-    Result<PrecomputedExtractor> stored =
-        OpenStoredExtractor(*key, "sql_lm", dataset, &reopened);
-    DB_CHECK_OK(stored.status());
-    auto regex_hyps = MakeRegexHypotheses("table_ref", "table_\\d+");
-    DB_CHECK_OK(regex_hyps.status());
-    RunQuery(*stored, dataset, *regex_hyps,
-             "query 2 after restart: regex hypotheses (store, disk tier)");
-    std::printf("reopened store stats: disk_hits=%zu mem_hits=%zu\n",
-                reopened.stats().disk_hits, reopened.stats().mem_hits);
+    SessionConfig config;
+    config.options.block_size = 128;
+    config.store_dir = dir.string();
+    InspectionSession session(std::move(config));
+    register_catalog(&session);
+    RunQuery(&session, "keywords",
+             "query 3 after restart: keyword hypotheses (store, disk tier)");
   }
 
   std::printf(
       "\nThe model ran exactly once; every query above read behaviors from\n"
-      "the store. Delete %s to reclaim the space.\n",
+      "the session's store. Delete %s to reclaim the space.\n",
       dir.string().c_str());
   std::filesystem::remove_all(dir);
   return 0;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify line (configure, build, ctest) plus a
+# smoke run of the quickstart example through the InspectionSession API.
+#
+# Usage: scripts/check.sh [build_dir]   (default: build)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cd "$REPO_ROOT"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+echo "== smoke: quickstart =="
+"$BUILD_DIR/examples/quickstart" >/dev/null
+
+echo "OK"

@@ -70,6 +70,7 @@ std::string BehaviorStore::PathForKey(const std::string& key) const {
 }
 
 Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::error_code ec;
   std::filesystem::create_directories(root_dir_, ec);
   if (ec) {
@@ -89,17 +90,20 @@ Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors) {
     out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
     WriteMatrix(behaviors, &out);
     if (!out) return Status::IOError("write failed for " + path);
-    stats_.bytes_written +=
-        behaviors.rows() * behaviors.cols() * sizeof(float);
+    bytes_written_ += behaviors.rows() * behaviors.cols() * sizeof(float);
   }
-  Admit(key, behaviors);
+  AdmitLocked(key, behaviors);
   return Status::OK();
 }
 
-Result<Matrix> BehaviorStore::Get(const std::string& key) {
+Result<Matrix> BehaviorStore::Get(const std::string& key,
+                                  Tier* served_from) {
+  if (served_from != nullptr) *served_from = Tier::kMiss;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    ++stats_.mem_hits;
+    ++mem_hits_;
+    if (served_from != nullptr) *served_from = Tier::kMemory;
     // Move to the front of the LRU.
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->second;
@@ -108,7 +112,7 @@ Result<Matrix> BehaviorStore::Get(const std::string& key) {
   const std::string path = PathForKey(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    ++stats_.misses;
+    ++misses_;
     return Status::NotFound("no stored behaviors for key: " + key);
   }
   uint32_t magic = 0;
@@ -129,25 +133,30 @@ Result<Matrix> BehaviorStore::Get(const std::string& key) {
   if (MatrixChecksum(m) != checksum) {
     return Status::DataLoss("checksum mismatch for key: " + key);
   }
-  ++stats_.disk_hits;
-  Admit(key, m);
+  ++disk_hits_;
+  if (served_from != nullptr) *served_from = Tier::kDisk;
+  AdmitLocked(key, m);
   return m;
 }
 
 bool BehaviorStore::Contains(const std::string& key) const {
-  if (index_.count(key) > 0) return true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.count(key) > 0) return true;
+  }
   std::error_code ec;
   return std::filesystem::exists(PathForKey(key), ec);
 }
 
 void BehaviorStore::EvictFromMemory(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return;
   memory_bytes_ -=
       it->second->second.rows() * it->second->second.cols() * sizeof(float);
   lru_.erase(it->second);
   index_.erase(it);
-  ++stats_.evictions;
+  ++evictions_;
 }
 
 Status BehaviorStore::Remove(const std::string& key) {
@@ -179,7 +188,37 @@ std::vector<std::string> BehaviorStore::Keys() const {
   return keys;
 }
 
-void BehaviorStore::Admit(const std::string& key, Matrix matrix) {
+size_t BehaviorStore::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_bytes_;
+}
+
+size_t BehaviorStore::mem_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mem_hits_;
+}
+
+size_t BehaviorStore::disk_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_hits_;
+}
+
+size_t BehaviorStore::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t BehaviorStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t BehaviorStore::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+void BehaviorStore::AdmitLocked(const std::string& key, Matrix matrix) {
   if (memory_budget_ == 0) return;
   // Self-replacement is not an eviction; drop any existing entry silently.
   auto it = index_.find(key);
@@ -193,16 +232,16 @@ void BehaviorStore::Admit(const std::string& key, Matrix matrix) {
   lru_.emplace_front(key, std::move(matrix));
   index_[key] = lru_.begin();
   memory_bytes_ += bytes;
-  EnforceBudget();
+  EnforceBudgetLocked();
 }
 
-void BehaviorStore::EnforceBudget() {
+void BehaviorStore::EnforceBudgetLocked() {
   while (memory_bytes_ > memory_budget_ && lru_.size() > 1) {
     const auto& back = lru_.back();
     memory_bytes_ -= back.second.rows() * back.second.cols() * sizeof(float);
     index_.erase(back.first);
     lru_.pop_back();
-    ++stats_.evictions;
+    ++evictions_;
   }
 }
 
@@ -216,11 +255,20 @@ std::string HypothesisBehaviorKey(const std::string& set_name,
   return "hyp:" + set_name + ":" + HexKey(DatasetFingerprint(dataset));
 }
 
-Result<std::string> MaterializeUnitBehaviors(const Extractor& extractor,
-                                             const Dataset& dataset,
-                                             BehaviorStore* store) {
+Result<std::string> BehaviorStore::EnsureUnitBehaviors(
+    const Extractor& extractor, const Dataset& dataset,
+    bool* materialized_now) {
+  if (materialized_now != nullptr) *materialized_now = false;
   const std::string key = UnitBehaviorKey(extractor.model_id(), dataset);
-  if (store->Contains(key)) return key;
+  std::mutex* key_mu;
+  {
+    std::lock_guard<std::mutex> lock(materialize_mu_);
+    std::unique_ptr<std::mutex>& slot = materialize_locks_[key];
+    if (slot == nullptr) slot = std::make_unique<std::mutex>();
+    key_mu = slot.get();
+  }
+  std::lock_guard<std::mutex> materialize_lock(*key_mu);
+  if (Contains(key)) return key;
   std::vector<int> unit_ids(extractor.num_units());
   for (size_t u = 0; u < unit_ids.size(); ++u) {
     unit_ids[u] = static_cast<int>(u);
@@ -228,15 +276,26 @@ Result<std::string> MaterializeUnitBehaviors(const Extractor& extractor,
   std::vector<size_t> record_idx(dataset.num_records());
   for (size_t i = 0; i < record_idx.size(); ++i) record_idx[i] = i;
   Matrix behaviors = extractor.ExtractBlock(dataset, record_idx, unit_ids);
-  DB_RETURN_NOT_OK(store->Put(key, behaviors));
+  DB_RETURN_NOT_OK(Put(key, behaviors));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;  // a request for behaviors that were not yet stored
+  }
+  if (materialized_now != nullptr) *materialized_now = true;
   return key;
 }
 
-Result<PrecomputedExtractor> OpenStoredExtractor(const std::string& key,
-                                                 const std::string& model_id,
-                                                 const Dataset& dataset,
-                                                 BehaviorStore* store) {
-  DB_ASSIGN_OR_RETURN(Matrix behaviors, store->Get(key));
+Result<std::string> MaterializeUnitBehaviors(const Extractor& extractor,
+                                             const Dataset& dataset,
+                                             BehaviorStore* store) {
+  return store->EnsureUnitBehaviors(extractor, dataset);
+}
+
+Result<PrecomputedExtractor> OpenStoredExtractor(
+    const std::string& key, const std::string& model_id,
+    const Dataset& dataset, BehaviorStore* store,
+    BehaviorStore::Tier* served_from) {
+  DB_ASSIGN_OR_RETURN(Matrix behaviors, store->Get(key, served_from));
   if (behaviors.rows() != dataset.num_records() * dataset.ns()) {
     return Status::Invalid(
         "stored behaviors do not align with the dataset: " +

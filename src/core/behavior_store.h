@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,16 +30,14 @@ uint64_t DatasetFingerprint(const Dataset& dataset);
 
 /// \brief Two-tier (memory LRU over disk) store of behavior matrices.
 ///
-/// Thread-compatibility: single-threaded, like the engine's driver loop.
+/// Thread-safety: all operations are serialized by an internal mutex, so
+/// one store may back several concurrent inspection jobs
+/// (InspectionSession::Submit). Counters are cumulative over the store's
+/// lifetime; AddStatsTo() folds them into a RuntimeStats snapshot.
 class BehaviorStore {
  public:
-  struct Stats {
-    size_t mem_hits = 0;
-    size_t disk_hits = 0;
-    size_t misses = 0;
-    size_t evictions = 0;
-    size_t bytes_written = 0;
-  };
+  /// Which tier served a Get (kMiss = not stored at all).
+  enum class Tier { kMemory, kDisk, kMiss };
 
   /// \param root_dir directory for the persisted matrices (created on
   ///        first Put if missing).
@@ -52,8 +52,9 @@ class BehaviorStore {
 
   /// \brief Fetch a matrix: memory tier first, then disk (re-admitting to
   /// memory). kNotFound if the key was never Put; kDataLoss if the on-disk
-  /// payload fails its checksum.
-  Result<Matrix> Get(const std::string& key);
+  /// payload fails its checksum. `served_from`, when non-null, reports
+  /// which tier answered (kMiss on any error).
+  Result<Matrix> Get(const std::string& key, Tier* served_from = nullptr);
 
   /// \brief True if the key is available (either tier) without reading the
   /// payload.
@@ -68,22 +69,51 @@ class BehaviorStore {
   /// \brief All persisted keys, sorted.
   std::vector<std::string> Keys() const;
 
-  size_t memory_bytes() const { return memory_bytes_; }
-  const Stats& stats() const { return stats_; }
+  size_t memory_bytes() const;
+
+  // Cumulative counters (formerly BehaviorStore::Stats; the engine folds
+  // per-inspection deltas of these into RuntimeStats::store_*).
+  size_t mem_hits() const;
+  size_t disk_hits() const;
+  size_t misses() const;
+  size_t evictions() const;
+  size_t bytes_written() const;
+
+  /// \brief Ensure `extractor`'s full unit behaviors over `dataset` are
+  /// stored (extracting and persisting them if not) and return the key.
+  /// Concurrent callers for the same store are serialized, so the
+  /// extraction runs at most once per (model, dataset fingerprint).
+  /// `materialized_now`, when non-null, reports whether this call paid
+  /// the extraction (a store miss).
+  Result<std::string> EnsureUnitBehaviors(const Extractor& extractor,
+                                          const Dataset& dataset,
+                                          bool* materialized_now = nullptr);
 
  private:
   std::string PathForKey(const std::string& key) const;
-  void Admit(const std::string& key, Matrix matrix);
-  void EnforceBudget();
+  void AdmitLocked(const std::string& key, Matrix matrix);
+  void EnforceBudgetLocked();
 
   std::string root_dir_;
   size_t memory_budget_;
+
+  // Per-key locks so EnsureUnitBehaviors extracts each (model, dataset)
+  // at most once without serializing unrelated materializations against
+  // each other. materialize_mu_ only guards the lock map and is ordered
+  // before mu_ (a key lock is held across Contains/Put, which take mu_).
+  std::mutex materialize_mu_;
+  std::map<std::string, std::unique_ptr<std::mutex>> materialize_locks_;
+  mutable std::mutex mu_;
   size_t memory_bytes_ = 0;
   // LRU: most-recent at the front.
   std::list<std::pair<std::string, Matrix>> lru_;
   std::map<std::string, std::list<std::pair<std::string, Matrix>>::iterator>
       index_;
-  Stats stats_;
+  size_t mem_hits_ = 0;
+  size_t disk_hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+  size_t bytes_written_ = 0;
 };
 
 /// \brief Canonical store key for a model's unit behaviors over a dataset.
@@ -101,9 +131,10 @@ Result<std::string> MaterializeUnitBehaviors(const Extractor& extractor,
                                              BehaviorStore* store);
 
 /// \brief Build a PrecomputedExtractor serving a stored behavior matrix.
-Result<PrecomputedExtractor> OpenStoredExtractor(const std::string& key,
-                                                 const std::string& model_id,
-                                                 const Dataset& dataset,
-                                                 BehaviorStore* store);
+/// `served_from`, when non-null, reports the tier that answered.
+Result<PrecomputedExtractor> OpenStoredExtractor(
+    const std::string& key, const std::string& model_id,
+    const Dataset& dataset, BehaviorStore* store,
+    BehaviorStore::Tier* served_from = nullptr);
 
 }  // namespace deepbase

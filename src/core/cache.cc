@@ -2,8 +2,8 @@
 
 namespace deepbase {
 
-const std::vector<float>* HypothesisCache::Get(const std::string& hyp_name,
-                                               size_t record_idx) {
+const std::vector<float>* HypothesisCache::FindLocked(
+    const std::string& hyp_name, size_t record_idx) {
   auto it = entries_.find(hyp_name);
   if (it == entries_.end()) {
     ++misses_;
@@ -19,8 +19,24 @@ const std::vector<float>* HypothesisCache::Get(const std::string& hyp_name,
   return &rit->second;
 }
 
+const std::vector<float>* HypothesisCache::Get(const std::string& hyp_name,
+                                               size_t record_idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(hyp_name, record_idx);
+}
+
+bool HypothesisCache::Lookup(const std::string& hyp_name, size_t record_idx,
+                             std::vector<float>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<float>* found = FindLocked(hyp_name, record_idx);
+  if (found == nullptr) return false;
+  *out = *found;
+  return true;
+}
+
 void HypothesisCache::Put(const std::string& hyp_name, size_t record_idx,
                           std::vector<float> behaviors) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(hyp_name);
   if (it == entries_.end()) {
     lru_.push_front(hyp_name);
@@ -37,6 +53,21 @@ void HypothesisCache::Put(const std::string& hyp_name, size_t record_idx,
     size_values_ += rit->second.size();
     EvictIfNeeded();
   }
+}
+
+size_t HypothesisCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t HypothesisCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t HypothesisCache::size_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_values_;
 }
 
 void HypothesisCache::Touch(const std::string& hyp_name, HypEntry* entry) {
@@ -56,6 +87,7 @@ void HypothesisCache::EvictIfNeeded() {
 }
 
 void HypothesisCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
   size_values_ = 0;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,11 @@ namespace deepbase {
 /// \brief Caches per-record hypothesis behaviors keyed by
 /// (hypothesis name, record index). One cache instance corresponds to one
 /// dataset; share it across Inspect() calls to get cross-model reuse.
+///
+/// Thread-safety: all operations are mutex-guarded, so one cache may be
+/// shared by concurrent inspection jobs (InspectionSession::Submit). Use
+/// Lookup() from concurrent code — the pointer returned by Get() is only
+/// stable while no other thread inserts or evicts.
 class HypothesisCache {
  public:
   /// \param max_values total cached floats across all hypotheses before
@@ -24,15 +30,21 @@ class HypothesisCache {
       : max_values_(max_values) {}
 
   /// \brief Cached behaviors for (hyp, record), or nullptr on miss.
+  /// Single-threaded convenience; concurrent callers must use Lookup().
   const std::vector<float>* Get(const std::string& hyp_name,
                                 size_t record_idx);
+
+  /// \brief Copy the cached behaviors for (hyp, record) into `out`.
+  /// Returns false on miss. Safe under concurrent Put/eviction.
+  bool Lookup(const std::string& hyp_name, size_t record_idx,
+              std::vector<float>* out);
 
   void Put(const std::string& hyp_name, size_t record_idx,
            std::vector<float> behaviors);
 
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  size_t size_values() const { return size_values_; }
+  size_t hits() const;
+  size_t misses() const;
+  size_t size_values() const;
   void Clear();
 
  private:
@@ -42,9 +54,12 @@ class HypothesisCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  const std::vector<float>* FindLocked(const std::string& hyp_name,
+                                       size_t record_idx);
   void Touch(const std::string& hyp_name, HypEntry* entry);
   void EvictIfNeeded();
 
+  mutable std::mutex mu_;
   size_t max_values_;
   size_t size_values_ = 0;
   size_t hits_ = 0, misses_ = 0;

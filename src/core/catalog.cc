@@ -1,0 +1,277 @@
+#include "core/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/behavior_store.h"
+#include "core/inspect_parser.h"
+#include "measures/scores.h"
+
+namespace deepbase {
+
+void Catalog::RegisterModel(const std::string& name,
+                            const Extractor* extractor, size_t layer_size,
+                            std::map<std::string, Datum> attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = CatalogModel{extractor, layer_size, std::move(attrs)};
+  ++version_;
+}
+
+void Catalog::RegisterHypotheses(const std::string& set_name,
+                                 std::vector<HypothesisPtr> hypotheses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hypothesis_sets_[set_name] = std::move(hypotheses);
+  ++version_;
+}
+
+void Catalog::RegisterDataset(const std::string& name,
+                              const Dataset* dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  datasets_[name] = CatalogDataset{
+      dataset, dataset != nullptr ? DatasetFingerprint(*dataset) : 0};
+  ++version_;
+}
+
+void Catalog::RegisterMeasure(const std::string& name,
+                              MeasureFactoryPtr factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  measures_[name] = std::move(factory);
+  ++version_;
+}
+
+Result<CatalogModel> Catalog::GetModel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model not registered: " + name);
+  }
+  return it->second;
+}
+
+Result<std::vector<HypothesisPtr>> Catalog::GetHypotheses(
+    const std::string& set_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hypothesis_sets_.find(set_name);
+  if (it == hypothesis_sets_.end()) {
+    return Status::NotFound("hypothesis set not registered: " + set_name);
+  }
+  return it->second;
+}
+
+Result<CatalogDataset> Catalog::GetDataset(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  return it->second;
+}
+
+Result<MeasureFactoryPtr> Catalog::GetMeasure(const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = measures_.find(name);
+    if (it != measures_.end()) return it->second;
+  }
+  // Fall back to the built-in measure registry shared with the parsers.
+  return MeasureByName(name);
+}
+
+namespace {
+
+template <typename Map>
+std::vector<std::string> KeysOf(const Map& map) {
+  std::vector<std::string> names;
+  names.reserve(map.size());
+  for (const auto& [name, value] : map) names.push_back(name);
+  return names;
+}
+
+}  // namespace
+
+std::vector<std::string> Catalog::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return KeysOf(models_);
+}
+
+std::vector<std::string> Catalog::HypothesisSetNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return KeysOf(hypothesis_sets_);
+}
+
+std::vector<std::string> Catalog::DatasetNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return KeysOf(datasets_);
+}
+
+uint64_t Catalog::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+namespace {
+
+// Split a model's units into consecutive layers of `layer_size` units
+// ("layer0", "layer1", …) — shared by GroupByLayer and the catalog's
+// registered layer partitions.
+std::vector<UnitGroupSpec> LayerGroups(size_t total, size_t layer_size) {
+  std::vector<UnitGroupSpec> groups;
+  for (size_t begin = 0, layer = 0; begin < total;
+       begin += layer_size, ++layer) {
+    UnitGroupSpec group;
+    group.group_id = "layer" + std::to_string(layer);
+    for (size_t u = begin; u < std::min(total, begin + layer_size); ++u) {
+      group.unit_ids.push_back(static_cast<int>(u));
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<InspectPlan> Catalog::Compile(
+    const InspectRequest& request,
+    const InspectOptions& default_options) const {
+  InspectPlan plan;
+  plan.options = request.options.value_or(default_options);
+  plan.min_abs_unit_score = request.min_abs_unit_score;
+
+  // --- Models.
+  if (request.models.empty()) {
+    return Status::Invalid("INSPECT requires a model");
+  }
+  for (const InspectRequest::ModelRef& ref : request.models) {
+    const Extractor* extractor = ref.extractor;
+    if (extractor == nullptr) {
+      if (ref.name.empty()) {
+        return Status::Invalid("model reference has neither a catalog name "
+                               "nor an inline extractor");
+      }
+      DB_ASSIGN_OR_RETURN(CatalogModel entry, GetModel(ref.name));
+      extractor = entry.extractor;
+    }
+    if (extractor == nullptr) {
+      return Status::Invalid("model extractor is null" +
+                             (ref.name.empty() ? "" : ": " + ref.name));
+    }
+    ModelSpec spec;
+    spec.extractor = extractor;
+    if (ref.group_by_layer > 0) {
+      spec.groups = LayerGroups(extractor->num_units(), ref.group_by_layer);
+    } else if (!ref.groups.empty()) {
+      spec.groups = ref.groups;
+      for (const UnitGroupSpec& group : spec.groups) {
+        for (int uid : group.unit_ids) {
+          if (uid < 0 ||
+              static_cast<size_t>(uid) >= extractor->num_units()) {
+            return Status::OutOfRange(
+                "unit " + std::to_string(uid) + " out of range for model '" +
+                extractor->model_id() + "' (" +
+                std::to_string(extractor->num_units()) + " units)");
+          }
+        }
+      }
+    } else {
+      spec = AllUnitsGroup(extractor);
+    }
+    plan.models.push_back(std::move(spec));
+  }
+
+  // --- Hypotheses: inline first, then the named sets, deduped by name.
+  std::set<std::string> seen_names;
+  auto add_hypothesis = [&](const HypothesisPtr& hyp) {
+    if (hyp != nullptr && seen_names.insert(hyp->name()).second) {
+      plan.hypotheses.push_back(hyp);
+    }
+  };
+  for (const HypothesisPtr& hyp : request.hypotheses) add_hypothesis(hyp);
+  for (const std::string& set_name : request.hypothesis_sets) {
+    DB_ASSIGN_OR_RETURN(std::vector<HypothesisPtr> set,
+                        GetHypotheses(set_name));
+    for (const HypothesisPtr& hyp : set) add_hypothesis(hyp);
+  }
+  if (!request.hypothesis_filter.empty()) {
+    std::set<std::string> keep(request.hypothesis_filter.begin(),
+                               request.hypothesis_filter.end());
+    for (const std::string& name : keep) {
+      if (seen_names.count(name) == 0) {
+        return Status::NotFound("hypothesis '" + name +
+                                "' not found in the requested sets");
+      }
+    }
+    std::vector<HypothesisPtr> filtered;
+    for (const HypothesisPtr& hyp : plan.hypotheses) {
+      if (keep.count(hyp->name()) > 0) filtered.push_back(hyp);
+    }
+    plan.hypotheses = std::move(filtered);
+  }
+  if (plan.hypotheses.empty()) {
+    return Status::Invalid("INSPECT requires at least one hypothesis");
+  }
+
+  // --- Dataset (inline wins over the catalog name).
+  if (request.dataset != nullptr) {
+    plan.dataset = request.dataset;
+  } else if (!request.dataset_name.empty()) {
+    DB_ASSIGN_OR_RETURN(CatalogDataset entry,
+                        GetDataset(request.dataset_name));
+    plan.dataset = entry.dataset;
+  }
+  if (plan.dataset == nullptr) {
+    return Status::Invalid("INSPECT requires an OVER dataset");
+  }
+
+  // --- Measures (default: Pearson correlation, as in the paper).
+  for (const MeasureFactoryPtr& measure : request.measures) {
+    if (measure != nullptr) plan.measures.push_back(measure);
+  }
+  for (const std::string& name : request.measure_names) {
+    DB_ASSIGN_OR_RETURN(MeasureFactoryPtr measure, GetMeasure(name));
+    plan.measures.push_back(std::move(measure));
+  }
+  if (plan.measures.empty()) {
+    plan.measures.push_back(std::make_shared<CorrelationScore>("pearson"));
+  }
+  return plan;
+}
+
+Result<ResultTable> RunPlan(const InspectPlan& plan, RuntimeStats* stats) {
+  // Pre-flight the hypothesis output format (paper §4.1: "output formats
+  // are checked during execution"): every hypothesis must emit one
+  // behavior per record symbol.
+  if (plan.dataset->num_records() > 0) {
+    const Record& probe = plan.dataset->record(0);
+    for (const HypothesisPtr& hyp : plan.hypotheses) {
+      const size_t got = hyp->Eval(probe).size();
+      if (got != plan.dataset->ns()) {
+        return Status::Invalid(
+            "hypothesis '" + hyp->name() + "' emitted " +
+            std::to_string(got) + " behaviors for a record of " +
+            std::to_string(plan.dataset->ns()) + " symbols");
+      }
+    }
+  }
+  ResultTable results = Inspect(plan.models, *plan.dataset, plan.measures,
+                                plan.hypotheses, plan.options, stats);
+  if (plan.min_abs_unit_score.has_value()) {
+    const float threshold = *plan.min_abs_unit_score;
+    results = results.Filter([threshold](const ResultRow& row) {
+      return row.unit >= 0 && !std::isnan(row.unit_score) &&
+             std::fabs(row.unit_score) > threshold;
+    });
+  }
+  return results;
+}
+
+Result<ResultTable> RunInspectRequest(const InspectRequest& request,
+                                      const Catalog& catalog,
+                                      const InspectOptions& default_options,
+                                      RuntimeStats* stats) {
+  DB_ASSIGN_OR_RETURN(InspectPlan plan,
+                      catalog.Compile(request, default_options));
+  return RunPlan(plan, stats);
+}
+
+}  // namespace deepbase

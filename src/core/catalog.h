@@ -1,0 +1,153 @@
+// The shared inspection catalog (paper §4: DNI is declarative — one
+// inspect() verb over a catalog of models, hypotheses, and datasets). All
+// front doors — the fluent InspectQuery builder, the textual INSPECT
+// parser, and the SQL layer's Appendix-B statements — resolve names
+// through one Catalog and compile to the same InspectRequest, which is the
+// prerequisite for session-level batching, caching, and async serving.
+//
+// The catalog stores non-owning pointers: registered extractors, datasets,
+// and user tables must outlive it.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "relational/datum.h"
+
+namespace deepbase {
+
+/// \brief A registered model: its extractor, the layer partition of its
+/// units (0 = one layer), and free-form attributes (e.g. epoch) surfaced
+/// by the SQL layer's `models` relation.
+struct CatalogModel {
+  const Extractor* extractor = nullptr;
+  size_t layer_size = 0;
+  std::map<std::string, Datum> attrs;
+};
+
+/// \brief A registered dataset plus a snapshot of its content fingerprint
+/// (informational metadata: the store path recomputes DatasetFingerprint
+/// live when keying entries, and the planned session-level result cache
+/// keys on it — see ROADMAP).
+struct CatalogDataset {
+  const Dataset* dataset = nullptr;
+  uint64_t fingerprint = 0;
+};
+
+/// \brief The declarative form of one inspection (paper Def. 2): models,
+/// hypotheses, a dataset, and measures — each referenced either by catalog
+/// name or inline. Every frontend compiles to this struct; the engine-
+/// facing plan is produced by Catalog::Compile.
+struct InspectRequest {
+  struct ModelRef {
+    /// Catalog name; empty when `extractor` is given inline.
+    std::string name;
+    const Extractor* extractor = nullptr;
+    /// Explicit unit groups. Empty = all units as one group (or per-layer
+    /// groups when group_by_layer > 0).
+    std::vector<UnitGroupSpec> groups;
+    /// Partition the model's units into consecutive layers of this size.
+    size_t group_by_layer = 0;
+  };
+
+  std::vector<ModelRef> models;
+  /// Catalog hypothesis-set names, resolved and concatenated…
+  std::vector<std::string> hypothesis_sets;
+  /// …plus inline hypotheses. Duplicate function names are dropped.
+  std::vector<HypothesisPtr> hypotheses;
+  /// If non-empty, keep only hypothesis functions with these names (the
+  /// SQL layer's WHERE-clause selection). Unknown names are errors.
+  std::vector<std::string> hypothesis_filter;
+
+  /// The OVER dataset: by catalog name, or inline (inline wins).
+  std::string dataset_name;
+  const Dataset* dataset = nullptr;
+
+  /// Measures by registry name (see Catalog::GetMeasure) and/or inline.
+  /// Empty = the paper's INSPECT default, Pearson correlation.
+  std::vector<std::string> measure_names;
+  std::vector<MeasureFactoryPtr> measures;
+
+  /// HAVING |unit_score| > x, applied after inspection.
+  std::optional<float> min_abs_unit_score;
+
+  /// Engine options; unset = the executing session's defaults.
+  std::optional<InspectOptions> options;
+};
+
+/// \brief A fully resolved inspection, ready for the engine.
+struct InspectPlan {
+  std::vector<ModelSpec> models;
+  std::vector<HypothesisPtr> hypotheses;
+  std::vector<MeasureFactoryPtr> measures;
+  const Dataset* dataset = nullptr;
+  InspectOptions options;
+  std::optional<float> min_abs_unit_score;
+};
+
+/// \brief Registry of named models, hypothesis sets, datasets, and
+/// measures. Registration overwrites; lookups return copies, so a catalog
+/// may be read by concurrent inspection jobs while (rarely) being
+/// registered into. Version() changes on every registration — the SQL
+/// layer uses it to invalidate its materialized catalog relations.
+class Catalog {
+ public:
+  void RegisterModel(const std::string& name, const Extractor* extractor,
+                     size_t layer_size = 0,
+                     std::map<std::string, Datum> attrs = {});
+  void RegisterHypotheses(const std::string& set_name,
+                          std::vector<HypothesisPtr> hypotheses);
+  void RegisterDataset(const std::string& name, const Dataset* dataset);
+  /// \brief Register a custom measure factory; built-in measure names
+  /// (pearson, jaccard, logreg_l1, …) resolve without registration.
+  void RegisterMeasure(const std::string& name, MeasureFactoryPtr factory);
+
+  Result<CatalogModel> GetModel(const std::string& name) const;
+  Result<std::vector<HypothesisPtr>> GetHypotheses(
+      const std::string& set_name) const;
+  Result<CatalogDataset> GetDataset(const std::string& name) const;
+  Result<MeasureFactoryPtr> GetMeasure(const std::string& name) const;
+
+  std::vector<std::string> ModelNames() const;
+  std::vector<std::string> HypothesisSetNames() const;
+  std::vector<std::string> DatasetNames() const;
+
+  /// \brief Monotonic counter, bumped by every Register* call.
+  uint64_t version() const;
+
+  /// \brief Resolve every name in `request` and produce the engine plan.
+  /// Returns descriptive errors: kNotFound for unknown catalog names,
+  /// kInvalidArgument for structurally invalid requests (no model, no
+  /// dataset, empty hypothesis list, out-of-range unit ids).
+  Result<InspectPlan> Compile(const InspectRequest& request,
+                              const InspectOptions& default_options) const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t version_ = 0;
+  std::map<std::string, CatalogModel> models_;
+  std::map<std::string, std::vector<HypothesisPtr>> hypothesis_sets_;
+  std::map<std::string, CatalogDataset> datasets_;
+  std::map<std::string, MeasureFactoryPtr> measures_;
+};
+
+/// \brief Execute a compiled plan: pre-flight hypothesis output formats,
+/// run the engine, and apply the HAVING filter.
+Result<ResultTable> RunPlan(const InspectPlan& plan,
+                            RuntimeStats* stats = nullptr);
+
+/// \brief Compile + run in one step against `catalog`. This is the single
+/// execution path shared by every frontend; InspectionSession layers its
+/// store/cache/thread-pool on top by rewriting `default_options`.
+Result<ResultTable> RunInspectRequest(
+    const InspectRequest& request, const Catalog& catalog,
+    const InspectOptions& default_options = {},
+    RuntimeStats* stats = nullptr);
+
+}  // namespace deepbase

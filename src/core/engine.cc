@@ -1,11 +1,31 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "core/behavior_store.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace deepbase {
+
+void RuntimeStats::Accumulate(const RuntimeStats& other) {
+  unit_extraction_s += other.unit_extraction_s;
+  hyp_extraction_s += other.hyp_extraction_s;
+  inspection_s += other.inspection_s;
+  total_s += other.total_s;
+  blocks_processed += other.blocks_processed;
+  records_processed += other.records_processed;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  store_mem_hits += other.store_mem_hits;
+  store_disk_hits += other.store_disk_hits;
+  store_misses += other.store_misses;
+  store_evictions += other.store_evictions;
+  store_bytes_written += other.store_bytes_written;
+  all_converged = all_converged && other.all_converged;
+  cancelled = cancelled || other.cancelled;
+}
 
 namespace {
 
@@ -54,13 +74,85 @@ ModelSpec AllUnitsGroup(const Extractor* extractor,
   return spec;
 }
 
-ResultTable Inspect(const std::vector<ModelSpec>& models,
+ResultTable Inspect(const std::vector<ModelSpec>& models_in,
                     const Dataset& dataset,
                     const std::vector<MeasureFactoryPtr>& scores,
                     const std::vector<HypothesisPtr>& hypotheses,
                     const InspectOptions& options, RuntimeStats* stats) {
   Stopwatch total_watch;
   TimeAccumulator unit_time, hyp_time, inspect_time;
+
+  auto cancel_requested = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
+  // Caches/stores shared across calls (and across concurrent jobs) carry
+  // cumulative counters; snapshot them so this call's RuntimeStats report
+  // deltas. Under concurrency the attribution is approximate (another
+  // job's hits can land in this window) but bounded, instead of every job
+  // re-reporting the session-lifetime totals.
+  size_t cache_hits0 = 0, cache_misses0 = 0;
+  if (options.hypothesis_cache != nullptr) {
+    cache_hits0 = options.hypothesis_cache->hits();
+    cache_misses0 = options.hypothesis_cache->misses();
+  }
+  size_t store_evictions0 = 0, store_bytes0 = 0;
+  if (options.behavior_store != nullptr) {
+    store_evictions0 = options.behavior_store->evictions();
+    store_bytes0 = options.behavior_store->bytes_written();
+  }
+
+  // --- Behavior-store substitution (§5.1.2/§6.3): when a store is
+  // attached, each model's full unit behaviors are materialized once per
+  // (model, dataset fingerprint) and every block is then served from the
+  // store's memory/disk tiers instead of live forward passes. The specs
+  // are only copied when substitution actually happens.
+  const std::vector<ModelSpec>* models_ptr = &models_in;
+  std::vector<ModelSpec> substituted;
+  std::vector<std::unique_ptr<PrecomputedExtractor>> stored_extractors;
+  size_t store_mem_hits = 0, store_disk_hits = 0, store_misses = 0;
+  if (options.behavior_store != nullptr) {
+    substituted = models_in;
+    models_ptr = &substituted;
+    unit_time.Start();
+    for (ModelSpec& model : substituted) {
+      // Materialization is an upfront full-dataset extraction (the §6.3
+      // one-time cost) and is not bounded by time_budget_s/max_blocks;
+      // honor cancellation between models at least.
+      if (cancel_requested()) break;
+      bool materialized_now = false;
+      Result<std::string> key = options.behavior_store->EnsureUnitBehaviors(
+          *model.extractor, dataset, &materialized_now);
+      if (!key.ok()) {
+        DB_LOG(Warn) << "behavior store unavailable for model '"
+                     << model.extractor->model_id()
+                     << "', extracting live: " << key.status().ToString();
+        continue;
+      }
+      BehaviorStore::Tier tier = BehaviorStore::Tier::kMiss;
+      Result<PrecomputedExtractor> stored =
+          OpenStoredExtractor(*key, model.extractor->model_id(), dataset,
+                              options.behavior_store, &tier);
+      if (!stored.ok()) {
+        DB_LOG(Warn) << "cannot read stored behaviors for key '" << *key
+                     << "', extracting live: " << stored.status().ToString();
+        continue;
+      }
+      if (materialized_now) {
+        ++store_misses;  // this call paid the one-time materialization
+      } else if (tier == BehaviorStore::Tier::kMemory) {
+        ++store_mem_hits;
+      } else if (tier == BehaviorStore::Tier::kDisk) {
+        ++store_disk_hits;
+      }
+      stored_extractors.push_back(
+          std::make_unique<PrecomputedExtractor>(std::move(*stored)));
+      model.extractor = stored_extractors.back().get();
+    }
+    unit_time.Stop();
+  }
+  const std::vector<ModelSpec>& models = *models_ptr;
 
   // --- Plan extraction: per model, the union of its groups' units, and per
   // group the column indices into that union.
@@ -150,33 +242,36 @@ ResultTable Inspect(const std::vector<ModelSpec>& models,
   auto extract_hypotheses = [&](const std::vector<size_t>& block) {
     const size_t ns = dataset.ns();
     Matrix hyp_m(block.size() * ns, hypotheses.size());
+    // Hoisted out of the loops so cache hits reuse its capacity instead
+    // of allocating per record.
+    std::vector<float> behaviors;
     for (size_t h = 0; h < hypotheses.size(); ++h) {
       const HypothesisFn& hyp = *hypotheses[h];
       for (size_t i = 0; i < block.size(); ++i) {
-        const std::vector<float>* behaviors = nullptr;
-        std::vector<float> computed;
-        if (options.hypothesis_cache != nullptr) {
-          behaviors = options.hypothesis_cache->Get(hyp.name(), block[i]);
-        }
-        if (behaviors == nullptr) {
-          computed = hyp.Eval(dataset.record(block[i]));
-          if (computed.size() != ns) {
+        // Lookup copies out of the cache so concurrent jobs sharing one
+        // cache cannot observe an entry being evicted mid-read.
+        const bool cached =
+            options.hypothesis_cache != nullptr &&
+            options.hypothesis_cache->Lookup(hyp.name(), block[i],
+                                             &behaviors);
+        if (!cached) {
+          behaviors = hyp.Eval(dataset.record(block[i]));
+          if (behaviors.size() != ns) {
             if (!warned_bad_size[h]) {
               DB_LOG(Warn)
                   << "hypothesis '" << hyp.name() << "' emitted "
-                  << computed.size() << " behaviors for a record of " << ns
+                  << behaviors.size() << " behaviors for a record of " << ns
                   << " symbols; normalizing (zero-pad/truncate)";
               warned_bad_size[h] = true;
             }
-            computed.resize(ns, 0.0f);
+            behaviors.resize(ns, 0.0f);
           }
           if (options.hypothesis_cache != nullptr) {
-            options.hypothesis_cache->Put(hyp.name(), block[i], computed);
+            options.hypothesis_cache->Put(hyp.name(), block[i], behaviors);
           }
-          behaviors = &computed;
         }
         for (size_t t = 0; t < ns; ++t) {
-          hyp_m(i * ns + t, h) = (*behaviors)[t];
+          hyp_m(i * ns + t, h) = behaviors[t];
         }
       }
     }
@@ -247,7 +342,8 @@ ResultTable Inspect(const std::vector<ModelSpec>& models,
       BlockIterator it(&dataset, options.block_size,
                        options.shuffle_seed + pass);
       while (it.HasNext() && blocks_processed < options.max_blocks &&
-             total_watch.Seconds() < options.time_budget_s) {
+             total_watch.Seconds() < options.time_budget_s &&
+             !cancel_requested()) {
         std::vector<size_t> block = it.NextBlock();
         records_processed += block.size();
         BlockData data;
@@ -278,7 +374,8 @@ ResultTable Inspect(const std::vector<ModelSpec>& models,
     std::vector<BlockData> materialized;
     BlockIterator it(&dataset, options.block_size, options.shuffle_seed);
     while (it.HasNext() && materialized.size() < options.max_blocks &&
-           total_watch.Seconds() < options.time_budget_s) {
+           total_watch.Seconds() < options.time_budget_s &&
+           !cancel_requested()) {
       std::vector<size_t> block = it.NextBlock();
       records_processed += block.size();
       BlockData data;
@@ -295,7 +392,10 @@ ResultTable Inspect(const std::vector<ModelSpec>& models,
     }
     for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
       for (const BlockData& data : materialized) {
-        if (total_watch.Seconds() >= options.time_budget_s) break;
+        if (total_watch.Seconds() >= options.time_budget_s ||
+            cancel_requested()) {
+          break;
+        }
         inspect_time.Start();
         const bool done = inspect_block(data);
         inspect_time.Stop();
@@ -351,11 +451,22 @@ ResultTable Inspect(const std::vector<ModelSpec>& models,
     stats->blocks_processed = blocks_processed;
     stats->records_processed = records_processed;
     stats->all_converged = stopped_early || all_converged();
+    stats->cancelled = cancel_requested();
     if (options.hypothesis_cache != nullptr) {
-      stats->cache_hits = options.hypothesis_cache->hits();
-      stats->cache_misses = options.hypothesis_cache->misses();
+      stats->cache_hits = options.hypothesis_cache->hits() - cache_hits0;
+      stats->cache_misses =
+          options.hypothesis_cache->misses() - cache_misses0;
     } else {
       stats->cache_misses = blocks_processed * hypotheses.size();
+    }
+    stats->store_mem_hits = store_mem_hits;
+    stats->store_disk_hits = store_disk_hits;
+    stats->store_misses = store_misses;
+    if (options.behavior_store != nullptr) {
+      stats->store_evictions =
+          options.behavior_store->evictions() - store_evictions0;
+      stats->store_bytes_written =
+          options.behavior_store->bytes_written() - store_bytes0;
     }
   }
   return results;

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <string>
@@ -24,6 +25,8 @@
 #include "measures/measure.h"
 
 namespace deepbase {
+
+class BehaviorStore;
 
 /// \brief A named subset of one model's hidden units (paper Def. 1 takes
 /// unit groups, not whole models, so per-group joint measures are scoped
@@ -70,9 +73,27 @@ struct InspectOptions {
   /// Optional shared hypothesis-behavior cache (one per dataset).
   HypothesisCache* hypothesis_cache = nullptr;
 
+  /// Optional disk-backed behavior store (the Mistique-style substrate,
+  /// §5.1.2/§6.3). When set, each model's unit behaviors are materialized
+  /// into the store on first inspection and served from it afterwards, so
+  /// re-inspection skips the forward passes entirely — including across
+  /// process restarts. Typically owned by an InspectionSession.
+  ///
+  /// Caveats: entries are keyed by (model_id, dataset fingerprint), so a
+  /// retrained model must get a fresh model_id or the store serves its
+  /// old behaviors; and the one-time materialization extracts the full
+  /// dataset upfront, outside the time_budget_s/max_blocks limits (only
+  /// cancellation is honored between models).
+  BehaviorStore* behavior_store = nullptr;
+
   /// Hard limits (the paper enforces a 30-minute benchmark timeout).
   double time_budget_s = std::numeric_limits<double>::infinity();
   size_t max_blocks = std::numeric_limits<size_t>::max();
+
+  /// Cooperative cancellation: checked between blocks, like the time
+  /// budget. Set by JobHandle::Cancel() for async jobs; the engine stops
+  /// and returns the partial scores accumulated so far.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// \brief Engine instrumentation for the runtime-breakdown experiments
@@ -86,8 +107,23 @@ struct RuntimeStats {
   size_t records_processed = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Behavior-store counters for this inspection (the unified view of the
+  /// former BehaviorStore::Stats — one counter set for the Figure 9 /
+  /// store benchmarks instead of two). mem/disk hits count store reads
+  /// that skipped live extraction; misses count materializations.
+  size_t store_mem_hits = 0;
+  size_t store_disk_hits = 0;
+  size_t store_misses = 0;
+  size_t store_evictions = 0;
+  size_t store_bytes_written = 0;
   /// True if every score converged before the data ran out.
   bool all_converged = false;
+  /// True if the run was stopped by InspectOptions::cancel.
+  bool cancelled = false;
+
+  /// \brief Sum another run's counters/timings into this one (used when a
+  /// statement fans out into several engine calls, e.g. SQL GROUP BY).
+  void Accumulate(const RuntimeStats& other);
 };
 
 /// \brief Run Deep Neural Inspection (paper Def. 2 / deepbase.inspect()):

@@ -2,30 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
-#include <sstream>
+#include <cstdlib>
 
-#include "core/inspect_query.h"
 #include "measures/mlp_probe.h"
 #include "measures/multivariate_mi.h"
 #include "measures/scores.h"
 
 namespace deepbase {
-
-const Extractor* Catalog::FindModel(const std::string& name) const {
-  auto it = models_.find(name);
-  return it == models_.end() ? nullptr : it->second;
-}
-
-const std::vector<HypothesisPtr>* Catalog::FindHypotheses(
-    const std::string& name) const {
-  auto it = hypotheses_.find(name);
-  return it == hypotheses_.end() ? nullptr : &it->second;
-}
-
-const Dataset* Catalog::FindDataset(const std::string& name) const {
-  auto it = datasets_.find(name);
-  return it == datasets_.end() ? nullptr : it->second;
-}
 
 namespace {
 
@@ -144,36 +127,27 @@ Result<ResultTable> ExecuteInspect(const std::string& statement,
   DB_RETURN_NOT_OK(cur.ExpectKeyword("inspect"));
   DB_RETURN_NOT_OK(cur.ExpectKeyword("units"));
   DB_RETURN_NOT_OK(cur.ExpectKeyword("of"));
-  const std::string model_name = cur.Next();
-  const Extractor* extractor = catalog.FindModel(model_name);
-  if (extractor == nullptr) {
-    return Status::NotFound("model not registered: " + model_name);
-  }
-  DB_RETURN_NOT_OK(cur.ExpectKeyword("and"));
-  const std::string hyp_name = cur.Next();
-  const std::vector<HypothesisPtr>* hyps = catalog.FindHypotheses(hyp_name);
-  if (hyps == nullptr) {
-    return Status::NotFound("hypothesis set not registered: " + hyp_name);
-  }
 
-  InspectQuery query;
-  query.Model(extractor).Hypotheses(*hyps).WithOptions(options);
+  InspectRequest request;
+  request.options = options;
+  InspectRequest::ModelRef model;
+  model.name = cur.Next();
+  DB_RETURN_NOT_OK(cur.ExpectKeyword("and"));
+  request.hypothesis_sets.push_back(cur.Next());
 
   if (cur.TryKeyword("using")) {
     do {
+      const std::string measure_name = cur.Next();
+      // Resolve eagerly so an unknown measure is reported as a parse-time
+      // error at its token, not after the statement is fully consumed.
       DB_ASSIGN_OR_RETURN(MeasureFactoryPtr measure,
-                          MeasureByName(cur.Next()));
-      query.Using(std::move(measure));
+                          catalog.GetMeasure(measure_name));
+      request.measures.push_back(std::move(measure));
     } while (cur.TryKeyword(","));
   }
 
   DB_RETURN_NOT_OK(cur.ExpectKeyword("over"));
-  const std::string ds_name = cur.Next();
-  const Dataset* dataset = catalog.FindDataset(ds_name);
-  if (dataset == nullptr) {
-    return Status::NotFound("dataset not registered: " + ds_name);
-  }
-  query.Over(dataset);
+  request.dataset_name = cur.Next();
 
   if (cur.TryKeyword("group")) {
     DB_RETURN_NOT_OK(cur.ExpectKeyword("by"));
@@ -186,8 +160,9 @@ Result<ResultTable> ExecuteInspect(const std::string& statement,
       return Status::Invalid("bad LAYER size: " + n_str);
     }
     DB_RETURN_NOT_OK(cur.ExpectKeyword(")"));
-    query.GroupByLayer(static_cast<size_t>(layer_size));
+    model.group_by_layer = static_cast<size_t>(layer_size);
   }
+  request.models.push_back(std::move(model));
 
   if (cur.TryKeyword("having")) {
     DB_RETURN_NOT_OK(cur.ExpectKeyword("unit_score"));
@@ -198,13 +173,13 @@ Result<ResultTable> ExecuteInspect(const std::string& statement,
     if (end == x_str.c_str()) {
       return Status::Invalid("bad HAVING threshold: " + x_str);
     }
-    query.HavingUnitScoreAbove(static_cast<float>(threshold));
+    request.min_abs_unit_score = static_cast<float>(threshold);
   }
 
   if (!cur.Done()) {
     return Status::Invalid("unexpected trailing token: '" + cur.Peek() + "'");
   }
-  return query.Execute(stats);
+  return RunInspectRequest(request, catalog, options, stats);
 }
 
 }  // namespace deepbase

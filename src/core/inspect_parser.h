@@ -1,6 +1,8 @@
 // Textual front-end for the INSPECT clause (paper Appendix B): parses a
-// SQL-flavored statement into an InspectQuery and executes it against a
-// catalog of registered models, hypothesis sets, and datasets.
+// SQL-flavored statement into an InspectRequest and executes it against
+// the shared Catalog of registered models, hypothesis sets, and datasets
+// (core/catalog.h) — the same registry behind InspectQuery, SqlSession,
+// and InspectionSession.
 //
 //   INSPECT units OF <model> AND <hypotheses>
 //     [USING <measure> [, <measure>]...]
@@ -15,40 +17,12 @@
 
 #pragma once
 
-#include <map>
 #include <string>
-#include <vector>
 
+#include "core/catalog.h"
 #include "core/engine.h"
 
 namespace deepbase {
-
-/// \brief Name resolution for INSPECT statements. The paper models units,
-/// hypotheses, and inputs as relations; the catalog is the registry those
-/// names resolve against.
-class Catalog {
- public:
-  void RegisterModel(const std::string& name, const Extractor* extractor) {
-    models_[name] = extractor;
-  }
-  void RegisterHypotheses(const std::string& name,
-                          std::vector<HypothesisPtr> hyps) {
-    hypotheses_[name] = std::move(hyps);
-  }
-  void RegisterDataset(const std::string& name, const Dataset* dataset) {
-    datasets_[name] = dataset;
-  }
-
-  const Extractor* FindModel(const std::string& name) const;
-  const std::vector<HypothesisPtr>* FindHypotheses(
-      const std::string& name) const;
-  const Dataset* FindDataset(const std::string& name) const;
-
- private:
-  std::map<std::string, const Extractor*> models_;
-  std::map<std::string, std::vector<HypothesisPtr>> hypotheses_;
-  std::map<std::string, const Dataset*> datasets_;
-};
 
 /// \brief Parse and execute one INSPECT statement.
 Result<ResultTable> ExecuteInspect(const std::string& statement,
@@ -59,7 +33,7 @@ Result<ResultTable> ExecuteInspect(const std::string& statement,
 /// \brief Resolve a measure name (pearson, corr, spearman, mutual_info,
 /// multivariate_mi, diff_means, jaccard, logreg_l1, logreg_l2, multiclass,
 /// random_baseline, majority_baseline) to a factory. Shared by the INSPECT
-/// front-end and the SQL layer.
+/// front-end, the Catalog measure registry, and the SQL layer.
 Result<MeasureFactoryPtr> MeasureByName(const std::string& name);
 
 }  // namespace deepbase

@@ -1,118 +1,90 @@
 #include "core/inspect_query.h"
 
-#include "measures/scores.h"
-
 namespace deepbase {
 
 InspectQuery& InspectQuery::Model(const Extractor* extractor) {
-  ModelSpec spec;
-  spec.extractor = extractor;
-  models_.push_back(std::move(spec));
+  InspectRequest::ModelRef ref;
+  ref.extractor = extractor;
+  request_.models.push_back(std::move(ref));
+  return *this;
+}
+
+InspectQuery& InspectQuery::Model(const std::string& name) {
+  InspectRequest::ModelRef ref;
+  ref.name = name;
+  request_.models.push_back(std::move(ref));
   return *this;
 }
 
 InspectQuery& InspectQuery::Group(const std::string& group_id,
                                   std::vector<int> units) {
-  if (!models_.empty()) {
-    models_.back().groups.push_back(UnitGroupSpec{group_id, std::move(units)});
+  if (!request_.models.empty()) {
+    request_.models.back().groups.push_back(
+        UnitGroupSpec{group_id, std::move(units)});
   }
   return *this;
 }
 
 InspectQuery& InspectQuery::GroupByLayer(size_t layer_size) {
-  if (models_.empty() || layer_size == 0) return *this;
-  ModelSpec& model = models_.back();
-  const size_t total = model.extractor->num_units();
-  for (size_t begin = 0, layer = 0; begin < total;
-       begin += layer_size, ++layer) {
-    UnitGroupSpec group;
-    group.group_id = "layer" + std::to_string(layer);
-    for (size_t u = begin; u < std::min(total, begin + layer_size); ++u) {
-      group.unit_ids.push_back(static_cast<int>(u));
-    }
-    model.groups.push_back(std::move(group));
+  if (!request_.models.empty() && layer_size > 0) {
+    request_.models.back().group_by_layer = layer_size;
   }
   return *this;
 }
 
 InspectQuery& InspectQuery::Hypotheses(std::vector<HypothesisPtr> hyps) {
-  for (auto& h : hyps) hypotheses_.push_back(std::move(h));
+  for (auto& h : hyps) request_.hypotheses.push_back(std::move(h));
   return *this;
 }
 
 InspectQuery& InspectQuery::Hypothesis(HypothesisPtr hyp) {
-  hypotheses_.push_back(std::move(hyp));
+  request_.hypotheses.push_back(std::move(hyp));
+  return *this;
+}
+
+InspectQuery& InspectQuery::Hypotheses(const std::string& set_name) {
+  request_.hypothesis_sets.push_back(set_name);
   return *this;
 }
 
 InspectQuery& InspectQuery::Using(MeasureFactoryPtr score) {
-  scores_.push_back(std::move(score));
+  request_.measures.push_back(std::move(score));
+  return *this;
+}
+
+InspectQuery& InspectQuery::Using(const std::string& measure_name) {
+  request_.measure_names.push_back(measure_name);
   return *this;
 }
 
 InspectQuery& InspectQuery::Over(const Dataset* dataset) {
-  dataset_ = dataset;
+  request_.dataset = dataset;
+  return *this;
+}
+
+InspectQuery& InspectQuery::Over(const std::string& dataset_name) {
+  request_.dataset_name = dataset_name;
   return *this;
 }
 
 InspectQuery& InspectQuery::WithOptions(InspectOptions options) {
-  options_ = options;
+  request_.options = std::move(options);
   return *this;
 }
 
 InspectQuery& InspectQuery::HavingUnitScoreAbove(float threshold) {
-  having_threshold_ = threshold;
-  has_having_ = true;
+  request_.min_abs_unit_score = threshold;
   return *this;
 }
 
 Result<ResultTable> InspectQuery::Execute(RuntimeStats* stats) const {
-  if (models_.empty()) return Status::Invalid("INSPECT requires a model");
-  if (dataset_ == nullptr) {
-    return Status::Invalid("INSPECT requires an OVER dataset");
+  if (catalog_ != nullptr) {
+    return RunInspectRequest(request_, *catalog_, InspectOptions{}, stats);
   }
-  if (hypotheses_.empty()) {
-    return Status::Invalid("INSPECT requires at least one hypothesis");
-  }
-  std::vector<ModelSpec> models = models_;
-  for (auto& model : models) {
-    if (model.extractor == nullptr) {
-      return Status::Invalid("model extractor is null");
-    }
-    if (model.groups.empty()) {
-      model = AllUnitsGroup(model.extractor);
-    }
-  }
-  std::vector<MeasureFactoryPtr> scores = scores_;
-  if (scores.empty()) {
-    // The paper's INSPECT default measure is correlation.
-    scores.push_back(std::make_shared<CorrelationScore>("pearson"));
-  }
-  // Pre-flight the hypothesis output format (paper §4.1: "output formats
-  // are checked during execution"): every hypothesis must emit one
-  // behavior per record symbol.
-  if (dataset_->num_records() > 0) {
-    const Record& probe = dataset_->record(0);
-    for (const HypothesisPtr& hyp : hypotheses_) {
-      const size_t got = hyp->Eval(probe).size();
-      if (got != dataset_->ns()) {
-        return Status::Invalid(
-            "hypothesis '" + hyp->name() + "' emitted " +
-            std::to_string(got) + " behaviors for a record of " +
-            std::to_string(dataset_->ns()) + " symbols");
-      }
-    }
-  }
-  ResultTable results =
-      Inspect(models, *dataset_, scores, hypotheses_, options_, stats);
-  if (has_having_) {
-    const float threshold = having_threshold_;
-    results = results.Filter([threshold](const ResultRow& row) {
-      return row.unit >= 0 && !std::isnan(row.unit_score) &&
-             std::fabs(row.unit_score) > threshold;
-    });
-  }
-  return results;
+  // Fully inline query: compile against an empty catalog. Name references
+  // (if any) fail with the same descriptive errors a session would give.
+  static const Catalog kEmptyCatalog;
+  return RunInspectRequest(request_, kEmptyCatalog, InspectOptions{}, stats);
 }
 
 }  // namespace deepbase

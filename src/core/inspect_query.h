@@ -7,13 +7,21 @@
 // becomes
 //
 //   InspectQuery()
-//       .Model(&extractor)
+//       .Model(&extractor)                 // or .Model("catalog_name")
 //       .GroupByLayer(hidden_dim)          // or .Group("layer0", units)
-//       .Hypotheses(hyps)
+//       .Hypotheses(hyps)                  // or .Hypotheses("set_name")
 //       .Using(std::make_shared<CorrelationScore>("pearson"))
-//       .Over(&dataset)
+//       .Over(&dataset)                    // or .Over("dataset_name")
 //       .HavingUnitScoreAbove(0.8f)
 //       .Execute();
+//
+// The builder is a thin frontend: it only assembles an InspectRequest.
+// Execute() compiles the request against the bound Catalog (or an empty
+// one when everything is inline) via the shared RunInspectRequest path —
+// the same path used by the textual INSPECT parser, the SQL layer, and
+// InspectionSession. To run through a session (shared behavior store,
+// hypothesis cache, async jobs), pass the builder or its request() to
+// InspectionSession::Inspect / Submit.
 
 #pragma once
 
@@ -21,16 +29,26 @@
 #include <string>
 #include <vector>
 
+#include "core/catalog.h"
 #include "core/engine.h"
 
 namespace deepbase {
 
-/// \brief Fluent builder over Inspect(). Inputs are validated at Execute().
+/// \brief Fluent builder over InspectRequest. Inputs are validated at
+/// Execute() / Compile time.
 class InspectQuery {
  public:
+  InspectQuery() = default;
+  /// \brief Bind the builder to a catalog so Model("name") /
+  /// Hypotheses("set") / Over("dataset") references resolve (not owned).
+  explicit InspectQuery(const Catalog* catalog) : catalog_(catalog) {}
+
   /// \brief Add a model; subsequent Group() calls attach to it. If no
   /// group is added, all units form one group.
   InspectQuery& Model(const Extractor* extractor);
+  /// \brief Add a model by catalog name (requires a bound catalog or
+  /// execution through an InspectionSession).
+  InspectQuery& Model(const std::string& name);
 
   /// \brief Add a named unit group to the most recent model.
   InspectQuery& Group(const std::string& group_id, std::vector<int> units);
@@ -41,25 +59,33 @@ class InspectQuery {
 
   InspectQuery& Hypotheses(std::vector<HypothesisPtr> hyps);
   InspectQuery& Hypothesis(HypothesisPtr hyp);
+  /// \brief Add a registered hypothesis set by catalog name.
+  InspectQuery& Hypotheses(const std::string& set_name);
+
   InspectQuery& Using(MeasureFactoryPtr score);
+  /// \brief Add a measure by registry name (pearson, jaccard, ...).
+  InspectQuery& Using(const std::string& measure_name);
+
   InspectQuery& Over(const Dataset* dataset);
+  /// \brief Reference a registered dataset by catalog name.
+  InspectQuery& Over(const std::string& dataset_name);
+
   InspectQuery& WithOptions(InspectOptions options);
 
   /// \brief HAVING clause on |unit_score| (applied after inspection).
   InspectQuery& HavingUnitScoreAbove(float threshold);
 
-  /// \brief Validate and run. Defaults to Pearson correlation if no
-  /// measure was given (the paper's INSPECT default).
+  /// \brief The assembled declarative request (what Execute compiles).
+  const InspectRequest& request() const { return request_; }
+
+  /// \brief Validate and run through the shared request path. Defaults to
+  /// Pearson correlation if no measure was given (the paper's INSPECT
+  /// default).
   Result<ResultTable> Execute(RuntimeStats* stats = nullptr) const;
 
  private:
-  std::vector<ModelSpec> models_;
-  std::vector<HypothesisPtr> hypotheses_;
-  std::vector<MeasureFactoryPtr> scores_;
-  const Dataset* dataset_ = nullptr;
-  InspectOptions options_;
-  float having_threshold_ = -1.0f;
-  bool has_having_ = false;
+  const Catalog* catalog_ = nullptr;
+  InspectRequest request_;
 };
 
 }  // namespace deepbase

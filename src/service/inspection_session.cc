@@ -1,0 +1,170 @@
+#include "service/inspection_session.h"
+
+#include <utility>
+
+#include "core/inspect_query.h"
+
+namespace deepbase {
+
+namespace {
+
+// Terminal state backing default-constructed (invalid) handles, so every
+// JobHandle member is safe to call even before a Submit().
+internal::JobState& InvalidJobState() {
+  static internal::JobState* state = [] {
+    auto* s = new internal::JobState();
+    s->status = JobStatus::kCancelled;
+    s->result = Status::Invalid("invalid job handle (no job submitted)");
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace
+
+uint64_t JobHandle::id() const { return state_ != nullptr ? state_->id : 0; }
+
+JobStatus JobHandle::Poll() const {
+  internal::JobState& state = state_ != nullptr ? *state_ : InvalidJobState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.status;
+}
+
+bool JobHandle::Done() const {
+  const JobStatus status = Poll();
+  return status == JobStatus::kDone || status == JobStatus::kCancelled;
+}
+
+const Result<ResultTable>& JobHandle::Wait() const {
+  internal::JobState& state = state_ != nullptr ? *state_ : InvalidJobState();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&state] {
+    return state.status == JobStatus::kDone ||
+           state.status == JobStatus::kCancelled;
+  });
+  return *state.result;
+}
+
+void JobHandle::Cancel() {
+  if (state_ == nullptr) return;
+  state_->cancel.store(true, std::memory_order_relaxed);
+}
+
+RuntimeStats JobHandle::Stats() const {
+  internal::JobState& state = state_ != nullptr ? *state_ : InvalidJobState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.stats;
+}
+
+InspectionSession::InspectionSession(SessionConfig config)
+    : config_(std::move(config)) {
+  if (!config_.store_dir.empty()) {
+    store_ = std::make_unique<BehaviorStore>(
+        config_.store_dir, config_.store_memory_budget_bytes);
+  }
+  if (config_.hypothesis_cache_values > 0) {
+    hyp_cache_ =
+        std::make_unique<HypothesisCache>(config_.hypothesis_cache_values);
+  }
+}
+
+ThreadPool* InspectionSession::EnsurePool() {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  return pool_.get();
+}
+
+InspectionSession::~InspectionSession() {
+  // The pool destructor drains the queue and joins, so every outstanding
+  // job reaches a terminal state before the catalog/store/cache go away.
+  pool_.reset();
+}
+
+InspectOptions InspectionSession::EffectiveOptions(
+    const InspectRequest& request) const {
+  InspectOptions options = request.options.value_or(config_.options);
+  if (options.hypothesis_cache == nullptr) {
+    options.hypothesis_cache = hyp_cache_.get();
+  }
+  if (options.behavior_store == nullptr) {
+    options.behavior_store = store_.get();
+  }
+  return options;
+}
+
+Result<ResultTable> InspectionSession::Inspect(const InspectRequest& request,
+                                               RuntimeStats* stats) {
+  InspectRequest effective = request;
+  effective.options = EffectiveOptions(request);
+  return RunInspectRequest(effective, catalog_, config_.options, stats);
+}
+
+Result<ResultTable> InspectionSession::Inspect(const InspectQuery& query,
+                                               RuntimeStats* stats) {
+  return Inspect(query.request(), stats);
+}
+
+JobHandle InspectionSession::Submit(InspectRequest request) {
+  ThreadPool* pool = EnsurePool();
+  auto state = std::make_shared<internal::JobState>();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    state->id = next_job_id_++;
+    jobs_.push_back(state);
+  }
+  pool->Submit([this, state, request = std::move(request)]() mutable {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->cancel.load(std::memory_order_relaxed)) {
+        state->status = JobStatus::kCancelled;
+        state->result = Status::Cancelled(
+            "job " + std::to_string(state->id) +
+            " cancelled before execution");
+        state->cv.notify_all();
+        return;
+      }
+      state->status = JobStatus::kRunning;
+    }
+    InspectRequest effective = std::move(request);
+    InspectOptions options = EffectiveOptions(effective);
+    options.cancel = &state->cancel;
+    effective.options = options;
+    RuntimeStats stats;
+    Result<ResultTable> result =
+        RunInspectRequest(effective, catalog_, config_.options, &stats);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->stats = stats;
+    // Key off what the engine actually observed (stats.cancelled), not a
+    // re-read of the atomic: a Cancel() racing with completion must not
+    // discard a fully computed result.
+    if (stats.cancelled) {
+      state->status = JobStatus::kCancelled;
+      state->result =
+          Status::Cancelled("job " + std::to_string(state->id) +
+                            " cancelled after " +
+                            std::to_string(stats.blocks_processed) +
+                            " blocks");
+    } else {
+      state->status = JobStatus::kDone;
+      state->result = std::move(result);
+    }
+    state->cv.notify_all();
+  });
+  return JobHandle(state);
+}
+
+JobHandle InspectionSession::Submit(const InspectQuery& query) {
+  return Submit(query.request());
+}
+
+std::vector<JobHandle> InspectionSession::Jobs() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  std::vector<JobHandle> handles;
+  handles.reserve(jobs_.size());
+  for (const auto& state : jobs_) handles.push_back(JobHandle(state));
+  return handles;
+}
+
+}  // namespace deepbase

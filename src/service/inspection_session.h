@@ -1,0 +1,176 @@
+// InspectionSession: the single front door for Deep Neural Inspection.
+// A session owns the shared Catalog (models, hypothesis sets, datasets,
+// measures), an optional disk-backed BehaviorStore, a HypothesisCache, and
+// a ThreadPool, and exposes the one inspect() verb of the paper both
+// synchronously and as async jobs:
+//
+//   InspectionSession session({.store_dir = "/tmp/deepbase"});
+//   session.catalog().RegisterModel("toy_lm", &extractor);
+//   session.catalog().RegisterHypotheses("vowels", {is_vowel});
+//   session.catalog().RegisterDataset("words", &dataset);
+//
+//   InspectRequest req;
+//   req.models.push_back({.name = "toy_lm"});
+//   req.hypothesis_sets = {"vowels"};
+//   req.dataset_name = "words";
+//   Result<ResultTable> r = session.Inspect(req);      // sync
+//
+//   JobHandle job = session.Submit(req);               // async
+//   ... job.Poll() / job.Cancel() ...
+//   const Result<ResultTable>& rr = job.Wait();
+//
+// Every frontend (InspectQuery, the textual INSPECT parser, SqlSession)
+// compiles to an InspectRequest against the session's catalog, so results,
+// the behavior store, and the hypothesis cache are shared across all of
+// them — the prerequisite for multi-tenant serving (ROADMAP north star).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/behavior_store.h"
+#include "core/cache.h"
+#include "core/catalog.h"
+#include "util/thread_pool.h"
+
+namespace deepbase {
+
+/// \brief Session construction knobs.
+struct SessionConfig {
+  /// Default engine options for requests that don't carry their own.
+  InspectOptions options;
+  /// Worker threads for async jobs (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Directory for the disk-backed behavior store; empty disables it.
+  /// With a store, re-inspecting a (model, dataset) pair serves unit
+  /// behaviors from memory/disk instead of re-running the model (§6.3).
+  /// Store entries are keyed by (model_id, dataset fingerprint): register
+  /// a retrained model under a fresh id (e.g. "lm@epoch6") so its stale
+  /// behaviors are never served.
+  std::string store_dir;
+  size_t store_memory_budget_bytes = 64ull << 20;
+  /// Shared hypothesis-behavior cache (Figure 9); 0 values disables it.
+  size_t hypothesis_cache_values = size_t{1} << 26;
+};
+
+/// \brief Lifecycle of an async inspection job.
+enum class JobStatus { kQueued, kRunning, kDone, kCancelled };
+
+namespace internal {
+struct JobState {
+  uint64_t id = 0;
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;
+  std::atomic<bool> cancel{false};
+  std::optional<Result<ResultTable>> result;
+  RuntimeStats stats;
+};
+}  // namespace internal
+
+/// \brief Shared handle to an async job submitted via
+/// InspectionSession::Submit. Cheap to copy; all members are safe to call
+/// from any thread.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const;
+
+  /// \brief Non-blocking status probe.
+  JobStatus Poll() const;
+  bool Done() const;
+
+  /// \brief Block until the job finishes (or is cancelled) and return its
+  /// result. Cancelled jobs yield Status kCancelled.
+  const Result<ResultTable>& Wait() const;
+
+  /// \brief Request cooperative cancellation. Queued jobs are dropped;
+  /// running jobs stop at the next block boundary (the same plumbing as
+  /// InspectOptions::time_budget_s / max_blocks).
+  void Cancel();
+
+  /// \brief Per-job engine stats; complete once Done().
+  RuntimeStats Stats() const;
+
+ private:
+  friend class InspectionSession;
+  explicit JobHandle(std::shared_ptr<internal::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::JobState> state_;
+};
+
+class InspectQuery;
+
+/// \brief The facade. Thread-safe: Submit/Inspect may be called
+/// concurrently; jobs share the catalog, store, and hypothesis cache.
+class InspectionSession {
+ public:
+  explicit InspectionSession(SessionConfig config = {});
+  /// Waits for all outstanding jobs.
+  ~InspectionSession();
+
+  InspectionSession(const InspectionSession&) = delete;
+  InspectionSession& operator=(const InspectionSession&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// \brief Session-default engine options (used by requests without their
+  /// own). Mutate between queries, not concurrently with running jobs.
+  InspectOptions* mutable_default_options() { return &config_.options; }
+  const InspectOptions& default_options() const { return config_.options; }
+
+  /// \brief The session's behavior store (nullptr when store_dir was
+  /// empty).
+  BehaviorStore* store() { return store_.get(); }
+  HypothesisCache* hypothesis_cache() { return hyp_cache_.get(); }
+  /// \brief The async worker pool, created lazily by the first Submit()
+  /// (sync-only sessions never spawn threads).
+  ThreadPool* thread_pool() { return EnsurePool(); }
+
+  /// \brief Synchronous inspection: compile against the catalog, serve
+  /// behaviors through the session store/cache, run the engine.
+  Result<ResultTable> Inspect(const InspectRequest& request,
+                              RuntimeStats* stats = nullptr);
+  /// \brief Convenience: run a fluent-builder query through the session.
+  Result<ResultTable> Inspect(const InspectQuery& query,
+                              RuntimeStats* stats = nullptr);
+
+  /// \brief Asynchronous inspection: enqueue on the session pool and
+  /// return a handle with Poll()/Wait()/Cancel() and per-job stats.
+  /// Inline pointers inside the request (extractors, datasets) must stay
+  /// valid until the job completes.
+  JobHandle Submit(InspectRequest request);
+  JobHandle Submit(const InspectQuery& query);
+
+  /// \brief Handles of all jobs ever submitted (newest last).
+  std::vector<JobHandle> Jobs() const;
+
+ private:
+  /// Apply the session substrate (store, cache) to a request's options.
+  InspectOptions EffectiveOptions(const InspectRequest& request) const;
+  /// Create the worker pool on first use.
+  ThreadPool* EnsurePool();
+
+  SessionConfig config_;
+  Catalog catalog_;
+  std::unique_ptr<BehaviorStore> store_;
+  std::unique_ptr<HypothesisCache> hyp_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex jobs_mu_;
+  uint64_t next_job_id_ = 1;
+  std::vector<std::shared_ptr<internal::JobState>> jobs_;
+};
+
+}  // namespace deepbase

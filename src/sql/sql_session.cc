@@ -4,9 +4,16 @@
 #include <cmath>
 #include <set>
 
-#include "core/inspect_parser.h"
-
 namespace deepbase {
+
+SqlSession::SqlSession(InspectOptions options) {
+  SessionConfig config;
+  config.options = std::move(options);
+  owned_session_ = std::make_unique<InspectionSession>(std::move(config));
+  session_ = owned_session_.get();
+}
+
+SqlSession::SqlSession(InspectionSession* session) : session_(session) {}
 
 void SqlSession::RegisterTable(const std::string& name,
                                const DbTable* table) {
@@ -16,35 +23,38 @@ void SqlSession::RegisterTable(const std::string& name,
 void SqlSession::RegisterModel(const std::string& name,
                                const Extractor* extractor, size_t layer_size,
                                std::map<std::string, Datum> attrs) {
-  models_[name] = ModelEntry{extractor, layer_size, std::move(attrs)};
-  catalog_dirty_ = true;
+  catalog().RegisterModel(name, extractor, layer_size, std::move(attrs));
 }
 
 void SqlSession::RegisterHypotheses(const std::string& set_name,
                                     std::vector<HypothesisPtr> hypotheses) {
-  hypothesis_sets_[set_name] = std::move(hypotheses);
-  catalog_dirty_ = true;
+  catalog().RegisterHypotheses(set_name, std::move(hypotheses));
 }
 
 void SqlSession::RegisterDataset(const std::string& name,
                                  const Dataset* dataset) {
-  datasets_[name] = dataset;
-  catalog_dirty_ = true;
+  catalog().RegisterDataset(name, dataset);
 }
 
 void SqlSession::RebuildCatalogTables() {
-  if (!catalog_dirty_) return;
-  catalog_dirty_ = false;
+  const uint64_t version = catalog().version();
+  if (version == catalog_version_seen_) return;
+  catalog_version_seen_ = version;
 
   // models: mid + the union of attribute keys across models.
+  const std::vector<std::string> model_names = catalog().ModelNames();
+  std::map<std::string, CatalogModel> models;
   std::set<std::string> attr_keys;
-  for (const auto& [name, entry] : models_) {
-    for (const auto& [key, value] : entry.attrs) attr_keys.insert(key);
+  for (const std::string& name : model_names) {
+    Result<CatalogModel> entry = catalog().GetModel(name);
+    if (!entry.ok()) continue;  // racing unregister; relation just skips it
+    for (const auto& [key, value] : entry->attrs) attr_keys.insert(key);
+    models.emplace(name, std::move(*entry));
   }
   std::vector<std::string> model_cols = {"mid"};
   model_cols.insert(model_cols.end(), attr_keys.begin(), attr_keys.end());
   models_table_ = DbTable(model_cols);
-  for (const auto& [name, entry] : models_) {
+  for (const auto& [name, entry] : models) {
     DbRow row = {Datum::Str(name)};
     for (const std::string& key : attr_keys) {
       auto it = entry.attrs.find(key);
@@ -55,7 +65,7 @@ void SqlSession::RebuildCatalogTables() {
 
   // units: (mid, uid, layer).
   units_table_ = DbTable({"mid", "uid", "layer"});
-  for (const auto& [name, entry] : models_) {
+  for (const auto& [name, entry] : models) {
     for (size_t u = 0; u < entry.extractor->num_units(); ++u) {
       const double layer =
           entry.layer_size > 0
@@ -69,8 +79,11 @@ void SqlSession::RebuildCatalogTables() {
 
   // hypotheses: (h, name).
   hypotheses_table_ = DbTable({"h", "name"});
-  for (const auto& [set_name, hyps] : hypothesis_sets_) {
-    for (const HypothesisPtr& hyp : hyps) {
+  for (const std::string& set_name : catalog().HypothesisSetNames()) {
+    Result<std::vector<HypothesisPtr>> hyps =
+        catalog().GetHypotheses(set_name);
+    if (!hyps.ok()) continue;
+    for (const HypothesisPtr& hyp : *hyps) {
       DB_CHECK_OK(hypotheses_table_.AppendRow(
           {Datum::Str(hyp->name()), Datum::Str(set_name)}));
     }
@@ -78,9 +91,19 @@ void SqlSession::RebuildCatalogTables() {
 
   // inputs: (did, seq).
   inputs_table_ = DbTable({"did", "seq"});
-  for (const auto& [name, ds] : datasets_) {
+  for (const std::string& name : catalog().DatasetNames()) {
     DB_CHECK_OK(
         inputs_table_.AppendRow({Datum::Str(name), Datum::Str(name)}));
+  }
+}
+
+void SqlSession::RegisterCatalogRelations(DbCatalog* db_catalog) {
+  db_catalog->Register("models", &models_table_);
+  db_catalog->Register("units", &units_table_);
+  db_catalog->Register("hypotheses", &hypotheses_table_);
+  db_catalog->Register("inputs", &inputs_table_);
+  for (const auto& [name, table] : user_tables_) {
+    db_catalog->Register(name, table);
   }
 }
 
@@ -91,17 +114,11 @@ Result<DbTable> SqlSession::Execute(const std::string& sql,
   DB_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSql(text));
   RebuildCatalogTables();
 
-  DbCatalog catalog;
-  catalog.Register("models", &models_table_);
-  catalog.Register("units", &units_table_);
-  catalog.Register("hypotheses", &hypotheses_table_);
-  catalog.Register("inputs", &inputs_table_);
-  for (const auto& [name, table] : user_tables_) {
-    catalog.Register(name, table);
-  }
-  if (explain) return ExplainToTable(stmt, catalog);
+  DbCatalog db_catalog;
+  RegisterCatalogRelations(&db_catalog);
+  if (explain) return ExplainToTable(stmt, db_catalog);
   if (stmt.inspect.has_value()) return ExecuteInspectStmt(stmt, stats);
-  return ExecuteSelect(stmt, catalog);
+  return ExecuteSelect(stmt, db_catalog);
 }
 
 namespace {
@@ -137,15 +154,9 @@ Result<DbTable> SqlSession::ExecuteInspectStmt(const SelectStmt& stmt,
   DB_RETURN_NOT_OK(RequireColumn(clause.over_expr, "OVER reference"));
 
   // 1. FROM/WHERE over the catalog relations.
-  DbCatalog catalog;
-  catalog.Register("models", &models_table_);
-  catalog.Register("units", &units_table_);
-  catalog.Register("hypotheses", &hypotheses_table_);
-  catalog.Register("inputs", &inputs_table_);
-  for (const auto& [name, table] : user_tables_) {
-    catalog.Register(name, table);
-  }
-  DB_ASSIGN_OR_RETURN(DbTable joined, JoinAndFilter(stmt, catalog));
+  DbCatalog db_catalog;
+  RegisterCatalogRelations(&db_catalog);
+  DB_ASSIGN_OR_RETURN(DbTable joined, JoinAndFilter(stmt, db_catalog));
   const DbSchema& schema = joined.schema();
 
   // 2. Resolve the INSPECT references against the joined schema. The unit
@@ -165,15 +176,10 @@ Result<DbTable> SqlSession::ExecuteInspectStmt(const SelectStmt& stmt,
                       AliasPrefix(schema, clause.over_expr->column));
   DB_ASSIGN_OR_RETURN(size_t did_col, schema.Resolve(over_alias + ".did"));
 
-  // 3. Measures (default: correlation, as in the paper).
-  std::vector<MeasureFactoryPtr> measures;
+  // 3. Measure names are resolved by Catalog::Compile (default: pearson).
+  // Validate them eagerly so a bad USING list fails before any extraction.
   for (const std::string& name : clause.measures) {
-    DB_ASSIGN_OR_RETURN(MeasureFactoryPtr m, MeasureByName(name));
-    measures.push_back(std::move(m));
-  }
-  if (measures.empty()) {
-    DB_ASSIGN_OR_RETURN(MeasureFactoryPtr m, MeasureByName("pearson"));
-    measures.push_back(std::move(m));
+    DB_RETURN_NOT_OK(catalog().GetMeasure(name).status());
   }
 
   // 4. Partition the joined rows by the GROUP BY key; collect the units,
@@ -223,35 +229,40 @@ Result<DbTable> SqlSession::ExecuteInspectStmt(const SelectStmt& stmt,
   }
   DbTable s_table(s_schema);
 
+  bool first_group = true;
   for (const GroupSpec& group : groups) {
     if (group.dataset_names.size() != 1) {
       return Status::Invalid(
           "INSPECT requires exactly one dataset per group; got " +
           std::to_string(group.dataset_names.size()));
     }
-    const Dataset* dataset = nullptr;
-    {
-      auto it = datasets_.find(*group.dataset_names.begin());
-      if (it == datasets_.end()) {
-        return Status::NotFound("dataset not registered: " +
-                                *group.dataset_names.begin());
-      }
-      dataset = it->second;
-    }
 
-    // Resolve hypothesis functions through their sets.
-    std::vector<HypothesisPtr> hyps;
+    // Compile this group to a declarative request against the shared
+    // catalog: one model ref per model with the group's units, and each
+    // selected hypothesis function resolved within its own set (a name
+    // duplicated across sets must not resolve to another set's
+    // implementation, so the functions go in inline rather than as a
+    // set-plus-filter reference).
+    InspectRequest request;
+    for (const auto& [mid, uids] : group.units_by_model) {
+      InspectRequest::ModelRef ref;
+      ref.name = mid;
+      UnitGroupSpec ugroup;
+      ugroup.group_id = "sql_group";
+      ugroup.unit_ids.assign(uids.begin(), uids.end());
+      ref.groups.push_back(std::move(ugroup));
+      request.models.push_back(std::move(ref));
+    }
     std::set<std::string> seen_hyp_names;
     for (const auto& [set_name, fn_name] : group.hyps) {
-      auto set_it = hypothesis_sets_.find(set_name);
-      if (set_it == hypothesis_sets_.end()) {
-        return Status::NotFound("hypothesis set not registered: " +
-                                set_name);
-      }
+      DB_ASSIGN_OR_RETURN(std::vector<HypothesisPtr> set,
+                          catalog().GetHypotheses(set_name));
       bool found = false;
-      for (const HypothesisPtr& hyp : set_it->second) {
+      for (const HypothesisPtr& hyp : set) {
         if (hyp->name() == fn_name) {
-          if (seen_hyp_names.insert(fn_name).second) hyps.push_back(hyp);
+          if (seen_hyp_names.insert(fn_name).second) {
+            request.hypotheses.push_back(hyp);
+          }
           found = true;
           break;
         }
@@ -261,37 +272,18 @@ Result<DbTable> SqlSession::ExecuteInspectStmt(const SelectStmt& stmt,
                                 "' not found in set '" + set_name + "'");
       }
     }
-
-    // One ModelSpec per model, with the group's units.
-    std::vector<ModelSpec> model_specs;
-    for (const auto& [mid, uids] : group.units_by_model) {
-      auto model_it = models_.find(mid);
-      if (model_it == models_.end()) {
-        return Status::NotFound("model not registered: " + mid);
-      }
-      ModelSpec spec;
-      spec.extractor = model_it->second.extractor;
-      UnitGroupSpec ugroup;
-      ugroup.group_id = "sql_group";
-      ugroup.unit_ids.assign(uids.begin(), uids.end());
-      spec.groups.push_back(std::move(ugroup));
-      model_specs.push_back(std::move(spec));
-    }
+    request.dataset_name = *group.dataset_names.begin();
+    request.measure_names = clause.measures;
 
     RuntimeStats group_stats;
-    ResultTable results =
-        Inspect(model_specs, *dataset, measures, hyps, options_,
-                &group_stats);
+    DB_ASSIGN_OR_RETURN(ResultTable results,
+                        session_->Inspect(request, &group_stats));
     if (stats != nullptr) {
-      stats->unit_extraction_s += group_stats.unit_extraction_s;
-      stats->hyp_extraction_s += group_stats.hyp_extraction_s;
-      stats->inspection_s += group_stats.inspection_s;
-      stats->total_s += group_stats.total_s;
-      stats->blocks_processed += group_stats.blocks_processed;
-      stats->records_processed += group_stats.records_processed;
-      stats->cache_hits += group_stats.cache_hits;
-      stats->cache_misses += group_stats.cache_misses;
+      if (first_group) stats->all_converged = true;  // identity for the
+                                                     // && fold below
+      stats->Accumulate(group_stats);
     }
+    first_group = false;
 
     for (const ResultRow& row : results.rows()) {
       if (row.unit < 0) continue;  // group-level rows are folded into

@@ -1,8 +1,12 @@
-// SqlSession: the Appendix-B integration of DNI into SQL. Models, hidden
-// units, hypotheses, and input datasets are exposed as relations
-// (`models`, `units`, `hypotheses`, `inputs`); the INSPECT clause is
-// evaluated before SELECT and materializes a temporary relation with
-// per-unit affinity scores that later clauses can reference:
+// SqlSession: the Appendix-B integration of DNI into SQL, as a thin
+// frontend over InspectionSession. Models, hidden units, hypotheses, and
+// input datasets live in the session's shared Catalog and are exposed as
+// relations (`models`, `units`, `hypotheses`, `inputs`) generated from it;
+// the INSPECT clause compiles to an InspectRequest per GROUP BY group and
+// executes through the session (sharing its behavior store and hypothesis
+// cache with every other frontend). The clause is evaluated before SELECT
+// and materializes a temporary relation with per-unit affinity scores that
+// later clauses can reference:
 //
 //   SELECT M.epoch, S.uid
 //   INSPECT U.uid AND H.h USING corr OVER D.seq AS S
@@ -22,23 +26,30 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/catalog.h"
 #include "relational/sql_executor.h"
+#include "service/inspection_session.h"
 
 namespace deepbase {
 
 class SqlSession {
  public:
-  explicit SqlSession(InspectOptions options = {})
-      : options_(std::move(options)) {}
+  /// \brief Stand-alone session: owns a private InspectionSession (no
+  /// behavior store; options become the session defaults).
+  explicit SqlSession(InspectOptions options = {});
+
+  /// \brief Frontend over a shared InspectionSession (not owned): the SQL
+  /// layer, the fluent builder, and raw requests then resolve through one
+  /// catalog and share the store/cache.
+  explicit SqlSession(InspectionSession* session);
 
   /// \brief Register a user table for plain SELECT queries.
   void RegisterTable(const std::string& name, const DbTable* table);
 
-  /// \brief Register a model. It appears as a row of `models` with column
-  /// mid = name plus one column per attribute (e.g. epoch); its hidden
-  /// units appear in `units` (mid, uid, layer), where layer = uid /
-  /// layer_size (single layer 0 when layer_size == 0).
+  /// \brief Register a model in the shared catalog. It appears as a row of
+  /// `models` with column mid = name plus one column per attribute (e.g.
+  /// epoch); its hidden units appear in `units` (mid, uid, layer), where
+  /// layer = uid / layer_size (single layer 0 when layer_size == 0).
   void RegisterModel(const std::string& name, const Extractor* extractor,
                      size_t layer_size = 0,
                      std::map<std::string, Datum> attrs = {});
@@ -56,27 +67,28 @@ class SqlSession {
   Result<DbTable> Execute(const std::string& sql,
                           RuntimeStats* stats = nullptr);
 
-  InspectOptions* mutable_options() { return &options_; }
+  InspectionSession* session() { return session_; }
+  Catalog& catalog() { return session_->catalog(); }
+
+  /// \brief The underlying session's default engine options.
+  InspectOptions* mutable_options() {
+    return session_->mutable_default_options();
+  }
 
  private:
-  struct ModelEntry {
-    const Extractor* extractor;
-    size_t layer_size;
-    std::map<std::string, Datum> attrs;
-  };
-
   void RebuildCatalogTables();
+  void RegisterCatalogRelations(DbCatalog* db_catalog);
   Result<DbTable> ExecuteInspectStmt(const SelectStmt& stmt,
                                      RuntimeStats* stats);
 
-  InspectOptions options_;
-  std::map<std::string, ModelEntry> models_;
-  std::map<std::string, std::vector<HypothesisPtr>> hypothesis_sets_;
-  std::map<std::string, const Dataset*> datasets_;
+  std::unique_ptr<InspectionSession> owned_session_;
+  InspectionSession* session_ = nullptr;
+
   std::map<std::string, const DbTable*> user_tables_;
 
-  // Materialized catalog relations (rebuilt on registration changes).
-  bool catalog_dirty_ = true;
+  // Catalog relations, materialized from the shared Catalog and rebuilt
+  // whenever its version changes.
+  uint64_t catalog_version_seen_ = ~uint64_t{0};
   DbTable models_table_;
   DbTable units_table_;
   DbTable hypotheses_table_;

@@ -26,6 +26,8 @@ const char* CodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

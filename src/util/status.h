@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kDataLoss,
+  kCancelled,
 };
 
 /// \brief Outcome of an operation: OK or an error code with a message.
@@ -56,6 +57,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

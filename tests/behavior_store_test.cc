@@ -46,7 +46,7 @@ TEST_F(StoreFixture, PutGetRoundTrip) {
   Result<Matrix> back = store.Get("key1");
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(MaxAbsDiff(*back, m), 0.0f);
-  EXPECT_EQ(store.stats().mem_hits, 1u);  // served from the memory tier
+  EXPECT_EQ(store.mem_hits(), 1u);  // served from the memory tier
 }
 
 TEST_F(StoreFixture, MissingKeyIsNotFound) {
@@ -65,10 +65,10 @@ TEST_F(StoreFixture, SurvivesReopen) {
   Result<Matrix> back = reopened.Get("persisted");
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(MaxAbsDiff(*back, TestMatrix(4, 4, 2)), 0.0f);
-  EXPECT_EQ(reopened.stats().disk_hits, 1u);
+  EXPECT_EQ(reopened.disk_hits(), 1u);
   // Second read hits memory.
   ASSERT_TRUE(reopened.Get("persisted").ok());
-  EXPECT_EQ(reopened.stats().mem_hits, 1u);
+  EXPECT_EQ(reopened.mem_hits(), 1u);
 }
 
 TEST_F(StoreFixture, OverwriteReplacesPayload) {
@@ -91,7 +91,7 @@ TEST_F(StoreFixture, LruEvictsUnderMemoryPressureButDiskServes) {
                     .ok());
   }
   EXPECT_LE(store.memory_bytes(), 9000u);
-  EXPECT_GE(store.stats().evictions, 1u);
+  EXPECT_GE(store.evictions(), 1u);
   // The evicted key still loads (from disk).
   Result<Matrix> k0 = store.Get("k0");
   ASSERT_TRUE(k0.ok());
@@ -103,8 +103,8 @@ TEST_F(StoreFixture, ZeroBudgetDisablesMemoryTier) {
   ASSERT_TRUE(store.Put("k", TestMatrix(4, 4, 3)).ok());
   EXPECT_EQ(store.memory_bytes(), 0u);
   ASSERT_TRUE(store.Get("k").ok());
-  EXPECT_EQ(store.stats().disk_hits, 1u);
-  EXPECT_EQ(store.stats().mem_hits, 0u);
+  EXPECT_EQ(store.disk_hits(), 1u);
+  EXPECT_EQ(store.mem_hits(), 0u);
 }
 
 TEST_F(StoreFixture, CorruptionIsDetected) {
@@ -195,9 +195,9 @@ TEST_F(StoreFixture, MaterializeThenReinspectSkipsExtraction) {
   }
 
   // Re-materializing is a no-op (same key, no second extraction write).
-  const size_t written = store.stats().bytes_written;
+  const size_t written = store.bytes_written();
   ASSERT_TRUE(MaterializeUnitBehaviors(live, ds, &store).ok());
-  EXPECT_EQ(store.stats().bytes_written, written);
+  EXPECT_EQ(store.bytes_written(), written);
 
   // A different dataset gets a different key.
   Dataset other(ds.vocab(), 8);
