@@ -13,6 +13,7 @@
 #include "hypothesis/regex.h"
 #include "measures/independent.h"
 #include "measures/logreg.h"
+#include "measures/scores.h"
 #include "relational/sql_executor.h"
 #include "relational/table.h"
 
@@ -74,6 +75,42 @@ void BM_MergedLogRegProcessBlock(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 512 * heads);
 }
 BENCHMARK(BM_MergedLogRegProcessBlock)->Arg(1)->Arg(8)->Arg(32);
+
+// Whole-job throughput of the materialized (non-streaming) engine path at
+// a given shard count — the intra-job parallelism axis (BlockPipeline).
+// Mergeable measures only, so the whole job rides the shard lanes; scores
+// are deterministic per shard count. Compare Arg(1) vs Arg(8) for the
+// single-job speedup (bounded by the machine's core count).
+void BM_EngineMaterializedSharded(benchmark::State& state) {
+  static const SqlWorld* world = new SqlWorld(
+      BuildSqlWorld(/*level=*/1, /*n_queries=*/96, /*ns=*/48, /*hidden=*/16,
+                    /*layers=*/1, /*epochs=*/0, /*seed=*/17));
+  static const std::vector<HypothesisPtr>* hyps =
+      new std::vector<HypothesisPtr>(SqlHypotheses(&world->grammar, 12));
+  LstmLmExtractor extractor("sql_lm", world->model.get());
+  std::vector<ModelSpec> models = {AllUnitsGroup(&extractor)};
+  std::vector<MeasureFactoryPtr> measures = {
+      std::make_shared<CorrelationScore>("pearson"),
+      std::make_shared<JaccardScore>()};
+  // Shared pool hoisted out of the timed loop so the sharded cells are not
+  // charged per-iteration thread spawn/teardown that Arg(1) never pays.
+  static ThreadPool* pool = new ThreadPool(8);
+  InspectOptions options;
+  options.streaming = false;
+  options.early_stopping = false;
+  options.block_size = 8;
+  options.num_shards = static_cast<size_t>(state.range(0));
+  options.pool = pool;
+  for (auto _ : state) {
+    RuntimeStats stats;
+    benchmark::DoNotOptimize(
+        Inspect(models, world->dataset, measures, *hyps, options, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          world->dataset.num_records() * world->dataset.ns());
+}
+BENCHMARK(BM_EngineMaterializedSharded)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LstmExtraction(benchmark::State& state) {
   const size_t hidden = state.range(0);

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf-trajectory entry point for the intra-job parallel engine: runs the
+# engine benches at 1/2/N shard counts and records the results in
+# BENCH_engine_parallel.json at the repo root (records/s, speedup vs the
+# sequential baseline, per-phase seconds). Also runs the store-reinspection
+# ablation and, when google-benchmark is available, the bench_micro engine
+# cells, so one command captures the whole hot-path picture.
+#
+# Usage: scripts/bench.sh [build_dir] [max_shards]
+#   build_dir   default: build
+#   max_shards  default: 8 (the N in the 1/2/N sweep)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+MAX_SHARDS="${2:-8}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cd "$REPO_ROOT"
+
+echo "== build =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
+      bench_store_reinspect >/dev/null
+if cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro \
+      >/dev/null 2>&1; then
+  HAVE_MICRO=1
+else
+  HAVE_MICRO=0
+fi
+
+echo "== engine parallel (shards 1/2/$MAX_SHARDS) =="
+"$BUILD_DIR/bench/bench_engine_parallel" --shards "$MAX_SHARDS" \
+    --out "$REPO_ROOT/BENCH_engine_parallel.json"
+
+if [ "$HAVE_MICRO" = "1" ]; then
+  echo "== bench_micro engine cells =="
+  "$BUILD_DIR/bench/bench_micro" \
+      --benchmark_filter='BM_EngineMaterializedSharded' \
+      --benchmark_min_time=0.05
+fi
+
+echo "== store reinspection (context) =="
+"$BUILD_DIR/bench/bench_store_reinspect"
+
+echo "OK — results in BENCH_engine_parallel.json"

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify line (configure, build, ctest) plus a
-# smoke run of the quickstart example through the InspectionSession API.
+# CI entry point: the tier-1 verify line (configure, build, ctest), a smoke
+# run of the quickstart example through the InspectionSession API, the
+# ThreadSanitizer build of the concurrency suites (intra-job sharding,
+# session jobs, thread pool, behavior store), and a 2-thread smoke of the
+# parallel-engine bench so regressions in the sharded path fail fast.
 #
-# Usage: scripts/check.sh [build_dir]   (default: build)
+# Usage: scripts/check.sh [build_dir]   (default: build; TSan uses
+#                                        <build_dir>-tsan)
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-build}"
+TSAN_DIR="${BUILD_DIR}-tsan"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cd "$REPO_ROOT"
@@ -23,5 +28,19 @@ echo "== test =="
 
 echo "== smoke: quickstart =="
 "$BUILD_DIR/examples/quickstart" >/dev/null
+
+echo "== tsan: concurrency suites =="
+cmake -B "$TSAN_DIR" -S . -DDEEPBASE_TSAN=ON >/dev/null
+cmake --build "$TSAN_DIR" -j "$JOBS" --target parallel_engine_test \
+      service_test util_test behavior_store_test
+(cd "$TSAN_DIR" &&
+ ctest --output-on-failure -j 1 \
+       -R 'parallel_engine_test|service_test|util_test|behavior_store_test')
+
+echo "== smoke: 2-thread parallel bench =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
+      >/dev/null
+"$BUILD_DIR/bench/bench_engine_parallel" --smoke \
+    --out "$BUILD_DIR/BENCH_engine_parallel_smoke.json" >/dev/null
 
 echo "OK"

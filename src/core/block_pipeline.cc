@@ -1,0 +1,705 @@
+#include "core/block_pipeline.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "core/cache.h"
+#include "util/logging.h"
+
+namespace deepbase {
+
+namespace {
+
+// Upper bound on the effective shard count (replica memory is linear in
+// shards; values above this are clamped with a warning).
+constexpr size_t kMaxShards = 64;
+
+// Error threshold for a measure family (paper §6.2 defaults).
+double EpsilonFor(const MeasureFactory& factory, const InspectOptions& opts) {
+  const std::string& name = factory.name();
+  if (name.rfind("correlation", 0) == 0) return opts.corr_epsilon;
+  if (name.rfind("logreg", 0) == 0) return opts.logreg_epsilon;
+  return opts.default_epsilon;
+}
+
+size_t ResolveShards(const InspectOptions& options) {
+  size_t shards = options.num_shards;
+  if (shards == 0) {
+    shards = options.pool != nullptr ? options.pool->num_threads() : 1;
+  }
+  if (shards > kMaxShards) {
+    // Clamping changes the effective shard count and therefore the
+    // (seed, shards)-keyed determinism contract — say so out loud.
+    DB_LOG(Warn) << "num_shards " << shards << " clamped to " << kMaxShards
+                 << " (see InspectOptions::num_shards); scores follow the "
+                 << "clamped count";
+    shards = kMaxShards;
+  }
+  return std::max<size_t>(shards, 1);
+}
+
+}  // namespace
+
+BlockPipeline::BlockPipeline(const std::vector<ModelSpec>& models,
+                             const Dataset& dataset,
+                             const std::vector<MeasureFactoryPtr>& scores,
+                             const std::vector<HypothesisPtr>& hypotheses,
+                             const InspectOptions& options)
+    : models_(models),
+      dataset_(dataset),
+      hypotheses_(hypotheses),
+      options_(options) {
+  num_shards_ = ResolveShards(options);
+  pool_ = options.pool;
+  if (num_shards_ > 1 && pool_ == nullptr) {
+    owned_pool_ =
+        std::make_unique<ThreadPool>(std::min<size_t>(num_shards_, 16));
+    pool_ = owned_pool_.get();
+  }
+
+  // --- Plan extraction: per model, the union of its groups' units, and per
+  // group the column indices into that union. Groups that cover the whole
+  // extracted union in order are flagged for the zero-copy fast path (no
+  // per-block gather at all — the block matrix is used directly).
+  model_units_.resize(models_.size());
+  group_cols_.resize(models_.size());
+  group_identity_.resize(models_.size());
+  for (size_t m = 0; m < models_.size(); ++m) {
+    std::vector<int> units;
+    for (const auto& group : models_[m].groups) {
+      units.insert(units.end(), group.unit_ids.begin(), group.unit_ids.end());
+    }
+    std::sort(units.begin(), units.end());
+    units.erase(std::unique(units.begin(), units.end()), units.end());
+    model_units_[m] = units;
+    group_cols_[m].resize(models_[m].groups.size());
+    group_identity_[m].resize(models_[m].groups.size());
+    for (size_t g = 0; g < models_[m].groups.size(); ++g) {
+      for (int uid : models_[m].groups[g].unit_ids) {
+        auto it = std::lower_bound(units.begin(), units.end(), uid);
+        DB_DCHECK(it != units.end() && *it == uid);
+        group_cols_[m][g].push_back(static_cast<size_t>(it - units.begin()));
+      }
+      const auto& cols = group_cols_[m][g];
+      bool identity = cols.size() == units.size();
+      for (size_t j = 0; identity && j < cols.size(); ++j) {
+        identity = cols[j] == j;
+      }
+      group_identity_[m][g] = identity;
+    }
+  }
+
+  // --- Plan measures: merged states for mergeable joint measures over
+  // binary hypotheses (when model merging is on), individual Measure
+  // instances for everything else. Pairs whose measure supports
+  // CloneState/MergeFrom ride the shard lanes when num_shards > 1;
+  // everything else (SGD-trained pairs, merged composites) is pinned to
+  // the sequential lane.
+  for (size_t m = 0; m < models_.size(); ++m) {
+    for (size_t g = 0; g < models_[m].groups.size(); ++g) {
+      const size_t nu = models_[m].groups[g].unit_ids.size();
+      for (size_t s = 0; s < scores.size(); ++s) {
+        const MeasureFactory& factory = *scores[s];
+        const double eps = EpsilonFor(factory, options_);
+        std::vector<size_t> mergeable_hyps;
+        for (size_t h = 0; h < hypotheses_.size(); ++h) {
+          const bool binary = hypotheses_[h]->num_classes() == 2;
+          if (options_.model_merging && factory.mergeable() && binary) {
+            mergeable_hyps.push_back(h);
+          } else {
+            PipelinePair pair;
+            pair.model_i = m;
+            pair.group_i = g;
+            pair.score_i = s;
+            pair.hyp_i = h;
+            pair.measure = factory.Create(nu, hypotheses_[h]->num_classes());
+            pair.epsilon = eps;
+            pair.shardable =
+                num_shards_ > 1 &&
+                pair.measure->merge_exactness() != MergeExactness::kNone;
+            if (pair.shardable) {
+              have_shardable_ = true;
+            } else {
+              have_sequential_ = true;
+            }
+            pairs_.push_back(std::move(pair));
+          }
+        }
+        if (!mergeable_hyps.empty()) {
+          PipelineMerged ms;
+          ms.model_i = m;
+          ms.group_i = g;
+          ms.score_i = s;
+          ms.merged = factory.CreateMerged(nu, mergeable_hyps.size());
+          DB_DCHECK(ms.merged != nullptr);
+          ms.hyp_indices = std::move(mergeable_hyps);
+          ms.head_converged.assign(ms.hyp_indices.size(), false);
+          ms.epsilon = eps;
+          merged_.push_back(std::move(ms));
+          have_sequential_ = true;
+        }
+      }
+    }
+  }
+
+  warned_bad_size_ =
+      std::make_unique<std::atomic<bool>[]>(hypotheses_.size());
+}
+
+BlockPipeline::~BlockPipeline() = default;
+
+bool BlockPipeline::CancelRequested() const {
+  return options_.cancel != nullptr &&
+         options_.cancel->load(std::memory_order_relaxed);
+}
+
+bool BlockPipeline::OverBudget(const Stopwatch& watch) const {
+  return watch.Seconds() >= options_.time_budget_s;
+}
+
+void BlockPipeline::ParallelDo(size_t n,
+                               const std::function<void(size_t)>& fn) {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+BlockPipeline::LaneScratch BlockPipeline::MakeScratch() const {
+  LaneScratch scratch;
+  scratch.buf.resize(models_.size());
+  scratch.tag.resize(models_.size());
+  for (size_t m = 0; m < models_.size(); ++m) {
+    scratch.buf[m].resize(models_[m].groups.size());
+    scratch.tag[m].assign(models_[m].groups.size(), 0);
+  }
+  return scratch;
+}
+
+// Extraction of one block: unit behaviors for every model, then hypothesis
+// behaviors in column-major layout (with optional caching). Output formats
+// are checked during execution (paper §4.1): a hypothesis emitting the
+// wrong number of behaviors is normalized (zero-pad / truncate) with a
+// one-time warning, so a misbehaving user function cannot silently corrupt
+// neighboring rows. InspectQuery::Execute additionally pre-flights this as
+// a hard error.
+void BlockPipeline::ExtractInto(const std::vector<size_t>& block,
+                                size_t serial, BlockData* data) {
+  const size_t ns = dataset_.ns();
+  data->serial = serial;
+  data->records = block.size();
+  data->rows = block.size() * ns;
+  Stopwatch watch;
+  data->unit_behaviors.clear();
+  data->unit_behaviors.reserve(models_.size());
+  for (size_t m = 0; m < models_.size(); ++m) {
+    data->unit_behaviors.push_back(
+        models_[m].extractor->ExtractBlock(dataset_, block, model_units_[m]));
+  }
+  data->unit_s = watch.Seconds();
+  watch.Restart();
+  data->hyp_cols.Resize(hypotheses_.size(), data->rows);
+  // Hoisted out of the loops so cache hits reuse its capacity instead of
+  // allocating per record.
+  std::vector<float> behaviors;
+  for (size_t h = 0; h < hypotheses_.size(); ++h) {
+    const HypothesisFn& hyp = *hypotheses_[h];
+    float* const out = data->hyp_cols.row_data(h);
+    for (size_t i = 0; i < block.size(); ++i) {
+      // Lookup copies out of the cache so concurrent jobs sharing one
+      // cache cannot observe an entry being evicted mid-read.
+      const bool cached =
+          options_.hypothesis_cache != nullptr &&
+          options_.hypothesis_cache->Lookup(hyp.name(), block[i], &behaviors);
+      if (!cached) {
+        behaviors = hyp.Eval(dataset_.record(block[i]));
+        if (behaviors.size() != ns) {
+          if (!warned_bad_size_[h].exchange(true,
+                                            std::memory_order_relaxed)) {
+            DB_LOG(Warn)
+                << "hypothesis '" << hyp.name() << "' emitted "
+                << behaviors.size() << " behaviors for a record of " << ns
+                << " symbols; normalizing (zero-pad/truncate)";
+          }
+          behaviors.resize(ns, 0.0f);
+        }
+        if (options_.hypothesis_cache != nullptr) {
+          options_.hypothesis_cache->Put(hyp.name(), block[i], behaviors);
+        }
+      }
+      std::copy(behaviors.begin(), behaviors.end(), out + i * ns);
+    }
+  }
+  data->hyp_s = watch.Seconds();
+}
+
+const Matrix& BlockPipeline::GroupMatrix(const BlockData& data, size_t m,
+                                         size_t g, LaneScratch* scratch) {
+  if (group_identity_[m][g]) return data.unit_behaviors[m];
+  Matrix& buf = scratch->buf[m][g];
+  if (scratch->tag[m][g] != data.serial + 1) {
+    const Matrix& src = data.unit_behaviors[m];
+    const auto& cols = group_cols_[m][g];
+    buf.Resize(src.rows(), cols.size());
+    for (size_t r = 0; r < src.rows(); ++r) {
+      const float* const srow = src.row_data(r);
+      float* const drow = buf.row_data(r);
+      for (size_t j = 0; j < cols.size(); ++j) drow[j] = srow[cols[j]];
+    }
+    scratch->tag[m][g] = data.serial + 1;
+  }
+  return buf;
+}
+
+std::span<const float> BlockPipeline::HypSpan(const BlockData& data,
+                                              size_t h) const {
+  return {data.hyp_cols.row_data(h), data.hyp_cols.cols()};
+}
+
+void BlockPipeline::InspectShardBlock(const BlockData& data, size_t shard,
+                                      LaneScratch* scratch) {
+  for (auto& pair : pairs_) {
+    if (!pair.shardable) continue;
+    if (!pair.shard_converged.empty() && pair.shard_converged[shard]) {
+      continue;
+    }
+    Measure* measure = (shard == 0 || pair.replicas.empty())
+                           ? pair.measure.get()
+                           : pair.replicas[shard].get();
+    const Matrix& units = GroupMatrix(data, pair.model_i, pair.group_i,
+                                      scratch);
+    measure->ProcessBlock(units, HypSpan(data, pair.hyp_i));
+    if (options_.early_stopping && measure->SupportsConvergence() &&
+        measure->ErrorEstimate() < pair.epsilon &&
+        !pair.shard_converged.empty()) {
+      pair.shard_converged[shard] = 1;
+    }
+  }
+}
+
+void BlockPipeline::InspectSequentialBlock(const BlockData& data,
+                                           LaneScratch* scratch,
+                                           bool include_shardable_primary) {
+  for (auto& pair : pairs_) {
+    if (pair.shardable && !include_shardable_primary) continue;
+    if (pair.converged) continue;
+    const Matrix& units = GroupMatrix(data, pair.model_i, pair.group_i,
+                                      scratch);
+    pair.measure->ProcessBlock(units, HypSpan(data, pair.hyp_i));
+    if (options_.early_stopping && pair.measure->SupportsConvergence() &&
+        pair.measure->ErrorEstimate() < pair.epsilon) {
+      pair.converged = true;
+    }
+  }
+  for (auto& ms : merged_) {
+    if (ms.all_converged) continue;
+    const Matrix& units = GroupMatrix(data, ms.model_i, ms.group_i, scratch);
+    // Reused head-column gather (one buffer per merged state, resized in
+    // place — no per-block allocation, satellite of the zero-copy rework).
+    Matrix& hyp_sub = ms.hyp_sub_buf;
+    hyp_sub.Resize(data.rows, ms.hyp_indices.size());
+    for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
+      const float* const src = data.hyp_cols.row_data(ms.hyp_indices[j]);
+      float* const dst = hyp_sub.data() + j;
+      const size_t stride = ms.hyp_indices.size();
+      for (size_t r = 0; r < data.rows; ++r) dst[r * stride] = src[r];
+    }
+    ms.merged->ProcessBlock(units, hyp_sub);
+    if (options_.early_stopping) {
+      bool all_heads = true;
+      for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
+        if (!ms.head_converged[j]) {
+          ms.head_converged[j] = ms.merged->ErrorEstimate(j) < ms.epsilon;
+        }
+        all_heads = all_heads && ms.head_converged[j];
+      }
+      ms.all_converged = all_heads;
+    }
+  }
+}
+
+bool BlockPipeline::SequentialLaneConverged() const {
+  for (const auto& pair : pairs_) {
+    if (!pair.shardable && !pair.converged) return false;
+  }
+  for (const auto& ms : merged_) {
+    if (!ms.all_converged) return false;
+  }
+  return true;
+}
+
+bool BlockPipeline::ShardLaneConverged(size_t shard) const {
+  for (const auto& pair : pairs_) {
+    if (!pair.shardable) continue;
+    if (pair.shard_converged.empty() || !pair.shard_converged[shard]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BlockPipeline::AllConverged() const {
+  for (const auto& pair : pairs_) {
+    if (!pair.FullyConverged()) return false;
+  }
+  for (const auto& ms : merged_) {
+    if (!ms.all_converged) return false;
+  }
+  return !pairs_.empty() || !merged_.empty();
+}
+
+void BlockPipeline::EnsureReplicas() {
+  if (num_shards_ <= 1) return;
+  for (auto& pair : pairs_) {
+    if (!pair.shardable || !pair.replicas.empty()) continue;
+    pair.replicas.resize(num_shards_);  // [0] stays null: primary stands in
+    for (size_t s = 1; s < num_shards_; ++s) {
+      pair.replicas[s] = pair.measure->CloneState();
+      DB_DCHECK(pair.replicas[s] != nullptr);
+    }
+    pair.shard_converged.assign(num_shards_, 0);
+    if (pair.converged) pair.shard_converged[0] = 1;
+  }
+}
+
+void BlockPipeline::MergeReplicas() {
+  for (auto& pair : pairs_) {
+    if (pair.replicas.empty()) continue;
+    // Ascending shard order: deterministic for a fixed shard count.
+    for (size_t s = 1; s < pair.replicas.size(); ++s) {
+      pair.measure->MergeFrom(*pair.replicas[s]);
+    }
+    pair.replicas.clear();
+  }
+}
+
+BlockPipeline::Totals BlockPipeline::Run(const Stopwatch& total_watch) {
+  Totals totals;
+  totals.num_shards = num_shards_;
+  const size_t n_lanes =
+      num_shards_ == 1 ? 1 : num_shards_ + (have_sequential_ ? 1 : 0);
+  totals.lanes.assign(n_lanes, {});
+  if (num_shards_ == 1) {
+    RunSingleLane(total_watch, &totals);
+  } else if (options_.streaming) {
+    RunShardedStreaming(total_watch, &totals);
+  } else {
+    RunShardedMaterialized(total_watch, &totals);
+  }
+  if (num_shards_ > 1) {
+    Stopwatch merge_watch;
+    MergeReplicas();
+    totals.lanes[0].inspection_s += merge_watch.Seconds();
+  }
+  return totals;
+}
+
+// The classic sequential engine loop (paper §5.2), exactly as before the
+// pipeline existed: one lane consumes every block in shuffle order.
+void BlockPipeline::RunSingleLane(const Stopwatch& watch, Totals* totals) {
+  RuntimeStats::Shard& lane = totals->lanes[0];
+  LaneScratch scratch = MakeScratch();
+  const size_t passes = std::max<size_t>(1, options_.passes);
+  size_t serial = 0;
+  bool stopped_early = false;
+
+  auto inspect = [&](const BlockData& data) {
+    Stopwatch inspect_watch;
+    InspectSequentialBlock(data, &scratch, /*include_shardable_primary=*/true);
+    lane.inspection_s += inspect_watch.Seconds();
+    ++totals->blocks_processed;
+    ++lane.blocks_processed;
+    return options_.early_stopping && AllConverged();
+  };
+
+  if (options_.streaming) {
+    // Online extraction (§5.2.3): stop reading the moment scores converge.
+    // Extra passes re-extract with a different shuffle (rare for streaming;
+    // multi-pass workloads normally materialize instead).
+    for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
+      BlockIterator it(&dataset_, options_.block_size,
+                       options_.shuffle_seed + pass);
+      while (it.HasNext() &&
+             totals->blocks_processed < options_.max_blocks &&
+             !OverBudget(watch) && !CancelRequested()) {
+        std::vector<size_t> block = it.NextBlock();
+        BlockData data;
+        ExtractInto(block, serial++, &data);
+        lane.unit_extraction_s += data.unit_s;
+        lane.hyp_extraction_s += data.hyp_s;
+        lane.records_processed += data.records;
+        totals->records_processed += data.records;
+        if (inspect(data)) {
+          stopped_early = true;
+          break;
+        }
+      }
+    }
+  } else {
+    // Full materialization first (naive design, §5.1.2): all behaviors are
+    // extracted regardless of convergence; early stopping (if enabled) can
+    // only save inspection work. Additional passes reuse the materialized
+    // blocks at no extraction cost (the §6.3 multi-pass pattern).
+    std::vector<BlockData> materialized;
+    BlockIterator it(&dataset_, options_.block_size, options_.shuffle_seed);
+    while (it.HasNext() && materialized.size() < options_.max_blocks &&
+           !OverBudget(watch) && !CancelRequested()) {
+      std::vector<size_t> block = it.NextBlock();
+      BlockData data;
+      ExtractInto(block, serial++, &data);
+      lane.unit_extraction_s += data.unit_s;
+      lane.hyp_extraction_s += data.hyp_s;
+      lane.records_processed += data.records;
+      totals->records_processed += data.records;
+      materialized.push_back(std::move(data));
+    }
+    for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
+      for (const BlockData& data : materialized) {
+        if (OverBudget(watch) || CancelRequested()) break;
+        if (inspect(data)) {
+          stopped_early = true;
+          break;
+        }
+      }
+    }
+  }
+  totals->stopped_early = stopped_early;
+}
+
+void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
+                                           Totals* totals) {
+  const size_t S = num_shards_;
+  const size_t passes = std::max<size_t>(1, options_.passes);
+
+  // --- Enumerate blocks (cheap index shuffling only).
+  std::vector<std::vector<size_t>> block_idx;
+  BlockIterator it(&dataset_, options_.block_size, options_.shuffle_seed);
+  while (it.HasNext() && block_idx.size() < options_.max_blocks &&
+         !OverBudget(watch) && !CancelRequested()) {
+    block_idx.push_back(it.NextBlock());
+  }
+  if (block_idx.empty()) return;
+
+  // --- Parallel extraction over blocks. Budget/cancel are re-checked in
+  // the tasks; a truncated block stays empty and is skipped by every lane
+  // (nondeterministic only in the ways budget/cancel always were).
+  std::vector<BlockData> blocks(block_idx.size());
+  ParallelDo(block_idx.size(), [&](size_t b) {
+    if (OverBudget(watch) || CancelRequested()) return;
+    ExtractInto(block_idx[b], b, &blocks[b]);
+  });
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const size_t slot = b == 0 ? 0 : (b - 1) % S;
+    totals->lanes[slot].unit_extraction_s += blocks[b].unit_s;
+    totals->lanes[slot].hyp_extraction_s += blocks[b].hyp_s;
+    totals->records_processed += blocks[b].records;
+  }
+  if (blocks[0].rows == 0) return;  // cancelled before anything ran
+
+  // --- Pass 0, block 0 on the caller: calibrates the primary states
+  // (thresholds, bin edges) that CloneState() hands to every replica.
+  {
+    LaneScratch scratch = MakeScratch();
+    Stopwatch inspect_watch;
+    InspectSequentialBlock(blocks[0], &scratch,
+                           /*include_shardable_primary=*/true);
+    totals->lanes[0].inspection_s += inspect_watch.Seconds();
+    totals->lanes[0].blocks_processed += 1;
+    totals->lanes[0].records_processed += blocks[0].records;
+    if (have_sequential_) {
+      totals->lanes[S].blocks_processed += 1;
+      totals->lanes[S].records_processed += blocks[0].records;
+    }
+  }
+  EnsureReplicas();
+
+  // --- Lanes: every shard (and the sequential lane, when present) runs
+  // its own pass loop without barriers; lane state is private, so the only
+  // synchronization is the final join.
+  const size_t n_lanes = S + (have_sequential_ ? 1 : 0);
+  std::vector<RuntimeStats::Shard> lane_acc(n_lanes);
+  ParallelDo(n_lanes, [&](size_t t) {
+    LaneScratch scratch = MakeScratch();
+    RuntimeStats::Shard& acc = lane_acc[t];
+    bool stop = false;
+    if (t < S) {
+      for (size_t pass = 0; pass < passes && !stop; ++pass) {
+        if (options_.early_stopping && ShardLaneConverged(t)) break;
+        // Shard t owns blocks {b >= 1 : (b-1) % S == t}; shard 0 re-plays
+        // block 0 on passes >= 1 (pass 0 ran it on the caller above).
+        if (pass > 0 && t == 0) {
+          if (OverBudget(watch) || CancelRequested()) break;
+          Stopwatch inspect_watch;
+          InspectShardBlock(blocks[0], 0, &scratch);
+          acc.inspection_s += inspect_watch.Seconds();
+          acc.blocks_processed += 1;
+          acc.records_processed += blocks[0].records;
+        }
+        for (size_t b = t + 1; b < blocks.size(); b += S) {
+          if (OverBudget(watch) || CancelRequested()) {
+            stop = true;
+            break;
+          }
+          if (options_.early_stopping && ShardLaneConverged(t)) break;
+          if (blocks[b].rows == 0) continue;  // truncated by budget/cancel
+          Stopwatch inspect_watch;
+          InspectShardBlock(blocks[b], t, &scratch);
+          acc.inspection_s += inspect_watch.Seconds();
+          acc.blocks_processed += 1;
+          acc.records_processed += blocks[b].records;
+        }
+      }
+    } else {
+      // Sequential lane: non-mergeable pairs + merged composites, all
+      // blocks in global order (bit-exact at any shard count).
+      for (size_t pass = 0; pass < passes && !stop; ++pass) {
+        if (options_.early_stopping && SequentialLaneConverged()) break;
+        for (size_t b = pass == 0 ? 1 : 0; b < blocks.size(); ++b) {
+          if (OverBudget(watch) || CancelRequested()) {
+            stop = true;
+            break;
+          }
+          if (options_.early_stopping && SequentialLaneConverged()) break;
+          if (blocks[b].rows == 0) continue;
+          Stopwatch inspect_watch;
+          InspectSequentialBlock(blocks[b], &scratch,
+                                 /*include_shardable_primary=*/false);
+          acc.inspection_s += inspect_watch.Seconds();
+          acc.blocks_processed += 1;
+          acc.records_processed += blocks[b].records;
+        }
+      }
+    }
+  });
+  for (size_t t = 0; t < n_lanes; ++t) {
+    totals->lanes[t].Accumulate(lane_acc[t]);
+  }
+  size_t shard_dispatch = 0;
+  for (size_t s = 0; s < S; ++s) {
+    shard_dispatch += totals->lanes[s].blocks_processed;
+  }
+  const size_t seq_dispatch =
+      have_sequential_ ? totals->lanes[S].blocks_processed : 0;
+  totals->blocks_processed = std::max(shard_dispatch, seq_dispatch);
+  totals->stopped_early = options_.early_stopping && AllConverged();
+}
+
+void BlockPipeline::RunShardedStreaming(const Stopwatch& watch,
+                                        Totals* totals) {
+  const size_t S = num_shards_;
+  const size_t passes = std::max<size_t>(1, options_.passes);
+  const size_t n_lanes = S + (have_sequential_ ? 1 : 0);
+  std::vector<LaneScratch> lane_scratch;
+  lane_scratch.reserve(n_lanes);
+  for (size_t t = 0; t < n_lanes; ++t) lane_scratch.push_back(MakeScratch());
+  std::vector<RuntimeStats::Shard> lane_acc(n_lanes);
+  size_t serial = 0;
+  size_t dispatched = 0;
+  bool stopped_early = false;
+
+  for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
+    BlockIterator it(&dataset_, options_.block_size,
+                     options_.shuffle_seed + pass);
+    if (!it.HasNext() || dispatched >= options_.max_blocks ||
+        OverBudget(watch) || CancelRequested()) {
+      break;
+    }
+    // --- Per-pass block 0 on the caller thread. On pass 0 it calibrates
+    // the primaries before the replicas are cloned; on later passes it is
+    // shard 0's block (plus the sequential lane's, like every block).
+    {
+      std::vector<size_t> block = it.NextBlock();
+      BlockData data;
+      ExtractInto(block, serial++, &data);
+      totals->lanes[0].unit_extraction_s += data.unit_s;
+      totals->lanes[0].hyp_extraction_s += data.hyp_s;
+      totals->records_processed += data.records;
+      Stopwatch inspect_watch;
+      if (pass == 0) {
+        InspectSequentialBlock(data, &lane_scratch[0],
+                               /*include_shardable_primary=*/true);
+        EnsureReplicas();
+      } else {
+        InspectSequentialBlock(data, &lane_scratch[0],
+                               /*include_shardable_primary=*/false);
+        InspectShardBlock(data, 0, &lane_scratch[0]);
+      }
+      totals->lanes[0].inspection_s += inspect_watch.Seconds();
+      totals->lanes[0].blocks_processed += 1;
+      totals->lanes[0].records_processed += data.records;
+      if (have_sequential_) {
+        totals->lanes[S].blocks_processed += 1;
+        totals->lanes[S].records_processed += data.records;
+      }
+      ++dispatched;
+      if (options_.early_stopping && AllConverged()) {
+        stopped_early = true;
+        break;
+      }
+    }
+    // --- Waves of up to S blocks: parallel extraction, then one lane per
+    // block (wave offset i is shard i by construction) plus the sequential
+    // lane over the whole wave in order. Early stopping and the time
+    // budget are enforced at wave boundaries.
+    std::vector<std::vector<size_t>> wave_idx;
+    std::vector<BlockData> wave(S);
+    while (!stopped_early && it.HasNext() &&
+           dispatched < options_.max_blocks && !OverBudget(watch) &&
+           !CancelRequested()) {
+      wave_idx.clear();
+      while (wave_idx.size() < S && it.HasNext() &&
+             dispatched + wave_idx.size() < options_.max_blocks) {
+        wave_idx.push_back(it.NextBlock());
+      }
+      if (wave_idx.empty()) break;
+      const size_t wn = wave_idx.size();
+      const size_t base_serial = serial;
+      serial += wn;
+      ParallelDo(wn, [&](size_t i) {
+        ExtractInto(wave_idx[i], base_serial + i, &wave[i]);
+      });
+      for (size_t i = 0; i < wn; ++i) {
+        totals->lanes[i].unit_extraction_s += wave[i].unit_s;
+        totals->lanes[i].hyp_extraction_s += wave[i].hyp_s;
+        totals->records_processed += wave[i].records;
+      }
+      const size_t tasks = wn + (have_sequential_ ? 1 : 0);
+      ParallelDo(tasks, [&](size_t t) {
+        if (t < wn) {
+          Stopwatch inspect_watch;
+          InspectShardBlock(wave[t], t, &lane_scratch[t]);
+          lane_acc[t].inspection_s += inspect_watch.Seconds();
+          lane_acc[t].blocks_processed += 1;
+          lane_acc[t].records_processed += wave[t].records;
+        } else {
+          Stopwatch inspect_watch;
+          for (size_t i = 0; i < wn; ++i) {
+            InspectSequentialBlock(wave[i], &lane_scratch[S],
+                                   /*include_shardable_primary=*/false);
+            lane_acc[S].blocks_processed += 1;
+            lane_acc[S].records_processed += wave[i].records;
+          }
+          lane_acc[S].inspection_s += inspect_watch.Seconds();
+        }
+      });
+      dispatched += wn;
+      if (options_.early_stopping && AllConverged()) stopped_early = true;
+    }
+  }
+  for (size_t t = 0; t < n_lanes; ++t) {
+    totals->lanes[t].Accumulate(lane_acc[t]);
+  }
+  size_t shard_dispatch = 0;
+  for (size_t s = 0; s < S; ++s) {
+    shard_dispatch += totals->lanes[s].blocks_processed;
+  }
+  const size_t seq_dispatch =
+      have_sequential_ ? totals->lanes[S].blocks_processed : 0;
+  totals->blocks_processed = std::max(shard_dispatch, seq_dispatch);
+  totals->stopped_early =
+      stopped_early || (options_.early_stopping && AllConverged());
+}
+
+}  // namespace deepbase

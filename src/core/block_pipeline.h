@@ -1,0 +1,196 @@
+// BlockPipeline: the engine's block-loop executor, and the codebase's
+// first intra-job scale axis. One inspection job's blocks are fanned out
+// over the session ThreadPool (extraction in parallel, inspection across
+// shard lanes), with per-shard measure-state replicas recombined through
+// the Measure::CloneState()/MergeFrom() API.
+//
+// Determinism contract: every behavior depends only on (dataset, shuffle
+// seed, num_shards) — never on the thread count or scheduling. Blocks are
+// assigned to shards by index (block 0 calibrates the primary state, block
+// b > 0 belongs to shard (b-1) % S), each shard consumes its blocks in
+// ascending order, and partials merge in ascending shard order. Measures
+// whose MergeFrom is exact (integer counters) therefore produce identical
+// scores at any shard count; FP moment-sum measures agree up to rounding;
+// measures without merge support (SGD-trained) are pinned to a sequential
+// lane that consumes all blocks in global order and thus stay bit-exact at
+// every shard count.
+//
+// Lanes (num_shards = S > 1):
+//   shard lane s   — mergeable pairs' replica s over the shard's blocks
+//   sequential lane — non-mergeable pairs + merged (composite) measures,
+//                     all blocks in global order
+// With S == 1 everything runs on the single legacy lane, preserving the
+// pre-pipeline engine semantics exactly.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "hypothesis/hypothesis.h"
+#include "measures/measure.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace deepbase {
+
+/// \brief Incremental state for one (model, group, measure, hypothesis)
+/// pair. `measure` is the primary (shard-0) state; `replicas[s]` (s >= 1)
+/// are the shard clones of a sharded run, merged back into `measure` when
+/// the pipeline finishes.
+struct PipelinePair {
+  size_t model_i = 0, group_i = 0, score_i = 0, hyp_i = 0;
+  std::unique_ptr<Measure> measure;
+  std::vector<std::unique_ptr<Measure>> replicas;  // [0] unused (= primary)
+  double epsilon = 0;
+  bool shardable = false;
+  /// Sequential-lane convergence flag (also the S == 1 flag).
+  bool converged = false;
+  /// Per-shard convergence flags (bytes, not vector<bool>: shards write
+  /// their own element concurrently).
+  std::vector<unsigned char> shard_converged;
+
+  bool FullyConverged() const {
+    if (!shardable) return converged;
+    if (shard_converged.empty()) return converged;
+    for (unsigned char c : shard_converged) {
+      if (!c) return false;
+    }
+    return true;
+  }
+};
+
+/// \brief Incremental state for one merged (composite-model) measure over
+/// several binary hypotheses. Always runs on the sequential lane: merged
+/// training is SGD-ordered. `hyp_sub_buf` is the reused per-block gather
+/// of the heads' hypothesis columns (no per-block allocation).
+struct PipelineMerged {
+  size_t model_i = 0, group_i = 0, score_i = 0;
+  std::unique_ptr<MergedMeasure> merged;
+  std::vector<size_t> hyp_indices;  // indices into the hypothesis list
+  std::vector<bool> head_converged;
+  double epsilon = 0;
+  bool all_converged = false;
+  Matrix hyp_sub_buf;
+};
+
+/// \brief Executes the block loop of one inspection (streaming or
+/// materialized) across extraction + shard lanes. Owns the measure states;
+/// the engine assembles the result relation from pairs()/merged_states()
+/// after Run().
+class BlockPipeline {
+ public:
+  /// \brief Per-lane runtime totals, plus overall flags.
+  struct Totals {
+    /// One entry per shard lane; when a sequential lane ran (non-mergeable
+    /// or merged measures present at S > 1), one extra trailing entry
+    /// carries it. With S == 1 there is exactly one entry.
+    std::vector<RuntimeStats::Shard> lanes;
+    size_t num_shards = 1;
+    size_t blocks_processed = 0;   // block-inspection dispatches (see engine.h)
+    size_t records_processed = 0;  // records pulled from the iterator
+    bool stopped_early = false;
+  };
+
+  BlockPipeline(const std::vector<ModelSpec>& models, const Dataset& dataset,
+                const std::vector<MeasureFactoryPtr>& scores,
+                const std::vector<HypothesisPtr>& hypotheses,
+                const InspectOptions& options);
+  ~BlockPipeline();
+
+  BlockPipeline(const BlockPipeline&) = delete;
+  BlockPipeline& operator=(const BlockPipeline&) = delete;
+
+  /// \brief Effective shard count (options.num_shards resolved against the
+  /// pool; see InspectOptions::num_shards).
+  size_t num_shards() const { return num_shards_; }
+
+  /// \brief Run the full block loop. `total_watch` is the job's wall clock
+  /// (shared with the engine's time-budget enforcement).
+  Totals Run(const Stopwatch& total_watch);
+
+  /// \brief True when every measure converged (valid after Run()).
+  bool AllConverged() const;
+
+  const std::vector<PipelinePair>& pairs() const { return pairs_; }
+  const std::vector<PipelineMerged>& merged_states() const { return merged_; }
+
+ private:
+  /// One extracted block: unit behaviors per model plus the hypothesis
+  /// behaviors in column-major layout (row h = hypothesis h's behaviors,
+  /// contiguous — the zero-copy span handed to Measure::ProcessBlock).
+  struct BlockData {
+    std::vector<Matrix> unit_behaviors;
+    Matrix hyp_cols;  // |H| × rows
+    size_t rows = 0;
+    size_t records = 0;
+    size_t serial = 0;  // unique per extracted block (scratch-cache tag)
+    double unit_s = 0, hyp_s = 0;
+  };
+
+  /// Per-lane scratch: reused (model, group) gather buffers, tagged by the
+  /// block serial they were last filled for. Each lane owns its scratch, so
+  /// gathers are race-free and allocation-free across blocks.
+  struct LaneScratch {
+    std::vector<std::vector<Matrix>> buf;
+    std::vector<std::vector<size_t>> tag;  // serial + 1; 0 = empty
+  };
+
+  bool CancelRequested() const;
+  bool OverBudget(const Stopwatch& watch) const;
+  void ParallelDo(size_t n, const std::function<void(size_t)>& fn);
+
+  LaneScratch MakeScratch() const;
+  void ExtractInto(const std::vector<size_t>& block, size_t serial,
+                   BlockData* data);
+  const Matrix& GroupMatrix(const BlockData& data, size_t m, size_t g,
+                            LaneScratch* scratch);
+  std::span<const float> HypSpan(const BlockData& data, size_t h) const;
+
+  /// Feed one block to a shardable pair's shard-`s` replica (s == 0 is the
+  /// primary). Returns via flags; respects early stopping.
+  void InspectShardBlock(const BlockData& data, size_t shard,
+                         LaneScratch* scratch);
+  /// Feed one block to the sequential-lane states (non-shardable pairs and
+  /// merged measures); with `include_shardable_primary`, also the primaries
+  /// (S == 1 single lane and the per-pass calibration block).
+  void InspectSequentialBlock(const BlockData& data, LaneScratch* scratch,
+                              bool include_shardable_primary);
+  bool SequentialLaneConverged() const;
+  bool ShardLaneConverged(size_t shard) const;
+
+  void EnsureReplicas();
+  void MergeReplicas();
+
+  void RunSingleLane(const Stopwatch& watch, Totals* totals);
+  void RunShardedMaterialized(const Stopwatch& watch, Totals* totals);
+  void RunShardedStreaming(const Stopwatch& watch, Totals* totals);
+
+  const std::vector<ModelSpec>& models_;
+  const Dataset& dataset_;
+  const std::vector<HypothesisPtr>& hypotheses_;
+  const InspectOptions& options_;
+
+  // Extraction plan: per model the union of its groups' units; per group
+  // the column indices into that union, with identity gathers detected so
+  // whole-model groups are served zero-copy from the block matrix.
+  std::vector<std::vector<int>> model_units_;
+  std::vector<std::vector<std::vector<size_t>>> group_cols_;
+  std::vector<std::vector<bool>> group_identity_;
+
+  std::vector<PipelinePair> pairs_;
+  std::vector<PipelineMerged> merged_;
+  bool have_shardable_ = false;
+  bool have_sequential_ = false;
+
+  size_t num_shards_ = 1;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+
+  std::unique_ptr<std::atomic<bool>[]> warned_bad_size_;
+};
+
+}  // namespace deepbase

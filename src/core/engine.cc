@@ -4,10 +4,19 @@
 #include <memory>
 
 #include "core/behavior_store.h"
+#include "core/block_pipeline.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace deepbase {
+
+void RuntimeStats::Shard::Accumulate(const Shard& other) {
+  unit_extraction_s += other.unit_extraction_s;
+  hyp_extraction_s += other.hyp_extraction_s;
+  inspection_s += other.inspection_s;
+  blocks_processed += other.blocks_processed;
+  records_processed += other.records_processed;
+}
 
 void RuntimeStats::Accumulate(const RuntimeStats& other) {
   unit_extraction_s += other.unit_extraction_s;
@@ -23,42 +32,31 @@ void RuntimeStats::Accumulate(const RuntimeStats& other) {
   store_misses += other.store_misses;
   store_evictions += other.store_evictions;
   store_bytes_written += other.store_bytes_written;
+  // Per-lane breakdown: shard lanes merge by index; the trailing
+  // sequential-lane entry (present when shards.size() > num_shards) merges
+  // into our trailing entry, so sequential-lane time is never attributed
+  // to a shard lane even across runs with different lane layouts.
+  const size_t other_shard_lanes =
+      std::min(other.num_shards, other.shards.size());
+  const bool other_has_seq = other.shards.size() > other_shard_lanes;
+  size_t shard_lanes = std::min(num_shards, shards.size());
+  bool has_seq = shards.size() > shard_lanes;
+  if (other_shard_lanes > shard_lanes) {
+    shards.insert(shards.begin() + shard_lanes,
+                  other_shard_lanes - shard_lanes, Shard{});
+    shard_lanes = other_shard_lanes;
+  }
+  for (size_t i = 0; i < other_shard_lanes; ++i) {
+    shards[i].Accumulate(other.shards[i]);
+  }
+  if (other_has_seq) {
+    if (!has_seq) shards.push_back(Shard{});
+    shards.back().Accumulate(other.shards.back());
+  }
+  num_shards = std::max(num_shards, other.num_shards);
   all_converged = all_converged && other.all_converged;
   cancelled = cancelled || other.cancelled;
 }
-
-namespace {
-
-// Error threshold for a measure family (paper §6.2 defaults).
-double EpsilonFor(const MeasureFactory& factory, const InspectOptions& opts) {
-  const std::string& name = factory.name();
-  if (name.rfind("correlation", 0) == 0) return opts.corr_epsilon;
-  if (name.rfind("logreg", 0) == 0) return opts.logreg_epsilon;
-  return opts.default_epsilon;
-}
-
-struct PairState {
-  size_t model_i, group_i, score_i, hyp_i;
-  std::unique_ptr<Measure> measure;
-  double epsilon;
-  bool converged = false;
-};
-
-struct MergedState {
-  size_t model_i, group_i, score_i;
-  std::unique_ptr<MergedMeasure> merged;
-  std::vector<size_t> hyp_indices;  // indices into the hypothesis list
-  std::vector<bool> head_converged;
-  double epsilon;
-  bool all_converged = false;
-};
-
-struct BlockData {
-  std::vector<Matrix> unit_behaviors;  // one per model
-  Matrix hyp_behaviors;                // nsym × |H|
-};
-
-}  // namespace
 
 ModelSpec AllUnitsGroup(const Extractor* extractor,
                         const std::string& group_id) {
@@ -80,7 +78,6 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
                     const std::vector<HypothesisPtr>& hypotheses,
                     const InspectOptions& options, RuntimeStats* stats) {
   Stopwatch total_watch;
-  TimeAccumulator unit_time, hyp_time, inspect_time;
 
   auto cancel_requested = [&options] {
     return options.cancel != nullptr &&
@@ -112,10 +109,11 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
   std::vector<ModelSpec> substituted;
   std::vector<std::unique_ptr<PrecomputedExtractor>> stored_extractors;
   size_t store_mem_hits = 0, store_disk_hits = 0, store_misses = 0;
+  double store_prelude_s = 0;
   if (options.behavior_store != nullptr) {
+    Stopwatch prelude_watch;
     substituted = models_in;
     models_ptr = &substituted;
-    unit_time.Start();
     for (ModelSpec& model : substituted) {
       // Materialization is an upfront full-dataset extraction (the §6.3
       // one-time cost) and is not bounded by time_budget_s/max_blocks;
@@ -150,263 +148,15 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
           std::make_unique<PrecomputedExtractor>(std::move(*stored)));
       model.extractor = stored_extractors.back().get();
     }
-    unit_time.Stop();
+    store_prelude_s = prelude_watch.Seconds();
   }
   const std::vector<ModelSpec>& models = *models_ptr;
 
-  // --- Plan extraction: per model, the union of its groups' units, and per
-  // group the column indices into that union.
-  std::vector<std::vector<int>> model_units(models.size());
-  std::vector<std::vector<std::vector<size_t>>> group_cols(models.size());
-  for (size_t m = 0; m < models.size(); ++m) {
-    std::vector<int> units;
-    for (const auto& group : models[m].groups) {
-      units.insert(units.end(), group.unit_ids.begin(), group.unit_ids.end());
-    }
-    std::sort(units.begin(), units.end());
-    units.erase(std::unique(units.begin(), units.end()), units.end());
-    model_units[m] = units;
-    group_cols[m].resize(models[m].groups.size());
-    for (size_t g = 0; g < models[m].groups.size(); ++g) {
-      for (int uid : models[m].groups[g].unit_ids) {
-        auto it = std::lower_bound(units.begin(), units.end(), uid);
-        DB_DCHECK(it != units.end() && *it == uid);
-        group_cols[m][g].push_back(
-            static_cast<size_t>(it - units.begin()));
-      }
-    }
-  }
-
-  // --- Plan measures: merged states for mergeable joint measures over
-  // binary hypotheses (when model merging is on), individual Measure
-  // instances for everything else.
-  std::vector<PairState> pairs;
-  std::vector<MergedState> merged_states;
-  for (size_t m = 0; m < models.size(); ++m) {
-    for (size_t g = 0; g < models[m].groups.size(); ++g) {
-      const size_t nu = models[m].groups[g].unit_ids.size();
-      for (size_t s = 0; s < scores.size(); ++s) {
-        const MeasureFactory& factory = *scores[s];
-        const double eps = EpsilonFor(factory, options);
-        std::vector<size_t> mergeable_hyps;
-        for (size_t h = 0; h < hypotheses.size(); ++h) {
-          const bool binary = hypotheses[h]->num_classes() == 2;
-          if (options.model_merging && factory.mergeable() && binary) {
-            mergeable_hyps.push_back(h);
-          } else {
-            PairState pair;
-            pair.model_i = m;
-            pair.group_i = g;
-            pair.score_i = s;
-            pair.hyp_i = h;
-            pair.measure = factory.Create(nu, hypotheses[h]->num_classes());
-            pair.epsilon = eps;
-            pairs.push_back(std::move(pair));
-          }
-        }
-        if (!mergeable_hyps.empty()) {
-          MergedState ms;
-          ms.model_i = m;
-          ms.group_i = g;
-          ms.score_i = s;
-          ms.merged = factory.CreateMerged(nu, mergeable_hyps.size());
-          DB_DCHECK(ms.merged != nullptr);
-          ms.hyp_indices = std::move(mergeable_hyps);
-          ms.head_converged.assign(ms.hyp_indices.size(), false);
-          ms.epsilon = eps;
-          merged_states.push_back(std::move(ms));
-        }
-      }
-    }
-  }
-
-  auto all_converged = [&] {
-    for (const auto& pair : pairs) {
-      if (!pair.converged) return false;
-    }
-    for (const auto& ms : merged_states) {
-      if (!ms.all_converged) return false;
-    }
-    return !pairs.empty() || !merged_states.empty();
-  };
-
-  size_t records_processed = 0;
-
-  // --- Hypothesis extraction for one block (with optional caching).
-  // Output formats are checked during execution (paper §4.1): a hypothesis
-  // emitting the wrong number of behaviors is normalized (zero-pad /
-  // truncate) with a one-time warning, so a misbehaving user function
-  // cannot silently corrupt neighboring rows. InspectQuery::Execute
-  // additionally pre-flights this as a hard error.
-  std::vector<bool> warned_bad_size(hypotheses.size(), false);
-  auto extract_hypotheses = [&](const std::vector<size_t>& block) {
-    const size_t ns = dataset.ns();
-    Matrix hyp_m(block.size() * ns, hypotheses.size());
-    // Hoisted out of the loops so cache hits reuse its capacity instead
-    // of allocating per record.
-    std::vector<float> behaviors;
-    for (size_t h = 0; h < hypotheses.size(); ++h) {
-      const HypothesisFn& hyp = *hypotheses[h];
-      for (size_t i = 0; i < block.size(); ++i) {
-        // Lookup copies out of the cache so concurrent jobs sharing one
-        // cache cannot observe an entry being evicted mid-read.
-        const bool cached =
-            options.hypothesis_cache != nullptr &&
-            options.hypothesis_cache->Lookup(hyp.name(), block[i],
-                                             &behaviors);
-        if (!cached) {
-          behaviors = hyp.Eval(dataset.record(block[i]));
-          if (behaviors.size() != ns) {
-            if (!warned_bad_size[h]) {
-              DB_LOG(Warn)
-                  << "hypothesis '" << hyp.name() << "' emitted "
-                  << behaviors.size() << " behaviors for a record of " << ns
-                  << " symbols; normalizing (zero-pad/truncate)";
-              warned_bad_size[h] = true;
-            }
-            behaviors.resize(ns, 0.0f);
-          }
-          if (options.hypothesis_cache != nullptr) {
-            options.hypothesis_cache->Put(hyp.name(), block[i], behaviors);
-          }
-        }
-        for (size_t t = 0; t < ns; ++t) {
-          hyp_m(i * ns + t, h) = behaviors[t];
-        }
-      }
-    }
-    return hyp_m;
-  };
-
-  // --- Inspection of one block; returns true if all scores converged.
-  auto inspect_block = [&](const BlockData& data) {
-    // Gather per-(model, group) behavior submatrices once per block.
-    std::vector<std::vector<Matrix>> group_behaviors(models.size());
-    for (size_t m = 0; m < models.size(); ++m) {
-      group_behaviors[m].resize(models[m].groups.size());
-    }
-    auto group_matrix = [&](size_t m, size_t g) -> const Matrix& {
-      Matrix& cached = group_behaviors[m][g];
-      if (cached.empty()) {
-        cached = data.unit_behaviors[m].GatherCols(group_cols[m][g]);
-      }
-      return cached;
-    };
-
-    for (auto& pair : pairs) {
-      if (pair.converged) continue;
-      const Matrix& units = group_matrix(pair.model_i, pair.group_i);
-      std::vector<float> hyp_col(data.hyp_behaviors.rows());
-      for (size_t r = 0; r < hyp_col.size(); ++r) {
-        hyp_col[r] = data.hyp_behaviors(r, pair.hyp_i);
-      }
-      pair.measure->ProcessBlock(units, hyp_col);
-      if (options.early_stopping && pair.measure->SupportsConvergence() &&
-          pair.measure->ErrorEstimate() < pair.epsilon) {
-        pair.converged = true;
-      }
-    }
-    for (auto& ms : merged_states) {
-      if (ms.all_converged) continue;
-      const Matrix& units = group_matrix(ms.model_i, ms.group_i);
-      Matrix hyp_sub(data.hyp_behaviors.rows(), ms.hyp_indices.size());
-      for (size_t r = 0; r < hyp_sub.rows(); ++r) {
-        for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
-          hyp_sub(r, j) = data.hyp_behaviors(r, ms.hyp_indices[j]);
-        }
-      }
-      ms.merged->ProcessBlock(units, hyp_sub);
-      if (options.early_stopping) {
-        bool all_heads = true;
-        for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
-          if (!ms.head_converged[j]) {
-            ms.head_converged[j] = ms.merged->ErrorEstimate(j) < ms.epsilon;
-          }
-          all_heads = all_heads && ms.head_converged[j];
-        }
-        ms.all_converged = all_heads;
-      }
-    }
-    return options.early_stopping && all_converged();
-  };
-
-  size_t blocks_processed = 0;
-  bool stopped_early = false;
-  const size_t passes = std::max<size_t>(1, options.passes);
-
-  if (options.streaming) {
-    // Online extraction (§5.2.3): stop reading the moment scores converge.
-    // Extra passes re-extract with a different shuffle (rare for streaming;
-    // multi-pass workloads normally materialize instead).
-    for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
-      BlockIterator it(&dataset, options.block_size,
-                       options.shuffle_seed + pass);
-      while (it.HasNext() && blocks_processed < options.max_blocks &&
-             total_watch.Seconds() < options.time_budget_s &&
-             !cancel_requested()) {
-        std::vector<size_t> block = it.NextBlock();
-        records_processed += block.size();
-        BlockData data;
-        unit_time.Start();
-        for (size_t m = 0; m < models.size(); ++m) {
-          data.unit_behaviors.push_back(models[m].extractor->ExtractBlock(
-              dataset, block, model_units[m]));
-        }
-        unit_time.Stop();
-        hyp_time.Start();
-        data.hyp_behaviors = extract_hypotheses(block);
-        hyp_time.Stop();
-        inspect_time.Start();
-        const bool done = inspect_block(data);
-        inspect_time.Stop();
-        ++blocks_processed;
-        if (done) {
-          stopped_early = true;
-          break;
-        }
-      }
-    }
-  } else {
-    // Full materialization first (naive design, §5.1.2): all behaviors are
-    // extracted regardless of convergence; early stopping (if enabled) can
-    // only save inspection work. Additional passes reuse the materialized
-    // blocks at no extraction cost (the §6.3 multi-pass pattern).
-    std::vector<BlockData> materialized;
-    BlockIterator it(&dataset, options.block_size, options.shuffle_seed);
-    while (it.HasNext() && materialized.size() < options.max_blocks &&
-           total_watch.Seconds() < options.time_budget_s &&
-           !cancel_requested()) {
-      std::vector<size_t> block = it.NextBlock();
-      records_processed += block.size();
-      BlockData data;
-      unit_time.Start();
-      for (size_t m = 0; m < models.size(); ++m) {
-        data.unit_behaviors.push_back(models[m].extractor->ExtractBlock(
-            dataset, block, model_units[m]));
-      }
-      unit_time.Stop();
-      hyp_time.Start();
-      data.hyp_behaviors = extract_hypotheses(block);
-      hyp_time.Stop();
-      materialized.push_back(std::move(data));
-    }
-    for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
-      for (const BlockData& data : materialized) {
-        if (total_watch.Seconds() >= options.time_budget_s ||
-            cancel_requested()) {
-          break;
-        }
-        inspect_time.Start();
-        const bool done = inspect_block(data);
-        inspect_time.Stop();
-        ++blocks_processed;
-        if (done) {
-          stopped_early = true;
-          break;
-        }
-      }
-    }
-  }
+  // --- The block loop: planning, extraction fan-out, shard lanes, and
+  // partial-state merging all live in the pipeline (see block_pipeline.h
+  // for the determinism contract).
+  BlockPipeline pipeline(models, dataset, scores, hypotheses, options);
+  BlockPipeline::Totals totals = pipeline.Run(total_watch);
 
   // --- Assemble the result relation.
   ResultTable results;
@@ -432,11 +182,11 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
       results.Add(row);
     }
   };
-  for (const auto& pair : pairs) {
+  for (const auto& pair : pipeline.pairs()) {
     emit(pair.model_i, pair.group_i, pair.score_i, pair.hyp_i,
          pair.measure->Scores());
   }
-  for (const auto& ms : merged_states) {
+  for (const auto& ms : pipeline.merged_states()) {
     for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
       emit(ms.model_i, ms.group_i, ms.score_i, ms.hyp_indices[j],
            ms.merged->ScoresFor(j));
@@ -444,20 +194,29 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
   }
 
   if (stats != nullptr) {
-    stats->unit_extraction_s = unit_time.Seconds();
-    stats->hyp_extraction_s = hyp_time.Seconds();
-    stats->inspection_s = inspect_time.Seconds();
+    stats->shards = totals.lanes;
+    stats->num_shards = totals.num_shards;
+    // Phase totals are per-lane accumulator sums (CPU-seconds under
+    // sharding); the store prelude counts as unit extraction, as before.
+    stats->unit_extraction_s = store_prelude_s;
+    stats->hyp_extraction_s = 0;
+    stats->inspection_s = 0;
+    for (const RuntimeStats::Shard& lane : totals.lanes) {
+      stats->unit_extraction_s += lane.unit_extraction_s;
+      stats->hyp_extraction_s += lane.hyp_extraction_s;
+      stats->inspection_s += lane.inspection_s;
+    }
     stats->total_s = total_watch.Seconds();
-    stats->blocks_processed = blocks_processed;
-    stats->records_processed = records_processed;
-    stats->all_converged = stopped_early || all_converged();
+    stats->blocks_processed = totals.blocks_processed;
+    stats->records_processed = totals.records_processed;
+    stats->all_converged = totals.stopped_early || pipeline.AllConverged();
     stats->cancelled = cancel_requested();
     if (options.hypothesis_cache != nullptr) {
       stats->cache_hits = options.hypothesis_cache->hits() - cache_hits0;
       stats->cache_misses =
           options.hypothesis_cache->misses() - cache_misses0;
     } else {
-      stats->cache_misses = blocks_processed * hypotheses.size();
+      stats->cache_misses = totals.blocks_processed * hypotheses.size();
     }
     stats->store_mem_hits = store_mem_hits;
     stats->store_disk_hits = store_disk_hits;

@@ -27,6 +27,7 @@
 namespace deepbase {
 
 class BehaviorStore;
+class ThreadPool;
 
 /// \brief A named subset of one model's hidden units (paper Def. 1 takes
 /// unit groups, not whole models, so per-group joint measures are scoped
@@ -86,6 +87,28 @@ struct InspectOptions {
   /// cancellation is honored between models).
   BehaviorStore* behavior_store = nullptr;
 
+  /// Intra-job parallelism: shard this job's block loop into this many
+  /// deterministic lanes (block b > 0 belongs to shard (b-1) % num_shards;
+  /// block 0 calibrates the primary state). 0 = one shard per pool thread
+  /// (sequential when no pool is attached); 1 = the classic sequential
+  /// engine. Scores depend only on (shuffle seed, num_shards), never on
+  /// the thread count: mergeable measures recombine shard partials via
+  /// Measure::MergeFrom in shard order (bit-exact for integer-count
+  /// measures, FP-rounding-exact for moment sums), and non-mergeable
+  /// (SGD-trained) measures run on a sequential lane in global block
+  /// order. Pin num_shards explicitly when bitwise reproducibility across
+  /// machines matters. Values above 64 are clamped (with a warning): the
+  /// effective, clamped count is what keys the determinism contract and
+  /// is reported in RuntimeStats::num_shards.
+  size_t num_shards = 0;
+
+  /// Worker pool shared by extraction fan-out and shard lanes. Typically
+  /// the session pool (jobs and shards share it; ThreadPool::ParallelFor
+  /// is cooperative, so each job's own thread is a guaranteed budget and
+  /// idle capacity is divided first-come). When null and num_shards > 1,
+  /// the engine spins up a transient pool for the call.
+  ThreadPool* pool = nullptr;
+
   /// Hard limits (the paper enforces a 30-minute benchmark timeout).
   double time_budget_s = std::numeric_limits<double>::infinity();
   size_t max_blocks = std::numeric_limits<size_t>::max();
@@ -98,13 +121,38 @@ struct InspectOptions {
 
 /// \brief Engine instrumentation for the runtime-breakdown experiments
 /// (Figure 8) and cache studies (Figure 9).
+///
+/// Concurrency: phase seconds are summed from per-lane accumulators (each
+/// lane times its own work; no shared stopwatch), so under sharding they
+/// are CPU-seconds that may exceed the wall-clock total_s. blocks_processed
+/// counts block-inspection dispatches; under sharding a block inspected by
+/// both a shard lane and the sequential lane is counted once.
 struct RuntimeStats {
+  /// \brief One lane's runtime breakdown (see `shards`).
+  struct Shard {
+    double unit_extraction_s = 0;
+    double hyp_extraction_s = 0;
+    double inspection_s = 0;
+    size_t blocks_processed = 0;
+    size_t records_processed = 0;
+
+    void Accumulate(const Shard& other);
+  };
+
   double unit_extraction_s = 0;
   double hyp_extraction_s = 0;
   double inspection_s = 0;
   double total_s = 0;
   size_t blocks_processed = 0;
   size_t records_processed = 0;
+  /// Per-lane breakdown: entries [0, num_shards) are the shard lanes; when
+  /// non-mergeable or merged measures forced a sequential lane at
+  /// num_shards > 1, one extra trailing entry carries it. Sequential runs
+  /// have exactly one entry.
+  std::vector<Shard> shards;
+  /// Effective shard count of the run (resolved from
+  /// InspectOptions::num_shards).
+  size_t num_shards = 1;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   /// Behavior-store counters for this inspection (the unified view of the

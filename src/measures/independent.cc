@@ -46,6 +46,8 @@ std::vector<double> Ranks(const std::vector<float>& v) {
 
 }  // namespace
 
+using measure_internal::MergePeer;
+
 // ---------------------------------------------------------------- Pearson
 
 PearsonMeasure::PearsonMeasure(size_t num_units, double z_critical)
@@ -56,21 +58,41 @@ PearsonMeasure::PearsonMeasure(size_t num_units, double z_critical)
       sxy_(num_units, 0) {}
 
 void PearsonMeasure::ProcessBlock(const Matrix& units,
-                                  const std::vector<float>& hyp) {
+                                  std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
+  double* const sx = sx_.data();
+  double* const sxx = sxx_.data();
+  double* const sxy = sxy_.data();
   for (size_t r = 0; r < units.rows(); ++r) {
-    const float y = hyp[r];
+    const double y = hyp[r];
     sy_ += y;
-    syy_ += static_cast<double>(y) * y;
-    const float* row = units.row_data(r);
+    syy_ += y * y;
+    const float* const row = units.row_data(r);
     for (size_t u = 0; u < num_units_; ++u) {
       const double x = row[u];
-      sx_[u] += x;
-      sxx_[u] += x * x;
-      sxy_[u] += x * y;
+      sx[u] += x;
+      sxx[u] += x * x;
+      sxy[u] += x * y;
     }
   }
   n_ += units.rows();
+}
+
+std::unique_ptr<Measure> PearsonMeasure::CloneState() const {
+  return std::make_unique<PearsonMeasure>(num_units_, z_critical_);
+}
+
+void PearsonMeasure::MergeFrom(const Measure& other) {
+  const auto& o = MergePeer<PearsonMeasure>(other);
+  DB_DCHECK(o.num_units_ == num_units_);
+  for (size_t u = 0; u < num_units_; ++u) {
+    sx_[u] += o.sx_[u];
+    sxx_[u] += o.sxx_[u];
+    sxy_[u] += o.sxy_[u];
+  }
+  sy_ += o.sy_;
+  syy_ += o.syy_;
+  n_ += o.n_;
 }
 
 double PearsonMeasure::UnitR(size_t u) const {
@@ -106,7 +128,7 @@ SpearmanMeasure::SpearmanMeasure(size_t num_units, size_t max_rows,
       unit_buf_(num_units) {}
 
 void SpearmanMeasure::ProcessBlock(const Matrix& units,
-                                   const std::vector<float>& hyp) {
+                                   std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
   for (size_t r = 0; r < units.rows() && hyp_buf_.size() < max_rows_; ++r) {
     hyp_buf_.push_back(hyp[r]);
@@ -157,19 +179,37 @@ DiffMeansMeasure::DiffMeansMeasure(size_t num_units)
       ss0_(num_units, 0) {}
 
 void DiffMeansMeasure::ProcessBlock(const Matrix& units,
-                                    const std::vector<float>& hyp) {
+                                    std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
   for (size_t r = 0; r < units.rows(); ++r) {
     const bool pos = hyp[r] >= 0.5f;
-    auto& s = pos ? s1_ : s0_;
-    auto& ss = pos ? ss1_ : ss0_;
+    double* const s = (pos ? s1_ : s0_).data();
+    double* const ss = (pos ? ss1_ : ss0_).data();
     (pos ? n1_ : n0_) += 1;
-    const float* row = units.row_data(r);
+    const float* const row = units.row_data(r);
     for (size_t u = 0; u < num_units_; ++u) {
-      s[u] += row[u];
-      ss[u] += static_cast<double>(row[u]) * row[u];
+      const double x = row[u];
+      s[u] += x;
+      ss[u] += x * x;
     }
   }
+}
+
+std::unique_ptr<Measure> DiffMeansMeasure::CloneState() const {
+  return std::make_unique<DiffMeansMeasure>(num_units_);
+}
+
+void DiffMeansMeasure::MergeFrom(const Measure& other) {
+  const auto& o = MergePeer<DiffMeansMeasure>(other);
+  DB_DCHECK(o.num_units_ == num_units_);
+  for (size_t u = 0; u < num_units_; ++u) {
+    s1_[u] += o.s1_[u];
+    ss1_[u] += o.ss1_[u];
+    s0_[u] += o.s0_[u];
+    ss0_[u] += o.ss0_[u];
+  }
+  n1_ += o.n1_;
+  n0_ += o.n0_;
 }
 
 MeasureScores DiffMeansMeasure::Scores() const {
@@ -203,7 +243,7 @@ JaccardMeasure::JaccardMeasure(size_t num_units, double top_quantile)
       uni_(num_units, 0) {}
 
 void JaccardMeasure::ProcessBlock(const Matrix& units,
-                                  const std::vector<float>& hyp) {
+                                  std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
   if (!thresholds_ready_) {
     // Estimate the (1 - q) activation quantile per unit from this block.
@@ -218,16 +258,37 @@ void JaccardMeasure::ProcessBlock(const Matrix& units,
     }
     thresholds_ready_ = true;
   }
+  const float* const th = thresholds_.data();
+  size_t* const inter = inter_.data();
+  size_t* const uni = uni_.data();
   for (size_t r = 0; r < units.rows(); ++r) {
-    const bool label = hyp[r] >= 0.5f;
-    const float* row = units.row_data(r);
+    const size_t label = hyp[r] >= 0.5f ? 1 : 0;
+    const float* const row = units.row_data(r);
     for (size_t u = 0; u < num_units_; ++u) {
-      const bool on = row[u] > thresholds_[u];
-      if (on && label) ++inter_[u];
-      if (on || label) ++uni_[u];
+      const size_t on = row[u] > th[u] ? 1 : 0;
+      inter[u] += on & label;
+      uni[u] += on | label;
     }
   }
   n_ += units.rows();
+}
+
+std::unique_ptr<Measure> JaccardMeasure::CloneState() const {
+  auto clone = std::make_unique<JaccardMeasure>(num_units_, top_quantile_);
+  // Replicas inherit the calibration so all shards binarize identically.
+  clone->thresholds_ = thresholds_;
+  clone->thresholds_ready_ = thresholds_ready_;
+  return clone;
+}
+
+void JaccardMeasure::MergeFrom(const Measure& other) {
+  const auto& o = MergePeer<JaccardMeasure>(other);
+  DB_DCHECK(o.num_units_ == num_units_);
+  for (size_t u = 0; u < num_units_; ++u) {
+    inter_[u] += o.inter_[u];
+    uni_[u] += o.uni_[u];
+  }
+  n_ += o.n_;
 }
 
 MeasureScores JaccardMeasure::Scores() const {
@@ -278,7 +339,7 @@ int MutualInfoMeasure::HypClass(float v) const {
 }
 
 void MutualInfoMeasure::ProcessBlock(const Matrix& units,
-                                     const std::vector<float>& hyp) {
+                                     std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
   if (!edges_ready_) {
     // Quantile bin edges per unit from the first block.
@@ -293,7 +354,7 @@ void MutualInfoMeasure::ProcessBlock(const Matrix& units,
       }
     }
     if (hyp_numeric_) {
-      std::vector<float> hv = hyp;
+      std::vector<float> hv(hyp.begin(), hyp.end());
       std::sort(hv.begin(), hv.end());
       hyp_edges_.clear();
       for (int b = 1; b < num_bins_; ++b) {
@@ -316,6 +377,25 @@ void MutualInfoMeasure::ProcessBlock(const Matrix& units,
     }
   }
   n_ += units.rows();
+}
+
+std::unique_ptr<Measure> MutualInfoMeasure::CloneState() const {
+  auto clone = std::make_unique<MutualInfoMeasure>(
+      num_units_, hyp_numeric_ ? 0 : num_classes_, num_bins_);
+  // Replicas inherit the calibrated bin edges so shard counts are
+  // compatible and MergeFrom stays exact.
+  clone->edges_ = edges_;
+  clone->hyp_edges_ = hyp_edges_;
+  clone->edges_ready_ = edges_ready_;
+  return clone;
+}
+
+void MutualInfoMeasure::MergeFrom(const Measure& other) {
+  const auto& o = MergePeer<MutualInfoMeasure>(other);
+  DB_DCHECK(o.num_units_ == num_units_ && o.num_classes_ == num_classes_ &&
+            o.num_bins_ == num_bins_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  n_ += o.n_;
 }
 
 MeasureScores MutualInfoMeasure::Scores() const {

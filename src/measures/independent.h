@@ -2,6 +2,12 @@
 // correlation, mutual information, difference of means, and Jaccard
 // coefficient — the measures the paper cites from the RNN interpretation
 // literature (§4.3) and implements natively.
+//
+// Most support the shard-merge API (CloneState/MergeFrom): the counting
+// measures (Jaccard, mutual information) merge exactly, the moment-sum
+// measures (Pearson, diff-of-means) merge up to FP re-association.
+// Spearman's bounded sample buffer is consumption-order-dependent, so it
+// stays on the engine's sequential lane instead.
 
 #pragma once
 
@@ -21,9 +27,15 @@ class PearsonMeasure : public Measure {
  public:
   PearsonMeasure(size_t num_units, double z_critical = 1.96);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
+
+  MergeExactness merge_exactness() const override {
+    return MergeExactness::kReassociated;
+  }
+  std::unique_ptr<Measure> CloneState() const override;
+  void MergeFrom(const Measure& other) override;
 
  private:
   double UnitR(size_t u) const;
@@ -37,13 +49,17 @@ class PearsonMeasure : public Measure {
 
 /// \brief Spearman rank correlation per unit, computed over a bounded
 /// sample buffer (ranking is not streamable exactly; the buffer cap is the
-/// documented approximation).
+/// documented approximation). Not shard-mergeable: when the cap binds,
+/// "first max_rows rows" depends on consumption order, and merging
+/// shard-local prefixes would keep a different row subset than sequential
+/// execution — so it runs on the sequential lane and stays bit-exact at
+/// every shard count instead.
 class SpearmanMeasure : public Measure {
  public:
   SpearmanMeasure(size_t num_units, size_t max_rows = 20000,
                   double z_critical = 1.96);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
 
@@ -60,9 +76,15 @@ class DiffMeansMeasure : public Measure {
  public:
   explicit DiffMeansMeasure(size_t num_units);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
+
+  MergeExactness merge_exactness() const override {
+    return MergeExactness::kReassociated;
+  }
+  std::unique_ptr<Measure> CloneState() const override;
+  void MergeFrom(const Measure& other) override;
 
  private:
   size_t num_units_;
@@ -74,14 +96,22 @@ class DiffMeansMeasure : public Measure {
 /// thresholded unit activation and the binary hypothesis — NetDissect's
 /// measure (§4.3, Appendix E). Units are binarized at the per-unit
 /// activation quantile estimated from the first block (NetDissect's
-/// quantile binning).
+/// quantile binning). CloneState() copies the calibrated thresholds, so
+/// shard replicas binarize identically and MergeFrom is exact (integer
+/// counters).
 class JaccardMeasure : public Measure {
  public:
   JaccardMeasure(size_t num_units, double top_quantile = 0.2);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
+
+  MergeExactness merge_exactness() const override {
+    return MergeExactness::kExact;
+  }
+  std::unique_ptr<Measure> CloneState() const override;
+  void MergeFrom(const Measure& other) override;
 
  private:
   size_t num_units_;
@@ -95,13 +125,21 @@ class JaccardMeasure : public Measure {
 /// \brief Mutual information between the quantile-binned unit activation
 /// and the (categorical) hypothesis, in bits. Bin edges are estimated from
 /// the first block. The error estimate is the Miller–Madow bias term.
+/// CloneState() copies the calibrated bin edges; MergeFrom sums the integer
+/// contingency counts, so sharded partials merge exactly.
 class MutualInfoMeasure : public Measure {
  public:
   MutualInfoMeasure(size_t num_units, int num_classes, int num_bins = 4);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
+
+  MergeExactness merge_exactness() const override {
+    return MergeExactness::kExact;
+  }
+  std::unique_ptr<Measure> CloneState() const override;
+  void MergeFrom(const Measure& other) override;
 
  private:
   int HypClass(float v) const;

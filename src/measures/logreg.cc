@@ -126,7 +126,7 @@ double MergedLogRegMeasure::ErrorEstimate(size_t h) const {
 }
 
 void BinaryLogRegMeasure::ProcessBlock(const Matrix& units,
-                                       const std::vector<float>& hyp) {
+                                       std::span<const float> hyp) {
   Matrix hyps(hyp.size(), 1);
   for (size_t r = 0; r < hyp.size(); ++r) hyps(r, 0) = hyp[r];
   core_.ProcessBlock(units, hyps);
@@ -152,7 +152,7 @@ MulticlassLogRegMeasure::MulticlassLogRegMeasure(size_t num_units,
 }
 
 void MulticlassLogRegMeasure::ProcessBlock(const Matrix& units,
-                                           const std::vector<float>& hyp) {
+                                           std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
   std::vector<Matrix*> params = {&w_};
   std::vector<const Matrix*> grads = {&grad_};

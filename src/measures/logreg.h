@@ -65,7 +65,7 @@ class BinaryLogRegMeasure : public Measure {
   BinaryLogRegMeasure(size_t num_units, LogRegOptions opts)
       : core_(num_units, 1, opts) {}
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override { return core_.ScoresFor(0); }
   double ErrorEstimate() const override { return core_.ErrorEstimate(0); }
 
@@ -82,7 +82,7 @@ class MulticlassLogRegMeasure : public Measure {
   MulticlassLogRegMeasure(size_t num_units, int num_classes,
                           LogRegOptions opts);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
 

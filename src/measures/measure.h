@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,35 @@ struct MeasureScores {
   float group_score = std::numeric_limits<float>::quiet_NaN();
 };
 
+/// \brief How exactly a measure's sharded partials recombine (intra-job
+/// parallelism: the engine fans one job's blocks out over shard replicas
+/// and merges the partial states at the end).
+enum class MergeExactness {
+  /// No MergeFrom support: the engine pins the measure to the sequential
+  /// lane, which consumes blocks in global order (SGD-trained measures,
+  /// whose state depends on update order).
+  kNone,
+  /// Merged partials are bit-for-bit equal to sequential accumulation
+  /// (integer contingency counts: Jaccard, mutual information, baselines).
+  kExact,
+  /// Merging re-associates floating-point sums: equal up to FP rounding
+  /// (moment-sum measures: Pearson, difference of means).
+  kReassociated,
+};
+
+class Measure;
+
+namespace measure_internal {
+/// \brief Downcast a MergeFrom peer, aborting on replica/primary type
+/// mismatch — the one checked cast every MergeFrom override starts with.
+template <typename T>
+const T& MergePeer(const Measure& other) {
+  const T* peer = dynamic_cast<const T*>(&other);
+  DB_DCHECK(peer != nullptr && "MergeFrom peer has a different measure type");
+  return *peer;
+}
+}  // namespace measure_internal
+
 /// \brief Stateful incremental computation of one measure for one
 /// (unit group, hypothesis) pair.
 class Measure {
@@ -31,9 +61,11 @@ class Measure {
   virtual ~Measure() = default;
 
   /// \brief Consume one block of behaviors: `units` is (#symbols × #units),
-  /// `hyp` has one hypothesis behavior per symbol row.
+  /// `hyp` has one hypothesis behavior per symbol row. The span is a
+  /// zero-copy view into the block's column-major hypothesis behaviors; it
+  /// is only valid for the duration of the call.
   virtual void ProcessBlock(const Matrix& units,
-                            const std::vector<float>& hyp) = 0;
+                            std::span<const float> hyp) = 0;
 
   /// \brief Current score estimates.
   virtual MeasureScores Scores() const = 0;
@@ -45,6 +77,28 @@ class Measure {
   /// \brief False for measures with no error estimate; the engine then
   /// processes all of D (paper: "Otherwise, DeepBase ignores the threshold").
   virtual bool SupportsConvergence() const { return true; }
+
+  /// \brief Shard-merge support (kNone = sequential-lane only).
+  virtual MergeExactness merge_exactness() const {
+    return MergeExactness::kNone;
+  }
+
+  /// \brief Fresh shard replica: same configuration AND any first-block
+  /// calibration state (activation thresholds, bin edges), but empty
+  /// accumulation. The engine calibrates the primary state on the job's
+  /// first block before cloning, so every replica bins/thresholds behaviors
+  /// identically — the precondition for MergeFrom being meaningful.
+  /// Returns nullptr when merging is unsupported (merge_exactness kNone).
+  virtual std::unique_ptr<Measure> CloneState() const { return nullptr; }
+
+  /// \brief Fold another replica's accumulated state into this one. `other`
+  /// must originate from CloneState() of the same measure (checked). Merge
+  /// order is deterministic in the engine (ascending shard id), so results
+  /// depend only on (shuffle seed, shard count), never on thread timing.
+  virtual void MergeFrom(const Measure& other) {
+    (void)other;
+    DB_DCHECK(false && "MergeFrom unsupported for this measure");
+  }
 };
 
 /// \brief Jointly trained measure over |H| hypotheses sharing one input

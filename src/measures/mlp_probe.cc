@@ -33,8 +33,7 @@ float MlpProbeMeasure::PredictProb(const float* x) const {
   return 1.0f / (1.0f + std::exp(-z));
 }
 
-void MlpProbeMeasure::TrainMinibatch(const Matrix& x,
-                                     const std::vector<float>& y,
+void MlpProbeMeasure::TrainMinibatch(const Matrix& x, std::span<const float> y,
                                      const std::vector<size_t>& rows) {
   const size_t h = opts_.hidden;
   dw1_.Fill(0);
@@ -80,7 +79,7 @@ void MlpProbeMeasure::TrainMinibatch(const Matrix& x,
 }
 
 void MlpProbeMeasure::ProcessBlock(const Matrix& units,
-                                   const std::vector<float>& hyp) {
+                                   std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
   std::vector<size_t> train_rows;
   train_rows.reserve(units.rows());

@@ -38,13 +38,13 @@ class MlpProbeMeasure : public Measure {
  public:
   MlpProbeMeasure(size_t num_units, MlpProbeOptions opts);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
 
  private:
   float PredictProb(const float* x) const;
-  void TrainMinibatch(const Matrix& x, const std::vector<float>& y,
+  void TrainMinibatch(const Matrix& x, std::span<const float> y,
                       const std::vector<size_t>& rows);
   double ValF1() const;
 

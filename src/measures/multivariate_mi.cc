@@ -25,8 +25,34 @@ int MultivariateMiMeasure::HypClass(float v) const {
   return std::clamp(static_cast<int>(v + 0.5f), 0, num_classes_ - 1);
 }
 
+std::unique_ptr<Measure> MultivariateMiMeasure::CloneState() const {
+  auto clone = std::make_unique<MultivariateMiMeasure>(
+      num_units_, num_classes_, joint_units_.size());
+  DB_DCHECK(clone->joint_units_ == joint_units_);
+  // Replicas inherit the calibrated medians so shard counts are compatible.
+  clone->medians_ = medians_;
+  clone->thresholds_ready_ = thresholds_ready_;
+  return clone;
+}
+
+void MultivariateMiMeasure::MergeFrom(const Measure& other) {
+  const auto& o = measure_internal::MergePeer<MultivariateMiMeasure>(other);
+  DB_DCHECK(o.num_units_ == num_units_ && o.num_classes_ == num_classes_ &&
+            o.joint_units_ == joint_units_);
+  for (size_t i = 0; i < joint_counts_.size(); ++i) {
+    joint_counts_[i] += o.joint_counts_[i];
+  }
+  for (size_t i = 0; i < marginal_counts_.size(); ++i) {
+    marginal_counts_[i] += o.marginal_counts_[i];
+  }
+  for (size_t i = 0; i < class_counts_.size(); ++i) {
+    class_counts_[i] += o.class_counts_[i];
+  }
+  n_ += o.n_;
+}
+
 void MultivariateMiMeasure::ProcessBlock(const Matrix& units,
-                                         const std::vector<float>& hyp) {
+                                         std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
   if (!thresholds_ready_) {
     medians_.resize(num_units_);

@@ -21,9 +21,17 @@ class MultivariateMiMeasure : public Measure {
   MultivariateMiMeasure(size_t num_units, int num_classes,
                         size_t max_joint_units = 8);
 
-  void ProcessBlock(const Matrix& units, const std::vector<float>& hyp) override;
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override;
   MeasureScores Scores() const override;
   double ErrorEstimate() const override;
+
+  /// Joint/marginal counts are integers and the binarization thresholds are
+  /// cloned with the state, so sharded partials merge exactly.
+  MergeExactness merge_exactness() const override {
+    return MergeExactness::kExact;
+  }
+  std::unique_ptr<Measure> CloneState() const override;
+  void MergeFrom(const Measure& other) override;
 
  private:
   int HypClass(float v) const;

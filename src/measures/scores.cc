@@ -13,13 +13,24 @@ class NaiveBaselineMeasure : public Measure {
  public:
   explicit NaiveBaselineMeasure(bool majority) : majority_(majority) {}
 
-  void ProcessBlock(const Matrix& units,
-                    const std::vector<float>& hyp) override {
+  void ProcessBlock(const Matrix& units, std::span<const float> hyp) override {
     (void)units;
     for (float y : hyp) {
       ++n_;
       if (y >= 0.5f) ++pos_;
     }
+  }
+
+  MergeExactness merge_exactness() const override {
+    return MergeExactness::kExact;
+  }
+  std::unique_ptr<Measure> CloneState() const override {
+    return std::make_unique<NaiveBaselineMeasure>(majority_);
+  }
+  void MergeFrom(const Measure& other) override {
+    const auto& o = measure_internal::MergePeer<NaiveBaselineMeasure>(other);
+    n_ += o.n_;
+    pos_ += o.pos_;
   }
 
   MeasureScores Scores() const override {

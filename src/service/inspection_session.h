@@ -157,8 +157,13 @@ class InspectionSession {
   std::vector<JobHandle> Jobs() const;
 
  private:
-  /// Apply the session substrate (store, cache) to a request's options.
-  InspectOptions EffectiveOptions(const InspectRequest& request) const;
+  /// Apply the session substrate (store, cache, thread pool) to a
+  /// request's options. Requests that shard their block loop
+  /// (num_shards != 1, including the pool-sized default of 0) get the
+  /// session pool: jobs and shards share it with a fair budget —
+  /// ParallelFor is cooperative, so each job's own thread always makes
+  /// progress and idle workers accelerate whoever queued first.
+  InspectOptions EffectiveOptions(const InspectRequest& request);
   /// Create the worker pool on first use.
   ThreadPool* EnsurePool();
 

@@ -110,6 +110,15 @@ class Matrix {
 
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// \brief Reshape in place to rows×cols. Element values are unspecified
+  /// afterwards; the backing capacity is reused across calls, so per-block
+  /// scratch buffers (engine gather/hypothesis buffers) avoid reallocating.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   std::string ToString(int precision = 3) const;
 
   bool SameShape(const Matrix& o) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace deepbase {
 
@@ -42,23 +43,55 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const size_t chunks = std::min(n, nt * 4);
-  std::atomic<size_t> next_chunk{0};
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  const size_t per_chunk = (n + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    futs.push_back(Submit([&, per_chunk, n] {
-      for (;;) {
-        size_t chunk = next_chunk.fetch_add(1);
-        size_t begin = chunk * per_chunk;
-        if (begin >= n) return;
-        size_t end = std::min(n, begin + per_chunk);
-        for (size_t i = begin; i < end; ++i) fn(i);
+  // Shared claim/completion state. Heap-allocated and captured by value so
+  // helper tasks that only get scheduled after the call returned (because
+  // the caller drained every item itself) find a valid, finished state
+  // instead of dangling stack references.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure, guarded by mu
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->n = n;
+  shared->fn = &fn;  // outlives all claims: the caller blocks on `done`
+  // The worker never throws: a failing item is captured (first one wins)
+  // and still counted in `done`, so the caller can neither hang on a
+  // swallowed helper exception nor unwind while helpers are mid-item.
+  auto worker = [shared] {
+    for (;;) {
+      const size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared->n) return;
+      try {
+        (*shared->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        if (!shared->error) shared->error = std::current_exception();
       }
-    }));
-  }
-  for (auto& f : futs) f.get();
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          shared->n) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+  // Fire-and-forget helpers: idle workers accelerate the loop; busy ones
+  // (or helpers scheduled too late) see next >= n and return immediately.
+  const size_t helpers = std::min(nt, n - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(worker);
+  // The caller always participates, so progress never depends on a free
+  // pool thread — nested ParallelFor from inside a pool task cannot
+  // deadlock.
+  worker();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&shared] {
+    return shared->done.load(std::memory_order_acquire) >= shared->n;
+  });
+  if (shared->error) std::rethrow_exception(shared->error);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -32,7 +32,15 @@ class ThreadPool {
 
   /// \brief Run fn(i) for i in [0, n), blocking until all complete.
   ///
-  /// Work is chunked to limit queueing overhead. Safe to call with n == 0.
+  /// Cooperative: the calling thread claims and runs items alongside the
+  /// pool workers, so ParallelFor may safely be issued from *inside* a pool
+  /// task (e.g. an async inspection job fanning its block loop out over the
+  /// session pool). Even with every worker busy, the caller alone drains
+  /// the items — the pool can never deadlock on nested fan-out, and
+  /// concurrent jobs share idle capacity on a first-come basis while each
+  /// keeps its own calling thread as a guaranteed budget. Safe with n == 0.
+  /// If fn throws, the remaining items still run to completion and the
+  /// first exception is rethrown on the calling thread.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
