@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Perf-trajectory entry point for the intra-job parallel engine: runs the
-# engine benches at 1/2/N shard counts and records the results in
-# BENCH_engine_parallel.json at the repo root (records/s, speedup vs the
-# sequential baseline, per-phase seconds). Also runs the store-reinspection
-# ablation and, when google-benchmark is available, the bench_micro engine
-# cells, so one command captures the whole hot-path picture.
+# Perf-trajectory entry point: runs the engine benches at 1/2/N shard
+# counts (BENCH_engine_parallel.json — records/s, speedup vs the
+# sequential baseline, per-phase seconds) and the multi-query scheduler
+# bench (BENCH_scheduler_batch.json — jobs/s sequential vs batched vs
+# cached, extraction passes saved, result-cache hit rate). Also runs the
+# store-reinspection ablation and, when google-benchmark is available,
+# the bench_micro engine cells, so one command captures the whole
+# hot-path picture.
 #
 # Usage: scripts/bench.sh [build_dir] [max_shards]
 #   build_dir   default: build
@@ -22,7 +24,7 @@ cd "$REPO_ROOT"
 echo "== build =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
-      bench_store_reinspect >/dev/null
+      bench_scheduler_batch bench_store_reinspect >/dev/null
 if cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro \
       >/dev/null 2>&1; then
   HAVE_MICRO=1
@@ -34,6 +36,10 @@ echo "== engine parallel (shards 1/2/$MAX_SHARDS) =="
 "$BUILD_DIR/bench/bench_engine_parallel" --shards "$MAX_SHARDS" \
     --out "$REPO_ROOT/BENCH_engine_parallel.json"
 
+echo "== scheduler batch (sequential vs batched vs cached) =="
+"$BUILD_DIR/bench/bench_scheduler_batch" --jobs 8 \
+    --out "$REPO_ROOT/BENCH_scheduler_batch.json"
+
 if [ "$HAVE_MICRO" = "1" ]; then
   echo "== bench_micro engine cells =="
   "$BUILD_DIR/bench/bench_micro" \
@@ -44,4 +50,4 @@ fi
 echo "== store reinspection (context) =="
 "$BUILD_DIR/bench/bench_store_reinspect"
 
-echo "OK — results in BENCH_engine_parallel.json"
+echo "OK — results in BENCH_engine_parallel.json and BENCH_scheduler_batch.json"

@@ -2,8 +2,9 @@
 # CI entry point: the tier-1 verify line (configure, build, ctest), a smoke
 # run of the quickstart example through the InspectionSession API, the
 # ThreadSanitizer build of the concurrency suites (intra-job sharding,
-# session jobs, thread pool, behavior store), and a 2-thread smoke of the
-# parallel-engine bench so regressions in the sharded path fail fast.
+# session jobs, the multi-query scheduler, thread pool, behavior store),
+# and smokes of the parallel-engine and scheduler benches so regressions
+# in the sharded and fused paths fail fast.
 #
 # Usage: scripts/check.sh [build_dir]   (default: build; TSan uses
 #                                        <build_dir>-tsan)
@@ -32,15 +33,21 @@ echo "== smoke: quickstart =="
 echo "== tsan: concurrency suites =="
 cmake -B "$TSAN_DIR" -S . -DDEEPBASE_TSAN=ON >/dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" --target parallel_engine_test \
-      service_test util_test behavior_store_test
+      service_test scheduler_test util_test behavior_store_test
 (cd "$TSAN_DIR" &&
  ctest --output-on-failure -j 1 \
-       -R 'parallel_engine_test|service_test|util_test|behavior_store_test')
+       -R 'parallel_engine_test|service_test|scheduler_test|util_test|behavior_store_test')
 
 echo "== smoke: 2-thread parallel bench =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
       >/dev/null
 "$BUILD_DIR/bench/bench_engine_parallel" --smoke \
     --out "$BUILD_DIR/BENCH_engine_parallel_smoke.json" >/dev/null
+
+echo "== smoke: scheduler batch bench =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_scheduler_batch \
+      >/dev/null
+"$BUILD_DIR/bench/bench_scheduler_batch" --smoke --jobs 4 \
+    --out "$BUILD_DIR/BENCH_scheduler_batch_smoke.json" >/dev/null
 
 echo "OK"

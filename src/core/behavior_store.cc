@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <limits>
 
 #include "core/extractors.h"
+#include "util/stopwatch.h"
 
 namespace deepbase {
 
 namespace {
+
+// Eviction candidates examined per round: the scan looks at the
+// least-recently-used kEvictScan entries and drops the one with the
+// lowest cost-per-byte (cheapest re-materialization per byte freed), so
+// recency still dominates but an expensive matrix is not dumped while a
+// cheap neighbor of similar age would free the same memory.
+constexpr size_t kEvictScan = 8;
+
+std::string NamespaceOf(const std::string& key) {
+  const size_t colon = key.find(':');
+  return colon == std::string::npos ? key : key.substr(0, colon);
+}
 
 constexpr uint32_t kStoreMagic = 0x44425354;  // "DBST"
 
@@ -61,6 +76,16 @@ BehaviorStore::BehaviorStore(std::string root_dir,
                              size_t memory_budget_bytes)
     : root_dir_(std::move(root_dir)), memory_budget_(memory_budget_bytes) {}
 
+void BehaviorStore::SetNamespaceQuota(const std::string& ns, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes == 0) {
+    namespace_quotas_.erase(ns);
+  } else {
+    namespace_quotas_[ns] = bytes;
+  }
+  EnforceBudgetLocked();
+}
+
 std::string BehaviorStore::PathForKey(const std::string& key) const {
   // Hash the key for the file name: keys may contain characters that are
   // not filesystem-safe.
@@ -69,7 +94,8 @@ std::string BehaviorStore::PathForKey(const std::string& key) const {
          ".behaviors";
 }
 
-Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors) {
+Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors,
+                          double cost) {
   std::lock_guard<std::mutex> lock(mu_);
   std::error_code ec;
   std::filesystem::create_directories(root_dir_, ec);
@@ -90,9 +116,12 @@ Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors) {
     out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
     WriteMatrix(behaviors, &out);
     if (!out) return Status::IOError("write failed for " + path);
-    bytes_written_ += behaviors.rows() * behaviors.cols() * sizeof(float);
+    // Actual file footprint (header + key + checksum + payload), not an
+    // entry count or a payload-only estimate.
+    const auto pos = out.tellp();
+    bytes_written_ += pos > 0 ? static_cast<size_t>(pos) : 0;
   }
-  AdmitLocked(key, behaviors);
+  AdmitLocked(key, behaviors, cost);
   return Status::OK();
 }
 
@@ -106,7 +135,7 @@ Result<Matrix> BehaviorStore::Get(const std::string& key,
     if (served_from != nullptr) *served_from = Tier::kMemory;
     // Move to the front of the LRU.
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return it->second->matrix;
   }
 
   const std::string path = PathForKey(key);
@@ -135,7 +164,7 @@ Result<Matrix> BehaviorStore::Get(const std::string& key,
   }
   ++disk_hits_;
   if (served_from != nullptr) *served_from = Tier::kDisk;
-  AdmitLocked(key, m);
+  AdmitLocked(key, m, /*cost=*/1.0);
   return m;
 }
 
@@ -152,11 +181,7 @@ void BehaviorStore::EvictFromMemory(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return;
-  memory_bytes_ -=
-      it->second->second.rows() * it->second->second.cols() * sizeof(float);
-  lru_.erase(it->second);
-  index_.erase(it);
-  ++evictions_;
+  EraseLocked(it->second, /*count_eviction=*/true);
 }
 
 Status BehaviorStore::Remove(const std::string& key) {
@@ -193,6 +218,17 @@ size_t BehaviorStore::memory_bytes() const {
   return memory_bytes_;
 }
 
+size_t BehaviorStore::namespace_bytes(const std::string& ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = namespace_bytes_.find(ns);
+  return it != namespace_bytes_.end() ? it->second : 0;
+}
+
+size_t BehaviorStore::evicted_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_bytes_;
+}
+
 size_t BehaviorStore::mem_hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return mem_hits_;
@@ -218,30 +254,79 @@ size_t BehaviorStore::bytes_written() const {
   return bytes_written_;
 }
 
-void BehaviorStore::AdmitLocked(const std::string& key, Matrix matrix) {
+void BehaviorStore::AdmitLocked(const std::string& key, Matrix matrix,
+                                double cost) {
   if (memory_budget_ == 0) return;
   // Self-replacement is not an eviction; drop any existing entry silently.
   auto it = index_.find(key);
-  if (it != index_.end()) {
-    memory_bytes_ -= it->second->second.rows() * it->second->second.cols() *
-                     sizeof(float);
-    lru_.erase(it->second);
-    index_.erase(it);
-  }
-  const size_t bytes = matrix.rows() * matrix.cols() * sizeof(float);
-  lru_.emplace_front(key, std::move(matrix));
+  if (it != index_.end()) EraseLocked(it->second, /*count_eviction=*/false);
+  MemEntry entry;
+  entry.key = key;
+  entry.ns = NamespaceOf(key);
+  entry.bytes = matrix.rows() * matrix.cols() * sizeof(float);
+  entry.cost = cost;
+  entry.matrix = std::move(matrix);
+  memory_bytes_ += entry.bytes;
+  namespace_bytes_[entry.ns] += entry.bytes;
+  lru_.push_front(std::move(entry));
   index_[key] = lru_.begin();
-  memory_bytes_ += bytes;
   EnforceBudgetLocked();
 }
 
-void BehaviorStore::EnforceBudgetLocked() {
-  while (memory_bytes_ > memory_budget_ && lru_.size() > 1) {
-    const auto& back = lru_.back();
-    memory_bytes_ -= back.second.rows() * back.second.cols() * sizeof(float);
-    index_.erase(back.first);
-    lru_.pop_back();
+void BehaviorStore::EraseLocked(std::list<MemEntry>::iterator it,
+                                bool count_eviction) {
+  memory_bytes_ -= it->bytes;
+  auto ns_it = namespace_bytes_.find(it->ns);
+  if (ns_it != namespace_bytes_.end()) {
+    ns_it->second -= it->bytes;
+    if (ns_it->second == 0) namespace_bytes_.erase(ns_it);
+  }
+  if (count_eviction) {
     ++evictions_;
+    evicted_bytes_ += it->bytes;
+  }
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void BehaviorStore::EnforceBudgetLocked() {
+  // Pick a victim among the kEvictScan least-recent entries satisfying
+  // `match`: the lowest materialization cost per byte goes first.
+  auto evict_one = [this](const std::function<bool(const MemEntry&)>& match) {
+    if (lru_.empty()) return false;
+    auto best = lru_.end();
+    double best_score = std::numeric_limits<double>::infinity();
+    size_t seen = 0;
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (match(*it)) {
+        const double score =
+            it->cost / static_cast<double>(std::max<size_t>(it->bytes, 1));
+        if (score < best_score) {
+          best_score = score;
+          best = it;
+        }
+        if (++seen >= kEvictScan) break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (best == lru_.end()) return false;
+    EraseLocked(best, /*count_eviction=*/true);
+    return true;
+  };
+
+  for (const auto& [ns, quota] : namespace_quotas_) {
+    while (true) {
+      auto bytes_it = namespace_bytes_.find(ns);
+      if (bytes_it == namespace_bytes_.end() || bytes_it->second <= quota) {
+        break;
+      }
+      if (!evict_one([&ns = ns](const MemEntry& e) { return e.ns == ns; })) {
+        break;
+      }
+    }
+  }
+  while (memory_bytes_ > memory_budget_ && lru_.size() > 1) {
+    if (!evict_one([](const MemEntry&) { return true; })) break;
   }
 }
 
@@ -255,19 +340,19 @@ std::string HypothesisBehaviorKey(const std::string& set_name,
   return "hyp:" + set_name + ":" + HexKey(DatasetFingerprint(dataset));
 }
 
+std::mutex* BehaviorStore::MaterializeLockFor(const std::string& key) {
+  std::lock_guard<std::mutex> lock(materialize_mu_);
+  std::unique_ptr<std::mutex>& slot = materialize_locks_[key];
+  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  return slot.get();
+}
+
 Result<std::string> BehaviorStore::EnsureUnitBehaviors(
     const Extractor& extractor, const Dataset& dataset,
     bool* materialized_now) {
   if (materialized_now != nullptr) *materialized_now = false;
   const std::string key = UnitBehaviorKey(extractor.model_id(), dataset);
-  std::mutex* key_mu;
-  {
-    std::lock_guard<std::mutex> lock(materialize_mu_);
-    std::unique_ptr<std::mutex>& slot = materialize_locks_[key];
-    if (slot == nullptr) slot = std::make_unique<std::mutex>();
-    key_mu = slot.get();
-  }
-  std::lock_guard<std::mutex> materialize_lock(*key_mu);
+  std::lock_guard<std::mutex> materialize_lock(*MaterializeLockFor(key));
   if (Contains(key)) return key;
   std::vector<int> unit_ids(extractor.num_units());
   for (size_t u = 0; u < unit_ids.size(); ++u) {
@@ -275,11 +360,39 @@ Result<std::string> BehaviorStore::EnsureUnitBehaviors(
   }
   std::vector<size_t> record_idx(dataset.num_records());
   for (size_t i = 0; i < record_idx.size(); ++i) record_idx[i] = i;
+  Stopwatch watch;
   Matrix behaviors = extractor.ExtractBlock(dataset, record_idx, unit_ids);
-  DB_RETURN_NOT_OK(Put(key, behaviors));
+  DB_RETURN_NOT_OK(Put(key, behaviors, watch.Seconds()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;  // a request for behaviors that were not yet stored
+  }
+  if (materialized_now != nullptr) *materialized_now = true;
+  return key;
+}
+
+Result<std::string> BehaviorStore::EnsureHypothesisBehaviors(
+    const HypothesisFn& hyp, const Dataset& dataset,
+    bool* materialized_now) {
+  if (materialized_now != nullptr) *materialized_now = false;
+  const std::string key = HypothesisBehaviorKey(hyp.name(), dataset);
+  std::lock_guard<std::mutex> materialize_lock(*MaterializeLockFor(key));
+  if (Contains(key)) return key;
+  const size_t ns = dataset.ns();
+  Stopwatch watch;
+  // One row per record, normalized to ns behaviors exactly like the live
+  // extraction path (zero-pad / truncate), so stored and live scores are
+  // identical.
+  Matrix behaviors(dataset.num_records(), ns);
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    std::vector<float> row = hyp.Eval(dataset.record(r));
+    row.resize(ns, 0.0f);
+    std::copy(row.begin(), row.end(), behaviors.row_data(r));
+  }
+  DB_RETURN_NOT_OK(Put(key, behaviors, watch.Seconds()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
   }
   if (materialized_now != nullptr) *materialized_now = true;
   return key;

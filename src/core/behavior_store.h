@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/extractors.h"
+#include "hypothesis/hypothesis.h"
 #include "tensor/matrix.h"
 #include "util/status.h"
 
@@ -46,9 +47,18 @@ class BehaviorStore {
   explicit BehaviorStore(std::string root_dir,
                          size_t memory_budget_bytes = 64ull << 20);
 
+  /// \brief Per-namespace memory-tier quota (a key's namespace is its
+  /// prefix up to the first ':', e.g. "unit" / "hyp"). 0 removes the
+  /// quota. Quotas bound each tenant's share of the LRU tier on top of
+  /// the global budget; the disk tier is never quota-limited.
+  void SetNamespaceQuota(const std::string& ns, size_t bytes);
+
   /// \brief Persist `behaviors` under `key` (overwrites) and admit it to
-  /// the memory tier.
-  Status Put(const std::string& key, const Matrix& behaviors);
+  /// the memory tier. `cost` is the seconds it took to materialize the
+  /// matrix; the cost-aware evictor prefers dropping cheap-to-recreate
+  /// bytes first.
+  Status Put(const std::string& key, const Matrix& behaviors,
+             double cost = 1.0);
 
   /// \brief Fetch a matrix: memory tier first, then disk (re-admitting to
   /// memory). kNotFound if the key was never Put; kDataLoss if the on-disk
@@ -70,13 +80,19 @@ class BehaviorStore {
   std::vector<std::string> Keys() const;
 
   size_t memory_bytes() const;
+  /// \brief Memory-tier bytes held by one namespace.
+  size_t namespace_bytes(const std::string& ns) const;
 
   // Cumulative counters (formerly BehaviorStore::Stats; the engine folds
   // per-inspection deltas of these into RuntimeStats::store_*).
+  // Size accounting is in bytes: evicted_bytes() reports memory actually
+  // freed by evictions, bytes_written() the on-disk footprint including
+  // file framing (not entry counts).
   size_t mem_hits() const;
   size_t disk_hits() const;
   size_t misses() const;
   size_t evictions() const;
+  size_t evicted_bytes() const;
   size_t bytes_written() const;
 
   /// \brief Ensure `extractor`'s full unit behaviors over `dataset` are
@@ -89,13 +105,35 @@ class BehaviorStore {
                                           const Dataset& dataset,
                                           bool* materialized_now = nullptr);
 
+  /// \brief Ensure `hyp`'s full behaviors over `dataset` (one row per
+  /// record, normalized to ns columns like live extraction) are stored
+  /// under HypothesisBehaviorKey and return the key — the hypothesis-tier
+  /// counterpart of EnsureUnitBehaviors, reused across jobs and restarts.
+  Result<std::string> EnsureHypothesisBehaviors(
+      const HypothesisFn& hyp, const Dataset& dataset,
+      bool* materialized_now = nullptr);
+
  private:
+  struct MemEntry {
+    std::string key;
+    std::string ns;  // key prefix up to the first ':'
+    Matrix matrix;
+    size_t bytes = 0;
+    double cost = 1.0;  // materialization seconds (eviction value)
+  };
+
   std::string PathForKey(const std::string& key) const;
-  void AdmitLocked(const std::string& key, Matrix matrix);
+  void AdmitLocked(const std::string& key, Matrix matrix, double cost);
+  void EraseLocked(std::list<MemEntry>::iterator it, bool count_eviction);
+  /// Evict until `ns` (when non-empty) fits its quota and the whole tier
+  /// fits the global budget. Cost-aware: among the least-recent
+  /// candidates, the lowest cost-per-byte entry goes first.
   void EnforceBudgetLocked();
+  std::mutex* MaterializeLockFor(const std::string& key);
 
   std::string root_dir_;
   size_t memory_budget_;
+  std::map<std::string, size_t> namespace_quotas_;
 
   // Per-key locks so EnsureUnitBehaviors extracts each (model, dataset)
   // at most once without serializing unrelated materializations against
@@ -105,14 +143,15 @@ class BehaviorStore {
   std::map<std::string, std::unique_ptr<std::mutex>> materialize_locks_;
   mutable std::mutex mu_;
   size_t memory_bytes_ = 0;
+  std::map<std::string, size_t> namespace_bytes_;
   // LRU: most-recent at the front.
-  std::list<std::pair<std::string, Matrix>> lru_;
-  std::map<std::string, std::list<std::pair<std::string, Matrix>>::iterator>
-      index_;
+  std::list<MemEntry> lru_;
+  std::map<std::string, std::list<MemEntry>::iterator> index_;
   size_t mem_hits_ = 0;
   size_t disk_hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
+  size_t evicted_bytes_ = 0;
   size_t bytes_written_ = 0;
 };
 

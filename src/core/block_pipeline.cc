@@ -4,7 +4,9 @@
 #include <functional>
 #include <utility>
 
+#include "core/behavior_store.h"
 #include "core/cache.h"
+#include "core/shared_scan.h"
 #include "util/logging.h"
 
 namespace deepbase {
@@ -145,6 +147,46 @@ BlockPipeline::BlockPipeline(const std::vector<ModelSpec>& models,
 
   warned_bad_size_ =
       std::make_unique<std::atomic<bool>[]>(hypotheses_.size());
+
+  // --- Hypothesis store tier: materialize/load each hypothesis's full
+  // behaviors once per (hypothesis name, dataset fingerprint); blocks are
+  // then served by row copies instead of HypothesisFn::Eval — reused
+  // across jobs sharing the store and across restarts, like the unit
+  // tier. Any store failure falls back to live evaluation.
+  if (options_.behavior_store != nullptr && options_.hypothesis_store_tier) {
+    Stopwatch prelude_watch;
+    hyp_stored_.resize(hypotheses_.size());
+    for (size_t h = 0; h < hypotheses_.size(); ++h) {
+      if (CancelRequested()) break;
+      bool materialized_now = false;
+      Result<std::string> key =
+          options_.behavior_store->EnsureHypothesisBehaviors(
+              *hypotheses_[h], dataset_, &materialized_now);
+      if (!key.ok()) {
+        DB_LOG(Warn) << "hypothesis store tier unavailable for '"
+                     << hypotheses_[h]->name()
+                     << "', evaluating live: " << key.status().ToString();
+        continue;
+      }
+      BehaviorStore::Tier tier = BehaviorStore::Tier::kMiss;
+      Result<Matrix> stored = options_.behavior_store->Get(*key, &tier);
+      if (!stored.ok() || stored->rows() != dataset_.num_records() ||
+          stored->cols() != dataset_.ns()) {
+        DB_LOG(Warn) << "cannot serve stored hypothesis behaviors for '"
+                     << hypotheses_[h]->name() << "', evaluating live";
+        continue;
+      }
+      hyp_stored_[h] = std::move(*stored);
+      if (materialized_now) {
+        ++store_hyp_misses_;
+      } else if (tier == BehaviorStore::Tier::kMemory) {
+        ++store_hyp_mem_hits_;
+      } else if (tier == BehaviorStore::Tier::kDisk) {
+        ++store_hyp_disk_hits_;
+      }
+    }
+    hyp_tier_prelude_s_ = prelude_watch.Seconds();
+  }
 }
 
 BlockPipeline::~BlockPipeline() = default;
@@ -195,8 +237,19 @@ void BlockPipeline::ExtractInto(const std::vector<size_t>& block,
   data->unit_behaviors.clear();
   data->unit_behaviors.reserve(models_.size());
   for (size_t m = 0; m < models_.size(); ++m) {
-    data->unit_behaviors.push_back(
-        models_[m].extractor->ExtractBlock(dataset_, block, model_units_[m]));
+    const Extractor* extractor = models_[m].extractor;
+    auto extract = [&] {
+      return extractor->ExtractBlock(dataset_, block, model_units_[m]);
+    };
+    if (options_.shared_scan != nullptr) {
+      // Fused job group: the first member to need this block extracts it;
+      // everyone else shares the same immutable matrix.
+      data->unit_behaviors.push_back(options_.shared_scan->GetOrExtract(
+          extractor->model_id(), model_units_[m], block, extract));
+    } else {
+      data->unit_behaviors.push_back(
+          std::make_shared<const Matrix>(extract()));
+    }
   }
   data->unit_s = watch.Seconds();
   watch.Restart();
@@ -207,6 +260,16 @@ void BlockPipeline::ExtractInto(const std::vector<size_t>& block,
   for (size_t h = 0; h < hypotheses_.size(); ++h) {
     const HypothesisFn& hyp = *hypotheses_[h];
     float* const out = data->hyp_cols.row_data(h);
+    if (h < hyp_stored_.size() && !hyp_stored_[h].empty()) {
+      // Hypothesis store tier: row copies from the stored matrix (already
+      // normalized to ns behaviors per record).
+      const Matrix& stored = hyp_stored_[h];
+      for (size_t i = 0; i < block.size(); ++i) {
+        const float* const src = stored.row_data(block[i]);
+        std::copy(src, src + ns, out + i * ns);
+      }
+      continue;
+    }
     for (size_t i = 0; i < block.size(); ++i) {
       // Lookup copies out of the cache so concurrent jobs sharing one
       // cache cannot observe an entry being evicted mid-read.
@@ -237,10 +300,10 @@ void BlockPipeline::ExtractInto(const std::vector<size_t>& block,
 
 const Matrix& BlockPipeline::GroupMatrix(const BlockData& data, size_t m,
                                          size_t g, LaneScratch* scratch) {
-  if (group_identity_[m][g]) return data.unit_behaviors[m];
+  if (group_identity_[m][g]) return *data.unit_behaviors[m];
   Matrix& buf = scratch->buf[m][g];
   if (scratch->tag[m][g] != data.serial + 1) {
-    const Matrix& src = data.unit_behaviors[m];
+    const Matrix& src = *data.unit_behaviors[m];
     const auto& cols = group_cols_[m][g];
     buf.Resize(src.rows(), cols.size());
     for (size_t r = 0; r < src.rows(); ++r) {
@@ -381,6 +444,10 @@ BlockPipeline::Totals BlockPipeline::Run(const Stopwatch& total_watch) {
   const size_t n_lanes =
       num_shards_ == 1 ? 1 : num_shards_ + (have_sequential_ ? 1 : 0);
   totals.lanes.assign(n_lanes, {});
+  totals.store_hyp_mem_hits = store_hyp_mem_hits_;
+  totals.store_hyp_disk_hits = store_hyp_disk_hits_;
+  totals.store_hyp_misses = store_hyp_misses_;
+  totals.lanes[0].hyp_extraction_s += hyp_tier_prelude_s_;
   if (num_shards_ == 1) {
     RunSingleLane(total_watch, &totals);
   } else if (options_.streaming) {

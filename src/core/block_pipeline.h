@@ -93,6 +93,11 @@ class BlockPipeline {
     size_t blocks_processed = 0;   // block-inspection dispatches (see engine.h)
     size_t records_processed = 0;  // records pulled from the iterator
     bool stopped_early = false;
+    /// Hypothesis-tier store counters (InspectOptions::hypothesis_store_tier)
+    /// for this run — how each hypothesis's stored behaviors were obtained.
+    size_t store_hyp_mem_hits = 0;
+    size_t store_hyp_disk_hits = 0;
+    size_t store_hyp_misses = 0;
   };
 
   BlockPipeline(const std::vector<ModelSpec>& models, const Dataset& dataset,
@@ -122,8 +127,11 @@ class BlockPipeline {
   /// One extracted block: unit behaviors per model plus the hypothesis
   /// behaviors in column-major layout (row h = hypothesis h's behaviors,
   /// contiguous — the zero-copy span handed to Measure::ProcessBlock).
+  /// Unit matrices are held by shared pointer so a fused job group
+  /// (InspectOptions::shared_scan) serves every member from one
+  /// allocation; solo runs own their matrices through the same handle.
   struct BlockData {
-    std::vector<Matrix> unit_behaviors;
+    std::vector<std::shared_ptr<const Matrix>> unit_behaviors;
     Matrix hyp_cols;  // |H| × rows
     size_t rows = 0;
     size_t records = 0;
@@ -189,6 +197,16 @@ class BlockPipeline {
   size_t num_shards_ = 1;
   ThreadPool* pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
+
+  // Hypothesis store tier: per hypothesis, its full stored behavior
+  // matrix (num_records × ns; empty = served live). Loaded once in the
+  // constructor, then every block copies row slices instead of calling
+  // HypothesisFn::Eval.
+  std::vector<Matrix> hyp_stored_;
+  size_t store_hyp_mem_hits_ = 0;
+  size_t store_hyp_disk_hits_ = 0;
+  size_t store_hyp_misses_ = 0;
+  double hyp_tier_prelude_s_ = 0;
 
   std::unique_ptr<std::atomic<bool>[]> warned_bad_size_;
 };

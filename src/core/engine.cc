@@ -5,6 +5,7 @@
 
 #include "core/behavior_store.h"
 #include "core/block_pipeline.h"
+#include "core/shared_scan.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -31,7 +32,15 @@ void RuntimeStats::Accumulate(const RuntimeStats& other) {
   store_disk_hits += other.store_disk_hits;
   store_misses += other.store_misses;
   store_evictions += other.store_evictions;
+  store_evicted_bytes += other.store_evicted_bytes;
   store_bytes_written += other.store_bytes_written;
+  store_hyp_mem_hits += other.store_hyp_mem_hits;
+  store_hyp_disk_hits += other.store_hyp_disk_hits;
+  store_hyp_misses += other.store_hyp_misses;
+  result_cache_hits += other.result_cache_hits;
+  result_cache_misses += other.result_cache_misses;
+  scan_extractions += other.scan_extractions;
+  scan_shared_hits += other.scan_shared_hits;
   // Per-lane breakdown: shard lanes merge by index; the trailing
   // sequential-lane entry (present when shards.size() > num_shards) merges
   // into our trailing entry, so sequential-lane time is never attributed
@@ -94,9 +103,10 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
     cache_hits0 = options.hypothesis_cache->hits();
     cache_misses0 = options.hypothesis_cache->misses();
   }
-  size_t store_evictions0 = 0, store_bytes0 = 0;
+  size_t store_evictions0 = 0, store_bytes0 = 0, store_evicted_bytes0 = 0;
   if (options.behavior_store != nullptr) {
     store_evictions0 = options.behavior_store->evictions();
+    store_evicted_bytes0 = options.behavior_store->evicted_bytes();
     store_bytes0 = options.behavior_store->bytes_written();
   }
 
@@ -221,11 +231,22 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
     stats->store_mem_hits = store_mem_hits;
     stats->store_disk_hits = store_disk_hits;
     stats->store_misses = store_misses;
+    stats->store_hyp_mem_hits = totals.store_hyp_mem_hits;
+    stats->store_hyp_disk_hits = totals.store_hyp_disk_hits;
+    stats->store_hyp_misses = totals.store_hyp_misses;
     if (options.behavior_store != nullptr) {
       stats->store_evictions =
           options.behavior_store->evictions() - store_evictions0;
+      stats->store_evicted_bytes =
+          options.behavior_store->evicted_bytes() - store_evicted_bytes0;
       stats->store_bytes_written =
           options.behavior_store->bytes_written() - store_bytes0;
+    }
+    if (options.shared_scan != nullptr) {
+      // The client is per-job and this engine call is its one run, so the
+      // cumulative client counters are this run's counters.
+      stats->scan_extractions = options.shared_scan->extractions();
+      stats->scan_shared_hits = options.shared_scan->shared_hits();
     }
   }
   return results;

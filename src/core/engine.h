@@ -27,6 +27,7 @@
 namespace deepbase {
 
 class BehaviorStore;
+class SharedScanClient;
 class ThreadPool;
 
 /// \brief A named subset of one model's hidden units (paper Def. 1 takes
@@ -86,6 +87,29 @@ struct InspectOptions {
   /// dataset upfront, outside the time_budget_s/max_blocks limits (only
   /// cancellation is honored between models).
   BehaviorStore* behavior_store = nullptr;
+
+  /// When a behavior store is attached, also persist each hypothesis's
+  /// full behaviors under HypothesisBehaviorKey (keyed by hypothesis name
+  /// + dataset fingerprint) and serve block extraction from the stored
+  /// matrix — compiled hypothesis behaviors are reused across jobs and
+  /// across restarts, like the unit tier. The one-time materialization
+  /// evaluates the hypothesis over the whole dataset upfront (same §6.3
+  /// trade-off as unit materialization). Ignored without a store.
+  ///
+  /// Caveat (same contract as the unit tier's model_id): the hypothesis
+  /// *name* is its store identity. A changed hypothesis function must be
+  /// registered under a fresh name, or its stale stored behaviors are
+  /// served — including across restarts. Disable this flag for
+  /// hypotheses whose definition churns under a fixed name.
+  bool hypothesis_store_tier = true;
+
+  /// Shared-scan membership for the multi-query scheduler: when set, unit
+  /// behaviors of each block are fetched through the fused group's
+  /// SharedScan, so N concurrent jobs over one (model, dataset) pay one
+  /// extraction pass. Never changes scores — the scan memoizes the exact
+  /// per-block matrices this job would have extracted itself. Typically
+  /// set by InspectionSession's scheduler, not by hand.
+  SharedScanClient* shared_scan = nullptr;
 
   /// Intra-job parallelism: shard this job's block loop into this many
   /// deterministic lanes (block b > 0 belongs to shard (b-1) % num_shards;
@@ -163,7 +187,24 @@ struct RuntimeStats {
   size_t store_disk_hits = 0;
   size_t store_misses = 0;
   size_t store_evictions = 0;
+  /// Byte-valued store accounting (evictions above counts events; these
+  /// report actual sizes — bytes freed by evictions and bytes written to
+  /// disk including file framing).
+  size_t store_evicted_bytes = 0;
   size_t store_bytes_written = 0;
+  /// Hypothesis-tier store counters (HypothesisBehaviorKey entries), kept
+  /// separate from the unit-tier store_* trio above.
+  size_t store_hyp_mem_hits = 0;
+  size_t store_hyp_disk_hits = 0;
+  size_t store_hyp_misses = 0;
+  /// Session result cache (InspectionSession scheduler): a hit means the
+  /// engine never ran (blocks_processed == 0).
+  size_t result_cache_hits = 0;
+  size_t result_cache_misses = 0;
+  /// Shared-scan counters for fused job groups: blocks this job extracted
+  /// itself vs blocks served from a co-scheduled job's extraction.
+  size_t scan_extractions = 0;
+  size_t scan_shared_hits = 0;
   /// True if every score converged before the data ran out.
   bool all_converged = false;
   /// True if the run was stopped by InspectOptions::cancel.

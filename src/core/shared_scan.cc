@@ -1,0 +1,176 @@
+#include "core/shared_scan.h"
+
+#include <utility>
+
+namespace deepbase {
+
+namespace {
+
+// Content key of one extraction: the model, the unit union, and the exact
+// record indices (in order), serialized with a length prefix so distinct
+// tuples can never alias. Jobs with different block sizes or seeds
+// produce different index sequences and therefore different keys.
+std::string BlockKey(const std::string& model_id,
+                     const std::vector<int>& units,
+                     const std::vector<size_t>& block) {
+  std::string key;
+  key.reserve(sizeof(uint64_t) + model_id.size() +
+              units.size() * sizeof(int) + block.size() * sizeof(size_t));
+  const uint64_t id_len = model_id.size();
+  key.append(reinterpret_cast<const char*>(&id_len), sizeof(id_len));
+  key.append(model_id);
+  const uint64_t n_units = units.size();
+  key.append(reinterpret_cast<const char*>(&n_units), sizeof(n_units));
+  key.append(reinterpret_cast<const char*>(units.data()),
+             units.size() * sizeof(int));
+  key.append(reinterpret_cast<const char*>(block.data()),
+             block.size() * sizeof(size_t));
+  return key;
+}
+
+}  // namespace
+
+SharedScan::SharedScan(size_t memory_budget_bytes)
+    : memory_budget_(memory_budget_bytes) {}
+
+size_t SharedScan::Attach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t id = next_client_++;
+  clients_.insert(id);
+  return id;
+}
+
+void SharedScan::Detach(size_t client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.erase(client);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second->pending.erase(client);
+    if (it->second->ready.load(std::memory_order_acquire) &&
+        it->second->pending.empty()) {
+      if (it->second->charged) stats_.bytes -= it->second->bytes;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t SharedScan::attached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clients_.size();
+}
+
+void SharedScan::DropEntryLocked(const std::string& key,
+                                 const std::shared_ptr<Entry>& entry) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second == entry) {
+    if (entry->charged) stats_.bytes -= entry->bytes;
+    entries_.erase(it);
+  }
+}
+
+std::shared_ptr<const Matrix> SharedScan::GetOrExtract(
+    size_t client, const std::string& model_id, const std::vector<int>& units,
+    const std::vector<size_t>& block, const std::function<Matrix()>& extract,
+    bool* extracted) {
+  const std::string key = BlockKey(model_id, units, block);
+  std::shared_ptr<Entry> entry;
+  bool inserter = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
+    } else {
+      entry = std::make_shared<Entry>();
+      // Every currently attached member except the inserter still owes
+      // this block a read; members joining later are served while the
+      // entry survives but never counted (they just re-extract if it is
+      // already gone).
+      entry->pending = clients_;
+      entry->pending.erase(client);
+      entries_[key] = entry;
+      inserter = true;
+    }
+  }
+
+  if (inserter) {
+    Matrix m;
+    try {
+      m = extract();
+    } catch (...) {
+      // Unblock waiters (they extract for themselves) and forget the
+      // entry, then let the failure surface to this job alone.
+      {
+        std::lock_guard<std::mutex> entry_lock(entry->mu);
+        entry->failed.store(true, std::memory_order_release);
+      }
+      entry->cv.notify_all();
+      std::lock_guard<std::mutex> lock(mu_);
+      DropEntryLocked(key, entry);
+      throw;
+    }
+    auto matrix = std::make_shared<const Matrix>(std::move(m));
+    const size_t bytes = matrix->rows() * matrix->cols() * sizeof(float);
+    entry->matrix = matrix;
+    entry->bytes = bytes;
+    {
+      // The lock pairs with the waiters' cv.wait; the release-store
+      // publishes matrix/bytes to lock-free readers (Detach).
+      std::lock_guard<std::mutex> entry_lock(entry->mu);
+      entry->ready.store(true, std::memory_order_release);
+    }
+    entry->cv.notify_all();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.extractions;
+    if (extracted != nullptr) *extracted = true;
+    if (entry->pending.empty()) {
+      // No other member owes a read — nothing to keep.
+      DropEntryLocked(key, entry);
+    } else if (stats_.bytes + bytes > memory_budget_) {
+      // Over budget: serve the inserter, skip caching. Waiters already
+      // holding the entry pointer still get the matrix; later readers
+      // re-extract.
+      ++stats_.overflow;
+      DropEntryLocked(key, entry);
+    } else {
+      entry->charged = true;
+      stats_.bytes += bytes;
+      if (stats_.bytes > stats_.bytes_peak) stats_.bytes_peak = stats_.bytes;
+    }
+    return matrix;
+  }
+
+  std::shared_ptr<const Matrix> matrix;
+  {
+    std::unique_lock<std::mutex> entry_lock(entry->mu);
+    entry->cv.wait(entry_lock, [&entry] {
+      return entry->ready.load(std::memory_order_acquire) ||
+             entry->failed.load(std::memory_order_acquire);
+    });
+    if (entry->failed.load(std::memory_order_acquire)) {
+      // The extracting job failed; run the extraction ourselves (the
+      // result is not cached — the group is already degrading).
+      entry_lock.unlock();
+      matrix = std::make_shared<const Matrix>(extract());
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.extractions;
+      if (extracted != nullptr) *extracted = true;
+      return matrix;
+    }
+    matrix = entry->matrix;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.shared_hits;
+  if (extracted != nullptr) *extracted = false;
+  entry->pending.erase(client);
+  if (entry->pending.empty()) DropEntryLocked(key, entry);
+  return matrix;
+}
+
+SharedScan::Stats SharedScan::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,155 @@
+// SharedScan: the multi-query scheduler's shared-extraction substrate
+// (paper §5.1/§6: many concurrent hypotheses over the same (model,
+// dataset) should share one extraction scan instead of re-running the
+// model per query). One SharedScan backs one fused job group: member jobs
+// run their own BlockPipeline (own measure states, own early stopping,
+// own cancellation — scores stay bit-identical to isolated runs) but
+// route per-block unit-behavior extraction through GetOrExtract, which
+// memoizes each block the first time any member needs it and hands the
+// same immutable matrix to everyone else.
+//
+// Lifetime of a cached block: an entry remembers which attached clients
+// still owe it a read and is freed the moment the last of them consumes
+// it (or detaches — a job that early-stops or is cancelled releases its
+// pending blocks without disturbing the scan for the rest of the group).
+// Blocks are keyed by (model_id, unit union, record indices), so jobs
+// with different block sizes or shuffle seeds simply never collide — the
+// cache is purely an optimization and never changes results.
+//
+// Memory: cached bytes are bounded by `memory_budget_bytes`; a block that
+// would overflow the budget is served to its extractor but not cached
+// (later readers re-extract), so a fused group degrades to isolated scans
+// instead of blowing up RSS.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace deepbase {
+
+/// \brief Memoizing block-extraction cache shared by one fused job group.
+/// Thread-safe; extraction for a given block runs at most once at a time
+/// (concurrent requesters for the same key block until it is ready).
+class SharedScan {
+ public:
+  struct Stats {
+    size_t extractions = 0;   ///< blocks actually extracted
+    size_t shared_hits = 0;   ///< blocks served from the scan cache
+    size_t overflow = 0;      ///< blocks not cached (budget exceeded)
+    size_t bytes = 0;         ///< currently cached bytes
+    size_t bytes_peak = 0;    ///< high-water mark of cached bytes
+  };
+
+  explicit SharedScan(size_t memory_budget_bytes = 128ull << 20);
+
+  /// \brief Register a member job; returns its client id.
+  size_t Attach();
+  /// \brief Remove a member: its pending claims on cached blocks are
+  /// released (entries whose last expected reader left are freed).
+  void Detach(size_t client);
+  size_t attached() const;
+
+  /// \brief The block matrix for (model_id, units, record block): served
+  /// from the cache when another member already extracted it, otherwise
+  /// extracted via `extract` (at most once across concurrent requesters).
+  /// `extracted`, when non-null, reports whether this call paid the
+  /// extraction. The returned matrix is immutable and shared.
+  std::shared_ptr<const Matrix> GetOrExtract(
+      size_t client, const std::string& model_id,
+      const std::vector<int>& units, const std::vector<size_t>& block,
+      const std::function<Matrix()>& extract, bool* extracted = nullptr);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Publication flag: matrix/bytes are written by the extractor before
+    /// the release-store and only read after an acquire-load observes
+    /// true (waiters additionally synchronize through mu/cv).
+    std::atomic<bool> ready{false};
+    /// Set instead of `ready` when extract() threw: waiters fall back to
+    /// extracting for themselves.
+    std::atomic<bool> failed{false};
+    std::shared_ptr<const Matrix> matrix;
+    size_t bytes = 0;
+    /// True once `bytes` has been added to Stats::bytes (entries dropped
+    /// for overflow or lack of readers are never charged). Guarded, like
+    /// `pending`, by the scan-level mutex, not entry.mu.
+    bool charged = false;
+    /// Attached clients (at insert time) that have not read this block
+    /// yet; the entry is dropped when the set empties.
+    std::set<size_t> pending;
+  };
+
+  void DropEntryLocked(const std::string& key,
+                       const std::shared_ptr<Entry>& entry);
+
+  const size_t memory_budget_;
+  mutable std::mutex mu_;
+  size_t next_client_ = 0;
+  std::set<size_t> clients_;
+  /// Keyed by the exact serialized (model_id, units, block) bytes —
+  /// equality, not a hash, so a wrong matrix can never be served.
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  Stats stats_;
+};
+
+/// \brief One member job's handle on a SharedScan (what
+/// InspectOptions::shared_scan carries). Attaches on construction and
+/// detaches on destruction; tracks this job's own hit/extraction counts
+/// for per-job RuntimeStats.
+class SharedScanClient {
+ public:
+  explicit SharedScanClient(std::shared_ptr<SharedScan> scan)
+      : scan_(std::move(scan)), id_(scan_->Attach()) {}
+  ~SharedScanClient() { scan_->Detach(id_); }
+
+  SharedScanClient(const SharedScanClient&) = delete;
+  SharedScanClient& operator=(const SharedScanClient&) = delete;
+
+  const std::shared_ptr<SharedScan>& scan() const { return scan_; }
+
+  std::shared_ptr<const Matrix> GetOrExtract(
+      const std::string& model_id, const std::vector<int>& units,
+      const std::vector<size_t>& block,
+      const std::function<Matrix()>& extract) {
+    bool extracted = false;
+    auto m = scan_->GetOrExtract(id_, model_id, units, block, extract,
+                                 &extracted);
+    if (extracted) {
+      extractions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shared_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return m;
+  }
+
+  /// Per-job counters (extraction may run on several pool threads).
+  size_t extractions() const {
+    return extractions_.load(std::memory_order_relaxed);
+  }
+  size_t shared_hits() const {
+    return shared_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<SharedScan> scan_;
+  size_t id_ = 0;
+  std::atomic<size_t> extractions_{0};
+  std::atomic<size_t> shared_hits_{0};
+};
+
+}  // namespace deepbase

@@ -14,6 +14,11 @@ std::string UnpaddedText(const Record& rec) {
 }  // namespace
 
 const ParseTree* ParseCache::Get(const std::string& text) {
+  // Parsing runs under the lock: concurrent callers for one text parse it
+  // once, and EarleyParser keeps per-parse scratch that must not be
+  // shared. Trees are immutable after insertion, so the returned pointer
+  // outlives the lock.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(text);
   if (it != cache_.end()) return it->second.get();
   ++parse_calls_;
@@ -25,6 +30,16 @@ const ParseTree* ParseCache::Get(const std::string& text) {
   const ParseTree* out = tree.get();
   cache_.emplace(text, std::move(tree));
   return out;
+}
+
+size_t ParseCache::parse_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parse_calls_;
+}
+
+void ParseCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
 }
 
 GrammarRuleHypothesis::GrammarRuleHypothesis(

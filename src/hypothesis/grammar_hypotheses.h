@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,8 +23,12 @@
 
 namespace deepbase {
 
-/// \brief Memoizes parse trees by record text. Not thread-safe (hypothesis
-/// extraction runs on a single core, as in the paper).
+/// \brief Memoizes parse trees by record text. Thread-safe: one cache is
+/// shared by every hypothesis of a grammar, and those hypotheses are
+/// evaluated concurrently both by sharded extraction (BlockPipeline) and
+/// by fused multi-query job groups (the session scheduler). Cached trees
+/// are immutable once inserted, so Get() may hand out pointers that stay
+/// valid for the cache's lifetime (Clear() excepted).
 class ParseCache {
  public:
   ParseCache(const Cfg* cfg) : parser_(cfg) {}
@@ -34,10 +39,11 @@ class ParseCache {
 
   /// \brief Number of actual parser invocations (cache misses), used to
   /// verify parse-cost amortization.
-  size_t parse_calls() const { return parse_calls_; }
-  void Clear() { cache_.clear(); }
+  size_t parse_calls() const;
+  void Clear();
 
  private:
+  mutable std::mutex mu_;
   EarleyParser parser_;
   std::unordered_map<std::string, std::unique_ptr<ParseTree>> cache_;
   size_t parse_calls_ = 0;

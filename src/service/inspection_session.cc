@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/inspect_query.h"
+#include "service/scheduler.h"
 
 namespace deepbase {
 
@@ -61,11 +62,22 @@ InspectionSession::InspectionSession(SessionConfig config)
   if (!config_.store_dir.empty()) {
     store_ = std::make_unique<BehaviorStore>(
         config_.store_dir, config_.store_memory_budget_bytes);
+    if (config_.store_unit_quota_bytes > 0) {
+      store_->SetNamespaceQuota("unit", config_.store_unit_quota_bytes);
+    }
+    if (config_.store_hyp_quota_bytes > 0) {
+      store_->SetNamespaceQuota("hyp", config_.store_hyp_quota_bytes);
+    }
   }
   if (config_.hypothesis_cache_values > 0) {
     hyp_cache_ =
         std::make_unique<HypothesisCache>(config_.hypothesis_cache_values);
   }
+  scheduler_ = std::make_unique<Scheduler>(this);
+}
+
+uint64_t InspectionSession::catalog_version() const {
+  return catalog_.version();
 }
 
 ThreadPool* InspectionSession::EnsurePool() {
@@ -100,11 +112,17 @@ InspectOptions InspectionSession::EffectiveOptions(
   return options;
 }
 
+std::shared_ptr<internal::JobState> InspectionSession::NewJobState() {
+  auto state = std::make_shared<internal::JobState>();
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  state->id = next_job_id_++;
+  jobs_.push_back(state);
+  return state;
+}
+
 Result<ResultTable> InspectionSession::Inspect(const InspectRequest& request,
                                                RuntimeStats* stats) {
-  InspectRequest effective = request;
-  effective.options = EffectiveOptions(request);
-  return RunInspectRequest(effective, catalog_, config_.options, stats);
+  return scheduler_->RunSync(request, stats);
 }
 
 Result<ResultTable> InspectionSession::Inspect(const InspectQuery& query,
@@ -113,52 +131,7 @@ Result<ResultTable> InspectionSession::Inspect(const InspectQuery& query,
 }
 
 JobHandle InspectionSession::Submit(InspectRequest request) {
-  ThreadPool* pool = EnsurePool();
-  auto state = std::make_shared<internal::JobState>();
-  {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    state->id = next_job_id_++;
-    jobs_.push_back(state);
-  }
-  pool->Submit([this, state, request = std::move(request)]() mutable {
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (state->cancel.load(std::memory_order_relaxed)) {
-        state->status = JobStatus::kCancelled;
-        state->result = Status::Cancelled(
-            "job " + std::to_string(state->id) +
-            " cancelled before execution");
-        state->cv.notify_all();
-        return;
-      }
-      state->status = JobStatus::kRunning;
-    }
-    InspectRequest effective = std::move(request);
-    InspectOptions options = EffectiveOptions(effective);
-    options.cancel = &state->cancel;
-    effective.options = options;
-    RuntimeStats stats;
-    Result<ResultTable> result =
-        RunInspectRequest(effective, catalog_, config_.options, &stats);
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->stats = stats;
-    // Key off what the engine actually observed (stats.cancelled), not a
-    // re-read of the atomic: a Cancel() racing with completion must not
-    // discard a fully computed result.
-    if (stats.cancelled) {
-      state->status = JobStatus::kCancelled;
-      state->result =
-          Status::Cancelled("job " + std::to_string(state->id) +
-                            " cancelled after " +
-                            std::to_string(stats.blocks_processed) +
-                            " blocks");
-    } else {
-      state->status = JobStatus::kDone;
-      state->result = std::move(result);
-    }
-    state->cv.notify_all();
-  });
-  return JobHandle(state);
+  return scheduler_->Submit(std::move(request));
 }
 
 JobHandle InspectionSession::Submit(const InspectQuery& query) {

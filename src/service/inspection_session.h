@@ -56,8 +56,25 @@ struct SessionConfig {
   /// behaviors are never served.
   std::string store_dir;
   size_t store_memory_budget_bytes = 64ull << 20;
+  /// Per-namespace memory-tier quotas for the store ("unit:" and "hyp:"
+  /// keys); 0 = no quota beyond the global budget. Evicted entries stay
+  /// on disk.
+  size_t store_unit_quota_bytes = 0;
+  size_t store_hyp_quota_bytes = 0;
   /// Shared hypothesis-behavior cache (Figure 9); 0 values disables it.
   size_t hypothesis_cache_values = size_t{1} << 26;
+
+  // --- Multi-query scheduler (service/scheduler.h). ---
+  /// Completed results are cached by (request fingerprint, catalog
+  /// version) and identical re-submissions skip the engine entirely.
+  bool enable_result_cache = true;
+  size_t result_cache_budget_bytes = 8ull << 20;
+  /// Concurrent jobs over one (model, dataset) fuse their block
+  /// extraction through a SharedScan (one extraction pass per group).
+  bool enable_shared_scan = true;
+  /// Bytes of extracted blocks a fused group may keep in flight; blocks
+  /// over budget are re-extracted per job instead of cached.
+  size_t shared_scan_budget_bytes = 128ull << 20;
 };
 
 /// \brief Lifecycle of an async inspection job.
@@ -103,6 +120,7 @@ class JobHandle {
 
  private:
   friend class InspectionSession;
+  friend class Scheduler;
   explicit JobHandle(std::shared_ptr<internal::JobState> state)
       : state_(std::move(state)) {}
 
@@ -110,9 +128,11 @@ class JobHandle {
 };
 
 class InspectQuery;
+class Scheduler;
 
 /// \brief The facade. Thread-safe: Submit/Inspect may be called
-/// concurrently; jobs share the catalog, store, and hypothesis cache.
+/// concurrently; jobs share the catalog, store, hypothesis cache, result
+/// cache, and the multi-query scheduler's shared scans.
 class InspectionSession {
  public:
   explicit InspectionSession(SessionConfig config = {});
@@ -124,6 +144,15 @@ class InspectionSession {
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
+  /// \brief The catalog's monotonic mutation counter (bumped by every
+  /// Register*). Keys the result cache; handy for debugging staleness.
+  uint64_t catalog_version() const;
+
+  /// \brief The multi-query scheduler every Inspect()/Submit() routes
+  /// through (result cache, shared-scan job batching; see
+  /// service/scheduler.h for its stats and knobs).
+  Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
 
   /// \brief Session-default engine options (used by requests without their
   /// own). Mutate between queries, not concurrently with running jobs.
@@ -157,6 +186,8 @@ class InspectionSession {
   std::vector<JobHandle> Jobs() const;
 
  private:
+  friend class Scheduler;
+
   /// Apply the session substrate (store, cache, thread pool) to a
   /// request's options. Requests that shard their block loop
   /// (num_shards != 1, including the pool-sized default of 0) get the
@@ -166,12 +197,15 @@ class InspectionSession {
   InspectOptions EffectiveOptions(const InspectRequest& request);
   /// Create the worker pool on first use.
   ThreadPool* EnsurePool();
+  /// Allocate + register the state of a new job (any status).
+  std::shared_ptr<internal::JobState> NewJobState();
 
   SessionConfig config_;
   Catalog catalog_;
   std::unique_ptr<BehaviorStore> store_;
   std::unique_ptr<HypothesisCache> hyp_cache_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Scheduler> scheduler_;
 
   mutable std::mutex jobs_mu_;
   uint64_t next_job_id_ = 1;

@@ -1,0 +1,461 @@
+#include "service/scheduler.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/behavior_store.h"
+
+namespace deepbase {
+
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void HashStr(const std::string& s, uint64_t* h) {
+  *h = Fnv1a(s.data(), s.size(), *h);
+  *h = Fnv1a(";", 1, *h);
+}
+
+template <typename T>
+void HashPod(const T& value, uint64_t* h) {
+  *h = Fnv1a(&value, sizeof(value), *h);
+}
+
+/// The option values that can change scores or row sets; pointers
+/// (store, caches, pool, cancel) and purely observational fields never
+/// participate.
+void HashOptions(const InspectOptions& o, uint64_t* h) {
+  HashPod(o.block_size, h);
+  HashPod(o.shuffle_seed, h);
+  HashPod(o.passes, h);
+  HashPod(o.streaming, h);
+  HashPod(o.early_stopping, h);
+  HashPod(o.model_merging, h);
+  HashPod(o.corr_epsilon, h);
+  HashPod(o.logreg_epsilon, h);
+  HashPod(o.default_epsilon, h);
+  HashPod(o.num_shards, h);
+  HashPod(o.time_budget_s, h);
+  HashPod(o.max_blocks, h);
+}
+
+/// Resolved dataset fingerprint of a request: the catalog's registration
+/// snapshot for named datasets, a live content hash for inline ones.
+std::optional<uint64_t> DatasetFingerprintFor(const InspectRequest& request,
+                                              const Catalog& catalog) {
+  if (request.dataset != nullptr) {
+    return DatasetFingerprint(*request.dataset);
+  }
+  if (!request.dataset_name.empty()) {
+    Result<CatalogDataset> entry = catalog.GetDataset(request.dataset_name);
+    if (!entry.ok()) return std::nullopt;
+    return entry->fingerprint;
+  }
+  return std::nullopt;
+}
+
+size_t EstimateBytes(const ResultTable& table) {
+  size_t bytes = sizeof(ResultTable);
+  for (const ResultRow& row : table.rows()) {
+    bytes += sizeof(ResultRow) + row.model_id.size() + row.group_id.size() +
+             row.measure.size() + row.hypothesis.size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::optional<uint64_t> InspectRequestFingerprint(
+    const InspectRequest& request, const Catalog& catalog,
+    const InspectOptions& options) {
+  // Cacheable requests are fully name-resolved: inline extractor,
+  // hypothesis, or measure objects have no stable identity to key on.
+  if (request.models.empty()) return std::nullopt;
+  for (const InspectRequest::ModelRef& ref : request.models) {
+    if (ref.extractor != nullptr || ref.name.empty()) return std::nullopt;
+  }
+  if (!request.hypotheses.empty()) return std::nullopt;
+  if (!request.measures.empty()) return std::nullopt;
+
+  uint64_t h = 1469598103934665603ull;
+  for (const InspectRequest::ModelRef& ref : request.models) {
+    HashStr(ref.name, &h);
+    HashPod(ref.group_by_layer, &h);
+    for (const UnitGroupSpec& group : ref.groups) {
+      HashStr(group.group_id, &h);
+      h = Fnv1a(group.unit_ids.data(), group.unit_ids.size() * sizeof(int),
+                h);
+    }
+  }
+  for (const std::string& set : request.hypothesis_sets) HashStr(set, &h);
+  HashStr("|filter", &h);
+  for (const std::string& name : request.hypothesis_filter) HashStr(name, &h);
+  std::optional<uint64_t> dataset_fp = DatasetFingerprintFor(request, catalog);
+  if (!dataset_fp) return std::nullopt;
+  HashPod(*dataset_fp, &h);
+  HashStr("|measures", &h);
+  for (const std::string& name : request.measure_names) HashStr(name, &h);
+  const bool has_min = request.min_abs_unit_score.has_value();
+  HashPod(has_min, &h);
+  if (has_min) HashPod(*request.min_abs_unit_score, &h);
+  HashOptions(options, &h);
+  return h;
+}
+
+std::optional<std::string> BatchKeyFor(const InspectRequest& request,
+                                       const Catalog& catalog,
+                                       const InspectOptions& options) {
+  if (request.models.empty()) return std::nullopt;
+  std::string key;
+  for (const InspectRequest::ModelRef& ref : request.models) {
+    const Extractor* extractor = ref.extractor;
+    if (extractor == nullptr) {
+      if (ref.name.empty()) return std::nullopt;
+      Result<CatalogModel> entry = catalog.GetModel(ref.name);
+      if (!entry.ok() || entry->extractor == nullptr) return std::nullopt;
+      extractor = entry->extractor;
+    }
+    key += extractor->model_id();
+    key += '@';
+    // The unit-group footprint: blocks are keyed by the unit *union* in
+    // the scan, so only jobs with identical footprints can share cached
+    // blocks — keeping different footprints in different groups stops a
+    // layer-0 job's blocks from being held pending for a layer-1 job
+    // that will never read them.
+    uint64_t gh = 1469598103934665603ull;
+    gh = Fnv1a(&ref.group_by_layer, sizeof(ref.group_by_layer), gh);
+    for (const UnitGroupSpec& group : ref.groups) {
+      const uint64_t n = group.unit_ids.size();
+      gh = Fnv1a(&n, sizeof(n), gh);
+      gh = Fnv1a(group.unit_ids.data(), group.unit_ids.size() * sizeof(int),
+                 gh);
+    }
+    key += std::to_string(gh);
+    key += '|';
+  }
+  std::optional<uint64_t> dataset_fp = DatasetFingerprintFor(request, catalog);
+  if (!dataset_fp) return std::nullopt;
+  key += std::to_string(*dataset_fp);
+  // Scan-shaping options: jobs with different block sequences would never
+  // share cached blocks anyway, so keep their groups separate.
+  key += '|';
+  key += std::to_string(options.block_size);
+  key += ':';
+  key += std::to_string(options.shuffle_seed);
+  key += ':';
+  key += options.streaming ? 's' : 'm';
+  key += ':';
+  key += std::to_string(options.passes);
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache.
+// ---------------------------------------------------------------------------
+
+std::optional<ResultTable> ResultCache::Lookup(uint64_t fingerprint,
+                                               uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find({fingerprint, version});
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->table;
+}
+
+void ResultCache::Insert(uint64_t fingerprint, uint64_t version,
+                         ResultTable table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find({fingerprint, version});
+  if (it != index_.end()) EraseLocked(it->second);
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.version = version;
+  entry.bytes = EstimateBytes(table);
+  entry.table = std::move(table);
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[{fingerprint, version}] = lru_.begin();
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    ++evictions_;
+    EraseLocked(std::prev(lru_.end()));
+  }
+  if (bytes_ > budget_ && lru_.size() == 1) {
+    // A single oversized result never fits; don't pin it.
+    ++evictions_;
+    EraseLocked(lru_.begin());
+  }
+}
+
+void ResultCache::InvalidateBelow(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    if (it->version < version) {
+      ++invalidations_;
+      EraseLocked(it);
+    }
+    it = next;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase({it->fingerprint, it->version});
+  lru_.erase(it);
+}
+
+size_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+size_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+size_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+size_t ResultCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler.
+// ---------------------------------------------------------------------------
+
+Scheduler::Scheduler(InspectionSession* session)
+    : session_(session),
+      result_cache_(session->config_.result_cache_budget_bytes) {}
+
+std::optional<Scheduler::GroupHandle> Scheduler::AttachToGroup(
+    const InspectRequest& request) {
+  if (!session_->config_.enable_shared_scan) return std::nullopt;
+  std::optional<std::string> key =
+      BatchKeyFor(request, session_->catalog_,
+                  request.options.value_or(session_->config_.options));
+  if (!key) return std::nullopt;
+  GroupHandle handle;
+  handle.key = *key;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<SharedScan>& scan = groups_[*key];
+  if (scan == nullptr) {
+    scan = std::make_shared<SharedScan>(
+        session_->config_.shared_scan_budget_bytes);
+    ++groups_formed_;
+  } else {
+    ++jobs_coscheduled_;
+  }
+  handle.scan = scan;
+  handle.client = std::make_shared<SharedScanClient>(scan);
+  return handle;
+}
+
+void Scheduler::ReleaseGroup(GroupHandle* group) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scan_extractions_ += group->client->extractions();
+    scan_shared_hits_ += group->client->shared_hits();
+  }
+  group->client.reset();  // detaches this job from the scan
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group->key);
+  if (it != groups_.end() && it->second == group->scan &&
+      it->second->attached() == 0) {
+    groups_.erase(it);
+  }
+  group->scan.reset();
+}
+
+Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
+                                       std::optional<GroupHandle> group,
+                                       std::optional<uint64_t> fingerprint,
+                                       uint64_t version,
+                                       const std::atomic<bool>* cancel,
+                                       RuntimeStats* stats) {
+  InspectRequest effective = request;
+  InspectOptions options = session_->EffectiveOptions(request);
+  if (cancel != nullptr) options.cancel = cancel;
+  if (group) options.shared_scan = group->client.get();
+  effective.options = options;
+  RuntimeStats local;
+  Result<ResultTable> result = RunInspectRequest(
+      effective, session_->catalog_, session_->config_.options, &local);
+  if (group) ReleaseGroup(&*group);
+  if (fingerprint) {
+    local.result_cache_misses = 1;
+    // Only complete, deterministic runs are cacheable: a cancelled or
+    // budget-truncated result depends on wall-clock timing.
+    const bool complete =
+        result.ok() && !local.cancelled &&
+        options.max_blocks == std::numeric_limits<size_t>::max() &&
+        std::isinf(options.time_budget_s);
+    if (complete && session_->catalog_.version() == version) {
+      result_cache_.Insert(*fingerprint, version, *result);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
+                                       RuntimeStats* stats) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++jobs_scheduled_;
+  }
+  const uint64_t version = session_->catalog_.version();
+  std::optional<uint64_t> fingerprint;
+  if (session_->config_.enable_result_cache) {
+    fingerprint = InspectRequestFingerprint(
+        request, session_->catalog_,
+        request.options.value_or(session_->config_.options));
+    if (fingerprint) {
+      result_cache_.InvalidateBelow(version);
+      if (std::optional<ResultTable> hit =
+              result_cache_.Lookup(*fingerprint, version)) {
+        if (stats != nullptr) {
+          *stats = RuntimeStats{};
+          stats->result_cache_hits = 1;
+        }
+        return std::move(*hit);
+      }
+    }
+  }
+  return Execute(request, AttachToGroup(request), fingerprint, version,
+                 /*cancel=*/nullptr, stats);
+}
+
+JobHandle Scheduler::Submit(InspectRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++jobs_scheduled_;
+  }
+  const uint64_t version = session_->catalog_.version();
+  std::optional<uint64_t> fingerprint;
+  if (session_->config_.enable_result_cache) {
+    fingerprint = InspectRequestFingerprint(
+        request, session_->catalog_,
+        request.options.value_or(session_->config_.options));
+    if (fingerprint) {
+      result_cache_.InvalidateBelow(version);
+      if (std::optional<ResultTable> hit =
+              result_cache_.Lookup(*fingerprint, version)) {
+        // Served without touching the engine: the job is born done.
+        auto state = session_->NewJobState();
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->status = JobStatus::kDone;
+        state->stats.result_cache_hits = 1;
+        state->result = std::move(*hit);
+        state->cv.notify_all();
+        return JobHandle(state);
+      }
+    }
+  }
+
+  ThreadPool* pool = session_->EnsurePool();
+  auto state = session_->NewJobState();
+  // Group membership is claimed at submit time (not when the worker picks
+  // the job up), so every job queued in one burst lands in one group.
+  std::optional<GroupHandle> group = AttachToGroup(request);
+  pool->Submit([this, state, fingerprint, version, group = std::move(group),
+                request = std::move(request)]() mutable {
+    bool dropped = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->cancel.load(std::memory_order_relaxed)) {
+        state->status = JobStatus::kCancelled;
+        state->result =
+            Status::Cancelled("job " + std::to_string(state->id) +
+                              " cancelled before execution");
+        state->cv.notify_all();
+        dropped = true;
+      } else {
+        state->status = JobStatus::kRunning;
+      }
+    }
+    if (dropped) {
+      // Detach so the fused group's pending-block accounting does not
+      // wait on a job that will never read anything.
+      if (group) ReleaseGroup(&*group);
+      return;
+    }
+    RuntimeStats stats;
+    Result<ResultTable> result = Execute(request, std::move(group),
+                                         fingerprint, version,
+                                         &state->cancel, &stats);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->stats = stats;
+    // Key off what the engine actually observed (stats.cancelled), not a
+    // re-read of the atomic: a Cancel() racing with completion must not
+    // discard a fully computed result.
+    if (stats.cancelled) {
+      state->status = JobStatus::kCancelled;
+      state->result =
+          Status::Cancelled("job " + std::to_string(state->id) +
+                            " cancelled after " +
+                            std::to_string(stats.blocks_processed) +
+                            " blocks");
+    } else {
+      state->status = JobStatus::kDone;
+      state->result = std::move(result);
+    }
+    state->cv.notify_all();
+  });
+  return JobHandle(state);
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.jobs_scheduled = jobs_scheduled_;
+    s.groups_formed = groups_formed_;
+    s.jobs_coscheduled = jobs_coscheduled_;
+    s.scan_extractions = scan_extractions_;
+    s.scan_shared_hits = scan_shared_hits_;
+  }
+  s.result_cache_hits = result_cache_.hits();
+  s.result_cache_misses = result_cache_.misses();
+  s.result_cache_evictions = result_cache_.evictions();
+  s.result_cache_invalidations = result_cache_.invalidations();
+  s.result_cache_bytes = result_cache_.bytes();
+  s.result_cache_entries = result_cache_.entries();
+  return s;
+}
+
+size_t Scheduler::active_groups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_.size();
+}
+
+}  // namespace deepbase

@@ -1,0 +1,163 @@
+// Multi-query scheduler: the layer between InspectionSession::Submit()
+// and the engine (paper §1/§5 — DeepBase's systems contribution is
+// multi-query optimization for inspection workloads: concurrent
+// hypotheses over the same (model, dataset) share one extraction scan
+// and reuse cached behaviors instead of re-running the model per query).
+//
+// Three mechanisms, stacked:
+//
+//   1. Result cache — completed inspections are cached by
+//      (InspectRequest fingerprint, catalog version); an identical
+//      re-submission is answered without invoking the engine at all
+//      (0 blocks processed). Any catalog mutation bumps the version and
+//      invalidates older entries. Only fully catalog-resolved requests
+//      (models/dataset/hypotheses/measures referenced by name, or an
+//      inline dataset, which is content-fingerprinted) are cacheable;
+//      requests with inline extractors or hypothesis/measure objects run
+//      every time.
+//   2. Shared-scan job batching — queued jobs are grouped by
+//      (model ids, dataset fingerprint, scan-shaping options) and their
+//      block extraction is fused through one SharedScan: each block's
+//      unit behaviors are extracted once and fanned out to every member
+//      job's own measure set. Member jobs keep their own early stopping
+//      and cancellation — finishing, converging, or cancelling detaches
+//      a job from the group without disturbing the scan for the rest —
+//      and scores are bit-identical to isolated runs.
+//   3. Store tiers — the session BehaviorStore (unit + hypothesis
+//      namespaces, per-namespace quotas) persists behaviors across jobs
+//      and restarts; see core/behavior_store.h.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/shared_scan.h"
+#include "service/inspection_session.h"
+
+namespace deepbase {
+
+/// \brief Fingerprint of a fully catalog-resolved InspectRequest plus the
+/// score-affecting option values; nullopt when the request is not
+/// cacheable (inline extractors / hypothesis / measure objects).
+std::optional<uint64_t> InspectRequestFingerprint(
+    const InspectRequest& request, const Catalog& catalog,
+    const InspectOptions& options);
+
+/// \brief Batching key for shared-scan grouping: model ids + dataset
+/// fingerprint + the options that shape the block sequence. nullopt when
+/// the request cannot be resolved against the catalog (it then runs
+/// solo and reports its own compile error).
+std::optional<std::string> BatchKeyFor(const InspectRequest& request,
+                                       const Catalog& catalog,
+                                       const InspectOptions& options);
+
+/// \brief LRU-over-bytes cache of completed inspection results, keyed by
+/// (request fingerprint, catalog version). Thread-safe.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// \brief Cached result for (fingerprint, version); counts hit/miss.
+  std::optional<ResultTable> Lookup(uint64_t fingerprint, uint64_t version);
+  /// \brief Admit a completed result (replaces an existing entry).
+  void Insert(uint64_t fingerprint, uint64_t version, ResultTable table);
+  /// \brief Drop every entry older than `version` (catalog mutation).
+  void InvalidateBelow(uint64_t version);
+  void Clear();
+
+  size_t hits() const;
+  size_t misses() const;
+  size_t evictions() const;
+  size_t invalidations() const;
+  size_t bytes() const;
+  size_t entries() const;
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    uint64_t version = 0;
+    size_t bytes = 0;
+    ResultTable table;
+  };
+
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const size_t budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<std::pair<uint64_t, uint64_t>, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+  size_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+};
+
+/// \brief Aggregate scheduler counters (cumulative over the session).
+struct SchedulerStats {
+  size_t jobs_scheduled = 0;    ///< Submit() + sync Inspect() requests
+  size_t groups_formed = 0;     ///< distinct shared-scan groups created
+  size_t jobs_coscheduled = 0;  ///< jobs that joined an existing group
+  size_t scan_extractions = 0;  ///< blocks extracted across all groups
+  size_t scan_shared_hits = 0;  ///< blocks served from a group's scan
+  size_t result_cache_hits = 0;
+  size_t result_cache_misses = 0;
+  size_t result_cache_evictions = 0;
+  size_t result_cache_invalidations = 0;
+  size_t result_cache_bytes = 0;
+  size_t result_cache_entries = 0;
+};
+
+/// \brief The session's scheduler. Owned by InspectionSession; every
+/// Submit()/Inspect() routes through it. Thread-safe.
+class Scheduler {
+ public:
+  explicit Scheduler(InspectionSession* session);
+
+  /// \brief Async path: result-cache probe, group attach, enqueue.
+  JobHandle Submit(InspectRequest request);
+  /// \brief Sync path: same caching/batching, run on the caller thread.
+  Result<ResultTable> RunSync(const InspectRequest& request,
+                              RuntimeStats* stats);
+
+  SchedulerStats stats() const;
+  ResultCache& result_cache() { return result_cache_; }
+  /// \brief Shared-scan groups currently alive (fused jobs in flight).
+  size_t active_groups() const;
+
+ private:
+  /// One job's membership in a shared-scan group.
+  struct GroupHandle {
+    std::string key;
+    std::shared_ptr<SharedScan> scan;
+    std::shared_ptr<SharedScanClient> client;
+  };
+
+  std::optional<GroupHandle> AttachToGroup(const InspectRequest& request);
+  /// Fold the client's counters, detach, retire the group if empty.
+  void ReleaseGroup(GroupHandle* group);
+  /// Run one request on the calling thread (group already attached) and
+  /// admit the result to the cache when eligible.
+  Result<ResultTable> Execute(const InspectRequest& request,
+                              std::optional<GroupHandle> group,
+                              std::optional<uint64_t> fingerprint,
+                              uint64_t version,
+                              const std::atomic<bool>* cancel,
+                              RuntimeStats* stats);
+
+  InspectionSession* session_;
+  ResultCache result_cache_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<SharedScan>> groups_;
+  size_t jobs_scheduled_ = 0;
+  size_t groups_formed_ = 0;
+  size_t jobs_coscheduled_ = 0;
+  size_t scan_extractions_ = 0;
+  size_t scan_shared_hits_ = 0;
+};
+
+}  // namespace deepbase

@@ -98,6 +98,90 @@ TEST_F(StoreFixture, LruEvictsUnderMemoryPressureButDiskServes) {
   EXPECT_EQ(MaxAbsDiff(*k0, TestMatrix(100, 10, 0)), 0.0f);
 }
 
+TEST_F(StoreFixture, EvictionReportsBytesNotEntryCounts) {
+  BehaviorStore store(dir_.string(), /*memory_budget_bytes=*/9000);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store
+                    .Put("k" + std::to_string(i),
+                         TestMatrix(100, 10, static_cast<uint64_t>(i)))
+                    .ok());
+  }
+  ASSERT_GE(store.evictions(), 1u);
+  // Each evicted matrix frees 100*10*4 bytes; the byte counter reports
+  // the freed memory, not the number of entries.
+  EXPECT_EQ(store.evicted_bytes(), store.evictions() * 4000u);
+  // bytes_written includes file framing, so it exceeds the raw payloads.
+  EXPECT_GT(store.bytes_written(), 3u * 4000u);
+}
+
+TEST_F(StoreFixture, NamespaceQuotaBoundsOneTenantOnly) {
+  BehaviorStore store(dir_.string(), /*memory_budget_bytes=*/1u << 20);
+  store.SetNamespaceQuota("hyp", 5000);
+  ASSERT_TRUE(store.Put("unit:a", TestMatrix(100, 10, 1)).ok());  // 4000 B
+  ASSERT_TRUE(store.Put("hyp:x", TestMatrix(100, 10, 2)).ok());
+  ASSERT_TRUE(store.Put("hyp:y", TestMatrix(100, 10, 3)).ok());
+  // The hyp namespace was squeezed under its quota; unit is untouched.
+  EXPECT_LE(store.namespace_bytes("hyp"), 5000u);
+  EXPECT_EQ(store.namespace_bytes("unit"), 4000u);
+  EXPECT_GE(store.evictions(), 1u);
+  EXPECT_GE(store.evicted_bytes(), 4000u);
+  // The evicted hypothesis entry still loads from disk.
+  BehaviorStore::Tier tier = BehaviorStore::Tier::kMiss;
+  ASSERT_TRUE(store.Get("hyp:x", &tier).ok());
+  EXPECT_EQ(tier, BehaviorStore::Tier::kDisk);
+  // Unit-tier read never left memory.
+  ASSERT_TRUE(store.Get("unit:a", &tier).ok());
+  EXPECT_EQ(tier, BehaviorStore::Tier::kMemory);
+}
+
+TEST_F(StoreFixture, CostAwareEvictionPrefersCheapBytes) {
+  // Budget fits two 4000 B matrices. "pricey" is older than "cheap", but
+  // the evictor drops the lowest cost-per-byte candidate first.
+  BehaviorStore store(dir_.string(), /*memory_budget_bytes=*/9000);
+  ASSERT_TRUE(store.Put("pricey", TestMatrix(100, 10, 1), /*cost=*/50.0).ok());
+  ASSERT_TRUE(store.Put("cheap", TestMatrix(100, 10, 2), /*cost=*/0.001).ok());
+  ASSERT_TRUE(store.Put("new", TestMatrix(100, 10, 3)).ok());
+  EXPECT_EQ(store.evictions(), 1u);
+  BehaviorStore::Tier tier = BehaviorStore::Tier::kMiss;
+  ASSERT_TRUE(store.Get("pricey", &tier).ok());
+  EXPECT_EQ(tier, BehaviorStore::Tier::kMemory);  // survived despite age
+  ASSERT_TRUE(store.Get("cheap", &tier).ok());
+  EXPECT_EQ(tier, BehaviorStore::Tier::kDisk);  // the one that was dropped
+}
+
+TEST_F(StoreFixture, EnsureHypothesisBehaviorsMaterializesOnce) {
+  Dataset ds(Vocab::FromChars("ab"), 4);
+  ds.AddText("abab");
+  ds.AddText("bbaa");
+  auto hyp = std::make_shared<KeywordHypothesis>("ab");
+  BehaviorStore store(dir_.string());
+
+  bool materialized = false;
+  Result<std::string> key =
+      store.EnsureHypothesisBehaviors(*hyp, ds, &materialized);
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_TRUE(materialized);
+  EXPECT_EQ(*key, HypothesisBehaviorKey(hyp->name(), ds));
+
+  Result<Matrix> stored = store.Get(*key);
+  ASSERT_TRUE(stored.ok());
+  ASSERT_EQ(stored->rows(), ds.num_records());
+  ASSERT_EQ(stored->cols(), ds.ns());
+  for (size_t r = 0; r < ds.num_records(); ++r) {
+    const std::vector<float> live = hyp->Eval(ds.record(r));
+    for (size_t c = 0; c < ds.ns(); ++c) {
+      EXPECT_EQ((*stored)(r, c), live[c]) << "record " << r << " col " << c;
+    }
+  }
+
+  // Second call is a no-op (same key, no extra write).
+  const size_t written = store.bytes_written();
+  materialized = true;
+  ASSERT_TRUE(store.EnsureHypothesisBehaviors(*hyp, ds, &materialized).ok());
+  EXPECT_FALSE(materialized);
+  EXPECT_EQ(store.bytes_written(), written);
+}
+
 TEST_F(StoreFixture, ZeroBudgetDisablesMemoryTier) {
   BehaviorStore store(dir_.string(), 0);
   ASSERT_TRUE(store.Put("k", TestMatrix(4, 4, 3)).ok());

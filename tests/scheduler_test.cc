@@ -1,0 +1,443 @@
+// Tests for the multi-query scheduler: shared-scan job batching (N
+// concurrent jobs over one (model, dataset) → exactly one extraction
+// pass, scores bit-identical to isolated runs), the session result cache
+// (hit/miss/invalidation on catalog version bumps, LRU-over-bytes
+// eviction), per-job cancellation detaching from a fused group without
+// disturbing the scan, the SharedScan block cache itself, and the
+// hypothesis-behavior store tier (reuse across jobs and restarts).
+
+#include "service/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "core/behavior_store.h"
+#include "measures/scores.h"
+#include "util/rng.h"
+
+namespace deepbase {
+namespace {
+
+// Deterministic planted model (unit 0 tracks 'a') that counts its
+// ExtractBlock calls — the "extraction passes" counter the scheduler is
+// supposed to minimize. An optional per-block delay widens the window in
+// which jobs overlap, so fused groups behave the same on fast machines
+// as on the 1-core CI.
+class CountingExtractor : public Extractor {
+ public:
+  explicit CountingExtractor(size_t units = 4, int delay_us = 0)
+      : Extractor("planted"), units_(units), delay_us_(delay_us) {}
+  size_t num_units() const override { return units_; }
+
+  size_t block_calls() const {
+    return block_calls_.load(std::memory_order_relaxed);
+  }
+
+  Matrix ExtractBlock(const Dataset& dataset,
+                      const std::vector<size_t>& record_idx,
+                      const std::vector<int>& unit_ids) const override {
+    block_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (delay_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+    }
+    return Extractor::ExtractBlock(dataset, record_idx, unit_ids);
+  }
+
+  Matrix ExtractRecord(const Record& rec,
+                       const std::vector<int>& unit_ids) const override {
+    Matrix out(rec.size(), unit_ids.size());
+    for (size_t t = 0; t < rec.size(); ++t) {
+      const bool is_a = rec.tokens[t] == "a";
+      for (size_t c = 0; c < unit_ids.size(); ++c) {
+        const int uid = unit_ids[c];
+        if (uid == 0) {
+          out(t, c) = (is_a ? 1.0f : 0.0f) +
+                      0.01f * static_cast<float>((rec.ids[t] + t) % 7);
+        } else {
+          out(t, c) =
+              static_cast<float>(
+                  (rec.ids[t] * 2654435761u + t * 40503u + uid * 97u) %
+                  997) /
+                  498.5f -
+              1.0f;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  size_t units_;
+  int delay_us_;
+  mutable std::atomic<size_t> block_calls_{0};
+};
+
+HypothesisPtr IsAHypothesis() {
+  return std::make_shared<FunctionHypothesis>(
+      "is_a", [](const Record& rec) {
+        std::vector<float> out(rec.size(), 0.0f);
+        for (size_t i = 0; i < rec.size(); ++i) {
+          if (rec.tokens[i] == "a") out[i] = 1.0f;
+        }
+        return out;
+      });
+}
+
+Dataset MakeAbDataset(size_t records = 240, size_t ns = 8) {
+  Dataset dataset(Vocab::FromChars("ab"), ns);
+  Rng rng(3);
+  for (size_t i = 0; i < records; ++i) {
+    std::string text;
+    for (size_t t = 0; t < ns; ++t) text += rng.Bernoulli(0.4) ? 'a' : 'b';
+    dataset.AddText(text);
+  }
+  return dataset;
+}
+
+std::map<int, float> ScoresOf(const ResultTable& results) {
+  std::map<int, float> scores;
+  for (const ResultRow& row : results.rows()) {
+    if (row.unit >= 0) scores[row.unit] = row.unit_score;
+  }
+  return scores;
+}
+
+// Park `n` no-op tasks on the session pool so queued Submit() jobs only
+// start once `release` flips — every job attaches to the fused group
+// before any of them runs, making extraction counts deterministic.
+std::vector<std::future<void>> BlockPool(ThreadPool* pool, size_t n,
+                                         std::atomic<bool>* release) {
+  std::vector<std::future<void>> blockers;
+  for (size_t i = 0; i < n; ++i) {
+    blockers.push_back(pool->Submit([release] {
+      while (!release->load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }));
+  }
+  return blockers;
+}
+
+InspectRequest PlantedRequest() {
+  InspectRequest request;
+  request.models.push_back({.name = "planted"});
+  request.hypothesis_sets = {"keywords"};
+  request.dataset_name = "ab";
+  request.measure_names = {"pearson"};
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: 8 concurrent jobs over one (model, dataset) →
+// exactly one block-extraction pass, scores bit-identical to an isolated
+// run, and an identical re-submission served from the result cache
+// without invoking the engine.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, EightFusedJobsOneExtractionPassAndCachedResubmit) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(240, 8);
+  const size_t kBlocks = 240 / 16;
+
+  SessionConfig config;
+  config.options.block_size = 16;
+  config.options.early_stopping = false;  // fixed: one full pass
+  config.options.num_shards = 1;          // bit-reproducible lane
+  config.num_threads = 4;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+  const uint64_t version = session.catalog_version();
+  EXPECT_EQ(version, 3u);
+
+  // Isolated reference (separate extractor instance, raw engine).
+  CountingExtractor reference_extractor(4);
+  InspectOptions plain;
+  plain.block_size = 16;
+  plain.early_stopping = false;
+  plain.num_shards = 1;
+  ResultTable reference =
+      Inspect({AllUnitsGroup(&reference_extractor)}, dataset,
+              {std::make_shared<CorrelationScore>("pearson")},
+              {IsAHypothesis()}, plain);
+  const std::map<int, float> expected = ScoresOf(reference);
+  ASSERT_EQ(expected.size(), extractor.num_units());
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 4, &release);
+
+  const size_t kJobs = 8;
+  std::vector<JobHandle> jobs;
+  for (size_t j = 0; j < kJobs; ++j) {
+    jobs.push_back(session.Submit(PlantedRequest()));
+  }
+  release.store(true, std::memory_order_release);
+
+  for (JobHandle& job : jobs) {
+    const Result<ResultTable>& result = job.Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Bit-identical to the isolated run, not merely close.
+    EXPECT_EQ(ScoresOf(*result), expected);
+  }
+
+  // Exactly one extraction pass across all 8 jobs.
+  EXPECT_EQ(extractor.block_calls(), kBlocks);
+  size_t scan_extractions = 0, scan_hits = 0;
+  for (JobHandle& job : jobs) {
+    scan_extractions += job.Stats().scan_extractions;
+    scan_hits += job.Stats().scan_shared_hits;
+  }
+  EXPECT_EQ(scan_extractions, kBlocks);
+  EXPECT_EQ(scan_hits, (kJobs - 1) * kBlocks);
+
+  const SchedulerStats sched = session.scheduler().stats();
+  EXPECT_EQ(sched.groups_formed, 1u);
+  EXPECT_EQ(sched.jobs_coscheduled, kJobs - 1);
+  EXPECT_EQ(session.scheduler().active_groups(), 0u);  // group retired
+
+  // Identical re-submission: served from the result cache — the engine
+  // (and the extractor) are never invoked.
+  JobHandle cached = session.Submit(PlantedRequest());
+  const Result<ResultTable>& cached_result = cached.Wait();
+  ASSERT_TRUE(cached_result.ok());
+  EXPECT_EQ(ScoresOf(*cached_result), expected);
+  EXPECT_EQ(cached.Stats().result_cache_hits, 1u);
+  EXPECT_EQ(cached.Stats().blocks_processed, 0u);
+  EXPECT_EQ(extractor.block_calls(), kBlocks);
+  EXPECT_EQ(session.catalog_version(), version);
+}
+
+TEST(SchedulerTest, ResultCacheInvalidatesOnCatalogBump) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(120, 8);
+
+  SessionConfig config;
+  config.options.block_size = 32;
+  config.options.num_shards = 1;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  RuntimeStats first;
+  ASSERT_TRUE(session.Inspect(PlantedRequest(), &first).ok());
+  EXPECT_EQ(first.result_cache_misses, 1u);
+  EXPECT_GT(first.blocks_processed, 0u);
+  const size_t calls_after_first = extractor.block_calls();
+
+  RuntimeStats second;
+  ASSERT_TRUE(session.Inspect(PlantedRequest(), &second).ok());
+  EXPECT_EQ(second.result_cache_hits, 1u);
+  EXPECT_EQ(second.blocks_processed, 0u);
+  EXPECT_EQ(extractor.block_calls(), calls_after_first);
+
+  // Any catalog mutation bumps the version and invalidates the entry.
+  const uint64_t before = session.catalog_version();
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  EXPECT_EQ(session.catalog_version(), before + 1);
+
+  RuntimeStats third;
+  ASSERT_TRUE(session.Inspect(PlantedRequest(), &third).ok());
+  EXPECT_EQ(third.result_cache_hits, 0u);
+  EXPECT_EQ(third.result_cache_misses, 1u);
+  EXPECT_GT(extractor.block_calls(), calls_after_first);
+  EXPECT_GE(session.scheduler().stats().result_cache_invalidations, 1u);
+}
+
+TEST(SchedulerTest, CancellingOneFusedJobLeavesTheOthersIntact) {
+  CountingExtractor extractor(4, /*delay_us=*/200);
+  Dataset dataset = MakeAbDataset(240, 8);
+
+  SessionConfig config;
+  config.options.block_size = 16;
+  config.options.early_stopping = false;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  CountingExtractor reference_extractor(4);
+  InspectOptions plain;
+  plain.block_size = 16;
+  plain.early_stopping = false;
+  plain.num_shards = 1;
+  ResultTable reference =
+      Inspect({AllUnitsGroup(&reference_extractor)}, dataset,
+              {std::make_shared<CorrelationScore>("pearson")},
+              {IsAHypothesis()}, plain);
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 2, &release);
+  JobHandle keeper = session.Submit(PlantedRequest());
+  JobHandle doomed = session.Submit(PlantedRequest());
+  doomed.Cancel();  // detaches from the fused group before/while running
+  release.store(true, std::memory_order_release);
+
+  const Result<ResultTable>& kept = keeper.Wait();
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_EQ(ScoresOf(*kept), ScoresOf(reference));
+
+  doomed.Wait();
+  EXPECT_EQ(doomed.Poll(), JobStatus::kCancelled);
+  EXPECT_EQ(session.scheduler().active_groups(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SharedScan unit behavior.
+// ---------------------------------------------------------------------------
+
+Matrix SmallMatrix(float fill) { return Matrix(4, 4, fill); }
+
+TEST(SharedScanTest, SecondClientIsServedFromTheScan) {
+  auto scan = std::make_shared<SharedScan>(1ull << 20);
+  SharedScanClient a(scan), b(scan);
+  const std::vector<int> units = {0, 1};
+  const std::vector<size_t> block = {0, 1, 2};
+
+  size_t extract_calls = 0;
+  auto extract = [&] {
+    ++extract_calls;
+    return SmallMatrix(1.0f);
+  };
+  auto ma = a.GetOrExtract("m", units, block, extract);
+  EXPECT_EQ(extract_calls, 1u);
+  EXPECT_GT(scan->stats().bytes, 0u);  // cached for b
+  auto mb = b.GetOrExtract("m", units, block, extract);
+  EXPECT_EQ(extract_calls, 1u);
+  EXPECT_EQ(ma.get(), mb.get());  // literally the same matrix
+  EXPECT_EQ(scan->stats().shared_hits, 1u);
+  EXPECT_EQ(scan->stats().extractions, 1u);
+  EXPECT_EQ(scan->stats().bytes, 0u);  // last reader freed it
+}
+
+TEST(SharedScanTest, DetachReleasesPendingBlocks) {
+  auto scan = std::make_shared<SharedScan>(1ull << 20);
+  auto a = std::make_unique<SharedScanClient>(scan);
+  auto b = std::make_unique<SharedScanClient>(scan);
+  a->GetOrExtract("m", {0}, {0, 1}, [] { return SmallMatrix(2.0f); });
+  EXPECT_GT(scan->stats().bytes, 0u);  // held for b
+  b.reset();                           // b leaves without reading
+  EXPECT_EQ(scan->stats().bytes, 0u);
+  EXPECT_EQ(scan->attached(), 1u);
+}
+
+TEST(SharedScanTest, BudgetOverflowFallsBackToPerJobExtraction) {
+  auto scan = std::make_shared<SharedScan>(/*memory_budget_bytes=*/1);
+  SharedScanClient a(scan), b(scan);
+  size_t extract_calls = 0;
+  auto extract = [&] {
+    ++extract_calls;
+    return SmallMatrix(3.0f);
+  };
+  a.GetOrExtract("m", {0}, {0}, extract);
+  b.GetOrExtract("m", {0}, {0}, extract);
+  EXPECT_EQ(extract_calls, 2u);  // nothing fit in the budget
+  EXPECT_GE(scan->stats().overflow, 1u);
+  EXPECT_EQ(scan->stats().bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache unit behavior.
+// ---------------------------------------------------------------------------
+
+ResultTable TableOfRows(size_t n, const std::string& tag) {
+  ResultTable table;
+  for (size_t i = 0; i < n; ++i) {
+    ResultRow row;
+    row.model_id = tag;
+    row.unit = static_cast<int>(i);
+    row.unit_score = static_cast<float>(i);
+    table.Add(row);
+  }
+  return table;
+}
+
+TEST(ResultCacheTest, HitMissAndInvalidation) {
+  ResultCache cache(1ull << 20);
+  cache.Insert(7, 1, TableOfRows(3, "a"));
+  EXPECT_FALSE(cache.Lookup(7, 2).has_value());  // version mismatch
+  EXPECT_FALSE(cache.Lookup(8, 1).has_value());  // unknown fingerprint
+  std::optional<ResultTable> hit = cache.Lookup(7, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), 3u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  cache.InvalidateBelow(2);
+  EXPECT_FALSE(cache.Lookup(7, 1).has_value());
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, LruEvictionKeepsBytesUnderBudget) {
+  ResultCache cache(/*budget_bytes=*/4096);
+  for (uint64_t fp = 0; fp < 32; ++fp) {
+    cache.Insert(fp, 1, TableOfRows(8, "model"));
+    EXPECT_LE(cache.bytes(), 4096u);
+  }
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_LT(cache.entries(), 32u);
+  // Most-recent entry survives, the oldest was evicted.
+  EXPECT_TRUE(cache.Lookup(31, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(0, 1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Hypothesis store tier: reuse across jobs and restarts.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, HypothesisTierServesRestartsWithIdenticalScores) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "deepbase_scheduler_hyp_tier";
+  std::filesystem::remove_all(dir);
+
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(120, 8);
+
+  auto make_session = [&] {
+    SessionConfig config;
+    config.options.block_size = 32;
+    config.options.num_shards = 1;
+    config.store_dir = dir.string();
+    auto session = std::make_unique<InspectionSession>(std::move(config));
+    session->catalog().RegisterModel("planted", &extractor);
+    session->catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+    session->catalog().RegisterDataset("ab", &dataset);
+    return session;
+  };
+
+  std::map<int, float> first_scores;
+  {
+    auto session = make_session();
+    RuntimeStats stats;
+    Result<ResultTable> first = session->Inspect(PlantedRequest(), &stats);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(stats.store_hyp_misses, 1u);  // one-time materialization
+    first_scores = ScoresOf(*first);
+    ASSERT_NE(session->store(), nullptr);
+    EXPECT_TRUE(session->store()->Contains(
+        HypothesisBehaviorKey("is_a", dataset)));
+  }
+  {
+    auto session = make_session();  // "restart"
+    RuntimeStats stats;
+    Result<ResultTable> again = session->Inspect(PlantedRequest(), &stats);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(stats.store_hyp_misses, 0u);
+    EXPECT_EQ(stats.store_hyp_disk_hits, 1u);
+    EXPECT_EQ(ScoresOf(*again), first_scores);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace deepbase

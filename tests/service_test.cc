@@ -346,11 +346,20 @@ TEST(InspectionSessionTest, SubmitRunsJobsConcurrentlyAgainstSharedStore) {
     }
   }
 
-  // The model was materialized exactly once; every other job hit the
-  // store (memory tier) instead of re-extracting.
+  // The model was materialized exactly once, and the shared "is_a"
+  // hypothesis once (the hypothesis store tier — all six sets contain
+  // the same function, so they share one HypothesisBehaviorKey); every
+  // other access hit the store (memory tier) instead of re-extracting.
   ASSERT_NE(session.store(), nullptr);
-  EXPECT_EQ(session.store()->misses(), 1u);
+  EXPECT_EQ(session.store()->misses(), 2u);
   EXPECT_GE(session.store()->mem_hits(), kJobs - 1);
+  EXPECT_GT(session.store()->namespace_bytes("unit"), 0u);
+  EXPECT_GT(session.store()->namespace_bytes("hyp"), 0u);
+  size_t hyp_tier_misses = 0;
+  for (JobHandle& job : jobs) {
+    hyp_tier_misses += job.Stats().store_hyp_misses;
+  }
+  EXPECT_EQ(hyp_tier_misses, 1u);
 
   // Unified counters: the per-job stats carry the store tier hits.
   size_t jobs_with_store_activity = 0;
