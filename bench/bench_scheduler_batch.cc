@@ -9,18 +9,26 @@
 //                extraction pass and fans blocks out to every member
 //   cached     — the same requests re-submitted: served from the result
 //                cache without invoking the engine
+//   deduped    — N *identical* concurrent jobs: one leader runs the
+//                engine, the rest attach as in-flight waiters and share
+//                its table
+//   persistent — cold restart: a fresh session over the same store
+//                directory re-submits the requests and is answered from
+//                the persistent result cache with zero engine work
 //
-// Reports jobs/s per cell, extraction passes saved by batching, and the
-// result-cache hit rate; writes BENCH_scheduler_batch.json (path via
-// --out) so the scheduler's perf trajectory is tracked from this PR on.
-// Jobs run at num_shards=1 (the batching win is across jobs, not within
-// one) so the numbers isolate the scheduler effect from intra-job
-// sharding.
+// Reports jobs/s per cell, extraction passes saved by batching, dedup
+// followers, and the result-cache hit rate; writes
+// BENCH_scheduler_batch.json (path via --out) so the scheduler's perf
+// trajectory is tracked from this PR on. Jobs run at num_shards=1 (the
+// batching win is across jobs, not within one) so the numbers isolate
+// the scheduler effect from intra-job sharding.
 //
 // Flags: --smoke (tiny workload, CI), --full (larger corpus),
 //        --jobs N (default 8), --out PATH
 
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +57,7 @@ struct Cell {
   size_t scan_extractions = 0;  // blocks extracted
   size_t scan_shared_hits = 0;  // blocks served from the shared scan
   size_t result_cache_hits = 0;
+  size_t dedup_followers = 0;   // jobs served by attaching to a leader
 
   double jobs_per_s() const { return seconds > 0 ? jobs / seconds : 0; }
 };
@@ -107,8 +116,109 @@ Cell RunCell(const Workload& w, const std::string& name,
     cell.scan_extractions += stats.scan_extractions;
     cell.scan_shared_hits += stats.scan_shared_hits;
     cell.result_cache_hits += stats.result_cache_hits;
+    cell.dedup_followers += stats.dedup_hits;
   }
   cell.seconds = watch.Seconds();
+  return cell;
+}
+
+// N identical concurrent jobs: the first becomes the leader, the rest
+// attach as in-flight waiters (or, if the leader already finished, hit
+// the result cache) — either way at most one engine execution.
+Cell RunDedupedCell(const Workload& w, LstmLmExtractor* extractor) {
+  SessionConfig config;
+  config.options.block_size = w.block_size;
+  config.options.early_stopping = false;
+  config.options.num_shards = 1;
+  config.num_threads = 4;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("sql_lm", extractor);
+  session.catalog().RegisterDataset("queries", &w.world.dataset);
+  std::vector<HypothesisPtr> hyps = SqlHypotheses(&w.world.grammar, 1);
+  session.catalog().RegisterHypotheses("set0", {hyps[0]});
+
+  Cell cell;
+  cell.name = "deduped";
+  cell.jobs = w.jobs;
+  Stopwatch watch;
+  std::vector<JobHandle> jobs;
+  for (size_t j = 0; j < w.jobs; ++j) {
+    InspectRequest request;
+    request.models.push_back({.name = "sql_lm"});
+    request.hypothesis_sets = {"set0"};
+    request.dataset_name = "queries";
+    jobs.push_back(session.Submit(std::move(request)));
+  }
+  for (JobHandle& job : jobs) {
+    DB_CHECK_OK(job.Wait().status());
+    const RuntimeStats stats = job.Stats();
+    cell.blocks += stats.blocks_processed;
+    cell.scan_extractions += stats.scan_extractions;
+    cell.scan_shared_hits += stats.scan_shared_hits;
+    cell.result_cache_hits += stats.result_cache_hits;
+    cell.dedup_followers += stats.dedup_hits;
+  }
+  cell.seconds = watch.Seconds();
+  return cell;
+}
+
+// Cold restart: a store-backed session computes + persists the results,
+// then a fresh session over the same directory re-submits the identical
+// requests and is answered from the persistent cache — zero engine work.
+Cell RunPersistentCell(const Workload& w, LstmLmExtractor* extractor) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "deepbase_bench_sched_persist";
+  std::filesystem::remove_all(dir);
+  auto make_session = [&] {
+    SessionConfig config;
+    config.options.block_size = w.block_size;
+    config.options.early_stopping = false;
+    config.options.num_shards = 1;
+    config.num_threads = 4;
+    config.store_dir = dir.string();
+    auto session = std::make_unique<InspectionSession>(std::move(config));
+    session->catalog().RegisterModel("sql_lm", extractor);
+    session->catalog().RegisterDataset("queries", &w.world.dataset);
+    std::vector<HypothesisPtr> hyps =
+        SqlHypotheses(&w.world.grammar, w.jobs);
+    for (size_t j = 0; j < w.jobs; ++j) {
+      session->catalog().RegisterHypotheses("set" + std::to_string(j),
+                                            {hyps[j % hyps.size()]});
+    }
+    return session;
+  };
+  auto submit_all = [&](InspectionSession* session) {
+    std::vector<JobHandle> jobs;
+    for (size_t j = 0; j < w.jobs; ++j) {
+      InspectRequest request;
+      request.models.push_back({.name = "sql_lm"});
+      request.hypothesis_sets = {"set" + std::to_string(j)};
+      request.dataset_name = "queries";
+      jobs.push_back(session->Submit(std::move(request)));
+    }
+    return jobs;
+  };
+  {
+    auto warm = make_session();  // compute + persist, untimed
+    for (JobHandle& job : submit_all(warm.get())) {
+      DB_CHECK_OK(job.Wait().status());
+    }
+  }
+  auto cold = make_session();  // the restart
+  Cell cell;
+  cell.name = "persistent";
+  cell.jobs = w.jobs;
+  Stopwatch watch;
+  std::vector<JobHandle> jobs = submit_all(cold.get());
+  for (JobHandle& job : jobs) {
+    DB_CHECK_OK(job.Wait().status());
+    const RuntimeStats stats = job.Stats();
+    cell.blocks += stats.blocks_processed;
+    cell.result_cache_hits += stats.result_cache_hits;
+  }
+  cell.seconds = watch.Seconds();
+  cold.reset();
+  std::filesystem::remove_all(dir);
   return cell;
 }
 
@@ -141,10 +251,12 @@ void WriteJson(const std::string& path, const Workload& w,
                  "\"jobs_per_s\": %.2f, \"blocks\": %zu, "
                  "\"scan_extractions\": %zu, \"scan_shared_hits\": %zu, "
                  "\"extraction_passes_saved\": %.2f, "
-                 "\"result_cache_hit_rate\": %.2f}%s\n",
+                 "\"result_cache_hit_rate\": %.2f, "
+                 "\"dedup_followers\": %zu}%s\n",
                  c.name.c_str(), c.seconds, c.jobs_per_s(), c.blocks,
                  c.scan_extractions, c.scan_shared_hits, passes_saved,
-                 hit_rate, i + 1 < cells.size() ? "," : "");
+                 hit_rate, c.dedup_followers,
+                 i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -204,23 +316,28 @@ void Run(int argc, char** argv) {
                           /*enable_scheduler=*/true, &session));
   cells.push_back(RunCell(w, "cached", &extractor,
                           /*enable_scheduler=*/true, &session));
+  cells.push_back(RunDedupedCell(w, &extractor));
+  cells.push_back(RunPersistentCell(w, &extractor));
 
-  TextTable table({"cell", "seconds", "jobs/s", "blocks",
-                   "scan_extract", "scan_hits", "cache_hits"});
+  TextTable table({"cell", "seconds", "jobs/s", "blocks", "scan_extract",
+                   "scan_hits", "cache_hits", "dedup"});
   for (const Cell& c : cells) {
     table.AddRow({c.name, TextTable::Num(c.seconds, 3),
                   TextTable::Num(c.jobs_per_s(), 2),
                   std::to_string(c.blocks),
                   std::to_string(c.scan_extractions),
                   std::to_string(c.scan_shared_hits),
-                  std::to_string(c.result_cache_hits)});
+                  std::to_string(c.result_cache_hits),
+                  std::to_string(c.dedup_followers)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
       "Expectation: the batched cell extracts each block once for the "
       "whole group\n(scan_hits ~ (jobs-1) x blocks/job); the cached cell "
       "answers every job without\nrunning the engine (blocks == 0, "
-      "cache_hits == jobs).\n");
+      "cache_hits == jobs); the deduped cell runs\nthe engine at most "
+      "once (dedup + cache_hits == jobs-1); the persistent cell\nanswers "
+      "a restarted session from disk (blocks == 0).\n");
   WriteJson(out, w, cells);
 }
 

@@ -9,8 +9,11 @@
 //   2. Query #1: correlation against keyword hypotheses (materializes the
 //      behaviors into the store on first use).
 //   3. Query #2: a different hypothesis set — store memory-tier hit.
-//   4. "Restart": a fresh session over the same directory runs query #3
-//      from the checksummed file (disk tier).
+//   4. "Restart": a fresh session over the same directory. Repeating
+//      query #1 is answered from the *persistent result cache* (zero
+//      engine work — not even store reads); registering a new hypothesis
+//      set invalidates it, and the new query reads unit behaviors from
+//      the checksummed file (disk tier).
 //
 // Build & run:  ./build/examples/store_workflow
 
@@ -39,9 +42,10 @@ ResultTable RunQuery(InspectionSession* session, const char* hypothesis_set,
   Result<ResultTable> results = session->Inspect(request, &stats);
   DB_CHECK_OK(results.status());
   std::printf(
-      "-- %s (%.3f s; store: mem_hits=%zu disk_hits=%zu misses=%zu)\n%s\n",
+      "-- %s (%.3f s; store: mem_hits=%zu disk_hits=%zu misses=%zu; "
+      "result_cache_hits=%zu)\n%s\n",
       title, watch.Seconds(), stats.store_mem_hits, stats.store_disk_hits,
-      stats.store_misses,
+      stats.store_misses, stats.result_cache_hits,
       results->TopUnits(4).ToTextTable().ToString().c_str());
   return std::move(*results);
 }
@@ -96,8 +100,12 @@ int main() {
              "query 2: regex hypotheses (store, memory tier)");
   }
 
-  // --- 4. Simulated restart: a fresh session on the same directory
-  // reloads the checksummed file from disk — no forward passes.
+  // --- 4. Simulated restart: a fresh session on the same directory.
+  // The repeat of query 1 never reaches the engine — the scheduler's
+  // result cache persists through the store's blob tier, so the answer
+  // comes back with zero extraction work. A new hypothesis set bumps the
+  // catalog version (invalidating the persisted results), and its query
+  // reads the unit behaviors from the checksummed file (disk tier).
   {
     SessionConfig config;
     config.options.block_size = 128;
@@ -105,12 +113,18 @@ int main() {
     InspectionSession session(std::move(config));
     register_catalog(&session);
     RunQuery(&session, "keywords",
-             "query 3 after restart: keyword hypotheses (store, disk tier)");
+             "query 3 after restart: repeat of query 1 (persistent result "
+             "cache, zero engine work)");
+    session.catalog().RegisterHypotheses(
+        "select_kw", {std::make_shared<KeywordHypothesis>("WHERE")});
+    RunQuery(&session, "select_kw",
+             "query 4 after restart: new hypothesis set (store, disk tier)");
   }
 
   std::printf(
       "\nThe model ran exactly once; every query above read behaviors from\n"
-      "the session's store. Delete %s to reclaim the space.\n",
+      "the session's store or was answered from the persistent result\n"
+      "cache. Delete %s to reclaim the space.\n",
       dir.string().c_str());
   std::filesystem::remove_all(dir);
   return 0;

@@ -3,7 +3,8 @@
 # counts (BENCH_engine_parallel.json — records/s, speedup vs the
 # sequential baseline, per-phase seconds) and the multi-query scheduler
 # bench (BENCH_scheduler_batch.json — jobs/s sequential vs batched vs
-# cached, extraction passes saved, result-cache hit rate). Also runs the
+# cached vs deduped vs persistent-restart, extraction passes saved,
+# dedup followers, result-cache hit rate). Also runs the
 # store-reinspection ablation and, when google-benchmark is available,
 # the bench_micro engine cells, so one command captures the whole
 # hot-path picture.

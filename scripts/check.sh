@@ -2,9 +2,11 @@
 # CI entry point: the tier-1 verify line (configure, build, ctest), a smoke
 # run of the quickstart example through the InspectionSession API, the
 # ThreadSanitizer build of the concurrency suites (intra-job sharding,
-# session jobs, the multi-query scheduler, thread pool, behavior store),
-# and smokes of the parallel-engine and scheduler benches so regressions
-# in the sharded and fused paths fail fast.
+# session jobs, the multi-query scheduler — incl. in-flight dedup,
+# persistent-cache restarts, admission quotas, and the stale-admission
+# regression — thread pool, behavior store + blob tier), and smokes of
+# the parallel-engine and scheduler benches so regressions in the
+# sharded and fused paths fail fast.
 #
 # Usage: scripts/check.sh [build_dir]   (default: build; TSan uses
 #                                        <build_dir>-tsan)

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "core/extractors.h"
+#include "util/fnv.h"
 #include "util/stopwatch.h"
 
 namespace deepbase {
@@ -26,19 +27,10 @@ std::string NamespaceOf(const std::string& key) {
 }
 
 constexpr uint32_t kStoreMagic = 0x44425354;  // "DBST"
-
-uint64_t Fnv1a(const void* data, size_t bytes, uint64_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t h = seed;
-  for (size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+constexpr uint32_t kBlobMagic = 0x44425342;   // "DBSB"
 
 uint64_t MatrixChecksum(const Matrix& m) {
-  uint64_t h = 1469598103934665603ull;
+  uint64_t h = kFnvOffsetBasis;
   h = Fnv1a(&m, 0, h);  // fold in the seed only
   const uint64_t rows = m.rows(), cols = m.cols();
   h = Fnv1a(&rows, sizeof(rows), h);
@@ -49,20 +41,10 @@ uint64_t MatrixChecksum(const Matrix& m) {
   return h;
 }
 
-std::string HexKey(uint64_t h) {
-  static const char* kDigits = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<size_t>(i)] = kDigits[h & 0xF];
-    h >>= 4;
-  }
-  return out;
-}
-
 }  // namespace
 
 uint64_t DatasetFingerprint(const Dataset& dataset) {
-  uint64_t h = 1469598103934665603ull;
+  uint64_t h = kFnvOffsetBasis;
   const uint64_t nd = dataset.num_records(), ns = dataset.ns();
   h = Fnv1a(&nd, sizeof(nd), h);
   h = Fnv1a(&ns, sizeof(ns), h);
@@ -89,9 +71,13 @@ void BehaviorStore::SetNamespaceQuota(const std::string& ns, size_t bytes) {
 std::string BehaviorStore::PathForKey(const std::string& key) const {
   // Hash the key for the file name: keys may contain characters that are
   // not filesystem-safe.
-  return root_dir_ + "/" + HexKey(Fnv1a(key.data(), key.size(),
-                                        1469598103934665603ull)) +
+  return root_dir_ + "/" + HexU64(Fnv1a(key.data(), key.size())) +
          ".behaviors";
+}
+
+std::string BehaviorStore::PathForBlob(const std::string& key) const {
+  return root_dir_ + "/" + HexU64(Fnv1a(key.data(), key.size())) +
+         ".blob";
 }
 
 Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors,
@@ -121,12 +107,19 @@ Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors,
     const auto pos = out.tellp();
     bytes_written_ += pos > 0 ? static_cast<size_t>(pos) : 0;
   }
-  AdmitLocked(key, behaviors, cost);
+  AdmitLocked(key, std::make_shared<const Matrix>(behaviors), cost);
   return Status::OK();
 }
 
 Result<Matrix> BehaviorStore::Get(const std::string& key,
                                   Tier* served_from) {
+  DB_ASSIGN_OR_RETURN(std::shared_ptr<const Matrix> shared,
+                      GetShared(key, served_from));
+  return *shared;
+}
+
+Result<std::shared_ptr<const Matrix>> BehaviorStore::GetShared(
+    const std::string& key, Tier* served_from) {
   if (served_from != nullptr) *served_from = Tier::kMiss;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -164,8 +157,9 @@ Result<Matrix> BehaviorStore::Get(const std::string& key,
   }
   ++disk_hits_;
   if (served_from != nullptr) *served_from = Tier::kDisk;
-  AdmitLocked(key, m, /*cost=*/1.0);
-  return m;
+  auto shared = std::make_shared<const Matrix>(std::move(m));
+  AdmitLocked(key, shared, /*cost=*/1.0);
+  return shared;
 }
 
 bool BehaviorStore::Contains(const std::string& key) const {
@@ -254,7 +248,220 @@ size_t BehaviorStore::bytes_written() const {
   return bytes_written_;
 }
 
-void BehaviorStore::AdmitLocked(const std::string& key, Matrix matrix,
+size_t BehaviorStore::blob_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blob_hits_;
+}
+
+size_t BehaviorStore::blob_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blob_misses_;
+}
+
+size_t BehaviorStore::blob_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blob_evictions_;
+}
+
+size_t BehaviorStore::blob_namespace_bytes(const std::string& ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureBlobManifestLocked();
+  auto it = blob_ns_bytes_.find(ns);
+  return it != blob_ns_bytes_.end() ? it->second : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Blob tier.
+// ---------------------------------------------------------------------------
+
+void BehaviorStore::EnsureBlobManifestLocked() const {
+  if (blob_manifest_loaded_) return;
+  blob_manifest_loaded_ = true;
+  blob_manifest_.clear();
+  blob_ns_bytes_.clear();
+  std::error_code ec;
+  if (!std::filesystem::exists(root_dir_, ec)) return;
+  // Oldest-written first: the per-namespace eviction order survives a
+  // restart because it is reconstructed from file mtimes.
+  struct Found {
+    std::filesystem::file_time_type mtime;
+    std::string key;
+    size_t bytes = 0;
+  };
+  std::vector<Found> found;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root_dir_, ec)) {
+    if (entry.path().extension() != ".blob") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    uint32_t magic = 0;
+    uint64_t key_len = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
+    if (!in || magic != kBlobMagic || key_len > (1u << 20)) continue;
+    std::string key(key_len, '\0');
+    in.read(key.data(), static_cast<std::streamsize>(key_len));
+    if (!in) continue;
+    std::error_code size_ec, time_ec;
+    const auto bytes = std::filesystem::file_size(entry.path(), size_ec);
+    const auto mtime =
+        std::filesystem::last_write_time(entry.path(), time_ec);
+    if (size_ec) continue;
+    found.push_back({mtime, std::move(key), static_cast<size_t>(bytes)});
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.key < b.key;
+  });
+  for (Found& f : found) {
+    const std::string ns = NamespaceOf(f.key);
+    blob_ns_bytes_[ns] += f.bytes;
+    blob_manifest_[ns].push_back({std::move(f.key), f.bytes});
+  }
+}
+
+void BehaviorStore::DropBlobFromManifestLocked(const std::string& key) const {
+  const std::string ns = NamespaceOf(key);
+  auto it = blob_manifest_.find(ns);
+  if (it == blob_manifest_.end()) return;
+  for (auto entry = it->second.begin(); entry != it->second.end(); ++entry) {
+    if (entry->key != key) continue;
+    blob_ns_bytes_[ns] -= entry->bytes;
+    it->second.erase(entry);
+    break;
+  }
+}
+
+void BehaviorStore::EnforceBlobQuotaLocked(const std::string& ns) {
+  auto quota_it = blob_quotas_.find(ns);
+  if (quota_it == blob_quotas_.end()) return;
+  auto list_it = blob_manifest_.find(ns);
+  while (list_it != blob_manifest_.end() && !list_it->second.empty() &&
+         blob_ns_bytes_[ns] > quota_it->second) {
+    const BlobEntry victim = list_it->second.front();
+    std::error_code ec;
+    std::filesystem::remove(PathForBlob(victim.key), ec);
+    blob_ns_bytes_[ns] -= victim.bytes;
+    list_it->second.pop_front();
+    ++blob_evictions_;
+  }
+}
+
+void BehaviorStore::SetBlobNamespaceQuota(const std::string& ns,
+                                          size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureBlobManifestLocked();
+  if (bytes == 0) {
+    blob_quotas_.erase(ns);
+  } else {
+    blob_quotas_[ns] = bytes;
+    EnforceBlobQuotaLocked(ns);
+  }
+}
+
+Status BehaviorStore::PutBlob(const std::string& key,
+                              const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureBlobManifestLocked();
+  std::error_code ec;
+  std::filesystem::create_directories(root_dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory " + root_dir_ +
+                           ": " + ec.message());
+  }
+  const std::string path = PathForBlob(key);
+  size_t file_bytes = 0;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + path);
+    const uint32_t magic = kBlobMagic;
+    const uint64_t key_len = key.size();
+    const uint64_t checksum =
+        Fnv1a(bytes.data(), bytes.size());
+    const uint64_t payload_len = bytes.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&key_len), sizeof(key_len));
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.write(reinterpret_cast<const char*>(&payload_len),
+              sizeof(payload_len));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IOError("write failed for " + path);
+    const auto pos = out.tellp();
+    file_bytes = pos > 0 ? static_cast<size_t>(pos) : 0;
+    bytes_written_ += file_bytes;
+  }
+  const std::string ns = NamespaceOf(key);
+  DropBlobFromManifestLocked(key);  // overwrite: replace the old entry
+  blob_ns_bytes_[ns] += file_bytes;
+  blob_manifest_[ns].push_back({key, file_bytes});
+  EnforceBlobQuotaLocked(ns);
+  return Status::OK();
+}
+
+Result<std::string> BehaviorStore::GetBlob(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = PathForBlob(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++blob_misses_;
+    return Status::NotFound("no stored blob for key: " + key);
+  }
+  uint32_t magic = 0;
+  uint64_t key_len = 0, checksum = 0, payload_len = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
+  if (!in || magic != kBlobMagic || key_len > (1u << 20)) {
+    return Status::DataLoss("corrupt blob file header: " + path);
+  }
+  std::string stored_key(key_len, '\0');
+  in.read(stored_key.data(), static_cast<std::streamsize>(key_len));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len));
+  if (!in || stored_key != key) {
+    return Status::DataLoss("blob file key mismatch (hash collision?): " +
+                            path);
+  }
+  if (payload_len > (1ull << 32)) {
+    return Status::DataLoss("implausible blob payload size: " + path);
+  }
+  std::string payload(payload_len, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (in.fail() ||
+      Fnv1a(payload.data(), payload.size()) !=
+          checksum) {
+    return Status::DataLoss("blob checksum mismatch for key: " + key);
+  }
+  ++blob_hits_;
+  return payload;
+}
+
+bool BehaviorStore::ContainsBlob(const std::string& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathForBlob(key), ec);
+}
+
+Status BehaviorStore::RemoveBlob(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureBlobManifestLocked();
+  DropBlobFromManifestLocked(key);
+  std::error_code ec;
+  std::filesystem::remove(PathForBlob(key), ec);
+  if (ec) return Status::IOError("cannot remove " + PathForBlob(key));
+  return Status::OK();
+}
+
+std::vector<std::string> BehaviorStore::BlobKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureBlobManifestLocked();
+  std::vector<std::string> keys;
+  for (const auto& [ns, entries] : blob_manifest_) {
+    for (const BlobEntry& entry : entries) keys.push_back(entry.key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void BehaviorStore::AdmitLocked(const std::string& key,
+                                std::shared_ptr<const Matrix> matrix,
                                 double cost) {
   if (memory_budget_ == 0) return;
   // Self-replacement is not an eviction; drop any existing entry silently.
@@ -263,7 +470,7 @@ void BehaviorStore::AdmitLocked(const std::string& key, Matrix matrix,
   MemEntry entry;
   entry.key = key;
   entry.ns = NamespaceOf(key);
-  entry.bytes = matrix.rows() * matrix.cols() * sizeof(float);
+  entry.bytes = matrix->rows() * matrix->cols() * sizeof(float);
   entry.cost = cost;
   entry.matrix = std::move(matrix);
   memory_bytes_ += entry.bytes;
@@ -332,12 +539,12 @@ void BehaviorStore::EnforceBudgetLocked() {
 
 std::string UnitBehaviorKey(const std::string& model_id,
                             const Dataset& dataset) {
-  return "unit:" + model_id + ":" + HexKey(DatasetFingerprint(dataset));
+  return "unit:" + model_id + ":" + HexU64(DatasetFingerprint(dataset));
 }
 
 std::string HypothesisBehaviorKey(const std::string& set_name,
                                   const Dataset& dataset) {
-  return "hyp:" + set_name + ":" + HexKey(DatasetFingerprint(dataset));
+  return "hyp:" + set_name + ":" + HexU64(DatasetFingerprint(dataset));
 }
 
 std::mutex* BehaviorStore::MaterializeLockFor(const std::string& key) {
@@ -408,11 +615,14 @@ Result<PrecomputedExtractor> OpenStoredExtractor(
     const std::string& key, const std::string& model_id,
     const Dataset& dataset, BehaviorStore* store,
     BehaviorStore::Tier* served_from) {
-  DB_ASSIGN_OR_RETURN(Matrix behaviors, store->Get(key, served_from));
-  if (behaviors.rows() != dataset.num_records() * dataset.ns()) {
+  // Shared handle, not a deep copy: fused jobs opening the same stored
+  // matrix all read the memory tier's single allocation.
+  DB_ASSIGN_OR_RETURN(std::shared_ptr<const Matrix> behaviors,
+                      store->GetShared(key, served_from));
+  if (behaviors->rows() != dataset.num_records() * dataset.ns()) {
     return Status::Invalid(
         "stored behaviors do not align with the dataset: " +
-        std::to_string(behaviors.rows()) + " rows vs " +
+        std::to_string(behaviors->rows()) + " rows vs " +
         std::to_string(dataset.num_records() * dataset.ns()) + " symbols");
   }
   return PrecomputedExtractor(model_id, std::move(behaviors), dataset.ns());

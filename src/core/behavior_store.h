@@ -66,6 +66,14 @@ class BehaviorStore {
   /// which tier answered (kMiss on any error).
   Result<Matrix> Get(const std::string& key, Tier* served_from = nullptr);
 
+  /// \brief Like Get, but returns a shared read-only handle on the memory
+  /// tier's allocation instead of a deep copy — N concurrent jobs reading
+  /// one stored matrix share a single allocation (the fused-job
+  /// hypothesis-tier / PrecomputedExtractor path). Eviction only drops
+  /// the store's reference; live handles stay valid.
+  Result<std::shared_ptr<const Matrix>> GetShared(
+      const std::string& key, Tier* served_from = nullptr);
+
   /// \brief True if the key is available (either tier) without reading the
   /// payload.
   bool Contains(const std::string& key) const;
@@ -78,6 +86,30 @@ class BehaviorStore {
 
   /// \brief All persisted keys, sorted.
   std::vector<std::string> Keys() const;
+
+  // --- Blob (file-only) tier — opaque byte payloads persisted with the
+  // same key/checksum framing as matrices but never admitted to the
+  // memory LRU. The scheduler's persistent result cache lives here under
+  // the "cache:" namespace; its own in-memory ResultCache is the memory
+  // tier. Blobs are bounded per namespace by SetBlobNamespaceQuota
+  // (oldest-written evicted first).
+
+  /// \brief Persist `bytes` under `key` (overwrites), then enforce the
+  /// key's namespace blob quota.
+  Status PutBlob(const std::string& key, const std::string& bytes);
+  /// \brief Read a blob; kNotFound if absent, kDataLoss on checksum or
+  /// key mismatch.
+  Result<std::string> GetBlob(const std::string& key);
+  bool ContainsBlob(const std::string& key) const;
+  Status RemoveBlob(const std::string& key);
+  /// \brief All persisted blob keys, sorted.
+  std::vector<std::string> BlobKeys() const;
+  /// \brief On-disk byte quota for one blob namespace (key prefix up to
+  /// the first ':'); 0 removes the quota. Over-quota namespaces evict
+  /// their oldest-written blobs.
+  void SetBlobNamespaceQuota(const std::string& ns, size_t bytes);
+  /// \brief Current on-disk bytes of one blob namespace.
+  size_t blob_namespace_bytes(const std::string& ns) const;
 
   size_t memory_bytes() const;
   /// \brief Memory-tier bytes held by one namespace.
@@ -94,6 +126,9 @@ class BehaviorStore {
   size_t evictions() const;
   size_t evicted_bytes() const;
   size_t bytes_written() const;
+  size_t blob_hits() const;
+  size_t blob_misses() const;
+  size_t blob_evictions() const;
 
   /// \brief Ensure `extractor`'s full unit behaviors over `dataset` are
   /// stored (extracting and persisting them if not) and return the key.
@@ -117,19 +152,33 @@ class BehaviorStore {
   struct MemEntry {
     std::string key;
     std::string ns;  // key prefix up to the first ':'
-    Matrix matrix;
+    /// Shared so GetShared handles survive eviction (readers keep the
+    /// allocation alive; the store only drops its own reference).
+    std::shared_ptr<const Matrix> matrix;
     size_t bytes = 0;
     double cost = 1.0;  // materialization seconds (eviction value)
   };
 
+  struct BlobEntry {
+    std::string key;
+    size_t bytes = 0;  // whole-file footprint incl. framing
+  };
+
   std::string PathForKey(const std::string& key) const;
-  void AdmitLocked(const std::string& key, Matrix matrix, double cost);
+  std::string PathForBlob(const std::string& key) const;
+  void AdmitLocked(const std::string& key,
+                   std::shared_ptr<const Matrix> matrix, double cost);
   void EraseLocked(std::list<MemEntry>::iterator it, bool count_eviction);
   /// Evict until `ns` (when non-empty) fits its quota and the whole tier
   /// fits the global budget. Cost-aware: among the least-recent
   /// candidates, the lowest cost-per-byte entry goes first.
   void EnforceBudgetLocked();
   std::mutex* MaterializeLockFor(const std::string& key);
+  /// Build the per-namespace blob manifest (one directory scan, oldest
+  /// file first) on first blob operation.
+  void EnsureBlobManifestLocked() const;
+  void DropBlobFromManifestLocked(const std::string& key) const;
+  void EnforceBlobQuotaLocked(const std::string& ns);
 
   std::string root_dir_;
   size_t memory_budget_;
@@ -153,6 +202,16 @@ class BehaviorStore {
   size_t evictions_ = 0;
   size_t evicted_bytes_ = 0;
   size_t bytes_written_ = 0;
+
+  // Blob tier (guarded by mu_; manifest is lazily built, hence mutable).
+  std::map<std::string, size_t> blob_quotas_;
+  mutable bool blob_manifest_loaded_ = false;
+  /// Per namespace, oldest-written first (the blob eviction order).
+  mutable std::map<std::string, std::list<BlobEntry>> blob_manifest_;
+  mutable std::map<std::string, size_t> blob_ns_bytes_;
+  size_t blob_hits_ = 0;
+  size_t blob_misses_ = 0;
+  size_t blob_evictions_ = 0;
 };
 
 /// \brief Canonical store key for a model's unit behaviors over a dataset.

@@ -169,9 +169,10 @@ BlockPipeline::BlockPipeline(const std::vector<ModelSpec>& models,
         continue;
       }
       BehaviorStore::Tier tier = BehaviorStore::Tier::kMiss;
-      Result<Matrix> stored = options_.behavior_store->Get(*key, &tier);
-      if (!stored.ok() || stored->rows() != dataset_.num_records() ||
-          stored->cols() != dataset_.ns()) {
+      Result<std::shared_ptr<const Matrix>> stored =
+          options_.behavior_store->GetShared(*key, &tier);
+      if (!stored.ok() || (*stored)->rows() != dataset_.num_records() ||
+          (*stored)->cols() != dataset_.ns()) {
         DB_LOG(Warn) << "cannot serve stored hypothesis behaviors for '"
                      << hypotheses_[h]->name() << "', evaluating live";
         continue;
@@ -260,10 +261,11 @@ void BlockPipeline::ExtractInto(const std::vector<size_t>& block,
   for (size_t h = 0; h < hypotheses_.size(); ++h) {
     const HypothesisFn& hyp = *hypotheses_[h];
     float* const out = data->hyp_cols.row_data(h);
-    if (h < hyp_stored_.size() && !hyp_stored_[h].empty()) {
+    if (h < hyp_stored_.size() && hyp_stored_[h] != nullptr &&
+        !hyp_stored_[h]->empty()) {
       // Hypothesis store tier: row copies from the stored matrix (already
       // normalized to ns behaviors per record).
-      const Matrix& stored = hyp_stored_[h];
+      const Matrix& stored = *hyp_stored_[h];
       for (size_t i = 0; i < block.size(); ++i) {
         const float* const src = stored.row_data(block[i]);
         std::copy(src, src + ns, out + i * ns);

@@ -198,11 +198,13 @@ class BlockPipeline {
   ThreadPool* pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
 
-  // Hypothesis store tier: per hypothesis, its full stored behavior
-  // matrix (num_records × ns; empty = served live). Loaded once in the
-  // constructor, then every block copies row slices instead of calling
-  // HypothesisFn::Eval.
-  std::vector<Matrix> hyp_stored_;
+  // Hypothesis store tier: per hypothesis, a shared read-only handle on
+  // its full stored behavior matrix (num_records × ns; null = served
+  // live). Loaded once in the constructor via BehaviorStore::GetShared —
+  // fused jobs over one dataset all read the store's single allocation
+  // instead of holding per-job deep copies — then every block copies row
+  // slices instead of calling HypothesisFn::Eval.
+  std::vector<std::shared_ptr<const Matrix>> hyp_stored_;
   size_t store_hyp_mem_hits_ = 0;
   size_t store_hyp_disk_hits_ = 0;
   size_t store_hyp_misses_ = 0;

@@ -10,34 +10,50 @@
 
 namespace deepbase {
 
+void Catalog::BumpVersion(std::unique_lock<std::mutex> lock) {
+  const uint64_t version = ++version_;
+  std::function<void(uint64_t)> listener = mutation_listener_;
+  lock.unlock();
+  // Outside the lock: the listener (the scheduler's invalidation hook) may
+  // read back through the catalog. Concurrent Register* calls may deliver
+  // versions out of order; listeners must treat the version as a floor
+  // (InvalidateBelow takes the max), not a sequence.
+  if (listener) listener(version);
+}
+
 void Catalog::RegisterModel(const std::string& name,
                             const Extractor* extractor, size_t layer_size,
                             std::map<std::string, Datum> attrs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   models_[name] = CatalogModel{extractor, layer_size, std::move(attrs)};
-  ++version_;
+  BumpVersion(std::move(lock));
 }
 
 void Catalog::RegisterHypotheses(const std::string& set_name,
                                  std::vector<HypothesisPtr> hypotheses) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   hypothesis_sets_[set_name] = std::move(hypotheses);
-  ++version_;
+  BumpVersion(std::move(lock));
 }
 
 void Catalog::RegisterDataset(const std::string& name,
                               const Dataset* dataset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   datasets_[name] = CatalogDataset{
       dataset, dataset != nullptr ? DatasetFingerprint(*dataset) : 0};
-  ++version_;
+  BumpVersion(std::move(lock));
 }
 
 void Catalog::RegisterMeasure(const std::string& name,
                               MeasureFactoryPtr factory) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   measures_[name] = std::move(factory);
-  ++version_;
+  BumpVersion(std::move(lock));
+}
+
+void Catalog::SetMutationListener(std::function<void(uint64_t)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mutation_listener_ = std::move(listener);
 }
 
 Result<CatalogModel> Catalog::GetModel(const std::string& name) const {

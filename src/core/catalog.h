@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -121,6 +122,13 @@ class Catalog {
   /// \brief Monotonic counter, bumped by every Register* call.
   uint64_t version() const;
 
+  /// \brief Observer invoked (with the new version, outside the catalog
+  /// lock) after every Register* — the synchronous invalidation hook the
+  /// scheduler's result cache uses to close the stale-admission window:
+  /// the cache's admission floor rises the moment the catalog mutates,
+  /// not at the next submission. One listener; nullptr clears it.
+  void SetMutationListener(std::function<void(uint64_t)> listener);
+
   /// \brief Resolve every name in `request` and produce the engine plan.
   /// Returns descriptive errors: kNotFound for unknown catalog names,
   /// kInvalidArgument for structurally invalid requests (no model, no
@@ -129,8 +137,13 @@ class Catalog {
                               const InspectOptions& default_options) const;
 
  private:
+  /// Bump version_ under the lock and invoke the mutation listener after
+  /// releasing it (listeners may read back through the catalog).
+  void BumpVersion(std::unique_lock<std::mutex> lock);
+
   mutable std::mutex mu_;
   uint64_t version_ = 0;
+  std::function<void(uint64_t)> mutation_listener_;
   std::map<std::string, CatalogModel> models_;
   std::map<std::string, std::vector<HypothesisPtr>> hypothesis_sets_;
   std::map<std::string, CatalogDataset> datasets_;

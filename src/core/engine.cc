@@ -39,6 +39,7 @@ void RuntimeStats::Accumulate(const RuntimeStats& other) {
   store_hyp_misses += other.store_hyp_misses;
   result_cache_hits += other.result_cache_hits;
   result_cache_misses += other.result_cache_misses;
+  dedup_hits += other.dedup_hits;
   scan_extractions += other.scan_extractions;
   scan_shared_hits += other.scan_shared_hits;
   // Per-lane breakdown: shard lanes merge by index; the trailing

@@ -201,6 +201,10 @@ struct RuntimeStats {
   /// engine never ran (blocks_processed == 0).
   size_t result_cache_hits = 0;
   size_t result_cache_misses = 0;
+  /// In-flight dedup (scheduler): this job attached as a waiter on an
+  /// identical running job and received its table — the engine never ran
+  /// for it (blocks_processed == 0).
+  size_t dedup_hits = 0;
   /// Shared-scan counters for fused job groups: blocks this job extracted
   /// itself vs blocks served from a co-scheduled job's extraction.
   size_t scan_extractions = 0;

@@ -92,7 +92,7 @@ Matrix PrecomputedExtractor::ExtractBlock(
   Matrix out(record_idx.size() * ns_, unit_ids.size());
   for (size_t i = 0; i < record_idx.size(); ++i) {
     for (size_t t = 0; t < ns_; ++t) {
-      const float* src = behaviors_.row_data(record_idx[i] * ns_ + t);
+      const float* src = behaviors_->row_data(record_idx[i] * ns_ + t);
       float* dst = out.row_data(i * ns_ + t);
       for (size_t j = 0; j < cols.size(); ++j) dst[j] = src[cols[j]];
     }

@@ -83,11 +83,20 @@ class Seq2SeqEncoderExtractor : public Extractor {
 class PrecomputedExtractor : public Extractor {
  public:
   PrecomputedExtractor(std::string model_id, Matrix behaviors, size_t ns)
+      : PrecomputedExtractor(
+            std::move(model_id),
+            std::make_shared<const Matrix>(std::move(behaviors)), ns) {}
+
+  /// \brief Shared-handle form: N concurrent jobs served from one stored
+  /// matrix (BehaviorStore::GetShared) read a single allocation instead
+  /// of holding per-job deep copies.
+  PrecomputedExtractor(std::string model_id,
+                       std::shared_ptr<const Matrix> behaviors, size_t ns)
       : Extractor(std::move(model_id)),
         behaviors_(std::move(behaviors)),
         ns_(ns) {}
 
-  size_t num_units() const override { return behaviors_.cols(); }
+  size_t num_units() const override { return behaviors_->cols(); }
   Matrix ExtractRecord(const Record& rec,
                        const std::vector<int>& unit_ids) const override;
   Matrix ExtractBlock(const Dataset& dataset,
@@ -95,7 +104,7 @@ class PrecomputedExtractor : public Extractor {
                       const std::vector<int>& unit_ids) const override;
 
  private:
-  Matrix behaviors_;
+  std::shared_ptr<const Matrix> behaviors_;
   size_t ns_;
 };
 

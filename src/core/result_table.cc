@@ -1,7 +1,11 @@
 #include "core/result_table.h"
 
 #include <algorithm>
+#include <cstring>
+#include <istream>
 #include <map>
+#include <ostream>
+#include <sstream>
 
 namespace deepbase {
 
@@ -140,6 +144,120 @@ std::string ResultTable::ToCsv() const {
     out += '\n';
   }
   return out;
+}
+
+namespace {
+
+constexpr uint32_t kResultTableMagic = 0x44425254;  // "DBRT"
+constexpr uint64_t kMaxSerializedRows = 1ull << 32;
+constexpr uint64_t kMaxSerializedString = 1ull << 20;
+
+void WriteU32(uint32_t v, std::ostream* out) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(uint64_t v, std::ostream* out) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(const std::string& s, std::ostream* out) {
+  WriteU64(s.size(), out);
+  out->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+// Floats travel as raw bits so NaN payloads (the "no score" sentinel)
+// survive the round trip unchanged.
+void WriteFloatBits(float f, std::ostream* out) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  WriteU32(bits, out);
+}
+
+bool ReadU32(std::istream* in, uint32_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+
+bool ReadU64(std::istream* in, uint64_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+
+bool ReadString(std::istream* in, std::string* s) {
+  uint64_t len = 0;
+  if (!ReadU64(in, &len) || len > kMaxSerializedString) return false;
+  s->resize(len);
+  in->read(s->data(), static_cast<std::streamsize>(len));
+  return !in->fail();
+}
+
+bool ReadFloatBits(std::istream* in, float* f) {
+  uint32_t bits = 0;
+  if (!ReadU32(in, &bits)) return false;
+  std::memcpy(f, &bits, sizeof(bits));
+  return true;
+}
+
+}  // namespace
+
+void ResultTable::Serialize(std::ostream* out) const {
+  WriteU32(kResultTableMagic, out);
+  WriteU64(rows_.size(), out);
+  for (const ResultRow& r : rows_) {
+    WriteString(r.model_id, out);
+    WriteString(r.group_id, out);
+    WriteString(r.measure, out);
+    WriteString(r.hypothesis, out);
+    const int64_t unit = r.unit;
+    WriteU64(static_cast<uint64_t>(unit), out);
+    WriteFloatBits(r.unit_score, out);
+    WriteFloatBits(r.group_score, out);
+  }
+}
+
+std::string ResultTable::SerializeToString() const {
+  std::ostringstream out(std::ios::binary);
+  Serialize(&out);
+  return std::move(out).str();
+}
+
+Result<ResultTable> ResultTable::Deserialize(std::istream* in) {
+  uint32_t magic = 0;
+  uint64_t n = 0;
+  if (!ReadU32(in, &magic) || magic != kResultTableMagic ||
+      !ReadU64(in, &n) || n > kMaxSerializedRows) {
+    return Status::DataLoss("malformed result table header");
+  }
+  ResultTable table;
+  for (uint64_t i = 0; i < n; ++i) {
+    ResultRow r;
+    uint64_t unit = 0;
+    if (!ReadString(in, &r.model_id) || !ReadString(in, &r.group_id) ||
+        !ReadString(in, &r.measure) || !ReadString(in, &r.hypothesis) ||
+        !ReadU64(in, &unit) || !ReadFloatBits(in, &r.unit_score) ||
+        !ReadFloatBits(in, &r.group_score)) {
+      return Status::DataLoss("truncated result table row " +
+                              std::to_string(i));
+    }
+    r.unit = static_cast<int>(static_cast<int64_t>(unit));
+    table.Add(std::move(r));
+  }
+  return table;
+}
+
+Result<ResultTable> ResultTable::DeserializeFromString(
+    const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return Deserialize(&in);
+}
+
+size_t ResultTable::EstimatedBytes() const {
+  size_t bytes = sizeof(ResultTable);
+  for (const ResultRow& row : rows_) {
+    bytes += sizeof(ResultRow) + row.model_id.size() + row.group_id.size() +
+             row.measure.size() + row.hypothesis.size();
+  }
+  return bytes;
 }
 
 }  // namespace deepbase

@@ -7,9 +7,11 @@
 
 #include <cmath>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "util/status.h"
 #include "util/text_table.h"
 
 namespace deepbase {
@@ -70,6 +72,19 @@ class ResultTable {
   /// sentinel render as empty fields. The standard sink for feeding
   /// results into external analysis (paper §4.1's post-processing).
   std::string ToCsv() const;
+
+  /// \brief Binary serialization (magic + row count + length-prefixed
+  /// fields; float scores round-trip bit-exactly, including NaN). The
+  /// persistent result cache stores tables in this format.
+  void Serialize(std::ostream* out) const;
+  std::string SerializeToString() const;
+  /// \brief Inverse of Serialize; kDataLoss on malformed input.
+  static Result<ResultTable> Deserialize(std::istream* in);
+  static Result<ResultTable> DeserializeFromString(const std::string& bytes);
+
+  /// \brief Approximate heap footprint (rows + string payloads) — the byte
+  /// accounting unit of the result cache.
+  size_t EstimatedBytes() const;
 
  private:
   std::vector<ResultRow> rows_;

@@ -49,6 +49,16 @@ const Result<ResultTable>& JobHandle::Wait() const {
 void JobHandle::Cancel() {
   if (state_ == nullptr) return;
   state_->cancel.store(true, std::memory_order_relaxed);
+  // Dedup waiters have no worker polling their cancel flag; their
+  // on_cancel hook detaches them from the in-flight job and resolves the
+  // handle immediately. Read under the lock, run outside it (the hook
+  // takes scheduler locks).
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    hook = state_->on_cancel;
+  }
+  if (hook) hook();
 }
 
 RuntimeStats JobHandle::Stats() const {
@@ -74,6 +84,11 @@ InspectionSession::InspectionSession(SessionConfig config)
         std::make_unique<HypothesisCache>(config_.hypothesis_cache_values);
   }
   scheduler_ = std::make_unique<Scheduler>(this);
+  // Close the stale-admission window: every Register* raises the result
+  // cache's admission floor synchronously, so a job that started under
+  // the old catalog version cannot admit its result after the mutation.
+  catalog_.SetMutationListener(
+      [this](uint64_t version) { scheduler_->OnCatalogMutation(version); });
 }
 
 uint64_t InspectionSession::catalog_version() const {
@@ -92,6 +107,9 @@ InspectionSession::~InspectionSession() {
   // The pool destructor drains the queue and joins, so every outstanding
   // job reaches a terminal state before the catalog/store/cache go away.
   pool_.reset();
+  // The scheduler is destroyed before the catalog; drop the listener so a
+  // stray Register* on a dying session cannot call into freed memory.
+  catalog_.SetMutationListener(nullptr);
 }
 
 InspectOptions InspectionSession::EffectiveOptions(

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -75,6 +76,41 @@ struct SessionConfig {
   /// Bytes of extracted blocks a fused group may keep in flight; blocks
   /// over budget are re-extracted per job instead of cached.
   size_t shared_scan_budget_bytes = 128ull << 20;
+
+  /// In-flight dedup: an identical concurrent Submit()/Inspect() (same
+  /// request fingerprint, same catalog version) attaches as a waiter on
+  /// the running job and receives its ResultTable — one extraction pass,
+  /// one measure run, bit-identical scores. Cancelling a waiter never
+  /// kills the leader; cancelling the leader promotes a live waiter to
+  /// re-run.
+  bool enable_inflight_dedup = true;
+
+  /// Persist result-cache entries through the behavior store's blob tier
+  /// ("cache:" namespace), keyed by (fingerprint, catalog version,
+  /// dataset fingerprint), so a restarted session answers repeat queries
+  /// with zero engine work. Requires store_dir; entries are revalidated
+  /// against the current catalog version at load time, and stale versions
+  /// are purged when the catalog mutates. Caveat: across restarts,
+  /// hypothesis/model *names* are their identity (functions and weights
+  /// cannot be content-fingerprinted — the store tiers' existing
+  /// contract); register changed definitions under fresh names or
+  /// disable this flag when definitions churn under fixed names.
+  bool persist_result_cache = true;
+  /// On-disk byte quota for the "cache:" blob namespace (0 = unlimited).
+  size_t result_cache_disk_quota_bytes = 32ull << 20;
+
+  // --- Admission control (per-tenant quotas; this session is the
+  // tenant). Over-quota submissions are rejected with a typed
+  // kResourceExhausted status instead of queueing without bound. Result
+  // cache hits and dedup waiters consume no engine resources and are
+  // always admitted.
+  /// Max jobs queued or running at once (0 = unlimited).
+  size_t max_concurrent_jobs = 0;
+  /// Max estimated bytes of extraction work sitting in the queue
+  /// (0 = unlimited). A submission that would overflow a non-empty queue
+  /// is rejected; the first job in an empty queue is always admitted so
+  /// the session cannot wedge.
+  size_t max_queued_bytes = 0;
 };
 
 /// \brief Lifecycle of an async inspection job.
@@ -89,6 +125,12 @@ struct JobState {
   std::atomic<bool> cancel{false};
   std::optional<Result<ResultTable>> result;
   RuntimeStats stats;
+  /// Invoked by JobHandle::Cancel() after the cancel flag is set (read
+  /// under mu, run outside it). The scheduler installs it on dedup
+  /// waiters so cancelling a waiter resolves it immediately instead of
+  /// leaving it parked until the leader finishes; cleared (under mu) when
+  /// the job reaches a terminal state.
+  std::function<void()> on_cancel;
 };
 }  // namespace internal
 

@@ -1,24 +1,17 @@
 #include "service/scheduler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "core/behavior_store.h"
+#include "util/fnv.h"
 
 namespace deepbase {
 
 namespace {
-
-uint64_t Fnv1a(const void* data, size_t bytes, uint64_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t h = seed;
-  for (size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 void HashStr(const std::string& s, uint64_t* h) {
   *h = Fnv1a(s.data(), s.size(), *h);
@@ -63,13 +56,60 @@ std::optional<uint64_t> DatasetFingerprintFor(const InspectRequest& request,
   return std::nullopt;
 }
 
-size_t EstimateBytes(const ResultTable& table) {
-  size_t bytes = sizeof(ResultTable);
-  for (const ResultRow& row : table.rows()) {
-    bytes += sizeof(ResultRow) + row.model_id.size() + row.group_id.size() +
-             row.measure.size() + row.hypothesis.size();
+/// Parse the catalog-version field out of a "cache:<fp>:<version>:<ds>"
+/// blob key; false when the key is not a result-cache entry.
+bool ParseBlobKeyVersion(const std::string& key, uint64_t* version) {
+  constexpr char kPrefix[] = "cache:";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (key.rfind(kPrefix, 0) != 0) return false;
+  const size_t fp_end = key.find(':', kPrefixLen);
+  if (fp_end == std::string::npos) return false;
+  const size_t version_end = key.find(':', fp_end + 1);
+  if (version_end == std::string::npos) return false;
+  uint64_t v = 0;
+  for (size_t i = fp_end + 1; i < version_end; ++i) {
+    const char c = key[i];
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
   }
-  return bytes;
+  *version = v;
+  return true;
+}
+
+/// Only complete, deterministic runs are cacheable/dedupable: a cancelled
+/// or budget-truncated result depends on wall-clock timing.
+bool DeterministicOptions(const InspectOptions& options) {
+  return options.max_blocks == std::numeric_limits<size_t>::max() &&
+         std::isinf(options.time_budget_s);
+}
+
+/// The effective shard count this session would run the request at,
+/// mirroring BlockPipeline's resolution (0 = pool size, clamped to 64).
+/// Fingerprints hash this resolved value, never the raw option: scores of
+/// FP-reassociated measures depend on the effective shard count, so a
+/// persisted result must not be served to a session whose engine would
+/// shard (and round merges) differently.
+size_t ResolvedShardCountFor(const InspectOptions& options,
+                             const SessionConfig& config) {
+  size_t shards = options.num_shards;
+  if (shards == 0 && options.pool != nullptr) {
+    shards = options.pool->num_threads();
+  }
+  if (shards == 0) {
+    // The session pool the scheduler would attach (ThreadPool's own
+    // 0 = hardware-concurrency rule).
+    shards = config.num_threads != 0
+                 ? config.num_threads
+                 : std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::min<size_t>(std::max<size_t>(shards, 1), 64);
 }
 
 }  // namespace
@@ -86,7 +126,7 @@ std::optional<uint64_t> InspectRequestFingerprint(
   if (!request.hypotheses.empty()) return std::nullopt;
   if (!request.measures.empty()) return std::nullopt;
 
-  uint64_t h = 1469598103934665603ull;
+  uint64_t h = kFnvOffsetBasis;
   for (const InspectRequest::ModelRef& ref : request.models) {
     HashStr(ref.name, &h);
     HashPod(ref.group_by_layer, &h);
@@ -131,7 +171,7 @@ std::optional<std::string> BatchKeyFor(const InspectRequest& request,
     // blocks — keeping different footprints in different groups stops a
     // layer-0 job's blocks from being held pending for a layer-1 job
     // that will never read them.
-    uint64_t gh = 1469598103934665603ull;
+    uint64_t gh = kFnvOffsetBasis;
     gh = Fnv1a(&ref.group_by_layer, sizeof(ref.group_by_layer), gh);
     for (const UnitGroupSpec& group : ref.groups) {
       const uint64_t n = group.unit_ids.size();
@@ -158,32 +198,90 @@ std::optional<std::string> BatchKeyFor(const InspectRequest& request,
   return key;
 }
 
+std::string ResultCacheBlobKey(uint64_t fingerprint, uint64_t version,
+                               uint64_t dataset_fingerprint) {
+  return "cache:" + HexU64(fingerprint) + ":" + HexU64(version) + ":" +
+         HexU64(dataset_fingerprint);
+}
+
 // ---------------------------------------------------------------------------
 // ResultCache.
 // ---------------------------------------------------------------------------
 
 std::optional<ResultTable> ResultCache::Lookup(uint64_t fingerprint,
-                                               uint64_t version) {
+                                               uint64_t version,
+                                               uint64_t dataset_fingerprint) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find({fingerprint, version});
-  if (it == index_.end()) {
+  if (version < floor_version_) {
+    // Below the admission floor: the catalog has already invalidated this
+    // version; never serve it even if a late admission slipped an entry in.
     ++misses_;
     return std::nullopt;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->table;
+  auto it = index_.find({fingerprint, version});
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->table;
+  }
+  if (persist_) {
+    Result<std::string> blob = store_->GetBlob(
+        ResultCacheBlobKey(fingerprint, version, dataset_fingerprint));
+    if (blob.ok()) {
+      Result<ResultTable> table = ResultTable::DeserializeFromString(*blob);
+      if (table.ok()) {
+        // Revalidated by construction: the blob key carries the catalog
+        // version and dataset fingerprint this lookup asked for.
+        ++hits_;
+        ++persistent_hits_;
+        ResultTable value = std::move(table).ValueOrDie();
+        ResultTable copy = value;
+        AdmitLocked(fingerprint, version, std::move(value));
+        return copy;
+      }
+    }
+  }
+  ++misses_;
+  return std::nullopt;
 }
 
 void ResultCache::Insert(uint64_t fingerprint, uint64_t version,
-                         ResultTable table) {
+                         uint64_t dataset_fingerprint, ResultTable table) {
+  // Serialization does not depend on cache state; keep it off the lock.
+  std::string serialized;
+  if (persist_) serialized = table.SerializeToString();
   std::lock_guard<std::mutex> lock(mu_);
+  if (version < floor_version_) {
+    // The stale-admission window, closed: this result was computed under
+    // a catalog version that a Register* has already invalidated. Had it
+    // been admitted, no later InvalidateBelow would sweep it (the sweep
+    // already ran) and a restarted session whose version counter re-
+    // reaches `version` could be served a stale table.
+    ++stale_rejections_;
+    return;
+  }
+  if (persist_) {
+    ++persistent_writes_;
+    // Best-effort: a full disk fails the Put, the memory tier still
+    // works. The write stays under mu_ deliberately — the floor check
+    // above and the blob write must be atomic against InvalidateBelow's
+    // purge, or a racing Register* could sweep the directory *before*
+    // this stale blob lands and it would survive on disk.
+    store_->PutBlob(
+        ResultCacheBlobKey(fingerprint, version, dataset_fingerprint),
+        serialized);
+  }
+  AdmitLocked(fingerprint, version, std::move(table));
+}
+
+void ResultCache::AdmitLocked(uint64_t fingerprint, uint64_t version,
+                              ResultTable table) {
   auto it = index_.find({fingerprint, version});
   if (it != index_.end()) EraseLocked(it->second);
   Entry entry;
   entry.fingerprint = fingerprint;
   entry.version = version;
-  entry.bytes = EstimateBytes(table);
+  entry.bytes = table.EstimatedBytes();
   entry.table = std::move(table);
   bytes_ += entry.bytes;
   lru_.push_front(std::move(entry));
@@ -201,6 +299,8 @@ void ResultCache::Insert(uint64_t fingerprint, uint64_t version,
 
 void ResultCache::InvalidateBelow(uint64_t version) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (version <= floor_version_) return;  // already invalidated up to here
+  floor_version_ = version;
   for (auto it = lru_.begin(); it != lru_.end();) {
     auto next = std::next(it);
     if (it->version < version) {
@@ -208,6 +308,20 @@ void ResultCache::InvalidateBelow(uint64_t version) {
       EraseLocked(it);
     }
     it = next;
+  }
+  if (persist_) {
+    // Purge stale persisted entries too: a restarted session re-reaches
+    // old version numbers (the counter starts at 0), so leaving them on
+    // disk would let a different catalog at the same version be served a
+    // stale table.
+    for (const std::string& key : store_->BlobKeys()) {
+      uint64_t blob_version = 0;
+      if (!ParseBlobKeyVersion(key, &blob_version)) continue;
+      if (blob_version < version) {
+        store_->RemoveBlob(key);
+        ++invalidations_;
+      }
+    }
   }
 }
 
@@ -240,6 +354,18 @@ size_t ResultCache::invalidations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return invalidations_;
 }
+size_t ResultCache::persistent_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persistent_writes_;
+}
+size_t ResultCache::persistent_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persistent_hits_;
+}
+size_t ResultCache::stale_rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_rejections_;
+}
 size_t ResultCache::bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;
@@ -250,12 +376,48 @@ size_t ResultCache::entries() const {
 }
 
 // ---------------------------------------------------------------------------
+// SchedulerStats.
+// ---------------------------------------------------------------------------
+
+void SchedulerStats::Accumulate(const SchedulerStats& other) {
+  jobs_scheduled += other.jobs_scheduled;
+  groups_formed += other.groups_formed;
+  jobs_coscheduled += other.jobs_coscheduled;
+  scan_extractions += other.scan_extractions;
+  scan_shared_hits += other.scan_shared_hits;
+  dedup_followers += other.dedup_followers;
+  dedup_promotions += other.dedup_promotions;
+  admission_rejections += other.admission_rejections;
+  result_cache_hits += other.result_cache_hits;
+  result_cache_misses += other.result_cache_misses;
+  result_cache_evictions += other.result_cache_evictions;
+  result_cache_invalidations += other.result_cache_invalidations;
+  result_cache_persistent_hits += other.result_cache_persistent_hits;
+  result_cache_persistent_writes += other.result_cache_persistent_writes;
+  result_cache_stale_rejections += other.result_cache_stale_rejections;
+  // Gauges are point-in-time, not additive: the most recent poll wins.
+  snapshot = other.snapshot;
+}
+
+// ---------------------------------------------------------------------------
 // Scheduler.
 // ---------------------------------------------------------------------------
 
 Scheduler::Scheduler(InspectionSession* session)
     : session_(session),
-      result_cache_(session->config_.result_cache_budget_bytes) {}
+      result_cache_(session->config_.result_cache_budget_bytes,
+                    session->store_.get(),
+                    session->config_.persist_result_cache) {
+  if (session->store_ != nullptr && session->config_.persist_result_cache &&
+      session->config_.result_cache_disk_quota_bytes > 0) {
+    session->store_->SetBlobNamespaceQuota(
+        "cache", session->config_.result_cache_disk_quota_bytes);
+  }
+}
+
+void Scheduler::OnCatalogMutation(uint64_t version) {
+  result_cache_.InvalidateBelow(version);
+}
 
 std::optional<Scheduler::GroupHandle> Scheduler::AttachToGroup(
     const InspectRequest& request) {
@@ -296,10 +458,205 @@ void Scheduler::ReleaseGroup(GroupHandle* group) {
   group->scan.reset();
 }
 
+size_t Scheduler::EstimateQueuedBytes(const InspectRequest& request) const {
+  const Catalog& catalog = session_->catalog_;
+  size_t units = 0;
+  for (const InspectRequest::ModelRef& ref : request.models) {
+    const Extractor* extractor = ref.extractor;
+    if (extractor == nullptr && !ref.name.empty()) {
+      Result<CatalogModel> entry = catalog.GetModel(ref.name);
+      if (entry.ok()) extractor = entry->extractor;
+    }
+    if (extractor != nullptr) units += extractor->num_units();
+  }
+  const Dataset* dataset = request.dataset;
+  if (dataset == nullptr && !request.dataset_name.empty()) {
+    Result<CatalogDataset> entry = catalog.GetDataset(request.dataset_name);
+    if (entry.ok()) dataset = entry->dataset;
+  }
+  const size_t symbols =
+      dataset != nullptr ? dataset->num_records() * dataset->ns() : 0;
+  const size_t estimate =
+      symbols * std::max<size_t>(units, 1) * sizeof(float);
+  // Unresolvable requests still occupy a queue slot; charge a floor.
+  return std::max<size_t>(estimate, size_t{1} << 10);
+}
+
+void Scheduler::OnJobStarted(size_t queued_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_jobs_ > 0) --queued_jobs_;
+  queued_bytes_ -= std::min(queued_bytes_, queued_bytes);
+}
+
+void Scheduler::OnJobFinished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_jobs_ > 0) --active_jobs_;
+}
+
+void Scheduler::ResolveCancelled(
+    const std::shared_ptr<internal::JobState>& state, std::string message) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->status == JobStatus::kDone ||
+      state->status == JobStatus::kCancelled) {
+    return;
+  }
+  state->on_cancel = nullptr;
+  state->status = JobStatus::kCancelled;
+  state->result = Status::Cancelled(std::move(message));
+  state->cv.notify_all();
+}
+
+void Scheduler::DeliverToWaiter(
+    const std::shared_ptr<internal::JobState>& state,
+    const Result<ResultTable>& result, const RuntimeStats& stats) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->status == JobStatus::kDone ||
+      state->status == JobStatus::kCancelled) {
+    return;  // already resolved (e.g. a concurrent CancelWaiter)
+  }
+  // A waiter whose Cancel() hook lost the race with this delivery still
+  // gets the result: it is complete, the same rule as a Cancel() racing
+  // a leader's completion.
+  state->on_cancel = nullptr;
+  RuntimeStats waiter_stats;
+  waiter_stats.dedup_hits = 1;
+  waiter_stats.total_s = stats.total_s;  // the leader's wall clock
+  state->stats = waiter_stats;
+  state->status = JobStatus::kDone;
+  state->result = result;
+  state->cv.notify_all();
+}
+
+void Scheduler::CancelWaiter(const std::shared_ptr<InflightJob>& job,
+                             const std::shared_ptr<internal::JobState>& state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(job->waiters.begin(), job->waiters.end(), state);
+    if (it == job->waiters.end()) {
+      // Already delivered to, or promoted to leader (its run polls the
+      // cancel flag): nothing to resolve here, and the leader is
+      // untouched either way.
+      return;
+    }
+    job->waiters.erase(it);
+  }
+  ResolveCancelled(state,
+                   "job " + std::to_string(state->id) +
+                       " cancelled while waiting on an identical in-flight "
+                       "job");
+}
+
+void Scheduler::FinishInflight(const std::shared_ptr<InflightJob>& job,
+                               Result<ResultTable> result,
+                               const RuntimeStats& stats,
+                               bool leader_cancelled) {
+  RuntimeStats current_stats = stats;
+  bool cancelled = leader_cancelled;
+  // A promoted waiter whose run completed is resolved only after the
+  // registry entry is retired, so "every handle resolved" implies "the
+  // registry is clean" — no transiently observable in-flight entry.
+  std::shared_ptr<internal::JobState> pending;
+  RuntimeStats pending_stats;
+  while (true) {
+    std::vector<std::shared_ptr<internal::JobState>> to_cancel;
+    std::vector<std::shared_ptr<internal::JobState>> to_deliver;
+    std::shared_ptr<internal::JobState> promoted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled) {
+        // The leader died without a complete result: promote the first
+        // waiter that has not itself been cancelled; it re-runs the
+        // request on this thread. Cancelled waiters resolve as cancelled.
+        while (!job->waiters.empty()) {
+          std::shared_ptr<internal::JobState> candidate =
+              job->waiters.front();
+          job->waiters.erase(job->waiters.begin());
+          if (candidate->cancel.load(std::memory_order_relaxed)) {
+            to_cancel.push_back(std::move(candidate));
+          } else {
+            promoted = std::move(candidate);
+            break;
+          }
+        }
+        if (promoted != nullptr) ++dedup_promotions_;
+      }
+      if (promoted == nullptr) {
+        // Terminal: retire the registry entry, then deliver (the result
+        // or the leader's cancellation) to every remaining waiter.
+        job->done = true;
+        to_deliver.swap(job->waiters);
+        auto it = inflight_.find({job->fingerprint, job->version});
+        if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+      }
+    }
+    for (const auto& state : to_cancel) {
+      ResolveCancelled(state,
+                       "job " + std::to_string(state->id) +
+                           " cancelled while waiting on an identical "
+                           "in-flight job");
+    }
+    if (promoted == nullptr) {
+      if (pending != nullptr) {
+        // The promoted ex-waiter that produced `result`: its terminal
+        // state was held back until the registry retirement above.
+        std::lock_guard<std::mutex> lock(pending->mu);
+        pending->stats = pending_stats;
+        pending->status = JobStatus::kDone;
+        pending->result = result;
+        pending->cv.notify_all();
+      }
+      for (const auto& state : to_deliver) {
+        if (cancelled) {
+          ResolveCancelled(state,
+                           "leader of the deduplicated job was cancelled "
+                           "and no waiter could be promoted");
+        } else {
+          DeliverToWaiter(state, result, current_stats);
+        }
+      }
+      return;
+    }
+    // Promotion: the ex-waiter becomes the leader and re-runs on this
+    // thread with its own cancellation; later waiters stay attached (the
+    // registry entry survives) and are served by this run.
+    {
+      std::lock_guard<std::mutex> lock(promoted->mu);
+      promoted->on_cancel = nullptr;
+      promoted->status = JobStatus::kRunning;
+    }
+    RuntimeStats promoted_stats;
+    Result<ResultTable> promoted_result =
+        Execute(job->request, AttachToGroup(job->request), job->fingerprint,
+                job->version, job->dataset_fingerprint, &promoted->cancel,
+                &promoted_stats);
+    pending.reset();
+    if (promoted_stats.cancelled) {
+      // Cancelled promotions resolve immediately (the next loop turn may
+      // promote someone else; this handle's fate is already sealed).
+      std::lock_guard<std::mutex> lock(promoted->mu);
+      promoted->stats = promoted_stats;
+      promoted->status = JobStatus::kCancelled;
+      promoted->result = Status::Cancelled(
+          "job " + std::to_string(promoted->id) + " cancelled after " +
+          std::to_string(promoted_stats.blocks_processed) + " blocks");
+      promoted->cv.notify_all();
+    } else {
+      // Completed (or errored): defer resolution until the registry
+      // entry is retired on the next loop turn.
+      pending = promoted;
+      pending_stats = promoted_stats;
+    }
+    result = std::move(promoted_result);
+    current_stats = promoted_stats;
+    cancelled = promoted_stats.cancelled;
+  }
+}
+
 Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
                                        std::optional<GroupHandle> group,
                                        std::optional<uint64_t> fingerprint,
                                        uint64_t version,
+                                       uint64_t dataset_fingerprint,
                                        const std::atomic<bool>* cancel,
                                        RuntimeStats* stats) {
   InspectRequest effective = request;
@@ -311,16 +668,20 @@ Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
   Result<ResultTable> result = RunInspectRequest(
       effective, session_->catalog_, session_->config_.options, &local);
   if (group) ReleaseGroup(&*group);
-  if (fingerprint) {
+  // A fingerprint may exist purely for dedup; only admit to the cache
+  // when the result cache itself is enabled.
+  if (fingerprint && session_->config_.enable_result_cache) {
     local.result_cache_misses = 1;
-    // Only complete, deterministic runs are cacheable: a cancelled or
-    // budget-truncated result depends on wall-clock timing.
+    // Only complete, deterministic runs are cacheable. Staleness is
+    // handled inside Insert: its admission floor was raised synchronously
+    // by any Register* that happened while this job ran, so a result
+    // computed under an invalidated catalog version is rejected there —
+    // no check-then-insert race against the catalog here.
     const bool complete =
-        result.ok() && !local.cancelled &&
-        options.max_blocks == std::numeric_limits<size_t>::max() &&
-        std::isinf(options.time_budget_s);
-    if (complete && session_->catalog_.version() == version) {
-      result_cache_.Insert(*fingerprint, version, *result);
+        result.ok() && !local.cancelled && DeterministicOptions(options);
+    if (complete) {
+      result_cache_.Insert(*fingerprint, version, dataset_fingerprint,
+                           *result);
     }
   }
   if (stats != nullptr) *stats = local;
@@ -334,25 +695,99 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
     ++jobs_scheduled_;
   }
   const uint64_t version = session_->catalog_.version();
+  const InspectOptions request_options =
+      request.options.value_or(session_->config_.options);
   std::optional<uint64_t> fingerprint;
-  if (session_->config_.enable_result_cache) {
-    fingerprint = InspectRequestFingerprint(
-        request, session_->catalog_,
-        request.options.value_or(session_->config_.options));
+  uint64_t dataset_fp = 0;
+  // The fingerprint keys both the result cache and the dedup registry;
+  // either feature alone needs it. It hashes the *resolved* shard count
+  // (see ResolvedShardCountFor).
+  if (session_->config_.enable_result_cache ||
+      session_->config_.enable_inflight_dedup) {
+    InspectOptions fp_options = request_options;
+    fp_options.num_shards =
+        ResolvedShardCountFor(request_options, session_->config_);
+    fingerprint = InspectRequestFingerprint(request, session_->catalog_,
+                                            fp_options);
     if (fingerprint) {
-      result_cache_.InvalidateBelow(version);
-      if (std::optional<ResultTable> hit =
-              result_cache_.Lookup(*fingerprint, version)) {
-        if (stats != nullptr) {
-          *stats = RuntimeStats{};
-          stats->result_cache_hits = 1;
+      dataset_fp =
+          DatasetFingerprintFor(request, session_->catalog_).value_or(0);
+    }
+  }
+  if (fingerprint && session_->config_.enable_result_cache) {
+    result_cache_.InvalidateBelow(version);
+    if (std::optional<ResultTable> hit =
+            result_cache_.Lookup(*fingerprint, version, dataset_fp)) {
+      if (stats != nullptr) {
+        *stats = RuntimeStats{};
+        stats->result_cache_hits = 1;
+      }
+      return std::move(*hit);
+    }
+  }
+
+  const bool dedupable = fingerprint.has_value() &&
+                         session_->config_.enable_inflight_dedup &&
+                         DeterministicOptions(request_options);
+  std::shared_ptr<InflightJob> inflight;
+  std::shared_ptr<internal::JobState> waiter;
+  Status admitted = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dedupable ? inflight_.find({*fingerprint, version})
+                        : inflight_.end();
+    if (dedupable && it != inflight_.end() && !it->second->done) {
+      // Identical request already in flight: park this caller on it.
+      waiter = std::make_shared<internal::JobState>();
+      it->second->waiters.push_back(waiter);
+      ++dedup_followers_;
+    } else {
+      // Admission first, leader registration second, atomically: a
+      // rejected request must leave no registry entry behind. The sync
+      // path runs immediately, so only the concurrent-job quota applies
+      // (nothing ever sits in a queue).
+      const SessionConfig& config = session_->config_;
+      if (config.max_concurrent_jobs > 0 &&
+          active_jobs_ >= config.max_concurrent_jobs) {
+        ++admission_rejections_;
+        admitted = Status::ResourceExhausted(
+            "concurrent-job quota exhausted: " +
+            std::to_string(active_jobs_) + " active, quota " +
+            std::to_string(config.max_concurrent_jobs));
+      } else {
+        ++active_jobs_;
+        if (dedupable) {
+          inflight = std::make_shared<InflightJob>();
+          inflight->fingerprint = *fingerprint;
+          inflight->version = version;
+          inflight->dataset_fingerprint = dataset_fp;
+          inflight->request = request;
+          inflight_[{*fingerprint, version}] = inflight;
         }
-        return std::move(*hit);
       }
     }
   }
-  return Execute(request, AttachToGroup(request), fingerprint, version,
-                 /*cancel=*/nullptr, stats);
+  if (waiter != nullptr) {
+    std::unique_lock<std::mutex> lock(waiter->mu);
+    waiter->cv.wait(lock, [&waiter] {
+      return waiter->status == JobStatus::kDone ||
+             waiter->status == JobStatus::kCancelled;
+    });
+    if (stats != nullptr) *stats = waiter->stats;
+    return *waiter->result;
+  }
+  if (!admitted.ok()) return admitted;
+
+  RuntimeStats local;
+  Result<ResultTable> result =
+      Execute(request, AttachToGroup(request), fingerprint, version,
+              dataset_fp, /*cancel=*/nullptr, &local);
+  if (inflight) {
+    FinishInflight(inflight, result, local, /*leader_cancelled=*/false);
+  }
+  OnJobFinished();
+  if (stats != nullptr) *stats = local;
+  return result;
 }
 
 JobHandle Scheduler::Submit(InspectRequest request) {
@@ -361,25 +796,115 @@ JobHandle Scheduler::Submit(InspectRequest request) {
     ++jobs_scheduled_;
   }
   const uint64_t version = session_->catalog_.version();
+  const InspectOptions request_options =
+      request.options.value_or(session_->config_.options);
   std::optional<uint64_t> fingerprint;
-  if (session_->config_.enable_result_cache) {
-    fingerprint = InspectRequestFingerprint(
-        request, session_->catalog_,
-        request.options.value_or(session_->config_.options));
+  uint64_t dataset_fp = 0;
+  // The fingerprint keys both the result cache and the dedup registry;
+  // either feature alone needs it. It hashes the *resolved* shard count
+  // (see ResolvedShardCountFor).
+  if (session_->config_.enable_result_cache ||
+      session_->config_.enable_inflight_dedup) {
+    InspectOptions fp_options = request_options;
+    fp_options.num_shards =
+        ResolvedShardCountFor(request_options, session_->config_);
+    fingerprint = InspectRequestFingerprint(request, session_->catalog_,
+                                            fp_options);
     if (fingerprint) {
-      result_cache_.InvalidateBelow(version);
-      if (std::optional<ResultTable> hit =
-              result_cache_.Lookup(*fingerprint, version)) {
-        // Served without touching the engine: the job is born done.
+      dataset_fp =
+          DatasetFingerprintFor(request, session_->catalog_).value_or(0);
+    }
+  }
+  if (fingerprint && session_->config_.enable_result_cache) {
+    result_cache_.InvalidateBelow(version);
+    if (std::optional<ResultTable> hit =
+            result_cache_.Lookup(*fingerprint, version, dataset_fp)) {
+      // Served without touching the engine: the job is born done.
+      auto state = session_->NewJobState();
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->status = JobStatus::kDone;
+      state->stats.result_cache_hits = 1;
+      state->result = std::move(*hit);
+      state->cv.notify_all();
+      return JobHandle(state);
+    }
+  }
+
+  // One critical section decides the job's role: waiter on an identical
+  // in-flight job (bypasses admission — it consumes no engine
+  // resources), rejected over quota, or admitted leader.
+  const SessionConfig& config = session_->config_;
+  const bool dedupable = fingerprint.has_value() &&
+                         config.enable_inflight_dedup &&
+                         DeterministicOptions(request_options);
+  const bool quota_enabled =
+      config.max_concurrent_jobs > 0 || config.max_queued_bytes > 0;
+  const size_t estimate =
+      config.max_queued_bytes > 0 ? EstimateQueuedBytes(request) : 0;
+  std::shared_ptr<InflightJob> inflight;
+  Status admitted = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dedupable) {
+      auto it = inflight_.find({*fingerprint, version});
+      if (it != inflight_.end() && !it->second->done) {
+        std::shared_ptr<InflightJob> job = it->second;
         auto state = session_->NewJobState();
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->status = JobStatus::kDone;
-        state->stats.result_cache_hits = 1;
-        state->result = std::move(*hit);
-        state->cv.notify_all();
+        job->waiters.push_back(state);
+        ++dedup_followers_;
+        {
+          // Cancel on a waiter resolves the waiter, never the leader.
+          std::lock_guard<std::mutex> state_lock(state->mu);
+          std::weak_ptr<internal::JobState> weak_state = state;
+          state->on_cancel = [this, job, weak_state] {
+            if (auto locked = weak_state.lock()) CancelWaiter(job, locked);
+          };
+        }
         return JobHandle(state);
       }
     }
+    if (quota_enabled) {
+      if (config.max_concurrent_jobs > 0 &&
+          active_jobs_ >= config.max_concurrent_jobs) {
+        ++admission_rejections_;
+        admitted = Status::ResourceExhausted(
+            "concurrent-job quota exhausted: " +
+            std::to_string(active_jobs_) + " active, quota " +
+            std::to_string(config.max_concurrent_jobs));
+      } else if (config.max_queued_bytes > 0 && queued_jobs_ > 0 &&
+                 queued_bytes_ + estimate > config.max_queued_bytes) {
+        // Keyed on queued (not running) jobs: the first job into an
+        // empty queue is always admitted, even over-size, so a single
+        // large request cannot wedge the session.
+        ++admission_rejections_;
+        admitted = Status::ResourceExhausted(
+            "queued-bytes quota exhausted: " +
+            std::to_string(queued_bytes_) + " queued + " +
+            std::to_string(estimate) + " requested > quota " +
+            std::to_string(config.max_queued_bytes));
+      }
+    }
+    if (admitted.ok()) {
+      ++active_jobs_;
+      ++queued_jobs_;
+      queued_bytes_ += estimate;
+      if (dedupable) {
+        inflight = std::make_shared<InflightJob>();
+        inflight->fingerprint = *fingerprint;
+        inflight->version = version;
+        inflight->dataset_fingerprint = dataset_fp;
+        inflight->request = request;
+        inflight_[{*fingerprint, version}] = inflight;
+      }
+    }
+  }
+  if (!admitted.ok()) {
+    auto state = session_->NewJobState();
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->status = JobStatus::kDone;
+    state->result = admitted;
+    state->cv.notify_all();
+    return JobHandle(state);
   }
 
   ThreadPool* pool = session_->EnsurePool();
@@ -387,8 +912,10 @@ JobHandle Scheduler::Submit(InspectRequest request) {
   // Group membership is claimed at submit time (not when the worker picks
   // the job up), so every job queued in one burst lands in one group.
   std::optional<GroupHandle> group = AttachToGroup(request);
-  pool->Submit([this, state, fingerprint, version, group = std::move(group),
+  pool->Submit([this, state, fingerprint, version, dataset_fp, estimate,
+                inflight, group = std::move(group),
                 request = std::move(request)]() mutable {
+    OnJobStarted(estimate);
     bool dropped = false;
     {
       std::lock_guard<std::mutex> lock(state->mu);
@@ -407,29 +934,52 @@ JobHandle Scheduler::Submit(InspectRequest request) {
       // Detach so the fused group's pending-block accounting does not
       // wait on a job that will never read anything.
       if (group) ReleaseGroup(&*group);
+      if (inflight) {
+        // The leader never ran: promote a waiter (it re-runs here, on
+        // the thread the leader would have used) or fail them cleanly.
+        FinishInflight(inflight, Status::Cancelled("leader cancelled"),
+                       RuntimeStats{}, /*leader_cancelled=*/true);
+      }
+      OnJobFinished();
       return;
     }
     RuntimeStats stats;
-    Result<ResultTable> result = Execute(request, std::move(group),
-                                         fingerprint, version,
-                                         &state->cancel, &stats);
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->stats = stats;
-    // Key off what the engine actually observed (stats.cancelled), not a
-    // re-read of the atomic: a Cancel() racing with completion must not
-    // discard a fully computed result.
-    if (stats.cancelled) {
-      state->status = JobStatus::kCancelled;
-      state->result =
-          Status::Cancelled("job " + std::to_string(state->id) +
-                            " cancelled after " +
-                            std::to_string(stats.blocks_processed) +
-                            " blocks");
+    Result<ResultTable> result =
+        Execute(request, std::move(group), fingerprint, version, dataset_fp,
+                &state->cancel, &stats);
+    auto resolve_leader = [&] {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->stats = stats;
+      // Key off what the engine actually observed (stats.cancelled), not a
+      // re-read of the atomic: a Cancel() racing with completion must not
+      // discard a fully computed result.
+      if (stats.cancelled) {
+        state->status = JobStatus::kCancelled;
+        state->result =
+            Status::Cancelled("job " + std::to_string(state->id) +
+                              " cancelled after " +
+                              std::to_string(stats.blocks_processed) +
+                              " blocks");
+      } else {
+        state->status = JobStatus::kDone;
+        state->result = result;
+      }
+      state->cv.notify_all();
+    };
+    if (inflight && stats.cancelled) {
+      // A cancelled leader resolves promptly — FinishInflight may spend a
+      // while re-running the request for a promoted waiter.
+      resolve_leader();
+      FinishInflight(inflight, std::move(result), stats, true);
+    } else if (inflight) {
+      // Retire the registry entry before the leader's own handle resolves
+      // so "all handles done" always implies "registry clean".
+      FinishInflight(inflight, result, stats, false);
+      resolve_leader();
     } else {
-      state->status = JobStatus::kDone;
-      state->result = std::move(result);
+      resolve_leader();
     }
-    state->cv.notify_all();
+    OnJobFinished();
   });
   return JobHandle(state);
 }
@@ -443,19 +993,33 @@ SchedulerStats Scheduler::stats() const {
     s.jobs_coscheduled = jobs_coscheduled_;
     s.scan_extractions = scan_extractions_;
     s.scan_shared_hits = scan_shared_hits_;
+    s.dedup_followers = dedup_followers_;
+    s.dedup_promotions = dedup_promotions_;
+    s.admission_rejections = admission_rejections_;
+    s.snapshot.inflight_jobs = inflight_.size();
+    s.snapshot.active_jobs = active_jobs_;
+    s.snapshot.queued_bytes = queued_bytes_;
   }
   s.result_cache_hits = result_cache_.hits();
   s.result_cache_misses = result_cache_.misses();
   s.result_cache_evictions = result_cache_.evictions();
   s.result_cache_invalidations = result_cache_.invalidations();
-  s.result_cache_bytes = result_cache_.bytes();
-  s.result_cache_entries = result_cache_.entries();
+  s.result_cache_persistent_hits = result_cache_.persistent_hits();
+  s.result_cache_persistent_writes = result_cache_.persistent_writes();
+  s.result_cache_stale_rejections = result_cache_.stale_rejections();
+  s.snapshot.result_cache_bytes = result_cache_.bytes();
+  s.snapshot.result_cache_entries = result_cache_.entries();
   return s;
 }
 
 size_t Scheduler::active_groups() const {
   std::lock_guard<std::mutex> lock(mu_);
   return groups_.size();
+}
+
+size_t Scheduler::inflight_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
 }
 
 }  // namespace deepbase

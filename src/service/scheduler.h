@@ -4,28 +4,52 @@
 // hypotheses over the same (model, dataset) share one extraction scan
 // and reuse cached behaviors instead of re-running the model per query).
 //
-// Three mechanisms, stacked:
+// Five mechanisms, stacked:
 //
 //   1. Result cache — completed inspections are cached by
 //      (InspectRequest fingerprint, catalog version); an identical
 //      re-submission is answered without invoking the engine at all
-//      (0 blocks processed). Any catalog mutation bumps the version and
-//      invalidates older entries. Only fully catalog-resolved requests
-//      (models/dataset/hypotheses/measures referenced by name, or an
-//      inline dataset, which is content-fingerprinted) are cacheable;
-//      requests with inline extractors or hypothesis/measure objects run
-//      every time.
-//   2. Shared-scan job batching — queued jobs are grouped by
+//      (0 blocks processed). Any catalog mutation bumps the version,
+//      invalidates older entries, and — synchronously, via the catalog's
+//      mutation listener — raises the cache's admission floor, so a
+//      result computed under an old version can never be admitted after
+//      the Register* that invalidated it (the stale-admission window).
+//      Only fully catalog-resolved requests (models/dataset/hypotheses/
+//      measures referenced by name, or an inline dataset, which is
+//      content-fingerprinted) are cacheable; requests with inline
+//      extractors or hypothesis/measure objects run every time.
+//   2. Persistent tier — with a session store, admitted entries are also
+//      serialized into the BehaviorStore's blob tier under
+//      "cache:<fingerprint>:<catalog version>:<dataset fingerprint>"
+//      (its own namespace + disk quota), so a restarted session answers
+//      repeat queries with zero engine work. Lookups revalidate against
+//      the live catalog version and dataset fingerprint by construction
+//      (they are part of the key), and stale-version blobs are purged
+//      when the catalog mutates. Caveat (the same name-identity contract
+//      as the store's unit/hypothesis tiers, see engine.h): hypothesis
+//      *functions* and model *weights* are arbitrary code and cannot be
+//      content-fingerprinted, so across restarts their catalog names are
+//      their identity — a changed hypothesis or retrained model must be
+//      registered under a fresh name (or in a different registration
+//      order, which changes the version), or disable persist_result_cache
+//      for definitions that churn under fixed names.
+//   3. In-flight dedup — identical requests that are in flight at the
+//      same time run the engine once: the first becomes the leader, the
+//      rest attach as waiters on the running job and receive its
+//      ResultTable (bit-identical scores). Cancelling a waiter resolves
+//      only that waiter; cancelling the leader promotes the first live
+//      waiter to re-run (on the leader's worker) or fails cleanly when
+//      none remain.
+//   4. Shared-scan job batching — queued jobs are grouped by
 //      (model ids, dataset fingerprint, scan-shaping options) and their
 //      block extraction is fused through one SharedScan: each block's
 //      unit behaviors are extracted once and fanned out to every member
 //      job's own measure set. Member jobs keep their own early stopping
-//      and cancellation — finishing, converging, or cancelling detaches
-//      a job from the group without disturbing the scan for the rest —
-//      and scores are bit-identical to isolated runs.
-//   3. Store tiers — the session BehaviorStore (unit + hypothesis
-//      namespaces, per-namespace quotas) persists behaviors across jobs
-//      and restarts; see core/behavior_store.h.
+//      and cancellation, and scores are bit-identical to isolated runs.
+//   5. Admission control — per-tenant (SessionConfig) quotas on
+//      concurrent jobs and queued extraction bytes; over-quota
+//      submissions are rejected with kResourceExhausted instead of
+//      queueing without bound.
 
 #pragma once
 
@@ -37,11 +61,14 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/shared_scan.h"
 #include "service/inspection_session.h"
 
 namespace deepbase {
+
+class BehaviorStore;
 
 /// \brief Fingerprint of a fully catalog-resolved InspectRequest plus the
 /// score-affecting option values; nullopt when the request is not
@@ -58,17 +85,47 @@ std::optional<std::string> BatchKeyFor(const InspectRequest& request,
                                        const Catalog& catalog,
                                        const InspectOptions& options);
 
+/// \brief Blob-tier key of one persisted result-cache entry.
+std::string ResultCacheBlobKey(uint64_t fingerprint, uint64_t version,
+                               uint64_t dataset_fingerprint);
+
 /// \brief LRU-over-bytes cache of completed inspection results, keyed by
-/// (request fingerprint, catalog version). Thread-safe.
+/// (request fingerprint, catalog version), with an optional persistent
+/// tier through a BehaviorStore's "cache:" blob namespace. Thread-safe.
+///
+/// Stale-admission discipline (the Berkholz et al. rule: revalidate
+/// against the update clock at admission, not only at lookup):
+/// InvalidateBelow(v) both drops entries older than v and raises a
+/// monotonic admission floor; Insert/Lookup reject versions below the
+/// floor, so a result computed under catalog version V that finishes
+/// after a Register* invalidated V is never admitted or served.
+///
+/// Persistent-tier I/O (blob read on a memory miss, blob write on
+/// admission, directory purge on invalidation) runs under the cache
+/// mutex by design: the floor check and the blob operation must be
+/// atomic against a concurrent purge, or a racing Register* could sweep
+/// the directory before a stale blob lands. The cost — concurrent
+/// probes briefly serializing behind one disk read — is only paid on
+/// memory-tier misses of store-backed sessions.
 class ResultCache {
  public:
-  explicit ResultCache(size_t budget_bytes) : budget_(budget_bytes) {}
+  /// \param store optional persistent tier (nullptr = memory only).
+  ResultCache(size_t budget_bytes, BehaviorStore* store, bool persist)
+      : budget_(budget_bytes), store_(store), persist_(persist && store) {}
 
-  /// \brief Cached result for (fingerprint, version); counts hit/miss.
-  std::optional<ResultTable> Lookup(uint64_t fingerprint, uint64_t version);
-  /// \brief Admit a completed result (replaces an existing entry).
-  void Insert(uint64_t fingerprint, uint64_t version, ResultTable table);
-  /// \brief Drop every entry older than `version` (catalog mutation).
+  /// \brief Cached result for (fingerprint, version): memory tier first,
+  /// then the persistent tier (re-admitted to memory on a hit). Counts
+  /// hit/miss. `dataset_fingerprint` keys the persistent tier.
+  std::optional<ResultTable> Lookup(uint64_t fingerprint, uint64_t version,
+                                    uint64_t dataset_fingerprint);
+  /// \brief Admit a completed result (replaces an existing entry) to both
+  /// tiers. Rejected (counted in stale_rejections) when `version` is
+  /// below the admission floor — i.e. the catalog has already moved on.
+  void Insert(uint64_t fingerprint, uint64_t version,
+              uint64_t dataset_fingerprint, ResultTable table);
+  /// \brief Drop every entry older than `version` (both tiers) and raise
+  /// the admission floor to `version`. No-op when the floor is already
+  /// there, so per-request calls are cheap.
   void InvalidateBelow(uint64_t version);
   void Clear();
 
@@ -76,6 +133,12 @@ class ResultCache {
   size_t misses() const;
   size_t evictions() const;
   size_t invalidations() const;
+  /// \brief Entries admitted to / served from the persistent blob tier.
+  size_t persistent_writes() const;
+  size_t persistent_hits() const;
+  /// \brief Insert attempts rejected because the catalog had already
+  /// invalidated the entry's version (the closed stale-admission window).
+  size_t stale_rejections() const;
   size_t bytes() const;
   size_t entries() const;
 
@@ -88,28 +151,60 @@ class ResultCache {
   };
 
   void EraseLocked(std::list<Entry>::iterator it);
+  void AdmitLocked(uint64_t fingerprint, uint64_t version, ResultTable table);
 
   const size_t budget_;
+  BehaviorStore* const store_;
+  const bool persist_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::map<std::pair<uint64_t, uint64_t>, std::list<Entry>::iterator> index_;
+  /// Admission floor: entries below this catalog version are neither
+  /// admitted nor served. Raised by InvalidateBelow, never lowered.
+  uint64_t floor_version_ = 0;
   size_t bytes_ = 0;
   size_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+  size_t persistent_writes_ = 0, persistent_hits_ = 0;
+  size_t stale_rejections_ = 0;
 };
 
-/// \brief Aggregate scheduler counters (cumulative over the session).
+/// \brief Aggregate scheduler counters. Two kinds of field, kept apart so
+/// polling stats() repeatedly stays additive: the top-level counters are
+/// cumulative over the session (Accumulate sums them); `snapshot` holds
+/// point-in-time gauges (current cache bytes/entries, in-flight jobs)
+/// that are NOT additive — Accumulate keeps the most recent snapshot
+/// instead of summing, so folding a stats poll into a running total never
+/// double-counts bytes.
 struct SchedulerStats {
+  // Cumulative counters (monotonic; sum across polls/sessions).
   size_t jobs_scheduled = 0;    ///< Submit() + sync Inspect() requests
   size_t groups_formed = 0;     ///< distinct shared-scan groups created
   size_t jobs_coscheduled = 0;  ///< jobs that joined an existing group
   size_t scan_extractions = 0;  ///< blocks extracted across all groups
   size_t scan_shared_hits = 0;  ///< blocks served from a group's scan
+  size_t dedup_followers = 0;   ///< submissions attached to an in-flight job
+  size_t dedup_promotions = 0;  ///< waiters promoted after a leader cancel
+  size_t admission_rejections = 0;  ///< submissions rejected over quota
   size_t result_cache_hits = 0;
   size_t result_cache_misses = 0;
   size_t result_cache_evictions = 0;
   size_t result_cache_invalidations = 0;
-  size_t result_cache_bytes = 0;
-  size_t result_cache_entries = 0;
+  size_t result_cache_persistent_hits = 0;
+  size_t result_cache_persistent_writes = 0;
+  size_t result_cache_stale_rejections = 0;
+
+  /// Point-in-time gauges (NOT additive across polls).
+  struct Snapshot {
+    size_t result_cache_bytes = 0;
+    size_t result_cache_entries = 0;
+    size_t inflight_jobs = 0;  ///< dedup registry entries right now
+    size_t active_jobs = 0;    ///< queued + running engine jobs right now
+    size_t queued_bytes = 0;   ///< estimated bytes awaiting execution
+  } snapshot;
+
+  /// \brief Fold another poll into this one: cumulative counters sum,
+  /// `snapshot` takes `other`'s (most recent wins).
+  void Accumulate(const SchedulerStats& other);
 };
 
 /// \brief The session's scheduler. Owned by InspectionSession; every
@@ -118,16 +213,26 @@ class Scheduler {
  public:
   explicit Scheduler(InspectionSession* session);
 
-  /// \brief Async path: result-cache probe, group attach, enqueue.
+  /// \brief Async path: result-cache probe, in-flight dedup, admission
+  /// check, group attach, enqueue. Over-quota submissions return a handle
+  /// already resolved with kResourceExhausted.
   JobHandle Submit(InspectRequest request);
-  /// \brief Sync path: same caching/batching, run on the caller thread.
+  /// \brief Sync path: same caching/dedup/admission, run on the caller
+  /// thread (an identical in-flight job parks the caller until the
+  /// leader's result is ready).
   Result<ResultTable> RunSync(const InspectRequest& request,
                               RuntimeStats* stats);
+
+  /// \brief Catalog mutation hook (wired by InspectionSession): raises
+  /// the result cache's admission floor to `version` synchronously.
+  void OnCatalogMutation(uint64_t version);
 
   SchedulerStats stats() const;
   ResultCache& result_cache() { return result_cache_; }
   /// \brief Shared-scan groups currently alive (fused jobs in flight).
   size_t active_groups() const;
+  /// \brief Dedup registry entries currently alive.
+  size_t inflight_jobs() const;
 
  private:
   /// One job's membership in a shared-scan group.
@@ -135,6 +240,19 @@ class Scheduler {
     std::string key;
     std::shared_ptr<SharedScan> scan;
     std::shared_ptr<SharedScanClient> client;
+  };
+
+  /// One entry of the in-flight dedup registry: the leader's request (for
+  /// waiter promotion after a leader cancel) plus the waiters parked on
+  /// it. `done` flips when the leader's terminal delivery has begun; a
+  /// waiter that finds `done` missed the delivery and must run itself.
+  struct InflightJob {
+    uint64_t fingerprint = 0;
+    uint64_t version = 0;
+    uint64_t dataset_fingerprint = 0;
+    InspectRequest request;
+    bool done = false;                                       // guarded by mu_
+    std::vector<std::shared_ptr<internal::JobState>> waiters;  // guarded by mu_
   };
 
   std::optional<GroupHandle> AttachToGroup(const InspectRequest& request);
@@ -145,19 +263,54 @@ class Scheduler {
   Result<ResultTable> Execute(const InspectRequest& request,
                               std::optional<GroupHandle> group,
                               std::optional<uint64_t> fingerprint,
-                              uint64_t version,
+                              uint64_t version, uint64_t dataset_fingerprint,
                               const std::atomic<bool>* cancel,
                               RuntimeStats* stats);
+
+  /// Leader terminal path: deliver `result` to every live waiter (or,
+  /// when the leader was cancelled, promote the first live waiter and
+  /// re-run on this thread), then retire the registry entry.
+  void FinishInflight(const std::shared_ptr<InflightJob>& job,
+                      Result<ResultTable> result, const RuntimeStats& stats,
+                      bool leader_cancelled);
+  /// Waiter-side cancellation: detach `state` from `job` (if still
+  /// parked) and resolve it as kCancelled. Never touches the leader.
+  void CancelWaiter(const std::shared_ptr<InflightJob>& job,
+                    const std::shared_ptr<internal::JobState>& state);
+  /// Resolve a non-terminal state as kCancelled (no-op when already
+  /// terminal); clears its on_cancel hook.
+  static void ResolveCancelled(const std::shared_ptr<internal::JobState>& state,
+                               std::string message);
+  /// Resolve one waiter state with the leader's result.
+  static void DeliverToWaiter(const std::shared_ptr<internal::JobState>& state,
+                              const Result<ResultTable>& result,
+                              const RuntimeStats& stats);
+
+  void OnJobStarted(size_t queued_bytes);
+  void OnJobFinished();
+  /// Rough extraction footprint of a request (dataset rows × unit count),
+  /// the unit of the queued-bytes quota.
+  size_t EstimateQueuedBytes(const InspectRequest& request) const;
 
   InspectionSession* session_;
   ResultCache result_cache_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<SharedScan>> groups_;
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<InflightJob>>
+      inflight_;
   size_t jobs_scheduled_ = 0;
   size_t groups_formed_ = 0;
   size_t jobs_coscheduled_ = 0;
   size_t scan_extractions_ = 0;
   size_t scan_shared_hits_ = 0;
+  size_t dedup_followers_ = 0;
+  size_t dedup_promotions_ = 0;
+  size_t admission_rejections_ = 0;
+  size_t active_jobs_ = 0;
+  /// Jobs admitted but not yet picked up by a worker (the queued-bytes
+  /// quota keys on these, never on running jobs).
+  size_t queued_jobs_ = 0;
+  size_t queued_bytes_ = 0;
 };
 
 }  // namespace deepbase

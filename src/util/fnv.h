@@ -1,0 +1,40 @@
+// FNV-1a hashing and fixed-width hex rendering, shared by the behavior
+// store's file naming and the scheduler's request/cache-key fingerprints.
+// The two sides must agree on these functions — scheduler blob keys
+// (ResultCacheBlobKey) are hashed into store file names (PathForBlob) —
+// so there is exactly one definition.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace deepbase {
+
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Fnv1a(const void* data, size_t bytes,
+                      uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// \brief 16-digit lowercase hex of a 64-bit value.
+inline std::string HexU64(uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace deepbase

@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kIOError,
   kDataLoss,
   kCancelled,
+  kResourceExhausted,
 };
 
 /// \brief Outcome of an operation: OK or an error code with a message.
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -224,6 +224,102 @@ TEST_F(StoreFixture, KeysListsPersistedEntries) {
   EXPECT_EQ(store.Keys(), (std::vector<std::string>{"a", "b"}));
 }
 
+TEST_F(StoreFixture, GetSharedServesOneAllocationAndSurvivesEviction) {
+  BehaviorStore store(dir_.string());
+  Matrix m = TestMatrix(8, 4, 11);
+  ASSERT_TRUE(store.Put("unit:shared", m).ok());
+
+  Result<std::shared_ptr<const Matrix>> a = store.GetShared("unit:shared");
+  Result<std::shared_ptr<const Matrix>> b = store.GetShared("unit:shared");
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Literally the same allocation: concurrent readers share one matrix
+  // instead of holding per-job deep copies.
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ(MaxAbsDiff(**a, m), 0.0f);
+
+  // Eviction drops the store's reference only; live handles stay valid.
+  store.EvictFromMemory("unit:shared");
+  EXPECT_EQ(MaxAbsDiff(**a, m), 0.0f);
+
+  // A re-read reloads from disk into a fresh allocation.
+  Result<std::shared_ptr<const Matrix>> c = store.GetShared("unit:shared");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c->get(), a->get());
+  EXPECT_EQ(MaxAbsDiff(**c, m), 0.0f);
+}
+
+TEST_F(StoreFixture, BlobRoundTripAndReopen) {
+  const std::string payload(1000, 'x');
+  {
+    BehaviorStore store(dir_.string());
+    ASSERT_TRUE(store.PutBlob("cache:abc", payload).ok());
+    Result<std::string> back = store.GetBlob("cache:abc");
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, payload);
+    EXPECT_TRUE(store.ContainsBlob("cache:abc"));
+    EXPECT_EQ(store.GetBlob("cache:nope").status().code(),
+              StatusCode::kNotFound);
+  }
+  {
+    BehaviorStore store(dir_.string());  // reopen: blob tier is on disk
+    Result<std::string> back = store.GetBlob("cache:abc");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, payload);
+    EXPECT_EQ(store.BlobKeys(), (std::vector<std::string>{"cache:abc"}));
+    ASSERT_TRUE(store.RemoveBlob("cache:abc").ok());
+    EXPECT_FALSE(store.ContainsBlob("cache:abc"));
+  }
+}
+
+TEST_F(StoreFixture, BlobsAndMatricesDoNotCollideOnOneKey) {
+  BehaviorStore store(dir_.string());
+  Matrix m = TestMatrix(3, 3, 7);
+  ASSERT_TRUE(store.Put("dual", m).ok());
+  ASSERT_TRUE(store.PutBlob("dual", "payload").ok());
+  ASSERT_TRUE(store.Get("dual").ok());
+  Result<std::string> blob = store.GetBlob("dual");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob, "payload");
+}
+
+TEST_F(StoreFixture, BlobNamespaceQuotaEvictsOldestWritten) {
+  BehaviorStore store(dir_.string());
+  // Equal-length keys so every blob file has the same size.
+  const std::string payload(500, 'p');
+  ASSERT_TRUE(store.PutBlob("cache:aa", payload).ok());
+  ASSERT_TRUE(store.PutBlob("cache:bb", payload).ok());
+  ASSERT_TRUE(store.PutBlob("other:cc", payload).ok());
+  const size_t one = store.blob_namespace_bytes("cache") / 2;
+  ASSERT_GT(one, payload.size());
+
+  // Quota for one blob: the older "cache:" entry goes; "other:" survives.
+  store.SetBlobNamespaceQuota("cache", one);
+  EXPECT_GE(store.blob_evictions(), 1u);
+  EXPECT_FALSE(store.ContainsBlob("cache:aa"));
+  EXPECT_TRUE(store.ContainsBlob("cache:bb"));
+  EXPECT_TRUE(store.ContainsBlob("other:cc"));
+  EXPECT_LE(store.blob_namespace_bytes("cache"), one);
+
+  // Writes keep enforcing the quota.
+  ASSERT_TRUE(store.PutBlob("cache:dd", payload).ok());
+  EXPECT_FALSE(store.ContainsBlob("cache:bb"));
+  EXPECT_TRUE(store.ContainsBlob("cache:dd"));
+}
+
+TEST_F(StoreFixture, BlobCorruptionIsDetected) {
+  BehaviorStore store(dir_.string());
+  ASSERT_TRUE(store.PutBlob("cache:c", std::string(256, 'z')).ok());
+  // Flip a payload byte in the single .blob file.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".blob") continue;
+    std::fstream f(entry.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-4, std::ios::end);
+    f.put('!');
+  }
+  EXPECT_EQ(store.GetBlob("cache:c").status().code(), StatusCode::kDataLoss);
+}
+
 TEST(DatasetFingerprintTest, SensitiveToContentAndShape) {
   Dataset a(Vocab::FromChars("ab"), 4);
   a.AddText("abab");

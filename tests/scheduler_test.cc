@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <thread>
 
@@ -149,6 +150,10 @@ TEST(SchedulerTest, EightFusedJobsOneExtractionPassAndCachedResubmit) {
   config.options.early_stopping = false;  // fixed: one full pass
   config.options.num_shards = 1;          // bit-reproducible lane
   config.num_threads = 4;
+  // Identical concurrent requests normally dedup to one execution (see
+  // SchedulerDedupTest); force them through the shared-scan path here to
+  // keep the fused-group machinery covered.
+  config.enable_inflight_dedup = false;
   InspectionSession session(std::move(config));
   session.catalog().RegisterModel("planted", &extractor);
   session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
@@ -259,6 +264,7 @@ TEST(SchedulerTest, CancellingOneFusedJobLeavesTheOthersIntact) {
   config.options.early_stopping = false;
   config.options.num_shards = 1;
   config.num_threads = 2;
+  config.enable_inflight_dedup = false;  // exercise the fused-scan cancel
   InspectionSession session(std::move(config));
   session.catalog().RegisterModel("planted", &extractor);
   session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
@@ -361,34 +367,550 @@ ResultTable TableOfRows(size_t n, const std::string& tag) {
 }
 
 TEST(ResultCacheTest, HitMissAndInvalidation) {
-  ResultCache cache(1ull << 20);
-  cache.Insert(7, 1, TableOfRows(3, "a"));
-  EXPECT_FALSE(cache.Lookup(7, 2).has_value());  // version mismatch
-  EXPECT_FALSE(cache.Lookup(8, 1).has_value());  // unknown fingerprint
-  std::optional<ResultTable> hit = cache.Lookup(7, 1);
+  ResultCache cache(1ull << 20, /*store=*/nullptr, /*persist=*/false);
+  cache.Insert(7, 1, 0, TableOfRows(3, "a"));
+  EXPECT_FALSE(cache.Lookup(7, 2, 0).has_value());  // version mismatch
+  EXPECT_FALSE(cache.Lookup(8, 1, 0).has_value());  // unknown fingerprint
+  std::optional<ResultTable> hit = cache.Lookup(7, 1, 0);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->size(), 3u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 2u);
 
   cache.InvalidateBelow(2);
-  EXPECT_FALSE(cache.Lookup(7, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(7, 1, 0).has_value());
   EXPECT_EQ(cache.invalidations(), 1u);
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
 }
 
 TEST(ResultCacheTest, LruEvictionKeepsBytesUnderBudget) {
-  ResultCache cache(/*budget_bytes=*/4096);
+  ResultCache cache(/*budget_bytes=*/4096, nullptr, false);
   for (uint64_t fp = 0; fp < 32; ++fp) {
-    cache.Insert(fp, 1, TableOfRows(8, "model"));
+    cache.Insert(fp, 1, 0, TableOfRows(8, "model"));
     EXPECT_LE(cache.bytes(), 4096u);
   }
   EXPECT_GE(cache.evictions(), 1u);
   EXPECT_LT(cache.entries(), 32u);
   // Most-recent entry survives, the oldest was evicted.
-  EXPECT_TRUE(cache.Lookup(31, 1).has_value());
-  EXPECT_FALSE(cache.Lookup(0, 1).has_value());
+  EXPECT_TRUE(cache.Lookup(31, 1, 0).has_value());
+  EXPECT_FALSE(cache.Lookup(0, 1, 0).has_value());
+}
+
+// The stale-admission regression, unit form: a result computed under a
+// catalog version the cache has already invalidated must be rejected at
+// admission (pre-fix it was admitted, survived every later sweep — the
+// sweep for its version had already run — and a restarted session whose
+// version counter re-reached it could be served the stale table).
+TEST(ResultCacheTest, InsertBelowAdmissionFloorIsRejected) {
+  ResultCache cache(1ull << 20, nullptr, false);
+  cache.InvalidateBelow(2);
+  cache.Insert(7, 1, 0, TableOfRows(3, "stale"));  // computed under v1
+  EXPECT_FALSE(cache.Lookup(7, 1, 0).has_value());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stale_rejections(), 1u);
+  // Admission at (or above) the floor still works.
+  cache.Insert(7, 2, 0, TableOfRows(3, "fresh"));
+  EXPECT_TRUE(cache.Lookup(7, 2, 0).has_value());
+  EXPECT_EQ(cache.stale_rejections(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// In-flight dedup: identical concurrent submissions run the engine once.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerDedupTest, ConcurrentIdenticalSubmitsRunTheEngineOnce) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(240, 8);
+  const size_t kBlocks = 240 / 16;
+
+  SessionConfig config;
+  config.options.block_size = 16;
+  config.options.early_stopping = false;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 2, &release);
+
+  const size_t kJobs = 4;
+  std::vector<JobHandle> jobs;
+  for (size_t j = 0; j < kJobs; ++j) {
+    jobs.push_back(session.Submit(PlantedRequest()));
+  }
+  release.store(true, std::memory_order_release);
+
+  std::vector<std::string> tables;
+  size_t dedup_served = 0, engine_runs = 0;
+  for (JobHandle& job : jobs) {
+    const Result<ResultTable>& result = job.Wait();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    tables.push_back(result->ToCsv());
+    const RuntimeStats stats = job.Stats();
+    if (stats.dedup_hits > 0) {
+      ++dedup_served;
+      EXPECT_EQ(stats.blocks_processed, 0u);  // waiters never ran the engine
+    } else if (stats.blocks_processed > 0) {
+      ++engine_runs;
+    }
+  }
+  // Bit-identical tables — the waiters hold the leader's result.
+  for (size_t j = 1; j < tables.size(); ++j) EXPECT_EQ(tables[j], tables[0]);
+  // Exactly one engine execution and exactly one extraction pass.
+  EXPECT_EQ(engine_runs, 1u);
+  EXPECT_EQ(dedup_served, kJobs - 1);
+  EXPECT_EQ(extractor.block_calls(), kBlocks);
+  const SchedulerStats sched = session.scheduler().stats();
+  EXPECT_EQ(sched.dedup_followers, kJobs - 1);
+  EXPECT_EQ(sched.dedup_promotions, 0u);
+  EXPECT_EQ(session.scheduler().inflight_jobs(), 0u);  // registry retired
+}
+
+TEST(SchedulerDedupTest, DedupWorksWithResultCacheDisabled) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(240, 8);
+  const size_t kBlocks = 240 / 16;
+
+  SessionConfig config;
+  config.options.block_size = 16;
+  config.options.early_stopping = false;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  config.enable_result_cache = false;  // dedup must not depend on it
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 2, &release);
+  JobHandle leader = session.Submit(PlantedRequest());
+  JobHandle waiter = session.Submit(PlantedRequest());
+  EXPECT_EQ(session.scheduler().stats().dedup_followers, 1u);
+  release.store(true, std::memory_order_release);
+
+  const Result<ResultTable>& a = leader.Wait();
+  const Result<ResultTable>& b = waiter.Wait();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ToCsv(), b->ToCsv());
+  EXPECT_EQ(extractor.block_calls(), kBlocks);  // one extraction pass
+  // Nothing was admitted to the (disabled) result cache.
+  EXPECT_EQ(session.scheduler().result_cache().entries(), 0u);
+  EXPECT_EQ(session.scheduler().stats().result_cache_misses, 0u);
+}
+
+TEST(SchedulerDedupTest, CancellingAWaiterNeverKillsTheLeader) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(240, 8);
+
+  SessionConfig config;
+  config.options.block_size = 16;
+  config.options.early_stopping = false;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  CountingExtractor reference_extractor(4);
+  InspectOptions plain;
+  plain.block_size = 16;
+  plain.early_stopping = false;
+  plain.num_shards = 1;
+  ResultTable reference =
+      Inspect({AllUnitsGroup(&reference_extractor)}, dataset,
+              {std::make_shared<CorrelationScore>("pearson")},
+              {IsAHypothesis()}, plain);
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 2, &release);
+  JobHandle leader = session.Submit(PlantedRequest());
+  JobHandle waiter = session.Submit(PlantedRequest());
+  EXPECT_EQ(session.scheduler().stats().dedup_followers, 1u);
+
+  waiter.Cancel();
+  // The waiter resolves immediately — it is not parked until the leader
+  // finishes, and the leader is untouched.
+  EXPECT_TRUE(waiter.Done());
+  EXPECT_EQ(waiter.Poll(), JobStatus::kCancelled);
+  EXPECT_EQ(waiter.Wait().status().code(), StatusCode::kCancelled);
+
+  release.store(true, std::memory_order_release);
+  const Result<ResultTable>& result = leader.Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(ScoresOf(*result), ScoresOf(reference));
+  EXPECT_EQ(session.scheduler().inflight_jobs(), 0u);
+}
+
+TEST(SchedulerDedupTest, CancellingTheLeaderPromotesAWaiter) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(240, 8);
+
+  SessionConfig config;
+  config.options.block_size = 16;
+  config.options.early_stopping = false;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  CountingExtractor reference_extractor(4);
+  InspectOptions plain;
+  plain.block_size = 16;
+  plain.early_stopping = false;
+  plain.num_shards = 1;
+  ResultTable reference =
+      Inspect({AllUnitsGroup(&reference_extractor)}, dataset,
+              {std::make_shared<CorrelationScore>("pearson")},
+              {IsAHypothesis()}, plain);
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 2, &release);
+  JobHandle leader = session.Submit(PlantedRequest());
+  JobHandle waiter = session.Submit(PlantedRequest());
+  leader.Cancel();  // before it ever runs: the waiter must take over
+  release.store(true, std::memory_order_release);
+
+  leader.Wait();
+  EXPECT_EQ(leader.Poll(), JobStatus::kCancelled);
+  const Result<ResultTable>& promoted = waiter.Wait();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(ScoresOf(*promoted), ScoresOf(reference));
+  // The promoted waiter really ran the engine (it is no dedup hit).
+  EXPECT_GT(waiter.Stats().blocks_processed, 0u);
+  EXPECT_EQ(waiter.Stats().dedup_hits, 0u);
+  const SchedulerStats sched = session.scheduler().stats();
+  EXPECT_EQ(sched.dedup_followers, 1u);
+  EXPECT_EQ(sched.dedup_promotions, 1u);
+  EXPECT_EQ(session.scheduler().inflight_jobs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent result cache: restarts answer repeat queries with zero
+// engine work; catalog / dataset mismatches invalidate.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerPersistenceTest, RestartRoundTripAndInvalidation) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "deepbase_scheduler_persist";
+  std::filesystem::remove_all(dir);
+
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(120, 8);
+  Dataset mutated = MakeAbDataset(121, 8);  // different content fingerprint
+
+  auto make_session = [&](Dataset* ds, bool extra_registration) {
+    SessionConfig config;
+    config.options.block_size = 32;
+    config.options.num_shards = 1;
+    config.store_dir = dir.string();
+    auto session = std::make_unique<InspectionSession>(std::move(config));
+    session->catalog().RegisterModel("planted", &extractor);
+    session->catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+    session->catalog().RegisterDataset("ab", ds);
+    if (extra_registration) {
+      session->catalog().RegisterHypotheses("extra", {IsAHypothesis()});
+    }
+    return session;
+  };
+
+  std::string first_csv;
+  {
+    auto session = make_session(&dataset, false);
+    RuntimeStats stats;
+    Result<ResultTable> first = session->Inspect(PlantedRequest(), &stats);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_GT(stats.blocks_processed, 0u);
+    first_csv = first->ToCsv();
+    EXPECT_GE(session->scheduler().stats().result_cache_persistent_writes,
+              1u);
+    ASSERT_NE(session->store(), nullptr);
+    EXPECT_FALSE(session->store()->BlobKeys().empty());
+  }
+  {
+    // Restart with the identical registration sequence: the repeat query
+    // is answered from the persisted entry with zero engine work.
+    auto session = make_session(&dataset, false);
+    RuntimeStats stats;
+    Result<ResultTable> again = session->Inspect(PlantedRequest(), &stats);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(stats.result_cache_hits, 1u);
+    EXPECT_EQ(stats.blocks_processed, 0u);
+    EXPECT_EQ(again->ToCsv(), first_csv);  // bit-identical across restart
+    const SchedulerStats sched = session->scheduler().stats();
+    EXPECT_EQ(sched.result_cache_persistent_hits, 1u);
+    // The entry was re-admitted to the memory tier on the way through.
+    EXPECT_GE(sched.snapshot.result_cache_entries, 1u);
+  }
+  {
+    // Dataset fingerprint mismatch: same registration count (same catalog
+    // version), different dataset contents — the persisted entry must not
+    // be served; the engine runs.
+    auto session = make_session(&mutated, false);
+    RuntimeStats stats;
+    Result<ResultTable> rerun = session->Inspect(PlantedRequest(), &stats);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_EQ(stats.result_cache_hits, 0u);
+    EXPECT_GT(stats.blocks_processed, 0u);
+  }
+  {
+    // Catalog mismatch: an extra Register* means a different version; the
+    // old persisted entries are not served and are purged as stale.
+    auto session = make_session(&dataset, true);
+    RuntimeStats stats;
+    Result<ResultTable> rerun = session->Inspect(PlantedRequest(), &stats);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_EQ(stats.result_cache_hits, 0u);
+    EXPECT_GT(stats.blocks_processed, 0u);
+    // Every surviving cache: blob carries the current catalog version.
+    ASSERT_NE(session->store(), nullptr);
+    for (const std::string& key : session->store()->BlobKeys()) {
+      if (key.rfind("cache:", 0) != 0) continue;
+      const std::string version_hex =
+          ResultCacheBlobKey(0, session->catalog_version(), 0).substr(23, 16);
+      EXPECT_NE(key.find(":" + version_hex + ":"), std::string::npos) << key;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// The stale-admission window (headline bugfix): a Register* racing a
+// long-running job must not let the job's late result into the cache.
+// ---------------------------------------------------------------------------
+
+// Parks the engine mid-run: the first Eval signals `started` and waits
+// for `release` — the deterministic window in which the test races a
+// Register* against the running job.
+HypothesisPtr GatedHypothesis(std::atomic<bool>* started,
+                              std::atomic<bool>* release) {
+  return std::make_shared<FunctionHypothesis>(
+      "is_a_gated", [started, release](const Record& rec) {
+        started->store(true, std::memory_order_release);
+        while (!release->load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        std::vector<float> out(rec.size(), 0.0f);
+        for (size_t i = 0; i < rec.size(); ++i) {
+          if (rec.tokens[i] == "a") out[i] = 1.0f;
+        }
+        return out;
+      });
+}
+
+TEST(SchedulerStaleAdmissionTest, LateResultIsRejectedAfterInvalidation) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "deepbase_scheduler_stale";
+  std::filesystem::remove_all(dir);
+
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(120, 8);
+  std::atomic<bool> started{false}, release{false};
+
+  SessionConfig config;
+  config.options.block_size = 32;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  config.store_dir = dir.string();  // the persistent tier must stay clean
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses(
+      "keywords", {GatedHypothesis(&started, &release)});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  JobHandle job = session.Submit(PlantedRequest());
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The job is provably mid-execution. This Register* invalidates the
+  // catalog version it started under — synchronously, via the catalog's
+  // mutation listener, before the job can admit its result.
+  session.catalog().RegisterHypotheses("bump", {IsAHypothesis()});
+  release.store(true, std::memory_order_release);
+
+  const Result<ResultTable>& result = job.Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();  // caller is served
+
+  // ...but the cache is not: pre-fix, the late admission would land an
+  // entry under the dead version that no later sweep drops (the sweep for
+  // that version already ran) and persist it to disk, where a restarted
+  // session re-reaching the version number could be served stale scores.
+  EXPECT_EQ(session.scheduler().result_cache().entries(), 0u);
+  EXPECT_EQ(session.scheduler().stats().result_cache_stale_rejections, 1u);
+  ASSERT_NE(session.store(), nullptr);
+  for (const std::string& key : session.store()->BlobKeys()) {
+    EXPECT_NE(key.rfind("cache:", 0), 0u) << "stale blob persisted: " << key;
+  }
+
+  // A repeat request at the current version finds nothing cached.
+  RuntimeStats stats;
+  ASSERT_TRUE(session.Inspect(PlantedRequest(), &stats).ok());
+  EXPECT_EQ(stats.result_cache_hits, 0u);
+  EXPECT_GT(stats.blocks_processed, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+void WaitForIdleScheduler(InspectionSession* session) {
+  for (int i = 0; i < 5000; ++i) {
+    if (session->scheduler().stats().snapshot.active_jobs == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(SchedulerAdmissionTest, ConcurrentJobQuotaRejectsTyped) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(120, 8);
+
+  SessionConfig config;
+  config.options.block_size = 32;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  config.max_concurrent_jobs = 1;
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterHypotheses("keywords2", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  InspectRequest other = PlantedRequest();
+  other.hypothesis_sets = {"keywords2"};
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 2, &release);
+  JobHandle admitted = session.Submit(PlantedRequest());
+  EXPECT_EQ(admitted.Poll(), JobStatus::kQueued);
+
+  // A distinct over-quota submission is rejected with a typed status.
+  JobHandle rejected = session.Submit(other);
+  EXPECT_TRUE(rejected.Done());
+  EXPECT_EQ(rejected.Wait().status().code(),
+            StatusCode::kResourceExhausted);
+
+  // An identical concurrent submission attaches as a dedup waiter — it
+  // consumes no engine resources, so the quota does not apply.
+  JobHandle waiter = session.Submit(PlantedRequest());
+  EXPECT_FALSE(waiter.Done());
+  EXPECT_EQ(session.scheduler().stats().dedup_followers, 1u);
+
+  release.store(true, std::memory_order_release);
+  ASSERT_TRUE(admitted.Wait().ok());
+  ASSERT_TRUE(waiter.Wait().ok());
+  EXPECT_EQ(session.scheduler().stats().admission_rejections, 1u);
+
+  // Capacity freed: the same distinct request is admitted now.
+  WaitForIdleScheduler(&session);
+  JobHandle after = session.Submit(other);
+  ASSERT_TRUE(after.Wait().ok());
+}
+
+TEST(SchedulerAdmissionTest, QueuedBytesQuotaRejectsButNeverWedges) {
+  CountingExtractor extractor(4);
+  Dataset dataset = MakeAbDataset(120, 8);
+
+  SessionConfig config;
+  config.options.block_size = 32;
+  config.options.num_shards = 1;
+  config.num_threads = 2;
+  config.max_queued_bytes = 1;  // only an empty queue admits anything
+  InspectionSession session(std::move(config));
+  session.catalog().RegisterModel("planted", &extractor);
+  session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+  session.catalog().RegisterHypotheses("keywords2", {IsAHypothesis()});
+  session.catalog().RegisterDataset("ab", &dataset);
+
+  InspectRequest other = PlantedRequest();
+  other.hypothesis_sets = {"keywords2"};
+
+  std::atomic<bool> release{false};
+  auto blockers = BlockPool(session.thread_pool(), 2, &release);
+  // First into an empty queue: always admitted, even over-size.
+  JobHandle first = session.Submit(PlantedRequest());
+  EXPECT_EQ(first.Poll(), JobStatus::kQueued);
+  // Second would overflow the queued-bytes quota behind the first.
+  JobHandle second = session.Submit(other);
+  EXPECT_EQ(second.Wait().status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(session.scheduler().stats().admission_rejections, 1u);
+
+  release.store(true, std::memory_order_release);
+  ASSERT_TRUE(first.Wait().ok());
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerStats: cumulative counters sum, gauges never double-count.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerStatsTest, AccumulateSumsCountersButNotGauges) {
+  SchedulerStats a, b;
+  a.jobs_scheduled = 3;
+  a.result_cache_hits = 2;
+  a.dedup_followers = 1;
+  a.snapshot.result_cache_bytes = 100;
+  a.snapshot.result_cache_entries = 1;
+  b.jobs_scheduled = 4;
+  b.result_cache_hits = 1;
+  b.admission_rejections = 2;
+  b.snapshot.result_cache_bytes = 64;
+  b.snapshot.result_cache_entries = 2;
+
+  a.Accumulate(b);
+  EXPECT_EQ(a.jobs_scheduled, 7u);
+  EXPECT_EQ(a.result_cache_hits, 3u);
+  EXPECT_EQ(a.dedup_followers, 1u);
+  EXPECT_EQ(a.admission_rejections, 2u);
+  // Gauges are snapshots: the most recent poll wins — folding two polls
+  // of an unchanged cache must not double its bytes.
+  EXPECT_EQ(a.snapshot.result_cache_bytes, 64u);
+  EXPECT_EQ(a.snapshot.result_cache_entries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultTable serialization (the persistent cache's wire format).
+// ---------------------------------------------------------------------------
+
+TEST(ResultTableSerializationTest, RoundTripIsBitExactAndChecked) {
+  ResultTable table;
+  ResultRow row;
+  row.model_id = "lm@epoch6";
+  row.group_id = "layer0";
+  row.measure = "pearson";
+  row.hypothesis = "is_a";
+  row.unit = 3;
+  row.unit_score = 0.5f;
+  table.Add(row);
+  row.unit = -1;  // group-level row: NaN unit score survives round-trip
+  row.unit_score = std::numeric_limits<float>::quiet_NaN();
+  row.group_score = 1.25f;
+  table.Add(row);
+
+  const std::string bytes = table.SerializeToString();
+  Result<ResultTable> back = ResultTable::DeserializeFromString(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->ToCsv(), table.ToCsv());
+  EXPECT_EQ(back->row(0).unit_score, 0.5f);
+  EXPECT_TRUE(std::isnan(back->row(1).unit_score));
+  EXPECT_EQ(back->row(1).unit, -1);
+
+  std::string corrupted = bytes;
+  corrupted[1] = 'x';  // header magic
+  EXPECT_EQ(ResultTable::DeserializeFromString(corrupted).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(ResultTable::DeserializeFromString(
+                bytes.substr(0, bytes.size() - 3))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +930,10 @@ TEST(SchedulerTest, HypothesisTierServesRestartsWithIdenticalScores) {
     config.options.block_size = 32;
     config.options.num_shards = 1;
     config.store_dir = dir.string();
+    // This test exercises the hypothesis-behavior tier specifically; the
+    // persistent result cache would otherwise answer the second session
+    // before the engine (and the tier) ever runs.
+    config.persist_result_cache = false;
     auto session = std::make_unique<InspectionSession>(std::move(config));
     session->catalog().RegisterModel("planted", &extractor);
     session->catalog().RegisterHypotheses("keywords", {IsAHypothesis()});

@@ -437,6 +437,10 @@ TEST(InspectionSessionTest, SessionStoreServesReinspectionAcrossRestart) {
     SessionConfig config;
     config.options.block_size = 32;
     config.store_dir = dir.string();
+    // This test exercises the behavior store's disk tier; the persistent
+    // result cache would otherwise answer the restarted session before
+    // the store is ever read (covered in scheduler_test).
+    config.persist_result_cache = false;
     auto session = std::make_unique<InspectionSession>(std::move(config));
     session->catalog().RegisterModel("planted", &extractor);
     session->catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
