@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Perf-trajectory entry point: runs the engine benches at 1/2/N shard
 # counts (BENCH_engine_parallel.json — records/s, speedup vs the
-# sequential baseline, per-phase seconds) and the multi-query scheduler
+# sequential baseline, per-phase seconds), the multi-query scheduler
 # bench (BENCH_scheduler_batch.json — jobs/s sequential vs batched vs
 # cached vs deduped vs persistent-restart, extraction passes saved,
-# dedup followers, result-cache hit rate). Also runs the
+# dedup followers, result-cache hit rate), and the serving-layer bench
+# (BENCH_server_throughput.json — N concurrent TCP clients over
+# loopback: jobs/s, dedup + shared-scan + result-cache hit rates
+# observed end-to-end through the wire). Also runs the
 # store-reinspection ablation and, when google-benchmark is available,
 # the bench_micro engine cells, so one command captures the whole
 # hot-path picture.
@@ -25,7 +28,7 @@ cd "$REPO_ROOT"
 echo "== build =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
-      bench_scheduler_batch bench_store_reinspect >/dev/null
+      bench_scheduler_batch bench_server bench_store_reinspect >/dev/null
 if cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro \
       >/dev/null 2>&1; then
   HAVE_MICRO=1
@@ -41,6 +44,10 @@ echo "== scheduler batch (sequential vs batched vs cached) =="
 "$BUILD_DIR/bench/bench_scheduler_batch" --jobs 8 \
     --out "$REPO_ROOT/BENCH_scheduler_batch.json"
 
+echo "== server throughput (concurrent TCP clients over loopback) =="
+"$BUILD_DIR/bench/bench_server" --clients 4 --jobs 4 \
+    --out "$REPO_ROOT/BENCH_server_throughput.json"
+
 if [ "$HAVE_MICRO" = "1" ]; then
   echo "== bench_micro engine cells =="
   "$BUILD_DIR/bench/bench_micro" \
@@ -51,4 +58,4 @@ fi
 echo "== store reinspection (context) =="
 "$BUILD_DIR/bench/bench_store_reinspect"
 
-echo "OK — results in BENCH_engine_parallel.json and BENCH_scheduler_batch.json"
+echo "OK — results in BENCH_engine_parallel.json, BENCH_scheduler_batch.json, and BENCH_server_throughput.json"

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify line (configure, build, ctest), a smoke
-# run of the quickstart example through the InspectionSession API, the
-# ThreadSanitizer build of the concurrency suites (intra-job sharding,
-# session jobs, the multi-query scheduler — incl. in-flight dedup,
-# persistent-cache restarts, admission quotas, and the stale-admission
-# regression — thread pool, behavior store + blob tier), and smokes of
-# the parallel-engine and scheduler benches so regressions in the
-# sharded and fused paths fail fast.
+# run of the quickstart example through the InspectionSession API, a
+# network-serving smoke (start inspect_server, drive it with
+# inspect_client over loopback, assert a clean graceful-drain shutdown),
+# the ThreadSanitizer build of the concurrency suites (intra-job
+# sharding, session jobs, the multi-query scheduler — incl. in-flight
+# dedup, persistent-cache restarts, admission quotas, and the
+# stale-admission regression — the inspection server/client, thread
+# pool, behavior store + blob tier), and smokes of the parallel-engine,
+# scheduler, and server benches so regressions in the sharded, fused,
+# and served paths fail fast.
 #
 # Usage: scripts/check.sh [build_dir]   (default: build; TSan uses
 #                                        <build_dir>-tsan)
@@ -32,13 +35,34 @@ echo "== test =="
 echo "== smoke: quickstart =="
 "$BUILD_DIR/examples/quickstart" >/dev/null
 
+echo "== smoke: network serving (server + client + graceful drain) =="
+SERVER_LOG="$(mktemp)"
+"$BUILD_DIR/examples/inspect_server" --serve-for 120 >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+SERVER_PORT=""
+for _ in $(seq 1 100); do
+  SERVER_PORT="$(awk '/^LISTENING/{print $2; exit}' "$SERVER_LOG")"
+  [ -n "$SERVER_PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$SERVER_PORT" ]; then
+  echo "inspect_server did not come up"; cat "$SERVER_LOG"; exit 1
+fi
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" >/dev/null
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q "clean shutdown" "$SERVER_LOG" || {
+  echo "inspect_server did not drain cleanly"; cat "$SERVER_LOG"; exit 1
+}
+rm -f "$SERVER_LOG"
+
 echo "== tsan: concurrency suites =="
 cmake -B "$TSAN_DIR" -S . -DDEEPBASE_TSAN=ON >/dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" --target parallel_engine_test \
-      service_test scheduler_test util_test behavior_store_test
+      service_test scheduler_test server_test util_test behavior_store_test
 (cd "$TSAN_DIR" &&
  ctest --output-on-failure -j 1 \
-       -R 'parallel_engine_test|service_test|scheduler_test|util_test|behavior_store_test')
+       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test')
 
 echo "== smoke: 2-thread parallel bench =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
@@ -51,5 +75,10 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_scheduler_batch \
       >/dev/null
 "$BUILD_DIR/bench/bench_scheduler_batch" --smoke --jobs 4 \
     --out "$BUILD_DIR/BENCH_scheduler_batch_smoke.json" >/dev/null
+
+echo "== smoke: server throughput bench =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_server >/dev/null
+"$BUILD_DIR/bench/bench_server" --smoke --clients 2 --jobs 2 \
+    --out "$BUILD_DIR/BENCH_server_throughput_smoke.json" >/dev/null
 
 echo "OK"

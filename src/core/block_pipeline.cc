@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <utility>
 
 #include "core/behavior_store.h"
@@ -440,9 +441,47 @@ void BlockPipeline::MergeReplicas() {
   }
 }
 
+void BlockPipeline::TickProgress(size_t records) const {
+  if (options_.progress == nullptr) return;
+  options_.progress->blocks_done.fetch_add(1, std::memory_order_relaxed);
+  options_.progress->records_done.fetch_add(records,
+                                            std::memory_order_relaxed);
+}
+
 BlockPipeline::Totals BlockPipeline::Run(const Stopwatch& total_watch) {
   Totals totals;
   totals.num_shards = num_shards_;
+  // Plan the progress denominator up front: a full sweep is one dispatch
+  // per block per pass (materialized runs re-dispatch the same blocks on
+  // every pass; streaming runs re-extract, capped by max_blocks overall).
+  {
+    const size_t block_size = std::max<size_t>(1, options_.block_size);
+    const size_t per_pass =
+        (dataset_.num_records() + block_size - 1) / block_size;
+    const size_t passes = std::max<size_t>(1, options_.passes);
+    size_t planned;
+    const bool mul_overflows =
+        per_pass != 0 &&
+        passes > std::numeric_limits<size_t>::max() / per_pass;
+    if (options_.streaming) {
+      planned = mul_overflows ? options_.max_blocks
+                              : std::min(per_pass * passes,
+                                         options_.max_blocks);
+    } else {
+      const size_t capped = std::min(per_pass, options_.max_blocks);
+      planned = (capped != 0 &&
+                 passes > std::numeric_limits<size_t>::max() / capped)
+                    ? std::numeric_limits<size_t>::max()
+                    : capped * passes;
+    }
+    totals.blocks_planned = planned;
+    if (options_.progress != nullptr) {
+      options_.progress->blocks_done.store(0, std::memory_order_relaxed);
+      options_.progress->records_done.store(0, std::memory_order_relaxed);
+      options_.progress->blocks_total.store(planned,
+                                            std::memory_order_relaxed);
+    }
+  }
   const size_t n_lanes =
       num_shards_ == 1 ? 1 : num_shards_ + (have_sequential_ ? 1 : 0);
   totals.lanes.assign(n_lanes, {});
@@ -480,6 +519,7 @@ void BlockPipeline::RunSingleLane(const Stopwatch& watch, Totals* totals) {
     lane.inspection_s += inspect_watch.Seconds();
     ++totals->blocks_processed;
     ++lane.blocks_processed;
+    TickProgress(data.records);
     return options_.early_stopping && AllConverged();
   };
 
@@ -577,6 +617,7 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
     totals->lanes[0].inspection_s += inspect_watch.Seconds();
     totals->lanes[0].blocks_processed += 1;
     totals->lanes[0].records_processed += blocks[0].records;
+    TickProgress(blocks[0].records);
     if (have_sequential_) {
       totals->lanes[S].blocks_processed += 1;
       totals->lanes[S].records_processed += blocks[0].records;
@@ -605,6 +646,7 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
           acc.inspection_s += inspect_watch.Seconds();
           acc.blocks_processed += 1;
           acc.records_processed += blocks[0].records;
+          TickProgress(blocks[0].records);
         }
         for (size_t b = t + 1; b < blocks.size(); b += S) {
           if (OverBudget(watch) || CancelRequested()) {
@@ -618,6 +660,7 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
           acc.inspection_s += inspect_watch.Seconds();
           acc.blocks_processed += 1;
           acc.records_processed += blocks[b].records;
+          TickProgress(blocks[b].records);
         }
       }
     } else {
@@ -698,6 +741,7 @@ void BlockPipeline::RunShardedStreaming(const Stopwatch& watch,
       totals->lanes[0].inspection_s += inspect_watch.Seconds();
       totals->lanes[0].blocks_processed += 1;
       totals->lanes[0].records_processed += data.records;
+      TickProgress(data.records);
       if (have_sequential_) {
         totals->lanes[S].blocks_processed += 1;
         totals->lanes[S].records_processed += data.records;
@@ -742,6 +786,7 @@ void BlockPipeline::RunShardedStreaming(const Stopwatch& watch,
           lane_acc[t].inspection_s += inspect_watch.Seconds();
           lane_acc[t].blocks_processed += 1;
           lane_acc[t].records_processed += wave[t].records;
+          TickProgress(wave[t].records);
         } else {
           Stopwatch inspect_watch;
           for (size_t i = 0; i < wn; ++i) {

@@ -92,6 +92,10 @@ class BlockPipeline {
     size_t num_shards = 1;
     size_t blocks_processed = 0;   // block-inspection dispatches (see engine.h)
     size_t records_processed = 0;  // records pulled from the iterator
+    /// Planned dispatches of a full run (per-pass blocks × passes, capped
+    /// by max_blocks) — the progress denominator; set before any block
+    /// runs, so pollers see it while the loop is in flight.
+    size_t blocks_planned = 0;
     bool stopped_early = false;
     /// Hypothesis-tier store counters (InspectOptions::hypothesis_store_tier)
     /// for this run — how each hypothesis's stored behaviors were obtained.
@@ -150,6 +154,11 @@ class BlockPipeline {
   bool CancelRequested() const;
   bool OverBudget(const Stopwatch& watch) const;
   void ParallelDo(size_t n, const std::function<void(size_t)>& fn);
+  /// Bump the live progress sink (InspectOptions::progress) by one block
+  /// dispatch. Called from whichever lane dispatches the block, so it is
+  /// relaxed-atomic; progress counts each block once per pass (the shard
+  /// lanes' dispatch set), never the sequential lane's re-reads.
+  void TickProgress(size_t records) const;
 
   LaneScratch MakeScratch() const;
   void ExtractInto(const std::vector<size_t>& block, size_t serial,

@@ -44,6 +44,16 @@ void Catalog::RegisterDataset(const std::string& name,
   BumpVersion(std::move(lock));
 }
 
+void Catalog::RegisterDataset(const std::string& name,
+                              std::shared_ptr<const Dataset> dataset) {
+  const Dataset* ptr = dataset.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owned_datasets_.push_back(std::move(dataset));
+  }
+  RegisterDataset(name, ptr);
+}
+
 void Catalog::RegisterMeasure(const std::string& name,
                               MeasureFactoryPtr factory) {
   std::unique_lock<std::mutex> lock(mu_);

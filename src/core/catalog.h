@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -105,6 +106,13 @@ class Catalog {
   void RegisterHypotheses(const std::string& set_name,
                           std::vector<HypothesisPtr> hypotheses);
   void RegisterDataset(const std::string& name, const Dataset* dataset);
+  /// \brief Owning registration: the catalog keeps `dataset` alive for
+  /// its own lifetime (re-registration under the same name keeps earlier
+  /// objects alive too — a running job may still be reading them). Used
+  /// by surfaces that materialize datasets on behalf of remote callers
+  /// (the network serving layer), where no host object can own them.
+  void RegisterDataset(const std::string& name,
+                       std::shared_ptr<const Dataset> dataset);
   /// \brief Register a custom measure factory; built-in measure names
   /// (pearson, jaccard, logreg_l1, …) resolve without registration.
   void RegisterMeasure(const std::string& name, MeasureFactoryPtr factory);
@@ -147,6 +155,9 @@ class Catalog {
   std::map<std::string, CatalogModel> models_;
   std::map<std::string, std::vector<HypothesisPtr>> hypothesis_sets_;
   std::map<std::string, CatalogDataset> datasets_;
+  /// Keep-alive for owning registrations (append-only; freed with the
+  /// catalog, after the owning session has joined its jobs).
+  std::vector<std::shared_ptr<const Dataset>> owned_datasets_;
   std::map<std::string, MeasureFactoryPtr> measures_;
 };
 

@@ -26,6 +26,7 @@ void RuntimeStats::Accumulate(const RuntimeStats& other) {
   total_s += other.total_s;
   blocks_processed += other.blocks_processed;
   records_processed += other.records_processed;
+  blocks_total_planned += other.blocks_total_planned;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   store_mem_hits += other.store_mem_hits;
@@ -220,6 +221,7 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
     stats->total_s = total_watch.Seconds();
     stats->blocks_processed = totals.blocks_processed;
     stats->records_processed = totals.records_processed;
+    stats->blocks_total_planned = totals.blocks_planned;
     stats->all_converged = totals.stopped_early || pipeline.AllConverged();
     stats->cancelled = cancel_requested();
     if (options.hypothesis_cache != nullptr) {

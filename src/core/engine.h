@@ -48,6 +48,20 @@ struct ModelSpec {
 ModelSpec AllUnitsGroup(const Extractor* extractor,
                         const std::string& group_id = "all");
 
+/// \brief Live progress counters of one engine run, safe to read from any
+/// thread while the run is in flight. The block pipeline stores the
+/// planned dispatch count into `blocks_total` when its block loop starts
+/// (resetting `blocks_done`), then bumps `blocks_done`/`records_done` as
+/// block inspections complete — the counter JobHandle::Poll snapshots and
+/// the serving layer streams to remote clients as progress events. Early
+/// stopping, budgets, and cancellation may finish a run below
+/// `blocks_total`; `blocks_done` never exceeds it.
+struct ProgressCounter {
+  std::atomic<uint64_t> blocks_done{0};
+  std::atomic<uint64_t> blocks_total{0};
+  std::atomic<uint64_t> records_done{0};
+};
+
 /// \brief Engine configuration (defaults = full DeepBase, paper §6.2).
 struct InspectOptions {
   size_t block_size = 512;
@@ -141,6 +155,12 @@ struct InspectOptions {
   /// budget. Set by JobHandle::Cancel() for async jobs; the engine stops
   /// and returns the partial scores accumulated so far.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Live progress sink (not owned; may be shared with pollers on other
+  /// threads). Set by the session scheduler for async jobs so
+  /// JobHandle::Poll and the network serving layer report blocks
+  /// completed / total planned while the run is in flight.
+  ProgressCounter* progress = nullptr;
 };
 
 /// \brief Engine instrumentation for the runtime-breakdown experiments
@@ -169,6 +189,11 @@ struct RuntimeStats {
   double total_s = 0;
   size_t blocks_processed = 0;
   size_t records_processed = 0;
+  /// Planned block dispatches of the run (per-pass block count × passes,
+  /// capped by max_blocks) — the denominator of a progress display.
+  /// blocks_processed < blocks_total_planned means early stopping, a
+  /// budget, or cancellation ended the run before the full sweep.
+  size_t blocks_total_planned = 0;
   /// Per-lane breakdown: entries [0, num_shards) are the shard lanes; when
   /// non-mergeable or merged measures forced a sequential lane at
   /// num_shards > 1, one extra trailing entry carries it. Sequential runs

@@ -1,0 +1,637 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace deepbase {
+
+namespace {
+
+JobStatus JobStatusFromWire(uint8_t value) {
+  switch (value) {
+    case 0:
+      return JobStatus::kQueued;
+    case 1:
+      return JobStatus::kRunning;
+    case 2:
+      return JobStatus::kDone;
+    case 3:
+      return JobStatus::kCancelled;
+    default:
+      return JobStatus::kDone;
+  }
+}
+
+RemoteProgress ProgressFromWire(const wire::JobProgressWire& p) {
+  RemoteProgress out;
+  out.status = JobStatusFromWire(p.status);
+  out.blocks_completed = p.blocks_completed;
+  out.blocks_total = p.blocks_total;
+  out.records_processed = p.records_processed;
+  return out;
+}
+
+/// Terminal state backing default-constructed (invalid) handles, so every
+/// RemoteJob member is safe to call (the JobHandle idiom).
+internal::RemoteJobState& InvalidRemoteJobState() {
+  static internal::RemoteJobState* state = [] {
+    auto* s = new internal::RemoteJobState();
+    s->done = true;
+    s->result = Status::Invalid("invalid remote job handle");
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RemoteJob.
+// ---------------------------------------------------------------------------
+
+uint64_t RemoteJob::id() const {
+  return state_ != nullptr ? state_->server_job_id : 0;
+}
+
+RemoteProgress RemoteJob::LastProgress() const {
+  internal::RemoteJobState& state =
+      state_ != nullptr ? *state_ : InvalidRemoteJobState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.last_progress;
+}
+
+const Result<ResultTable>& RemoteJob::Wait() const {
+  internal::RemoteJobState& state =
+      state_ != nullptr ? *state_ : InvalidRemoteJobState();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&state] { return state.done; });
+  return *state.result;
+}
+
+bool RemoteJob::Done() const {
+  internal::RemoteJobState& state =
+      state_ != nullptr ? *state_ : InvalidRemoteJobState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.done;
+}
+
+wire::ResultSummaryWire RemoteJob::Summary() const {
+  internal::RemoteJobState& state =
+      state_ != nullptr ? *state_ : InvalidRemoteJobState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.summary;
+}
+
+Result<RemoteProgress> RemoteJob::Poll() {
+  if (state_ == nullptr || client_ == nullptr) {
+    return Status::Invalid("invalid remote job handle");
+  }
+  wire::Writer w;
+  w.U64(state_->server_job_id);
+  Result<wire::Frame> reply =
+      client_->Call(wire::MsgType::kPoll, w.bytes());
+  if (!reply.ok()) return reply.status();
+  wire::Reader r(reply->payload);
+  wire::JobProgressWire p;
+  if (reply->type != wire::MsgType::kPollOk ||
+      !wire::DecodeJobProgress(&r, &p)) {
+    return Status::DataLoss("malformed Poll response");
+  }
+  return ProgressFromWire(p);
+}
+
+Status RemoteJob::Cancel() {
+  if (state_ == nullptr || client_ == nullptr) {
+    return Status::Invalid("invalid remote job handle");
+  }
+  wire::Writer w;
+  w.U64(state_->server_job_id);
+  Result<wire::Frame> reply =
+      client_->Call(wire::MsgType::kCancel, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply->type != wire::MsgType::kCancelOk) {
+    return Status::DataLoss("malformed Cancel response");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// InspectionClient: connection lifecycle.
+// ---------------------------------------------------------------------------
+
+InspectionClient::InspectionClient(ClientConfig config)
+    : config_(std::move(config)) {}
+
+InspectionClient::~InspectionClient() { Close(); }
+
+bool InspectionClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connected_;
+}
+
+uint64_t InspectionClient::server_catalog_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_catalog_version_;
+}
+
+Status InspectionClient::ConnectLocked() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::Invalid("bad host address: " + config_.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Handshake happens synchronously, before the reader thread exists, so
+  // the reply can be read directly off the socket.
+  wire::Writer hello;
+  hello.U16(wire::kProtocolVersion);
+  Status st = wire::WriteFrame(fd, wire::MsgType::kHello, 0, hello.bytes());
+  wire::Frame reply;
+  if (st.ok()) st = wire::ReadFrame(fd, &reply, config_.max_frame_bytes);
+  if (st.ok() && reply.type == wire::MsgType::kError) {
+    wire::Reader r(reply.payload);
+    st = wire::DecodeStatus(&r);
+    if (st.ok()) st = Status::DataLoss("handshake rejected");
+  } else if (st.ok() && reply.type != wire::MsgType::kHelloOk) {
+    st = Status::DataLoss("unexpected handshake response");
+  }
+  if (st.ok()) {
+    wire::Reader r(reply.payload);
+    const uint16_t server_version = r.U16();
+    const uint64_t catalog_version = r.U64();
+    if (!r.ok() || server_version != wire::kProtocolVersion) {
+      st = Status::DataLoss("unsupported server protocol version");
+    } else {
+      server_catalog_version_ = catalog_version;
+    }
+  }
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  connected_ = true;
+  reader_ = std::thread([this, fd] { ReaderLoop(fd); });
+  return Status::OK();
+}
+
+Status InspectionClient::Connect() {
+  // Join a reader left over from a dead connection before reconnecting
+  // (it cannot join itself when it detects EOF).
+  std::thread stale;
+  int stale_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connected_) return Status::OK();
+    if (reader_.joinable()) {
+      stale = std::move(reader_);
+      stale_fd = fd_;
+      fd_ = -1;
+    }
+  }
+  if (stale.joinable()) stale.join();
+  if (stale_fd >= 0) {
+    // Exclude concurrent writers before the descriptor number can be
+    // recycled by the reconnect's socket().
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    ::close(stale_fd);
+  }
+
+  Status st = Status::IOError("no connection attempts configured");
+  for (size_t attempt = 0; attempt <= config_.reconnect_attempts;
+       ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (connected_) return Status::OK();
+      st = ConnectLocked();
+      if (st.ok()) return st;
+    }
+    if (attempt < config_.reconnect_attempts &&
+        config_.reconnect_backoff_s > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.reconnect_backoff_s));
+    }
+  }
+  return st;
+}
+
+void InspectionClient::FailAllLocked(const Status& reason) {
+  for (auto& [id, rpc] : pending_) {
+    std::lock_guard<std::mutex> lock(rpc->mu);
+    rpc->transport = reason;
+    rpc->done = true;
+    rpc->cv.notify_all();
+  }
+  pending_.clear();
+  for (auto& [id, job] : jobs_) {
+    ResolveJob(job, reason, {});
+  }
+  jobs_.clear();
+}
+
+void InspectionClient::CloseLocked(const Status& reason) {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  connected_ = false;
+  FailAllLocked(reason);
+}
+
+void InspectionClient::Close() {
+  std::thread reader;
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CloseLocked(Status::IOError("client closed"));
+    reader = std::move(reader_);
+    fd = fd_;
+    fd_ = -1;
+  }
+  if (reader.joinable()) reader.join();
+  if (fd >= 0) {
+    // Same descriptor-recycling guard as Connect(): no concurrent
+    // WriteFrame may straddle the close.
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    ::close(fd);
+  }
+}
+
+void InspectionClient::ResolveJob(
+    const std::shared_ptr<internal::RemoteJobState>& job,
+    Result<ResultTable> result, const wire::ResultSummaryWire& summary) {
+  std::lock_guard<std::mutex> lock(job->mu);
+  if (job->done) return;
+  job->summary = summary;
+  job->result = std::move(result);
+  job->done = true;
+  job->cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Reader: demultiplex responses and pushed events.
+// ---------------------------------------------------------------------------
+
+void InspectionClient::ReaderLoop(int fd) {
+  while (true) {
+    wire::Frame frame;
+    const Status st = wire::ReadFrame(fd, &frame, config_.max_frame_bytes);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fd == fd_) {
+        // The live connection died under us: every parked caller learns
+        // now instead of hanging (server-side, the disconnect cancels our
+        // jobs). A stale fd means Close()/reconnect already cleaned up.
+        connected_ = false;
+        FailAllLocked(Status::IOError("connection lost (" +
+                                      std::string(StatusCodeName(st.code())) +
+                                      ": " + st.message() + ")"));
+      }
+      return;
+    }
+    std::shared_ptr<PendingRpc> rpc;
+    std::shared_ptr<internal::RemoteJobState> job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (frame.type == wire::MsgType::kEventProgress) {
+        auto it = jobs_.find(frame.request_id);
+        if (it != jobs_.end()) job = it->second;
+      } else {
+        auto pit = pending_.find(frame.request_id);
+        if (pit != pending_.end()) {
+          rpc = pit->second;
+          pending_.erase(pit);
+          if (rpc->job != nullptr &&
+              (frame.type == wire::MsgType::kResult ||
+               frame.type == wire::MsgType::kError)) {
+            // A Wait RPC response doubles as the job's terminal result.
+            job = rpc->job;
+            jobs_.erase(job->submit_request_id);
+          }
+        } else if (frame.type == wire::MsgType::kResult ||
+                   frame.type == wire::MsgType::kError) {
+          auto jit = jobs_.find(frame.request_id);
+          if (jit != jobs_.end()) {
+            job = jit->second;
+            jobs_.erase(jit);
+          }
+        }
+      }
+    }
+    if (job != nullptr) {
+      if (frame.type == wire::MsgType::kEventProgress) {
+        wire::Reader r(frame.payload);
+        wire::JobProgressWire p;
+        if (wire::DecodeJobProgress(&r, &p)) {
+          const RemoteProgress progress = ProgressFromWire(p);
+          std::function<void(const RemoteProgress&)> callback;
+          {
+            std::lock_guard<std::mutex> lock(job->mu);
+            job->last_progress = progress;
+            callback = job->on_progress;
+          }
+          if (callback) callback(progress);
+        }
+      } else if (frame.type == wire::MsgType::kResult) {
+        wire::Reader r(frame.payload);
+        Status status = wire::DecodeStatus(&r);
+        if (status.ok()) {
+          const std::string table_bytes = r.Str();
+          wire::ResultSummaryWire summary;
+          if (!r.ok() || !wire::DecodeResultSummary(&r, &summary)) {
+            ResolveJob(job, Status::DataLoss("malformed result frame"), {});
+          } else {
+            Result<ResultTable> table =
+                ResultTable::DeserializeFromString(table_bytes);
+            if (table.ok()) {
+              ResolveJob(job, std::move(table).ValueOrDie(), summary);
+            } else {
+              ResolveJob(job, table.status(), {});
+            }
+          }
+        } else {
+          ResolveJob(job, status, {});
+        }
+      } else if (frame.type == wire::MsgType::kError) {
+        wire::Reader r(frame.payload);
+        Status status = wire::DecodeStatus(&r);
+        if (status.ok()) status = Status::Internal("unspecified server error");
+        ResolveJob(job, status, {});
+      }
+    }
+    if (rpc != nullptr) {
+      std::lock_guard<std::mutex> lock(rpc->mu);
+      rpc->frame = frame;
+      rpc->done = true;
+      rpc->cv.notify_all();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RPCs.
+// ---------------------------------------------------------------------------
+
+Result<wire::Frame> InspectionClient::CallOnce(
+    wire::MsgType type, const std::string& payload, bool* transport_failure,
+    std::shared_ptr<internal::RemoteJobState> link_job) {
+  *transport_failure = false;
+  std::shared_ptr<PendingRpc> rpc;
+  uint64_t request_id = 0;
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!connected_) {
+      *transport_failure = true;
+      return Status::IOError("not connected");
+    }
+    request_id = next_request_id_++;
+    rpc = std::make_shared<PendingRpc>();
+    rpc->job = std::move(link_job);
+    pending_[request_id] = rpc;
+    fd = fd_;
+  }
+  Status sent;
+  {
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    sent = wire::WriteFrame(fd, type, request_id, payload);
+  }
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(request_id);
+    connected_ = false;
+    *transport_failure = true;
+    return sent;
+  }
+  Status transport;
+  wire::Frame frame;
+  {
+    std::unique_lock<std::mutex> lock(rpc->mu);
+    const bool done = rpc->cv.wait_for(
+        lock, std::chrono::duration<double>(config_.rpc_timeout_s),
+        [&rpc] { return rpc->done; });
+    if (!done) {
+      // Drop rpc->mu before taking mu_: the reader's failure path
+      // (FailAllLocked) holds mu_ while resolving rpc->mu — taking them
+      // in the opposite order here would deadlock a timeout racing a
+      // connection loss.
+      lock.unlock();
+      std::lock_guard<std::mutex> plock(mu_);
+      pending_.erase(request_id);
+      return Status::IOError("rpc timed out after " +
+                             std::to_string(config_.rpc_timeout_s) + " s");
+    }
+    transport = rpc->transport;
+    frame = std::move(rpc->frame);
+  }
+  if (!transport.ok()) {
+    *transport_failure = true;
+    return transport;
+  }
+  if (frame.type == wire::MsgType::kError) {
+    wire::Reader r(frame.payload);
+    Status status = wire::DecodeStatus(&r);
+    if (status.ok()) status = Status::Internal("unspecified server error");
+    return status;
+  }
+  return frame;
+}
+
+Result<wire::Frame> InspectionClient::Call(wire::MsgType type,
+                                           const std::string& payload) {
+  if (!connected() && config_.auto_reconnect) {
+    DB_RETURN_NOT_OK(Connect());
+  }
+  bool transport_failure = false;
+  Result<wire::Frame> reply = CallOnce(type, payload, &transport_failure);
+  if (reply.ok() || !transport_failure || !config_.auto_reconnect) {
+    return reply;
+  }
+  // The connection was found broken: reconnect once and retry.
+  DB_RETURN_NOT_OK(Connect());
+  return CallOnce(type, payload, &transport_failure);
+}
+
+Result<RemoteJob> InspectionClient::Submit(
+    const InspectRequest& request,
+    std::function<void(const RemoteProgress&)> on_progress) {
+  wire::Writer w;
+  w.U8(on_progress != nullptr ? 1 : 0);
+  DB_RETURN_NOT_OK(wire::EncodeInspectRequest(request, &w));
+  const std::string payload = w.Take();
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!connected() && config_.auto_reconnect) {
+      DB_RETURN_NOT_OK(Connect());
+    }
+    auto state = std::make_shared<internal::RemoteJobState>();
+    state->on_progress = on_progress;
+    // Register under the request id before the frame is on the wire, so
+    // an early progress event cannot be dropped.
+    std::shared_ptr<PendingRpc> rpc;
+    uint64_t request_id = 0;
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!connected_) {
+        if (config_.auto_reconnect && attempt == 0) continue;
+        return Status::IOError("not connected");
+      }
+      request_id = next_request_id_++;
+      state->submit_request_id = request_id;
+      rpc = std::make_shared<PendingRpc>();
+      pending_[request_id] = rpc;
+      jobs_[request_id] = state;
+      fd = fd_;
+    }
+    Status sent;
+    {
+      std::lock_guard<std::mutex> write_lock(write_mu_);
+      sent = wire::WriteFrame(fd, wire::MsgType::kSubmit, request_id,
+                              payload);
+    }
+    bool transport_failure = !sent.ok();
+    Status failure = sent;
+    if (sent.ok()) {
+      std::unique_lock<std::mutex> lock(rpc->mu);
+      const bool done = rpc->cv.wait_for(
+          lock, std::chrono::duration<double>(config_.rpc_timeout_s),
+          [&rpc] { return rpc->done; });
+      if (!done) {
+        failure = Status::IOError("Submit rpc timed out");
+      } else if (!rpc->transport.ok()) {
+        transport_failure = true;
+        failure = rpc->transport;
+      } else if (rpc->frame.type == wire::MsgType::kError) {
+        wire::Reader r(rpc->frame.payload);
+        Status status = wire::DecodeStatus(&r);
+        if (status.ok()) status = Status::Internal("unspecified error");
+        failure = status;
+      } else if (rpc->frame.type == wire::MsgType::kSubmitOk) {
+        wire::Reader r(rpc->frame.payload);
+        const uint64_t job_id = r.U64();
+        if (r.ok()) {
+          {
+            std::lock_guard<std::mutex> job_lock(state->mu);
+            state->server_job_id = job_id;
+          }
+          return RemoteJob(state, this);
+        }
+        failure = Status::DataLoss("malformed SubmitOk payload");
+      } else {
+        failure = Status::DataLoss("unexpected Submit response");
+      }
+    }
+    // Failed: unregister this attempt's bookkeeping.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(request_id);
+      jobs_.erase(request_id);
+      if (transport_failure) connected_ = false;
+    }
+    if (!(transport_failure && config_.auto_reconnect && attempt == 0)) {
+      return failure;
+    }
+    DB_RETURN_NOT_OK(Connect());
+  }
+  return Status::IOError("submit failed after reconnect");
+}
+
+Result<ResultTable> InspectionClient::Inspect(const InspectRequest& request) {
+  Result<RemoteJob> job = Submit(request);
+  if (!job.ok()) return job.status();
+  return job->Wait();
+}
+
+Result<ResultTable> InspectionClient::WaitResult(const RemoteJob& job) {
+  if (!job.valid()) return Status::Invalid("invalid remote job handle");
+  wire::Writer w;
+  w.U64(job.id());
+  bool transport_failure = false;
+  Result<wire::Frame> reply =
+      CallOnce(wire::MsgType::kWait, w.bytes(), &transport_failure,
+               job.state_);
+  if (!reply.ok()) return reply.status();
+  if (reply->type != wire::MsgType::kResult) {
+    return Status::DataLoss("malformed Wait response");
+  }
+  // The reader resolved the linked job from the same frame.
+  return job.Wait();
+}
+
+Status InspectionClient::RegisterDataset(const std::string& name,
+                                         const Dataset& dataset) {
+  wire::Writer w;
+  w.Str(name);
+  wire::EncodeDataset(dataset, &w);
+  Result<wire::Frame> reply =
+      Call(wire::MsgType::kRegisterDataset, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply->type != wire::MsgType::kRegisterOk) {
+    return Status::DataLoss("malformed RegisterDataset response");
+  }
+  wire::Reader r(reply->payload);
+  const uint64_t version = r.U64();
+  if (r.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    server_catalog_version_ = version;
+  }
+  return Status::OK();
+}
+
+Status InspectionClient::RegisterHypotheses(
+    const std::string& set_name,
+    const std::vector<wire::HypothesisSpec>& specs) {
+  wire::Writer w;
+  w.Str(set_name);
+  w.U32(static_cast<uint32_t>(specs.size()));
+  for (const wire::HypothesisSpec& spec : specs) {
+    wire::EncodeHypothesisSpec(spec, &w);
+  }
+  Result<wire::Frame> reply =
+      Call(wire::MsgType::kRegisterHypotheses, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply->type != wire::MsgType::kRegisterOk) {
+    return Status::DataLoss("malformed RegisterHypotheses response");
+  }
+  wire::Reader r(reply->payload);
+  const uint64_t version = r.U64();
+  if (r.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    server_catalog_version_ = version;
+  }
+  return Status::OK();
+}
+
+Result<wire::ServerStatsWire> InspectionClient::Stats() {
+  Result<wire::Frame> reply = Call(wire::MsgType::kStats, "");
+  if (!reply.ok()) return reply.status();
+  wire::Reader r(reply->payload);
+  wire::ServerStatsWire stats;
+  if (reply->type != wire::MsgType::kStatsOk ||
+      !wire::DecodeServerStats(&r, &stats)) {
+    return Status::DataLoss("malformed Stats response");
+  }
+  return stats;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,221 @@
+// InspectionClient: the remote counterpart of InspectionSession. One TCP
+// connection multiplexes any number of concurrent remote jobs; the API
+// mirrors the in-process facade so code migrates by swapping the session
+// for a client:
+//
+//   InspectionClient client({.host = "127.0.0.1", .port = port});
+//   DB_CHECK_OK(client.Connect());
+//   Result<RemoteJob> job = client.Submit(request, [](auto& p) {
+//     printf("%llu/%llu blocks\n", p.blocks_completed, p.blocks_total);
+//   });                                        // async + streamed progress
+//   const Result<ResultTable>& table = job->Wait();
+//   Result<ResultTable> direct = client.Inspect(request);   // blocking
+//
+// Progress events are pushed by the server as blocks complete (strictly
+// increasing) and delivered on the client's reader thread; Poll() issues
+// a synchronous RPC and reports exactly the numbers a local
+// JobHandle::Poll would.
+//
+// Reconnect semantics: when `auto_reconnect` is set, a broken connection
+// is re-established transparently before the next RPC (Connect + Hello,
+// bounded attempts with backoff). Jobs in flight when the connection
+// died are resolved with kIOError — server-side, a disconnect cancels
+// them — so handles never hang; new submissions after the reconnect run
+// normally.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/result_table.h"
+#include "server/wire.h"
+#include "service/inspection_session.h"
+
+namespace deepbase {
+
+/// \brief Client construction knobs.
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Transparently reconnect (Connect + Hello) before the next RPC when
+  /// the connection is found broken.
+  bool auto_reconnect = true;
+  size_t reconnect_attempts = 3;
+  double reconnect_backoff_s = 0.05;
+  /// Per-RPC response deadline.
+  double rpc_timeout_s = 60.0;
+  size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+};
+
+/// \brief Remote job progress as streamed/polled over the wire.
+struct RemoteProgress {
+  JobStatus status = JobStatus::kQueued;
+  uint64_t blocks_completed = 0;
+  uint64_t blocks_total = 0;
+  uint64_t records_processed = 0;
+};
+
+namespace internal {
+/// Shared state of one remote job; resolved by the reader thread when the
+/// server pushes the final kResult frame (or the connection dies).
+struct RemoteJobState {
+  uint64_t server_job_id = 0;
+  uint64_t submit_request_id = 0;
+  std::function<void(const RemoteProgress&)> on_progress;  // reader thread
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<Result<ResultTable>> result;
+  wire::ResultSummaryWire summary;
+  RemoteProgress last_progress;  // most recent streamed event
+};
+}  // namespace internal
+
+class InspectionClient;
+
+/// \brief Handle to a job running on the server; mirrors JobHandle.
+/// Cheap to copy; members are safe from any thread. Valid only while the
+/// owning InspectionClient is alive.
+class RemoteJob {
+ public:
+  RemoteJob() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Server-assigned job id (the session's job id on the server).
+  uint64_t id() const;
+
+  /// \brief Synchronous progress RPC (blocks completed / total planned) —
+  /// the same numbers a local JobHandle::Poll reports.
+  Result<RemoteProgress> Poll();
+  /// \brief Latest streamed progress event (no network round trip).
+  RemoteProgress LastProgress() const;
+
+  /// \brief Request cooperative cancellation on the server.
+  Status Cancel();
+
+  /// \brief Block until the server pushes the job's terminal result (or
+  /// the connection dies, which resolves the job with kIOError).
+  const Result<ResultTable>& Wait() const;
+  bool Done() const;
+
+  /// \brief Server-side run summary (valid once Done): blocks processed,
+  /// dedup/result-cache/shared-scan hits, wall seconds — the end-to-end
+  /// view of the scheduler's multi-query optimizations.
+  wire::ResultSummaryWire Summary() const;
+
+ private:
+  friend class InspectionClient;
+  RemoteJob(std::shared_ptr<internal::RemoteJobState> state,
+            InspectionClient* client)
+      : state_(std::move(state)), client_(client) {}
+
+  std::shared_ptr<internal::RemoteJobState> state_;
+  InspectionClient* client_ = nullptr;
+};
+
+/// \brief The client. Thread-safe: RPCs may be issued from any thread;
+/// one reader thread demultiplexes responses and pushed events.
+class InspectionClient {
+ public:
+  explicit InspectionClient(ClientConfig config);
+  ~InspectionClient();
+
+  InspectionClient(const InspectionClient&) = delete;
+  InspectionClient& operator=(const InspectionClient&) = delete;
+
+  /// \brief Connect + protocol handshake. Idempotent.
+  Status Connect();
+  void Close();
+  bool connected() const;
+
+  /// \brief Catalog version reported by the server at the last handshake.
+  uint64_t server_catalog_version() const;
+
+  /// \brief Submit an inspection; `on_progress` (optional) subscribes to
+  /// streamed progress events, invoked on the reader thread as blocks
+  /// complete. The request must be fully name-resolved (wire.h).
+  Result<RemoteJob> Submit(const InspectRequest& request,
+                           std::function<void(const RemoteProgress&)>
+                               on_progress = nullptr);
+
+  /// \brief Blocking convenience: Submit + Wait.
+  Result<ResultTable> Inspect(const InspectRequest& request);
+
+  /// \brief Explicit kWait RPC: ask the server for `job`'s terminal
+  /// result (answered immediately when already done, parked server-side
+  /// otherwise — subject to rpc_timeout_s). The passive RemoteJob::Wait()
+  /// is usually what you want; this exists for re-asking after the
+  /// automatic push was consumed and for protocol-level tooling.
+  Result<ResultTable> WaitResult(const RemoteJob& job);
+
+  /// \brief Upload a dataset into the server catalog under `name`.
+  Status RegisterDataset(const std::string& name, const Dataset& dataset);
+  /// \brief Register a named hypothesis set from declarative specs.
+  Status RegisterHypotheses(const std::string& set_name,
+                            const std::vector<wire::HypothesisSpec>& specs);
+
+  /// \brief Server + scheduler counters (the over-the-wire observability
+  /// used by the serving bench).
+  Result<wire::ServerStatsWire> Stats();
+
+ private:
+  friend class RemoteJob;
+
+  struct PendingRpc {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    wire::Frame frame;
+    Status transport = Status::OK();
+    /// For kWait RPCs: the job whose terminal result the kResult response
+    /// carries (the reader resolves it alongside the RPC).
+    std::shared_ptr<internal::RemoteJobState> job;
+  };
+
+  /// Issue one RPC: frame out, matching response in (by request id).
+  /// Reconnects + retries once when the connection is found broken and
+  /// auto_reconnect is on.
+  Result<wire::Frame> Call(wire::MsgType type, const std::string& payload);
+  Result<wire::Frame> CallOnce(
+      wire::MsgType type, const std::string& payload,
+      bool* transport_failure,
+      std::shared_ptr<internal::RemoteJobState> link_job = nullptr);
+  /// Connect + Hello without the reconnect wrapper. Caller holds mu_.
+  Status ConnectLocked();
+  void CloseLocked(const Status& reason);
+  void ReaderLoop(int fd);
+  /// Resolve every pending RPC and live job with `reason`.
+  void FailAllLocked(const Status& reason);
+  static void ResolveJob(const std::shared_ptr<internal::RemoteJobState>& job,
+                         Result<ResultTable> result,
+                         const wire::ResultSummaryWire& summary);
+
+  ClientConfig config_;
+  mutable std::mutex mu_;
+  /// Serializes whole frames onto the socket (concurrent RPCs must not
+  /// interleave partial writes). Taken without mu_ held; Connect() takes
+  /// it before closing a stale fd so no in-flight write can land on a
+  /// recycled descriptor.
+  std::mutex write_mu_;
+  int fd_ = -1;
+  bool connected_ = false;
+  uint64_t next_request_id_ = 1;
+  uint64_t server_catalog_version_ = 0;
+  std::thread reader_;
+  std::map<uint64_t, std::shared_ptr<PendingRpc>> pending_;
+  /// Live jobs by their submit request id (the demux key of pushed
+  /// frames).
+  std::map<uint64_t, std::shared_ptr<internal::RemoteJobState>> jobs_;
+};
+
+}  // namespace deepbase

@@ -1,0 +1,529 @@
+#include "server/wire.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "hypothesis/iterators.h"
+
+namespace deepbase {
+namespace wire {
+
+// ---------------------------------------------------------------------------
+// Writer / Reader.
+// ---------------------------------------------------------------------------
+
+void Writer::U16(uint16_t v) {
+  U8(static_cast<uint8_t>(v));
+  U8(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::U32(uint32_t v) {
+  U16(static_cast<uint16_t>(v));
+  U16(static_cast<uint16_t>(v >> 16));
+}
+
+void Writer::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void Writer::F32(float v) { U32(std::bit_cast<uint32_t>(v)); }
+void Writer::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void Writer::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void Writer::StrList(const std::vector<std::string>& v) {
+  U32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) Str(s);
+}
+
+bool Reader::Need(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint16_t Reader::U16() {
+  const uint16_t lo = U8();
+  const uint16_t hi = U8();
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+uint32_t Reader::U32() {
+  const uint32_t lo = U16();
+  const uint32_t hi = U16();
+  return lo | (hi << 16);
+}
+
+uint64_t Reader::U64() {
+  const uint64_t lo = U32();
+  const uint64_t hi = U32();
+  return lo | (hi << 32);
+}
+
+float Reader::F32() { return std::bit_cast<float>(U32()); }
+double Reader::F64() { return std::bit_cast<double>(U64()); }
+
+std::string Reader::Str() {
+  const uint32_t n = U32();
+  if (!Need(n)) return {};
+  std::string out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::string> Reader::StrList() {
+  const uint32_t n = U32();
+  std::vector<std::string> out;
+  // Cap the reserve by what could physically fit, so a corrupt count
+  // cannot force a huge allocation before the bounds check trips.
+  out.reserve(std::min<size_t>(n, data_.size() / 4 + 1));
+  for (uint32_t i = 0; i < n && ok(); ++i) out.push_back(Str());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+std::string EncodeFrame(MsgType type, uint64_t request_id,
+                        const std::string& payload) {
+  Writer w;
+  w.U32(kMagic);
+  w.U16(kProtocolVersion);
+  w.U16(static_cast<uint16_t>(type));
+  w.U64(request_id);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  std::string out = w.Take();
+  out.append(payload);
+  return out;
+}
+
+namespace {
+
+/// Full read of `n` bytes; false on EOF/error. `*clean_eof` reports an
+/// EOF that arrived exactly on a frame boundary (a normal hangup).
+bool ReadFully(int fd, char* buf, size_t n, bool* clean_eof) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) {
+      if (clean_eof != nullptr) *clean_eof = (got == 0);
+      return false;
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (clean_eof != nullptr) *clean_eof = false;
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, Frame* frame, size_t max_frame_bytes) {
+  char header[kHeaderBytes];
+  bool clean_eof = false;
+  if (!ReadFully(fd, header, kHeaderBytes, &clean_eof)) {
+    return clean_eof ? Status::IOError("connection closed")
+                     : Status::IOError("truncated frame header");
+  }
+  const std::string header_str(header, kHeaderBytes);
+  Reader r(header_str);
+  const uint32_t magic = r.U32();
+  const uint16_t version = r.U16();
+  const uint16_t type = r.U16();
+  frame->request_id = r.U64();
+  const uint32_t payload_len = r.U32();
+  if (magic != kMagic) {
+    return Status::DataLoss("bad frame magic");
+  }
+  if (version != kProtocolVersion) {
+    return Status::DataLoss("unsupported protocol version " +
+                            std::to_string(version));
+  }
+  if (payload_len > max_frame_bytes) {
+    return Status::DataLoss("frame payload of " +
+                            std::to_string(payload_len) +
+                            " bytes exceeds the frame limit");
+  }
+  frame->type = static_cast<MsgType>(type);
+  frame->payload.resize(payload_len);
+  if (payload_len > 0 &&
+      !ReadFully(fd, frame->payload.data(), payload_len, nullptr)) {
+    return Status::IOError("truncated frame payload");
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, MsgType type, uint64_t request_id,
+                  const std::string& payload) {
+  if (payload.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::Invalid("frame payload too large");
+  }
+  const std::string bytes = EncodeFrame(type, request_id, payload);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t r =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Status payload.
+// ---------------------------------------------------------------------------
+
+void EncodeStatus(const Status& status, Writer* w) {
+  w->U16(StatusCodeToWire(status.code()));
+  w->Str(status.message());
+}
+
+Status DecodeStatus(Reader* r) {
+  const StatusCode code = StatusCodeFromWire(r->U16());
+  std::string message = r->Str();
+  if (!r->ok()) return Status::DataLoss("truncated status payload");
+  if (code == StatusCode::kOk) return Status::OK();
+  // Rebuild through the code so unknown wire values degrade uniformly.
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::Invalid(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(std::move(message));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(message));
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    default:
+      return Status::Internal(std::move(message));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InspectRequest payload.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EncodeOptions(const InspectOptions& o, Writer* w) {
+  w->U64(o.block_size);
+  w->U64(o.shuffle_seed);
+  w->U64(o.passes);
+  w->U8(o.streaming ? 1 : 0);
+  w->U8(o.early_stopping ? 1 : 0);
+  w->U8(o.model_merging ? 1 : 0);
+  w->F64(o.corr_epsilon);
+  w->F64(o.logreg_epsilon);
+  w->F64(o.default_epsilon);
+  w->U64(o.num_shards);
+  w->F64(o.time_budget_s);
+  w->U64(o.max_blocks);
+}
+
+void DecodeOptions(Reader* r, InspectOptions* o) {
+  o->block_size = r->U64();
+  o->shuffle_seed = r->U64();
+  o->passes = r->U64();
+  o->streaming = r->U8() != 0;
+  o->early_stopping = r->U8() != 0;
+  o->model_merging = r->U8() != 0;
+  o->corr_epsilon = r->F64();
+  o->logreg_epsilon = r->F64();
+  o->default_epsilon = r->F64();
+  o->num_shards = r->U64();
+  o->time_budget_s = r->F64();
+  o->max_blocks = r->U64();
+}
+
+}  // namespace
+
+Status EncodeInspectRequest(const InspectRequest& request, Writer* w) {
+  // Only name-resolved requests can travel: a pointer has no identity in
+  // another process.
+  for (const InspectRequest::ModelRef& ref : request.models) {
+    if (ref.extractor != nullptr || ref.name.empty()) {
+      return Status::Invalid(
+          "remote requests must reference models by catalog name");
+    }
+  }
+  if (!request.hypotheses.empty()) {
+    return Status::Invalid(
+        "remote requests cannot carry inline hypothesis objects; use "
+        "hypothesis_sets (RegisterHypotheses)");
+  }
+  if (!request.measures.empty()) {
+    return Status::Invalid(
+        "remote requests cannot carry inline measure objects; use "
+        "measure_names");
+  }
+  if (request.dataset != nullptr) {
+    return Status::Invalid(
+        "remote requests cannot carry inline datasets; use dataset_name "
+        "(RegisterDataset)");
+  }
+  if (request.dataset_name.empty()) {
+    return Status::Invalid("remote requests must name a dataset");
+  }
+  w->U32(static_cast<uint32_t>(request.models.size()));
+  for (const InspectRequest::ModelRef& ref : request.models) {
+    w->Str(ref.name);
+    w->U64(ref.group_by_layer);
+    w->U32(static_cast<uint32_t>(ref.groups.size()));
+    for (const UnitGroupSpec& group : ref.groups) {
+      w->Str(group.group_id);
+      w->U32(static_cast<uint32_t>(group.unit_ids.size()));
+      for (int id : group.unit_ids) w->U32(static_cast<uint32_t>(id));
+    }
+  }
+  w->StrList(request.hypothesis_sets);
+  w->StrList(request.hypothesis_filter);
+  w->Str(request.dataset_name);
+  w->StrList(request.measure_names);
+  w->U8(request.min_abs_unit_score.has_value() ? 1 : 0);
+  if (request.min_abs_unit_score.has_value()) {
+    w->F32(*request.min_abs_unit_score);
+  }
+  w->U8(request.options.has_value() ? 1 : 0);
+  if (request.options.has_value()) EncodeOptions(*request.options, w);
+  return Status::OK();
+}
+
+bool DecodeInspectRequest(Reader* r, InspectRequest* request) {
+  const uint32_t n_models = r->U32();
+  for (uint32_t m = 0; m < n_models && r->ok(); ++m) {
+    InspectRequest::ModelRef ref;
+    ref.name = r->Str();
+    ref.group_by_layer = r->U64();
+    const uint32_t n_groups = r->U32();
+    for (uint32_t g = 0; g < n_groups && r->ok(); ++g) {
+      UnitGroupSpec group;
+      group.group_id = r->Str();
+      const uint32_t n_units = r->U32();
+      for (uint32_t u = 0; u < n_units && r->ok(); ++u) {
+        group.unit_ids.push_back(static_cast<int>(r->U32()));
+      }
+      ref.groups.push_back(std::move(group));
+    }
+    request->models.push_back(std::move(ref));
+  }
+  request->hypothesis_sets = r->StrList();
+  request->hypothesis_filter = r->StrList();
+  request->dataset_name = r->Str();
+  request->measure_names = r->StrList();
+  if (r->U8() != 0) request->min_abs_unit_score = r->F32();
+  if (r->U8() != 0) {
+    InspectOptions options;
+    DecodeOptions(r, &options);
+    request->options = options;
+  }
+  return r->ok();
+}
+
+// ---------------------------------------------------------------------------
+// Dataset payload.
+// ---------------------------------------------------------------------------
+
+void EncodeDataset(const Dataset& dataset, Writer* w) {
+  w->U64(dataset.ns());
+  w->U32(static_cast<uint32_t>(dataset.num_records()));
+  for (const Record& rec : dataset.records()) {
+    w->StrList(rec.tokens);
+    w->U32(static_cast<uint32_t>(rec.annotations.size()));
+    for (const auto& [track, values] : rec.annotations) {
+      w->Str(track);
+      w->StrList(values);
+    }
+  }
+}
+
+bool DecodeDataset(Reader* r, Dataset* dataset) {
+  const uint64_t ns = r->U64();
+  if (!r->ok() || ns == 0 || ns > (1u << 20)) return false;
+  *dataset = Dataset(Vocab(), ns);
+  const uint32_t n_records = r->U32();
+  for (uint32_t i = 0; i < n_records && r->ok(); ++i) {
+    Record rec;
+    rec.tokens = r->StrList();
+    rec.ids.reserve(rec.tokens.size());
+    for (const std::string& tok : rec.tokens) {
+      rec.ids.push_back(dataset->mutable_vocab()->Add(tok));
+    }
+    const uint32_t n_tracks = r->U32();
+    for (uint32_t t = 0; t < n_tracks && r->ok(); ++t) {
+      std::string track = r->Str();
+      rec.annotations[std::move(track)] = r->StrList();
+    }
+    if (r->ok()) dataset->Add(std::move(rec));
+  }
+  return r->ok();
+}
+
+// ---------------------------------------------------------------------------
+// Hypothesis specs.
+// ---------------------------------------------------------------------------
+
+void EncodeHypothesisSpec(const HypothesisSpec& spec, Writer* w) {
+  w->U8(static_cast<uint8_t>(spec.kind));
+  w->Str(spec.a);
+  w->Str(spec.b);
+  w->StrList(spec.labels);
+}
+
+bool DecodeHypothesisSpec(Reader* r, HypothesisSpec* spec) {
+  const uint8_t kind = r->U8();
+  if (kind > static_cast<uint8_t>(HypothesisSpec::Kind::kCharClass)) {
+    return false;
+  }
+  spec->kind = static_cast<HypothesisSpec::Kind>(kind);
+  spec->a = r->Str();
+  spec->b = r->Str();
+  spec->labels = r->StrList();
+  return r->ok();
+}
+
+Result<HypothesisPtr> BuildHypothesis(const HypothesisSpec& spec) {
+  switch (spec.kind) {
+    case HypothesisSpec::Kind::kKeyword:
+      if (spec.a.empty()) return Status::Invalid("keyword spec: empty keyword");
+      return HypothesisPtr(std::make_shared<KeywordHypothesis>(spec.a));
+    case HypothesisSpec::Kind::kAnnotation:
+      if (spec.a.empty()) return Status::Invalid("annotation spec: no track");
+      return HypothesisPtr(
+          std::make_shared<AnnotationHypothesis>(spec.a, spec.b));
+    case HypothesisSpec::Kind::kMultiClassAnnotation:
+      if (spec.a.empty() || spec.labels.empty()) {
+        return Status::Invalid("multi-class spec: track and labels required");
+      }
+      return HypothesisPtr(std::make_shared<MultiClassAnnotationHypothesis>(
+          spec.a, spec.labels));
+    case HypothesisSpec::Kind::kCharClass:
+      if (spec.a.empty() || spec.b.empty()) {
+        return Status::Invalid("char-class spec: name and chars required");
+      }
+      return HypothesisPtr(
+          std::make_shared<CharClassHypothesis>(spec.a, spec.b));
+  }
+  return Status::Invalid("unknown hypothesis spec kind");
+}
+
+// ---------------------------------------------------------------------------
+// Progress / result summary / stats payloads.
+// ---------------------------------------------------------------------------
+
+void EncodeJobProgress(const JobProgressWire& progress, Writer* w) {
+  w->U8(progress.status);
+  w->U64(progress.blocks_completed);
+  w->U64(progress.blocks_total);
+  w->U64(progress.records_processed);
+}
+
+bool DecodeJobProgress(Reader* r, JobProgressWire* progress) {
+  progress->status = r->U8();
+  progress->blocks_completed = r->U64();
+  progress->blocks_total = r->U64();
+  progress->records_processed = r->U64();
+  return r->ok();
+}
+
+void EncodeResultSummary(const ResultSummaryWire& summary, Writer* w) {
+  w->U64(summary.blocks_processed);
+  w->U64(summary.dedup_hits);
+  w->U64(summary.result_cache_hits);
+  w->U64(summary.scan_shared_hits);
+  w->F64(summary.total_s);
+}
+
+bool DecodeResultSummary(Reader* r, ResultSummaryWire* summary) {
+  summary->blocks_processed = r->U64();
+  summary->dedup_hits = r->U64();
+  summary->result_cache_hits = r->U64();
+  summary->scan_shared_hits = r->U64();
+  summary->total_s = r->F64();
+  return r->ok();
+}
+
+void EncodeServerStats(const ServerStatsWire& stats, Writer* w) {
+  w->U64(stats.jobs_scheduled);
+  w->U64(stats.groups_formed);
+  w->U64(stats.jobs_coscheduled);
+  w->U64(stats.scan_extractions);
+  w->U64(stats.scan_shared_hits);
+  w->U64(stats.dedup_followers);
+  w->U64(stats.dedup_promotions);
+  w->U64(stats.admission_rejections);
+  w->U64(stats.result_cache_hits);
+  w->U64(stats.result_cache_misses);
+  w->U64(stats.result_cache_persistent_hits);
+  w->U64(stats.inflight_jobs);
+  w->U64(stats.active_jobs);
+  w->U64(stats.connections_accepted);
+  w->U64(stats.connections_active);
+  w->U64(stats.frames_received);
+  w->U64(stats.frames_sent);
+  w->U64(stats.protocol_errors);
+  w->U64(stats.submits);
+  w->U64(stats.catalog_version);
+  w->U8(stats.draining);
+}
+
+bool DecodeServerStats(Reader* r, ServerStatsWire* stats) {
+  stats->jobs_scheduled = r->U64();
+  stats->groups_formed = r->U64();
+  stats->jobs_coscheduled = r->U64();
+  stats->scan_extractions = r->U64();
+  stats->scan_shared_hits = r->U64();
+  stats->dedup_followers = r->U64();
+  stats->dedup_promotions = r->U64();
+  stats->admission_rejections = r->U64();
+  stats->result_cache_hits = r->U64();
+  stats->result_cache_misses = r->U64();
+  stats->result_cache_persistent_hits = r->U64();
+  stats->inflight_jobs = r->U64();
+  stats->active_jobs = r->U64();
+  stats->connections_accepted = r->U64();
+  stats->connections_active = r->U64();
+  stats->frames_received = r->U64();
+  stats->frames_sent = r->U64();
+  stats->protocol_errors = r->U64();
+  stats->submits = r->U64();
+  stats->catalog_version = r->U64();
+  stats->draining = r->U8();
+  return r->ok();
+}
+
+}  // namespace wire
+}  // namespace deepbase

@@ -1,0 +1,246 @@
+// DeepBase wire protocol (the serving layer's message format). Every
+// frame on the socket is length-prefixed binary:
+//
+//   +--------+---------+--------+------------+-------------+---------+
+//   | magic  | version | type   | request_id | payload_len | payload |
+//   | u32    | u16     | u16    | u64        | u32         | bytes   |
+//   +--------+---------+--------+------------+-------------+---------+
+//
+// All integers are little-endian. `request_id` is chosen by the client
+// and echoed in the response; server-push frames (progress events and the
+// final result of a submitted job) carry the originating Submit's
+// request_id so the client can demultiplex one socket across many
+// concurrent jobs. Status codes travel as the stable values of
+// StatusCodeToWire (util/status.h), never raw enum values.
+//
+// The payload vocabulary is deliberately name-based: a remote
+// InspectRequest references models/hypothesis sets/datasets/measures by
+// their catalog names (inline extractor/hypothesis/measure pointers
+// cannot cross a process boundary and are rejected at encode time).
+// Clients may populate the server catalog with RegisterDataset (records
+// travel inline) and RegisterHypotheses (a declarative spec subset:
+// keyword / annotation / multi-class annotation / char-class — arbitrary
+// code does not travel).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace deepbase {
+namespace wire {
+
+inline constexpr uint32_t kMagic = 0x44425731;  // "DBW1"
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderBytes = 20;
+/// Frames above this are rejected as malformed before any allocation.
+inline constexpr size_t kDefaultMaxFrameBytes = 64ull << 20;
+
+/// \brief Frame types. Requests < 64, responses in [64, 128), server-push
+/// events >= 128. Values are protocol constants — append, never renumber.
+enum class MsgType : uint16_t {
+  // Requests (client -> server).
+  kHello = 1,
+  kSubmit = 2,
+  kPoll = 3,
+  kCancel = 4,
+  kWait = 5,
+  kRegisterDataset = 6,
+  kRegisterHypotheses = 7,
+  kStats = 8,
+
+  // Responses (server -> client, request_id echoed).
+  kHelloOk = 64,
+  kSubmitOk = 65,
+  kPollOk = 66,
+  kCancelOk = 67,
+  kRegisterOk = 68,
+  kStatsOk = 69,
+  kResult = 70,  ///< terminal status + (on OK) a serialized ResultTable
+  kError = 71,   ///< request-level failure: wire status code + message
+
+  // Server-push events (request_id = the originating Submit's).
+  kEventProgress = 128,
+};
+
+/// \brief One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// ---------------------------------------------------------------------------
+// Payload primitives: bounds-checked little-endian encode/decode.
+// ---------------------------------------------------------------------------
+
+/// \brief Appends primitives to a byte string.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F32(float v);
+  void F64(double v);
+  /// Length-prefixed (u32) byte string.
+  void Str(const std::string& s);
+  void StrList(const std::vector<std::string>& v);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// \brief Reads primitives back; any out-of-bounds read latches !ok() and
+/// every subsequent Get returns zero values, so decoders can check once
+/// at the end (the RocksDB Slice idiom).
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : data_(bytes) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  float F32();
+  double F64();
+  std::string Str();
+  std::vector<std::string> StrList();
+
+  bool ok() const { return ok_; }
+  /// True when the whole payload was consumed (trailing garbage is a
+  /// protocol error for fixed-shape messages).
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Need(size_t n);
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Framing over a socket.
+// ---------------------------------------------------------------------------
+
+/// \brief Serialize one frame (header + payload) into a byte string.
+std::string EncodeFrame(MsgType type, uint64_t request_id,
+                        const std::string& payload);
+
+/// \brief Blocking full-frame read from `fd`. Returns kIOError on EOF /
+/// socket failure (including EOF mid-frame = truncated frame) and
+/// kDataLoss on malformed input (bad magic, unsupported version, payload
+/// above `max_frame_bytes`).
+Status ReadFrame(int fd, Frame* frame,
+                 size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// \brief Blocking full write of one frame to `fd` (SIGPIPE-safe).
+Status WriteFrame(int fd, MsgType type, uint64_t request_id,
+                  const std::string& payload);
+
+// ---------------------------------------------------------------------------
+// Typed payloads.
+// ---------------------------------------------------------------------------
+
+/// \brief Status payload (kError, and the leading section of kResult).
+void EncodeStatus(const Status& status, Writer* w);
+Status DecodeStatus(Reader* r);
+
+/// \brief The name-resolved InspectRequest subset that can travel.
+/// Rejects requests holding inline extractor/dataset/hypothesis/measure
+/// pointers (no stable identity across the wire).
+Status EncodeInspectRequest(const InspectRequest& request, Writer* w);
+bool DecodeInspectRequest(Reader* r, InspectRequest* request);
+
+/// \brief Full dataset content: ns, records (tokens + annotation tracks).
+/// The decoder rebuilds vocab ids server-side.
+void EncodeDataset(const Dataset& dataset, Writer* w);
+bool DecodeDataset(Reader* r, Dataset* dataset);
+
+/// \brief Declarative hypothesis constructors that can travel (arbitrary
+/// HypothesisFn code cannot).
+struct HypothesisSpec {
+  enum class Kind : uint8_t {
+    kKeyword = 0,     ///< KeywordHypothesis(a)
+    kAnnotation = 1,  ///< AnnotationHypothesis(track=a, label=b)
+    kMultiClassAnnotation = 2,  ///< MultiClassAnnotationHypothesis(a, labels)
+    kCharClass = 3,   ///< CharClassHypothesis(name=a, chars=b)
+  };
+  Kind kind = Kind::kKeyword;
+  std::string a;
+  std::string b;
+  std::vector<std::string> labels;
+};
+
+void EncodeHypothesisSpec(const HypothesisSpec& spec, Writer* w);
+bool DecodeHypothesisSpec(Reader* r, HypothesisSpec* spec);
+/// \brief Instantiate a spec (server side).
+Result<HypothesisPtr> BuildHypothesis(const HypothesisSpec& spec);
+
+/// \brief kPollOk / kEventProgress payload: job lifecycle + the progress
+/// counters of JobHandle::Poll, so remote polling reports exactly the
+/// numbers a local handle would.
+struct JobProgressWire {
+  uint8_t status = 0;  ///< JobStatus enumerator index
+  uint64_t blocks_completed = 0;
+  uint64_t blocks_total = 0;
+  uint64_t records_processed = 0;
+};
+
+void EncodeJobProgress(const JobProgressWire& progress, Writer* w);
+bool DecodeJobProgress(Reader* r, JobProgressWire* progress);
+
+/// \brief Per-job summary appended to every OK kResult, so a client can
+/// observe scheduler effects (dedup, caching, shared scans) end-to-end.
+struct ResultSummaryWire {
+  uint64_t blocks_processed = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t scan_shared_hits = 0;
+  double total_s = 0;
+};
+
+void EncodeResultSummary(const ResultSummaryWire& summary, Writer* w);
+bool DecodeResultSummary(Reader* r, ResultSummaryWire* summary);
+
+/// \brief kStatsOk payload: scheduler counters + serving-layer gauges.
+struct ServerStatsWire {
+  // Scheduler (service/scheduler.h SchedulerStats, flattened).
+  uint64_t jobs_scheduled = 0;
+  uint64_t groups_formed = 0;
+  uint64_t jobs_coscheduled = 0;
+  uint64_t scan_extractions = 0;
+  uint64_t scan_shared_hits = 0;
+  uint64_t dedup_followers = 0;
+  uint64_t dedup_promotions = 0;
+  uint64_t admission_rejections = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_persistent_hits = 0;
+  uint64_t inflight_jobs = 0;
+  uint64_t active_jobs = 0;
+  // Serving layer.
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t submits = 0;
+  uint64_t catalog_version = 0;
+  uint8_t draining = 0;
+};
+
+void EncodeServerStats(const ServerStatsWire& stats, Writer* w);
+bool DecodeServerStats(Reader* r, ServerStatsWire* stats);
+
+}  // namespace wire
+}  // namespace deepbase

@@ -31,6 +31,28 @@ JobStatus JobHandle::Poll() const {
   return state.status;
 }
 
+JobStatus JobHandle::Poll(JobProgress* progress) const {
+  internal::JobState& state = state_ != nullptr ? *state_ : InvalidJobState();
+  JobStatus status;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    status = state.status;
+  }
+  if (progress != nullptr) {
+    // The counter is updated with relaxed atomics by whichever engine
+    // lane dispatches a block; a snapshot needs no lock.
+    const ProgressCounter& counter = *state.progress;
+    progress->status = status;
+    progress->blocks_completed =
+        counter.blocks_done.load(std::memory_order_relaxed);
+    progress->blocks_total =
+        counter.blocks_total.load(std::memory_order_relaxed);
+    progress->records_processed =
+        counter.records_done.load(std::memory_order_relaxed);
+  }
+  return status;
+}
+
 bool JobHandle::Done() const {
   const JobStatus status = Poll();
   return status == JobStatus::kDone || status == JobStatus::kCancelled;

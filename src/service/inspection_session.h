@@ -116,6 +116,20 @@ struct SessionConfig {
 /// \brief Lifecycle of an async inspection job.
 enum class JobStatus { kQueued, kRunning, kDone, kCancelled };
 
+/// \brief Snapshot of a job's live progress (JobHandle::Poll overload).
+/// `blocks_total` is the engine's planned dispatch count — 0 until the
+/// block loop has planned (and forever, for jobs served without the
+/// engine: result-cache hits and dedup waiters report the leader's
+/// counters or 0/0). Early stopping may complete a job below
+/// `blocks_total`. The network serving layer streams exactly these
+/// numbers, so local and remote polling always agree.
+struct JobProgress {
+  JobStatus status = JobStatus::kQueued;
+  uint64_t blocks_completed = 0;
+  uint64_t blocks_total = 0;
+  uint64_t records_processed = 0;
+};
+
 namespace internal {
 struct JobState {
   uint64_t id = 0;
@@ -125,6 +139,11 @@ struct JobState {
   std::atomic<bool> cancel{false};
   std::optional<Result<ResultTable>> result;
   RuntimeStats stats;
+  /// Live engine progress, shared with the scheduler (and, for dedup
+  /// waiters, with the leader's run — a waiter's Poll reports the
+  /// leader's live counters). Never null.
+  std::shared_ptr<ProgressCounter> progress =
+      std::make_shared<ProgressCounter>();
   /// Invoked by JobHandle::Cancel() after the cancel flag is set (read
   /// under mu, run outside it). The scheduler installs it on dedup
   /// waiters so cancelling a waiter resolves it immediately instead of
@@ -146,6 +165,10 @@ class JobHandle {
 
   /// \brief Non-blocking status probe.
   JobStatus Poll() const;
+  /// \brief Non-blocking status + progress probe: blocks completed /
+  /// total planned (live while running, final once done), the same
+  /// numbers the serving layer streams to remote clients.
+  JobStatus Poll(JobProgress* progress) const;
   bool Done() const;
 
   /// \brief Block until the job finishes (or is cancelled) and return its

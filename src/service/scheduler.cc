@@ -628,7 +628,7 @@ void Scheduler::FinishInflight(const std::shared_ptr<InflightJob>& job,
     Result<ResultTable> promoted_result =
         Execute(job->request, AttachToGroup(job->request), job->fingerprint,
                 job->version, job->dataset_fingerprint, &promoted->cancel,
-                &promoted_stats);
+                promoted->progress.get(), &promoted_stats);
     pending.reset();
     if (promoted_stats.cancelled) {
       // Cancelled promotions resolve immediately (the next loop turn may
@@ -658,10 +658,12 @@ Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
                                        uint64_t version,
                                        uint64_t dataset_fingerprint,
                                        const std::atomic<bool>* cancel,
+                                       ProgressCounter* progress,
                                        RuntimeStats* stats) {
   InspectRequest effective = request;
   InspectOptions options = session_->EffectiveOptions(request);
   if (cancel != nullptr) options.cancel = cancel;
+  if (progress != nullptr) options.progress = progress;
   if (group) options.shared_scan = group->client.get();
   effective.options = options;
   RuntimeStats local;
@@ -739,6 +741,7 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
     if (dedupable && it != inflight_.end() && !it->second->done) {
       // Identical request already in flight: park this caller on it.
       waiter = std::make_shared<internal::JobState>();
+      waiter->progress = it->second->progress;  // poll the leader's run
       it->second->waiters.push_back(waiter);
       ++dedup_followers_;
     } else {
@@ -762,6 +765,7 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
           inflight->version = version;
           inflight->dataset_fingerprint = dataset_fp;
           inflight->request = request;
+          inflight->progress = std::make_shared<ProgressCounter>();
           inflight_[{*fingerprint, version}] = inflight;
         }
       }
@@ -781,7 +785,8 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
   RuntimeStats local;
   Result<ResultTable> result =
       Execute(request, AttachToGroup(request), fingerprint, version,
-              dataset_fp, /*cancel=*/nullptr, &local);
+              dataset_fp, /*cancel=*/nullptr,
+              inflight ? inflight->progress.get() : nullptr, &local);
   if (inflight) {
     FinishInflight(inflight, result, local, /*leader_cancelled=*/false);
   }
@@ -850,6 +855,7 @@ JobHandle Scheduler::Submit(InspectRequest request) {
       if (it != inflight_.end() && !it->second->done) {
         std::shared_ptr<InflightJob> job = it->second;
         auto state = session_->NewJobState();
+        state->progress = job->progress;  // poll the leader's run
         job->waiters.push_back(state);
         ++dedup_followers_;
         {
@@ -894,6 +900,7 @@ JobHandle Scheduler::Submit(InspectRequest request) {
         inflight->version = version;
         inflight->dataset_fingerprint = dataset_fp;
         inflight->request = request;
+        inflight->progress = std::make_shared<ProgressCounter>();
         inflight_[{*fingerprint, version}] = inflight;
       }
     }
@@ -909,6 +916,9 @@ JobHandle Scheduler::Submit(InspectRequest request) {
 
   ThreadPool* pool = session_->EnsurePool();
   auto state = session_->NewJobState();
+  // The leader's handle and the in-flight registry share one progress
+  // counter, so waiters attached later poll this run's live counters.
+  if (inflight) state->progress = inflight->progress;
   // Group membership is claimed at submit time (not when the worker picks
   // the job up), so every job queued in one burst lands in one group.
   std::optional<GroupHandle> group = AttachToGroup(request);
@@ -946,7 +956,7 @@ JobHandle Scheduler::Submit(InspectRequest request) {
     RuntimeStats stats;
     Result<ResultTable> result =
         Execute(request, std::move(group), fingerprint, version, dataset_fp,
-                &state->cancel, &stats);
+                &state->cancel, state->progress.get(), &stats);
     auto resolve_leader = [&] {
       std::lock_guard<std::mutex> lock(state->mu);
       state->stats = stats;

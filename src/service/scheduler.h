@@ -253,6 +253,10 @@ class Scheduler {
     InspectRequest request;
     bool done = false;                                       // guarded by mu_
     std::vector<std::shared_ptr<internal::JobState>> waiters;  // guarded by mu_
+    /// The leader's live progress counter, created at registration and
+    /// shared into every waiter's JobState so polling a waiter (locally
+    /// or over the wire) reports the leader's progress. Never null.
+    std::shared_ptr<ProgressCounter> progress;
   };
 
   std::optional<GroupHandle> AttachToGroup(const InspectRequest& request);
@@ -265,7 +269,7 @@ class Scheduler {
                               std::optional<uint64_t> fingerprint,
                               uint64_t version, uint64_t dataset_fingerprint,
                               const std::atomic<bool>* cancel,
-                              RuntimeStats* stats);
+                              ProgressCounter* progress, RuntimeStats* stats);
 
   /// Leader terminal path: deliver `result` to every live waiter (or,
   /// when the leader was cancelled, promote the first live waiter and

@@ -5,13 +5,12 @@
 
 namespace deepbase {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
     case StatusCode::kInvalidArgument:
-      return "Invalid";
+      return "InvalidArgument";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
     case StatusCode::kNotFound:
@@ -33,11 +32,71 @@ const char* CodeName(StatusCode code) {
   }
   return "Unknown";
 }
-}  // namespace
+
+// Wire values follow the gRPC/absl numbering where a counterpart exists
+// (so dashboards and humans recognize them); codes without one (kIOError)
+// sit above 100, clear of future upstream assignments. These values are
+// the protocol contract — append, never renumber.
+uint16_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kCancelled:
+      return 1;
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kNotFound:
+      return 5;
+    case StatusCode::kAlreadyExists:
+      return 6;
+    case StatusCode::kResourceExhausted:
+      return 8;
+    case StatusCode::kOutOfRange:
+      return 11;
+    case StatusCode::kNotImplemented:
+      return 12;
+    case StatusCode::kInternal:
+      return 13;
+    case StatusCode::kDataLoss:
+      return 15;
+    case StatusCode::kIOError:
+      return 101;
+  }
+  return 13;  // unknown enumerator -> Internal
+}
+
+StatusCode StatusCodeFromWire(uint16_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kCancelled;
+    case 3:
+      return StatusCode::kInvalidArgument;
+    case 5:
+      return StatusCode::kNotFound;
+    case 6:
+      return StatusCode::kAlreadyExists;
+    case 8:
+      return StatusCode::kResourceExhausted;
+    case 11:
+      return StatusCode::kOutOfRange;
+    case 12:
+      return StatusCode::kNotImplemented;
+    case 13:
+      return StatusCode::kInternal;
+    case 15:
+      return StatusCode::kDataLoss;
+    case 101:
+      return StatusCode::kIOError;
+    default:
+      return StatusCode::kInternal;
+  }
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -25,6 +26,20 @@ enum class StatusCode {
   kCancelled,
   kResourceExhausted,
 };
+
+/// \brief Canonical name of a status code ("InvalidArgument", "NotFound",
+/// ...). Matches the factory-function names; used by Status::ToString and
+/// the network layer, so every surface stringifies codes identically.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Stable on-the-wire value of a status code (server/wire.h frames
+/// carry these, never raw enum values, so the enum may be reordered
+/// without breaking protocol compatibility). Round-trips exactly:
+/// StatusCodeFromWire(StatusCodeToWire(c)) == c for every enumerator.
+uint16_t StatusCodeToWire(StatusCode code);
+/// \brief Inverse of StatusCodeToWire; unknown wire values (a newer or
+/// corrupt peer) decode as kInternal rather than aborting.
+StatusCode StatusCodeFromWire(uint16_t wire);
 
 /// \brief Outcome of an operation: OK or an error code with a message.
 ///

@@ -27,7 +27,32 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(st.message(), "bad input");
-  EXPECT_EQ(st.ToString(), "Invalid: bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, CodeNamesMatchFactories) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, WireCodesRoundTripEveryEnumerator) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,   StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kNotImplemented,
+      StatusCode::kInternal,     StatusCode::kIOError,
+      StatusCode::kDataLoss,     StatusCode::kCancelled,
+      StatusCode::kResourceExhausted,
+  };
+  for (StatusCode code : codes) {
+    EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code)
+        << StatusCodeName(code);
+  }
+  // Unknown wire values from a newer peer degrade to Internal.
+  EXPECT_EQ(StatusCodeFromWire(9999), StatusCode::kInternal);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
