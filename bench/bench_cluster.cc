@@ -1,0 +1,392 @@
+// Distributed-cluster scale-out bench: one ClusterCoordinator driving
+// 1 / 2 / 4 InspectionWorkers (each with its own session + identically
+// built catalog, as separate processes would have) over loopback TCP.
+// Every job is a sliced exact-merge inspection (jaccard + mutual_info,
+// streaming off, num_shards pinned), so the determinism contract holds:
+// the bench asserts the result table is byte-identical at every worker
+// count before it reports throughput.
+//
+// Cells:
+//
+//   workers=1/2/4 — records/s through DistributedRun for a burst of
+//                   identical sliced jobs, end-to-end through the wire
+//                   (serialize states on the worker, merge on the
+//                   coordinator)
+//   reassignment  — a victim worker that stalls every assignment is
+//                   SIGKILL-equivalent Kill()ed mid-job; reports the
+//                   latency from the kill to job completion on the
+//                   surviving worker (mean over trials)
+//
+// Writes BENCH_cluster_scaleout.json.
+//
+// Flags: --smoke (tiny, CI), --full (larger), --jobs N (default 4),
+//        --out PATH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
+#include "service/inspection_session.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace deepbase {
+namespace bench {
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Bench world: a planted extractor whose per-block cost is controlled by
+// a busy-delay, over a synthetic a/b token dataset. Built identically in
+// the coordinator and in every worker (same seeds → same catalogs),
+// matching the deployment contract that cluster members share a catalog.
+// ---------------------------------------------------------------------------
+
+class PlantedExtractor : public Extractor {
+ public:
+  PlantedExtractor(size_t units, int delay_us)
+      : Extractor("planted"), units_(units), delay_us_(delay_us) {}
+  size_t num_units() const override { return units_; }
+
+  Matrix ExtractBlock(const Dataset& dataset,
+                      const std::vector<size_t>& record_idx,
+                      const std::vector<int>& unit_ids) const override {
+    if (delay_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+    }
+    return Extractor::ExtractBlock(dataset, record_idx, unit_ids);
+  }
+
+  Matrix ExtractRecord(const Record& rec,
+                       const std::vector<int>& unit_ids) const override {
+    Matrix out(rec.size(), unit_ids.size());
+    for (size_t t = 0; t < rec.size(); ++t) {
+      const bool is_a = rec.tokens[t] == "a";
+      for (size_t c = 0; c < unit_ids.size(); ++c) {
+        const int uid = unit_ids[c];
+        if (uid == 0) {
+          out(t, c) = (is_a ? 1.0f : 0.0f) +
+                      0.01f * static_cast<float>((rec.ids[t] + t) % 7);
+        } else {
+          out(t, c) =
+              static_cast<float>(
+                  (rec.ids[t] * 2654435761u + t * 40503u + uid * 97u) %
+                  997) /
+                  498.5f -
+              1.0f;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  size_t units_;
+  int delay_us_;
+};
+
+HypothesisPtr IsAHypothesis() {
+  return std::make_shared<FunctionHypothesis>(
+      "is_a", [](const Record& rec) {
+        std::vector<float> out(rec.size(), 0.0f);
+        for (size_t i = 0; i < rec.size(); ++i) {
+          if (rec.tokens[i] == "a") out[i] = 1.0f;
+        }
+        return out;
+      });
+}
+
+Dataset MakeAbDataset(size_t records, size_t ns) {
+  Dataset dataset(Vocab::FromChars("ab"), ns);
+  Rng rng(3);
+  for (size_t i = 0; i < records; ++i) {
+    std::string text;
+    for (size_t t = 0; t < ns; ++t) text += rng.Bernoulli(0.4) ? 'a' : 'b';
+    dataset.AddText(text);
+  }
+  return dataset;
+}
+
+struct WorldParams {
+  size_t records = 1024;
+  size_t ns = 8;
+  size_t units = 8;
+  int delay_us = 200;  // per-block extraction cost
+};
+
+struct World {
+  PlantedExtractor extractor;
+  Dataset dataset;
+  InspectionSession session;
+
+  explicit World(const WorldParams& params)
+      : extractor(params.units, params.delay_us),
+        dataset(MakeAbDataset(params.records, params.ns)),
+        session(SessionConfig{.num_threads = 2}) {
+    session.catalog().RegisterModel("planted", &extractor);
+    session.catalog().RegisterHypotheses("keywords", {IsAHypothesis()});
+    session.catalog().RegisterDataset("ab", &dataset);
+  }
+};
+
+InspectRequest SlicedRequest(uint32_t num_shards) {
+  InspectRequest request;
+  request.models.push_back({.name = "planted"});
+  request.hypothesis_sets = {"keywords"};
+  request.dataset_name = "ab";
+  request.measure_names = {"jaccard", "mutual_info"};  // kExact merges
+  request.options = InspectOptions{};
+  request.options->block_size = 16;
+  request.options->num_shards = num_shards;
+  request.options->streaming = false;
+  request.options->early_stopping = false;
+  return request;
+}
+
+bool WaitForWorkers(const cluster::ClusterCoordinator& coordinator,
+                    size_t n, int timeout_ms = 5000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (coordinator.num_workers() >= n) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return coordinator.num_workers() >= n;
+}
+
+struct Cell {
+  size_t workers = 0;
+  size_t jobs = 0;
+  double seconds = 0;
+  size_t records = 0;        // sum of stats.records_processed over jobs
+  uint64_t assignments = 0;  // coordinator assignments_sent for the cell
+
+  double records_per_s() const { return seconds > 0 ? records / seconds : 0; }
+};
+
+/// One scale-out cell: a coordinator + `num_workers` workers, running
+/// `jobs` identical sliced requests back-to-back. Returns the measured
+/// cell and (out) the serialized result table for the determinism check.
+Cell RunScaleCell(const WorldParams& params, size_t num_workers,
+                  size_t jobs, uint32_t num_shards,
+                  std::string* table_bytes) {
+  World coord_world(params);
+  cluster::CoordinatorConfig config;
+  config.total_shards = num_shards;
+  config.install_engine = false;  // drive DistributedRun directly
+  cluster::ClusterCoordinator coordinator(&coord_world.session, config);
+  DB_CHECK_OK(coordinator.Start());
+
+  std::vector<std::unique_ptr<World>> worker_worlds;
+  std::vector<std::unique_ptr<cluster::InspectionWorker>> workers;
+  for (size_t w = 0; w < num_workers; ++w) {
+    worker_worlds.push_back(std::make_unique<World>(params));
+    workers.push_back(std::make_unique<cluster::InspectionWorker>(
+        &worker_worlds.back()->session,
+        cluster::WorkerConfig{.worker_id = "w" + std::to_string(w),
+                              .coordinator_port = coordinator.port()}));
+    DB_CHECK_OK(workers.back()->Connect());
+  }
+  if (!WaitForWorkers(coordinator, num_workers)) {
+    std::fprintf(stderr, "workers did not register\n");
+    std::exit(1);
+  }
+
+  const InspectRequest request = SlicedRequest(num_shards);
+  const uint64_t sent_before = coordinator.stats().assignments_sent;
+
+  Cell cell;
+  cell.workers = num_workers;
+  cell.jobs = jobs;
+  Stopwatch watch;
+  for (size_t j = 0; j < jobs; ++j) {
+    RuntimeStats stats;
+    Result<ResultTable> result = coordinator.DistributedRun(
+        request, coord_world.session.default_options(), &stats);
+    DB_CHECK_OK(result.status());
+    cell.records += stats.records_processed;
+    if (j == 0) *table_bytes = result->SerializeToString();
+  }
+  cell.seconds = watch.Seconds();
+  cell.assignments = coordinator.stats().assignments_sent - sent_before;
+
+  for (auto& worker : workers) worker->Shutdown();
+  coordinator.Shutdown();
+  return cell;
+}
+
+/// Reassignment latency: two workers, the victim stalls every
+/// assignment it receives; Kill() it mid-job and measure the time from
+/// the kill until the job completes on the survivor.
+double RunReassignTrial(const WorldParams& params, uint32_t num_shards) {
+  World coord_world(params);
+  cluster::CoordinatorConfig config;
+  config.total_shards = num_shards;
+  config.install_engine = false;
+  config.reassign_backoff_s = 0.005;
+  cluster::ClusterCoordinator coordinator(&coord_world.session, config);
+  DB_CHECK_OK(coordinator.Start());
+
+  World victim_world(params);
+  cluster::InspectionWorker victim(
+      &victim_world.session,
+      {.worker_id = "victim",
+       .coordinator_port = coordinator.port(),
+       .assignment_delay_s = 30.0});
+  DB_CHECK_OK(victim.Connect());
+
+  World survivor_world(params);
+  cluster::InspectionWorker survivor(
+      &survivor_world.session,
+      {.worker_id = "survivor", .coordinator_port = coordinator.port()});
+  DB_CHECK_OK(survivor.Connect());
+  if (!WaitForWorkers(coordinator, 2)) {
+    std::fprintf(stderr, "workers did not register\n");
+    std::exit(1);
+  }
+
+  const InspectRequest request = SlicedRequest(num_shards);
+  Stopwatch job_watch;
+  double done_s = 0;
+  std::thread job([&] {
+    Result<ResultTable> result = coordinator.DistributedRun(
+        request, coord_world.session.default_options(), nullptr);
+    DB_CHECK_OK(result.status());
+    done_s = job_watch.Seconds();
+  });
+  // Let the dispatch land on both workers, then kill the stalled one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const double kill_s = job_watch.Seconds();
+  victim.Kill();
+  job.join();
+
+  const uint64_t reassignments = coordinator.stats().reassignments;
+  victim.Shutdown();
+  survivor.Shutdown();
+  coordinator.Shutdown();
+  if (reassignments == 0) {
+    // The job finished before the victim got work; not a valid trial.
+    return -1;
+  }
+  return done_s - kill_s;
+}
+
+void WriteJson(const std::string& path, const WorldParams& params,
+               size_t jobs, uint32_t num_shards,
+               const std::vector<Cell>& cells, double reassign_latency_s,
+               size_t reassign_trials) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"cluster_scaleout\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"records\": %zu,\n", params.records);
+  std::fprintf(f, "  \"units\": %zu,\n", params.units);
+  std::fprintf(f, "  \"block_delay_us\": %d,\n", params.delay_us);
+  std::fprintf(f, "  \"num_shards\": %u,\n", num_shards);
+  std::fprintf(f, "  \"jobs\": %zu,\n", jobs);
+  std::fprintf(f, "  \"tables_bit_identical\": true,\n");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"workers\": %zu, \"seconds\": %.6f, "
+                 "\"records_per_s\": %.1f, \"assignments\": %llu}%s\n",
+                 c.workers, c.seconds, c.records_per_s(),
+                 static_cast<unsigned long long>(c.assignments),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"reassignment_trials\": %zu,\n", reassign_trials);
+  std::fprintf(f, "  \"reassignment_latency_s\": %.6f\n",
+               reassign_latency_s);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run(int argc, char** argv) {
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const bool full = HasFlag(argc, argv, "--full");
+  const size_t jobs =
+      static_cast<size_t>(std::stoul(FlagValue(argc, argv, "--jobs", "4")));
+  const std::string out =
+      FlagValue(argc, argv, "--out", "BENCH_cluster_scaleout.json");
+
+  WorldParams params;
+  uint32_t num_shards = 8;
+  size_t reassign_trials = 3;
+  if (smoke) {
+    params.records = 256;
+    params.delay_us = 50;
+    reassign_trials = 1;
+  } else if (full) {
+    params.records = 4096;
+    params.delay_us = 500;
+    reassign_trials = 5;
+  }
+
+  PrintHeader("cluster scale-out",
+              "coordinator + 1/2/4 workers over loopback; sliced "
+              "exact-merge jobs; tables asserted bit-identical across "
+              "worker counts");
+
+  std::vector<Cell> cells;
+  std::string reference_bytes;
+  for (size_t num_workers : {1u, 2u, 4u}) {
+    std::string table_bytes;
+    Cell cell =
+        RunScaleCell(params, num_workers, jobs, num_shards, &table_bytes);
+    if (reference_bytes.empty()) {
+      reference_bytes = table_bytes;
+    } else if (table_bytes != reference_bytes) {
+      std::fprintf(stderr,
+                   "FATAL: table at %zu workers differs from 1-worker "
+                   "table — determinism contract broken\n",
+                   num_workers);
+      std::exit(1);
+    }
+    std::printf("  workers=%zu  %7.3f s  %10.1f records/s  "
+                "(%llu assignments)\n",
+                cell.workers, cell.seconds, cell.records_per_s(),
+                static_cast<unsigned long long>(cell.assignments));
+    cells.push_back(cell);
+  }
+
+  double latency_sum = 0;
+  size_t latency_n = 0;
+  for (size_t t = 0; t < reassign_trials; ++t) {
+    const double latency = RunReassignTrial(params, num_shards);
+    if (latency >= 0) {
+      latency_sum += latency;
+      ++latency_n;
+    }
+  }
+  const double latency_mean =
+      latency_n > 0 ? latency_sum / static_cast<double>(latency_n) : -1;
+  std::printf("  reassignment latency: %.3f s mean over %zu trial(s)\n",
+              latency_mean, latency_n);
+
+  WriteJson(out, params, jobs, num_shards, cells, latency_mean,
+            latency_n);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepbase
+
+int main(int argc, char** argv) { deepbase::bench::Run(argc, argv); }

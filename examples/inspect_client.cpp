@@ -11,6 +11,13 @@
 //   4. the server stats RPC (the over-the-wire view of the scheduler)
 //
 // Usage: ./build/examples/inspect_client --port N [--host H]
+//            [--measure NAME] [--once]
+//
+// --measure picks the measure (default pearson; jaccard's integer-count
+// merge is bit-identical at any cluster worker count). --once runs just
+// the single inspection and prints the rows in a stable, byte-
+// comparable format — the mode scripts use to verify run-to-run and
+// cluster determinism.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +34,13 @@ const char* FlagValue(int argc, char** argv, const char* flag,
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 }  // namespace
 
@@ -57,7 +71,27 @@ int main(int argc, char** argv) {
   request.models.push_back({.name = "toy_lm"});
   request.hypothesis_sets = {"vowels"};
   request.dataset_name = "words";
-  request.measure_names = {"pearson"};
+  request.measure_names = {FlagValue(argc, argv, "--measure", "pearson")};
+
+  // --once: one inspection, rows printed byte-stably, exit. Scripts
+  // diff this output across runs and across cluster worker counts.
+  if (HasFlag(argc, argv, "--once")) {
+    Result<ResultTable> once = client.Inspect(request);
+    if (!once.ok()) {
+      std::fprintf(stderr, "inspection failed: %s\n",
+                   once.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ROWS %zu\n", once->size());
+    for (const ResultRow& row : once->rows()) {
+      std::printf("%s|%s|%s|%s|%d|%a|%a\n", row.model_id.c_str(),
+                  row.group_id.c_str(), row.measure.c_str(),
+                  row.hypothesis.c_str(), row.unit,
+                  static_cast<double>(row.unit_score),
+                  static_cast<double>(row.group_score));
+    }
+    return 0;
+  }
 
   Result<RemoteJob> job =
       client.Submit(request, [](const RemoteProgress& p) {

@@ -8,18 +8,28 @@
 //
 // Usage:
 //   ./build/examples/inspect_server [--port N] [--serve-for SECONDS]
+//       [--cluster] [--no-result-cache]
 //
 // Prints "LISTENING <port>" once ready (port 0 = ephemeral, so scripts
-// can parse the actual port). Exits cleanly — graceful drain, in-flight
-// jobs finish — on SIGINT/SIGTERM or after --serve-for seconds.
+// can parse the actual port). With --cluster it additionally starts a
+// ClusterCoordinator on the same session and prints "CLUSTER <port>":
+// inspect_worker processes register there, and every client job
+// transparently executes on the cluster (the coordinator installs
+// itself as the scheduler's engine). --no-result-cache disables the
+// session result cache so repeated queries re-execute — useful when
+// scripts compare run-to-run determinism. Exits cleanly — graceful
+// drain, in-flight jobs finish — on SIGINT/SIGTERM or after
+// --serve-for seconds.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "cluster/coordinator.h"
 #include "core/extractors.h"
 #include "hypothesis/iterators.h"
 #include "nn/lstm_lm.h"
@@ -39,6 +49,13 @@ const char* FlagValue(int argc, char** argv, const char* flag,
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -71,6 +88,18 @@ int main(int argc, char** argv) {
 
   SessionConfig config;
   config.options.block_size = 32;
+  if (HasFlag(argc, argv, "--no-result-cache")) {
+    config.enable_result_cache = false;
+  }
+  const bool cluster_mode = HasFlag(argc, argv, "--cluster");
+  if (cluster_mode) {
+    // Sliceable, byte-stable defaults: non-streaming full passes with a
+    // pinned shard count, so jobs split into block ranges across workers
+    // and the merged table is bit-identical at any worker count.
+    config.options.streaming = false;
+    config.options.early_stopping = false;
+    config.options.num_shards = 4;
+  }
   InspectionSession session(std::move(config));
   LstmLmExtractor extractor("toy_lm", &model);
   session.catalog().RegisterModel("toy_lm", &extractor);
@@ -90,6 +119,25 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %u\n", server.port());
   std::fflush(stdout);
 
+  // --cluster: scale out over inspect_worker processes. The coordinator
+  // installs itself as the scheduler's engine, so client jobs submitted
+  // to this server execute on whichever workers have registered.
+  std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+  if (cluster_mode) {
+    cluster::CoordinatorConfig cluster_config;
+    cluster_config.total_shards = 4;
+    coordinator = std::make_unique<cluster::ClusterCoordinator>(
+        &session, cluster_config);
+    const Status cluster_started = coordinator->Start();
+    if (!cluster_started.ok()) {
+      std::fprintf(stderr, "coordinator failed to start: %s\n",
+                   cluster_started.ToString().c_str());
+      return 1;
+    }
+    std::printf("CLUSTER %u\n", coordinator->port());
+    std::fflush(stdout);
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   const auto deadline =
@@ -103,6 +151,16 @@ int main(int argc, char** argv) {
 
   std::printf("draining...\n");
   server.Shutdown();
+  if (coordinator != nullptr) {
+    const cluster::CoordinatorStats cstats = coordinator->stats();
+    coordinator->Shutdown();
+    std::printf(
+        "cluster: %zu workers registered (%zu lost), %zu assignments sent, "
+        "%zu reassignments, %zu sliced / %zu whole jobs\n",
+        cstats.workers_registered, cstats.workers_lost,
+        cstats.assignments_sent, cstats.reassignments, cstats.jobs_sliced,
+        cstats.jobs_whole);
+  }
   const ServerStats stats = server.stats();
   const SchedulerStats sched = session.scheduler().stats();
   std::printf(

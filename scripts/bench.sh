@@ -7,7 +7,10 @@
 # dedup followers, result-cache hit rate), and the serving-layer bench
 # (BENCH_server_throughput.json — N concurrent TCP clients over
 # loopback: jobs/s, dedup + shared-scan + result-cache hit rates
-# observed end-to-end through the wire). Also runs the
+# observed end-to-end through the wire), and the distributed-cluster
+# bench (BENCH_cluster_scaleout.json — records/s at 1/2/4 workers with
+# the tables asserted bit-identical across worker counts, plus the
+# mid-job worker-kill reassignment latency). Also runs the
 # store-reinspection ablation and, when google-benchmark is available,
 # the bench_micro engine cells, so one command captures the whole
 # hot-path picture.
@@ -28,7 +31,8 @@ cd "$REPO_ROOT"
 echo "== build =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
-      bench_scheduler_batch bench_server bench_store_reinspect >/dev/null
+      bench_scheduler_batch bench_server bench_cluster \
+      bench_store_reinspect >/dev/null
 if cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro \
       >/dev/null 2>&1; then
   HAVE_MICRO=1
@@ -48,6 +52,10 @@ echo "== server throughput (concurrent TCP clients over loopback) =="
 "$BUILD_DIR/bench/bench_server" --clients 4 --jobs 4 \
     --out "$REPO_ROOT/BENCH_server_throughput.json"
 
+echo "== cluster scale-out (1/2/4 workers + reassignment latency) =="
+"$BUILD_DIR/bench/bench_cluster" --jobs 4 \
+    --out "$REPO_ROOT/BENCH_cluster_scaleout.json"
+
 if [ "$HAVE_MICRO" = "1" ]; then
   echo "== bench_micro engine cells =="
   "$BUILD_DIR/bench/bench_micro" \
@@ -58,4 +66,4 @@ fi
 echo "== store reinspection (context) =="
 "$BUILD_DIR/bench/bench_store_reinspect"
 
-echo "OK — results in BENCH_engine_parallel.json, BENCH_scheduler_batch.json, and BENCH_server_throughput.json"
+echo "OK — results in BENCH_engine_parallel.json, BENCH_scheduler_batch.json, BENCH_server_throughput.json, and BENCH_cluster_scaleout.json"

@@ -3,13 +3,17 @@
 # run of the quickstart example through the InspectionSession API, a
 # network-serving smoke (start inspect_server, drive it with
 # inspect_client over loopback, assert a clean graceful-drain shutdown),
-# the ThreadSanitizer build of the concurrency suites (intra-job
+# a multi-process distributed-cluster smoke (coordinator + workers as
+# separate processes; one worker SIGKILLed mid-job; the job completes
+# and the table is bit-identical to the 1-worker baseline), the
+# ThreadSanitizer build of the concurrency suites (intra-job
 # sharding, session jobs, the multi-query scheduler — incl. in-flight
 # dedup, persistent-cache restarts, admission quotas, and the
-# stale-admission regression — the inspection server/client, thread
-# pool, behavior store + blob tier), and smokes of the parallel-engine,
-# scheduler, and server benches so regressions in the sharded, fused,
-# and served paths fail fast.
+# stale-admission regression — the inspection server/client, the
+# cluster coordinator/worker, thread pool, behavior store + blob tier),
+# and smokes of the parallel-engine, scheduler, server, and cluster
+# benches so regressions in the sharded, fused, served, and distributed
+# paths fail fast.
 #
 # Usage: scripts/check.sh [build_dir]   (default: build; TSan uses
 #                                        <build_dir>-tsan)
@@ -56,13 +60,78 @@ grep -q "clean shutdown" "$SERVER_LOG" || {
 }
 rm -f "$SERVER_LOG"
 
+echo "== smoke: distributed cluster (coordinator + 2 workers, SIGKILL one mid-job) =="
+CLUSTER_LOG="$(mktemp)"
+W1_LOG="$(mktemp)"; W2_LOG="$(mktemp)"
+BASELINE_OUT="$(mktemp)"; KILLRUN_OUT="$(mktemp)"
+"$BUILD_DIR/examples/inspect_server" --cluster --no-result-cache \
+    --serve-for 120 >"$CLUSTER_LOG" 2>&1 &
+CLUSTER_SRV_PID=$!
+CLIENT_PORT=""; CLUSTER_PORT=""
+for _ in $(seq 1 100); do
+  CLIENT_PORT="$(awk '/^LISTENING/{print $2; exit}' "$CLUSTER_LOG")"
+  CLUSTER_PORT="$(awk '/^CLUSTER/{print $2; exit}' "$CLUSTER_LOG")"
+  [ -n "$CLUSTER_PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$CLUSTER_PORT" ]; then
+  echo "cluster coordinator did not come up"; cat "$CLUSTER_LOG"; exit 1
+fi
+# Worker 1: healthy. Registered first, alone, for the baseline run.
+"$BUILD_DIR/examples/inspect_worker" --port "$CLUSTER_PORT" --id w1 \
+    >"$W1_LOG" 2>&1 &
+W1_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "WORKER READY" "$W1_LOG" && break; sleep 0.1
+done
+# Baseline: the 1-worker cluster result (jaccard: integer-count merge,
+# bit-identical at any worker count by the determinism contract).
+"$BUILD_DIR/examples/inspect_client" --port "$CLIENT_PORT" \
+    --measure jaccard --once | tail -n +2 >"$BASELINE_OUT"
+grep -q "^ROWS" "$BASELINE_OUT" || {
+  echo "cluster baseline run produced no rows"; cat "$CLUSTER_LOG"; exit 1
+}
+# Worker 2: stalls each assignment (failure-injection hook), so the kill
+# below always lands mid-job while its block range is still in flight.
+"$BUILD_DIR/examples/inspect_worker" --port "$CLUSTER_PORT" --id w2 \
+    --assignment-delay 30 >"$W2_LOG" 2>&1 &
+W2_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "WORKER READY" "$W2_LOG" && break; sleep 0.1
+done
+# Submit with both workers live (ranges split across w1+w2), then
+# SIGKILL w2 mid-job: its range must be reassigned and the job complete.
+"$BUILD_DIR/examples/inspect_client" --port "$CLIENT_PORT" \
+    --measure jaccard --once | tail -n +2 >"$KILLRUN_OUT" &
+KILL_CLIENT_PID=$!
+sleep 1
+kill -KILL "$W2_PID" 2>/dev/null || true
+wait "$KILL_CLIENT_PID"
+cmp "$BASELINE_OUT" "$KILLRUN_OUT" || {
+  echo "cluster table changed after mid-job worker kill"
+  diff "$BASELINE_OUT" "$KILLRUN_OUT" | head; exit 1
+}
+kill -TERM "$W1_PID" 2>/dev/null || true
+wait "$W1_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+kill -TERM "$CLUSTER_SRV_PID"
+wait "$CLUSTER_SRV_PID"
+grep -q "clean shutdown" "$CLUSTER_LOG" || {
+  echo "cluster server did not drain cleanly"; cat "$CLUSTER_LOG"; exit 1
+}
+grep -q "reassignments" "$CLUSTER_LOG" || {
+  echo "cluster server printed no cluster stats"; cat "$CLUSTER_LOG"; exit 1
+}
+rm -f "$CLUSTER_LOG" "$W1_LOG" "$W2_LOG" "$BASELINE_OUT" "$KILLRUN_OUT"
+
 echo "== tsan: concurrency suites =="
 cmake -B "$TSAN_DIR" -S . -DDEEPBASE_TSAN=ON >/dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" --target parallel_engine_test \
-      service_test scheduler_test server_test util_test behavior_store_test
+      service_test scheduler_test server_test util_test \
+      behavior_store_test cluster_test
 (cd "$TSAN_DIR" &&
  ctest --output-on-failure -j 1 \
-       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test')
+       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test|cluster_test')
 
 echo "== smoke: 2-thread parallel bench =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
@@ -80,5 +149,10 @@ echo "== smoke: server throughput bench =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_server >/dev/null
 "$BUILD_DIR/bench/bench_server" --smoke --clients 2 --jobs 2 \
     --out "$BUILD_DIR/BENCH_server_throughput_smoke.json" >/dev/null
+
+echo "== smoke: cluster scale-out bench =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_cluster >/dev/null
+"$BUILD_DIR/bench/bench_cluster" --smoke \
+    --out "$BUILD_DIR/BENCH_cluster_scaleout_smoke.json" >/dev/null
 
 echo "OK"

@@ -1,0 +1,49 @@
+#include "cluster/partition.h"
+
+#include <algorithm>
+
+namespace deepbase {
+namespace cluster {
+
+std::vector<ShardRange> MakeShardRanges(uint32_t total_shards,
+                                        uint32_t num_workers) {
+  std::vector<ShardRange> ranges;
+  if (total_shards == 0 || num_workers == 0) return ranges;
+  const uint32_t n = std::min(total_shards, num_workers);
+  const uint32_t base = total_shards / n;
+  const uint32_t extra = total_shards % n;
+  uint32_t lo = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t size = base + (i < extra ? 1 : 0);
+    ranges.push_back({lo, lo + size});
+    lo += size;
+  }
+  return ranges;
+}
+
+uint64_t StableHash64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string PlaceKey(const std::string& key,
+                     const std::vector<std::string>& workers) {
+  std::string best;
+  uint64_t best_weight = 0;
+  for (const std::string& worker : workers) {
+    const uint64_t weight = StableHash64(key + '\0' + worker);
+    if (best.empty() || weight > best_weight ||
+        (weight == best_weight && worker < best)) {
+      best = worker;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace cluster
+}  // namespace deepbase

@@ -193,6 +193,58 @@ BlockPipeline::BlockPipeline(const std::vector<ModelSpec>& models,
 
 BlockPipeline::~BlockPipeline() = default;
 
+Status BlockPipeline::RestrictShards(size_t shard_lo, size_t shard_hi) {
+  if (num_shards_ <= 1) {
+    return Status::Invalid("slice mode requires num_shards > 1");
+  }
+  if (options_.streaming) {
+    return Status::Invalid("slice mode requires a materialized run");
+  }
+  if (have_sequential_) {
+    return Status::Invalid(
+        "slice mode cannot host sequential-lane measures; run the job "
+        "whole on a single worker instead");
+  }
+  if (shard_lo >= shard_hi || shard_hi > num_shards_) {
+    return Status::Invalid("shard range [" + std::to_string(shard_lo) + ", " +
+                           std::to_string(shard_hi) + ") out of bounds for " +
+                           std::to_string(num_shards_) + " shards");
+  }
+  sliced_ = true;
+  slice_lo_ = shard_lo;
+  slice_hi_ = shard_hi;
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<Measure>> BlockPipeline::TakeShardStates() {
+  DB_DCHECK(sliced_);
+  std::vector<std::unique_ptr<Measure>> out;
+  out.reserve(pairs_.size());
+  for (auto& pair : pairs_) {
+    std::unique_ptr<Measure> state;
+    if (slice_lo_ == 0 || pair.replicas.empty()) {
+      // Range owners starting at shard 0 hand out the primary (it carries
+      // block 0's accumulation plus shard 0's blocks). A pair with no
+      // replicas (run cancelled before cloning) degrades the same way.
+      state = std::move(pair.measure);
+    } else {
+      state = std::move(pair.replicas[slice_lo_]);
+    }
+    if (state != nullptr) {
+      // Fold the rest of the owned range in ascending shard order — the
+      // same order the coordinator then applies across ranges, so the
+      // global merge order is shard 0..S-1 exactly as in-process.
+      for (size_t s = std::max<size_t>(slice_lo_, 1);
+           s < slice_hi_ && s < pair.replicas.size(); ++s) {
+        if (pair.replicas[s] != nullptr) state->MergeFrom(*pair.replicas[s]);
+      }
+    }
+    pair.replicas.clear();
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
 bool BlockPipeline::CancelRequested() const {
   return options_.cancel != nullptr &&
          options_.cancel->load(std::memory_order_relaxed);
@@ -422,6 +474,7 @@ void BlockPipeline::EnsureReplicas() {
     if (!pair.shardable || !pair.replicas.empty()) continue;
     pair.replicas.resize(num_shards_);  // [0] stays null: primary stands in
     for (size_t s = 1; s < num_shards_; ++s) {
+      if (!OwnsShard(s)) continue;  // slice mode: clone only owned shards
       pair.replicas[s] = pair.measure->CloneState();
       DB_DCHECK(pair.replicas[s] != nullptr);
     }
@@ -496,7 +549,9 @@ BlockPipeline::Totals BlockPipeline::Run(const Stopwatch& total_watch) {
   } else {
     RunShardedMaterialized(total_watch, &totals);
   }
-  if (num_shards_ > 1) {
+  if (num_shards_ > 1 && !sliced_) {
+    // Slice mode skips the merge: the owned range's states leave through
+    // TakeShardStates() and recombine on the coordinator.
     Stopwatch merge_watch;
     MergeReplicas();
     totals.lanes[0].inspection_s += merge_watch.Seconds();
@@ -596,6 +651,7 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
   // (nondeterministic only in the ways budget/cancel always were).
   std::vector<BlockData> blocks(block_idx.size());
   ParallelDo(block_idx.size(), [&](size_t b) {
+    if (!OwnsBlock(b)) return;  // slice mode: another worker's block
     if (OverBudget(watch) || CancelRequested()) return;
     ExtractInto(block_idx[b], b, &blocks[b]);
   });
@@ -617,7 +673,10 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
     totals->lanes[0].inspection_s += inspect_watch.Seconds();
     totals->lanes[0].blocks_processed += 1;
     totals->lanes[0].records_processed += blocks[0].records;
-    TickProgress(blocks[0].records);
+    // In slice mode every worker runs block 0 (calibration), but only the
+    // shard-0 owner counts it toward progress — the coordinator sums the
+    // per-range counters, so the block must tick exactly once cluster-wide.
+    if (OwnsShard(0)) TickProgress(blocks[0].records);
     if (have_sequential_) {
       totals->lanes[S].blocks_processed += 1;
       totals->lanes[S].records_processed += blocks[0].records;
@@ -631,6 +690,7 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
   const size_t n_lanes = S + (have_sequential_ ? 1 : 0);
   std::vector<RuntimeStats::Shard> lane_acc(n_lanes);
   ParallelDo(n_lanes, [&](size_t t) {
+    if (t < S && !OwnsShard(t)) return;  // slice mode: not our shard
     LaneScratch scratch = MakeScratch();
     RuntimeStats::Shard& acc = lane_acc[t];
     bool stop = false;

@@ -121,6 +121,26 @@ class BlockPipeline {
   /// (shared with the engine's time-budget enforcement).
   Totals Run(const Stopwatch& total_watch);
 
+  /// \brief Slice mode (distributed workers): restrict this run to shards
+  /// [shard_lo, shard_hi) of num_shards(). Block 0 is still extracted and
+  /// inspected (it calibrates the primary states exactly as in a full
+  /// run), but only the owned shards' blocks are extracted and consumed,
+  /// and Run() skips the final replica merge — the partial states are
+  /// handed out through TakeShardStates() instead. Because the block→shard
+  /// map and per-shard consumption order are unchanged, a worker's shard-s
+  /// state is bit-identical to the in-process shard-s replica for the same
+  /// (seed, num_shards). Must be called before Run(). Fails for streaming
+  /// runs, S == 1, or when sequential-lane work is present (the cluster
+  /// pins such jobs to a single worker as a whole job instead).
+  Status RestrictShards(size_t shard_lo, size_t shard_hi);
+
+  /// \brief Move out the owned range's partial states, one per pairs()
+  /// entry: the states of shards [shard_lo, shard_hi) merged in ascending
+  /// shard order (for shard_lo == 0 this includes the primary's block-0
+  /// accumulation). Valid once, after Run() in slice mode; entries may be
+  /// null if the run was cancelled before any state accumulated.
+  std::vector<std::unique_ptr<Measure>> TakeShardStates();
+
   /// \brief True when every measure converged (valid after Run()).
   bool AllConverged() const;
 
@@ -203,7 +223,17 @@ class BlockPipeline {
   bool have_shardable_ = false;
   bool have_sequential_ = false;
 
+  /// Slice-mode ownership tests (full runs own everything).
+  bool OwnsShard(size_t shard) const {
+    return !sliced_ || (shard >= slice_lo_ && shard < slice_hi_);
+  }
+  bool OwnsBlock(size_t block) const {
+    return block == 0 || OwnsShard((block - 1) % num_shards_);
+  }
+
   size_t num_shards_ = 1;
+  bool sliced_ = false;
+  size_t slice_lo_ = 0, slice_hi_ = 0;
   ThreadPool* pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
 

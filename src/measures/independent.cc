@@ -47,6 +47,9 @@ std::vector<double> Ranks(const std::vector<float>& v) {
 }  // namespace
 
 using measure_internal::MergePeer;
+using measure_internal::ReadVec;
+using measure_internal::StateKind;
+using measure_internal::WriteVec;
 
 // ---------------------------------------------------------------- Pearson
 
@@ -93,6 +96,32 @@ void PearsonMeasure::MergeFrom(const Measure& other) {
   sy_ += o.sy_;
   syy_ += o.syy_;
   n_ += o.n_;
+}
+
+bool PearsonMeasure::SerializeState(codec::Writer* w) const {
+  w->U8(static_cast<uint8_t>(StateKind::kPearson));
+  w->U32(static_cast<uint32_t>(num_units_));
+  w->F64(z_critical_);
+  w->U64(n_);
+  WriteVec(w, sx_);
+  WriteVec(w, sxx_);
+  WriteVec(w, sxy_);
+  w->F64(sy_);
+  w->F64(syy_);
+  return true;
+}
+
+bool PearsonMeasure::DeserializeState(codec::Reader* r) {
+  if (r->U8() != static_cast<uint8_t>(StateKind::kPearson)) return false;
+  if (r->U32() != num_units_) return false;
+  if (r->F64() != z_critical_) return false;
+  n_ = r->U64();
+  if (!ReadVec(r, num_units_, &sx_)) return false;
+  if (!ReadVec(r, num_units_, &sxx_)) return false;
+  if (!ReadVec(r, num_units_, &sxy_)) return false;
+  sy_ = r->F64();
+  syy_ = r->F64();
+  return r->ok();
 }
 
 double PearsonMeasure::UnitR(size_t u) const {
@@ -212,6 +241,30 @@ void DiffMeansMeasure::MergeFrom(const Measure& other) {
   n0_ += o.n0_;
 }
 
+bool DiffMeansMeasure::SerializeState(codec::Writer* w) const {
+  w->U8(static_cast<uint8_t>(StateKind::kDiffMeans));
+  w->U32(static_cast<uint32_t>(num_units_));
+  w->U64(n1_);
+  w->U64(n0_);
+  WriteVec(w, s1_);
+  WriteVec(w, ss1_);
+  WriteVec(w, s0_);
+  WriteVec(w, ss0_);
+  return true;
+}
+
+bool DiffMeansMeasure::DeserializeState(codec::Reader* r) {
+  if (r->U8() != static_cast<uint8_t>(StateKind::kDiffMeans)) return false;
+  if (r->U32() != num_units_) return false;
+  n1_ = r->U64();
+  n0_ = r->U64();
+  if (!ReadVec(r, num_units_, &s1_)) return false;
+  if (!ReadVec(r, num_units_, &ss1_)) return false;
+  if (!ReadVec(r, num_units_, &s0_)) return false;
+  if (!ReadVec(r, num_units_, &ss0_)) return false;
+  return r->ok();
+}
+
 MeasureScores DiffMeansMeasure::Scores() const {
   MeasureScores out;
   out.unit_scores.resize(num_units_, 0.0f);
@@ -289,6 +342,32 @@ void JaccardMeasure::MergeFrom(const Measure& other) {
     uni_[u] += o.uni_[u];
   }
   n_ += o.n_;
+}
+
+bool JaccardMeasure::SerializeState(codec::Writer* w) const {
+  w->U8(static_cast<uint8_t>(StateKind::kJaccard));
+  w->U32(static_cast<uint32_t>(num_units_));
+  w->F64(top_quantile_);
+  w->U8(thresholds_ready_ ? 1 : 0);
+  WriteVec(w, thresholds_);
+  WriteVec(w, inter_);
+  WriteVec(w, uni_);
+  w->U64(n_);
+  return true;
+}
+
+bool JaccardMeasure::DeserializeState(codec::Reader* r) {
+  if (r->U8() != static_cast<uint8_t>(StateKind::kJaccard)) return false;
+  if (r->U32() != num_units_) return false;
+  if (r->F64() != top_quantile_) return false;
+  thresholds_ready_ = r->U8() != 0;
+  if (!ReadVec(r, thresholds_ready_ ? num_units_ : 0, &thresholds_)) {
+    return false;
+  }
+  if (!ReadVec(r, num_units_, &inter_)) return false;
+  if (!ReadVec(r, num_units_, &uni_)) return false;
+  n_ = r->U64();
+  return r->ok();
 }
 
 MeasureScores JaccardMeasure::Scores() const {
@@ -396,6 +475,40 @@ void MutualInfoMeasure::MergeFrom(const Measure& other) {
             o.num_bins_ == num_bins_);
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
   n_ += o.n_;
+}
+
+bool MutualInfoMeasure::SerializeState(codec::Writer* w) const {
+  w->U8(static_cast<uint8_t>(StateKind::kMutualInfo));
+  w->U32(static_cast<uint32_t>(num_units_));
+  w->U32(static_cast<uint32_t>(num_classes_));
+  w->U32(static_cast<uint32_t>(num_bins_));
+  w->U8(hyp_numeric_ ? 1 : 0);
+  w->U8(edges_ready_ ? 1 : 0);
+  WriteVec(w, edges_);
+  WriteVec(w, hyp_edges_);
+  WriteVec(w, counts_);
+  w->U64(n_);
+  return true;
+}
+
+bool MutualInfoMeasure::DeserializeState(codec::Reader* r) {
+  if (r->U8() != static_cast<uint8_t>(StateKind::kMutualInfo)) return false;
+  if (r->U32() != num_units_) return false;
+  if (r->U32() != static_cast<uint32_t>(num_classes_)) return false;
+  if (r->U32() != static_cast<uint32_t>(num_bins_)) return false;
+  if ((r->U8() != 0) != hyp_numeric_) return false;
+  edges_ready_ = r->U8() != 0;
+  const size_t edge_count =
+      edges_ready_ ? num_units_ * static_cast<size_t>(num_bins_ - 1) : 0;
+  if (!ReadVec(r, edge_count, &edges_)) return false;
+  const size_t hyp_edge_count =
+      (edges_ready_ && hyp_numeric_) ? static_cast<size_t>(num_bins_ - 1) : 0;
+  if (!ReadVec(r, hyp_edge_count, &hyp_edges_)) return false;
+  if (!ReadVec(r, num_units_ * num_bins_ * num_classes_, &counts_)) {
+    return false;
+  }
+  n_ = r->U64();
+  return r->ok();
 }
 
 MeasureScores MutualInfoMeasure::Scores() const {

@@ -36,6 +36,8 @@ class PearsonMeasure : public Measure {
   }
   std::unique_ptr<Measure> CloneState() const override;
   void MergeFrom(const Measure& other) override;
+  bool SerializeState(codec::Writer* w) const override;
+  bool DeserializeState(codec::Reader* r) override;
 
  private:
   double UnitR(size_t u) const;
@@ -85,6 +87,8 @@ class DiffMeansMeasure : public Measure {
   }
   std::unique_ptr<Measure> CloneState() const override;
   void MergeFrom(const Measure& other) override;
+  bool SerializeState(codec::Writer* w) const override;
+  bool DeserializeState(codec::Reader* r) override;
 
  private:
   size_t num_units_;
@@ -112,6 +116,8 @@ class JaccardMeasure : public Measure {
   }
   std::unique_ptr<Measure> CloneState() const override;
   void MergeFrom(const Measure& other) override;
+  bool SerializeState(codec::Writer* w) const override;
+  bool DeserializeState(codec::Reader* r) override;
 
  private:
   size_t num_units_;
@@ -140,6 +146,8 @@ class MutualInfoMeasure : public Measure {
   }
   std::unique_ptr<Measure> CloneState() const override;
   void MergeFrom(const Measure& other) override;
+  bool SerializeState(codec::Writer* w) const override;
+  bool DeserializeState(codec::Reader* r) override;
 
  private:
   int HypClass(float v) const;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "util/codec.h"
 
 namespace deepbase {
 
@@ -51,6 +52,56 @@ const T& MergePeer(const Measure& other) {
   const T* peer = dynamic_cast<const T*>(&other);
   DB_DCHECK(peer != nullptr && "MergeFrom peer has a different measure type");
   return *peer;
+}
+
+/// \brief Leading tag of every serialized measure state, so a mismatched
+/// pairing (e.g. a pearson blob fed to a jaccard instance) fails the
+/// decode instead of silently misinterpreting bytes. Values are part of
+/// the cross-process format — append, never renumber.
+enum class StateKind : uint8_t {
+  kPearson = 1,
+  kDiffMeans = 2,
+  kJaccard = 3,
+  kMutualInfo = 4,
+  kMultivariateMi = 5,
+  kNaiveBaseline = 6,
+};
+
+// Length-prefixed vector helpers for SerializeState/DeserializeState.
+// Floats travel bit-cast (codec F32/F64), so NaN payloads round-trip
+// exactly and integer-count merges stay bit-identical across processes.
+inline void WriteVec(codec::Writer* w, const std::vector<double>& v) {
+  w->U32(static_cast<uint32_t>(v.size()));
+  for (double x : v) w->F64(x);
+}
+inline void WriteVec(codec::Writer* w, const std::vector<float>& v) {
+  w->U32(static_cast<uint32_t>(v.size()));
+  for (float x : v) w->F32(x);
+}
+inline void WriteVec(codec::Writer* w, const std::vector<size_t>& v) {
+  w->U32(static_cast<uint32_t>(v.size()));
+  for (size_t x : v) w->U64(x);
+}
+inline bool ReadVec(codec::Reader* r, size_t expected_size,
+                    std::vector<double>* v) {
+  if (r->U32() != expected_size) return false;
+  v->resize(expected_size);
+  for (double& x : *v) x = r->F64();
+  return r->ok();
+}
+inline bool ReadVec(codec::Reader* r, size_t expected_size,
+                    std::vector<float>* v) {
+  if (r->U32() != expected_size) return false;
+  v->resize(expected_size);
+  for (float& x : *v) x = r->F32();
+  return r->ok();
+}
+inline bool ReadVec(codec::Reader* r, size_t expected_size,
+                    std::vector<size_t>* v) {
+  if (r->U32() != expected_size) return false;
+  v->resize(expected_size);
+  for (size_t& x : *v) x = r->U64();
+  return r->ok();
 }
 }  // namespace measure_internal
 
@@ -98,6 +149,28 @@ class Measure {
   virtual void MergeFrom(const Measure& other) {
     (void)other;
     DB_DCHECK(false && "MergeFrom unsupported for this measure");
+  }
+
+  /// \brief Serialize the full state — a measure-kind tag, the
+  /// configuration (as a cross-process compatibility guard), calibration,
+  /// and accumulators — so partial states can travel between processes for
+  /// distributed shard merging. The byte format uses util/codec.h with
+  /// bit-cast floats: deserialize-then-MergeFrom is bit-identical to an
+  /// in-process MergeFrom for every measure (the merge itself is then
+  /// kExact or kReassociated per merge_exactness()). Returns false when
+  /// unsupported (sequential-lane measures never travel as partial state).
+  virtual bool SerializeState(codec::Writer* w) const {
+    (void)w;
+    return false;
+  }
+
+  /// \brief Restore state serialized by SerializeState into an instance
+  /// created with the same factory configuration. Returns false on a
+  /// kind/configuration mismatch or truncated input (the caller surfaces
+  /// this as kDataLoss); the instance is unusable after a failure.
+  virtual bool DeserializeState(codec::Reader* r) {
+    (void)r;
+    return false;
   }
 };
 

@@ -51,6 +51,56 @@ void MultivariateMiMeasure::MergeFrom(const Measure& other) {
   n_ += o.n_;
 }
 
+bool MultivariateMiMeasure::SerializeState(codec::Writer* w) const {
+  using measure_internal::StateKind;
+  using measure_internal::WriteVec;
+  w->U8(static_cast<uint8_t>(StateKind::kMultivariateMi));
+  w->U32(static_cast<uint32_t>(num_units_));
+  w->U32(static_cast<uint32_t>(num_classes_));
+  // The joint-unit subsample doubles as the configuration guard: it is a
+  // pure function of (num_units, max_joint_units), so equality means both
+  // sides were built with the same factory parameters.
+  WriteVec(w, joint_units_);
+  w->U8(thresholds_ready_ ? 1 : 0);
+  WriteVec(w, medians_);
+  WriteVec(w, joint_counts_);
+  WriteVec(w, marginal_counts_);
+  WriteVec(w, class_counts_);
+  w->U64(n_);
+  return true;
+}
+
+bool MultivariateMiMeasure::DeserializeState(codec::Reader* r) {
+  using measure_internal::ReadVec;
+  using measure_internal::StateKind;
+  if (r->U8() != static_cast<uint8_t>(StateKind::kMultivariateMi)) {
+    return false;
+  }
+  if (r->U32() != num_units_) return false;
+  if (r->U32() != static_cast<uint32_t>(num_classes_)) return false;
+  std::vector<size_t> joint_units;
+  if (!ReadVec(r, joint_units_.size(), &joint_units) ||
+      joint_units != joint_units_) {
+    return false;
+  }
+  thresholds_ready_ = r->U8() != 0;
+  if (!ReadVec(r, thresholds_ready_ ? num_units_ : 0, &medians_)) {
+    return false;
+  }
+  if (!ReadVec(r, (size_t{1} << joint_units_.size()) * num_classes_,
+               &joint_counts_)) {
+    return false;
+  }
+  if (!ReadVec(r, num_units_ * 2 * num_classes_, &marginal_counts_)) {
+    return false;
+  }
+  if (!ReadVec(r, static_cast<size_t>(num_classes_), &class_counts_)) {
+    return false;
+  }
+  n_ = r->U64();
+  return r->ok();
+}
+
 void MultivariateMiMeasure::ProcessBlock(const Matrix& units,
                                          std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());

@@ -32,6 +32,8 @@ class MultivariateMiMeasure : public Measure {
   }
   std::unique_ptr<Measure> CloneState() const override;
   void MergeFrom(const Measure& other) override;
+  bool SerializeState(codec::Writer* w) const override;
+  bool DeserializeState(codec::Reader* r) override;
 
  private:
   int HypClass(float v) const;

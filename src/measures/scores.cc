@@ -32,6 +32,23 @@ class NaiveBaselineMeasure : public Measure {
     n_ += o.n_;
     pos_ += o.pos_;
   }
+  bool SerializeState(codec::Writer* w) const override {
+    w->U8(static_cast<uint8_t>(measure_internal::StateKind::kNaiveBaseline));
+    w->U8(majority_ ? 1 : 0);
+    w->U64(n_);
+    w->U64(pos_);
+    return true;
+  }
+  bool DeserializeState(codec::Reader* r) override {
+    if (r->U8() !=
+        static_cast<uint8_t>(measure_internal::StateKind::kNaiveBaseline)) {
+      return false;
+    }
+    if ((r->U8() != 0) != majority_) return false;
+    n_ = r->U64();
+    pos_ = r->U64();
+    return r->ok();
+  }
 
   MeasureScores Scores() const override {
     MeasureScores out;

@@ -14,89 +14,7 @@
 namespace deepbase {
 namespace wire {
 
-// ---------------------------------------------------------------------------
-// Writer / Reader.
-// ---------------------------------------------------------------------------
-
-void Writer::U16(uint16_t v) {
-  U8(static_cast<uint8_t>(v));
-  U8(static_cast<uint8_t>(v >> 8));
-}
-
-void Writer::U32(uint32_t v) {
-  U16(static_cast<uint16_t>(v));
-  U16(static_cast<uint16_t>(v >> 16));
-}
-
-void Writer::U64(uint64_t v) {
-  U32(static_cast<uint32_t>(v));
-  U32(static_cast<uint32_t>(v >> 32));
-}
-
-void Writer::F32(float v) { U32(std::bit_cast<uint32_t>(v)); }
-void Writer::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
-
-void Writer::Str(const std::string& s) {
-  U32(static_cast<uint32_t>(s.size()));
-  out_.append(s);
-}
-
-void Writer::StrList(const std::vector<std::string>& v) {
-  U32(static_cast<uint32_t>(v.size()));
-  for (const std::string& s : v) Str(s);
-}
-
-bool Reader::Need(size_t n) {
-  if (!ok_ || data_.size() - pos_ < n) {
-    ok_ = false;
-    return false;
-  }
-  return true;
-}
-
-uint8_t Reader::U8() {
-  if (!Need(1)) return 0;
-  return static_cast<uint8_t>(data_[pos_++]);
-}
-
-uint16_t Reader::U16() {
-  const uint16_t lo = U8();
-  const uint16_t hi = U8();
-  return static_cast<uint16_t>(lo | (hi << 8));
-}
-
-uint32_t Reader::U32() {
-  const uint32_t lo = U16();
-  const uint32_t hi = U16();
-  return lo | (hi << 16);
-}
-
-uint64_t Reader::U64() {
-  const uint64_t lo = U32();
-  const uint64_t hi = U32();
-  return lo | (hi << 32);
-}
-
-float Reader::F32() { return std::bit_cast<float>(U32()); }
-double Reader::F64() { return std::bit_cast<double>(U64()); }
-
-std::string Reader::Str() {
-  const uint32_t n = U32();
-  if (!Need(n)) return {};
-  std::string out = data_.substr(pos_, n);
-  pos_ += n;
-  return out;
-}
-
-std::vector<std::string> Reader::StrList() {
-  const uint32_t n = U32();
-  std::vector<std::string> out;
-  // Cap the reserve by what could physically fit, so a corrupt count
-  // cannot force a huge allocation before the bounds check trips.
-  out.reserve(std::min<size_t>(n, data_.size() / 4 + 1));
-  for (uint32_t i = 0; i < n && ok(); ++i) out.push_back(Str());
-  return out;
-}
+// Writer / Reader live in util/codec.{h,cc}; wire.h re-exports them.
 
 // ---------------------------------------------------------------------------
 // Framing.
@@ -228,6 +146,8 @@ Status DecodeStatus(Reader* r) {
       return Status::Cancelled(std::move(message));
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
     default:
       return Status::Internal(std::move(message));
   }
@@ -522,6 +442,116 @@ bool DecodeServerStats(Reader* r, ServerStatsWire* stats) {
   stats->submits = r->U64();
   stats->catalog_version = r->U64();
   stats->draining = r->U8();
+  return r->ok();
+}
+
+// ---------------------------------------------------------------------------
+// Cluster payloads.
+// ---------------------------------------------------------------------------
+
+void EncodeWorkerHello(const WorkerHelloWire& hello, Writer* w) {
+  w->U16(hello.protocol_version);
+  w->Str(hello.worker_id);
+  w->U64(hello.catalog_version);
+  w->U32(hello.num_threads);
+}
+
+bool DecodeWorkerHello(Reader* r, WorkerHelloWire* hello) {
+  hello->protocol_version = r->U16();
+  hello->worker_id = r->Str();
+  hello->catalog_version = r->U64();
+  hello->num_threads = r->U32();
+  return r->ok() && !hello->worker_id.empty();
+}
+
+Status EncodeAssignment(const AssignmentWire& assignment, Writer* w) {
+  w->U64(assignment.assignment_id);
+  w->U8(static_cast<uint8_t>(assignment.mode));
+  w->U32(assignment.total_shards);
+  w->U32(assignment.shard_lo);
+  w->U32(assignment.shard_hi);
+  return EncodeInspectRequest(assignment.request, w);
+}
+
+bool DecodeAssignment(Reader* r, AssignmentWire* assignment) {
+  assignment->assignment_id = r->U64();
+  const uint8_t mode = r->U8();
+  if (mode > static_cast<uint8_t>(AssignmentWire::Mode::kWhole)) return false;
+  assignment->mode = static_cast<AssignmentWire::Mode>(mode);
+  assignment->total_shards = r->U32();
+  assignment->shard_lo = r->U32();
+  assignment->shard_hi = r->U32();
+  if (!DecodeInspectRequest(r, &assignment->request)) return false;
+  return r->ok() && assignment->total_shards > 0 &&
+         (assignment->mode == AssignmentWire::Mode::kWhole ||
+          (assignment->shard_lo < assignment->shard_hi &&
+           assignment->shard_hi <= assignment->total_shards));
+}
+
+void EncodeAssignResult(const AssignResultWire& result, Writer* w) {
+  w->U64(result.assignment_id);
+  EncodeStatus(result.status, w);
+  w->U8(static_cast<uint8_t>(result.mode));
+  if (result.status.ok()) {
+    if (result.mode == AssignmentWire::Mode::kSliced) {
+      w->StrList(result.pair_states);
+    } else {
+      w->Str(result.table_bytes);
+    }
+  }
+  w->U64(result.blocks_processed);
+  w->U64(result.records_processed);
+  w->U8(result.all_converged);
+}
+
+bool DecodeAssignResult(Reader* r, AssignResultWire* result) {
+  result->assignment_id = r->U64();
+  result->status = DecodeStatus(r);
+  const uint8_t mode = r->U8();
+  if (mode > static_cast<uint8_t>(AssignmentWire::Mode::kWhole)) return false;
+  result->mode = static_cast<AssignmentWire::Mode>(mode);
+  if (result->status.ok()) {
+    if (result->mode == AssignmentWire::Mode::kSliced) {
+      result->pair_states = r->StrList();
+    } else {
+      result->table_bytes = r->Str();
+    }
+  }
+  result->blocks_processed = r->U64();
+  result->records_processed = r->U64();
+  result->all_converged = r->U8();
+  return r->ok();
+}
+
+void EncodeWorkerProgress(const WorkerProgressWire& progress, Writer* w) {
+  w->U64(progress.assignment_id);
+  w->U64(progress.blocks_processed);
+  w->U64(progress.records_processed);
+}
+
+bool DecodeWorkerProgress(Reader* r, WorkerProgressWire* progress) {
+  progress->assignment_id = r->U64();
+  progress->blocks_processed = r->U64();
+  progress->records_processed = r->U64();
+  return r->ok();
+}
+
+void EncodeStoreKeymap(const StoreKeymapWire& keymap, Writer* w) {
+  w->U32(static_cast<uint32_t>(keymap.placements.size()));
+  for (const auto& [key, owner] : keymap.placements) {
+    w->Str(key);
+    w->Str(owner);
+  }
+}
+
+bool DecodeStoreKeymap(Reader* r, StoreKeymapWire* keymap) {
+  const uint32_t n = r->U32();
+  keymap->placements.clear();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    std::string key = r->Str();
+    std::string owner = r->Str();
+    keymap->placements.emplace_back(std::move(key), std::move(owner));
+  }
   return r->ok();
 }
 

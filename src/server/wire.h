@@ -27,10 +27,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/catalog.h"
 #include "data/dataset.h"
+#include "util/codec.h"
 #include "util/status.h"
 
 namespace deepbase {
@@ -55,6 +57,13 @@ enum class MsgType : uint16_t {
   kRegisterHypotheses = 7,
   kStats = 8,
 
+  // Cluster requests (worker -> coordinator, and coordinator -> worker
+  // for kAssign / kStoreKeymap; same framing, same band).
+  kWorkerHello = 16,      ///< worker registration (id + catalog version)
+  kWorkerHeartbeat = 17,  ///< liveness tick (worker -> coordinator)
+  kAssign = 18,           ///< block-range assignment (coordinator -> worker)
+  kStoreKeymap = 19,      ///< behavior-store key->worker placement map
+
   // Responses (server -> client, request_id echoed).
   kHelloOk = 64,
   kSubmitOk = 65,
@@ -65,8 +74,14 @@ enum class MsgType : uint16_t {
   kResult = 70,  ///< terminal status + (on OK) a serialized ResultTable
   kError = 71,   ///< request-level failure: wire status code + message
 
+  // Cluster responses.
+  kWorkerHelloOk = 72,  ///< coordinator ack: assigned worker index
+  kAssignResult = 73,   ///< terminal assignment outcome + partial states
+
   // Server-push events (request_id = the originating Submit's).
   kEventProgress = 128,
+  // Cluster push (worker -> coordinator): in-flight assignment progress.
+  kEventWorkerProgress = 129,
 };
 
 /// \brief One decoded frame.
@@ -78,55 +93,12 @@ struct Frame {
 
 // ---------------------------------------------------------------------------
 // Payload primitives: bounds-checked little-endian encode/decode.
+// The implementations live in util/codec.h so layers below the serving
+// stack (measure-state serialization) share the exact byte format.
 // ---------------------------------------------------------------------------
 
-/// \brief Appends primitives to a byte string.
-class Writer {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U16(uint16_t v);
-  void U32(uint32_t v);
-  void U64(uint64_t v);
-  void F32(float v);
-  void F64(double v);
-  /// Length-prefixed (u32) byte string.
-  void Str(const std::string& s);
-  void StrList(const std::vector<std::string>& v);
-
-  const std::string& bytes() const { return out_; }
-  std::string Take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-/// \brief Reads primitives back; any out-of-bounds read latches !ok() and
-/// every subsequent Get returns zero values, so decoders can check once
-/// at the end (the RocksDB Slice idiom).
-class Reader {
- public:
-  explicit Reader(const std::string& bytes) : data_(bytes) {}
-
-  uint8_t U8();
-  uint16_t U16();
-  uint32_t U32();
-  uint64_t U64();
-  float F32();
-  double F64();
-  std::string Str();
-  std::vector<std::string> StrList();
-
-  bool ok() const { return ok_; }
-  /// True when the whole payload was consumed (trailing garbage is a
-  /// protocol error for fixed-shape messages).
-  bool exhausted() const { return ok_ && pos_ == data_.size(); }
-
- private:
-  bool Need(size_t n);
-  const std::string& data_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
+using Writer = ::deepbase::codec::Writer;
+using Reader = ::deepbase::codec::Reader;
 
 // ---------------------------------------------------------------------------
 // Framing over a socket.
@@ -241,6 +213,86 @@ struct ServerStatsWire {
 
 void EncodeServerStats(const ServerStatsWire& stats, Writer* w);
 bool DecodeServerStats(Reader* r, ServerStatsWire* stats);
+
+// ---------------------------------------------------------------------------
+// Cluster payloads (coordinator <-> worker). Same framing, same append-only
+// discipline as the client protocol.
+// ---------------------------------------------------------------------------
+
+/// \brief kWorkerHello payload: a worker announcing itself. The catalog
+/// version is informational (the determinism contract requires workers to
+/// hold catalogs equivalent to the coordinator's; mismatches surface as
+/// per-assignment errors, not registration failures).
+struct WorkerHelloWire {
+  uint16_t protocol_version = kProtocolVersion;
+  std::string worker_id;
+  uint64_t catalog_version = 0;
+  uint32_t num_threads = 0;  ///< worker-side pool size (informational)
+};
+
+void EncodeWorkerHello(const WorkerHelloWire& hello, Writer* w);
+bool DecodeWorkerHello(Reader* r, WorkerHelloWire* hello);
+
+/// \brief kAssign payload: one unit of distributed work. In sliced mode
+/// the worker runs the request through BlockPipeline restricted to shards
+/// [shard_lo, shard_hi) of `total_shards` and returns serialized partial
+/// measure states; in whole mode (sequential-lane measures pinned to one
+/// worker) it runs the full request and returns a serialized ResultTable.
+/// The request carries its InspectOptions inline (num_shards is pinned to
+/// total_shards by the coordinator so scores depend only on
+/// (seed, total_shards), never on worker count).
+struct AssignmentWire {
+  enum class Mode : uint8_t { kSliced = 0, kWhole = 1 };
+  uint64_t assignment_id = 0;
+  Mode mode = Mode::kSliced;
+  uint32_t total_shards = 1;
+  uint32_t shard_lo = 0;  ///< inclusive; unused in whole mode
+  uint32_t shard_hi = 1;  ///< exclusive; unused in whole mode
+  InspectRequest request;
+};
+
+Status EncodeAssignment(const AssignmentWire& assignment, Writer* w);
+bool DecodeAssignment(Reader* r, AssignmentWire* assignment);
+
+/// \brief kAssignResult payload: terminal outcome of one assignment.
+/// On OK, sliced mode carries one serialized measure state per pipeline
+/// pair in the pipeline's deterministic pair order; whole mode carries a
+/// serialized ResultTable.
+struct AssignResultWire {
+  uint64_t assignment_id = 0;
+  Status status;
+  AssignmentWire::Mode mode = AssignmentWire::Mode::kSliced;
+  std::vector<std::string> pair_states;  ///< sliced mode
+  std::string table_bytes;               ///< whole mode
+  uint64_t blocks_processed = 0;
+  uint64_t records_processed = 0;
+  uint8_t all_converged = 0;
+};
+
+void EncodeAssignResult(const AssignResultWire& result, Writer* w);
+bool DecodeAssignResult(Reader* r, AssignResultWire* result);
+
+/// \brief kEventWorkerProgress payload: absolute (not delta) in-flight
+/// counters for one assignment, so lost/duplicated ticks cannot skew the
+/// coordinator's aggregate.
+struct WorkerProgressWire {
+  uint64_t assignment_id = 0;
+  uint64_t blocks_processed = 0;
+  uint64_t records_processed = 0;
+};
+
+void EncodeWorkerProgress(const WorkerProgressWire& progress, Writer* w);
+bool DecodeWorkerProgress(Reader* r, WorkerProgressWire* progress);
+
+/// \brief kStoreKeymap payload: behavior-store key -> owning worker id,
+/// pushed by the coordinator so each worker knows where a unit's stored
+/// behaviors live (parameter-server key placement).
+struct StoreKeymapWire {
+  std::vector<std::pair<std::string, std::string>> placements;
+};
+
+void EncodeStoreKeymap(const StoreKeymapWire& keymap, Writer* w);
+bool DecodeStoreKeymap(Reader* r, StoreKeymapWire* keymap);
 
 }  // namespace wire
 }  // namespace deepbase

@@ -652,6 +652,11 @@ void Scheduler::FinishInflight(const std::shared_ptr<InflightJob>& job,
   }
 }
 
+void Scheduler::SetEngine(EngineFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_fn_ = std::move(fn);
+}
+
 Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
                                        std::optional<GroupHandle> group,
                                        std::optional<uint64_t> fingerprint,
@@ -667,8 +672,15 @@ Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
   if (group) options.shared_scan = group->client.get();
   effective.options = options;
   RuntimeStats local;
-  Result<ResultTable> result = RunInspectRequest(
-      effective, session_->catalog_, session_->config_.options, &local);
+  EngineFn engine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine = engine_fn_;
+  }
+  Result<ResultTable> result =
+      engine ? engine(effective, session_->config_.options, &local)
+             : RunInspectRequest(effective, session_->catalog_,
+                                 session_->config_.options, &local);
   if (group) ReleaseGroup(&*group);
   // A fingerprint may exist purely for dedup; only admit to the cache
   // when the result cache itself is enabled.

@@ -54,6 +54,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -227,6 +228,19 @@ class Scheduler {
   /// the result cache's admission floor to `version` synchronously.
   void OnCatalogMutation(uint64_t version);
 
+  /// \brief Pluggable engine: when set, Execute() calls `fn` instead of
+  /// RunInspectRequest. This is how the cluster coordinator slots in — it
+  /// is "a scheduler whose engine is remote": result caching, in-flight
+  /// dedup, admission control, and progress plumbing all keep working
+  /// around the replacement, which receives the effective request (cancel/
+  /// progress already threaded into its options) and the session defaults.
+  /// Pass nullptr to restore the local engine. Takes effect for jobs that
+  /// start after the call; in-flight jobs keep the engine they started on.
+  using EngineFn = std::function<Result<ResultTable>(
+      const InspectRequest& request, const InspectOptions& default_options,
+      RuntimeStats* stats)>;
+  void SetEngine(EngineFn fn);
+
   SchedulerStats stats() const;
   ResultCache& result_cache() { return result_cache_; }
   /// \brief Shared-scan groups currently alive (fused jobs in flight).
@@ -299,6 +313,7 @@ class Scheduler {
   InspectionSession* session_;
   ResultCache result_cache_;
   mutable std::mutex mu_;
+  EngineFn engine_fn_;  // guarded by mu_; copied per Execute
   std::map<std::string, std::shared_ptr<SharedScan>> groups_;
   std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<InflightJob>>
       inflight_;

@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -57,6 +59,8 @@ uint16_t StatusCodeToWire(StatusCode code) {
       return 12;
     case StatusCode::kInternal:
       return 13;
+    case StatusCode::kUnavailable:
+      return 14;
     case StatusCode::kDataLoss:
       return 15;
     case StatusCode::kIOError:
@@ -85,6 +89,8 @@ StatusCode StatusCodeFromWire(uint16_t wire) {
       return StatusCode::kNotImplemented;
     case 13:
       return StatusCode::kInternal;
+    case 14:
+      return StatusCode::kUnavailable;
     case 15:
       return StatusCode::kDataLoss;
     case 101:

@@ -25,6 +25,7 @@ enum class StatusCode {
   kDataLoss,
   kCancelled,
   kResourceExhausted,
+  kUnavailable,
 };
 
 /// \brief Canonical name of a status code ("InvalidArgument", "NotFound",
@@ -79,6 +80,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -458,6 +458,40 @@ TEST(InspectionServerTest, MalformedFramesAreRejectedServerSurvives) {
   EXPECT_TRUE(result.ok()) << result.status().ToString();
 }
 
+TEST(InspectionServerTest, UnknownFrameTypeGetsTypedErrorConnectionLives) {
+  ServerWorld world;
+
+  const int fd = ConnectRaw(world.server->port());
+  ASSERT_GE(fd, 0);
+
+  // A frame type from a future protocol revision: well-formed framing,
+  // unknown meaning. Forward compatibility demands a typed
+  // kNotImplemented error on the SAME request id — and the connection
+  // must stay usable, not be torn down.
+  const std::string unknown =
+      wire::EncodeFrame(static_cast<wire::MsgType>(4242), 99, "payload");
+  ASSERT_EQ(::send(fd, unknown.data(), unknown.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(unknown.size()));
+
+  wire::Frame reply;
+  ASSERT_TRUE(wire::ReadFrame(fd, &reply).ok());
+  EXPECT_EQ(reply.type, wire::MsgType::kError);
+  EXPECT_EQ(reply.request_id, 99u);
+  wire::Reader r(reply.payload);
+  const Status status = wire::DecodeStatus(&r);
+  EXPECT_EQ(status.code(), StatusCode::kNotImplemented);
+
+  // Same connection, next frame: a normal request still works.
+  const std::string stats_req =
+      wire::EncodeFrame(wire::MsgType::kStats, 100, "");
+  ASSERT_EQ(::send(fd, stats_req.data(), stats_req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(stats_req.size()));
+  ASSERT_TRUE(wire::ReadFrame(fd, &reply).ok());
+  EXPECT_EQ(reply.type, wire::MsgType::kStatsOk);
+  EXPECT_EQ(reply.request_id, 100u);
+  ::close(fd);
+}
+
 TEST(InspectionServerTest, CancelMidJobYieldsCancelled) {
   ServerWorld world(/*delay_us=*/3000);
   // Plenty of blocks so the cancel lands mid-run.

@@ -36,6 +36,11 @@ TEST(StatusTest, CodeNamesMatchFactories) {
                "InvalidArgument");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(Status::Unavailable("no workers").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("no workers").ToString(),
+            "Unavailable: no workers");
 }
 
 TEST(StatusTest, WireCodesRoundTripEveryEnumerator) {
@@ -45,7 +50,7 @@ TEST(StatusTest, WireCodesRoundTripEveryEnumerator) {
       StatusCode::kAlreadyExists, StatusCode::kNotImplemented,
       StatusCode::kInternal,     StatusCode::kIOError,
       StatusCode::kDataLoss,     StatusCode::kCancelled,
-      StatusCode::kResourceExhausted,
+      StatusCode::kResourceExhausted, StatusCode::kUnavailable,
   };
   for (StatusCode code : codes) {
     EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code)
