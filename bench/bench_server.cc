@@ -10,14 +10,22 @@
 //               one engine run
 //   repeat    — the identical queries re-submitted: pure result-cache
 //               hits, zero engine work
+//   degraded  — fresh distinct queries served through a 2-worker cluster
+//               engine while one worker is failpoint-killed mid-burst:
+//               the coordinator reassigns its ranges and (opted in)
+//               degrades quorum-lost jobs to the local engine, so the
+//               cell reports availability-mode throughput, not failures
 //
-// Reports jobs/s per cell plus the dedup / shared-scan / result-cache
-// hit rates observed *through the server's stats RPC* (not in-process
-// counters), and writes BENCH_server_throughput.json.
+// Reports jobs/s and client-observed p50/p99 job latency per cell, plus
+// the dedup / shared-scan / result-cache hit rates observed *through the
+// server's stats RPC* (not in-process counters), and writes
+// BENCH_server_throughput.json.
 //
 // Flags: --smoke (tiny, CI), --full (larger), --clients N (default 4),
 //        --jobs M (per client per cell, default 4), --out PATH
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -25,9 +33,12 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "service/scheduler.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace deepbase {
@@ -47,14 +58,28 @@ struct Cell {
   double seconds = 0;
   size_t jobs = 0;
   size_t errors = 0;
+  // Client-observed per-job latency (Submit to resolved Wait), seconds.
+  double p50_s = 0;
+  double p99_s = 0;
   // Deltas of the server-side counters over the cell, via the stats RPC.
   uint64_t dedup_followers = 0;
   uint64_t scan_shared_hits = 0;
   uint64_t scan_extractions = 0;
   uint64_t result_cache_hits = 0;
+  // Jobs the cluster engine completed on the local engine after quorum
+  // loss (nonzero only in the degraded cell).
+  uint64_t degraded_local = 0;
 
   double jobs_per_s() const { return seconds > 0 ? jobs / seconds : 0; }
 };
+
+double Percentile(std::vector<double> sorted_or_not, double p) {
+  if (sorted_or_not.empty()) return 0;
+  std::sort(sorted_or_not.begin(), sorted_or_not.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_or_not.size() - 1) + 0.5);
+  return sorted_or_not[std::min(idx, sorted_or_not.size() - 1)];
+}
 
 wire::ServerStatsWire FetchStats(uint16_t port) {
   InspectionClient client({.port = port});
@@ -76,6 +101,7 @@ Cell RunCell(const std::string& name, uint16_t port, size_t clients,
   cell.jobs = clients * jobs_per_client;
   const wire::ServerStatsWire before = FetchStats(port);
   std::vector<size_t> errors(clients, 0);
+  std::vector<std::vector<double>> latencies(clients);
   Stopwatch watch;
   std::vector<std::thread> threads;
   for (size_t c = 0; c < clients; ++c) {
@@ -85,17 +111,24 @@ Cell RunCell(const std::string& name, uint16_t port, size_t clients,
         errors[c] = jobs_per_client;
         return;
       }
+      using Clock = std::chrono::steady_clock;
       std::vector<RemoteJob> handles;
+      std::vector<Clock::time_point> submitted;
       for (size_t j = 0; j < jobs_per_client; ++j) {
+        const Clock::time_point start = Clock::now();
         Result<RemoteJob> job = client.Submit(request_for(c, j));
         if (!job.ok()) {
           ++errors[c];
           continue;
         }
         handles.push_back(*job);
+        submitted.push_back(start);
       }
-      for (RemoteJob& job : handles) {
-        if (!job.Wait().ok()) ++errors[c];
+      for (size_t j = 0; j < handles.size(); ++j) {
+        if (!handles[j].Wait().ok()) ++errors[c];
+        latencies[c].push_back(
+            std::chrono::duration<double>(Clock::now() - submitted[j])
+                .count());
       }
     });
   }
@@ -103,6 +136,13 @@ Cell RunCell(const std::string& name, uint16_t port, size_t clients,
   cell.seconds = watch.Seconds();
   const wire::ServerStatsWire after = FetchStats(port);
   for (size_t e : errors) cell.errors += e;
+  std::vector<double> all_latencies;
+  for (const auto& per_client : latencies) {
+    all_latencies.insert(all_latencies.end(), per_client.begin(),
+                         per_client.end());
+  }
+  cell.p50_s = Percentile(all_latencies, 0.50);
+  cell.p99_s = Percentile(all_latencies, 0.99);
   cell.dedup_followers = after.dedup_followers - before.dedup_followers;
   cell.scan_shared_hits = after.scan_shared_hits - before.scan_shared_hits;
   cell.scan_extractions = after.scan_extractions - before.scan_extractions;
@@ -140,20 +180,25 @@ void WriteJson(const std::string& path, size_t records, size_t clients,
             : 0;
     std::fprintf(f,
                  "    {\"cell\": \"%s\", \"seconds\": %.6f, "
-                 "\"jobs_per_s\": %.2f, \"errors\": %zu, "
+                 "\"jobs_per_s\": %.2f, "
+                 "\"p50_s\": %.6f, \"p99_s\": %.6f, \"errors\": %zu, "
                  "\"dedup_followers\": %llu, \"dedup_rate\": %.3f, "
                  "\"scan_extractions\": %llu, \"scan_shared_hits\": %llu, "
                  "\"scan_shared_rate\": %.3f, "
                  "\"result_cache_hits\": %llu, "
-                 "\"result_cache_hit_rate\": %.3f}%s\n",
-                 c.name.c_str(), c.seconds, c.jobs_per_s(), c.errors,
+                 "\"result_cache_hit_rate\": %.3f, "
+                 "\"degraded_local\": %llu}%s\n",
+                 c.name.c_str(), c.seconds, c.jobs_per_s(), c.p50_s,
+                 c.p99_s, c.errors,
                  static_cast<unsigned long long>(c.dedup_followers),
                  dedup_rate,
                  static_cast<unsigned long long>(c.scan_extractions),
                  static_cast<unsigned long long>(c.scan_shared_hits),
                  shared_rate,
                  static_cast<unsigned long long>(c.result_cache_hits),
-                 cache_rate, i + 1 < cells.size() ? "," : "");
+                 cache_rate,
+                 static_cast<unsigned long long>(c.degraded_local),
+                 i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -240,17 +285,126 @@ void Run(int argc, char** argv) {
   cells.push_back(
       RunCell("repeat", port, clients, jobs_per_client, identical_request));
 
+  // -- degraded cell: the same serving session, re-engined onto a
+  // 2-worker cluster (coordinator installs itself as the scheduler's
+  // engine), with one worker failpoint-killed mid-burst. Fresh set names
+  // mean fresh fingerprints, so every job really reaches the cluster
+  // instead of the result cache.
+  const size_t n_deg = clients * jobs_per_client;
+  for (size_t j = 0; j < n_deg; ++j) {
+    session.catalog().RegisterHypotheses("dset" + std::to_string(j),
+                                         {hyps[j % hyps.size()]});
+  }
+
+  struct WorkerWorld {
+    SqlWorld world;
+    std::unique_ptr<LstmLmExtractor> extractor;
+    std::unique_ptr<InspectionSession> session;
+  };
+  auto make_worker_world = [&] {
+    auto w = std::make_unique<WorkerWorld>();
+    if (smoke) {
+      w->world = BuildSqlWorld(1, 96, 48, 16, 1, 0, 33);
+    } else if (full) {
+      w->world = BuildSqlWorld(3, 1024, 96, 32, 2, 0, 33);
+    } else {
+      w->world = BuildSqlWorld(2, 384, 64, 24, 1, 0, 33);
+    }
+    w->extractor =
+        std::make_unique<LstmLmExtractor>("sql_lm", w->world.model.get());
+    SessionConfig worker_config;
+    worker_config.options.block_size = block_size;
+    worker_config.options.early_stopping = false;
+    worker_config.options.num_shards = 1;
+    worker_config.num_threads = 2;
+    w->session =
+        std::make_unique<InspectionSession>(std::move(worker_config));
+    w->session->catalog().RegisterModel("sql_lm", w->extractor.get());
+    w->session->catalog().RegisterDataset("queries", &w->world.dataset);
+    // Same seed, same grammar, same hypothesis list as the serving
+    // session — name resolution on the worker must mean the same thing.
+    std::vector<HypothesisPtr> whyps =
+        SqlHypotheses(&w->world.grammar, n_sets);
+    for (size_t j = 0; j < n_deg; ++j) {
+      w->session->catalog().RegisterHypotheses("dset" + std::to_string(j),
+                                               {whyps[j % whyps.size()]});
+    }
+    return w;
+  };
+  auto w1 = make_worker_world();
+  auto w2 = make_worker_world();
+
+  cluster::CoordinatorConfig coord_config;
+  coord_config.total_shards = 2;
+  coord_config.heartbeat_timeout_s = 0.5;
+  coord_config.reassign_backoff_s = 0.01;
+  coord_config.degrade_to_local = true;  // availability over scale-out
+  cluster::ClusterCoordinator coordinator(&session, coord_config);
+  DB_CHECK_OK(coordinator.Start());
+
+  cluster::InspectionWorker survivor(
+      w1->session.get(),
+      {.worker_id = "bw-1", .coordinator_port = coordinator.port()});
+  // The victim stalls briefly before each assignment (the same
+  // failure-injection hook the cluster tests use), so the mid-burst kill
+  // below reliably lands while its ranges are still in flight.
+  cluster::InspectionWorker victim(
+      w2->session.get(), {.worker_id = "bw-2",
+                          .coordinator_port = coordinator.port(),
+                          .assignment_delay_s = 0.25});
+  DB_CHECK_OK(survivor.Connect());
+  DB_CHECK_OK(victim.Connect());
+  while (coordinator.num_workers() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto degraded_request = [&](size_t c, size_t j) {
+    InspectRequest request;
+    request.models.push_back({.name = "sql_lm"});
+    request.hypothesis_sets = {
+        "dset" + std::to_string(c * jobs_per_client + j)};
+    request.dataset_name = "queries";
+    return request;
+  };
+
+  const uint64_t degraded_before = coordinator.stats().jobs_degraded_local;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // One injected assignment fault, then take the victim down hard: the
+    // rest of the burst rides on the survivor plus local degradation.
+    failpoint::Arm("worker.assign.run",
+                   {.code = StatusCode::kUnavailable,
+                    .message = "bench: injected assignment fault",
+                    .max_fires = 1});
+    victim.Kill();
+  });
+  Cell degraded =
+      RunCell("degraded", port, clients, jobs_per_client, degraded_request);
+  killer.join();
+  failpoint::DisarmAll();
+  degraded.degraded_local =
+      coordinator.stats().jobs_degraded_local - degraded_before;
+  cells.push_back(degraded);
+
+  survivor.Shutdown();
+  victim.Shutdown();
+  coordinator.Shutdown();
+
   server.Shutdown();
 
-  TextTable table({"cell", "seconds", "jobs/s", "errors", "dedup",
-                   "scan_hits", "cache_hits"});
+  TextTable table({"cell", "seconds", "jobs/s", "p50_ms", "p99_ms",
+                   "errors", "dedup", "scan_hits", "cache_hits",
+                   "degraded"});
   for (const Cell& c : cells) {
     table.AddRow({c.name, TextTable::Num(c.seconds, 3),
                   TextTable::Num(c.jobs_per_s(), 2),
+                  TextTable::Num(c.p50_s * 1e3, 1),
+                  TextTable::Num(c.p99_s * 1e3, 1),
                   std::to_string(c.errors),
                   std::to_string(c.dedup_followers),
                   std::to_string(c.scan_shared_hits),
-                  std::to_string(c.result_cache_hits)});
+                  std::to_string(c.result_cache_hits),
+                  std::to_string(c.degraded_local)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
@@ -258,7 +412,10 @@ void Run(int argc, char** argv) {
       "shared scans\n(scan_hits > 0); the identical cell runs the engine "
       "at most once per burst\n(dedup + cache_hits ~ jobs-1); the repeat "
       "cell is answered entirely from the\nresult cache "
-      "(cache_hits == jobs).\n");
+      "(cache_hits == jobs); the degraded cell finishes every job with "
+      "zero\nerrors despite a worker killed mid-burst (reassignment + "
+      "local degradation),\nat lower throughput and fatter p99 than "
+      "distinct.\n");
   WriteJson(out, world.dataset.num_records(), clients, jobs_per_client,
             cells);
 }

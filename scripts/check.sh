@@ -10,8 +10,11 @@
 # sharding, session jobs, the multi-query scheduler — incl. in-flight
 # dedup, persistent-cache restarts, admission quotas, and the
 # stale-admission regression — the inspection server/client, the
-# cluster coordinator/worker, thread pool, behavior store + blob tier),
-# and smokes of the parallel-engine, scheduler, server, and cluster
+# cluster coordinator/worker, thread pool, behavior store + blob tier,
+# and the seeded chaos harness driving every failpoint site against a
+# mixed local+remote+cluster workload), a short fixed-seed chaos smoke
+# under TSan, an ASan+UBSan build-and-test pass of the full suite, and
+# smokes of the parallel-engine, scheduler, server, and cluster
 # benches so regressions in the sharded, fused, served, and distributed
 # paths fail fast.
 #
@@ -128,10 +131,20 @@ echo "== tsan: concurrency suites =="
 cmake -B "$TSAN_DIR" -S . -DDEEPBASE_TSAN=ON >/dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" --target parallel_engine_test \
       service_test scheduler_test server_test util_test \
-      behavior_store_test cluster_test
+      behavior_store_test cluster_test chaos_test
 (cd "$TSAN_DIR" &&
  ctest --output-on-failure -j 1 \
-       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test|cluster_test')
+       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test|cluster_test|chaos_test')
+
+echo "== tsan: chaos smoke (fixed seed, short schedule) =="
+DEEPBASE_CHAOS_SEED=805381 DEEPBASE_CHAOS_STEPS=16 \
+    "$TSAN_DIR/tests/chaos_test" >/dev/null
+
+echo "== asan+ubsan: full suite =="
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . -DDEEPBASE_ASAN_UBSAN=ON >/dev/null
+cmake --build "$ASAN_DIR" -j "$JOBS"
+(cd "$ASAN_DIR" && ctest --output-on-failure -j 1)
 
 echo "== smoke: 2-thread parallel bench =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \

@@ -13,6 +13,7 @@
 #include <numeric>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -45,6 +46,27 @@ ClusterCoordinator::~ClusterCoordinator() { Shutdown(); }
 Status ClusterCoordinator::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::AlreadyExists("coordinator already running");
+  }
+  // Misconfigured timeouts fail loudly at startup instead of declaring
+  // every worker dead (or no worker ever dead) at runtime.
+  if (!(config_.heartbeat_timeout_s > 0)) {
+    return Status::Invalid("CoordinatorConfig.heartbeat_timeout_s must be "
+                           "positive, got " +
+                           std::to_string(config_.heartbeat_timeout_s));
+  }
+  if (!(config_.assign_timeout_s > 0)) {
+    return Status::Invalid("CoordinatorConfig.assign_timeout_s must be "
+                           "positive, got " +
+                           std::to_string(config_.assign_timeout_s));
+  }
+  if (!(config_.reassign_backoff_s >= 0)) {
+    return Status::Invalid("CoordinatorConfig.reassign_backoff_s must be "
+                           "non-negative, got " +
+                           std::to_string(config_.reassign_backoff_s));
+  }
+  if (config_.max_attempts < 1) {
+    return Status::Invalid("CoordinatorConfig.max_attempts must be at least "
+                           "1, got " + std::to_string(config_.max_attempts));
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -367,6 +389,31 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
     }
   }
 
+  // Availability rescue: a kUnavailable outcome (quorum loss, attempts
+  // exhausted, injected dispatch fault) degrades to the local engine when
+  // configured — the job completes with the same deterministic table
+  // instead of failing. Anything else (deadline, compile errors) stays an
+  // error: a local retry would fail identically.
+  auto fail_or_degrade = [&](const Status& why) -> Result<ResultTable> {
+    if (config_.degrade_to_local &&
+        why.code() == StatusCode::kUnavailable) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.jobs_degraded_local;
+      }
+      return RunInspectRequest(request, session_->catalog(), default_options,
+                               stats);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.jobs_failed;
+    return why;
+  };
+
+  if (failpoint::Armed()) {
+    const Status fp = failpoint::Evaluate("cluster.dispatch");
+    if (!fp.ok()) return fail_or_degrade(fp);
+  }
+
   // Effective shard count: the job's own pin wins; otherwise the cluster
   // default. Clamped exactly as the worker pipeline clamps, because the
   // clamped value keys the determinism contract.
@@ -415,15 +462,16 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
   auto run = std::make_shared<RunState>();
   uint64_t run_id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (shutting_down_) {
       ++stats_.jobs_failed;
       return Status::Unavailable("coordinator is shutting down");
     }
     const size_t live = LiveWorkersLocked().size();
     if (live == 0) {
-      ++stats_.jobs_failed;
-      return Status::Unavailable("no live workers registered");
+      lock.unlock();  // fail_or_degrade takes mu_ (and may run locally)
+      return fail_or_degrade(
+          Status::Unavailable("no live workers registered"));
     }
     run_id = next_run_id_++;
     if (sliceable) {
@@ -480,11 +528,13 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
   ProgressCounter* progress = plan.options.progress;
   bool cancelled = false;
   Status failure = Status::OK();
+  bool degradable_failure = false;  ///< kUnavailable the local engine can fix
   {
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
       if (run->failed) {
         failure = run->fail_status;
+        degradable_failure = true;
         break;
       }
       bool all_done = true;
@@ -501,6 +551,18 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
       }
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
         cancelled = true;
+        break;
+      }
+      if (plan.options.deadline != Clock::time_point::max() &&
+          Clock::now() >= plan.options.deadline) {
+        size_t pending = 0;
+        for (const Assignment& a : run->assignments) {
+          if (!a.done) ++pending;
+        }
+        failure = Status::DeadlineExceeded(
+            "job deadline expired with " + std::to_string(pending) + " of " +
+            std::to_string(run->assignments.size()) +
+            " assignments incomplete");
         break;
       }
 
@@ -555,7 +617,14 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
         if (target == nullptr) target = live[a.id % live.size()];
         a.owner = target->id;
         ++a.attempts;
+        // The per-assignment watchdog never outlives the job's own budget:
+        // a straggler past the job deadline is reclaimed (and the run
+        // resolved) instead of quietly spending someone else's time.
         a.deadline = now + Seconds(config_.assign_timeout_s);
+        if (plan.options.deadline != Clock::time_point::max() &&
+            plan.options.deadline < a.deadline) {
+          a.deadline = plan.options.deadline;
+        }
         ++stats_.assignments_sent;
         sends.emplace_back(target, &a);
       }
@@ -622,6 +691,7 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
     return ResultTable();
   }
   if (!failure.ok()) {
+    if (degradable_failure) return fail_or_degrade(failure);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.jobs_failed;
     return failure;
@@ -630,12 +700,10 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
   // Per-assignment worker errors surface as the job's error (they are
   // deterministic — a retry elsewhere would fail identically for compile
   // errors, and transport-level failures never produce a done result).
+  // kUnavailable is the one exception: it reports the worker's state, not
+  // the job's, so it goes through the degradation path like quorum loss.
   for (const Assignment& a : run->assignments) {
-    if (!a.result.status.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.jobs_failed;
-      return a.result.status;
-    }
+    if (!a.result.status.ok()) return fail_or_degrade(a.result.status);
   }
 
   Result<ResultTable> table =

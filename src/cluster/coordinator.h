@@ -30,7 +30,18 @@
 // answering after its range was reassigned) are ignored — first result
 // wins, and determinism makes both byte-identical anyway. When no live
 // worker remains, or an assignment exhausts its attempts, the job fails
-// with a typed kUnavailable status.
+// with a typed kUnavailable status — unless degrade_to_local is set, in
+// which case the coordinator falls back to the local engine (counted in
+// stats().jobs_degraded_local); determinism makes the degraded table
+// identical to the distributed one.
+//
+// Deadlines: a job's InspectOptions::deadline travels inside every
+// assignment (encoded as a relative remaining budget, re-anchored on the
+// worker — no cross-host clock trust) and clamps each assignment's
+// completion watchdog, so a straggling or reassigned worker can never
+// spend past the job's budget. A run whose deadline passes fails with
+// kDeadlineExceeded (never degraded: the local engine would be just as
+// late).
 
 #pragma once
 
@@ -79,6 +90,11 @@ struct CoordinatorConfig {
   /// When false, Start() does not hook the session scheduler (tests drive
   /// DistributedRun directly).
   bool install_engine = true;
+  /// When true, a job that would fail kUnavailable (no live workers, or an
+  /// assignment out of attempts) runs on the local engine instead —
+  /// availability over scale-out. Deterministic jobs return the same table
+  /// either way. Deadline and compile errors are never degraded.
+  bool degrade_to_local = false;
 };
 
 /// \brief Coordinator counters.
@@ -92,6 +108,7 @@ struct CoordinatorStats {
   size_t jobs_sliced = 0;
   size_t jobs_whole = 0;
   size_t jobs_local_fallback = 0;  ///< inline-pointer requests run locally
+  size_t jobs_degraded_local = 0;  ///< kUnavailable rescued by local engine
   size_t jobs_failed = 0;
   size_t keymap_pushes = 0;
 };

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/block_pipeline.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -31,6 +32,18 @@ InspectionWorker::~InspectionWorker() { Shutdown(); }
 Status InspectionWorker::Connect() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::AlreadyExists("worker already connected");
+  }
+  // A nonpositive heartbeat interval would register a worker the monitor
+  // immediately declares dead; reject it before touching the network.
+  if (!(config_.heartbeat_interval_s > 0)) {
+    return Status::Invalid("WorkerConfig.heartbeat_interval_s must be "
+                           "positive, got " +
+                           std::to_string(config_.heartbeat_interval_s));
+  }
+  if (config_.assignment_delay_s < 0) {
+    return Status::Invalid("WorkerConfig.assignment_delay_s must be "
+                           "non-negative, got " +
+                           std::to_string(config_.assignment_delay_s));
   }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -194,6 +207,14 @@ wire::AssignResultWire InspectionWorker::RunSliced(
     out.status = Status::Cancelled("worker shutting down");
     return out;
   }
+  if (totals.deadline_exceeded) {
+    // Partial states past the deadline never travel: the coordinator gets
+    // the typed error (its own job-deadline watchdog resolves the run).
+    out.status = Status::DeadlineExceeded(
+        "assignment exceeded the job deadline on worker " +
+        config_.worker_id);
+    return out;
+  }
   std::vector<std::unique_ptr<Measure>> states = pipeline.TakeShardStates();
   for (const std::unique_ptr<Measure>& state : states) {
     codec::Writer w;
@@ -272,10 +293,22 @@ void InspectionWorker::ExecutorLoop() {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
     }
-    wire::AssignResultWire result =
-        assignment.mode == wire::AssignmentWire::Mode::kWhole
-            ? RunWhole(assignment, &progress_)
-            : RunSliced(assignment, &progress_);
+    wire::AssignResultWire result;
+    Status injected = Status::OK();
+    if (failpoint::Armed()) {
+      injected = failpoint::Evaluate("worker.assign.run");
+    }
+    if (!injected.ok()) {
+      // The fault travels as the assignment's result — the coordinator
+      // sees a typed execution failure, exactly as if the pipeline threw.
+      result.assignment_id = assignment.assignment_id;
+      result.mode = assignment.mode;
+      result.status = injected;
+    } else {
+      result = assignment.mode == wire::AssignmentWire::Mode::kWhole
+                   ? RunWhole(assignment, &progress_)
+                   : RunSliced(assignment, &progress_);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       active_assignment_ = 0;

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "core/extractors.h"
+#include "util/failpoint.h"
 #include "util/fnv.h"
 #include "util/stopwatch.h"
 
@@ -82,6 +83,7 @@ std::string BehaviorStore::PathForBlob(const std::string& key) const {
 
 Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors,
                           double cost) {
+  DB_FAILPOINT("store.write");
   std::lock_guard<std::mutex> lock(mu_);
   std::error_code ec;
   std::filesystem::create_directories(root_dir_, ec);
@@ -131,29 +133,46 @@ Result<std::shared_ptr<const Matrix>> BehaviorStore::GetShared(
     return it->second->matrix;
   }
 
+  DB_FAILPOINT("store.read");
   const std::string path = PathForKey(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     ++misses_;
     return Status::NotFound("no stored behaviors for key: " + key);
   }
+  // A file that fails validation is quarantined (renamed aside) and the
+  // read degrades to a miss: the caller re-materializes and the next Put
+  // repopulates the entry, instead of every restart re-failing kDataLoss
+  // on the same bytes forever.
+  auto corrupt = [&](const std::string& what) -> Status {
+    in.close();
+    QuarantineLocked(path);
+    ++misses_;
+    return Status::NotFound("stored behaviors for key '" + key +
+                            "' failed validation (" + what +
+                            "); file quarantined");
+  };
   uint32_t magic = 0;
   uint64_t key_len = 0, checksum = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
   if (!in || magic != kStoreMagic || key_len > (1u << 20)) {
-    return Status::DataLoss("corrupt store file header: " + path);
+    return corrupt("corrupt store file header");
   }
   std::string stored_key(key_len, '\0');
   in.read(stored_key.data(), static_cast<std::streamsize>(key_len));
   in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
   if (!in || stored_key != key) {
-    return Status::DataLoss("store file key mismatch (hash collision?): " +
-                            path);
+    return corrupt("key mismatch (hash collision?)");
   }
-  DB_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(&in));
+  Result<Matrix> read = ReadMatrix(&in);
+  if (!read.ok()) {
+    return corrupt("unreadable matrix payload: " +
+                   read.status().ToString());
+  }
+  Matrix m = std::move(read).ValueOrDie();
   if (MatrixChecksum(m) != checksum) {
-    return Status::DataLoss("checksum mismatch for key: " + key);
+    return corrupt("checksum mismatch");
   }
   ++disk_hits_;
   if (served_from != nullptr) *served_from = Tier::kDisk;
@@ -263,6 +282,20 @@ size_t BehaviorStore::blob_evictions() const {
   return blob_evictions_;
 }
 
+size_t BehaviorStore::quarantines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantines_;
+}
+
+void BehaviorStore::QuarantineLocked(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  // A failed rename leaves the corrupt file in place; the next read
+  // retries the quarantine. Count only completed renames so tests can
+  // assert "renamed aside exactly once".
+  if (!ec) ++quarantines_;
+}
+
 size_t BehaviorStore::blob_namespace_bytes(const std::string& ns) const {
   std::lock_guard<std::mutex> lock(mu_);
   EnsureBlobManifestLocked();
@@ -359,6 +392,7 @@ void BehaviorStore::SetBlobNamespaceQuota(const std::string& ns,
 
 Status BehaviorStore::PutBlob(const std::string& key,
                               const std::string& bytes) {
+  DB_FAILPOINT("store.blob.write");
   std::lock_guard<std::mutex> lock(mu_);
   EnsureBlobManifestLocked();
   std::error_code ec;
@@ -398,6 +432,7 @@ Status BehaviorStore::PutBlob(const std::string& key,
 }
 
 Result<std::string> BehaviorStore::GetBlob(const std::string& key) {
+  DB_FAILPOINT("store.blob.read");
   std::lock_guard<std::mutex> lock(mu_);
   const std::string path = PathForBlob(key);
   std::ifstream in(path, std::ios::binary);
@@ -405,30 +440,42 @@ Result<std::string> BehaviorStore::GetBlob(const std::string& key) {
     ++blob_misses_;
     return Status::NotFound("no stored blob for key: " + key);
   }
+  // Same quarantine contract as GetShared's disk path: corrupt blobs are
+  // renamed aside, dropped from the manifest, and read as a miss so the
+  // caller recomputes exactly once.
+  auto corrupt = [&](const std::string& what) -> Status {
+    in.close();
+    QuarantineLocked(path);
+    EnsureBlobManifestLocked();
+    DropBlobFromManifestLocked(key);
+    ++blob_misses_;
+    return Status::NotFound("stored blob for key '" + key +
+                            "' failed validation (" + what +
+                            "); file quarantined");
+  };
   uint32_t magic = 0;
   uint64_t key_len = 0, checksum = 0, payload_len = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
   if (!in || magic != kBlobMagic || key_len > (1u << 20)) {
-    return Status::DataLoss("corrupt blob file header: " + path);
+    return corrupt("corrupt blob file header");
   }
   std::string stored_key(key_len, '\0');
   in.read(stored_key.data(), static_cast<std::streamsize>(key_len));
   in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
   in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len));
   if (!in || stored_key != key) {
-    return Status::DataLoss("blob file key mismatch (hash collision?): " +
-                            path);
+    return corrupt("key mismatch (hash collision?)");
   }
   if (payload_len > (1ull << 32)) {
-    return Status::DataLoss("implausible blob payload size: " + path);
+    return corrupt("implausible payload size");
   }
   std::string payload(payload_len, '\0');
   in.read(payload.data(), static_cast<std::streamsize>(payload_len));
   if (in.fail() ||
       Fnv1a(payload.data(), payload.size()) !=
           checksum) {
-    return Status::DataLoss("blob checksum mismatch for key: " + key);
+    return corrupt("checksum mismatch");
   }
   ++blob_hits_;
   return payload;

@@ -61,9 +61,12 @@ class BehaviorStore {
              double cost = 1.0);
 
   /// \brief Fetch a matrix: memory tier first, then disk (re-admitting to
-  /// memory). kNotFound if the key was never Put; kDataLoss if the on-disk
-  /// payload fails its checksum. `served_from`, when non-null, reports
-  /// which tier answered (kMiss on any error).
+  /// memory). kNotFound if the key was never Put — or if the on-disk file
+  /// failed validation (bad header, key mismatch, checksum mismatch), in
+  /// which case the file is quarantined (renamed `.quarantined`) so the
+  /// caller recomputes once instead of hitting kDataLoss on every read
+  /// across restarts. `served_from`, when non-null, reports which tier
+  /// answered (kMiss on any error).
   Result<Matrix> Get(const std::string& key, Tier* served_from = nullptr);
 
   /// \brief Like Get, but returns a shared read-only handle on the memory
@@ -97,8 +100,9 @@ class BehaviorStore {
   /// \brief Persist `bytes` under `key` (overwrites), then enforce the
   /// key's namespace blob quota.
   Status PutBlob(const std::string& key, const std::string& bytes);
-  /// \brief Read a blob; kNotFound if absent, kDataLoss on checksum or
-  /// key mismatch.
+  /// \brief Read a blob; kNotFound if absent or if the file failed
+  /// validation (the corrupt file is quarantined aside, same contract as
+  /// Get).
   Result<std::string> GetBlob(const std::string& key);
   bool ContainsBlob(const std::string& key) const;
   Status RemoveBlob(const std::string& key);
@@ -129,6 +133,11 @@ class BehaviorStore {
   size_t blob_hits() const;
   size_t blob_misses() const;
   size_t blob_evictions() const;
+  /// \brief Files renamed aside after failing validation (see Get/GetBlob:
+  /// corrupt entries quarantine as `<file>.quarantined` and read as a
+  /// miss, so one bad file costs one recompute instead of a permanent
+  /// kDataLoss).
+  size_t quarantines() const;
 
   /// \brief Ensure `extractor`'s full unit behaviors over `dataset` are
   /// stored (extracting and persisting them if not) and return the key.
@@ -179,6 +188,9 @@ class BehaviorStore {
   void EnsureBlobManifestLocked() const;
   void DropBlobFromManifestLocked(const std::string& key) const;
   void EnforceBlobQuotaLocked(const std::string& ns);
+  /// Rename a corrupt file to `<path>.quarantined` (kept for forensics,
+  /// invisible to every scan) and count it.
+  void QuarantineLocked(const std::string& path);
 
   std::string root_dir_;
   size_t memory_budget_;
@@ -212,6 +224,7 @@ class BehaviorStore {
   size_t blob_hits_ = 0;
   size_t blob_misses_ = 0;
   size_t blob_evictions_ = 0;
+  size_t quarantines_ = 0;
 };
 
 /// \brief Canonical store key for a model's unit behaviors over a dataset.

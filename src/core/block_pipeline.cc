@@ -158,7 +158,7 @@ BlockPipeline::BlockPipeline(const std::vector<ModelSpec>& models,
     Stopwatch prelude_watch;
     hyp_stored_.resize(hypotheses_.size());
     for (size_t h = 0; h < hypotheses_.size(); ++h) {
-      if (CancelRequested()) break;
+      if (CancelRequested() || DeadlinePassed()) break;
       bool materialized_now = false;
       Result<std::string> key =
           options_.behavior_store->EnsureHypothesisBehaviors(
@@ -251,7 +251,21 @@ bool BlockPipeline::CancelRequested() const {
 }
 
 bool BlockPipeline::OverBudget(const Stopwatch& watch) const {
+  // The deadline rides every budget check: both stop the loop at the
+  // next block boundary, but a deadline stop is latched (deadline_hit_)
+  // so the run surfaces as kDeadlineExceeded instead of a partial table.
+  if (DeadlinePassed()) return true;
   return watch.Seconds() >= options_.time_budget_s;
+}
+
+bool BlockPipeline::DeadlinePassed() const {
+  if (options_.deadline == std::chrono::steady_clock::time_point::max()) {
+    return false;
+  }
+  if (deadline_hit_.load(std::memory_order_relaxed)) return true;
+  if (std::chrono::steady_clock::now() < options_.deadline) return false;
+  deadline_hit_.store(true, std::memory_order_relaxed);
+  return true;
 }
 
 void BlockPipeline::ParallelDo(size_t n,
@@ -556,6 +570,7 @@ BlockPipeline::Totals BlockPipeline::Run(const Stopwatch& total_watch) {
     MergeReplicas();
     totals.lanes[0].inspection_s += merge_watch.Seconds();
   }
+  totals.deadline_exceeded = deadline_hit_.load(std::memory_order_relaxed);
   return totals;
 }
 

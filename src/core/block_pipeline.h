@@ -97,6 +97,10 @@ class BlockPipeline {
     /// runs, so pollers see it while the loop is in flight.
     size_t blocks_planned = 0;
     bool stopped_early = false;
+    /// True when InspectOptions::deadline passed during the run: the
+    /// block loop stopped at the first boundary after the deadline, so
+    /// the accumulated states cover only a prefix of the plan.
+    bool deadline_exceeded = false;
     /// Hypothesis-tier store counters (InspectOptions::hypothesis_store_tier)
     /// for this run — how each hypothesis's stored behaviors were obtained.
     size_t store_hyp_mem_hits = 0;
@@ -173,6 +177,9 @@ class BlockPipeline {
 
   bool CancelRequested() const;
   bool OverBudget(const Stopwatch& watch) const;
+  /// True once options_.deadline has passed; latches deadline_hit_ so the
+  /// run is reported as deadline-truncated even if later checks race.
+  bool DeadlinePassed() const;
   void ParallelDo(size_t n, const std::function<void(size_t)>& fn);
   /// Bump the live progress sink (InspectOptions::progress) by one block
   /// dispatch. Called from whichever lane dispatches the block, so it is
@@ -250,6 +257,10 @@ class BlockPipeline {
   double hyp_tier_prelude_s_ = 0;
 
   std::unique_ptr<std::atomic<bool>[]> warned_bad_size_;
+
+  /// Set by any lane that observes the deadline passing (relaxed: the
+  /// flag only ever flips false→true and is read after the lanes join).
+  mutable std::atomic<bool> deadline_hit_{false};
 };
 
 }  // namespace deepbase

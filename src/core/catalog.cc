@@ -279,8 +279,29 @@ Result<ResultTable> RunPlan(const InspectPlan& plan, RuntimeStats* stats) {
       }
     }
   }
+  // A deadline that already passed never reaches the engine: callers get
+  // the typed error without paying for planning-stage extraction.
+  if (plan.options.deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= plan.options.deadline) {
+    if (stats != nullptr) stats->deadline_exceeded = true;
+    return Status::DeadlineExceeded(
+        "inspection deadline expired before execution started");
+  }
+  RuntimeStats local_stats;
+  RuntimeStats* run_stats = stats != nullptr ? stats : &local_stats;
   ResultTable results = Inspect(plan.models, *plan.dataset, plan.measures,
-                                plan.hypotheses, plan.options, stats);
+                                plan.hypotheses, plan.options, run_stats);
+  // Deadline truncation is an error, not a silently partial table: the
+  // pipeline stopped at the first block boundary past the deadline, so
+  // the scores cover only a prefix of the plan. (Cancellation keeps its
+  // existing partial-result contract — the scheduler resolves cancelled
+  // jobs from stats->cancelled, not from here.)
+  if (run_stats->deadline_exceeded && !run_stats->cancelled) {
+    return Status::DeadlineExceeded(
+        "inspection exceeded its deadline after " +
+        std::to_string(run_stats->blocks_processed) + " of " +
+        std::to_string(run_stats->blocks_total_planned) + " planned blocks");
+  }
   if (plan.min_abs_unit_score.has_value()) {
     const float threshold = *plan.min_abs_unit_score;
     results = results.Filter([threshold](const ResultRow& row) {

@@ -67,6 +67,7 @@ void RuntimeStats::Accumulate(const RuntimeStats& other) {
   num_shards = std::max(num_shards, other.num_shards);
   all_converged = all_converged && other.all_converged;
   cancelled = cancelled || other.cancelled;
+  deadline_exceeded = deadline_exceeded || other.deadline_exceeded;
 }
 
 ModelSpec AllUnitsGroup(const Extractor* extractor,
@@ -224,6 +225,7 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
     stats->blocks_total_planned = totals.blocks_planned;
     stats->all_converged = totals.stopped_early || pipeline.AllConverged();
     stats->cancelled = cancel_requested();
+    stats->deadline_exceeded = totals.deadline_exceeded;
     if (options.hypothesis_cache != nullptr) {
       stats->cache_hits = options.hypothesis_cache->hits() - cache_hits0;
       stats->cache_misses =

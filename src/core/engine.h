@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <string>
@@ -151,6 +152,19 @@ struct InspectOptions {
   double time_budget_s = std::numeric_limits<double>::infinity();
   size_t max_blocks = std::numeric_limits<size_t>::max();
 
+  /// Absolute completion deadline, checked at the same block boundaries
+  /// as time_budget_s. The semantics differ: a budget-truncated run
+  /// returns its partial scores as a normal result, while a run that
+  /// crosses its deadline is reported via RuntimeStats::deadline_exceeded
+  /// and surfaced by the serving layers as kDeadlineExceeded — callers
+  /// with a deadline want a definitive outcome, not a silently partial
+  /// table. steady_clock (never wall clock): deadlines cross hosts as
+  /// relative remaining budgets, re-anchored on arrival (see
+  /// server/wire.h), so clock skew cannot shrink or stretch them.
+  /// time_point::max() = no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
   /// Cooperative cancellation: checked between blocks, like the time
   /// budget. Set by JobHandle::Cancel() for async jobs; the engine stops
   /// and returns the partial scores accumulated so far.
@@ -238,6 +252,11 @@ struct RuntimeStats {
   bool all_converged = false;
   /// True if the run was stopped by InspectOptions::cancel.
   bool cancelled = false;
+  /// True if the run was stopped by InspectOptions::deadline. The table
+  /// returned by Inspect() is partial; RunPlan/RunInspectRequest convert
+  /// this flag into a kDeadlineExceeded error so no caller above the raw
+  /// engine ever mistakes the truncation for a complete result.
+  bool deadline_exceeded = false;
 
   /// \brief Sum another run's counters/timings into this one (used when a
   /// statement fans out into several engine calls, e.g. SQL GROUP BY).

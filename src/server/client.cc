@@ -6,11 +6,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/rng.h"
 
 namespace deepbase {
 
@@ -59,7 +64,9 @@ internal::RemoteJobState& InvalidRemoteJobState() {
 // ---------------------------------------------------------------------------
 
 uint64_t RemoteJob::id() const {
-  return state_ != nullptr ? state_->server_job_id : 0;
+  return state_ != nullptr
+             ? state_->server_job_id.load(std::memory_order_relaxed)
+             : 0;
 }
 
 RemoteProgress RemoteJob::LastProgress() const {
@@ -198,18 +205,53 @@ Status InspectionClient::ConnectLocked() {
 }
 
 Status InspectionClient::Connect() {
+  // Misconfigured timeouts surface here, before any socket exists: a
+  // nonpositive RPC timeout would fail every call, and negative backoffs
+  // are sleep_for UB.
+  if (!(config_.rpc_timeout_s > 0)) {
+    return Status::Invalid("ClientConfig.rpc_timeout_s must be positive, "
+                           "got " + std::to_string(config_.rpc_timeout_s));
+  }
+  if (config_.reconnect_backoff_s < 0) {
+    return Status::Invalid("ClientConfig.reconnect_backoff_s must be "
+                           "non-negative, got " +
+                           std::to_string(config_.reconnect_backoff_s));
+  }
+  if (config_.resubmit_backoff_s < 0) {
+    return Status::Invalid("ClientConfig.resubmit_backoff_s must be "
+                           "non-negative, got " +
+                           std::to_string(config_.resubmit_backoff_s));
+  }
+  return ConnectInternal(/*reset_closing=*/true);
+}
+
+Status InspectionClient::ConnectInternal(bool reset_closing) {
   // Join a reader left over from a dead connection before reconnecting
   // (it cannot join itself when it detects EOF).
   std::thread stale;
   int stale_fd = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A user-initiated Connect() reopens a Close()d client (and resumes
+    // the resubmission service); the resubmit worker's internal reconnect
+    // must instead respect an in-progress Close, or it would revive the
+    // connection Close is tearing down.
+    if (reset_closing) closing_ = false;
+    if (closing_) return Status::IOError("client closed");
     if (connected_) return Status::OK();
     if (reader_.joinable()) {
       stale = std::move(reader_);
       stale_fd = fd_;
-      fd_ = -1;
     }
+  }
+  if (stale_fd >= 0) {
+    // The old reader may still be parked in ReadFrame on a socket whose
+    // write side failed (half-broken peer, or an injected write fault):
+    // shut the socket down first so the join below cannot wait on a read
+    // that will never return. fd_ is left pointing at the stale socket so
+    // the woken reader recognizes the loss as its own connection and runs
+    // the full teardown (fail pending RPCs, orphan replayable jobs).
+    ::shutdown(stale_fd, SHUT_RDWR);
   }
   if (stale.joinable()) stale.join();
   if (stale_fd >= 0) {
@@ -224,6 +266,7 @@ Status InspectionClient::Connect() {
        ++attempt) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closing_) return Status::IOError("client closed");
       if (connected_) return Status::OK();
       st = ConnectLocked();
       if (st.ok()) return st;
@@ -259,15 +302,26 @@ void InspectionClient::CloseLocked(const Status& reason) {
 
 void InspectionClient::Close() {
   std::thread reader;
+  std::thread resubmitter;
   int fd = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    closing_ = true;
+    // Jobs queued for replay resolve now — there will be no reconnect to
+    // replay them on.
+    for (const auto& job : orphans_) {
+      ResolveJob(job, Status::IOError("client closed"), {});
+    }
+    orphans_.clear();
+    resubmit_cv_.notify_all();
     CloseLocked(Status::IOError("client closed"));
     reader = std::move(reader_);
+    resubmitter = std::move(resubmit_);
     fd = fd_;
     fd_ = -1;
   }
   if (reader.joinable()) reader.join();
+  if (resubmitter.joinable()) resubmitter.join();
   if (fd >= 0) {
     // Same descriptor-recycling guard as Connect(): no concurrent
     // WriteFrame may straddle the close.
@@ -294,7 +348,15 @@ void InspectionClient::ResolveJob(
 void InspectionClient::ReaderLoop(int fd) {
   while (true) {
     wire::Frame frame;
-    const Status st = wire::ReadFrame(fd, &frame, config_.max_frame_bytes);
+    Status st = Status::OK();
+    if (failpoint::Armed()) {
+      // A client-side read fault is indistinguishable from a dead server
+      // connection; the injected error drives the whole loss/reconnect/
+      // resubmit path below. (Deliberately client-scoped: a shared
+      // "wire.read_frame" fault would also hit server/worker readers.)
+      st = failpoint::Evaluate("client.read_frame");
+    }
+    if (st.ok()) st = wire::ReadFrame(fd, &frame, config_.max_frame_bytes);
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       if (fd == fd_) {
@@ -302,9 +364,40 @@ void InspectionClient::ReaderLoop(int fd) {
         // now instead of hanging (server-side, the disconnect cancels our
         // jobs). A stale fd means Close()/reconnect already cleaned up.
         connected_ = false;
+        // Acked submissions are replayable: pull them out of jobs_ before
+        // FailAllLocked so their handles survive the loss and resolve
+        // with the job's real result after the background resubmission.
+        std::vector<std::shared_ptr<internal::RemoteJobState>> replayable;
+        if (config_.auto_reconnect && config_.resubmit_attempts > 0 &&
+            !closing_) {
+          for (auto it = jobs_.begin(); it != jobs_.end();) {
+            const std::shared_ptr<internal::RemoteJobState>& job =
+                it->second;
+            bool can_replay = false;
+            {
+              std::lock_guard<std::mutex> job_lock(job->mu);
+              can_replay = !job->submit_payload.empty() && !job->done;
+            }
+            if (can_replay) {
+              // A job the worker already owns (second loss mid-replay)
+              // must not enqueue twice; it is still unhooked from jobs_.
+              if (!job->resubmitting) replayable.push_back(job);
+              it = jobs_.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
         FailAllLocked(Status::IOError("connection lost (" +
                                       std::string(StatusCodeName(st.code())) +
                                       ": " + st.message() + ")"));
+        if (!replayable.empty()) {
+          for (auto& job : replayable) orphans_.push_back(std::move(job));
+          if (!resubmit_.joinable()) {
+            resubmit_ = std::thread([this] { ResubmitLoop(); });
+          }
+          resubmit_cv_.notify_all();
+        }
       }
       return;
     }
@@ -385,6 +478,172 @@ void InspectionClient::ReaderLoop(int fd) {
       rpc->cv.notify_all();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Resubmission: replay orphaned jobs after a reconnect.
+// ---------------------------------------------------------------------------
+
+void InspectionClient::ResubmitLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    resubmit_cv_.wait(lock,
+                      [this] { return closing_ || !orphans_.empty(); });
+    if (closing_) return;
+    std::shared_ptr<internal::RemoteJobState> job =
+        std::move(orphans_.front());
+    orphans_.pop_front();
+    job->resubmitting = true;
+    lock.unlock();
+    ResubmitJob(job);
+    lock.lock();
+  }
+}
+
+void InspectionClient::ResubmitJob(
+    const std::shared_ptr<internal::RemoteJobState>& job) {
+  std::string payload;
+  uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    payload = job->submit_payload;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed = job->submit_request_id;
+  }
+  // Deterministic per-job jitter: decorrelates a herd of orphans without
+  // introducing run-to-run nondeterminism in tests.
+  Rng rng(0x9e3779b97f4a7c15ull ^ seed);
+  Status last = Status::IOError("connection lost before resubmission");
+  for (size_t attempt = 0; attempt < config_.resubmit_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double base =
+          config_.resubmit_backoff_s *
+          static_cast<double>(1ull << std::min<size_t>(attempt - 1, 10));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(base * (0.5 + rng.Uniform())));
+    }
+    bool already_done = false;
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      already_done = job->done;  // Close() or a late result resolved it
+    }
+    if (already_done) {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->resubmitting = false;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closing_) {
+        job->resubmitting = false;
+        ResolveJob(job, Status::IOError("client closed"), {});
+        return;
+      }
+    }
+    const Status reconnected = ConnectInternal(/*reset_closing=*/false);
+    if (!reconnected.ok()) {
+      last = reconnected;
+      continue;
+    }
+    // Re-register under a fresh request id and replay the exact encoded
+    // submission — same fingerprint server-side, so a still-running (or
+    // cached) incarnation of the job is joined, not duplicated.
+    std::shared_ptr<PendingRpc> rpc;
+    uint64_t request_id = 0;
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!connected_ || closing_) {
+        last = Status::IOError("not connected");
+        continue;
+      }
+      request_id = next_request_id_++;
+      job->submit_request_id = request_id;
+      rpc = std::make_shared<PendingRpc>();
+      pending_[request_id] = rpc;
+      jobs_[request_id] = job;
+      fd = fd_;
+    }
+    Status sent;
+    {
+      std::lock_guard<std::mutex> write_lock(write_mu_);
+      sent =
+          wire::WriteFrame(fd, wire::MsgType::kSubmit, request_id, payload);
+    }
+    if (!sent.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(request_id);
+      auto it = jobs_.find(request_id);
+      if (it != jobs_.end() && it->second == job) jobs_.erase(it);
+      connected_ = false;
+      last = sent;
+      continue;
+    }
+    bool answered = false;
+    Status transport;
+    wire::Frame frame;
+    {
+      std::unique_lock<std::mutex> rpc_lock(rpc->mu);
+      answered = rpc->cv.wait_for(
+          rpc_lock, std::chrono::duration<double>(config_.rpc_timeout_s),
+          [&rpc] { return rpc->done; });
+      transport = rpc->transport;
+      frame = std::move(rpc->frame);
+    }
+    if (!answered) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(request_id);
+      auto it = jobs_.find(request_id);
+      if (it != jobs_.end() && it->second == job) jobs_.erase(it);
+      last = Status::IOError("resubmit rpc timed out");
+      continue;
+    }
+    if (!transport.ok()) {
+      // The connection died again; the reader's loss path unhooked the
+      // job (and skipped re-enqueueing it — resubmitting is set). Retry
+      // on this budget.
+      last = transport;
+      continue;
+    }
+    if (frame.type == wire::MsgType::kSubmitOk) {
+      wire::Reader r(frame.payload);
+      const uint64_t job_id = r.U64();
+      if (r.ok()) {
+        job->server_job_id.store(job_id, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        job->resubmitting = false;
+        return;  // re-hooked; the pushed result resolves the handle
+      }
+      last = Status::DataLoss("malformed SubmitOk payload");
+    } else if (frame.type == wire::MsgType::kError) {
+      // A definitive server answer, not a transport fault: no retry.
+      wire::Reader r(frame.payload);
+      Status status = wire::DecodeStatus(&r);
+      if (status.ok()) status = Status::Internal("unspecified server error");
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = jobs_.find(request_id);
+        if (it != jobs_.end() && it->second == job) jobs_.erase(it);
+        job->resubmitting = false;
+      }
+      ResolveJob(job, status, {});
+      return;
+    } else {
+      last = Status::DataLoss("unexpected Submit response");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(request_id);
+      if (it != jobs_.end() && it->second == job) jobs_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->resubmitting = false;
+  }
+  ResolveJob(job, last, {});
 }
 
 // ---------------------------------------------------------------------------
@@ -533,6 +792,9 @@ Result<RemoteJob> InspectionClient::Submit(
           {
             std::lock_guard<std::mutex> job_lock(state->mu);
             state->server_job_id = job_id;
+            // Acked: from here the job is replayable after a connection
+            // loss (the resubmission worker re-sends this exact payload).
+            state->submit_payload = payload;
           }
           return RemoteJob(state, this);
         }

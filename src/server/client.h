@@ -18,16 +18,22 @@
 //
 // Reconnect semantics: when `auto_reconnect` is set, a broken connection
 // is re-established transparently before the next RPC (Connect + Hello,
-// bounded attempts with backoff). Jobs in flight when the connection
-// died are resolved with kIOError — server-side, a disconnect cancels
-// them — so handles never hang; new submissions after the reconnect run
-// normally.
+// bounded attempts with backoff). Jobs in flight when the connection died
+// are resubmitted on the new connection by a background worker under
+// `resubmit_attempts` tries with jittered doubling backoff — safe because
+// submissions are idempotent server-side (the request fingerprint lands in
+// the scheduler's dedup/result cache), so handles resolve with the job's
+// real result instead of kIOError. Only once the retry budget is spent
+// (or resubmission is disabled with resubmit_attempts = 0) does a handle
+// resolve with the transport error; Close() always fails whatever is
+// still in flight.
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -54,6 +60,15 @@ struct ClientConfig {
   double reconnect_backoff_s = 0.05;
   /// Per-RPC response deadline.
   double rpc_timeout_s = 60.0;
+  /// In-flight jobs orphaned by a connection loss are re-submitted after
+  /// the automatic reconnect, up to this many attempts per job with
+  /// jittered doubling backoff (deterministically seeded per job). 0
+  /// disables resubmission: orphaned handles resolve with kIOError as
+  /// soon as the loss is detected. Ignored when auto_reconnect is off.
+  size_t resubmit_attempts = 3;
+  /// Base backoff between resubmission attempts; doubles per attempt,
+  /// scaled by a uniform jitter in [0.5, 1.5).
+  double resubmit_backoff_s = 0.05;
   size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
 };
 
@@ -69,8 +84,18 @@ namespace internal {
 /// Shared state of one remote job; resolved by the reader thread when the
 /// server pushes the final kResult frame (or the connection dies).
 struct RemoteJobState {
-  uint64_t server_job_id = 0;
-  uint64_t submit_request_id = 0;
+  /// Atomic because a resubmission rewrites it while user threads may be
+  /// calling RemoteJob::id()/Poll().
+  std::atomic<uint64_t> server_job_id{0};
+  uint64_t submit_request_id = 0;  ///< guarded by the client's mu_
+  /// Encoded kSubmit payload, set once the server acked the submission;
+  /// non-empty means the job can be replayed after a connection loss
+  /// (guarded by mu).
+  std::string submit_payload;
+  /// True while the background worker owns this job's replay, so a second
+  /// connection loss does not enqueue it twice (guarded by the client's
+  /// mu_).
+  bool resubmitting = false;
   std::function<void(const RemoteProgress&)> on_progress;  // reader thread
   mutable std::mutex mu;
   std::condition_variable cv;
@@ -192,10 +217,17 @@ class InspectionClient {
       std::shared_ptr<internal::RemoteJobState> link_job = nullptr);
   /// Connect + Hello without the reconnect wrapper. Caller holds mu_.
   Status ConnectLocked();
+  /// The bounded-attempt reconnect shared by Connect() and the resubmit
+  /// worker; only the former clears an in-progress Close.
+  Status ConnectInternal(bool reset_closing);
   void CloseLocked(const Status& reason);
   void ReaderLoop(int fd);
   /// Resolve every pending RPC and live job with `reason`.
   void FailAllLocked(const Status& reason);
+  /// Background worker: drains orphans_, replaying each job on the
+  /// reconnected connection under the resubmission budget.
+  void ResubmitLoop();
+  void ResubmitJob(const std::shared_ptr<internal::RemoteJobState>& job);
   static void ResolveJob(const std::shared_ptr<internal::RemoteJobState>& job,
                          Result<ResultTable> result,
                          const wire::ResultSummaryWire& summary);
@@ -216,6 +248,12 @@ class InspectionClient {
   /// Live jobs by their submit request id (the demux key of pushed
   /// frames).
   std::map<uint64_t, std::shared_ptr<internal::RemoteJobState>> jobs_;
+  /// Jobs orphaned by a connection loss, awaiting replay (guarded by
+  /// mu_). The lazily-started resubmit worker drains this queue.
+  std::deque<std::shared_ptr<internal::RemoteJobState>> orphans_;
+  std::condition_variable resubmit_cv_;
+  std::thread resubmit_;
+  bool closing_ = false;  ///< guarded by mu_; stops the resubmit worker
 };
 
 }  // namespace deepbase

@@ -145,8 +145,17 @@ void InspectionServer::Send(const std::shared_ptr<Connection>& conn,
   std::lock_guard<std::mutex> write_lock(conn->write_mu);
   const Status st = wire::WriteFrame(conn->fd, type, request_id, payload);
   if (!st.ok()) {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    conn->broken = true;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->broken = true;
+    }
+    // A connection that cannot be written to is dead to the client even
+    // when the socket is only half-broken (or the failure was injected):
+    // letting the reader keep serving would strand clients waiting for
+    // pushes that will never come. Shut the socket down so the reader
+    // unblocks and runs the normal teardown; the client sees a
+    // connection loss and its reconnect/resubmit machinery takes over.
+    ::shutdown(conn->fd, SHUT_RDWR);
   } else {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.frames_sent;

@@ -4,12 +4,16 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <limits>
 
 #include "hypothesis/iterators.h"
+#include "util/failpoint.h"
 
 namespace deepbase {
 namespace wire {
@@ -58,6 +62,7 @@ bool ReadFully(int fd, char* buf, size_t n, bool* clean_eof) {
 }  // namespace
 
 Status ReadFrame(int fd, Frame* frame, size_t max_frame_bytes) {
+  DB_FAILPOINT("wire.read_frame");
   char header[kHeaderBytes];
   bool clean_eof = false;
   if (!ReadFully(fd, header, kHeaderBytes, &clean_eof)) {
@@ -94,6 +99,7 @@ Status ReadFrame(int fd, Frame* frame, size_t max_frame_bytes) {
 
 Status WriteFrame(int fd, MsgType type, uint64_t request_id,
                   const std::string& payload) {
+  DB_FAILPOINT("wire.write_frame");
   if (payload.size() > std::numeric_limits<uint32_t>::max()) {
     return Status::Invalid("frame payload too large");
   }
@@ -148,6 +154,8 @@ Status DecodeStatus(Reader* r) {
       return Status::ResourceExhausted(std::move(message));
     case StatusCode::kUnavailable:
       return Status::Unavailable(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
     default:
       return Status::Internal(std::move(message));
   }
@@ -172,6 +180,19 @@ void EncodeOptions(const InspectOptions& o, Writer* w) {
   w->U64(o.num_shards);
   w->F64(o.time_budget_s);
   w->U64(o.max_blocks);
+  // Deadlines travel as *relative* remaining budget, never as absolute
+  // time: steady_clock epochs are per-host and wall clocks may be
+  // skewed, so the receiver re-anchors the budget on its own clock at
+  // decode time. +inf = no deadline. An already-expired deadline
+  // encodes as a non-positive budget and decodes as already expired.
+  double deadline_budget_s = std::numeric_limits<double>::infinity();
+  if (o.deadline != std::chrono::steady_clock::time_point::max()) {
+    deadline_budget_s =
+        std::chrono::duration<double>(o.deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+  }
+  w->F64(deadline_budget_s);
 }
 
 void DecodeOptions(Reader* r, InspectOptions* o) {
@@ -187,6 +208,17 @@ void DecodeOptions(Reader* r, InspectOptions* o) {
   o->num_shards = r->U64();
   o->time_budget_s = r->F64();
   o->max_blocks = r->U64();
+  const double deadline_budget_s = r->F64();
+  if (std::isinf(deadline_budget_s) && deadline_budget_s > 0) {
+    o->deadline = std::chrono::steady_clock::time_point::max();
+  } else {
+    // Re-anchor on the local clock; a budget that went non-positive in
+    // transit stays expired (clamped to "now").
+    o->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, deadline_budget_s)));
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/behavior_store.h"
+#include "util/failpoint.h"
 #include "util/fnv.h"
 
 namespace deepbase {
@@ -84,10 +85,26 @@ bool ParseBlobKeyVersion(const std::string& key, uint64_t* version) {
 }
 
 /// Only complete, deterministic runs are cacheable/dedupable: a cancelled
-/// or budget-truncated result depends on wall-clock timing.
+/// or budget-truncated result depends on wall-clock timing. A deadline is
+/// the same hazard as a finite time budget (whether the run completes
+/// depends on the clock), so deadline-bearing requests are excluded too —
+/// a no-deadline waiter must never inherit a leader's kDeadlineExceeded.
 bool DeterministicOptions(const InspectOptions& options) {
   return options.max_blocks == std::numeric_limits<size_t>::max() &&
-         std::isinf(options.time_budget_s);
+         std::isinf(options.time_budget_s) &&
+         options.deadline == std::chrono::steady_clock::time_point::max();
+}
+
+/// Shared deadline gate for both admission paths: a request whose
+/// deadline has already passed is rejected up front with the typed error
+/// instead of occupying a queue slot it can never use.
+Status CheckAdmissionDeadline(const InspectOptions& options) {
+  if (options.deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= options.deadline) {
+    return Status::DeadlineExceeded(
+        "job deadline expired before admission");
+  }
+  return Status::OK();
 }
 
 /// The effective shard count this session would run the request at,
@@ -711,6 +728,8 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
   const uint64_t version = session_->catalog_.version();
   const InspectOptions request_options =
       request.options.value_or(session_->config_.options);
+  DB_RETURN_NOT_OK(CheckAdmissionDeadline(request_options));
+  DB_FAILPOINT("scheduler.admit");
   std::optional<uint64_t> fingerprint;
   uint64_t dataset_fp = 0;
   // The fingerprint keys both the result cache and the dedup registry;
@@ -815,6 +834,22 @@ JobHandle Scheduler::Submit(InspectRequest request) {
   const uint64_t version = session_->catalog_.version();
   const InspectOptions request_options =
       request.options.value_or(session_->config_.options);
+  {
+    // Same admission gates as RunSync, surfaced as a born-terminal handle
+    // (Submit has no Status channel).
+    Status admit = CheckAdmissionDeadline(request_options);
+    if (admit.ok() && failpoint::Armed()) {
+      admit = failpoint::Evaluate("scheduler.admit");
+    }
+    if (!admit.ok()) {
+      auto state = session_->NewJobState();
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->status = JobStatus::kDone;
+      state->result = admit;
+      state->cv.notify_all();
+      return JobHandle(state);
+    }
+  }
   std::optional<uint64_t> fingerprint;
   uint64_t dataset_fp = 0;
   // The fingerprint keys both the result cache and the dedup registry;

@@ -1,0 +1,157 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace deepbase {
+namespace failpoint {
+
+namespace {
+
+struct Site {
+  Action action;
+  Rng rng{0};
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all sites
+  return *registry;
+}
+
+// Armed-site count, readable without the registry mutex.
+std::atomic<uint64_t> g_armed{0};
+
+Status MakeStatus(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::Invalid(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(std::move(msg));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(msg));
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(std::move(msg));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    default:
+      return Status::Internal(std::move(msg));
+  }
+}
+
+}  // namespace
+
+bool Armed() { return g_armed.load(std::memory_order_relaxed) != 0; }
+
+void Arm(const std::string& name, Action action) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Site site;
+  site.rng = Rng(action.seed);
+  site.action = std::move(action);
+  auto [it, inserted] = registry.sites.insert_or_assign(name, std::move(site));
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.sites.erase(name) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed.fetch_sub(registry.sites.size(), std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+Status Evaluate(const char* name) {
+  double delay_s = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  {
+    Registry& registry = TheRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(name);
+    if (it == registry.sites.end()) return Status::OK();
+    Site& site = it->second;
+    const uint64_t hit = site.hits++;
+    if (hit < site.action.skip) return Status::OK();
+    if (site.fires >= site.action.max_fires) return Status::OK();
+    if (site.action.probability < 1.0 &&
+        !site.rng.Bernoulli(site.action.probability)) {
+      return Status::OK();
+    }
+    ++site.fires;
+    delay_s = site.action.delay_s;
+    code = site.action.code;
+    message = site.action.message;
+  }
+  // Sleep off the registry lock so a delay site never serializes
+  // unrelated failpoint evaluations.
+  if (delay_s > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+  }
+  if (code == StatusCode::kOk) return Status::OK();
+  std::string msg = "failpoint ";
+  msg += name;
+  if (!message.empty()) {
+    msg += ": ";
+    msg += message;
+  }
+  return MakeStatus(code, std::move(msg));
+}
+
+uint64_t Hits(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t Fires(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& [name, site] : registry.sites) names.push_back(name);
+  return names;
+}
+
+}  // namespace failpoint
+}  // namespace deepbase

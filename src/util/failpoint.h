@@ -1,0 +1,82 @@
+// Named failpoints for deterministic fault injection. A failpoint is a
+// site in production code (`DB_FAILPOINT("store.blob.read")`) that does
+// nothing until a test arms it with an Action — return a typed error,
+// inject a delay, fire from the Nth hit on, fire at most K times, or
+// fire probabilistically from a seeded deterministic PRNG. The disarmed
+// fast path is a single relaxed atomic load (no lock, no map lookup), so
+// sites are safe on hot paths; arming is a test-only operation and takes
+// a registry mutex.
+//
+// Sites live in functions returning Status or Result<T>; the macro
+// injects by returning from the enclosing function, exactly as if the
+// guarded operation had failed. The catalog of wired sites is documented
+// in README.md ("Failure model, deadlines & degradation").
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepbase {
+namespace failpoint {
+
+/// \brief What an armed failpoint does on each hit.
+struct Action {
+  /// Error injected when the point fires. kOk = delay-only site (sleep,
+  /// then pass through).
+  StatusCode code = StatusCode::kInternal;
+  /// Appended to the injected error's "failpoint <name>" message.
+  std::string message;
+  /// Sleep applied on every firing hit, before the error (if any).
+  double delay_s = 0;
+  /// Pass through this many hits before the point starts firing
+  /// ("trigger on nth hit": skip = n - 1).
+  uint64_t skip = 0;
+  /// Stop firing after this many fires; later hits pass through.
+  uint64_t max_fires = UINT64_MAX;
+  /// Chance that an eligible hit fires; drawn from a deterministic PRNG
+  /// seeded with `seed`, so a fault schedule replays exactly.
+  double probability = 1.0;
+  uint64_t seed = 0;
+};
+
+/// \brief True when at least one failpoint is armed anywhere. Relaxed
+/// atomic load; the DB_FAILPOINT macro gates on this so disarmed builds
+/// never touch the registry.
+bool Armed();
+
+/// \brief Evaluate a site. OK when the site is disarmed or this hit
+/// passes through; otherwise the injected error. May sleep (delay_s).
+Status Evaluate(const char* name);
+
+/// \brief Arm (or re-arm, resetting counters) a site by name.
+void Arm(const std::string& name, Action action);
+
+/// \brief Disarm one site / every site. Counters are discarded.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// \brief Hits observed by an armed site (including pass-throughs) and
+/// the subset that fired. Zero for disarmed sites.
+uint64_t Hits(const std::string& name);
+uint64_t Fires(const std::string& name);
+
+/// \brief Names of all currently armed sites (for test diagnostics).
+std::vector<std::string> ArmedSites();
+
+}  // namespace failpoint
+}  // namespace deepbase
+
+/// Site marker: evaluates the named failpoint and, if it injects an
+/// error, returns it from the enclosing function (which must return
+/// Status or Result<T>). Disarmed cost: one relaxed atomic load.
+#define DB_FAILPOINT(name)                                               \
+  do {                                                                   \
+    if (::deepbase::failpoint::Armed()) {                                \
+      ::deepbase::Status _db_fp_st = ::deepbase::failpoint::Evaluate(name); \
+      if (!_db_fp_st.ok()) return _db_fp_st;                             \
+    }                                                                    \
+  } while (false)

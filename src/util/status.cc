@@ -31,6 +31,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -47,6 +49,8 @@ uint16_t StatusCodeToWire(StatusCode code) {
       return 1;
     case StatusCode::kInvalidArgument:
       return 3;
+    case StatusCode::kDeadlineExceeded:
+      return 4;
     case StatusCode::kNotFound:
       return 5;
     case StatusCode::kAlreadyExists:
@@ -77,6 +81,8 @@ StatusCode StatusCodeFromWire(uint16_t wire) {
       return StatusCode::kCancelled;
     case 3:
       return StatusCode::kInvalidArgument;
+    case 4:
+      return StatusCode::kDeadlineExceeded;
     case 5:
       return StatusCode::kNotFound;
     case 6:

@@ -26,6 +26,7 @@ enum class StatusCode {
   kCancelled,
   kResourceExhausted,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// \brief Canonical name of a status code ("InvalidArgument", "NotFound",
@@ -83,6 +84,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -191,9 +191,10 @@ TEST_F(StoreFixture, ZeroBudgetDisablesMemoryTier) {
   EXPECT_EQ(store.mem_hits(), 0u);
 }
 
-TEST_F(StoreFixture, CorruptionIsDetected) {
+TEST_F(StoreFixture, CorruptionQuarantinesAndReadsAsMiss) {
   BehaviorStore store(dir_.string());
-  ASSERT_TRUE(store.Put("fragile", TestMatrix(8, 8, 4)).ok());
+  const Matrix original = TestMatrix(8, 8, 4);
+  ASSERT_TRUE(store.Put("fragile", original).ok());
   store.EvictFromMemory("fragile");
   // Flip one payload byte in the single stored file.
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
@@ -206,7 +207,26 @@ TEST_F(StoreFixture, CorruptionIsDetected) {
     c = static_cast<char>(c ^ 0x40);
     f.write(&c, 1);
   }
-  EXPECT_EQ(store.Get("fragile").status().code(), StatusCode::kDataLoss);
+  // The corrupt file reads as a miss (not kDataLoss), is renamed aside
+  // exactly once, and disappears from the key listing.
+  EXPECT_EQ(store.Get("fragile").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.quarantines(), 1u);
+  EXPECT_TRUE(store.Keys().empty());
+  size_t quarantined_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".quarantined") ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, 1u);
+  // The second read is a plain miss — no second rename.
+  EXPECT_EQ(store.Get("fragile").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.quarantines(), 1u);
+  // Recompute repopulates: a fresh Put serves reads again.
+  ASSERT_TRUE(store.Put("fragile", original).ok());
+  store.EvictFromMemory("fragile");
+  Result<Matrix> back = store.Get("fragile");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows(), original.rows());
+  EXPECT_EQ(back->cols(), original.cols());
 }
 
 TEST_F(StoreFixture, RemoveDeletesBothTiers) {
@@ -306,9 +326,10 @@ TEST_F(StoreFixture, BlobNamespaceQuotaEvictsOldestWritten) {
   EXPECT_TRUE(store.ContainsBlob("cache:dd"));
 }
 
-TEST_F(StoreFixture, BlobCorruptionIsDetected) {
+TEST_F(StoreFixture, BitFlippedBlobQuarantinesOnceAndRepopulates) {
   BehaviorStore store(dir_.string());
-  ASSERT_TRUE(store.PutBlob("cache:c", std::string(256, 'z')).ok());
+  const std::string payload(256, 'z');
+  ASSERT_TRUE(store.PutBlob("cache:c", payload).ok());
   // Flip a payload byte in the single .blob file.
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     if (entry.path().extension() != ".blob") continue;
@@ -317,7 +338,43 @@ TEST_F(StoreFixture, BlobCorruptionIsDetected) {
     f.seekp(-4, std::ios::end);
     f.put('!');
   }
-  EXPECT_EQ(store.GetBlob("cache:c").status().code(), StatusCode::kDataLoss);
+  // Checksum mismatch → quarantined exactly once, read as a miss.
+  EXPECT_EQ(store.GetBlob("cache:c").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.quarantines(), 1u);
+  EXPECT_FALSE(store.ContainsBlob("cache:c"));
+  EXPECT_TRUE(store.BlobKeys().empty());
+  EXPECT_EQ(store.GetBlob("cache:c").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.quarantines(), 1u);  // no second rename
+  // Recompute repopulates the entry.
+  ASSERT_TRUE(store.PutBlob("cache:c", payload).ok());
+  Result<std::string> back = store.GetBlob("cache:c");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST_F(StoreFixture, TruncatedBlobQuarantinesOnceAndRepopulates) {
+  BehaviorStore store(dir_.string());
+  const std::string payload(512, 'q');
+  ASSERT_TRUE(store.PutBlob("cache:t", payload).ok());
+  // Truncate the file mid-payload (a torn write / partial disk).
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".blob") continue;
+    std::filesystem::resize_file(entry.path(),
+                                 entry.file_size() - payload.size() / 2);
+  }
+  EXPECT_EQ(store.GetBlob("cache:t").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.quarantines(), 1u);
+  size_t quarantined_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".quarantined") ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, 1u);
+  EXPECT_EQ(store.GetBlob("cache:t").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.quarantines(), 1u);
+  ASSERT_TRUE(store.PutBlob("cache:t", payload).ok());
+  Result<std::string> back = store.GetBlob("cache:t");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
 }
 
 TEST(DatasetFingerprintTest, SensitiveToContentAndShape) {

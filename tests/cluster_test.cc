@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,6 +26,7 @@
 #include "cluster/worker.h"
 #include "measures/multivariate_mi.h"
 #include "measures/scores.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace deepbase {
@@ -849,6 +851,157 @@ TEST(ClusterEndToEndTest, StoreKeymapReachesEveryWorker) {
   worker1.Shutdown();
   worker2.Shutdown();
   coordinator.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: availability over scale-out.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterDegradationTest, QuorumLossDegradesToLocalEngineWhenOptedIn) {
+  // Same zero-worker setup as NoWorkersYieldsUnavailable — but with
+  // degrade_to_local the job completes on the coordinator's own engine
+  // instead of failing kUnavailable (the pre-degradation behavior).
+  World coord_world;
+  cluster::CoordinatorConfig config;
+  config.install_engine = false;
+  config.degrade_to_local = true;
+  cluster::ClusterCoordinator coordinator(&coord_world.session, config);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  World local;
+  Result<ResultTable> reference = local.session.Inspect(ExactRequest());
+  ASSERT_TRUE(reference.ok());
+
+  RuntimeStats stats;
+  Result<ResultTable> result = coordinator.DistributedRun(
+      ExactRequest(), coord_world.session.default_options(), &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->SerializeToString(), reference->SerializeToString());
+
+  const cluster::CoordinatorStats cstats = coordinator.stats();
+  EXPECT_EQ(cstats.jobs_degraded_local, 1u);
+  EXPECT_EQ(cstats.jobs_failed, 0u);
+  coordinator.Shutdown();
+}
+
+TEST(ClusterDegradationTest, AttemptExhaustionDegradesToLocalEngine) {
+  // The only worker stalls forever; with max_attempts = 1 and a short
+  // assignment timeout, the job burns its attempts without finishing.
+  // Pre-degradation this returned kUnavailable; opted in, it falls back
+  // to the local engine and still produces the reference table.
+  World local;
+  Result<ResultTable> reference = local.session.Inspect(ExactRequest());
+  ASSERT_TRUE(reference.ok());
+
+  World coord_world;
+  cluster::CoordinatorConfig config;
+  config.install_engine = false;
+  config.degrade_to_local = true;
+  config.assign_timeout_s = 0.05;
+  config.reassign_backoff_s = 0.005;
+  config.max_attempts = 1;
+  cluster::ClusterCoordinator coordinator(&coord_world.session, config);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  World stalled_world;
+  cluster::InspectionWorker stalled(&stalled_world.session,
+                                    {.worker_id = "w-stalled",
+                                     .coordinator_port = coordinator.port(),
+                                     .assignment_delay_s = 30.0});
+  ASSERT_TRUE(stalled.Connect().ok());
+  ASSERT_TRUE(WaitForWorkers(coordinator, 1));
+
+  RuntimeStats stats;
+  Result<ResultTable> result = coordinator.DistributedRun(
+      ExactRequest(), coord_world.session.default_options(), &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->SerializeToString(), reference->SerializeToString());
+  EXPECT_GE(coordinator.stats().jobs_degraded_local, 1u);
+  EXPECT_EQ(coordinator.stats().jobs_failed, 0u);
+
+  stalled.Kill();  // don't wait out the 30 s stall on Shutdown
+  coordinator.Shutdown();
+}
+
+TEST(ClusterDegradationTest, InjectedDispatchFaultDegradesButDeadlineNever) {
+  World coord_world;
+  cluster::CoordinatorConfig config;
+  config.install_engine = false;
+  config.degrade_to_local = true;
+  cluster::ClusterCoordinator coordinator(&coord_world.session, config);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  // An injected kUnavailable at dispatch degrades...
+  failpoint::Action action;
+  action.code = StatusCode::kUnavailable;
+  action.message = "injected dispatch outage";
+  action.max_fires = 1;
+  failpoint::Arm("cluster.dispatch", action);
+  RuntimeStats stats;
+  Result<ResultTable> degraded = coordinator.DistributedRun(
+      ExactRequest(), coord_world.session.default_options(), &stats);
+  EXPECT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(coordinator.stats().jobs_degraded_local, 1u);
+
+  // ...but a deadline error is never degraded: a local rerun would be
+  // just as late. It surfaces typed, and counts as a failure.
+  failpoint::Action late;
+  late.code = StatusCode::kDeadlineExceeded;
+  late.message = "injected deadline expiry";
+  late.max_fires = 1;
+  failpoint::Arm("cluster.dispatch", late);
+  Result<ResultTable> expired = coordinator.DistributedRun(
+      ExactRequest(), coord_world.session.default_options(), &stats);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(coordinator.stats().jobs_degraded_local, 1u);
+  EXPECT_EQ(coordinator.stats().jobs_failed, 1u);
+  coordinator.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Config validation.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterConfigValidationTest, CoordinatorRejectsNonpositiveTimeouts) {
+  World world;
+  for (auto mutate : std::vector<std::function<void(
+           cluster::CoordinatorConfig&)>>{
+           [](auto& c) { c.heartbeat_timeout_s = 0.0; },
+           [](auto& c) { c.heartbeat_timeout_s = -1.0; },
+           [](auto& c) { c.assign_timeout_s = 0.0; },
+           [](auto& c) { c.assign_timeout_s = -2.5; },
+           [](auto& c) { c.reassign_backoff_s = -0.01; },
+           [](auto& c) { c.max_attempts = 0; }}) {
+    cluster::CoordinatorConfig config;
+    config.install_engine = false;
+    mutate(config);
+    cluster::ClusterCoordinator coordinator(&world.session, config);
+    Status status = coordinator.Start();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status.ToString();
+  }
+}
+
+TEST(ClusterConfigValidationTest, WorkerRejectsNonpositiveTimeouts) {
+  World world;
+  for (auto mutate :
+       std::vector<std::function<void(cluster::WorkerConfig&)>>{
+           [](auto& c) { c.heartbeat_interval_s = 0.0; },
+           [](auto& c) { c.heartbeat_interval_s = -1.0; },
+           [](auto& c) { c.assignment_delay_s = -0.5; }}) {
+    cluster::WorkerConfig config;
+    config.worker_id = "w-bad";
+    config.coordinator_port = 1;  // never dialed: validation fails first
+    mutate(config);
+    cluster::InspectionWorker worker(&world.session, config);
+    Status status = worker.Connect();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status.ToString();
+  }
 }
 
 }  // namespace

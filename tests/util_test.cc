@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -51,6 +54,7 @@ TEST(StatusTest, WireCodesRoundTripEveryEnumerator) {
       StatusCode::kInternal,     StatusCode::kIOError,
       StatusCode::kDataLoss,     StatusCode::kCancelled,
       StatusCode::kResourceExhausted, StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
   };
   for (StatusCode code : codes) {
     EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code)
@@ -58,6 +62,129 @@ TEST(StatusTest, WireCodesRoundTripEveryEnumerator) {
   }
   // Unknown wire values from a newer peer degrade to Internal.
   EXPECT_EQ(StatusCodeFromWire(9999), StatusCode::kInternal);
+}
+
+TEST(StatusTest, DeadlineExceededNameFactoryAndWireValue) {
+  const Status st = Status::DeadlineExceeded("budget spent");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(st.ToString(), "DeadlineExceeded: budget spent");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  // Pinned to gRPC's DEADLINE_EXCEEDED so the wire value never drifts.
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kDeadlineExceeded), 4);
+  EXPECT_EQ(StatusCodeFromWire(4), StatusCode::kDeadlineExceeded);
+}
+
+// --- Failpoints ------------------------------------------------------------
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+Status GuardedOperation() {
+  DB_FAILPOINT("test.guarded");
+  return Status::OK();
+}
+
+Result<int> GuardedResultOperation() {
+  DB_FAILPOINT("test.guarded");
+  return 42;
+}
+
+TEST_F(FailpointTest, DisarmedSitePassesThrough) {
+  EXPECT_FALSE(failpoint::Armed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedSiteInjectsTypedErrorInStatusAndResult) {
+  failpoint::Action action;
+  action.code = StatusCode::kIOError;
+  action.message = "disk unplugged";
+  failpoint::Arm("test.guarded", action);
+  EXPECT_TRUE(failpoint::Armed());
+
+  const Status st = GuardedOperation();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("test.guarded"), std::string::npos);
+  EXPECT_NE(st.message().find("disk unplugged"), std::string::npos);
+
+  Result<int> r = GuardedResultOperation();
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 2u);
+  EXPECT_EQ(failpoint::Fires("test.guarded"), 2u);
+
+  failpoint::Disarm("test.guarded");
+  EXPECT_FALSE(failpoint::Armed());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, SkipFiresFromNthHit) {
+  failpoint::Action action;
+  action.code = StatusCode::kUnavailable;
+  action.skip = 2;  // fire on the 3rd hit
+  failpoint::Arm("test.guarded", action);
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 3u);
+  EXPECT_EQ(failpoint::Fires("test.guarded"), 1u);
+}
+
+TEST_F(FailpointTest, MaxFiresBoundsInjection) {
+  failpoint::Action action;
+  action.code = StatusCode::kUnavailable;
+  action.max_fires = 1;
+  failpoint::Arm("test.guarded", action);
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());  // budget spent: pass through
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(failpoint::Fires("test.guarded"), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilisticFiringIsSeededAndDeterministic) {
+  auto run_schedule = [](uint64_t seed) {
+    failpoint::Action action;
+    action.code = StatusCode::kIOError;
+    action.probability = 0.5;
+    action.seed = seed;
+    failpoint::Arm("test.guarded", action);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!GuardedOperation().ok());
+    failpoint::Disarm("test.guarded");
+    return fired;
+  };
+  const std::vector<bool> a = run_schedule(7);
+  const std::vector<bool> b = run_schedule(7);
+  EXPECT_EQ(a, b);  // same seed → identical schedule
+  const size_t fires = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fires, 0u);   // p=0.5 over 64 hits: both outcomes occur
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FailpointTest, DelayOnlyActionSleepsAndPassesThrough) {
+  failpoint::Action action;
+  action.code = StatusCode::kOk;  // delay-only
+  action.delay_s = 0.02;
+  failpoint::Arm("test.guarded", action);
+  Stopwatch watch;
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_GE(watch.Seconds(), 0.015);
+  EXPECT_EQ(failpoint::Fires("test.guarded"), 1u);
+}
+
+TEST_F(FailpointTest, ArmedSitesListsAndRearmResetsCounters) {
+  failpoint::Arm("test.guarded", {});
+  failpoint::Arm("test.other", {});
+  std::vector<std::string> sites = failpoint::ArmedSites();
+  std::sort(sites.begin(), sites.end());
+  EXPECT_EQ(sites,
+            (std::vector<std::string>{"test.guarded", "test.other"}));
+  (void)GuardedOperation();
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 1u);
+  failpoint::Arm("test.guarded", {});  // re-arm resets counters
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 0u);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
