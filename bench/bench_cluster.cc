@@ -170,8 +170,18 @@ struct Cell {
   double seconds = 0;
   size_t records = 0;        // sum of stats.records_processed over jobs
   uint64_t assignments = 0;  // coordinator assignments_sent for the cell
+  // Summed RuntimeStats phases over the cell's jobs: coordinator
+  // wall-clock for the cross-worker state merge, and the distributed
+  // overhead (wire transfer + worker queueing + backoff) as worker_hop.
+  // Worker-side extract/score CPU time stays on the workers (it travels
+  // as trace spans, not stats).
+  double phase_merge_s = 0;
+  double phase_worker_hop_s = 0;
 
   double records_per_s() const { return seconds > 0 ? records / seconds : 0; }
+  double phase_mean(double sum) const {
+    return jobs > 0 ? sum / static_cast<double>(jobs) : 0;
+  }
 };
 
 /// One scale-out cell: a coordinator + `num_workers` workers, running
@@ -215,6 +225,8 @@ Cell RunScaleCell(const WorldParams& params, size_t num_workers,
         request, coord_world.session.default_options(), &stats);
     DB_CHECK_OK(result.status());
     cell.records += stats.records_processed;
+    cell.phase_merge_s += stats.merge_s;
+    cell.phase_worker_hop_s += stats.worker_hop_s;
     if (j == 0) *table_bytes = result->SerializeToString();
   }
   cell.seconds = watch.Seconds();
@@ -305,9 +317,13 @@ void WriteJson(const std::string& path, const WorldParams& params,
     const Cell& c = cells[i];
     std::fprintf(f,
                  "    {\"workers\": %zu, \"seconds\": %.6f, "
-                 "\"records_per_s\": %.1f, \"assignments\": %llu}%s\n",
+                 "\"records_per_s\": %.1f, \"assignments\": %llu, "
+                 "\"phase_merge_s_mean\": %.6f, "
+                 "\"phase_worker_hop_s_mean\": %.6f}%s\n",
                  c.workers, c.seconds, c.records_per_s(),
                  static_cast<unsigned long long>(c.assignments),
+                 c.phase_mean(c.phase_merge_s),
+                 c.phase_mean(c.phase_worker_hop_s),
                  i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

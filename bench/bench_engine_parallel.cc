@@ -106,11 +106,13 @@ void WriteJson(const std::string& path, const Workload& w,
                  "    {\"num_shards\": %zu, \"seconds\": %.6f, "
                  "\"records_per_s\": %.1f, \"speedup_vs_1\": %.3f, "
                  "\"unit_extraction_s\": %.6f, \"hyp_extraction_s\": %.6f, "
-                 "\"inspection_s\": %.6f, \"blocks\": %zu}%s\n",
+                 "\"inspection_s\": %.6f, \"phase_merge_s\": %.6f, "
+                 "\"blocks\": %zu}%s\n",
                  c.num_shards, c.seconds, rps,
                  c.seconds > 0 ? base / c.seconds : 0,
                  c.stats.unit_extraction_s, c.stats.hyp_extraction_s,
-                 c.stats.inspection_s, c.stats.blocks_processed,
+                 c.stats.inspection_s, c.stats.merge_s,
+                 c.stats.blocks_processed,
                  i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -58,8 +58,23 @@ struct Cell {
   size_t scan_shared_hits = 0;  // blocks served from the shared scan
   size_t result_cache_hits = 0;
   size_t dedup_followers = 0;   // jobs served by attaching to a leader
+  // Summed critical-path phases from each job's JobSummary (queue wait,
+  // extraction CPU, scoring CPU, replica merge).
+  double phase_queue_s = 0;
+  double phase_extract_s = 0;
+  double phase_score_s = 0;
+  double phase_merge_s = 0;
 
   double jobs_per_s() const { return seconds > 0 ? jobs / seconds : 0; }
+  double phase_mean(double sum) const {
+    return jobs > 0 ? sum / static_cast<double>(jobs) : 0;
+  }
+  void AddPhases(const JobSummary& summary) {
+    phase_queue_s += summary.queue_s;
+    phase_extract_s += summary.extract_s;
+    phase_score_s += summary.score_s;
+    phase_merge_s += summary.merge_s;
+  }
 };
 
 struct Workload {
@@ -117,6 +132,7 @@ Cell RunCell(const Workload& w, const std::string& name,
     cell.scan_shared_hits += stats.scan_shared_hits;
     cell.result_cache_hits += stats.result_cache_hits;
     cell.dedup_followers += stats.dedup_hits;
+    cell.AddPhases(job.Summary());
   }
   cell.seconds = watch.Seconds();
   return cell;
@@ -157,6 +173,7 @@ Cell RunDedupedCell(const Workload& w, LstmLmExtractor* extractor) {
     cell.scan_shared_hits += stats.scan_shared_hits;
     cell.result_cache_hits += stats.result_cache_hits;
     cell.dedup_followers += stats.dedup_hits;
+    cell.AddPhases(job.Summary());
   }
   cell.seconds = watch.Seconds();
   return cell;
@@ -215,6 +232,7 @@ Cell RunPersistentCell(const Workload& w, LstmLmExtractor* extractor) {
     const RuntimeStats stats = job.Stats();
     cell.blocks += stats.blocks_processed;
     cell.result_cache_hits += stats.result_cache_hits;
+    cell.AddPhases(job.Summary());
   }
   cell.seconds = watch.Seconds();
   cold.reset();
@@ -252,10 +270,18 @@ void WriteJson(const std::string& path, const Workload& w,
                  "\"scan_extractions\": %zu, \"scan_shared_hits\": %zu, "
                  "\"extraction_passes_saved\": %.2f, "
                  "\"result_cache_hit_rate\": %.2f, "
-                 "\"dedup_followers\": %zu}%s\n",
+                 "\"dedup_followers\": %zu, "
+                 "\"phase_queue_s_mean\": %.6f, "
+                 "\"phase_extract_s_mean\": %.6f, "
+                 "\"phase_score_s_mean\": %.6f, "
+                 "\"phase_merge_s_mean\": %.6f}%s\n",
                  c.name.c_str(), c.seconds, c.jobs_per_s(), c.blocks,
                  c.scan_extractions, c.scan_shared_hits, passes_saved,
                  hit_rate, c.dedup_followers,
+                 c.phase_mean(c.phase_queue_s),
+                 c.phase_mean(c.phase_extract_s),
+                 c.phase_mean(c.phase_score_s),
+                 c.phase_mean(c.phase_merge_s),
                  i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -11,13 +11,15 @@
 //   4. the server stats RPC (the over-the-wire view of the scheduler)
 //
 // Usage: ./build/examples/inspect_client --port N [--host H]
-//            [--measure NAME] [--once]
+//            [--measure NAME] [--once] [--metrics]
 //
 // --measure picks the measure (default pearson; jaccard's integer-count
 // merge is bit-identical at any cluster worker count). --once runs just
 // the single inspection and prints the rows in a stable, byte-
 // comparable format — the mode scripts use to verify run-to-run and
-// cluster determinism.
+// cluster determinism. --metrics skips the demo entirely and prints the
+// server's Prometheus exposition (the kMetrics RPC) — what a scrape job
+// or the check.sh smoke test sees.
 
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +63,19 @@ int main(int argc, char** argv) {
                  connected.ToString().c_str());
     return 1;
   }
+  // --metrics: fetch + print the Prometheus exposition and exit. Quiet
+  // on success so the output is pure exposition text (scrape-friendly).
+  if (HasFlag(argc, argv, "--metrics")) {
+    Result<std::string> text = client.Metrics();
+    if (!text.ok()) {
+      std::fprintf(stderr, "metrics failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+
   std::printf("connected to %s:%u (server catalog version %llu)\n",
               config.host.c_str(), config.port,
               static_cast<unsigned long long>(

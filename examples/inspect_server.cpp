@@ -8,7 +8,12 @@
 //
 // Usage:
 //   ./build/examples/inspect_server [--port N] [--serve-for SECONDS]
-//       [--cluster] [--no-result-cache]
+//       [--cluster] [--no-result-cache] [--metrics-dump SECONDS]
+//
+// --metrics-dump N logs one METRICS line (submitted/completed job
+// counts, queue depth, p-histogram count) every N seconds — the
+// poor-man's scrape for setups without a Prometheus collector; the
+// kMetrics wire request serves the full exposition.
 //
 // Prints "LISTENING <port>" once ready (port 0 = ephemeral, so scripts
 // can parse the actual port). With --cluster it additionally starts a
@@ -35,6 +40,7 @@
 #include "nn/lstm_lm.h"
 #include "server/server.h"
 #include "service/scheduler.h"
+#include "util/metrics.h"
 
 using namespace deepbase;
 
@@ -140,12 +146,50 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  const double metrics_dump_s =
+      std::atof(FlagValue(argc, argv, "--metrics-dump", "0"));
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(serve_for));
+  auto next_dump =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(metrics_dump_s));
   while (g_stop == 0) {
     if (serve_for > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    if (metrics_dump_s > 0 &&
+        std::chrono::steady_clock::now() >= next_dump) {
+      next_dump += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(metrics_dump_s));
+      const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+      uint64_t submitted = 0, ok = 0;
+      int64_t queue_depth = 0;
+      uint64_t latency_count = 0;
+      double latency_sum = 0;
+      for (const auto& [name, value] : snap.counters) {
+        if (name == "deepbase_jobs_submitted_total") submitted = value;
+        if (name == "deepbase_jobs_total{status=\"ok\"}") ok = value;
+      }
+      for (const auto& [name, value] : snap.gauges) {
+        if (name == "deepbase_queue_depth") queue_depth = value;
+      }
+      for (const auto& [name, hist] : snap.histograms) {
+        if (name == "deepbase_job_latency_seconds") {
+          latency_count = hist.count;
+          latency_sum = hist.sum;
+        }
+      }
+      std::printf(
+          "METRICS submitted=%llu ok=%llu queue_depth=%lld "
+          "latency_count=%llu latency_sum_s=%.3f\n",
+          static_cast<unsigned long long>(submitted),
+          static_cast<unsigned long long>(ok),
+          static_cast<long long>(queue_depth),
+          static_cast<unsigned long long>(latency_count), latency_sum);
+      std::fflush(stdout);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 

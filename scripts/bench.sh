@@ -13,7 +13,9 @@
 # mid-job worker-kill reassignment latency). Also runs the
 # store-reinspection ablation and, when google-benchmark is available,
 # the bench_micro engine cells, so one command captures the whole
-# hot-path picture.
+# hot-path picture. Every bench JSON is asserted to carry its
+# phase-breakdown keys (queue/extract/score/merge/wire/worker-hop, as
+# applicable) before the run counts as green.
 #
 # Usage: scripts/bench.sh [build_dir] [max_shards]
 #   build_dir   default: build
@@ -55,6 +57,30 @@ echo "== server throughput (concurrent TCP clients over loopback) =="
 echo "== cluster scale-out (1/2/4 workers + reassignment latency) =="
 "$BUILD_DIR/bench/bench_cluster" --jobs 4 \
     --out "$REPO_ROOT/BENCH_cluster_scaleout.json"
+
+echo "== phase-breakdown keys present in every bench JSON =="
+# The observability contract: each bench exports its critical-path phase
+# breakdown, so perf-trajectory diffs can attribute a regression to a
+# phase, not just a total. A missing key means the bench silently lost
+# its breakdown — fail loudly.
+assert_keys() {
+  local file="$1"; shift
+  for key in "$@"; do
+    grep -qF "\"$key\"" "$file" || {
+      echo "$file is missing phase key \"$key\""; exit 1
+    }
+  done
+}
+assert_keys "$REPO_ROOT/BENCH_engine_parallel.json" phase_merge_s
+assert_keys "$REPO_ROOT/BENCH_scheduler_batch.json" \
+    phase_queue_s_mean phase_extract_s_mean phase_score_s_mean \
+    phase_merge_s_mean
+assert_keys "$REPO_ROOT/BENCH_server_throughput.json" \
+    phase_queue_s_mean phase_extract_s_mean phase_score_s_mean \
+    phase_merge_s_mean phase_wire_s_mean phase_worker_hop_s_mean \
+    phase_coverage
+assert_keys "$REPO_ROOT/BENCH_cluster_scaleout.json" \
+    phase_merge_s_mean phase_worker_hop_s_mean
 
 if [ "$HAVE_MICRO" = "1" ]; then
   echo "== bench_micro engine cells =="

@@ -2,7 +2,9 @@
 # CI entry point: the tier-1 verify line (configure, build, ctest), a smoke
 # run of the quickstart example through the InspectionSession API, a
 # network-serving smoke (start inspect_server, drive it with
-# inspect_client over loopback, assert a clean graceful-drain shutdown),
+# inspect_client over loopback, scrape the kMetrics endpoint twice and
+# assert the exposition carries the core series with monotonic
+# counters, then assert a clean graceful-drain shutdown),
 # a multi-process distributed-cluster smoke (coordinator + workers as
 # separate processes; one worker SIGKILLed mid-job; the job completes
 # and the table is bit-identical to the 1-worker baseline), the
@@ -11,7 +13,9 @@
 # dedup, persistent-cache restarts, admission quotas, and the
 # stale-admission regression — the inspection server/client, the
 # cluster coordinator/worker, thread pool, behavior store + blob tier,
-# and the seeded chaos harness driving every failpoint site against a
+# the tracer/metrics observability suite (concurrent scrapes against
+# running jobs), and the seeded chaos harness driving every failpoint
+# site against a
 # mixed local+remote+cluster workload), a short fixed-seed chaos smoke
 # under TSan, an ASan+UBSan build-and-test pass of the full suite, and
 # smokes of the parallel-engine, scheduler, server, and cluster
@@ -56,6 +60,32 @@ if [ -z "$SERVER_PORT" ]; then
   echo "inspect_server did not come up"; cat "$SERVER_LOG"; exit 1
 fi
 "$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" >/dev/null
+
+echo "== smoke: metrics endpoint (Prometheus scrape x2, monotonic counters) =="
+SCRAPE1="$(mktemp)"; SCRAPE2="$(mktemp)"
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" --metrics >"$SCRAPE1"
+for metric in deepbase_jobs_submitted_total \
+              'deepbase_jobs_total{status="ok"}' \
+              deepbase_queue_depth \
+              deepbase_job_latency_seconds_bucket \
+              deepbase_job_latency_seconds_count \
+              deepbase_server_connections_total; do
+  grep -qF "$metric" "$SCRAPE1" || {
+    echo "metrics scrape is missing $metric"; cat "$SCRAPE1"; exit 1
+  }
+done
+# More jobs between scrapes: the submit counter must strictly grow.
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" >/dev/null
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" --metrics >"$SCRAPE2"
+SUBMITTED1="$(awk '$1 == "deepbase_jobs_submitted_total" {print $2}' "$SCRAPE1")"
+SUBMITTED2="$(awk '$1 == "deepbase_jobs_submitted_total" {print $2}' "$SCRAPE2")"
+if [ -z "$SUBMITTED1" ] || [ -z "$SUBMITTED2" ] ||
+   [ "$SUBMITTED2" -le "$SUBMITTED1" ]; then
+  echo "deepbase_jobs_submitted_total not monotonic across scrapes" \
+       "($SUBMITTED1 -> $SUBMITTED2)"
+  exit 1
+fi
+rm -f "$SCRAPE1" "$SCRAPE2"
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 grep -q "clean shutdown" "$SERVER_LOG" || {
@@ -131,10 +161,10 @@ echo "== tsan: concurrency suites =="
 cmake -B "$TSAN_DIR" -S . -DDEEPBASE_TSAN=ON >/dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" --target parallel_engine_test \
       service_test scheduler_test server_test util_test \
-      behavior_store_test cluster_test chaos_test
+      behavior_store_test cluster_test chaos_test observability_test
 (cd "$TSAN_DIR" &&
  ctest --output-on-failure -j 1 \
-       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test|cluster_test|chaos_test')
+       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test|cluster_test|chaos_test|observability_test')
 
 echo "== tsan: chaos smoke (fixed seed, short schedule) =="
 DEEPBASE_CHAOS_SEED=805381 DEEPBASE_CHAOS_STEPS=16 \

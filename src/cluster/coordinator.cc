@@ -15,7 +15,9 @@
 
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace deepbase {
 namespace cluster {
@@ -23,6 +25,28 @@ namespace cluster {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Cluster-layer metrics (handles cached once; see util/metrics.h).
+struct ClusterMetrics {
+  Counter* assignments = nullptr;
+  Counter* reassignments = nullptr;
+  Counter* degraded = nullptr;
+  Gauge* workers = nullptr;
+};
+
+ClusterMetrics& Metrics() {
+  static ClusterMetrics* metrics = [] {
+    auto* m = new ClusterMetrics();
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    m->assignments = reg.GetCounter("deepbase_cluster_assignments_total");
+    m->reassignments =
+        reg.GetCounter("deepbase_cluster_reassignments_total");
+    m->degraded = reg.GetCounter("deepbase_cluster_jobs_degraded_total");
+    m->workers = reg.GetGauge("deepbase_cluster_workers");
+    return m;
+  }();
+  return *metrics;
+}
 
 /// Mirror of the pipeline's shard-count clamp (block_pipeline.cc
 /// kMaxShards): the effective, clamped count keys the determinism
@@ -158,6 +182,7 @@ void ClusterCoordinator::MarkWorkerDeadLocked(
   if (!worker->alive) return;
   worker->alive = false;
   ++stats_.workers_lost;
+  Metrics().workers->Sub(1);
   // Unblock a reader parked on the dead connection and wake every run
   // waiting on cv_ so its reassignment scan sees the death promptly.
   ::shutdown(worker->fd, SHUT_RDWR);
@@ -240,6 +265,7 @@ void ClusterCoordinator::ServeWorker(const std::shared_ptr<Worker>& worker) {
         worker->alive = true;
         worker->last_heartbeat = Clock::now();
         ++stats_.workers_registered;
+        Metrics().workers->Add(1);
         live_count = LiveWorkersLocked().size();
       }
       wire::Writer w;
@@ -316,6 +342,7 @@ void ClusterCoordinator::ServeWorker(const std::shared_ptr<Worker>& worker) {
         Assignment& a = it->second.first->assignments[it->second.second];
         a.result = std::move(result);
         a.done = true;
+        a.done_ns = TraceNowNs();
         ++stats_.assignments_completed;
         cv_.notify_all();
         break;
@@ -374,6 +401,13 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
   if (!plan_or.ok()) return plan_or.status();
   InspectPlan plan = std::move(plan_or).ValueOrDie();
 
+  // The scheduler's Execute installed the job tracer into the request's
+  // options, so the coordinator's dispatch/merge spans and the imported
+  // worker spans all land in the same per-job trace.
+  Tracer* tracer = plan.options.tracer;
+  TraceContext trace{tracer, plan.options.trace_parent_span};
+  DB_SPAN_NAMED(run_span, trace, "coord.run");
+
   // Requests holding inline pointers (extractors, datasets, hypothesis or
   // measure objects) have no identity across the wire; run them on the
   // local engine instead of failing them.
@@ -397,6 +431,7 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
   auto fail_or_degrade = [&](const Status& why) -> Result<ResultTable> {
     if (config_.degrade_to_local &&
         why.code() == StatusCode::kUnavailable) {
+      Metrics().degraded->Inc();
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.jobs_degraded_local;
@@ -485,6 +520,13 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
         aw.total_shards = total_shards;
         aw.shard_lo = range.lo;
         aw.shard_hi = range.hi;
+        // Pre-allocate the dispatch span: its id is baked into the cached
+        // payload (the worker parents its root to it), and the span itself
+        // is recorded once the assignment resolves.
+        if (tracer != nullptr) {
+          aw.trace_id = tracer->trace_id();
+          aw.parent_span = NewSpanId();
+        }
         aw.request = wire_request;
         wire::Writer w;
         const Status st = wire::EncodeAssignment(aw, &w);
@@ -492,6 +534,7 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
         Assignment a;
         a.id = aw.assignment_id;
         a.shard_lo = range.lo;
+        a.dispatch_span = aw.parent_span;
         a.payload = w.Take();
         a.retry_at = Clock::now();
         run->assignments.push_back(std::move(a));
@@ -504,12 +547,17 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
       aw.total_shards = 1;
       aw.shard_lo = 0;
       aw.shard_hi = 1;
+      if (tracer != nullptr) {
+        aw.trace_id = tracer->trace_id();
+        aw.parent_span = NewSpanId();
+      }
       aw.request = wire_request;
       wire::Writer w;
       const Status st = wire::EncodeAssignment(aw, &w);
       DB_DCHECK(st.ok());
       Assignment a;
       a.id = aw.assignment_id;
+      a.dispatch_span = aw.parent_span;
       a.payload = w.Take();
       a.retry_at = Clock::now();
       run->assignments.push_back(std::move(a));
@@ -580,6 +628,7 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
           if (!owner_dead && !timed_out) continue;
           a.owner.clear();
           ++stats_.reassignments;
+          Metrics().reassignments->Inc();
           const double backoff =
               config_.reassign_backoff_s *
               static_cast<double>(1u << std::min(a.attempts, 10));
@@ -626,6 +675,8 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
           a.deadline = plan.options.deadline;
         }
         ++stats_.assignments_sent;
+        Metrics().assignments->Inc();
+        if (a.dispatch_ns == 0) a.dispatch_ns = TraceNowNs();
         sends.emplace_back(target, &a);
       }
       if (run->failed) continue;  // loop re-enters and breaks with status
@@ -706,10 +757,48 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
     if (!a.result.status.ok()) return fail_or_degrade(a.result.status);
   }
 
-  Result<ResultTable> table =
-      sliceable ? MergeSliced(plan, *run)
-                : ResultTable::DeserializeFromString(
-                      run->assignments[0].result.table_bytes);
+  // Stitch the per-worker timelines into the job trace and charge the
+  // wire/queueing overhead of each hop: the dispatch window minus the
+  // worker's own run time is what scale-out cost beyond compute.
+  double worker_hop_s = 0;
+  for (const Assignment& a : run->assignments) {
+    const int64_t dispatch_ns =
+        a.done_ns > a.dispatch_ns ? a.done_ns - a.dispatch_ns : 0;
+    if (dispatch_ns > a.result.run_ns) {
+      worker_hop_s +=
+          static_cast<double>(dispatch_ns - a.result.run_ns) * 1e-9;
+    }
+    if (tracer == nullptr || a.dispatch_span == 0) continue;
+    TraceSpan dispatch;
+    dispatch.span_id = a.dispatch_span;
+    dispatch.parent_id = run_span.id();
+    dispatch.name = "coord.dispatch";
+    dispatch.start_ns = a.dispatch_ns;
+    dispatch.duration_ns = dispatch_ns;
+    dispatch.tags = "assignment=" + std::to_string(a.id) +
+                    ",worker=" + a.owner;
+    tracer->Record(std::move(dispatch));
+    if (!a.result.spans.empty()) {
+      // Re-anchor the worker's clock domain: its root span (the one
+      // parented to our dispatch span) is pinned to our dispatch time.
+      int64_t worker_root_start = 0;
+      for (const TraceSpan& span : a.result.spans) {
+        if (span.parent_id == a.dispatch_span) {
+          worker_root_start = span.start_ns;
+          break;
+        }
+      }
+      tracer->Import(a.result.spans, a.dispatch_ns - worker_root_start);
+    }
+  }
+
+  Stopwatch merge_watch;
+  Result<ResultTable> table = [&]() -> Result<ResultTable> {
+    DB_SPAN(trace, "coord.merge");
+    return sliceable ? MergeSliced(plan, *run)
+                     : ResultTable::DeserializeFromString(
+                           run->assignments[0].result.table_bytes);
+  }();
   if (!table.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.jobs_failed;
@@ -725,6 +814,8 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
     }
     stats->num_shards = sliceable ? total_shards : 1;
     stats->all_converged = all_converged;
+    stats->merge_s = merge_watch.Seconds();
+    stats->worker_hop_s = worker_hop_s;
     stats->total_s = watch.Seconds();
   }
   return table;

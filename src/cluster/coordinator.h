@@ -181,6 +181,12 @@ class ClusterCoordinator {
     wire::AssignResultWire result;
     uint64_t live_blocks = 0;   ///< latest in-flight progress report
     uint64_t live_records = 0;
+    /// Tracing: the dispatch span id baked into the payload (the worker
+    /// parents its local root to it) and the local dispatch timeline —
+    /// first send to done, the anchor for re-basing worker clocks.
+    uint64_t dispatch_span = 0;
+    int64_t dispatch_ns = 0;  ///< 0 until the first send
+    int64_t done_ns = 0;      ///< 0 until the result lands
   };
 
   /// One DistributedRun in flight; guarded by coordinator mu_.

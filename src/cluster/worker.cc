@@ -9,12 +9,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "core/block_pipeline.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace deepbase {
 namespace cluster {
@@ -169,7 +171,8 @@ void InspectionWorker::ReaderLoop() {
 }
 
 wire::AssignResultWire InspectionWorker::RunSliced(
-    const wire::AssignmentWire& assignment, ProgressCounter* progress) {
+    const wire::AssignmentWire& assignment, ProgressCounter* progress,
+    Tracer* tracer, uint64_t parent_span) {
   wire::AssignResultWire out;
   out.assignment_id = assignment.assignment_id;
   out.mode = assignment.mode;
@@ -192,6 +195,8 @@ wire::AssignResultWire InspectionWorker::RunSliced(
   plan.options.pool = session_->thread_pool();
   plan.options.progress = progress;
   plan.options.cancel = &cancel_;
+  plan.options.tracer = tracer;
+  plan.options.trace_parent_span = parent_span;
 
   Stopwatch watch;
   BlockPipeline pipeline(plan.models, *plan.dataset, plan.measures,
@@ -234,7 +239,8 @@ wire::AssignResultWire InspectionWorker::RunSliced(
 }
 
 wire::AssignResultWire InspectionWorker::RunWhole(
-    const wire::AssignmentWire& assignment, ProgressCounter* progress) {
+    const wire::AssignmentWire& assignment, ProgressCounter* progress,
+    Tracer* tracer, uint64_t parent_span) {
   wire::AssignResultWire out;
   out.assignment_id = assignment.assignment_id;
   out.mode = assignment.mode;
@@ -244,6 +250,8 @@ wire::AssignResultWire InspectionWorker::RunWhole(
   }
   request.options->progress = progress;
   request.options->cancel = &cancel_;
+  request.options->tracer = tracer;
+  request.options->trace_parent_span = parent_span;
   RuntimeStats stats;
   Result<ResultTable> result = session_->Inspect(request, &stats);
   if (cancel_.load(std::memory_order_acquire)) {
@@ -293,6 +301,17 @@ void InspectionWorker::ExecutorLoop() {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
     }
+    // Per-assignment tracer: the coordinator minted the trace id; every
+    // span this run records (root "worker.assign" + the pipeline's
+    // extract/score lanes) travels back in the kAssignResult frame, in
+    // this process's clock domain — the coordinator re-anchors on import.
+    std::unique_ptr<Tracer> tracer;
+    uint64_t root_span = 0;
+    if (assignment.trace_id != 0) {
+      tracer = std::make_unique<Tracer>(assignment.trace_id);
+      root_span = NewSpanId();
+    }
+    const int64_t run_start_ns = TraceNowNs();
     wire::AssignResultWire result;
     Status injected = Status::OK();
     if (failpoint::Armed()) {
@@ -305,9 +324,23 @@ void InspectionWorker::ExecutorLoop() {
       result.mode = assignment.mode;
       result.status = injected;
     } else {
-      result = assignment.mode == wire::AssignmentWire::Mode::kWhole
-                   ? RunWhole(assignment, &progress_)
-                   : RunSliced(assignment, &progress_);
+      result =
+          assignment.mode == wire::AssignmentWire::Mode::kWhole
+              ? RunWhole(assignment, &progress_, tracer.get(), root_span)
+              : RunSliced(assignment, &progress_, tracer.get(), root_span);
+    }
+    result.run_ns = TraceNowNs() - run_start_ns;
+    if (tracer != nullptr) {
+      TraceSpan root;
+      root.span_id = root_span;
+      root.parent_id = assignment.parent_span;
+      root.name = "worker.assign";
+      root.start_ns = run_start_ns;
+      root.duration_ns = result.run_ns;
+      root.tags = "worker=" + config_.worker_id + ",assignment=" +
+                  std::to_string(assignment.assignment_id);
+      tracer->Record(std::move(root));
+      result.spans = tracer->Spans();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -111,12 +111,16 @@ class InspectionWorker {
 
   /// Run one sliced assignment through BlockPipeline::RestrictShards and
   /// serialize the partial states; any failure becomes the result status.
+  /// `tracer` (nullable) collects the pipeline's spans under `parent_span`
+  /// for cross-host stitching.
   wire::AssignResultWire RunSliced(const wire::AssignmentWire& assignment,
-                                   ProgressCounter* progress);
+                                   ProgressCounter* progress, Tracer* tracer,
+                                   uint64_t parent_span);
   /// Run one whole assignment through the session (full engine + filter)
   /// and serialize the ResultTable.
   wire::AssignResultWire RunWhole(const wire::AssignmentWire& assignment,
-                                  ProgressCounter* progress);
+                                  ProgressCounter* progress, Tracer* tracer,
+                                  uint64_t parent_span);
 
   /// Send one frame (write-mutex serialized); marks the connection broken
   /// on failure.

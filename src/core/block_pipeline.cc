@@ -9,6 +9,7 @@
 #include "core/cache.h"
 #include "core/shared_scan.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace deepbase {
 
@@ -565,10 +566,14 @@ BlockPipeline::Totals BlockPipeline::Run(const Stopwatch& total_watch) {
   }
   if (num_shards_ > 1 && !sliced_) {
     // Slice mode skips the merge: the owned range's states leave through
-    // TakeShardStates() and recombine on the coordinator.
+    // TakeShardStates() and recombine on the coordinator. Merge time is
+    // its own phase (Totals::merge_s) — it used to be folded into lane
+    // 0's inspection_s, which double-billed the inspection phase.
+    TraceContext trace{options_.tracer, options_.trace_parent_span};
+    DB_SPAN(trace, "pipeline.merge");
     Stopwatch merge_watch;
     MergeReplicas();
-    totals.lanes[0].inspection_s += merge_watch.Seconds();
+    totals.merge_s = merge_watch.Seconds();
   }
   totals.deadline_exceeded = deadline_hit_.load(std::memory_order_relaxed);
   return totals;
@@ -665,11 +670,16 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
   // the tasks; a truncated block stays empty and is skipped by every lane
   // (nondeterministic only in the ways budget/cancel always were).
   std::vector<BlockData> blocks(block_idx.size());
-  ParallelDo(block_idx.size(), [&](size_t b) {
-    if (!OwnsBlock(b)) return;  // slice mode: another worker's block
-    if (OverBudget(watch) || CancelRequested()) return;
-    ExtractInto(block_idx[b], b, &blocks[b]);
-  });
+  {
+    TraceContext trace{options_.tracer, options_.trace_parent_span};
+    DB_SPAN_NAMED(extract_span, trace, "pipeline.extract");
+    extract_span.Tag("blocks", static_cast<uint64_t>(block_idx.size()));
+    ParallelDo(block_idx.size(), [&](size_t b) {
+      if (!OwnsBlock(b)) return;  // slice mode: another worker's block
+      if (OverBudget(watch) || CancelRequested()) return;
+      ExtractInto(block_idx[b], b, &blocks[b]);
+    });
+  }
   for (size_t b = 0; b < blocks.size(); ++b) {
     const size_t slot = b == 0 ? 0 : (b - 1) % S;
     totals->lanes[slot].unit_extraction_s += blocks[b].unit_s;
@@ -706,6 +716,13 @@ void BlockPipeline::RunShardedMaterialized(const Stopwatch& watch,
   std::vector<RuntimeStats::Shard> lane_acc(n_lanes);
   ParallelDo(n_lanes, [&](size_t t) {
     if (t < S && !OwnsShard(t)) return;  // slice mode: not our shard
+    // Each lane carries a private TraceContext (the shared Tracer's ring
+    // is internally locked) so lane spans parent to the pipeline caller
+    // without racing on a shared parent cursor.
+    TraceContext trace{options_.tracer, options_.trace_parent_span};
+    DB_SPAN_NAMED(lane_span, trace,
+                  t < S ? "pipeline.lane" : "pipeline.seq_lane");
+    if (t < S) lane_span.Tag("shard", static_cast<uint64_t>(t));
     LaneScratch scratch = MakeScratch();
     RuntimeStats::Shard& acc = lane_acc[t];
     bool stop = false;
@@ -785,6 +802,10 @@ void BlockPipeline::RunShardedStreaming(const Stopwatch& watch,
   size_t serial = 0;
   size_t dispatched = 0;
   bool stopped_early = false;
+  // One span over the whole streaming loop: per-wave spans would flood
+  // the trace ring on long runs without adding timeline structure.
+  TraceContext trace{options_.tracer, options_.trace_parent_span};
+  DB_SPAN_NAMED(stream_span, trace, "pipeline.stream");
 
   for (size_t pass = 0; pass < passes && !stopped_early; ++pass) {
     BlockIterator it(&dataset_, options_.block_size,
@@ -889,6 +910,7 @@ void BlockPipeline::RunShardedStreaming(const Stopwatch& watch,
   totals->blocks_processed = std::max(shard_dispatch, seq_dispatch);
   totals->stopped_early =
       stopped_early || (options_.early_stopping && AllConverged());
+  stream_span.Tag("blocks", static_cast<uint64_t>(dispatched));
 }
 
 }  // namespace deepbase

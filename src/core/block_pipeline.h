@@ -96,6 +96,10 @@ class BlockPipeline {
     /// by max_blocks) — the progress denominator; set before any block
     /// runs, so pollers see it while the loop is in flight.
     size_t blocks_planned = 0;
+    /// Wall time of the final replica merge (S > 1 full runs). Kept out
+    /// of the lanes' inspection_s: merging is a distinct phase of the
+    /// critical path, not block inspection.
+    double merge_s = 0;
     bool stopped_early = false;
     /// True when InspectOptions::deadline passed during the run: the
     /// block loop stopped at the first boundary after the deadline, so

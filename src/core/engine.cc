@@ -8,41 +8,48 @@
 #include "core/shared_scan.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace deepbase {
 
+// Drift guards for the X-macro field lists: every scalar is 8 bytes on
+// the supported targets, so a field added to the struct but not to the
+// macro changes sizeof and fails these asserts instead of silently
+// skipping accumulation. The trailing bools pad to one alignment unit.
+namespace {
+#define DEEPBASE_COUNT_FIELD(type, name) +1
+constexpr size_t kShardFieldCount =
+    0 DEEPBASE_RUNTIME_STATS_SHARD_FIELDS(DEEPBASE_COUNT_FIELD);
+constexpr size_t kScalarFieldCount =
+    0 DEEPBASE_RUNTIME_STATS_SCALAR_FIELDS(DEEPBASE_COUNT_FIELD);
+#undef DEEPBASE_COUNT_FIELD
+static_assert(kShardFieldCount == 5,
+              "RuntimeStats::Shard field list changed; update the X-macro "
+              "and this count together");
+static_assert(kScalarFieldCount == 25,
+              "RuntimeStats scalar field list changed; update the X-macro "
+              "and this count together");
+static_assert(sizeof(RuntimeStats::Shard) == kShardFieldCount * 8,
+              "RuntimeStats::Shard has a field missing from "
+              "DEEPBASE_RUNTIME_STATS_SHARD_FIELDS");
+static_assert(sizeof(RuntimeStats) ==
+                  kScalarFieldCount * 8 +
+                      sizeof(std::vector<RuntimeStats::Shard>) +
+                      /*num_shards*/ 8 + /*bools, padded*/ 8,
+              "RuntimeStats has a field missing from "
+              "DEEPBASE_RUNTIME_STATS_SCALAR_FIELDS");
+}  // namespace
+
 void RuntimeStats::Shard::Accumulate(const Shard& other) {
-  unit_extraction_s += other.unit_extraction_s;
-  hyp_extraction_s += other.hyp_extraction_s;
-  inspection_s += other.inspection_s;
-  blocks_processed += other.blocks_processed;
-  records_processed += other.records_processed;
+#define DEEPBASE_SUM_FIELD(type, name) name += other.name;
+  DEEPBASE_RUNTIME_STATS_SHARD_FIELDS(DEEPBASE_SUM_FIELD)
+#undef DEEPBASE_SUM_FIELD
 }
 
 void RuntimeStats::Accumulate(const RuntimeStats& other) {
-  unit_extraction_s += other.unit_extraction_s;
-  hyp_extraction_s += other.hyp_extraction_s;
-  inspection_s += other.inspection_s;
-  total_s += other.total_s;
-  blocks_processed += other.blocks_processed;
-  records_processed += other.records_processed;
-  blocks_total_planned += other.blocks_total_planned;
-  cache_hits += other.cache_hits;
-  cache_misses += other.cache_misses;
-  store_mem_hits += other.store_mem_hits;
-  store_disk_hits += other.store_disk_hits;
-  store_misses += other.store_misses;
-  store_evictions += other.store_evictions;
-  store_evicted_bytes += other.store_evicted_bytes;
-  store_bytes_written += other.store_bytes_written;
-  store_hyp_mem_hits += other.store_hyp_mem_hits;
-  store_hyp_disk_hits += other.store_hyp_disk_hits;
-  store_hyp_misses += other.store_hyp_misses;
-  result_cache_hits += other.result_cache_hits;
-  result_cache_misses += other.result_cache_misses;
-  dedup_hits += other.dedup_hits;
-  scan_extractions += other.scan_extractions;
-  scan_shared_hits += other.scan_shared_hits;
+#define DEEPBASE_SUM_FIELD(type, name) name += other.name;
+  DEEPBASE_RUNTIME_STATS_SCALAR_FIELDS(DEEPBASE_SUM_FIELD)
+#undef DEEPBASE_SUM_FIELD
   // Per-lane breakdown: shard lanes merge by index; the trailing
   // sequential-lane entry (present when shards.size() > num_shards) merges
   // into our trailing entry, so sequential-lane time is never attributed
@@ -90,6 +97,8 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
                     const std::vector<HypothesisPtr>& hypotheses,
                     const InspectOptions& options, RuntimeStats* stats) {
   Stopwatch total_watch;
+  TraceContext trace{options.tracer, options.trace_parent_span};
+  DB_SPAN(trace, "engine.inspect");
 
   auto cancel_requested = [&options] {
     return options.cancel != nullptr &&
@@ -125,6 +134,7 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
   double store_prelude_s = 0;
   if (options.behavior_store != nullptr) {
     Stopwatch prelude_watch;
+    DB_SPAN(trace, "engine.store_prelude");
     substituted = models_in;
     models_ptr = &substituted;
     for (ModelSpec& model : substituted) {
@@ -167,8 +177,11 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
 
   // --- The block loop: planning, extraction fan-out, shard lanes, and
   // partial-state merging all live in the pipeline (see block_pipeline.h
-  // for the determinism contract).
-  BlockPipeline pipeline(models, dataset, scores, hypotheses, options);
+  // for the determinism contract). The pipeline's spans nest under
+  // engine.inspect via the rebased parent in run_options.
+  InspectOptions run_options = options;
+  run_options.trace_parent_span = trace.parent_span;
+  BlockPipeline pipeline(models, dataset, scores, hypotheses, run_options);
   BlockPipeline::Totals totals = pipeline.Run(total_watch);
 
   // --- Assemble the result relation.
@@ -219,6 +232,7 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
       stats->hyp_extraction_s += lane.hyp_extraction_s;
       stats->inspection_s += lane.inspection_s;
     }
+    stats->merge_s = totals.merge_s;
     stats->total_s = total_watch.Seconds();
     stats->blocks_processed = totals.blocks_processed;
     stats->records_processed = totals.records_processed;

@@ -30,6 +30,7 @@ namespace deepbase {
 class BehaviorStore;
 class SharedScanClient;
 class ThreadPool;
+class Tracer;
 
 /// \brief A named subset of one model's hidden units (paper Def. 1 takes
 /// unit groups, not whole models, so per-group joint measures are scoped
@@ -175,7 +176,58 @@ struct InspectOptions {
   /// JobHandle::Poll and the network serving layer report blocks
   /// completed / total planned while the run is in flight.
   ProgressCounter* progress = nullptr;
+
+  /// Span sink for this run (util/trace.h) and the parent span new spans
+  /// hang off. Local-only pointers, like cancel/progress: they never
+  /// cross the wire (trace *ids* do, via the Submit/Assign frames) and
+  /// never participate in request fingerprints — two jobs differing only
+  /// in tracing dedup and cache-hit against each other. null = tracing
+  /// off for this run (DB_SPAN sites cost one branch).
+  Tracer* tracer = nullptr;
+  uint64_t trace_parent_span = 0;
 };
+
+/// X-macro over every accumulated scalar field of RuntimeStats::Shard.
+/// RuntimeStats::Shard::Accumulate is generated from this list, and a
+/// static_assert in engine.cc pins sizeof(Shard) to the listed fields —
+/// a new field that is not added here fails the build instead of being
+/// silently dropped from accumulation.
+#define DEEPBASE_RUNTIME_STATS_SHARD_FIELDS(X) \
+  X(double, unit_extraction_s)                 \
+  X(double, hyp_extraction_s)                  \
+  X(double, inspection_s)                      \
+  X(size_t, blocks_processed)                  \
+  X(size_t, records_processed)
+
+/// X-macro over every summed scalar field of RuntimeStats (everything
+/// except `shards`, `num_shards`, and the three latched bools, which
+/// have bespoke merge rules). Same drift guard as the Shard list.
+#define DEEPBASE_RUNTIME_STATS_SCALAR_FIELDS(X) \
+  X(double, unit_extraction_s)                  \
+  X(double, hyp_extraction_s)                   \
+  X(double, inspection_s)                       \
+  X(double, merge_s)                            \
+  X(double, worker_hop_s)                       \
+  X(double, total_s)                            \
+  X(size_t, blocks_processed)                   \
+  X(size_t, records_processed)                  \
+  X(size_t, blocks_total_planned)               \
+  X(size_t, cache_hits)                         \
+  X(size_t, cache_misses)                       \
+  X(size_t, store_mem_hits)                     \
+  X(size_t, store_disk_hits)                    \
+  X(size_t, store_misses)                       \
+  X(size_t, store_evictions)                    \
+  X(size_t, store_evicted_bytes)                \
+  X(size_t, store_bytes_written)                \
+  X(size_t, store_hyp_mem_hits)                 \
+  X(size_t, store_hyp_disk_hits)                \
+  X(size_t, store_hyp_misses)                   \
+  X(size_t, result_cache_hits)                  \
+  X(size_t, result_cache_misses)                \
+  X(size_t, dedup_hits)                         \
+  X(size_t, scan_extractions)                   \
+  X(size_t, scan_shared_hits)
 
 /// \brief Engine instrumentation for the runtime-breakdown experiments
 /// (Figure 8) and cache studies (Figure 9).
@@ -200,6 +252,15 @@ struct RuntimeStats {
   double unit_extraction_s = 0;
   double hyp_extraction_s = 0;
   double inspection_s = 0;
+  /// Time folding shard replicas back into the primary states — the
+  /// in-process MergeReplicas pass, or the coordinator's cross-worker
+  /// state merge for a distributed run. Kept out of inspection_s so the
+  /// score phase reports pure block-scoring time.
+  double merge_s = 0;
+  /// Distributed runs only: dispatch-to-result time on the coordinator
+  /// beyond what the worker spent executing — wire transfer, queueing on
+  /// the worker, reassignment backoff. 0 for local runs.
+  double worker_hop_s = 0;
   double total_s = 0;
   size_t blocks_processed = 0;
   size_t records_processed = 0;

@@ -16,6 +16,7 @@
 
 #include "util/failpoint.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace deepbase {
 
@@ -735,6 +736,10 @@ Result<RemoteJob> InspectionClient::Submit(
     std::function<void(const RemoteProgress&)> on_progress) {
   wire::Writer w;
   w.U8(on_progress != nullptr ? 1 : 0);
+  // The client mints the trace id so one id spans client-observed latency,
+  // server scheduling, and (in clustered setups) worker hops. It lives in
+  // the replay payload too, so a resubmitted job keeps its identity.
+  w.U64(NewTraceId());
   DB_RETURN_NOT_OK(wire::EncodeInspectRequest(request, &w));
   const std::string payload = w.Take();
 
@@ -894,6 +899,21 @@ Result<wire::ServerStatsWire> InspectionClient::Stats() {
     return Status::DataLoss("malformed Stats response");
   }
   return stats;
+}
+
+Result<std::string> InspectionClient::Metrics(bool json) {
+  wire::Writer w;
+  w.U8(json ? 1 : 0);
+  Result<wire::Frame> reply = Call(wire::MsgType::kMetrics, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply->type != wire::MsgType::kMetricsOk) {
+    return Status::DataLoss("malformed Metrics response");
+  }
+  wire::Reader r(reply->payload);
+  r.U8();  // format echo
+  std::string text = r.Str();
+  if (!r.ok()) return Status::DataLoss("malformed Metrics response");
+  return text;
 }
 
 }  // namespace deepbase

@@ -193,6 +193,10 @@ class InspectionClient {
   /// used by the serving bench).
   Result<wire::ServerStatsWire> Stats();
 
+  /// \brief Scrape the server's metrics registry: Prometheus text
+  /// exposition by default, JSON when `json` is set.
+  Result<std::string> Metrics(bool json = false);
+
  private:
   friend class RemoteJob;
 

@@ -14,6 +14,8 @@
 
 #include "service/scheduler.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 
 namespace deepbase {
 
@@ -22,6 +24,32 @@ namespace {
 /// Lifecycle stage carried in kPollOk/kEventProgress frames.
 uint8_t WireJobStatus(JobStatus status) {
   return static_cast<uint8_t>(status);
+}
+
+/// Serving-layer metrics (handles cached once; see util/metrics.h).
+struct ServerMetrics {
+  Counter* connections = nullptr;
+  Counter* frames_received = nullptr;
+  Counter* frames_sent = nullptr;
+  Counter* protocol_errors = nullptr;
+  Gauge* connections_active = nullptr;
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics* metrics = [] {
+    auto* m = new ServerMetrics();
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    m->connections = reg.GetCounter("deepbase_server_connections_total");
+    m->frames_received =
+        reg.GetCounter("deepbase_server_frames_received_total");
+    m->frames_sent = reg.GetCounter("deepbase_server_frames_sent_total");
+    m->protocol_errors =
+        reg.GetCounter("deepbase_server_protocol_errors_total");
+    m->connections_active =
+        reg.GetGauge("deepbase_server_connections_active");
+    return m;
+  }();
+  return *metrics;
 }
 
 }  // namespace
@@ -127,6 +155,8 @@ void InspectionServer::AcceptLoop() {
       ++stats_.connections_accepted;
       ++stats_.connections_active;
     }
+    Metrics().connections->Inc();
+    Metrics().connections_active->Add(1);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
@@ -157,6 +187,7 @@ void InspectionServer::Send(const std::shared_ptr<Connection>& conn,
     // connection loss and its reconnect/resubmit machinery takes over.
     ::shutdown(conn->fd, SHUT_RDWR);
   } else {
+    Metrics().frames_sent->Inc();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.frames_sent;
   }
@@ -173,9 +204,14 @@ std::string InspectionServer::ResultPayload(const JobHandle& handle) const {
   // Only called once the job is terminal, so Wait() returns immediately.
   const Result<ResultTable>& result = handle.Wait();
   const RuntimeStats stats = handle.Stats();
+  const JobSummary job = handle.Summary();
   wire::Writer w;
   wire::EncodeStatus(result.status(), &w);
   if (result.ok()) {
+    // Table serialization is the server's wire cost for this response;
+    // measured here so the client's critical-path breakdown accounts for
+    // it (the residual gap to client latency is network + decode).
+    Stopwatch wire_watch;
     w.Str(result->SerializeToString());
     wire::ResultSummaryWire summary;
     summary.blocks_processed = stats.blocks_processed;
@@ -183,6 +219,13 @@ std::string InspectionServer::ResultPayload(const JobHandle& handle) const {
     summary.result_cache_hits = stats.result_cache_hits;
     summary.scan_shared_hits = stats.scan_shared_hits;
     summary.total_s = stats.total_s;
+    summary.trace_id = job.trace_id;
+    summary.queue_s = job.queue_s;
+    summary.extract_s = job.extract_s;
+    summary.score_s = job.score_s;
+    summary.merge_s = job.merge_s;
+    summary.worker_hop_s = job.worker_hop_s;
+    summary.wire_s = wire_watch.Seconds();
     wire::EncodeResultSummary(summary, &w);
   }
   return w.Take();
@@ -313,6 +356,7 @@ void InspectionServer::HandleSubmitImpl(
   }
   wire::Reader r(frame.payload);
   const uint8_t flags = r.U8();
+  const uint64_t trace_id = r.U64();
   InspectRequest request;
   if (!wire::DecodeInspectRequest(&r, &request) || !r.exhausted()) {
     SendError(conn, frame.request_id,
@@ -323,7 +367,7 @@ void InspectionServer::HandleSubmitImpl(
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submits;
   }
-  JobHandle handle = session_->Submit(std::move(request));
+  JobHandle handle = session_->Submit(std::move(request), trace_id);
   // Session admission control surfaces as a protocol-level error: an
   // over-quota submission is born terminal with kResourceExhausted.
   if (handle.Done()) {
@@ -556,7 +600,28 @@ bool InspectionServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       Send(conn, wire::MsgType::kStatsOk, frame.request_id, w.bytes());
       return true;
     }
+    case wire::MsgType::kMetrics: {
+      // Payload: one format byte (0 = Prometheus text, 1 = JSON). An
+      // empty payload defaults to Prometheus.
+      uint8_t format = 0;
+      if (!frame.payload.empty()) {
+        wire::Reader r(frame.payload);
+        format = r.U8();
+        if (!r.ok() || !r.exhausted() || format > 1) {
+          SendError(conn, frame.request_id,
+                    Status::DataLoss("malformed Metrics payload"));
+          return true;
+        }
+      }
+      const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+      wire::Writer w;
+      w.U8(format);
+      w.Str(format == 1 ? RenderJson(snapshot) : RenderPrometheus(snapshot));
+      Send(conn, wire::MsgType::kMetricsOk, frame.request_id, w.bytes());
+      return true;
+    }
     default: {
+      Metrics().protocol_errors->Inc();
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
@@ -584,6 +649,7 @@ void InspectionServer::ServeConnection(
       if (st.code() == StatusCode::kDataLoss) {
         // Malformed input: tell the client why (best effort) and close —
         // stream framing can no longer be trusted.
+        Metrics().protocol_errors->Inc();
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.protocol_errors;
@@ -592,6 +658,7 @@ void InspectionServer::ServeConnection(
       }
       break;
     }
+    Metrics().frames_received->Inc();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.frames_received;
@@ -619,6 +686,7 @@ void InspectionServer::ServeConnection(
   // Half-close first: the watcher may still be mid-send on this fd;
   // the real close() below happens only after the watcher is joined.
   ::shutdown(conn->fd, SHUT_RDWR);
+  Metrics().connections_active->Sub(1);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (stats_.connections_active > 0) --stats_.connections_active;

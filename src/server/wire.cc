@@ -417,6 +417,13 @@ void EncodeResultSummary(const ResultSummaryWire& summary, Writer* w) {
   w->U64(summary.result_cache_hits);
   w->U64(summary.scan_shared_hits);
   w->F64(summary.total_s);
+  w->U64(summary.trace_id);
+  w->F64(summary.queue_s);
+  w->F64(summary.extract_s);
+  w->F64(summary.score_s);
+  w->F64(summary.merge_s);
+  w->F64(summary.wire_s);
+  w->F64(summary.worker_hop_s);
 }
 
 bool DecodeResultSummary(Reader* r, ResultSummaryWire* summary) {
@@ -425,6 +432,13 @@ bool DecodeResultSummary(Reader* r, ResultSummaryWire* summary) {
   summary->result_cache_hits = r->U64();
   summary->scan_shared_hits = r->U64();
   summary->total_s = r->F64();
+  summary->trace_id = r->U64();
+  summary->queue_s = r->F64();
+  summary->extract_s = r->F64();
+  summary->score_s = r->F64();
+  summary->merge_s = r->F64();
+  summary->wire_s = r->F64();
+  summary->worker_hop_s = r->F64();
   return r->ok();
 }
 
@@ -502,6 +516,8 @@ Status EncodeAssignment(const AssignmentWire& assignment, Writer* w) {
   w->U32(assignment.total_shards);
   w->U32(assignment.shard_lo);
   w->U32(assignment.shard_hi);
+  w->U64(assignment.trace_id);
+  w->U64(assignment.parent_span);
   return EncodeInspectRequest(assignment.request, w);
 }
 
@@ -513,11 +529,41 @@ bool DecodeAssignment(Reader* r, AssignmentWire* assignment) {
   assignment->total_shards = r->U32();
   assignment->shard_lo = r->U32();
   assignment->shard_hi = r->U32();
+  assignment->trace_id = r->U64();
+  assignment->parent_span = r->U64();
   if (!DecodeInspectRequest(r, &assignment->request)) return false;
   return r->ok() && assignment->total_shards > 0 &&
          (assignment->mode == AssignmentWire::Mode::kWhole ||
           (assignment->shard_lo < assignment->shard_hi &&
            assignment->shard_hi <= assignment->total_shards));
+}
+
+void EncodeTraceSpans(const std::vector<TraceSpan>& spans, Writer* w) {
+  w->U32(static_cast<uint32_t>(spans.size()));
+  for (const TraceSpan& span : spans) {
+    w->U64(span.span_id);
+    w->U64(span.parent_id);
+    w->Str(span.name);
+    w->U64(static_cast<uint64_t>(span.start_ns));
+    w->U64(static_cast<uint64_t>(span.duration_ns));
+    w->Str(span.tags);
+  }
+}
+
+bool DecodeTraceSpans(Reader* r, std::vector<TraceSpan>* spans) {
+  const uint32_t n = r->U32();
+  spans->clear();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    TraceSpan span;
+    span.span_id = r->U64();
+    span.parent_id = r->U64();
+    span.name = r->Str();
+    span.start_ns = static_cast<int64_t>(r->U64());
+    span.duration_ns = static_cast<int64_t>(r->U64());
+    span.tags = r->Str();
+    spans->push_back(std::move(span));
+  }
+  return r->ok();
 }
 
 void EncodeAssignResult(const AssignResultWire& result, Writer* w) {
@@ -534,6 +580,8 @@ void EncodeAssignResult(const AssignResultWire& result, Writer* w) {
   w->U64(result.blocks_processed);
   w->U64(result.records_processed);
   w->U8(result.all_converged);
+  w->U64(static_cast<uint64_t>(result.run_ns));
+  EncodeTraceSpans(result.spans, w);
 }
 
 bool DecodeAssignResult(Reader* r, AssignResultWire* result) {
@@ -552,6 +600,8 @@ bool DecodeAssignResult(Reader* r, AssignResultWire* result) {
   result->blocks_processed = r->U64();
   result->records_processed = r->U64();
   result->all_converged = r->U8();
+  result->run_ns = static_cast<int64_t>(r->U64());
+  if (!DecodeTraceSpans(r, &result->spans)) return false;
   return r->ok();
 }
 

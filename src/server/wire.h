@@ -34,6 +34,7 @@
 #include "data/dataset.h"
 #include "util/codec.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace deepbase {
 namespace wire {
@@ -56,6 +57,7 @@ enum class MsgType : uint16_t {
   kRegisterDataset = 6,
   kRegisterHypotheses = 7,
   kStats = 8,
+  kMetrics = 9,  ///< metrics-registry scrape (payload: one format byte)
 
   // Cluster requests (worker -> coordinator, and coordinator -> worker
   // for kAssign / kStoreKeymap; same framing, same band).
@@ -77,6 +79,7 @@ enum class MsgType : uint16_t {
   // Cluster responses.
   kWorkerHelloOk = 72,  ///< coordinator ack: assigned worker index
   kAssignResult = 73,   ///< terminal assignment outcome + partial states
+  kMetricsOk = 74,      ///< rendered metrics text (Prometheus or JSON)
 
   // Server-push events (request_id = the originating Submit's).
   kEventProgress = 128,
@@ -173,12 +176,22 @@ bool DecodeJobProgress(Reader* r, JobProgressWire* progress);
 
 /// \brief Per-job summary appended to every OK kResult, so a client can
 /// observe scheduler effects (dedup, caching, shared scans) end-to-end.
+/// The phase fields are the server-side critical-path breakdown (wire_s
+/// is the server's serialization time for this response; the remaining
+/// gap to client-observed latency is network + client decode).
 struct ResultSummaryWire {
   uint64_t blocks_processed = 0;
   uint64_t dedup_hits = 0;
   uint64_t result_cache_hits = 0;
   uint64_t scan_shared_hits = 0;
   double total_s = 0;
+  uint64_t trace_id = 0;
+  double queue_s = 0;
+  double extract_s = 0;
+  double score_s = 0;
+  double merge_s = 0;
+  double wire_s = 0;
+  double worker_hop_s = 0;
 };
 
 void EncodeResultSummary(const ResultSummaryWire& summary, Writer* w);
@@ -248,6 +261,11 @@ struct AssignmentWire {
   uint32_t total_shards = 1;
   uint32_t shard_lo = 0;  ///< inclusive; unused in whole mode
   uint32_t shard_hi = 1;  ///< exclusive; unused in whole mode
+  // Trace propagation: the worker opens its local spans under this trace
+  // id, parented to the coordinator's dispatch span, so the coordinator
+  // can stitch one cross-host timeline. 0 = tracing off.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
   InspectRequest request;
 };
 
@@ -267,10 +285,21 @@ struct AssignResultWire {
   uint64_t blocks_processed = 0;
   uint64_t records_processed = 0;
   uint8_t all_converged = 0;
+  // Observability: the worker's wall time for the assignment (its local
+  // root span duration) and its recorded spans. Timestamps are in the
+  // worker's steady_clock domain; the coordinator re-anchors them against
+  // its own dispatch span when importing (clocks are per-host).
+  int64_t run_ns = 0;
+  std::vector<TraceSpan> spans;
 };
 
 void EncodeAssignResult(const AssignResultWire& result, Writer* w);
 bool DecodeAssignResult(Reader* r, AssignResultWire* result);
+
+/// \brief Span list codec shared by kAssignResult (worker -> coordinator
+/// stitching). Tags travel as flat key/value string pairs.
+void EncodeTraceSpans(const std::vector<TraceSpan>& spans, Writer* w);
+bool DecodeTraceSpans(Reader* r, std::vector<TraceSpan>* spans);
 
 /// \brief kEventWorkerProgress payload: absolute (not delta) in-flight
 /// counters for one assignment, so lost/duplicated ticks cannot skew the

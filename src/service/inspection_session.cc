@@ -89,6 +89,31 @@ RuntimeStats JobHandle::Stats() const {
   return state.stats;
 }
 
+JobSummary JobHandle::Summary() const {
+  internal::JobState& state = state_ != nullptr ? *state_ : InvalidJobState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  JobSummary summary;
+  summary.trace_id =
+      state.tracer != nullptr ? state.tracer->trace_id() : 0;
+  summary.queue_s = state.queue_s;
+  summary.extract_s =
+      state.stats.unit_extraction_s + state.stats.hyp_extraction_s;
+  summary.score_s = state.stats.inspection_s;
+  summary.merge_s = state.stats.merge_s;
+  summary.worker_hop_s = state.stats.worker_hop_s;
+  summary.total_s = state.stats.total_s;
+  return summary;
+}
+
+std::vector<TraceSpan> JobHandle::TraceSpans() const {
+  std::shared_ptr<Tracer> tracer;
+  if (state_ != nullptr) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    tracer = state_->tracer;
+  }
+  return tracer != nullptr ? tracer->Spans() : std::vector<TraceSpan>{};
+}
+
 InspectionSession::InspectionSession(SessionConfig config)
     : config_(std::move(config)) {
   if (!config_.store_dir.empty()) {
@@ -171,7 +196,12 @@ Result<ResultTable> InspectionSession::Inspect(const InspectQuery& query,
 }
 
 JobHandle InspectionSession::Submit(InspectRequest request) {
-  return scheduler_->Submit(std::move(request));
+  return scheduler_->Submit(std::move(request), /*trace_id=*/0);
+}
+
+JobHandle InspectionSession::Submit(InspectRequest request,
+                                    uint64_t trace_id) {
+  return scheduler_->Submit(std::move(request), trace_id);
 }
 
 JobHandle InspectionSession::Submit(const InspectQuery& query) {

@@ -40,6 +40,7 @@
 #include "core/cache.h"
 #include "core/catalog.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace deepbase {
 
@@ -111,6 +112,20 @@ struct SessionConfig {
   /// is rejected; the first job in an empty queue is always admitted so
   /// the session cannot wedge.
   size_t max_queued_bytes = 0;
+
+  // --- Observability (util/trace.h, util/metrics.h). ---
+  /// Per-job span tracing: every async job gets a Tracer whose spans
+  /// (scheduler queue, engine phases, cluster hops) are readable through
+  /// JobHandle::TraceSpans(). Runtime switch; the compile-time kill is
+  /// -DDEEPBASE_TRACE_DISABLED.
+  bool enable_tracing = true;
+  /// Span ring capacity per job (oldest spans drop beyond this).
+  size_t trace_ring_capacity = 256;
+  /// Jobs whose submit→terminal wall time exceeds this log their full
+  /// span tree (one structured line per span, level Warn) exactly once
+  /// and count into deepbase_slow_jobs_total. 0 disables the slow-job
+  /// log.
+  double slow_job_threshold_s = 0;
 };
 
 /// \brief Lifecycle of an async inspection job.
@@ -150,8 +165,34 @@ struct JobState {
   /// leaving it parked until the leader finishes; cleared (under mu) when
   /// the job reaches a terminal state.
   std::function<void()> on_cancel;
+
+  // --- Observability (set by the scheduler at submission; all guarded
+  // by mu except the Tracer, which is internally synchronized).
+  std::shared_ptr<Tracer> tracer;  ///< null = tracing off for this job
+  uint64_t root_span = 0;          ///< span id of the "sched.job" root
+  int64_t submit_ns = 0;           ///< TraceNowNs() at submission
+  double queue_s = 0;              ///< admission → execution start
+  /// Terminal bookkeeping (root span, job metrics, slow-job log) already
+  /// ran — it must run exactly once per job.
+  bool finalized = false;
 };
 }  // namespace internal
+
+/// \brief Critical-path breakdown of one finished job: where its wall
+/// time went, phase by phase. extract/score are CPU-second sums across
+/// lanes (== wall on one core); wire_s is filled by the serving layer
+/// for remote jobs and stays 0 locally; worker_hop_s is the distributed
+/// dispatch overhead beyond worker compute.
+struct JobSummary {
+  uint64_t trace_id = 0;
+  double queue_s = 0;       ///< admission → execution start
+  double extract_s = 0;     ///< unit + hypothesis extraction
+  double score_s = 0;       ///< measure inspection
+  double merge_s = 0;       ///< replica / coordinator merge
+  double wire_s = 0;        ///< serialization + socket writes (remote)
+  double worker_hop_s = 0;  ///< cluster dispatch beyond worker run time
+  double total_s = 0;       ///< engine wall clock
+};
 
 /// \brief Shared handle to an async job submitted via
 /// InspectionSession::Submit. Cheap to copy; all members are safe to call
@@ -182,6 +223,13 @@ class JobHandle {
 
   /// \brief Per-job engine stats; complete once Done().
   RuntimeStats Stats() const;
+
+  /// \brief Critical-path phase breakdown; complete once Done().
+  JobSummary Summary() const;
+
+  /// \brief Snapshot of the job's recorded trace spans (empty when
+  /// tracing is disabled). Ordered by start time; safe while running.
+  std::vector<TraceSpan> TraceSpans() const;
 
  private:
   friend class InspectionSession;
@@ -246,6 +294,11 @@ class InspectionSession {
   /// valid until the job completes.
   JobHandle Submit(InspectRequest request);
   JobHandle Submit(const InspectQuery& query);
+  /// \brief Submit under an externally assigned trace id (the serving
+  /// layer's path: the client mints the id, the server adopts it, so one
+  /// id names the job on both sides of the wire). trace_id == 0 mints a
+  /// fresh id.
+  JobHandle Submit(InspectRequest request, uint64_t trace_id);
 
   /// \brief Handles of all jobs ever submitted (newest last).
   std::vector<JobHandle> Jobs() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -9,10 +10,81 @@
 #include "core/behavior_store.h"
 #include "util/failpoint.h"
 #include "util/fnv.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace deepbase {
 
 namespace {
+
+// Drift guard for the SchedulerStats X-macro (see engine.cc for the
+// RuntimeStats twin): every cumulative counter is a size_t, so a field
+// added to the struct but not the macro changes sizeof and fails here.
+#define DEEPBASE_COUNT_FIELD(type, name) +1
+constexpr size_t kSchedulerCounterFieldCount =
+    0 DEEPBASE_SCHEDULER_STATS_COUNTER_FIELDS(DEEPBASE_COUNT_FIELD);
+#undef DEEPBASE_COUNT_FIELD
+static_assert(kSchedulerCounterFieldCount == 15,
+              "SchedulerStats counter list changed; update the X-macro and "
+              "this count together");
+static_assert(sizeof(SchedulerStats) ==
+                  kSchedulerCounterFieldCount * 8 +
+                      sizeof(SchedulerStats::Snapshot),
+              "SchedulerStats has a counter missing from "
+              "DEEPBASE_SCHEDULER_STATS_COUNTER_FIELDS");
+
+// Process-global job metrics, registered once and cached (handles are
+// stable; every hit after that is a relaxed atomic add).
+struct JobMetrics {
+  Counter* submitted;
+  Counter* ok;
+  Counter* error;
+  Counter* cancelled;
+  Counter* slow;
+  Counter* dedup_followers;
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* admission_rejections;
+  Gauge* queue_depth;
+  Histogram* latency;
+};
+
+JobMetrics& Metrics() {
+  static JobMetrics* metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* m = new JobMetrics();
+    m->submitted = reg.GetCounter("deepbase_jobs_submitted_total");
+    m->ok = reg.GetCounter("deepbase_jobs_total{status=\"ok\"}");
+    m->error = reg.GetCounter("deepbase_jobs_total{status=\"error\"}");
+    m->cancelled = reg.GetCounter("deepbase_jobs_total{status=\"cancelled\"}");
+    m->slow = reg.GetCounter("deepbase_slow_jobs_total");
+    m->dedup_followers = reg.GetCounter("deepbase_dedup_followers_total");
+    m->cache_hits = reg.GetCounter("deepbase_result_cache_hits_total");
+    m->cache_misses = reg.GetCounter("deepbase_result_cache_misses_total");
+    m->admission_rejections =
+        reg.GetCounter("deepbase_admission_rejections_total");
+    m->queue_depth = reg.GetGauge("deepbase_queue_depth");
+    m->latency = reg.GetHistogram("deepbase_job_latency_seconds",
+                                  DefaultLatencyBounds());
+    return m;
+  }();
+  return *metrics;
+}
+
+/// Count one job reaching a terminal state. `wall_s` < 0 skips the
+/// latency histogram (callers without a submission timestamp).
+void CountJobTerminal(const char* status, double wall_s) {
+  JobMetrics& m = Metrics();
+  if (std::strcmp(status, "ok") == 0) {
+    m.ok->Inc();
+  } else if (std::strcmp(status, "cancelled") == 0) {
+    m.cancelled->Inc();
+  } else {
+    m.error->Inc();
+  }
+  if (wall_s >= 0) m.latency->Observe(wall_s);
+}
 
 void HashStr(const std::string& s, uint64_t* h) {
   *h = Fnv1a(s.data(), s.size(), *h);
@@ -397,21 +469,9 @@ size_t ResultCache::entries() const {
 // ---------------------------------------------------------------------------
 
 void SchedulerStats::Accumulate(const SchedulerStats& other) {
-  jobs_scheduled += other.jobs_scheduled;
-  groups_formed += other.groups_formed;
-  jobs_coscheduled += other.jobs_coscheduled;
-  scan_extractions += other.scan_extractions;
-  scan_shared_hits += other.scan_shared_hits;
-  dedup_followers += other.dedup_followers;
-  dedup_promotions += other.dedup_promotions;
-  admission_rejections += other.admission_rejections;
-  result_cache_hits += other.result_cache_hits;
-  result_cache_misses += other.result_cache_misses;
-  result_cache_evictions += other.result_cache_evictions;
-  result_cache_invalidations += other.result_cache_invalidations;
-  result_cache_persistent_hits += other.result_cache_persistent_hits;
-  result_cache_persistent_writes += other.result_cache_persistent_writes;
-  result_cache_stale_rejections += other.result_cache_stale_rejections;
+#define DEEPBASE_SUM_FIELD(type, name) name += other.name;
+  DEEPBASE_SCHEDULER_STATS_COUNTER_FIELDS(DEEPBASE_SUM_FIELD)
+#undef DEEPBASE_SUM_FIELD
   // Gauges are point-in-time, not additive: the most recent poll wins.
   snapshot = other.snapshot;
 }
@@ -506,6 +566,7 @@ void Scheduler::OnJobStarted(size_t queued_bytes) {
 }
 
 void Scheduler::OnJobFinished() {
+  Metrics().queue_depth->Sub(1);
   std::lock_guard<std::mutex> lock(mu_);
   if (active_jobs_ > 0) --active_jobs_;
 }
@@ -561,6 +622,7 @@ void Scheduler::CancelWaiter(const std::shared_ptr<InflightJob>& job,
                    "job " + std::to_string(state->id) +
                        " cancelled while waiting on an identical in-flight "
                        "job");
+  FinalizeJob(state, "cancelled");
 }
 
 void Scheduler::FinishInflight(const std::shared_ptr<InflightJob>& job,
@@ -611,24 +673,30 @@ void Scheduler::FinishInflight(const std::shared_ptr<InflightJob>& job,
                        "job " + std::to_string(state->id) +
                            " cancelled while waiting on an identical "
                            "in-flight job");
+      FinalizeJob(state, "cancelled");
     }
     if (promoted == nullptr) {
       if (pending != nullptr) {
         // The promoted ex-waiter that produced `result`: its terminal
         // state was held back until the registry retirement above.
-        std::lock_guard<std::mutex> lock(pending->mu);
-        pending->stats = pending_stats;
-        pending->status = JobStatus::kDone;
-        pending->result = result;
-        pending->cv.notify_all();
+        {
+          std::lock_guard<std::mutex> lock(pending->mu);
+          pending->stats = pending_stats;
+          pending->status = JobStatus::kDone;
+          pending->result = result;
+          pending->cv.notify_all();
+        }
+        FinalizeJob(pending, result.ok() ? "ok" : "error");
       }
       for (const auto& state : to_deliver) {
         if (cancelled) {
           ResolveCancelled(state,
                            "leader of the deduplicated job was cancelled "
                            "and no waiter could be promoted");
+          FinalizeJob(state, "cancelled");
         } else {
           DeliverToWaiter(state, result, current_stats);
+          FinalizeJob(state, result.ok() ? "ok" : "error");
         }
       }
       return;
@@ -636,27 +704,35 @@ void Scheduler::FinishInflight(const std::shared_ptr<InflightJob>& job,
     // Promotion: the ex-waiter becomes the leader and re-runs on this
     // thread with its own cancellation; later waiters stay attached (the
     // registry entry survives) and are served by this run.
+    std::shared_ptr<Tracer> promoted_tracer;
+    uint64_t promoted_root = 0;
     {
       std::lock_guard<std::mutex> lock(promoted->mu);
       promoted->on_cancel = nullptr;
       promoted->status = JobStatus::kRunning;
+      promoted_tracer = promoted->tracer;
+      promoted_root = promoted->root_span;
     }
     RuntimeStats promoted_stats;
     Result<ResultTable> promoted_result =
         Execute(job->request, AttachToGroup(job->request), job->fingerprint,
                 job->version, job->dataset_fingerprint, &promoted->cancel,
-                promoted->progress.get(), &promoted_stats);
+                promoted->progress.get(), &promoted_stats,
+                promoted_tracer.get(), promoted_root);
     pending.reset();
     if (promoted_stats.cancelled) {
       // Cancelled promotions resolve immediately (the next loop turn may
       // promote someone else; this handle's fate is already sealed).
-      std::lock_guard<std::mutex> lock(promoted->mu);
-      promoted->stats = promoted_stats;
-      promoted->status = JobStatus::kCancelled;
-      promoted->result = Status::Cancelled(
-          "job " + std::to_string(promoted->id) + " cancelled after " +
-          std::to_string(promoted_stats.blocks_processed) + " blocks");
-      promoted->cv.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(promoted->mu);
+        promoted->stats = promoted_stats;
+        promoted->status = JobStatus::kCancelled;
+        promoted->result = Status::Cancelled(
+            "job " + std::to_string(promoted->id) + " cancelled after " +
+            std::to_string(promoted_stats.blocks_processed) + " blocks");
+        promoted->cv.notify_all();
+      }
+      FinalizeJob(promoted, "cancelled");
     } else {
       // Completed (or errored): defer resolution until the registry
       // entry is retired on the next loop turn.
@@ -674,6 +750,47 @@ void Scheduler::SetEngine(EngineFn fn) {
   engine_fn_ = std::move(fn);
 }
 
+void Scheduler::FinalizeJob(const std::shared_ptr<internal::JobState>& state,
+                            const char* status) {
+  std::shared_ptr<Tracer> tracer;
+  uint64_t root_span = 0;
+  int64_t submit_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->finalized) return;
+    state->finalized = true;
+    tracer = state->tracer;
+    root_span = state->root_span;
+    submit_ns = state->submit_ns;
+  }
+  const int64_t now_ns = TraceNowNs();
+  const double wall_s =
+      submit_ns > 0 ? static_cast<double>(now_ns - submit_ns) * 1e-9 : -1;
+  CountJobTerminal(status, wall_s);
+  if (tracer == nullptr) return;
+  // The root span is recorded here, at the terminal transition, so the
+  // slow-job dump below always sees a complete tree.
+  TraceSpan root;
+  root.span_id = root_span;
+  root.parent_id = 0;
+  root.name = "sched.job";
+  root.start_ns = submit_ns;
+  root.duration_ns = now_ns - submit_ns;
+  root.tags = std::string("status=") + status;
+  tracer->Record(std::move(root));
+  const double threshold = session_->config_.slow_job_threshold_s;
+  if (threshold > 0 && wall_s > threshold) {
+    Metrics().slow->Inc();
+    DB_LOG(Warn) << "slow job trace=" << HexU64(tracer->trace_id())
+                 << " wall_s=" << wall_s << " threshold_s=" << threshold
+                 << " status=" << status << " dropped_spans="
+                 << tracer->dropped() << " — span tree follows";
+    for (const TraceSpan& span : tracer->Spans()) {
+      DB_LOG(Warn) << FormatSpanLogLine(tracer->trace_id(), span, submit_ns);
+    }
+  }
+}
+
 Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
                                        std::optional<GroupHandle> group,
                                        std::optional<uint64_t> fingerprint,
@@ -681,12 +798,20 @@ Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
                                        uint64_t dataset_fingerprint,
                                        const std::atomic<bool>* cancel,
                                        ProgressCounter* progress,
-                                       RuntimeStats* stats) {
+                                       RuntimeStats* stats, Tracer* tracer,
+                                       uint64_t parent_span) {
   InspectRequest effective = request;
   InspectOptions options = session_->EffectiveOptions(request);
   if (cancel != nullptr) options.cancel = cancel;
   if (progress != nullptr) options.progress = progress;
   if (group) options.shared_scan = group->client.get();
+  if (options.tracer == nullptr && tracer != nullptr) {
+    // A request that already carries its own tracer (a worker replaying
+    // a coordinator assignment) keeps it; otherwise the job's tracer
+    // rides into the engine here.
+    options.tracer = tracer;
+    options.trace_parent_span = parent_span;
+  }
   effective.options = options;
   RuntimeStats local;
   EngineFn engine;
@@ -703,6 +828,7 @@ Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
   // when the result cache itself is enabled.
   if (fingerprint && session_->config_.enable_result_cache) {
     local.result_cache_misses = 1;
+    Metrics().cache_misses->Inc();
     // Only complete, deterministic runs are cacheable. Staleness is
     // handled inside Insert: its admission floor was raised synchronously
     // by any Register* that happened while this job ran, so a result
@@ -721,6 +847,8 @@ Result<ResultTable> Scheduler::Execute(const InspectRequest& request,
 
 Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
                                        RuntimeStats* stats) {
+  const int64_t submit_ns = TraceNowNs();
+  Metrics().submitted->Inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++jobs_scheduled_;
@@ -755,6 +883,9 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
         *stats = RuntimeStats{};
         stats->result_cache_hits = 1;
       }
+      Metrics().cache_hits->Inc();
+      CountJobTerminal(
+          "ok", static_cast<double>(TraceNowNs() - submit_ns) * 1e-9);
       return std::move(*hit);
     }
   }
@@ -773,8 +904,10 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
       // Identical request already in flight: park this caller on it.
       waiter = std::make_shared<internal::JobState>();
       waiter->progress = it->second->progress;  // poll the leader's run
+      waiter->submit_ns = submit_ns;
       it->second->waiters.push_back(waiter);
       ++dedup_followers_;
+      Metrics().dedup_followers->Inc();
     } else {
       // Admission first, leader registration second, atomically: a
       // rejected request must leave no registry entry behind. The sync
@@ -784,12 +917,14 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
       if (config.max_concurrent_jobs > 0 &&
           active_jobs_ >= config.max_concurrent_jobs) {
         ++admission_rejections_;
+        Metrics().admission_rejections->Inc();
         admitted = Status::ResourceExhausted(
             "concurrent-job quota exhausted: " +
             std::to_string(active_jobs_) + " active, quota " +
             std::to_string(config.max_concurrent_jobs));
       } else {
         ++active_jobs_;
+        Metrics().queue_depth->Add(1);
         if (dedupable) {
           inflight = std::make_shared<InflightJob>();
           inflight->fingerprint = *fingerprint;
@@ -811,7 +946,10 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
     if (stats != nullptr) *stats = waiter->stats;
     return *waiter->result;
   }
-  if (!admitted.ok()) return admitted;
+  if (!admitted.ok()) {
+    CountJobTerminal("error", -1);
+    return admitted;
+  }
 
   RuntimeStats local;
   Result<ResultTable> result =
@@ -822,15 +960,37 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
     FinishInflight(inflight, result, local, /*leader_cancelled=*/false);
   }
   OnJobFinished();
+  CountJobTerminal(local.cancelled ? "cancelled"
+                                   : (result.ok() ? "ok" : "error"),
+                   static_cast<double>(TraceNowNs() - submit_ns) * 1e-9);
   if (stats != nullptr) *stats = local;
   return result;
 }
 
-JobHandle Scheduler::Submit(InspectRequest request) {
+JobHandle Scheduler::Submit(InspectRequest request, uint64_t trace_id) {
+  const int64_t submit_ns = TraceNowNs();
+  Metrics().submitted->Inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++jobs_scheduled_;
   }
+  // The job's tracer exists before any admission decision, so even
+  // born-terminal handles carry a (tiny) trace. An inbound trace_id (the
+  // serving layer) is adopted; 0 mints a fresh one.
+  std::shared_ptr<Tracer> tracer;
+  uint64_t root_span = 0;
+  if (session_->config_.enable_tracing) {
+    tracer = std::make_shared<Tracer>(
+        trace_id != 0 ? trace_id : NewTraceId(),
+        session_->config_.trace_ring_capacity);
+    root_span = NewSpanId();
+  }
+  auto attach_trace = [&](const std::shared_ptr<internal::JobState>& state) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->tracer = tracer;
+    state->root_span = root_span;
+    state->submit_ns = submit_ns;
+  };
   const uint64_t version = session_->catalog_.version();
   const InspectOptions request_options =
       request.options.value_or(session_->config_.options);
@@ -843,10 +1003,14 @@ JobHandle Scheduler::Submit(InspectRequest request) {
     }
     if (!admit.ok()) {
       auto state = session_->NewJobState();
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->status = JobStatus::kDone;
-      state->result = admit;
-      state->cv.notify_all();
+      attach_trace(state);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->status = JobStatus::kDone;
+        state->result = admit;
+        state->cv.notify_all();
+      }
+      FinalizeJob(state, "error");
       return JobHandle(state);
     }
   }
@@ -873,11 +1037,16 @@ JobHandle Scheduler::Submit(InspectRequest request) {
             result_cache_.Lookup(*fingerprint, version, dataset_fp)) {
       // Served without touching the engine: the job is born done.
       auto state = session_->NewJobState();
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->status = JobStatus::kDone;
-      state->stats.result_cache_hits = 1;
-      state->result = std::move(*hit);
-      state->cv.notify_all();
+      attach_trace(state);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->status = JobStatus::kDone;
+        state->stats.result_cache_hits = 1;
+        state->result = std::move(*hit);
+        state->cv.notify_all();
+      }
+      Metrics().cache_hits->Inc();
+      FinalizeJob(state, "ok");
       return JobHandle(state);
     }
   }
@@ -902,9 +1071,11 @@ JobHandle Scheduler::Submit(InspectRequest request) {
       if (it != inflight_.end() && !it->second->done) {
         std::shared_ptr<InflightJob> job = it->second;
         auto state = session_->NewJobState();
+        attach_trace(state);
         state->progress = job->progress;  // poll the leader's run
         job->waiters.push_back(state);
         ++dedup_followers_;
+        Metrics().dedup_followers->Inc();
         {
           // Cancel on a waiter resolves the waiter, never the leader.
           std::lock_guard<std::mutex> state_lock(state->mu);
@@ -920,6 +1091,7 @@ JobHandle Scheduler::Submit(InspectRequest request) {
       if (config.max_concurrent_jobs > 0 &&
           active_jobs_ >= config.max_concurrent_jobs) {
         ++admission_rejections_;
+        Metrics().admission_rejections->Inc();
         admitted = Status::ResourceExhausted(
             "concurrent-job quota exhausted: " +
             std::to_string(active_jobs_) + " active, quota " +
@@ -930,6 +1102,7 @@ JobHandle Scheduler::Submit(InspectRequest request) {
         // empty queue is always admitted, even over-size, so a single
         // large request cannot wedge the session.
         ++admission_rejections_;
+        Metrics().admission_rejections->Inc();
         admitted = Status::ResourceExhausted(
             "queued-bytes quota exhausted: " +
             std::to_string(queued_bytes_) + " queued + " +
@@ -939,6 +1112,7 @@ JobHandle Scheduler::Submit(InspectRequest request) {
     }
     if (admitted.ok()) {
       ++active_jobs_;
+      Metrics().queue_depth->Add(1);
       ++queued_jobs_;
       queued_bytes_ += estimate;
       if (dedupable) {
@@ -954,15 +1128,33 @@ JobHandle Scheduler::Submit(InspectRequest request) {
   }
   if (!admitted.ok()) {
     auto state = session_->NewJobState();
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->status = JobStatus::kDone;
-    state->result = admitted;
-    state->cv.notify_all();
+    attach_trace(state);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->status = JobStatus::kDone;
+      state->result = admitted;
+      state->cv.notify_all();
+    }
+    FinalizeJob(state, "error");
     return JobHandle(state);
+  }
+
+  if (tracer != nullptr) {
+    // Admission is over: one span covers the deadline gate, fingerprint,
+    // cache probe, and the dedup/quota critical section.
+    TraceSpan admit_span;
+    admit_span.span_id = NewSpanId();
+    admit_span.parent_id = root_span;
+    admit_span.name = "sched.admit";
+    admit_span.start_ns = submit_ns;
+    admit_span.duration_ns = TraceNowNs() - submit_ns;
+    if (inflight != nullptr) admit_span.tags = "dedup=leader";
+    tracer->Record(std::move(admit_span));
   }
 
   ThreadPool* pool = session_->EnsurePool();
   auto state = session_->NewJobState();
+  attach_trace(state);
   // The leader's handle and the in-flight registry share one progress
   // counter, so waiters attached later poll this run's live counters.
   if (inflight) state->progress = inflight->progress;
@@ -970,12 +1162,18 @@ JobHandle Scheduler::Submit(InspectRequest request) {
   // the job up), so every job queued in one burst lands in one group.
   std::optional<GroupHandle> group = AttachToGroup(request);
   pool->Submit([this, state, fingerprint, version, dataset_fp, estimate,
-                inflight, group = std::move(group),
+                inflight, submit_ns, group = std::move(group),
                 request = std::move(request)]() mutable {
     OnJobStarted(estimate);
+    const int64_t start_ns = TraceNowNs();
+    std::shared_ptr<Tracer> job_tracer;
+    uint64_t job_root = 0;
     bool dropped = false;
     {
       std::lock_guard<std::mutex> lock(state->mu);
+      state->queue_s = static_cast<double>(start_ns - submit_ns) * 1e-9;
+      job_tracer = state->tracer;
+      job_root = state->root_span;
       if (state->cancel.load(std::memory_order_relaxed)) {
         state->status = JobStatus::kCancelled;
         state->result =
@@ -986,6 +1184,15 @@ JobHandle Scheduler::Submit(InspectRequest request) {
       } else {
         state->status = JobStatus::kRunning;
       }
+    }
+    if (job_tracer != nullptr) {
+      TraceSpan queue_span;
+      queue_span.span_id = NewSpanId();
+      queue_span.parent_id = job_root;
+      queue_span.name = "sched.queue";
+      queue_span.start_ns = submit_ns;
+      queue_span.duration_ns = start_ns - submit_ns;
+      job_tracer->Record(std::move(queue_span));
     }
     if (dropped) {
       // Detach so the fused group's pending-block accounting does not
@@ -998,12 +1205,14 @@ JobHandle Scheduler::Submit(InspectRequest request) {
                        RuntimeStats{}, /*leader_cancelled=*/true);
       }
       OnJobFinished();
+      FinalizeJob(state, "cancelled");
       return;
     }
     RuntimeStats stats;
     Result<ResultTable> result =
         Execute(request, std::move(group), fingerprint, version, dataset_fp,
-                &state->cancel, state->progress.get(), &stats);
+                &state->cancel, state->progress.get(), &stats,
+                job_tracer.get(), job_root);
     auto resolve_leader = [&] {
       std::lock_guard<std::mutex> lock(state->mu);
       state->stats = stats;
@@ -1023,18 +1232,23 @@ JobHandle Scheduler::Submit(InspectRequest request) {
       }
       state->cv.notify_all();
     };
+    const char* final_status =
+        stats.cancelled ? "cancelled" : (result.ok() ? "ok" : "error");
     if (inflight && stats.cancelled) {
       // A cancelled leader resolves promptly — FinishInflight may spend a
       // while re-running the request for a promoted waiter.
       resolve_leader();
+      FinalizeJob(state, final_status);
       FinishInflight(inflight, std::move(result), stats, true);
     } else if (inflight) {
       // Retire the registry entry before the leader's own handle resolves
       // so "all handles done" always implies "registry clean".
       FinishInflight(inflight, result, stats, false);
       resolve_leader();
+      FinalizeJob(state, final_status);
     } else {
       resolve_leader();
+      FinalizeJob(state, final_status);
     }
     OnJobFinished();
   });

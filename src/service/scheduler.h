@@ -169,6 +169,28 @@ class ResultCache {
   size_t stale_rejections_ = 0;
 };
 
+/// X-macro over SchedulerStats' cumulative counters: the one list that
+/// generates Accumulate and the drift guards in scheduler.cc. A counter
+/// added to the struct but not here changes sizeof and trips the
+/// static_assert instead of silently not accumulating. Keep the order in
+/// sync with the struct declaration below.
+#define DEEPBASE_SCHEDULER_STATS_COUNTER_FIELDS(X) \
+  X(size_t, jobs_scheduled)                        \
+  X(size_t, groups_formed)                         \
+  X(size_t, jobs_coscheduled)                      \
+  X(size_t, scan_extractions)                      \
+  X(size_t, scan_shared_hits)                      \
+  X(size_t, dedup_followers)                       \
+  X(size_t, dedup_promotions)                      \
+  X(size_t, admission_rejections)                  \
+  X(size_t, result_cache_hits)                     \
+  X(size_t, result_cache_misses)                   \
+  X(size_t, result_cache_evictions)                \
+  X(size_t, result_cache_invalidations)            \
+  X(size_t, result_cache_persistent_hits)          \
+  X(size_t, result_cache_persistent_writes)        \
+  X(size_t, result_cache_stale_rejections)
+
 /// \brief Aggregate scheduler counters. Two kinds of field, kept apart so
 /// polling stats() repeatedly stays additive: the top-level counters are
 /// cumulative over the session (Accumulate sums them); `snapshot` holds
@@ -216,8 +238,10 @@ class Scheduler {
 
   /// \brief Async path: result-cache probe, in-flight dedup, admission
   /// check, group attach, enqueue. Over-quota submissions return a handle
-  /// already resolved with kResourceExhausted.
-  JobHandle Submit(InspectRequest request);
+  /// already resolved with kResourceExhausted. `trace_id` threads an
+  /// externally minted trace id (the serving layer's Submit frame) into
+  /// the job's Tracer; 0 mints a fresh id.
+  JobHandle Submit(InspectRequest request, uint64_t trace_id = 0);
   /// \brief Sync path: same caching/dedup/admission, run on the caller
   /// thread (an identical in-flight job parks the caller until the
   /// leader's result is ready).
@@ -277,13 +301,26 @@ class Scheduler {
   /// Fold the client's counters, detach, retire the group if empty.
   void ReleaseGroup(GroupHandle* group);
   /// Run one request on the calling thread (group already attached) and
-  /// admit the result to the cache when eligible.
+  /// admit the result to the cache when eligible. `tracer`/`parent_span`
+  /// thread the job's trace into the engine options (a request that
+  /// already carries its own tracer keeps it).
   Result<ResultTable> Execute(const InspectRequest& request,
                               std::optional<GroupHandle> group,
                               std::optional<uint64_t> fingerprint,
                               uint64_t version, uint64_t dataset_fingerprint,
                               const std::atomic<bool>* cancel,
-                              ProgressCounter* progress, RuntimeStats* stats);
+                              ProgressCounter* progress, RuntimeStats* stats,
+                              Tracer* tracer = nullptr,
+                              uint64_t parent_span = 0);
+
+  /// Terminal observability bookkeeping for one async job, exactly once:
+  /// records the "sched.job" root span, counts deepbase_jobs_total
+  /// {status=...} + the latency histogram, and emits the slow-job span
+  /// tree when the wall time crossed SessionConfig::slow_job_threshold_s.
+  /// `status` is "ok", "error", or "cancelled". Never call holding
+  /// state->mu.
+  void FinalizeJob(const std::shared_ptr<internal::JobState>& state,
+                   const char* status);
 
   /// Leader terminal path: deliver `result` to every live waiter (or,
   /// when the leader was cancelled, promote the first live waiter and

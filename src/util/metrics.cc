@@ -1,0 +1,209 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace deepbase {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    DB_DCHECK(bounds_[i] < bounds_[i + 1]);
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value ('le' semantics);
+  // past the last bound lands in the implicit +Inf bucket.
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(bits) + value;
+    if (sum_bits_.compare_exchange_weak(bits, std::bit_cast<uint64_t>(updated),
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snap());
+  }
+  return snap;
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0,
+          30.0,   60.0};
+}
+
+namespace {
+
+// "deepbase_jobs_total{status=\"ok\"}" -> "deepbase_jobs_total".
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void AppendTypeHeader(std::string* out, std::string* last_family,
+                      const std::string& name, const char* type) {
+  const std::string family = FamilyOf(name);
+  if (family != *last_family) {
+    *out += "# TYPE " + family + " " + type + "\n";
+    *last_family = family;
+  }
+}
+
+std::string FormatDouble(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "+Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendTypeHeader(&out, &last_family, name, "counter");
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    AppendTypeHeader(&out, &last_family, name, "gauge");
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    // Histogram names carry no baked-in labels (the brace is reserved for
+    // the le= bucket label), so the family is the name itself.
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      const std::string le = i < hist.bounds.size()
+                                 ? FormatDouble(hist.bounds[i])
+                                 : std::string("+Inf");
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + FormatDouble(hist.sum) + "\n";
+    out += name + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    out += "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    out += "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    out += "\": {\"count\": " + std::to_string(hist.count) +
+           ", \"sum\": " + FormatDouble(hist.sum) + ", \"buckets\": [";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(hist.counts[i]);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace deepbase

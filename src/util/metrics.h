@@ -1,0 +1,129 @@
+// Process-global metrics registry: named counters, gauges, and
+// fixed-bucket latency histograms, rendered as Prometheus text or JSON
+// (the kMetrics wire request and inspect_server's --metrics-dump).
+//
+// Design contract:
+//   - Registration (MetricsRegistry::*) takes a mutex once; hot sites
+//     cache the returned handle (pointers are stable for the registry's
+//     lifetime, and the global registry never dies).
+//   - The hot path is lock-free: one relaxed atomic add per counter hit,
+//     one relaxed add + a CAS double-sum per histogram observation.
+//   - Labels are baked into the metric name ('deepbase_jobs_total
+//     {status="ok"}'); the Prometheus renderer groups name families by
+//     the text before '{' when emitting # TYPE headers.
+//
+// The registry complements — never replaces — the per-job RuntimeStats /
+// SchedulerStats structs: those answer "what did THIS job cost", the
+// registry answers "what is the process doing over time".
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace deepbase {
+
+/// \brief Monotonic counter. Inc is one relaxed atomic add.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed value (queue depths, active jobs).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram with Prometheus 'le' semantics: bucket i
+/// counts observations <= bounds[i]; one implicit +Inf bucket catches the
+/// rest. Observe is a relaxed add into one bucket plus a CAS loop on the
+/// double-valued sum.
+class Histogram {
+ public:
+  /// Bounds must be strictly ascending (checked with DB_DCHECK).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;    ///< upper bounds, +Inf excluded
+    std::vector<uint64_t> counts;  ///< per-bucket (non-cumulative),
+                                   ///< bounds.size() + 1 entries
+    uint64_t count = 0;            ///< total observations
+    double sum = 0;                ///< sum of observed values
+  };
+  Snapshot Snap() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  ///< double, CAS-updated
+};
+
+/// \brief Point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+/// \brief The registry. Use Global() for the process-wide instance;
+/// separate instances exist only so tests can isolate themselves.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by full name (labels included). Returned pointers are
+  /// stable until the registry is destroyed.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// A re-request under the same name returns the existing histogram and
+  /// ignores `bounds` (first registration wins).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Default latency buckets (seconds): 100us .. ~100s, log-spaced
+/// — wide enough for cached sub-millisecond answers and multi-second
+/// distributed runs in one histogram.
+std::vector<double> DefaultLatencyBounds();
+
+/// \brief Prometheus text exposition (one # TYPE per name family,
+/// cumulative _bucket/_sum/_count for histograms).
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// \brief The same snapshot as a JSON object.
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+}  // namespace deepbase

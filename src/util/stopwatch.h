@@ -1,25 +1,35 @@
 // Wall-clock timing for the benchmark harness and the engine's runtime
 // breakdown instrumentation (Figure 8).
+//
+// Clock discipline: every timing in the stack is steady_clock nanoseconds
+// internally (integer — no FP drift accumulating across millions of
+// block timings); seconds are a render-time conversion only.
 
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace deepbase {
 
-/// \brief Simple wall-clock stopwatch.
+/// \brief Simple wall-clock stopwatch (steady_clock, ns internally).
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
   void Restart() { start_ = Clock::now(); }
 
-  /// \brief Elapsed seconds since construction or last Restart().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// \brief Elapsed nanoseconds since construction or last Restart().
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
   }
 
-  double Millis() const { return Seconds() * 1e3; }
+  /// \brief Elapsed seconds (render-time conversion of ElapsedNs).
+  double Seconds() const { return static_cast<double>(ElapsedNs()) * 1e-9; }
+
+  double Millis() const { return static_cast<double>(ElapsedNs()) * 1e-6; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -27,17 +37,20 @@ class Stopwatch {
 };
 
 /// \brief Accumulates time across multiple start/stop intervals, used for
-/// per-component cost breakdowns (extraction vs inspection).
+/// per-component cost breakdowns (extraction vs inspection). Integer
+/// nanoseconds internally: summing many short intervals as doubles loses
+/// sub-microsecond increments once the total grows large.
 class TimeAccumulator {
  public:
   void Start() { watch_.Restart(); }
-  void Stop() { total_ += watch_.Seconds(); }
-  double Seconds() const { return total_; }
-  void Reset() { total_ = 0; }
+  void Stop() { total_ns_ += watch_.ElapsedNs(); }
+  int64_t Ns() const { return total_ns_; }
+  double Seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+  void Reset() { total_ns_ = 0; }
 
  private:
   Stopwatch watch_;
-  double total_ = 0;
+  int64_t total_ns_ = 0;
 };
 
 }  // namespace deepbase

@@ -1,0 +1,107 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <random>
+#include <utility>
+
+namespace deepbase {
+
+namespace {
+
+// Per-process id seed: span/trace ids must be unique across the
+// coordinator and every worker whose spans it imports. A random 64-bit
+// start plus a monotonic counter makes cross-process collisions
+// negligible without any coordination.
+std::atomic<uint64_t>& IdCounter() {
+  static std::atomic<uint64_t> counter = [] {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    if (seed == 0) seed = 0x9e3779b97f4a7c15ull;
+    return std::atomic<uint64_t>(seed);
+  }();
+  return counter;
+}
+
+uint64_t NextId() {
+  // Odd stride keeps the sequence nonrepeating over the full 64-bit
+  // period; skip 0 (the "no parent" sentinel).
+  uint64_t id = IdCounter().fetch_add(0x9e3779b97f4a7c15ull,
+                                      std::memory_order_relaxed);
+  return id != 0 ? id : 1;
+}
+
+}  // namespace
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t NewTraceId() { return NextId(); }
+
+uint64_t NewSpanId() { return NextId(); }
+
+Tracer::Tracer(uint64_t trace_id, size_t capacity)
+    : trace_id_(trace_id), capacity_(std::max<size_t>(capacity, 1)) {}
+
+void Tracer::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() < capacity_) {
+    spans_.push_back(std::move(span));
+    return;
+  }
+  spans_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::Import(const std::vector<TraceSpan>& spans, int64_t offset_ns) {
+  for (const TraceSpan& remote : spans) {
+    TraceSpan local = remote;
+    local.start_ns += offset_ns;
+    Record(std::move(local));
+  }
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.span_id < b.span_id;
+            });
+  return out;
+}
+
+size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string FormatSpanLogLine(uint64_t trace_id, const TraceSpan& span,
+                              int64_t trace_start_ns) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace=%016" PRIx64 " span=%016" PRIx64
+                " parent=%016" PRIx64 " name=%s start_ms=%.3f dur_ms=%.3f",
+                trace_id, span.span_id, span.parent_id, span.name.c_str(),
+                static_cast<double>(span.start_ns - trace_start_ns) * 1e-6,
+                static_cast<double>(span.duration_ns) * 1e-6);
+  std::string line(buf);
+  if (!span.tags.empty()) {
+    line += " tags=";
+    line += span.tags;
+  }
+  return line;
+}
+
+}  // namespace deepbase

@@ -1,0 +1,40 @@
+// Compile-time check for the tracing kill switch. This TU is compiled
+// into observability_test with -DDEEPBASE_TRACE_DISABLED (see
+// CMakeLists.txt) while the rest of the binary keeps tracing on: the
+// disabled SpanScope must be an empty type the optimizer can erase, and
+// the DB_SPAN/DB_SPAN_NAMED macros must still compile at call sites —
+// that is the guarantee the <2% tracing-off bench criterion rests on.
+
+#ifndef DEEPBASE_TRACE_DISABLED
+#error "trace_disabled_check.cc must be compiled with DEEPBASE_TRACE_DISABLED"
+#endif
+
+#include <type_traits>
+
+#include "util/trace.h"
+
+namespace deepbase {
+
+static_assert(std::is_empty_v<SpanScope>,
+              "the disabled SpanScope must carry no state");
+
+namespace {
+
+// Exercise every macro and member the instrumented code uses, so a
+// signature drift between the enabled and disabled SpanScope breaks this
+// build instead of the release one.
+uint64_t ExerciseDisabledSpans() {
+  TraceContext ctx;
+  DB_SPAN(ctx, "disabled.noop");
+  DB_SPAN_NAMED(span, ctx, "disabled.tagged");
+  span.Tag("k", "v");
+  span.Tag("n", uint64_t{7});
+  return span.id();
+}
+
+// Anchor the function so it is odr-used (and the asserts above always
+// fire during the observability_test build).
+[[maybe_unused]] const uint64_t kAnchor = ExerciseDisabledSpans();
+
+}  // namespace
+}  // namespace deepbase
