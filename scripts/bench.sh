@@ -10,7 +10,11 @@
 # observed end-to-end through the wire), and the distributed-cluster
 # bench (BENCH_cluster_scaleout.json — records/s at 1/2/4 workers with
 # the tables asserted bit-identical across worker counts, plus the
-# mid-job worker-kill reassignment latency). Also runs the
+# mid-job worker-kill reassignment latency), and the measure-kernel
+# bench (BENCH_kernels.json — rows scored per second per measure, SIMD
+# build vs a scalar -DDEEPBASE_SIMD=OFF leg of the same bench, with the
+# per-measure speedup and the host's lane/core capabilities recorded).
+# Also runs the
 # store-reinspection ablation and, when google-benchmark is available,
 # the bench_micro engine cells, so one command captures the whole
 # hot-path picture. Every bench JSON is asserted to carry its
@@ -34,7 +38,12 @@ echo "== build =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_engine_parallel \
       bench_scheduler_batch bench_server bench_cluster \
-      bench_store_reinspect >/dev/null
+      bench_store_reinspect bench_kernels >/dev/null
+# The scalar leg of the kernel bench: the fallback path is a build mode,
+# so the SIMD-vs-scalar comparison is a cross-build run of one binary.
+SCALAR_DIR="${BUILD_DIR}-scalar"
+cmake -B "$SCALAR_DIR" -S . -DDEEPBASE_SIMD=OFF >/dev/null
+cmake --build "$SCALAR_DIR" -j "$JOBS" --target bench_kernels >/dev/null
 if cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_micro \
       >/dev/null 2>&1; then
   HAVE_MICRO=1
@@ -57,6 +66,13 @@ echo "== server throughput (concurrent TCP clients over loopback) =="
 echo "== cluster scale-out (1/2/4 workers + reassignment latency) =="
 "$BUILD_DIR/bench/bench_cluster" --jobs 4 \
     --out "$REPO_ROOT/BENCH_cluster_scaleout.json"
+
+echo "== measure kernels (scalar leg, then SIMD leg vs that baseline) =="
+KERNELS_SCALAR_RAW="$(mktemp)"
+"$SCALAR_DIR/bench/bench_kernels" --raw-out "$KERNELS_SCALAR_RAW"
+"$BUILD_DIR/bench/bench_kernels" --scalar-raw "$KERNELS_SCALAR_RAW" \
+    --out "$REPO_ROOT/BENCH_kernels.json"
+rm -f "$KERNELS_SCALAR_RAW"
 
 echo "== phase-breakdown keys present in every bench JSON =="
 # The observability contract: each bench exports its critical-path phase
@@ -81,6 +97,8 @@ assert_keys "$REPO_ROOT/BENCH_server_throughput.json" \
     phase_coverage
 assert_keys "$REPO_ROOT/BENCH_cluster_scaleout.json" \
     phase_merge_s_mean phase_worker_hop_s_mean
+assert_keys "$REPO_ROOT/BENCH_kernels.json" \
+    phase_process_s phase_scores_s speedup_vs_scalar float_lanes
 
 if [ "$HAVE_MICRO" = "1" ]; then
   echo "== bench_micro engine cells =="
@@ -92,4 +110,4 @@ fi
 echo "== store reinspection (context) =="
 "$BUILD_DIR/bench/bench_store_reinspect"
 
-echo "OK — results in BENCH_engine_parallel.json, BENCH_scheduler_batch.json, BENCH_server_throughput.json, and BENCH_cluster_scaleout.json"
+echo "OK — results in BENCH_engine_parallel.json, BENCH_scheduler_batch.json, BENCH_server_throughput.json, BENCH_cluster_scaleout.json, and BENCH_kernels.json"

@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify line (configure, build, ctest), a smoke
+# CI entry point: the tier-1 verify line (configure, build, ctest) in BOTH
+# kernel builds (-DDEEPBASE_SIMD=ON default and the scalar fallback, which
+# share one layout contract and are pinned bitwise-equal by the
+# kernels_equivalence suite), an out-of-core inspection smoke (behaviors
+# bigger than the store's memory tier stream via the mmap tier through a
+# full session Inspect, byte-identical to the in-memory control), a smoke
 # run of the quickstart example through the InspectionSession API, a
 # network-serving smoke (start inspect_server, drive it with
 # inspect_client over loopback, scrape the kMetrics endpoint twice and
@@ -45,6 +50,27 @@ echo "== test =="
 
 echo "== smoke: quickstart =="
 "$BUILD_DIR/examples/quickstart" >/dev/null
+
+echo "== scalar build (-DDEEPBASE_SIMD=OFF): full suite =="
+# The numeric substrate ships two kernel paths (vectorized + scalar
+# fallback) behind one layout contract; both must stay green, and the
+# kernels_equivalence suite pins them bitwise-equal per build.
+SCALAR_DIR="${BUILD_DIR}-scalar"
+cmake -B "$SCALAR_DIR" -S . -DDEEPBASE_SIMD=OFF >/dev/null
+cmake --build "$SCALAR_DIR" -j "$JOBS"
+(cd "$SCALAR_DIR" && ctest --output-on-failure -j "$JOBS")
+
+echo "== smoke: out-of-core inspection (behaviors > memory tier, mmap) =="
+# A dataset whose materialized behaviors dwarf the store's memory budget
+# must still inspect — streamed from disk via the mmap tier — with
+# scores byte-identical to an all-in-memory control run. Checked in both
+# kernel builds.
+"$BUILD_DIR/examples/oocore_smoke" | grep -q "OOCORE OK" || {
+  echo "out-of-core smoke failed (simd build)"; exit 1
+}
+"$SCALAR_DIR/examples/oocore_smoke" | grep -q "OOCORE OK" || {
+  echo "out-of-core smoke failed (scalar build)"; exit 1
+}
 
 echo "== smoke: network serving (server + client + graceful drain) =="
 SERVER_LOG="$(mktemp)"
@@ -197,5 +223,10 @@ echo "== smoke: cluster scale-out bench =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_cluster >/dev/null
 "$BUILD_DIR/bench/bench_cluster" --smoke \
     --out "$BUILD_DIR/BENCH_cluster_scaleout_smoke.json" >/dev/null
+
+echo "== smoke: measure-kernel bench =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_kernels >/dev/null
+"$BUILD_DIR/bench/bench_kernels" --smoke \
+    --out "$BUILD_DIR/BENCH_kernels_smoke.json" >/dev/null
 
 echo "OK"

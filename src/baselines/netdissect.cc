@@ -19,7 +19,10 @@ CnnIouScores RunNetDissect(const TextureCnn& cnn,
     std::vector<Matrix> maps = cnn.UnitActivations(img.pixels);
     for (size_t u = 0; u < num_units; ++u) {
       const Matrix& m = maps[u];
-      all_acts[u].insert(all_acts[u].end(), m.data(), m.data() + m.size());
+      for (size_t r = 0; r < m.rows(); ++r) {
+        const float* row = m.row_data(r);
+        all_acts[u].insert(all_acts[u].end(), row, row + m.cols());
+      }
     }
     unit_maps.push_back(std::move(maps));
   }
@@ -42,12 +45,16 @@ CnnIouScores RunNetDissect(const TextureCnn& cnn,
     const auto& labels = images[i].labels;
     for (size_t u = 0; u < num_units; ++u) {
       const Matrix& m = unit_maps[i][u];
-      for (size_t p = 0; p < m.size(); ++p) {
-        const bool on = m.data()[p] > thresholds[u];
-        for (int c = 0; c < num_concepts; ++c) {
-          const bool is_concept = labels[p] == c + 1;
-          if (on && is_concept) ++inter[u][c];
-          if (on || is_concept) ++uni[u][c];
+      for (size_t r = 0; r < m.rows(); ++r) {
+        const float* row = m.row_data(r);
+        for (size_t col = 0; col < m.cols(); ++col) {
+          const size_t p = r * m.cols() + col;  // flat pixel index
+          const bool on = row[col] > thresholds[u];
+          for (int c = 0; c < num_concepts; ++c) {
+            const bool is_concept = labels[p] == c + 1;
+            if (on && is_concept) ++inter[u][c];
+            if (on || is_concept) ++uni[u][c];
+          }
         }
       }
     }
@@ -91,7 +98,10 @@ CnnIouScores RunDeepBaseCnn(const TextureCnn& cnn,
       const size_t npix = images[j].labels.size();
       for (size_t p = 0; p < npix; ++p) {
         float* dst = units.row_data(row + p);
-        for (size_t u = 0; u < num_units; ++u) dst[u] = maps[u].data()[p];
+        for (size_t u = 0; u < num_units; ++u) {
+          const Matrix& mu = maps[u];
+          dst[u] = mu(p / mu.cols(), p % mu.cols());
+        }
         const int label = images[j].labels[p];
         if (label >= 1 && label <= num_concepts) {
           masks[label - 1][row + p] = 1.0f;

@@ -458,8 +458,10 @@ Result<ResultTable> ClusterCoordinator::DistributedRun(
           : config_.total_shards;
   total_shards = std::min(total_shards, kMaxShards);
 
-  // Sliceable iff every (measure, hypothesis) state can merge exactly or
-  // with FP reassociation — no sequential-lane work. Streaming runs,
+  // Sliceable iff every (measure, hypothesis) state can merge without
+  // score drift — kExact integer counts or kBitExact pairwise-tree
+  // moments, so scores are byte-identical at any worker count — and no
+  // sequential-lane work is required. Streaming runs,
   // S < 2, SGD measures, and model-merged composites pin the whole job to
   // one worker instead (the pipeline would refuse RestrictShards anyway;
   // this predicate mirrors its lane planning).

@@ -27,8 +27,29 @@ std::string NamespaceOf(const std::string& key) {
   return colon == std::string::npos ? key : key.substr(0, colon);
 }
 
-constexpr uint32_t kStoreMagic = 0x44425354;  // "DBST"
-constexpr uint32_t kBlobMagic = 0x44425342;   // "DBSB"
+constexpr uint32_t kStoreMagicV1 = 0x44425354;  // "DBST" (legacy, read-only)
+constexpr uint32_t kStoreMagicV2 = 0x44425332;  // "DBS2"
+constexpr uint32_t kBlobMagic = 0x44425342;     // "DBSB"
+
+// The v2 behavior-file layout places the raw float payload (packed
+// logical rows×cols, row-major) at the first 64-byte boundary after the
+// header, so MmapMatrixStore can serve it in place: mapped pages are
+// cache-line aligned exactly like MemMatrixStore allocations. v1 files
+// (WriteMatrix framing at an arbitrary offset) are still readable but
+// never mmap-served; Put always writes v2.
+constexpr size_t kPayloadAlign = 64;
+
+size_t AlignUp(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+/// Byte offset of the float payload in a v2 file whose key is `key_len`
+/// bytes long: magic(4) + key_len(8) + key + checksum(8) + rows(8) +
+/// cols(8), rounded up to the alignment boundary.
+size_t V2PayloadOffset(size_t key_len) {
+  return AlignUp(sizeof(uint32_t) + 4 * sizeof(uint64_t) + key_len,
+                 kPayloadAlign);
+}
 
 uint64_t MatrixChecksum(const Matrix& m) {
   uint64_t h = kFnvOffsetBasis;
@@ -95,17 +116,32 @@ Status BehaviorStore::Put(const std::string& key, const Matrix& behaviors,
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IOError("cannot open " + path);
-    const uint32_t magic = kStoreMagic;
+    const uint32_t magic = kStoreMagicV2;
     const uint64_t key_len = key.size();
     const uint64_t checksum = MatrixChecksum(behaviors);
+    const uint64_t rows = behaviors.rows();
+    const uint64_t cols = behaviors.cols();
     out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
     out.write(reinterpret_cast<const char*>(&key_len), sizeof(key_len));
     out.write(key.data(), static_cast<std::streamsize>(key.size()));
     out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-    WriteMatrix(behaviors, &out);
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    // Zero-pad the header so the payload starts 64-byte-aligned — the
+    // precondition for serving the file through MmapMatrixStore.
+    const size_t header_end = sizeof(magic) + 4 * sizeof(uint64_t) + key.size();
+    const size_t payload_offset = V2PayloadOffset(key.size());
+    const std::string pad(payload_offset - header_end, '\0');
+    out.write(pad.data(), static_cast<std::streamsize>(pad.size()));
+    // Logical rows×cols row by row — never the padded lda, so files are
+    // identical across SIMD/scalar builds.
+    for (size_t r = 0; r < behaviors.rows(); ++r) {
+      out.write(reinterpret_cast<const char*>(behaviors.row_data(r)),
+                static_cast<std::streamsize>(cols * sizeof(float)));
+    }
     if (!out) return Status::IOError("write failed for " + path);
-    // Actual file footprint (header + key + checksum + payload), not an
-    // entry count or a payload-only estimate.
+    // Actual file footprint (header + padding + payload), not an entry
+    // count or a payload-only estimate.
     const auto pos = out.tellp();
     bytes_written_ += pos > 0 ? static_cast<size_t>(pos) : 0;
   }
@@ -156,7 +192,8 @@ Result<std::shared_ptr<const Matrix>> BehaviorStore::GetShared(
   uint64_t key_len = 0, checksum = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
-  if (!in || magic != kStoreMagic || key_len > (1u << 20)) {
+  if (!in || (magic != kStoreMagicV1 && magic != kStoreMagicV2) ||
+      key_len > (1u << 20)) {
     return corrupt("corrupt store file header");
   }
   std::string stored_key(key_len, '\0');
@@ -165,12 +202,70 @@ Result<std::shared_ptr<const Matrix>> BehaviorStore::GetShared(
   if (!in || stored_key != key) {
     return corrupt("key mismatch (hash collision?)");
   }
-  Result<Matrix> read = ReadMatrix(&in);
-  if (!read.ok()) {
-    return corrupt("unreadable matrix payload: " +
-                   read.status().ToString());
+
+  if (magic == kStoreMagicV1) {
+    // Legacy framing (WriteMatrix at an arbitrary offset): deserialize
+    // only; never mmap-servable.
+    Result<Matrix> read = ReadMatrix(&in);
+    if (!read.ok()) {
+      return corrupt("unreadable matrix payload: " +
+                     read.status().ToString());
+    }
+    Matrix m = std::move(read).ValueOrDie();
+    if (MatrixChecksum(m) != checksum) {
+      return corrupt("checksum mismatch");
+    }
+    ++disk_hits_;
+    if (served_from != nullptr) *served_from = Tier::kDisk;
+    auto shared = std::make_shared<const Matrix>(std::move(m));
+    AdmitLocked(key, shared, /*cost=*/1.0);
+    return shared;
   }
-  Matrix m = std::move(read).ValueOrDie();
+
+  uint64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  // Shape sanity before any multiply: reject products that would
+  // overflow rows*cols*sizeof(float).
+  constexpr uint64_t kMaxFloats =
+      std::numeric_limits<size_t>::max() / sizeof(float);
+  if (!in || (cols != 0 && rows > kMaxFloats / cols)) {
+    return corrupt("corrupt v2 store file shape");
+  }
+  const size_t payload_offset = V2PayloadOffset(key_len);
+  const size_t payload_bytes = rows * cols * sizeof(float);
+  std::error_code size_ec;
+  const auto file_size = std::filesystem::file_size(path, size_ec);
+  if (size_ec || file_size < payload_offset + payload_bytes) {
+    return corrupt("v2 store file truncated");
+  }
+
+  // Out-of-core handout: a payload larger than the memory tier's
+  // effective limit would evict the whole LRU and still not fit, so map
+  // the aligned payload read-only and let the page cache stream it.
+  size_t mem_limit = memory_budget_;
+  auto quota_it = namespace_quotas_.find(NamespaceOf(key));
+  if (quota_it != namespace_quotas_.end()) {
+    mem_limit = std::min(mem_limit, quota_it->second);
+  }
+  if (mem_limit > 0 && payload_bytes > mem_limit) {
+    std::shared_ptr<MmapMatrixStore> mapped =
+        MmapMatrixStore::Map(path, payload_offset, rows, cols);
+    if (mapped != nullptr) {
+      ++mmap_hits_;
+      if (served_from != nullptr) *served_from = Tier::kMmap;
+      return std::make_shared<const Matrix>(Matrix(std::move(mapped)));
+    }
+    // Map failure degrades to the deserializing path below.
+  }
+
+  in.seekg(static_cast<std::streamoff>(payload_offset));
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    in.read(reinterpret_cast<char*>(m.row_data(r)),
+            static_cast<std::streamsize>(cols * sizeof(float)));
+  }
+  if (in.fail()) return corrupt("unreadable v2 matrix payload");
   if (MatrixChecksum(m) != checksum) {
     return corrupt("checksum mismatch");
   }
@@ -217,7 +312,10 @@ std::vector<std::string> BehaviorStore::Keys() const {
     uint64_t key_len = 0;
     in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
     in.read(reinterpret_cast<char*>(&key_len), sizeof(key_len));
-    if (!in || magic != kStoreMagic || key_len > (1u << 20)) continue;
+    if (!in || (magic != kStoreMagicV1 && magic != kStoreMagicV2) ||
+        key_len > (1u << 20)) {
+      continue;
+    }
     std::string key(key_len, '\0');
     in.read(key.data(), static_cast<std::streamsize>(key_len));
     if (in) keys.push_back(std::move(key));
@@ -250,6 +348,11 @@ size_t BehaviorStore::mem_hits() const {
 size_t BehaviorStore::disk_hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return disk_hits_;
+}
+
+size_t BehaviorStore::mmap_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mmap_hits_;
 }
 
 size_t BehaviorStore::misses() const {
@@ -518,6 +621,16 @@ void BehaviorStore::AdmitLocked(const std::string& key,
   entry.key = key;
   entry.ns = NamespaceOf(key);
   entry.bytes = matrix->rows() * matrix->cols() * sizeof(float);
+  // A payload that can never fit its effective limit (global budget, or
+  // the namespace quota if tighter) is out-of-core territory: caching it
+  // would evict the entire working set only to be re-evicted itself, and
+  // GetShared serves it by mmap anyway. Leave it to the disk tier.
+  size_t limit = memory_budget_;
+  auto quota_it = namespace_quotas_.find(entry.ns);
+  if (quota_it != namespace_quotas_.end()) {
+    limit = std::min(limit, quota_it->second);
+  }
+  if (entry.bytes > limit) return;
   entry.cost = cost;
   entry.matrix = std::move(matrix);
   memory_bytes_ += entry.bytes;

@@ -29,7 +29,8 @@ namespace deepbase {
 /// changes.
 uint64_t DatasetFingerprint(const Dataset& dataset);
 
-/// \brief Two-tier (memory LRU over disk) store of behavior matrices.
+/// \brief Tiered (memory LRU over disk, with out-of-core mmap handout for
+/// matrices bigger than the memory tier) store of behavior matrices.
 ///
 /// Thread-safety: all operations are serialized by an internal mutex, so
 /// one store may back several concurrent inspection jobs
@@ -37,8 +38,11 @@ uint64_t DatasetFingerprint(const Dataset& dataset);
 /// lifetime; AddStatsTo() folds them into a RuntimeStats snapshot.
 class BehaviorStore {
  public:
-  /// Which tier served a Get (kMiss = not stored at all).
-  enum class Tier { kMemory, kDisk, kMiss };
+  /// Which tier served a Get (kMiss = not stored at all). kMmap means the
+  /// matrix was handed out as a read-only map of the on-disk payload —
+  /// out-of-core: the bytes stream through the page cache on access
+  /// instead of being deserialized into the memory tier.
+  enum class Tier { kMemory, kDisk, kMmap, kMiss };
 
   /// \param root_dir directory for the persisted matrices (created on
   ///        first Put if missing).
@@ -74,6 +78,15 @@ class BehaviorStore {
   /// one stored matrix share a single allocation (the fused-job
   /// hypothesis-tier / PrecomputedExtractor path). Eviction only drops
   /// the store's reference; live handles stay valid.
+  ///
+  /// Out-of-core: when the stored payload is larger than the memory
+  /// tier's effective limit (the global budget, tightened by the key's
+  /// namespace quota), the matrix would evict everything and still not
+  /// fit — so instead of deserializing, the store maps the v2 file's
+  /// 64-byte-aligned float payload read-only (Tier::kMmap) and the page
+  /// cache streams it. Mmap handouts bypass the LRU and skip checksum
+  /// verification (validating would read the whole payload, defeating
+  /// the point); the header and file size are still validated.
   Result<std::shared_ptr<const Matrix>> GetShared(
       const std::string& key, Tier* served_from = nullptr);
 
@@ -126,6 +139,8 @@ class BehaviorStore {
   // file framing (not entry counts).
   size_t mem_hits() const;
   size_t disk_hits() const;
+  /// \brief Reads served as out-of-core mmap handouts (see GetShared).
+  size_t mmap_hits() const;
   size_t misses() const;
   size_t evictions() const;
   size_t evicted_bytes() const;
@@ -210,6 +225,7 @@ class BehaviorStore {
   std::map<std::string, std::list<MemEntry>::iterator> index_;
   size_t mem_hits_ = 0;
   size_t disk_hits_ = 0;
+  size_t mmap_hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
   size_t evicted_bytes_ = 0;

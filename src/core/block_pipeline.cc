@@ -184,7 +184,10 @@ BlockPipeline::BlockPipeline(const std::vector<ModelSpec>& models,
         ++store_hyp_misses_;
       } else if (tier == BehaviorStore::Tier::kMemory) {
         ++store_hyp_mem_hits_;
-      } else if (tier == BehaviorStore::Tier::kDisk) {
+      } else if (tier == BehaviorStore::Tier::kDisk ||
+                 tier == BehaviorStore::Tier::kMmap) {
+        // Hypothesis matrices are small (records × ns); an mmap handout
+        // is still a disk-tier serve for the hyp counter pair.
         ++store_hyp_disk_hits_;
       }
     }
@@ -403,6 +406,10 @@ void BlockPipeline::InspectShardBlock(const BlockData& data, size_t shard,
                            : pair.replicas[shard].get();
     const Matrix& units = GroupMatrix(data, pair.model_i, pair.group_i,
                                       scratch);
+    // The serial is shard-count-invariant (shuffle position), so the
+    // (occurrence, serial) keys a kBitExact measure derives from it are
+    // identical no matter which lane or worker consumed the block.
+    measure->BeginBlock(data.serial);
     measure->ProcessBlock(units, HypSpan(data, pair.hyp_i));
     if (options_.early_stopping && measure->SupportsConvergence() &&
         measure->ErrorEstimate() < pair.epsilon &&
@@ -420,6 +427,7 @@ void BlockPipeline::InspectSequentialBlock(const BlockData& data,
     if (pair.converged) continue;
     const Matrix& units = GroupMatrix(data, pair.model_i, pair.group_i,
                                       scratch);
+    pair.measure->BeginBlock(data.serial);
     pair.measure->ProcessBlock(units, HypSpan(data, pair.hyp_i));
     if (options_.early_stopping && pair.measure->SupportsConvergence() &&
         pair.measure->ErrorEstimate() < pair.epsilon) {
@@ -433,10 +441,11 @@ void BlockPipeline::InspectSequentialBlock(const BlockData& data,
     // place — no per-block allocation, satellite of the zero-copy rework).
     Matrix& hyp_sub = ms.hyp_sub_buf;
     hyp_sub.Resize(data.rows, ms.hyp_indices.size());
+    float* const dst0 = hyp_sub.row_data(0);
+    const size_t stride = hyp_sub.lda();
     for (size_t j = 0; j < ms.hyp_indices.size(); ++j) {
       const float* const src = data.hyp_cols.row_data(ms.hyp_indices[j]);
-      float* const dst = hyp_sub.data() + j;
-      const size_t stride = ms.hyp_indices.size();
+      float* const dst = dst0 + j;
       for (size_t r = 0; r < data.rows; ++r) dst[r * stride] = src[r];
     }
     ms.merged->ProcessBlock(units, hyp_sub);

@@ -26,7 +26,7 @@ constexpr size_t kScalarFieldCount =
 static_assert(kShardFieldCount == 5,
               "RuntimeStats::Shard field list changed; update the X-macro "
               "and this count together");
-static_assert(kScalarFieldCount == 25,
+static_assert(kScalarFieldCount == 26,
               "RuntimeStats scalar field list changed; update the X-macro "
               "and this count together");
 static_assert(sizeof(RuntimeStats::Shard) == kShardFieldCount * 8,
@@ -130,7 +130,8 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
   const std::vector<ModelSpec>* models_ptr = &models_in;
   std::vector<ModelSpec> substituted;
   std::vector<std::unique_ptr<PrecomputedExtractor>> stored_extractors;
-  size_t store_mem_hits = 0, store_disk_hits = 0, store_misses = 0;
+  size_t store_mem_hits = 0, store_disk_hits = 0, store_mmap_hits = 0;
+  size_t store_misses = 0;
   double store_prelude_s = 0;
   if (options.behavior_store != nullptr) {
     Stopwatch prelude_watch;
@@ -166,6 +167,8 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
         ++store_mem_hits;
       } else if (tier == BehaviorStore::Tier::kDisk) {
         ++store_disk_hits;
+      } else if (tier == BehaviorStore::Tier::kMmap) {
+        ++store_mmap_hits;
       }
       stored_extractors.push_back(
           std::make_unique<PrecomputedExtractor>(std::move(*stored)));
@@ -249,6 +252,7 @@ ResultTable Inspect(const std::vector<ModelSpec>& models_in,
     }
     stats->store_mem_hits = store_mem_hits;
     stats->store_disk_hits = store_disk_hits;
+    stats->store_mmap_hits = store_mmap_hits;
     stats->store_misses = store_misses;
     stats->store_hyp_mem_hits = totals.store_hyp_mem_hits;
     stats->store_hyp_disk_hits = totals.store_hyp_disk_hits;

@@ -216,6 +216,7 @@ struct InspectOptions {
   X(size_t, cache_misses)                       \
   X(size_t, store_mem_hits)                     \
   X(size_t, store_disk_hits)                    \
+  X(size_t, store_mmap_hits)                    \
   X(size_t, store_misses)                       \
   X(size_t, store_evictions)                    \
   X(size_t, store_evicted_bytes)                \
@@ -285,6 +286,9 @@ struct RuntimeStats {
   /// that skipped live extraction; misses count materializations.
   size_t store_mem_hits = 0;
   size_t store_disk_hits = 0;
+  /// Out-of-core reads: stored behaviors served as a read-only mmap of
+  /// the v2 file payload because they exceed the memory tier's limit.
+  size_t store_mmap_hits = 0;
   size_t store_misses = 0;
   size_t store_evictions = 0;
   /// Byte-valued store accounting (evictions above counts events; these

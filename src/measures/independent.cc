@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace deepbase {
@@ -44,6 +46,41 @@ std::vector<double> Ranks(const std::vector<float>& v) {
   return ranks;
 }
 
+// Canonical fixed-shape pairwise reduction over entries sorted by
+// (occ, serial): recursive halving with mid = lo + (hi - lo) / 2. The tree
+// shape depends only on the sorted key sequence — never on which shard or
+// worker produced an entry — which is what promotes the moment-sum merges
+// to MergeExactness::kBitExact.
+template <typename Entry, typename Combine>
+Entry PairwiseReduce(const std::vector<const Entry*>& sorted, size_t lo,
+                     size_t hi, const Combine& combine) {
+  if (hi - lo == 1) return *sorted[lo];
+  const size_t mid = lo + (hi - lo) / 2;
+  Entry left = PairwiseReduce(sorted, lo, mid, combine);
+  const Entry right = PairwiseReduce(sorted, mid, hi, combine);
+  combine(&left, right);
+  return left;
+}
+
+template <typename Entry>
+std::vector<const Entry*> SortedByKey(const std::vector<Entry>& entries) {
+  std::vector<const Entry*> sorted(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) sorted[i] = &entries[i];
+  // Stable: entries with equal keys (direct-API fallback counters from
+  // different replicas) keep the deterministic merge insertion order.
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Entry* a, const Entry* b) {
+                     if (a->occ != b->occ) return a->occ < b->occ;
+                     return a->serial < b->serial;
+                   });
+  return sorted;
+}
+
+void AddInto(std::vector<double>* dst, const std::vector<double>& src) {
+  DB_DCHECK(dst->size() == src.size());
+  for (size_t i = 0; i < src.size(); ++i) (*dst)[i] += src[i];
+}
+
 }  // namespace
 
 using measure_internal::MergePeer;
@@ -60,25 +97,91 @@ PearsonMeasure::PearsonMeasure(size_t num_units, double z_critical)
       sxx_(num_units, 0),
       sxy_(num_units, 0) {}
 
+void PearsonMeasure::BeginBlock(uint64_t serial) {
+  pending_occ_ = occ_seen_[serial]++;
+  pending_serial_ = serial;
+  key_pending_ = true;
+}
+
 void PearsonMeasure::ProcessBlock(const Matrix& units,
                                   std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
-  double* const sx = sx_.data();
-  double* const sxx = sxx_.data();
-  double* const sxy = sxy_.data();
-  for (size_t r = 0; r < units.rows(); ++r) {
+  Entry e;
+  if (key_pending_) {
+    e.occ = pending_occ_;
+    e.serial = pending_serial_;
+    key_pending_ = false;
+  } else {
+    e.serial = auto_serial_++;
+  }
+  const size_t rows = units.rows();
+  e.n = rows;
+  e.sx.assign(num_units_, 0.0);
+  e.sxx.assign(num_units_, 0.0);
+  e.sxy.assign(num_units_, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
     const double y = hyp[r];
-    sy_ += y;
-    syy_ += y * y;
+    e.sy += y;
+    e.syy += y * y;
+  }
+  double* const sx = e.sx.data();
+  double* const sxx = e.sxx.data();
+  double* const sxy = e.sxy.data();
+#if DEEPBASE_SIMD_ENABLED
+  // Column-panel blocking: each pass over the rows touches one cache line
+  // per row (a 16-unit panel, two kDoubleLanes half-panels). Lane = unit,
+  // rows in order, so every per-unit sum performs exactly the additions of
+  // the scalar loop below — bit-identical across SIMD and scalar builds.
+  namespace stdx = vec::stdx;
+  constexpr size_t kPanel = 2 * vec::kDoubleLanes;
+  const size_t panels = num_units_ / kPanel;
+  for (size_t p = 0; p < panels; ++p) {
+    const size_t u0 = p * kPanel;
+    vec::DoubleV a_sx0(0.0), a_sxx0(0.0), a_sxy0(0.0);
+    vec::DoubleV a_sx1(0.0), a_sxx1(0.0), a_sxy1(0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      const float* const row = units.row_data(r) + u0;
+      const vec::DoubleV x0 = vec::WidenLoad(row);
+      const vec::DoubleV x1 = vec::WidenLoad(row + vec::kDoubleLanes);
+      const double y = hyp[r];
+      a_sx0 += x0;
+      a_sxx0 += x0 * x0;
+      a_sxy0 += x0 * y;
+      a_sx1 += x1;
+      a_sxx1 += x1 * x1;
+      a_sxy1 += x1 * y;
+    }
+    for (size_t l = 0; l < vec::kDoubleLanes; ++l) {
+      sx[u0 + l] += a_sx0[l];
+      sxx[u0 + l] += a_sxx0[l];
+      sxy[u0 + l] += a_sxy0[l];
+      sx[u0 + vec::kDoubleLanes + l] += a_sx1[l];
+      sxx[u0 + vec::kDoubleLanes + l] += a_sxx1[l];
+      sxy[u0 + vec::kDoubleLanes + l] += a_sxy1[l];
+    }
+  }
+  const size_t tail0 = panels * kPanel;
+#else
+  const size_t tail0 = 0;
+#endif
+  for (size_t r = 0; r < rows; ++r) {
+    const double y = hyp[r];
     const float* const row = units.row_data(r);
-    for (size_t u = 0; u < num_units_; ++u) {
+    for (size_t u = tail0; u < num_units_; ++u) {
       const double x = row[u];
       sx[u] += x;
       sxx[u] += x * x;
       sxy[u] += x * y;
     }
   }
-  n_ += units.rows();
+  // Fold into the running totals backing the convergence check.
+  n_ += rows;
+  sy_ += e.sy;
+  syy_ += e.syy;
+  AddInto(&sx_, e.sx);
+  AddInto(&sxx_, e.sxx);
+  AddInto(&sxy_, e.sxy);
+  entries_.push_back(std::move(e));
 }
 
 std::unique_ptr<Measure> PearsonMeasure::CloneState() const {
@@ -88,11 +191,11 @@ std::unique_ptr<Measure> PearsonMeasure::CloneState() const {
 void PearsonMeasure::MergeFrom(const Measure& other) {
   const auto& o = MergePeer<PearsonMeasure>(other);
   DB_DCHECK(o.num_units_ == num_units_);
-  for (size_t u = 0; u < num_units_; ++u) {
-    sx_[u] += o.sx_[u];
-    sxx_[u] += o.sxx_[u];
-    sxy_[u] += o.sxy_[u];
-  }
+  // Concatenate per-block entries; Scores() re-reduces them canonically.
+  entries_.insert(entries_.end(), o.entries_.begin(), o.entries_.end());
+  AddInto(&sx_, o.sx_);
+  AddInto(&sxx_, o.sxx_);
+  AddInto(&sxy_, o.sxy_);
   sy_ += o.sy_;
   syy_ += o.syy_;
   n_ += o.n_;
@@ -108,6 +211,17 @@ bool PearsonMeasure::SerializeState(codec::Writer* w) const {
   WriteVec(w, sxy_);
   w->F64(sy_);
   w->F64(syy_);
+  w->U32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w->U64(e.occ);
+    w->U64(e.serial);
+    w->U64(e.n);
+    w->F64(e.sy);
+    w->F64(e.syy);
+    WriteVec(w, e.sx);
+    WriteVec(w, e.sxx);
+    WriteVec(w, e.sxy);
+  }
   return true;
 }
 
@@ -121,7 +235,42 @@ bool PearsonMeasure::DeserializeState(codec::Reader* r) {
   if (!ReadVec(r, num_units_, &sxy_)) return false;
   sy_ = r->F64();
   syy_ = r->F64();
+  const uint32_t count = r->U32();
+  if (!r->ok()) return false;
+  entries_.clear();
+  entries_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    e.occ = r->U64();
+    e.serial = r->U64();
+    e.n = r->U64();
+    e.sy = r->F64();
+    e.syy = r->F64();
+    if (!ReadVec(r, num_units_, &e.sx)) return false;
+    if (!ReadVec(r, num_units_, &e.sxx)) return false;
+    if (!ReadVec(r, num_units_, &e.sxy)) return false;
+    entries_.push_back(std::move(e));
+  }
   return r->ok();
+}
+
+PearsonMeasure::Entry PearsonMeasure::ReducedEntry() const {
+  if (entries_.empty()) {
+    Entry zero;
+    zero.sx.assign(num_units_, 0.0);
+    zero.sxx.assign(num_units_, 0.0);
+    zero.sxy.assign(num_units_, 0.0);
+    return zero;
+  }
+  return PairwiseReduce(SortedByKey(entries_), 0, entries_.size(),
+                        [](Entry* a, const Entry& b) {
+                          a->n += b.n;
+                          a->sy += b.sy;
+                          a->syy += b.syy;
+                          AddInto(&a->sx, b.sx);
+                          AddInto(&a->sxx, b.sxx);
+                          AddInto(&a->sxy, b.sxy);
+                        });
 }
 
 double PearsonMeasure::UnitR(size_t u) const {
@@ -130,10 +279,13 @@ double PearsonMeasure::UnitR(size_t u) const {
 }
 
 MeasureScores PearsonMeasure::Scores() const {
+  const Entry e = ReducedEntry();
   MeasureScores out;
   out.unit_scores.resize(num_units_);
   for (size_t u = 0; u < num_units_; ++u) {
-    out.unit_scores[u] = static_cast<float>(UnitR(u));
+    out.unit_scores[u] = static_cast<float>(
+        PearsonFromSums(static_cast<double>(e.n), e.sx[u], e.sxx[u], e.sy,
+                        e.syy, e.sxy[u]));
   }
   return out;
 }
@@ -207,21 +359,87 @@ DiffMeansMeasure::DiffMeansMeasure(size_t num_units)
       s0_(num_units, 0),
       ss0_(num_units, 0) {}
 
+void DiffMeansMeasure::BeginBlock(uint64_t serial) {
+  pending_occ_ = occ_seen_[serial]++;
+  pending_serial_ = serial;
+  key_pending_ = true;
+}
+
 void DiffMeansMeasure::ProcessBlock(const Matrix& units,
                                     std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
-  for (size_t r = 0; r < units.rows(); ++r) {
+  Entry e;
+  if (key_pending_) {
+    e.occ = pending_occ_;
+    e.serial = pending_serial_;
+    key_pending_ = false;
+  } else {
+    e.serial = auto_serial_++;
+  }
+  const size_t rows = units.rows();
+  e.s1.assign(num_units_, 0.0);
+  e.ss1.assign(num_units_, 0.0);
+  e.s0.assign(num_units_, 0.0);
+  e.ss0.assign(num_units_, 0.0);
+#if DEEPBASE_SIMD_ENABLED
+  // Same panel shape and lane-per-unit contract as the Pearson kernel.
+  namespace stdx = vec::stdx;
+  constexpr size_t kPanel = 2 * vec::kDoubleLanes;
+  const size_t panels = num_units_ / kPanel;
+  for (size_t p = 0; p < panels; ++p) {
+    const size_t u0 = p * kPanel;
+    vec::DoubleV a_s1a(0.0), a_ss1a(0.0), a_s1b(0.0), a_ss1b(0.0);
+    vec::DoubleV a_s0a(0.0), a_ss0a(0.0), a_s0b(0.0), a_ss0b(0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      const float* const row = units.row_data(r) + u0;
+      const vec::DoubleV x0 = vec::WidenLoad(row);
+      const vec::DoubleV x1 = vec::WidenLoad(row + vec::kDoubleLanes);
+      if (hyp[r] >= 0.5f) {
+        a_s1a += x0;
+        a_ss1a += x0 * x0;
+        a_s1b += x1;
+        a_ss1b += x1 * x1;
+      } else {
+        a_s0a += x0;
+        a_ss0a += x0 * x0;
+        a_s0b += x1;
+        a_ss0b += x1 * x1;
+      }
+    }
+    for (size_t l = 0; l < vec::kDoubleLanes; ++l) {
+      e.s1[u0 + l] += a_s1a[l];
+      e.ss1[u0 + l] += a_ss1a[l];
+      e.s0[u0 + l] += a_s0a[l];
+      e.ss0[u0 + l] += a_ss0a[l];
+      e.s1[u0 + vec::kDoubleLanes + l] += a_s1b[l];
+      e.ss1[u0 + vec::kDoubleLanes + l] += a_ss1b[l];
+      e.s0[u0 + vec::kDoubleLanes + l] += a_s0b[l];
+      e.ss0[u0 + vec::kDoubleLanes + l] += a_ss0b[l];
+    }
+  }
+  const size_t tail0 = panels * kPanel;
+#else
+  const size_t tail0 = 0;
+#endif
+  for (size_t r = 0; r < rows; ++r) {
     const bool pos = hyp[r] >= 0.5f;
-    double* const s = (pos ? s1_ : s0_).data();
-    double* const ss = (pos ? ss1_ : ss0_).data();
-    (pos ? n1_ : n0_) += 1;
+    (pos ? e.n1 : e.n0) += 1;
+    double* const s = (pos ? e.s1 : e.s0).data();
+    double* const ss = (pos ? e.ss1 : e.ss0).data();
     const float* const row = units.row_data(r);
-    for (size_t u = 0; u < num_units_; ++u) {
+    for (size_t u = tail0; u < num_units_; ++u) {
       const double x = row[u];
       s[u] += x;
       ss[u] += x * x;
     }
   }
+  n1_ += e.n1;
+  n0_ += e.n0;
+  AddInto(&s1_, e.s1);
+  AddInto(&ss1_, e.ss1);
+  AddInto(&s0_, e.s0);
+  AddInto(&ss0_, e.ss0);
+  entries_.push_back(std::move(e));
 }
 
 std::unique_ptr<Measure> DiffMeansMeasure::CloneState() const {
@@ -231,12 +449,11 @@ std::unique_ptr<Measure> DiffMeansMeasure::CloneState() const {
 void DiffMeansMeasure::MergeFrom(const Measure& other) {
   const auto& o = MergePeer<DiffMeansMeasure>(other);
   DB_DCHECK(o.num_units_ == num_units_);
-  for (size_t u = 0; u < num_units_; ++u) {
-    s1_[u] += o.s1_[u];
-    ss1_[u] += o.ss1_[u];
-    s0_[u] += o.s0_[u];
-    ss0_[u] += o.ss0_[u];
-  }
+  entries_.insert(entries_.end(), o.entries_.begin(), o.entries_.end());
+  AddInto(&s1_, o.s1_);
+  AddInto(&ss1_, o.ss1_);
+  AddInto(&s0_, o.s0_);
+  AddInto(&ss0_, o.ss0_);
   n1_ += o.n1_;
   n0_ += o.n0_;
 }
@@ -250,6 +467,17 @@ bool DiffMeansMeasure::SerializeState(codec::Writer* w) const {
   WriteVec(w, ss1_);
   WriteVec(w, s0_);
   WriteVec(w, ss0_);
+  w->U32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w->U64(e.occ);
+    w->U64(e.serial);
+    w->U64(e.n1);
+    w->U64(e.n0);
+    WriteVec(w, e.s1);
+    WriteVec(w, e.ss1);
+    WriteVec(w, e.s0);
+    WriteVec(w, e.ss0);
+  }
   return true;
 }
 
@@ -262,19 +490,56 @@ bool DiffMeansMeasure::DeserializeState(codec::Reader* r) {
   if (!ReadVec(r, num_units_, &ss1_)) return false;
   if (!ReadVec(r, num_units_, &s0_)) return false;
   if (!ReadVec(r, num_units_, &ss0_)) return false;
+  const uint32_t count = r->U32();
+  if (!r->ok()) return false;
+  entries_.clear();
+  entries_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    e.occ = r->U64();
+    e.serial = r->U64();
+    e.n1 = r->U64();
+    e.n0 = r->U64();
+    if (!ReadVec(r, num_units_, &e.s1)) return false;
+    if (!ReadVec(r, num_units_, &e.ss1)) return false;
+    if (!ReadVec(r, num_units_, &e.s0)) return false;
+    if (!ReadVec(r, num_units_, &e.ss0)) return false;
+    entries_.push_back(std::move(e));
+  }
   return r->ok();
 }
 
+DiffMeansMeasure::Entry DiffMeansMeasure::ReducedEntry() const {
+  if (entries_.empty()) {
+    Entry zero;
+    zero.s1.assign(num_units_, 0.0);
+    zero.ss1.assign(num_units_, 0.0);
+    zero.s0.assign(num_units_, 0.0);
+    zero.ss0.assign(num_units_, 0.0);
+    return zero;
+  }
+  return PairwiseReduce(SortedByKey(entries_), 0, entries_.size(),
+                        [](Entry* a, const Entry& b) {
+                          a->n1 += b.n1;
+                          a->n0 += b.n0;
+                          AddInto(&a->s1, b.s1);
+                          AddInto(&a->ss1, b.ss1);
+                          AddInto(&a->s0, b.s0);
+                          AddInto(&a->ss0, b.ss0);
+                        });
+}
+
 MeasureScores DiffMeansMeasure::Scores() const {
+  const Entry e = ReducedEntry();
   MeasureScores out;
   out.unit_scores.resize(num_units_, 0.0f);
-  if (n1_ == 0 || n0_ == 0) return out;
+  if (e.n1 == 0 || e.n0 == 0) return out;
   for (size_t u = 0; u < num_units_; ++u) {
-    const double m1 = s1_[u] / n1_, m0 = s0_[u] / n0_;
-    const double v1 = std::max(0.0, ss1_[u] / n1_ - m1 * m1);
-    const double v0 = std::max(0.0, ss0_[u] / n0_ - m0 * m0);
-    const double pooled =
-        std::sqrt((n1_ * v1 + n0_ * v0) / std::max<size_t>(1, n1_ + n0_));
+    const double m1 = e.s1[u] / e.n1, m0 = e.s0[u] / e.n0;
+    const double v1 = std::max(0.0, e.ss1[u] / e.n1 - m1 * m1);
+    const double v0 = std::max(0.0, e.ss0[u] / e.n0 - m0 * m0);
+    const double pooled = std::sqrt((e.n1 * v1 + e.n0 * v0) /
+                                    std::max<uint64_t>(1, e.n1 + e.n0));
     out.unit_scores[u] =
         pooled > 1e-9 ? static_cast<float>((m1 - m0) / pooled) : 0.0f;
   }
@@ -311,19 +576,52 @@ void JaccardMeasure::ProcessBlock(const Matrix& units,
     }
     thresholds_ready_ = true;
   }
+  const size_t rows = units.rows();
   const float* const th = thresholds_.data();
   size_t* const inter = inter_.data();
   size_t* const uni = uni_.data();
-  for (size_t r = 0; r < units.rows(); ++r) {
-    const size_t label = hyp[r] >= 0.5f ? 1 : 0;
-    const float* const row = units.row_data(r);
-    for (size_t u = 0; u < num_units_; ++u) {
-      const size_t on = row[u] > th[u] ? 1 : 0;
-      inter[u] += on & label;
-      uni[u] += on | label;
+  // Decomposition that turns the per-row AND/OR walk into two per-unit
+  // exceedance counts: with c1[u] = #(hyp=1 ∧ x>th), c0[u] = #(hyp=0 ∧
+  // x>th) and n1 = #(hyp=1), intersection += c1 and union += n1 + c0.
+  // Integer counting in either build — bit-identical and still kExact.
+  size_t n1 = 0;
+  for (size_t r = 0; r < rows; ++r) n1 += hyp[r] >= 0.5f ? 1 : 0;
+#if DEEPBASE_SIMD_ENABLED
+  namespace stdx = vec::stdx;
+  const size_t panels = num_units_ / vec::kCountLanes;
+  for (size_t p = 0; p < panels; ++p) {
+    const size_t u0 = p * vec::kCountLanes;
+    const vec::FloatC th_v(th + u0, stdx::element_aligned);
+    vec::CountV c1(0u), c0(0u);
+    for (size_t r = 0; r < rows; ++r) {
+      const vec::FloatC xv(units.row_data(r) + u0, stdx::element_aligned);
+      const vec::CountM on(xv > th_v);
+      if (hyp[r] >= 0.5f) {
+        stdx::where(on, c1) = c1 + 1u;
+      } else {
+        stdx::where(on, c0) = c0 + 1u;
+      }
+    }
+    for (size_t l = 0; l < vec::kCountLanes; ++l) {
+      inter[u0 + l] += c1[l];
+      uni[u0 + l] += n1 + c0[l];
     }
   }
-  n_ += units.rows();
+  const size_t tail0 = panels * vec::kCountLanes;
+#else
+  const size_t tail0 = 0;
+#endif
+  for (size_t u = tail0; u < num_units_; ++u) {
+    size_t c1 = 0, c0 = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      const bool on = units.row_data(r)[u] > th[u];
+      if (!on) continue;
+      (hyp[r] >= 0.5f ? c1 : c0) += 1;
+    }
+    inter[u] += c1;
+    uni[u] += n1 + c0;
+  }
+  n_ += rows;
 }
 
 std::unique_ptr<Measure> JaccardMeasure::CloneState() const {
@@ -417,6 +715,18 @@ int MutualInfoMeasure::HypClass(float v) const {
   return std::min(c, num_classes_ - 1);
 }
 
+void MutualInfoMeasure::RebuildEdgePlanes() {
+  // Bin-major transpose of edges_ so the vectorized binning can load one
+  // contiguous 16-unit span of edge b.
+  const size_t nb1 = static_cast<size_t>(num_bins_ - 1);
+  edges_t_.assign(nb1 * num_units_, 0.0f);
+  for (size_t u = 0; u < num_units_; ++u) {
+    for (size_t b = 0; b < nb1; ++b) {
+      edges_t_[b * num_units_ + u] = edges_[u * nb1 + b];
+    }
+  }
+}
+
 void MutualInfoMeasure::ProcessBlock(const Matrix& units,
                                      std::span<const float> hyp) {
   DB_DCHECK(units.cols() == num_units_ && units.rows() == hyp.size());
@@ -441,18 +751,47 @@ void MutualInfoMeasure::ProcessBlock(const Matrix& units,
         hyp_edges_.push_back(hv[std::min(k, hv.size() - 1)]);
       }
     }
+    RebuildEdgePlanes();
     edges_ready_ = true;
   }
+  const size_t nb = static_cast<size_t>(num_bins_);
+  const size_t nc = static_cast<size_t>(num_classes_);
+#if DEEPBASE_SIMD_ENABLED
+  namespace stdx = vec::stdx;
+  const size_t panels = num_units_ / vec::kCountLanes;
+  const size_t tail0 = panels * vec::kCountLanes;
+#else
+  const size_t tail0 = 0;
+#endif
   for (size_t r = 0; r < units.rows(); ++r) {
-    const int cls = HypClass(hyp[r]);
-    const float* row = units.row_data(r);
-    for (size_t u = 0; u < num_units_; ++u) {
-      const float* e = &edges_[u * (num_bins_ - 1)];
-      int bin = 0;
-      for (int b = 0; b < num_bins_ - 1; ++b) {
+    const size_t cls = static_cast<size_t>(HypClass(hyp[r]));
+    const float* const row = units.row_data(r);
+#if DEEPBASE_SIMD_ENABLED
+    // Vector bin index = number of exceeded edges; the histogram
+    // increment itself is a scalar scatter per lane (integer counts, so
+    // still bit-identical to the scalar build and kExact under merges).
+    for (size_t p = 0; p < panels; ++p) {
+      const size_t u0 = p * vec::kCountLanes;
+      const vec::FloatC xv(row + u0, stdx::element_aligned);
+      vec::CountV bin(0u);
+      for (size_t b = 0; b + 1 < nb; ++b) {
+        const vec::FloatC ev(edges_t_.data() + b * num_units_ + u0,
+                             stdx::element_aligned);
+        const vec::CountM over(xv > ev);
+        stdx::where(over, bin) = bin + 1u;
+      }
+      for (size_t l = 0; l < vec::kCountLanes; ++l) {
+        ++counts_[((u0 + l) * nb + bin[l]) * nc + cls];
+      }
+    }
+#endif
+    for (size_t u = tail0; u < num_units_; ++u) {
+      const float* e = &edges_[u * (nb - 1)];
+      size_t bin = 0;
+      for (size_t b = 0; b + 1 < nb; ++b) {
         if (row[u] > e[b]) ++bin;
       }
-      ++counts_[(u * num_bins_ + bin) * num_classes_ + cls];
+      ++counts_[(u * nb + bin) * nc + cls];
     }
   }
   n_ += units.rows();
@@ -464,6 +803,7 @@ std::unique_ptr<Measure> MutualInfoMeasure::CloneState() const {
   // Replicas inherit the calibrated bin edges so shard counts are
   // compatible and MergeFrom stays exact.
   clone->edges_ = edges_;
+  clone->edges_t_ = edges_t_;
   clone->hyp_edges_ = hyp_edges_;
   clone->edges_ready_ = edges_ready_;
   return clone;
@@ -508,6 +848,7 @@ bool MutualInfoMeasure::DeserializeState(codec::Reader* r) {
     return false;
   }
   n_ = r->U64();
+  if (edges_ready_) RebuildEdgePlanes();
   return r->ok();
 }
 

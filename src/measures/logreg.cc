@@ -1,5 +1,6 @@
 #include "measures/logreg.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "measures/metrics.h"

@@ -38,8 +38,17 @@ enum class MergeExactness {
   /// (integer contingency counts: Jaccard, mutual information, baselines).
   kExact,
   /// Merging re-associates floating-point sums: equal up to FP rounding
-  /// (moment-sum measures: Pearson, difference of means).
+  /// (moment-sum measures that fold partials with +=).
   kReassociated,
+  /// Scores are bit-identical at ANY shard/worker count: the measure keeps
+  /// per-block partial moments keyed by (pass occurrence, block serial) and
+  /// reduces them in Scores() through a canonical fixed-shape pairwise tree
+  /// over the sorted keys, so the FP reduction order never depends on how
+  /// blocks were dealt out (Pearson, difference of means). Requires the
+  /// same set of blocks to have been processed — early stopping truncates
+  /// each shard lane at its own convergence point, so only full sweeps are
+  /// shard-count-invariant.
+  kBitExact,
 };
 
 class Measure;
@@ -111,6 +120,16 @@ class Measure {
  public:
   virtual ~Measure() = default;
 
+  /// \brief Announce the identity of the next block before ProcessBlock.
+  /// `serial` is the engine's shard-count-invariant block serial (the
+  /// block's position in shuffle order); kBitExact measures key their
+  /// per-block partial moments by (occurrence of this serial, serial) so
+  /// the canonical reduction tree in Scores() is the same no matter which
+  /// lane consumed the block. Default no-op; measures called without it
+  /// (direct API use) fall back to an internal monotonic counter —
+  /// deterministic for a fixed call sequence, but not shard-invariant.
+  virtual void BeginBlock(uint64_t serial) { (void)serial; }
+
   /// \brief Consume one block of behaviors: `units` is (#symbols × #units),
   /// `hyp` has one hypothesis behavior per symbol row. The span is a
   /// zero-copy view into the block's column-major hypothesis behaviors; it
@@ -157,7 +176,7 @@ class Measure {
   /// distributed shard merging. The byte format uses util/codec.h with
   /// bit-cast floats: deserialize-then-MergeFrom is bit-identical to an
   /// in-process MergeFrom for every measure (the merge itself is then
-  /// kExact or kReassociated per merge_exactness()). Returns false when
+  /// kExact/kBitExact/kReassociated per merge_exactness()). Returns false when
   /// unsupported (sequential-lane measures never travel as partial state).
   virtual bool SerializeState(codec::Writer* w) const {
     (void)w;

@@ -36,18 +36,21 @@ class Adam {
     const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
     const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
     for (size_t i = 0; i < params.size(); ++i) {
-      float* p = params[i]->data();
-      const float* g = grads[i]->data();
-      float* m = m_[i].data();
-      float* v = v_[i].data();
-      const size_t n = params[i]->size();
-      DB_DCHECK(n == grads[i]->size());
-      for (size_t k = 0; k < n; ++k) {
-        m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
-        v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
-        const float mhat = m[k] / bc1;
-        const float vhat = v[k] / bc2;
-        p[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      DB_DCHECK(params[i]->SameShape(*grads[i]));
+      const size_t rows = params[i]->rows();
+      const size_t cols = params[i]->cols();
+      for (size_t r = 0; r < rows; ++r) {
+        float* p = params[i]->row_data(r);
+        const float* g = grads[i]->row_data(r);
+        float* m = m_[i].row_data(r);
+        float* v = v_[i].row_data(r);
+        for (size_t k = 0; k < cols; ++k) {
+          m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
+          v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
+          const float mhat = m[k] / bc1;
+          const float vhat = v[k] / bc2;
+          p[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
       }
     }
   }

@@ -109,7 +109,16 @@ void HashOptions(const InspectOptions& o, uint64_t* h) {
   HashPod(o.corr_epsilon, h);
   HashPod(o.logreg_epsilon, h);
   HashPod(o.default_epsilon, h);
-  HashPod(o.num_shards, h);
+  // The shard count participates only under early stopping. Full sweeps
+  // are shard-count-invariant: every mergeable measure's shard merge is
+  // kExact (integer counts) or kBitExact (canonical pairwise-tree
+  // reduction of per-block moments), and non-mergeable measures run on
+  // the sequential lane regardless of shard count — so one cached result
+  // serves every shard count. Early stopping breaks the invariance (each
+  // shard lane truncates at its own convergence point, so the set of
+  // processed blocks depends on the dealing), hence those runs stay
+  // keyed by the resolved count.
+  if (o.early_stopping) HashPod(o.num_shards, h);
   HashPod(o.time_budget_s, h);
   HashPod(o.max_blocks, h);
 }
@@ -181,10 +190,11 @@ Status CheckAdmissionDeadline(const InspectOptions& options) {
 
 /// The effective shard count this session would run the request at,
 /// mirroring BlockPipeline's resolution (0 = pool size, clamped to 64).
-/// Fingerprints hash this resolved value, never the raw option: scores of
-/// FP-reassociated measures depend on the effective shard count, so a
-/// persisted result must not be served to a session whose engine would
-/// shard (and round merges) differently.
+/// Only consulted for early-stopping requests — the one case where
+/// HashOptions keys on the shard count — and there fingerprints hash this
+/// resolved value, never the raw option: a raw 0 resolves per-session, so
+/// a persisted result must not be served to a session whose engine would
+/// deal (and therefore truncate) blocks differently.
 size_t ResolvedShardCountFor(const InspectOptions& options,
                              const SessionConfig& config) {
   size_t shards = options.num_shards;
@@ -861,13 +871,16 @@ Result<ResultTable> Scheduler::RunSync(const InspectRequest& request,
   std::optional<uint64_t> fingerprint;
   uint64_t dataset_fp = 0;
   // The fingerprint keys both the result cache and the dedup registry;
-  // either feature alone needs it. It hashes the *resolved* shard count
-  // (see ResolvedShardCountFor).
+  // either feature alone needs it. Bit-exact shard merges make full
+  // sweeps shard-count-invariant, so only early-stopping requests pin
+  // the *resolved* shard count (see ResolvedShardCountFor/HashOptions).
   if (session_->config_.enable_result_cache ||
       session_->config_.enable_inflight_dedup) {
     InspectOptions fp_options = request_options;
-    fp_options.num_shards =
-        ResolvedShardCountFor(request_options, session_->config_);
+    if (request_options.early_stopping) {
+      fp_options.num_shards =
+          ResolvedShardCountFor(request_options, session_->config_);
+    }
     fingerprint = InspectRequestFingerprint(request, session_->catalog_,
                                             fp_options);
     if (fingerprint) {
@@ -1017,13 +1030,16 @@ JobHandle Scheduler::Submit(InspectRequest request, uint64_t trace_id) {
   std::optional<uint64_t> fingerprint;
   uint64_t dataset_fp = 0;
   // The fingerprint keys both the result cache and the dedup registry;
-  // either feature alone needs it. It hashes the *resolved* shard count
-  // (see ResolvedShardCountFor).
+  // either feature alone needs it. Bit-exact shard merges make full
+  // sweeps shard-count-invariant, so only early-stopping requests pin
+  // the *resolved* shard count (see ResolvedShardCountFor/HashOptions).
   if (session_->config_.enable_result_cache ||
       session_->config_.enable_inflight_dedup) {
     InspectOptions fp_options = request_options;
-    fp_options.num_shards =
-        ResolvedShardCountFor(request_options, session_->config_);
+    if (request_options.early_stopping) {
+      fp_options.num_shards =
+          ResolvedShardCountFor(request_options, session_->config_);
+    }
     fingerprint = InspectRequestFingerprint(request, session_->catalog_,
                                             fp_options);
     if (fingerprint) {

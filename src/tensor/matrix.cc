@@ -8,16 +8,265 @@
 #include <ostream>
 #include <sstream>
 
+#include "tensor/simd.h"
+
 namespace deepbase {
+
+namespace {
+
+// ------------------------------------------------------------------------
+// Span kernels: each walks one logical row (or a whole contiguous matrix
+// as a single span). SIMD main loop + scalar tail when DEEPBASE_SIMD is
+// on; plain scalar loops otherwise.
+// ------------------------------------------------------------------------
+
+#if DEEPBASE_SIMD_ENABLED
+namespace stdx = vec::stdx;
+using vec::DoubleV;
+using vec::FloatV;
+#endif
+
+inline void AddSpan(float* d, const float* s, size_t n) {
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  for (; i + FloatV::size() <= n; i += FloatV::size()) {
+    FloatV dv(d + i, stdx::element_aligned);
+    FloatV sv(s + i, stdx::element_aligned);
+    (dv + sv).copy_to(d + i, stdx::element_aligned);
+  }
+#endif
+  for (; i < n; ++i) d[i] += s[i];
+}
+
+inline void SubSpan(float* d, const float* s, size_t n) {
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  for (; i + FloatV::size() <= n; i += FloatV::size()) {
+    FloatV dv(d + i, stdx::element_aligned);
+    FloatV sv(s + i, stdx::element_aligned);
+    (dv - sv).copy_to(d + i, stdx::element_aligned);
+  }
+#endif
+  for (; i < n; ++i) d[i] -= s[i];
+}
+
+inline void MulSpan(float* d, const float* s, size_t n) {
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  for (; i + FloatV::size() <= n; i += FloatV::size()) {
+    FloatV dv(d + i, stdx::element_aligned);
+    FloatV sv(s + i, stdx::element_aligned);
+    (dv * sv).copy_to(d + i, stdx::element_aligned);
+  }
+#endif
+  for (; i < n; ++i) d[i] *= s[i];
+}
+
+inline void ScaleSpan(float* d, float s, size_t n) {
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  const FloatV sv(s);
+  for (; i + FloatV::size() <= n; i += FloatV::size()) {
+    FloatV dv(d + i, stdx::element_aligned);
+    (dv * sv).copy_to(d + i, stdx::element_aligned);
+  }
+#endif
+  for (; i < n; ++i) d[i] *= s;
+}
+
+// d[i] += a * s[i] — the GEMM inner row update.
+inline void AddScaledSpan(float* d, const float* s, float a, size_t n) {
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  const FloatV av(a);
+  for (; i + FloatV::size() <= n; i += FloatV::size()) {
+    FloatV dv(d + i, stdx::element_aligned);
+    FloatV sv(s + i, stdx::element_aligned);
+    (dv + av * sv).copy_to(d + i, stdx::element_aligned);
+  }
+#endif
+  for (; i < n; ++i) d[i] += a * s[i];
+}
+
+inline double SumSpan(const float* s, size_t n) {
+  double acc = 0;
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  DoubleV accv(0.0);
+  for (; i + vec::kDoubleLanes <= n; i += vec::kDoubleLanes) {
+    accv += vec::WidenLoad(s + i);
+  }
+  acc = stdx::reduce(accv);
+#endif
+  for (; i < n; ++i) acc += s[i];
+  return acc;
+}
+
+inline double SumSqSpan(const float* s, size_t n) {
+  double acc = 0;
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  DoubleV accv(0.0);
+  for (; i + vec::kDoubleLanes <= n; i += vec::kDoubleLanes) {
+    const DoubleV v = vec::WidenLoad(s + i);
+    accv += v * v;
+  }
+  acc = stdx::reduce(accv);
+#endif
+  for (; i < n; ++i) acc += static_cast<double>(s[i]) * s[i];
+  return acc;
+}
+
+inline double DotSpan(const float* a, const float* b, size_t n) {
+  double acc = 0;
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  DoubleV accv(0.0);
+  for (; i + vec::kDoubleLanes <= n; i += vec::kDoubleLanes) {
+    accv += vec::WidenLoad(a + i) * vec::WidenLoad(b + i);
+  }
+  acc = stdx::reduce(accv);
+#endif
+  for (; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+inline float MinSpan(const float* s, size_t n, float init) {
+  float m = init;
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  if (n >= FloatV::size()) {
+    FloatV mv(s, stdx::element_aligned);
+    for (i = FloatV::size(); i + FloatV::size() <= n; i += FloatV::size()) {
+      mv = stdx::min(mv, FloatV(s + i, stdx::element_aligned));
+    }
+    m = std::min(m, stdx::hmin(mv));
+  }
+#endif
+  for (; i < n; ++i) m = std::min(m, s[i]);
+  return m;
+}
+
+inline float MaxSpan(const float* s, size_t n, float init) {
+  float m = init;
+  size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+  if (n >= FloatV::size()) {
+    FloatV mv(s, stdx::element_aligned);
+    for (i = FloatV::size(); i + FloatV::size() <= n; i += FloatV::size()) {
+      mv = stdx::max(mv, FloatV(s + i, stdx::element_aligned));
+    }
+    m = std::max(m, stdx::hmax(mv));
+  }
+#endif
+  for (; i < n; ++i) m = std::max(m, s[i]);
+  return m;
+}
+
+// Iterate the logical elements of (dst, src) pairs row by row, collapsing
+// to one flat span when both sides are contiguous.
+template <typename F>
+inline void ForEachPairSpan(Matrix* dst, const Matrix& src, F f) {
+  if (dst->empty()) return;
+  if (dst->contiguous() && src.contiguous()) {
+    f(dst->row_data(0), src.row_data(0), dst->size());
+    return;
+  }
+  for (size_t r = 0; r < dst->rows(); ++r) {
+    f(dst->row_data(r), src.row_data(r), dst->cols());
+  }
+}
+
+template <typename F>
+inline void ForEachConstSpan(const Matrix& m, F f) {
+  if (m.empty()) return;
+  if (m.contiguous()) {
+    f(m.row_data(0), m.size());
+    return;
+  }
+  for (size_t r = 0; r < m.rows(); ++r) f(m.row_data(r), m.cols());
+}
+
+template <typename F>
+inline void ForEachMutSpan(Matrix* m, F f) {
+  if (m->empty()) return;
+  if (m->contiguous()) {
+    f(m->row_data(0), m->size());
+    return;
+  }
+  for (size_t r = 0; r < m->rows(); ++r) f(m->row_data(r), m->cols());
+}
+
+}  // namespace
+
+Matrix::Matrix(size_t rows, size_t cols, float fill) {
+  rows_ = rows;
+  cols_ = cols;
+  if (size() > 0) {
+    auto store = std::make_shared<MemMatrixStore>(rows, cols);
+    lda_ = store->lda();
+    store_ = std::move(store);
+    if (fill != 0.0f) Fill(fill);
+  } else {
+    lda_ = cols;
+  }
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<float>> init) {
   rows_ = init.size();
   cols_ = rows_ ? init.begin()->size() : 0;
-  data_.reserve(rows_ * cols_);
+  if (size() == 0) {
+    lda_ = cols_;
+    return;
+  }
+  auto store = std::make_shared<MemMatrixStore>(rows_, cols_);
+  lda_ = store->lda();
+  float* dst = store->mutable_data();
+  size_t r = 0;
   for (const auto& row : init) {
     DB_DCHECK(row.size() == cols_);
-    data_.insert(data_.end(), row.begin(), row.end());
+    std::copy(row.begin(), row.end(), dst + r * lda_);
+    ++r;
   }
+  store_ = std::move(store);
+}
+
+Matrix::Matrix(std::shared_ptr<MatrixStore> store) {
+  DB_DCHECK(store != nullptr);
+  rows_ = store->rows();
+  cols_ = store->cols();
+  lda_ = store->lda();
+  store_ = std::move(store);
+}
+
+Matrix::Matrix(const Matrix& o) : rows_(o.rows_), cols_(o.cols_), lda_(o.lda_) {
+  if (o.store_ == nullptr) return;
+  if (o.store_->mutable_data() != nullptr) {
+    // Writable mem store: deep copy — plain value semantics, and the two
+    // handles never alias.
+    auto copy = o.store_->Materialize();
+    lda_ = copy->lda();
+    store_ = std::move(copy);
+  } else {
+    // Read-only tier (mmap, view): share the store; any mutating access on
+    // either handle detaches a private copy first.
+    store_ = o.store_;
+  }
+}
+
+Matrix& Matrix::operator=(const Matrix& o) {
+  if (this != &o) {
+    Matrix tmp(o);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+void Matrix::DetachToMem() {
+  DB_DCHECK(store_ != nullptr);
+  auto copy = store_->Materialize();
+  lda_ = copy->lda();
+  store_ = std::move(copy);
 }
 
 Matrix Matrix::Identity(size_t n) {
@@ -29,14 +278,24 @@ Matrix Matrix::Identity(size_t n) {
 Matrix Matrix::RandomNormal(size_t rows, size_t cols, Rng* rng, float mean,
                             float stddev) {
   Matrix m(rows, cols);
-  for (auto& v : m.data_) v = static_cast<float>(rng->Normal(mean, stddev));
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m.row_data(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = static_cast<float>(rng->Normal(mean, stddev));
+    }
+  }
   return m;
 }
 
 Matrix Matrix::RandomUniform(size_t rows, size_t cols, Rng* rng, float lo,
                              float hi) {
   Matrix m(rows, cols);
-  for (auto& v : m.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m.row_data(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = static_cast<float>(rng->Uniform(lo, hi));
+    }
+  }
   return m;
 }
 
@@ -48,22 +307,25 @@ Matrix Matrix::Glorot(size_t fan_in, size_t fan_out, Rng* rng) {
 Matrix Matrix::Row(size_t r) const {
   DB_DCHECK(r < rows_);
   Matrix out(1, cols_);
-  std::memcpy(out.data(), row_data(r), cols_ * sizeof(float));
+  std::memcpy(out.row_data(0), row_data(r), cols_ * sizeof(float));
   return out;
 }
 
 Matrix Matrix::Col(size_t c) const {
   DB_DCHECK(c < cols_);
   Matrix out(rows_, 1);
-  for (size_t r = 0; r < rows_; ++r) out(r, 0) = (*this)(r, c);
+  const float* src = base();
+  float* dst = out.row_data(0);  // n×1 is packed (lda == 1)
+  for (size_t r = 0; r < rows_; ++r) dst[r] = src[r * lda_ + c];
   return out;
 }
 
 Matrix Matrix::RowSlice(size_t begin, size_t end) const {
   DB_DCHECK(begin <= end && end <= rows_);
   Matrix out(end - begin, cols_);
-  std::memcpy(out.data(), data_.data() + begin * cols_,
-              (end - begin) * cols_ * sizeof(float));
+  for (size_t r = begin; r < end; ++r) {
+    std::memcpy(out.row_data(r - begin), row_data(r), cols_ * sizeof(float));
+  }
   return out;
 }
 
@@ -80,9 +342,24 @@ Matrix Matrix::GatherCols(const std::vector<size_t>& cols) const {
   return out;
 }
 
+Matrix Matrix::RowSliceView(size_t begin, size_t end) const {
+  DB_DCHECK(store_ != nullptr && begin <= end && end <= rows_);
+  return Matrix(VirtualMatrixStore::RowSlice(store_, begin, end));
+}
+
+Matrix Matrix::GatherColsView(std::vector<size_t> cols) const {
+  DB_DCHECK(store_ != nullptr);
+  return Matrix(VirtualMatrixStore::GatherCols(store_, std::move(cols)));
+}
+
+Matrix Matrix::Materialized() const {
+  if (store_ == nullptr) return *this;
+  return Matrix(store_->Materialize());
+}
+
 void Matrix::SetRow(size_t r, const Matrix& src) {
-  DB_DCHECK(r < rows_ && src.size() >= cols_);
-  std::memcpy(row_data(r), src.data(), cols_ * sizeof(float));
+  DB_DCHECK(r < rows_ && src.size() >= cols_ && src.contiguous());
+  std::memcpy(row_data(r), src.row_data(0), cols_ * sizeof(float));
 }
 
 Matrix Matrix::VStack(const Matrix& top, const Matrix& bottom) {
@@ -90,9 +367,14 @@ Matrix Matrix::VStack(const Matrix& top, const Matrix& bottom) {
   if (bottom.empty()) return top;
   DB_DCHECK(top.cols() == bottom.cols());
   Matrix out(top.rows() + bottom.rows(), top.cols());
-  std::memcpy(out.data(), top.data(), top.size() * sizeof(float));
-  std::memcpy(out.data() + top.size(), bottom.data(),
-              bottom.size() * sizeof(float));
+  const size_t cols = top.cols();
+  for (size_t r = 0; r < top.rows(); ++r) {
+    std::memcpy(out.row_data(r), top.row_data(r), cols * sizeof(float));
+  }
+  for (size_t r = 0; r < bottom.rows(); ++r) {
+    std::memcpy(out.row_data(top.rows() + r), bottom.row_data(r),
+                cols * sizeof(float));
+  }
   return out;
 }
 
@@ -102,7 +384,8 @@ Matrix Matrix::HStack(const Matrix& left, const Matrix& right) {
   DB_DCHECK(left.rows() == right.rows());
   Matrix out(left.rows(), left.cols() + right.cols());
   for (size_t r = 0; r < left.rows(); ++r) {
-    std::memcpy(out.row_data(r), left.row_data(r), left.cols() * sizeof(float));
+    std::memcpy(out.row_data(r), left.row_data(r),
+                left.cols() * sizeof(float));
     std::memcpy(out.row_data(r) + left.cols(), right.row_data(r),
                 right.cols() * sizeof(float));
   }
@@ -111,90 +394,95 @@ Matrix Matrix::HStack(const Matrix& left, const Matrix& right) {
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
+  if (empty()) return out;
+  const float* src = base();
+  float* dst = out.row_data(0);
+  const size_t out_lda = out.lda();
   for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    const float* srow = src + r * lda_;
+    for (size_t c = 0; c < cols_; ++c) dst[c * out_lda + r] = srow[c];
   }
   return out;
 }
 
 Matrix& Matrix::operator+=(const Matrix& o) {
   DB_DCHECK(SameShape(o));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  ForEachPairSpan(this, o, [](float* d, const float* s, size_t n) {
+    AddSpan(d, s, n);
+  });
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& o) {
   DB_DCHECK(SameShape(o));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  ForEachPairSpan(this, o, [](float* d, const float* s, size_t n) {
+    SubSpan(d, s, n);
+  });
   return *this;
 }
 
 Matrix& Matrix::operator*=(float s) {
-  for (auto& v : data_) v *= s;
+  if (empty()) return *this;
+  if (contiguous()) {
+    ScaleSpan(row_data(0), s, size());
+  } else {
+    for (size_t r = 0; r < rows_; ++r) ScaleSpan(row_data(r), s, cols_);
+  }
   return *this;
 }
 
 Matrix& Matrix::HadamardInPlace(const Matrix& o) {
   DB_DCHECK(SameShape(o));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= o.data_[i];
+  ForEachPairSpan(this, o, [](float* d, const float* s, size_t n) {
+    MulSpan(d, s, n);
+  });
   return *this;
 }
 
-Matrix Matrix::Apply(const std::function<float(float)>& fn) const {
-  Matrix out = *this;
-  out.ApplyInPlace(fn);
-  return out;
-}
-
-void Matrix::ApplyInPlace(const std::function<float(float)>& fn) {
-  for (auto& v : data_) v = fn(v);
-}
-
 void Matrix::AddRowBroadcast(const Matrix& row_vec) {
-  DB_DCHECK(row_vec.size() == cols_);
-  for (size_t r = 0; r < rows_; ++r) {
-    float* dst = row_data(r);
-    const float* src = row_vec.data();
-    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
-  }
+  DB_DCHECK(row_vec.size() == cols_ && row_vec.contiguous());
+  if (empty()) return;
+  const float* src = row_vec.row_data(0);
+  for (size_t r = 0; r < rows_; ++r) AddSpan(row_data(r), src, cols_);
 }
 
 float Matrix::Sum() const {
   double s = 0;
-  for (float v : data_) s += v;
+  ForEachConstSpan(*this, [&](const float* p, size_t n) { s += SumSpan(p, n); });
   return static_cast<float>(s);
 }
 
 float Matrix::Mean() const {
-  return data_.empty() ? 0.0f : Sum() / static_cast<float>(data_.size());
+  return empty() ? 0.0f : Sum() / static_cast<float>(size());
 }
 
 float Matrix::Min() const {
   float m = std::numeric_limits<float>::infinity();
-  for (float v : data_) m = std::min(m, v);
+  ForEachConstSpan(*this,
+                   [&](const float* p, size_t n) { m = MinSpan(p, n, m); });
   return m;
 }
 
 float Matrix::Max() const {
   float m = -std::numeric_limits<float>::infinity();
-  for (float v : data_) m = std::max(m, v);
+  ForEachConstSpan(*this,
+                   [&](const float* p, size_t n) { m = MaxSpan(p, n, m); });
   return m;
 }
 
 float Matrix::SquaredNorm() const {
   double s = 0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  ForEachConstSpan(*this,
+                   [&](const float* p, size_t n) { s += SumSqSpan(p, n); });
   return static_cast<float>(s);
 }
 
 Matrix Matrix::ColMeans() const {
   Matrix out(1, cols_);
-  if (rows_ == 0) return out;
-  for (size_t r = 0; r < rows_; ++r) {
-    const float* src = row_data(r);
-    for (size_t c = 0; c < cols_; ++c) out(0, c) += src[c];
-  }
-  out *= 1.0f / static_cast<float>(rows_);
+  if (rows_ == 0 || cols_ == 0) return out;
+  float* acc = out.row_data(0);
+  for (size_t r = 0; r < rows_; ++r) AddSpan(acc, row_data(r), cols_);
+  ScaleSpan(acc, 1.0f / static_cast<float>(rows_), cols_);
   return out;
 }
 
@@ -209,6 +497,37 @@ std::vector<size_t> Matrix::ArgmaxRows() const {
     out[r] = best;
   }
   return out;
+}
+
+void Matrix::Fill(float v) {
+  if (empty()) return;
+  if (contiguous()) {
+    std::fill_n(row_data(0), size(), v);
+    return;
+  }
+  for (size_t r = 0; r < rows_; ++r) std::fill_n(row_data(r), cols_, v);
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  if (rows * cols == 0) {
+    rows_ = rows;
+    cols_ = cols;
+    lda_ = cols;
+    store_.reset();
+    return;
+  }
+  auto* mem = dynamic_cast<MemMatrixStore*>(store_.get());
+  if (mem != nullptr && mem->mutable_data() != nullptr) {
+    mem->Resize(rows, cols);
+  } else {
+    // Read-only or absent backing: element values are unspecified after
+    // Resize, so a fresh store is equivalent (and detaches any view).
+    auto fresh = std::make_shared<MemMatrixStore>(rows, cols);
+    store_ = std::move(fresh);
+  }
+  rows_ = rows;
+  cols_ = cols;
+  lda_ = store_->lda();
 }
 
 std::string Matrix::ToString(int precision) const {
@@ -231,15 +550,15 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   DB_DCHECK(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
-  // i-k-j loop order: streams through b and out row-wise (cache friendly).
+  // i-k-j loop order: streams through b and out row-wise (cache friendly);
+  // the inner row update vectorizes as one fused span op.
   for (size_t i = 0; i < n; ++i) {
     const float* arow = a.row_data(i);
     float* orow = out.row_data(i);
     for (size_t kk = 0; kk < k; ++kk) {
       const float av = arow[kk];
       if (av == 0.0f) continue;
-      const float* brow = b.row_data(kk);
-      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      AddScaledSpan(orow, b.row_data(kk), av, m);
     }
   }
   return out;
@@ -255,8 +574,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
     for (size_t kk = 0; kk < k; ++kk) {
       const float av = arow[kk];
       if (av == 0.0f) continue;
-      float* orow = out.row_data(kk);
-      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      AddScaledSpan(out.row_data(kk), brow, av, m);
     }
   }
   return out;
@@ -265,15 +583,12 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   DB_DCHECK(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
-  const size_t n = a.rows(), k = a.cols(), m = b.rows();
-  for (size_t i = 0; i < n; ++i) {
+  const size_t k = a.cols(), m = b.rows();
+  for (size_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.row_data(i);
     float* orow = out.row_data(i);
     for (size_t j = 0; j < m; ++j) {
-      const float* brow = b.row_data(j);
-      double acc = 0;
-      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      orow[j] = static_cast<float>(acc);
+      orow[j] = static_cast<float>(DotSpan(arow, b.row_data(j), k));
     }
   }
   return out;
@@ -300,37 +615,80 @@ Matrix Softmax(const Matrix& logits) {
   Matrix out = logits;
   for (size_t r = 0; r < out.rows(); ++r) {
     float* row = out.row_data(r);
-    float mx = row[0];
-    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
-    double total = 0;
-    for (size_t c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - mx);
-      total += row[c];
+    const size_t c_count = out.cols();
+    const float mx = MaxSpan(row, c_count, -std::numeric_limits<float>::infinity());
+    size_t c = 0;
+#if DEEPBASE_SIMD_ENABLED
+    const FloatV mxv(mx);
+    for (; c + FloatV::size() <= c_count; c += FloatV::size()) {
+      FloatV v(row + c, stdx::element_aligned);
+      stdx::exp(v - mxv).copy_to(row + c, stdx::element_aligned);
     }
-    const float inv = static_cast<float>(1.0 / total);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+#endif
+    for (; c < c_count; ++c) row[c] = std::exp(row[c] - mx);
+    const double total = SumSpan(row, c_count);
+    ScaleSpan(row, static_cast<float>(1.0 / total), c_count);
   }
   return out;
 }
 
 Matrix Sigmoid(const Matrix& x) {
-  return x.Apply([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  Matrix out = x;
+  ForEachMutSpan(&out, [](float* p, size_t n) {
+    size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+    const FloatV one(1.0f);
+    for (; i + FloatV::size() <= n; i += FloatV::size()) {
+      FloatV v(p + i, stdx::element_aligned);
+      (one / (one + stdx::exp(-v))).copy_to(p + i, stdx::element_aligned);
+    }
+#endif
+    for (; i < n; ++i) p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+  });
+  return out;
 }
 
 Matrix Tanh(const Matrix& x) {
-  return x.Apply([](float v) { return std::tanh(v); });
+  Matrix out = x;
+  ForEachMutSpan(&out, [](float* p, size_t n) {
+    size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+    for (; i + FloatV::size() <= n; i += FloatV::size()) {
+      FloatV v(p + i, stdx::element_aligned);
+      stdx::tanh(v).copy_to(p + i, stdx::element_aligned);
+    }
+#endif
+    for (; i < n; ++i) p[i] = std::tanh(p[i]);
+  });
+  return out;
 }
 
 Matrix Relu(const Matrix& x) {
-  return x.Apply([](float v) { return v > 0 ? v : 0.0f; });
+  Matrix out = x;
+  ForEachMutSpan(&out, [](float* p, size_t n) {
+    size_t i = 0;
+#if DEEPBASE_SIMD_ENABLED
+    const FloatV zero(0.0f);
+    for (; i + FloatV::size() <= n; i += FloatV::size()) {
+      FloatV v(p + i, stdx::element_aligned);
+      stdx::max(v, zero).copy_to(p + i, stdx::element_aligned);
+    }
+#endif
+    for (; i < n; ++i) p[i] = p[i] > 0 ? p[i] : 0.0f;
+  });
+  return out;
 }
 
 void WriteMatrix(const Matrix& m, std::ostream* out) {
   const uint64_t rows = m.rows(), cols = m.cols();
   out->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
   out->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  out->write(reinterpret_cast<const char*>(m.data()),
-             static_cast<std::streamsize>(m.size() * sizeof(float)));
+  // Logical rows×cols only — lda padding never reaches the serialized
+  // format, so blobs are identical across builds with different widths.
+  for (uint64_t r = 0; r < rows; ++r) {
+    out->write(reinterpret_cast<const char*>(m.row_data(r)),
+               static_cast<std::streamsize>(cols * sizeof(float)));
+  }
 }
 
 Result<Matrix> ReadMatrix(std::istream* in) {
@@ -342,8 +700,10 @@ Result<Matrix> ReadMatrix(std::istream* in) {
     return Status::Invalid("implausible matrix dimensions");
   }
   Matrix m(rows, cols);
-  in->read(reinterpret_cast<char*>(m.data()),
-           static_cast<std::streamsize>(m.size() * sizeof(float)));
+  for (uint64_t r = 0; r < rows && cols > 0; ++r) {
+    in->read(reinterpret_cast<char*>(m.row_data(r)),
+             static_cast<std::streamsize>(cols * sizeof(float)));
+  }
   if (!*in) return Status::Invalid("truncated matrix data");
   return m;
 }
@@ -351,8 +711,12 @@ Result<Matrix> ReadMatrix(std::istream* in) {
 float MaxAbsDiff(const Matrix& a, const Matrix& b) {
   DB_DCHECK(a.SameShape(b));
   float m = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* pa = a.row_data(r);
+    const float* pb = b.row_data(r);
+    for (size_t c = 0; c < a.cols(); ++c) {
+      m = std::max(m, std::fabs(pa[c] - pb[c]));
+    }
   }
   return m;
 }

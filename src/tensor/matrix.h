@@ -1,34 +1,61 @@
 // Dense row-major float32 matrix — the numeric substrate for the NN library
 // and for behavior matrices ("skinny and tall" symbol × unit blocks).
+//
+// Matrix is a value-semantics handle over a polymorphic MatrixStore tier
+// (tensor/matrix_store.h): in-RAM stores carry an alignment-padded leading
+// dimension (lda — rows start on 64-byte boundaries so kernels vectorize),
+// mmap stores serve out-of-core behaviors straight from BehaviorStore
+// files, and virtual stores are zero-copy/lazy views. Copying a writable
+// matrix deep-copies (exactly the old std::vector semantics); copying a
+// read-only tier (mmap, view) shares the store, and any mutating access
+// first materializes a private padded copy.
+//
+// Addressing contract: element (r, c) lives at row_data(r)[c] with
+// row_data(r) = base + r*lda(); the bytes between cols() and lda() of each
+// row are padding that no kernel reads for logical values. There is no
+// whole-matrix data() accessor — anything walking raw memory must go
+// through row_data()/lda() (or check contiguous() first and treat row 0 as
+// a flat span of size() floats).
 
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <initializer_list>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tensor/matrix_store.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace deepbase {
 
-/// \brief Dense row-major matrix of floats.
+/// \brief Dense row-major matrix of floats over a tiered MatrixStore.
 ///
-/// Rows×cols with contiguous storage; behaviors, weights, and activations in
-/// the rest of the library are all Matrix. A Vector is a 1×n or n×1 Matrix
-/// by convention; free functions below operate generically.
+/// Rows×cols with per-row contiguous storage; behaviors, weights, and
+/// activations in the rest of the library are all Matrix. A Vector is a
+/// 1×n or n×1 Matrix by convention; free functions below operate
+/// generically.
 class Matrix {
  public:
   Matrix() = default;
-  Matrix(size_t rows, size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f);
 
   /// \brief Construct from nested initializer lists (row-major).
   Matrix(std::initializer_list<std::initializer_list<float>> init);
+
+  /// \brief Adopt an existing store (e.g. an mmap tier handed out by
+  /// BehaviorStore, or a virtual view).
+  explicit Matrix(std::shared_ptr<MatrixStore> store);
+
+  Matrix(const Matrix& o);
+  Matrix& operator=(const Matrix& o);
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
 
   static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
   static Matrix Ones(size_t rows, size_t cols) {
@@ -46,22 +73,38 @@ class Matrix {
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  /// \brief Logical element count (rows*cols — never counts lda padding).
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  /// \brief Leading dimension: the float stride between consecutive rows.
+  /// lda() >= cols(); in-RAM stores pad it to a cache-line multiple.
+  size_t lda() const { return lda_; }
+  /// \brief True when rows are adjacent in memory (lda == cols), so the
+  /// whole matrix may be walked as one flat span of size() floats.
+  bool contiguous() const { return lda_ == cols_ || rows_ <= 1; }
 
   float& operator()(size_t r, size_t c) {
     DB_DCHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return wbase()[r * lda_ + c];
   }
   float operator()(size_t r, size_t c) const {
     DB_DCHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return base()[r * lda_ + c];
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* row_data(size_t r) { return data_.data() + r * cols_; }
-  const float* row_data(size_t r) const { return data_.data() + r * cols_; }
+  const float* row_data(size_t r) const {
+    DB_DCHECK(r < rows_);
+    return base() + r * lda_;
+  }
+  float* row_data(size_t r) {
+    DB_DCHECK(r < rows_);
+    return wbase() + r * lda_;
+  }
+
+  /// \brief The backing tier ("mem", "mmap", "view") — diagnostics/tests.
+  const char* tier() const { return store_ ? store_->tier() : "mem"; }
+  std::shared_ptr<const MatrixStore> shared_store() const { return store_; }
 
   /// \brief Copy of row r as a 1×cols matrix.
   Matrix Row(size_t r) const;
@@ -71,7 +114,20 @@ class Matrix {
   Matrix RowSlice(size_t begin, size_t end) const;
   /// \brief Copy columns from `cols` (in order) into a new matrix.
   Matrix GatherCols(const std::vector<size_t>& cols) const;
-  /// \brief Overwrite row r with the first cols() values of src.
+
+  /// \brief Zero-copy view of rows [begin, end): aliases this matrix's
+  /// storage (writes through the parent stay visible; parent Resize
+  /// invalidates the view). The view itself is read-only — mutating it
+  /// detaches a private copy first.
+  Matrix RowSliceView(size_t begin, size_t end) const;
+  /// \brief Lazy column gather: a zero-copy descriptor that materializes a
+  /// padded copy only when an accessor first needs addressable data.
+  Matrix GatherColsView(std::vector<size_t> cols) const;
+  /// \brief Padded, writable in-memory deep copy (collapses views/mmap).
+  Matrix Materialized() const;
+
+  /// \brief Overwrite row r with the first cols() values of src (src must
+  /// be contiguous — a row or column vector, or an unpadded matrix).
   void SetRow(size_t r, const Matrix& src);
 
   /// \brief Stack `top` above `bottom`; column counts must match.
@@ -88,10 +144,30 @@ class Matrix {
   /// \brief Hadamard (elementwise) product in place.
   Matrix& HadamardInPlace(const Matrix& o);
 
+  /// \brief Apply fn to every element in place. Template on the callable:
+  /// no per-element indirect call, and the loop body can inline.
+  template <typename Fn>
+  void ApplyInPlace(Fn&& fn) {
+    if (empty()) return;
+    float* base = wbase();
+    if (contiguous()) {
+      const size_t n = size();
+      for (size_t i = 0; i < n; ++i) base[i] = fn(base[i]);
+      return;
+    }
+    for (size_t r = 0; r < rows_; ++r) {
+      float* row = base + r * lda_;
+      for (size_t c = 0; c < cols_; ++c) row[c] = fn(row[c]);
+    }
+  }
+
   /// \brief Apply fn to every element, returning a new matrix.
-  Matrix Apply(const std::function<float(float)>& fn) const;
-  /// \brief Apply fn to every element in place.
-  void ApplyInPlace(const std::function<float(float)>& fn);
+  template <typename Fn>
+  Matrix Apply(Fn&& fn) const {
+    Matrix out = *this;
+    out.ApplyInPlace(std::forward<Fn>(fn));
+    return out;
+  }
 
   /// \brief Add a 1×cols row vector to every row (broadcast), in place.
   void AddRowBroadcast(const Matrix& row_vec);
@@ -108,16 +184,12 @@ class Matrix {
   /// \brief Row-wise argmax indices.
   std::vector<size_t> ArgmaxRows() const;
 
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Fill(float v);
 
   /// \brief Reshape in place to rows×cols. Element values are unspecified
   /// afterwards; the backing capacity is reused across calls, so per-block
   /// scratch buffers (engine gather/hypothesis buffers) avoid reallocating.
-  void Resize(size_t rows, size_t cols) {
-    rows_ = rows;
-    cols_ = cols;
-    data_.resize(rows * cols);
-  }
+  void Resize(size_t rows, size_t cols);
 
   std::string ToString(int precision = 3) const;
 
@@ -126,12 +198,26 @@ class Matrix {
   }
 
  private:
-  size_t rows_ = 0;
-  size_t cols_ = 0;
-  std::vector<float> data_;
+  const float* base() const {
+    DB_DCHECK(store_ != nullptr);
+    return store_->data();
+  }
+  float* wbase() {
+    DB_DCHECK(store_ != nullptr);
+    float* w = store_->mutable_data();
+    if (w != nullptr) return w;
+    DetachToMem();
+    return store_->mutable_data();
+  }
+  /// \brief Replace a read-only store with a private padded copy.
+  void DetachToMem();
+
+  size_t rows_ = 0, cols_ = 0, lda_ = 0;
+  std::shared_ptr<MatrixStore> store_;
 };
 
-/// \brief Matrix product a×b (naive tiled GEMM). Shapes must agree.
+/// \brief Matrix product a×b (cache-friendly i-k-j order, vectorized over
+/// the output row when DEEPBASE_SIMD is on). Shapes must agree.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 /// \brief a^T × b without materializing the transpose.
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
@@ -156,7 +242,10 @@ Matrix Relu(const Matrix& x);
 /// \brief Max absolute elementwise difference; matrices must share shape.
 float MaxAbsDiff(const Matrix& a, const Matrix& b);
 
-/// \brief Binary serialization: rows, cols (u64 little-endian), then data.
+/// \brief Binary serialization: rows, cols (u64 little-endian), then the
+/// logical rows×cols floats row by row — never the padded lda, so blobs
+/// written by any build round-trip bit-identically with pre-padding blobs
+/// and across builds with different vector widths.
 void WriteMatrix(const Matrix& m, std::ostream* out);
 /// \brief Inverse of WriteMatrix; Invalid on malformed input.
 Result<Matrix> ReadMatrix(std::istream* in);

@@ -1,0 +1,186 @@
+#include "tensor/matrix_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <new>
+
+#include "tensor/simd.h"
+#include "util/logging.h"
+
+namespace deepbase {
+
+size_t PaddedLda(size_t cols) {
+  if (cols <= 1) return cols;
+  return (cols + vec::kLdaFloats - 1) / vec::kLdaFloats * vec::kLdaFloats;
+}
+
+std::shared_ptr<MemMatrixStore> MatrixStore::Materialize() const {
+  auto out = std::make_shared<MemMatrixStore>(rows_, cols_);
+  const float* src = data();
+  float* dst = out->mutable_data();
+  for (size_t r = 0; r < rows_; ++r) {
+    std::memcpy(dst + r * out->lda(), src + r * lda_, cols_ * sizeof(float));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- Mem
+
+MemMatrixStore::MemMatrixStore(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  lda_ = PaddedLda(cols);
+  capacity_ = rows_ * lda_;
+  if (capacity_ > 0) {
+    buf_ = static_cast<float*>(
+        ::operator new(capacity_ * sizeof(float), std::align_val_t(vec::kByteAlign)));
+    std::memset(buf_, 0, capacity_ * sizeof(float));
+  }
+}
+
+MemMatrixStore::~MemMatrixStore() {
+  if (buf_ != nullptr) {
+    ::operator delete(buf_, std::align_val_t(vec::kByteAlign));
+  }
+}
+
+std::shared_ptr<MemMatrixStore> MemMatrixStore::Materialize() const {
+  auto out = std::make_shared<MemMatrixStore>(rows_, cols_);
+  if (capacity_ > 0) {
+    std::memcpy(out->buf_, buf_, rows_ * lda_ * sizeof(float));
+  }
+  return out;
+}
+
+void MemMatrixStore::Resize(size_t rows, size_t cols) {
+  const size_t new_lda = PaddedLda(cols);
+  const size_t needed = rows * new_lda;
+  if (needed > capacity_) {
+    float* fresh = static_cast<float*>(
+        ::operator new(needed * sizeof(float), std::align_val_t(vec::kByteAlign)));
+    std::memset(fresh, 0, needed * sizeof(float));
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t(vec::kByteAlign));
+    }
+    buf_ = fresh;
+    capacity_ = needed;
+  }
+  rows_ = rows;
+  cols_ = cols;
+  lda_ = new_lda;
+}
+
+// ------------------------------------------------------------------ Mmap
+
+MmapMatrixStore::~MmapMatrixStore() {
+  if (map_base_ != nullptr) munmap(map_base_, map_len_);
+}
+
+std::shared_ptr<MmapMatrixStore> MmapMatrixStore::Map(const std::string& path,
+                                                      size_t payload_offset,
+                                                      size_t rows,
+                                                      size_t cols) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const size_t payload_bytes = rows * cols * sizeof(float);
+  const size_t needed = payload_offset + payload_bytes;
+  if (static_cast<size_t>(st.st_size) < needed) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* base = nullptr;
+  if (needed > 0) {
+    base = mmap(nullptr, needed, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  ::close(fd);  // the mapping keeps its own reference
+  auto store = std::shared_ptr<MmapMatrixStore>(new MmapMatrixStore());
+  store->rows_ = rows;
+  store->cols_ = cols;
+  store->lda_ = cols;  // packed file layout
+  store->map_base_ = base;
+  store->map_len_ = needed;
+  store->payload_ = reinterpret_cast<const float*>(
+      static_cast<const char*>(base) + payload_offset);
+  return store;
+}
+
+std::shared_ptr<MemMatrixStore> MmapMatrixStore::Materialize() const {
+  return MatrixStore::Materialize();
+}
+
+// --------------------------------------------------------------- Virtual
+
+std::shared_ptr<VirtualMatrixStore> VirtualMatrixStore::RowSlice(
+    std::shared_ptr<const MatrixStore> parent, size_t begin, size_t end) {
+  DB_DCHECK(parent != nullptr && begin <= end && end <= parent->rows());
+  auto store = std::shared_ptr<VirtualMatrixStore>(new VirtualMatrixStore());
+  store->kind_ = Kind::kRowSlice;
+  store->rows_ = end - begin;
+  store->cols_ = parent->cols();
+  store->lda_ = parent->lda();
+  store->row_begin_ = begin;
+  store->parent_ = std::move(parent);
+  return store;
+}
+
+std::shared_ptr<VirtualMatrixStore> VirtualMatrixStore::GatherCols(
+    std::shared_ptr<const MatrixStore> parent, std::vector<size_t> cols) {
+  DB_DCHECK(parent != nullptr);
+  auto store = std::shared_ptr<VirtualMatrixStore>(new VirtualMatrixStore());
+  store->kind_ = Kind::kGatherCols;
+  store->rows_ = parent->rows();
+  store->cols_ = cols.size();
+  store->lda_ = PaddedLda(cols.size());
+  store->gather_cols_ = std::move(cols);
+  store->parent_ = std::move(parent);
+  return store;
+}
+
+const float* VirtualMatrixStore::data() const {
+  if (kind_ == Kind::kRowSlice) {
+    return parent_->data() + row_begin_ * parent_->lda();
+  }
+  const float* cached = gathered_data_.load(std::memory_order_acquire);
+  if (cached != nullptr) return cached;
+  MaterializeGather();
+  return gathered_data_.load(std::memory_order_acquire);
+}
+
+void VirtualMatrixStore::MaterializeGather() const {
+  std::call_once(gather_once_, [this] {
+    auto out = std::make_shared<MemMatrixStore>(rows_, cols_);
+    const float* src = parent_->data();
+    const size_t src_lda = parent_->lda();
+    float* dst = out->mutable_data();
+    const size_t dst_lda = out->lda();
+    for (size_t r = 0; r < rows_; ++r) {
+      const float* srow = src + r * src_lda;
+      float* drow = dst + r * dst_lda;
+      for (size_t j = 0; j < gather_cols_.size(); ++j) {
+        DB_DCHECK(gather_cols_[j] < parent_->cols());
+        drow[j] = srow[gather_cols_[j]];
+      }
+    }
+    gathered_ = std::move(out);
+    gathered_data_.store(gathered_->data(), std::memory_order_release);
+  });
+}
+
+std::shared_ptr<MemMatrixStore> VirtualMatrixStore::Materialize() const {
+  return MatrixStore::Materialize();
+}
+
+}  // namespace deepbase

@@ -1,0 +1,168 @@
+// Tiered storage backends behind Matrix (the FlashMatrix-style
+// matrix_store / virtual_matrix_store / materialize split):
+//
+//   MemMatrixStore     in-RAM, 64-byte-aligned, leading dimension (lda)
+//                      padded to a multiple of the SIMD width so every row
+//                      starts on a cache-line boundary (the havok
+//                      hk_Dense_Matrix layout).
+//   MmapMatrixStore    read-only float payload mapped straight out of a
+//                      BehaviorStore file — out-of-core matrices stream
+//                      through the page cache instead of deserializing
+//                      into RAM. Packed layout (lda == cols).
+//   VirtualMatrixStore lazy views: a RowSlice is a zero-copy window into
+//                      its parent (addressable immediately), a GatherCols
+//                      is a descriptor that materializes a padded copy on
+//                      first access.
+//
+// The store carries (rows, cols, lda) and hands out a base pointer; Matrix
+// is a value-semantics handle on top (tensor/matrix.h). Stores never pad
+// the *serialized* format: WriteMatrix/ReadMatrix and the BehaviorStore
+// file layout are logical rows×cols, so blobs round-trip bit-identically
+// across builds with different vector widths.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace deepbase {
+
+/// \brief Leading dimension for a padded in-memory row: cols rounded up to
+/// a multiple of vec::kLdaFloats (16 floats = one cache line). Matrices of
+/// at most one column stay packed — a single column is already a
+/// contiguous, fully vectorizable array, and padding would multiply the
+/// footprint of tall n×1 behavior vectors by 16.
+size_t PaddedLda(size_t cols);
+
+class MemMatrixStore;
+
+/// \brief Abstract storage tier: (rows, cols, lda) plus a base pointer.
+/// Element (r, c) lives at data()[r * lda() + c]; bytes between cols() and
+/// lda() in each row are padding no kernel may read for logical values.
+class MatrixStore {
+ public:
+  virtual ~MatrixStore() = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t lda() const { return lda_; }
+
+  /// \brief Base pointer of the stored elements. Never null: deferred
+  /// virtual stores materialize on first call (thread-safe, once).
+  virtual const float* data() const = 0;
+
+  /// \brief Writable base pointer, or nullptr for read-only tiers (mmap,
+  /// views). Matrix copies-on-materialize before mutating those.
+  virtual float* mutable_data() { return nullptr; }
+
+  bool read_only() { return mutable_data() == nullptr; }
+
+  /// \brief Tier name for diagnostics/tests: "mem", "mmap", "view".
+  virtual const char* tier() const = 0;
+
+  /// \brief Padded, writable in-memory copy of the logical rows×cols.
+  virtual std::shared_ptr<MemMatrixStore> Materialize() const;
+
+ protected:
+  size_t rows_ = 0, cols_ = 0, lda_ = 0;
+};
+
+/// \brief Owning in-RAM tier: one 64-byte-aligned allocation of
+/// rows × PaddedLda(cols) floats, zero-initialized (padding stays zero
+/// until a caller writes through mutable_data()). Capacity is retained
+/// across Resize so per-block scratch buffers never reallocate.
+class MemMatrixStore final : public MatrixStore {
+ public:
+  MemMatrixStore(size_t rows, size_t cols);
+  ~MemMatrixStore() override;
+
+  MemMatrixStore(const MemMatrixStore&) = delete;
+  MemMatrixStore& operator=(const MemMatrixStore&) = delete;
+
+  const float* data() const override { return buf_; }
+  float* mutable_data() override { return buf_; }
+  const char* tier() const override { return "mem"; }
+  std::shared_ptr<MemMatrixStore> Materialize() const override;
+
+  /// \brief Reshape to rows×cols; element values are unspecified
+  /// afterwards. Reuses the allocation when it is large enough.
+  void Resize(size_t rows, size_t cols);
+
+  size_t capacity_floats() const { return capacity_; }
+
+ private:
+  float* buf_ = nullptr;
+  size_t capacity_ = 0;  // floats
+};
+
+/// \brief Read-only tier over a float payload mapped from a file. The
+/// payload is the packed logical matrix (lda == cols) at a 64-byte-aligned
+/// offset — the BehaviorStore v2 file format pads its header so this holds.
+/// Unmaps on destruction; the kernel page cache does the streaming.
+class MmapMatrixStore final : public MatrixStore {
+ public:
+  ~MmapMatrixStore() override;
+
+  MmapMatrixStore(const MmapMatrixStore&) = delete;
+  MmapMatrixStore& operator=(const MmapMatrixStore&) = delete;
+
+  /// \brief Map `rows`×`cols` floats at byte `payload_offset` of `path`.
+  /// Returns nullptr on I/O failure or if the file is too short.
+  static std::shared_ptr<MmapMatrixStore> Map(const std::string& path,
+                                              size_t payload_offset,
+                                              size_t rows, size_t cols);
+
+  const float* data() const override { return payload_; }
+  const char* tier() const override { return "mmap"; }
+  std::shared_ptr<MemMatrixStore> Materialize() const override;
+
+  size_t mapped_bytes() const { return map_len_; }
+
+ private:
+  MmapMatrixStore() = default;
+
+  void* map_base_ = nullptr;
+  size_t map_len_ = 0;
+  const float* payload_ = nullptr;
+};
+
+/// \brief Lazy view tier. RowSlice views alias their parent (zero-copy,
+/// addressable immediately, lda inherited — mutations of the parent remain
+/// visible, and parent Resize invalidates the view like an iterator).
+/// GatherCols views are pure descriptors: data() materializes a padded
+/// column-gathered copy on first call (guarded by std::once_flag, so
+/// concurrent readers are safe) and serves it from then on.
+class VirtualMatrixStore final : public MatrixStore {
+ public:
+  static std::shared_ptr<VirtualMatrixStore> RowSlice(
+      std::shared_ptr<const MatrixStore> parent, size_t begin, size_t end);
+  static std::shared_ptr<VirtualMatrixStore> GatherCols(
+      std::shared_ptr<const MatrixStore> parent, std::vector<size_t> cols);
+
+  const float* data() const override;
+  const char* tier() const override { return "view"; }
+  std::shared_ptr<MemMatrixStore> Materialize() const override;
+
+  bool deferred() const { return kind_ == Kind::kGatherCols; }
+
+ private:
+  enum class Kind { kRowSlice, kGatherCols };
+
+  VirtualMatrixStore() = default;
+  void MaterializeGather() const;
+
+  Kind kind_ = Kind::kRowSlice;
+  std::shared_ptr<const MatrixStore> parent_;
+  size_t row_begin_ = 0;
+  std::vector<size_t> gather_cols_;
+
+  mutable std::once_flag gather_once_;
+  mutable std::shared_ptr<MemMatrixStore> gathered_;
+  mutable std::atomic<const float*> gathered_data_{nullptr};
+};
+
+}  // namespace deepbase

@@ -157,7 +157,8 @@ TEST(NetDissectTest, DeepBasePipelineCorrelatesWithNetDissect) {
   double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
   const size_t n = nd.iou.size();
   for (size_t i = 0; i < n; ++i) {
-    const double x = nd.iou.data()[i], y = db.iou.data()[i];
+    const double x = nd.iou(i / nd.iou.cols(), i % nd.iou.cols());
+    const double y = db.iou(i / db.iou.cols(), i % db.iou.cols());
     sx += x;
     sy += y;
     sxx += x * x;

@@ -450,5 +450,73 @@ TEST_F(StoreFixture, StoredExtractorRejectsMisalignedDataset) {
   EXPECT_FALSE(OpenStoredExtractor("misaligned", "m", ds, &store).ok());
 }
 
+TEST_F(StoreFixture, OversizedPayloadIsServedByMmapWithoutAdmission) {
+  // 64×40 floats ≈ 10 KiB of payload against a 4 KiB memory budget: the
+  // matrix can never live in the LRU tier, so GetShared hands out the
+  // mmap-backed store instead of deserializing.
+  BehaviorStore store(dir_.string(), /*memory_budget_bytes=*/4096);
+  Matrix m = TestMatrix(64, 40, 3);
+  ASSERT_TRUE(store.Put("big", m).ok());
+
+  BehaviorStore::Tier tier = BehaviorStore::Tier::kMiss;
+  Result<std::shared_ptr<const Matrix>> shared = store.GetShared("big", &tier);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  EXPECT_EQ(tier, BehaviorStore::Tier::kMmap);
+  EXPECT_STREQ((*shared)->tier(), "mmap");
+  EXPECT_EQ(store.mmap_hits(), 1u);
+  EXPECT_EQ(store.memory_bytes(), 0u);  // never admitted to the LRU
+
+  ASSERT_TRUE((*shared)->SameShape(m));
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ((**shared)(r, c), m(r, c));
+    }
+  }
+
+  // A second read maps again rather than warming the memory tier.
+  tier = BehaviorStore::Tier::kMiss;
+  ASSERT_TRUE(store.GetShared("big", &tier).ok());
+  EXPECT_EQ(tier, BehaviorStore::Tier::kMmap);
+  EXPECT_EQ(store.mmap_hits(), 2u);
+}
+
+TEST_F(StoreFixture, NamespaceQuotaTriggersMmapBelowGlobalBudget) {
+  // Global budget would fit the payload, but the key's namespace quota is
+  // tighter — the effective limit is the min of the two.
+  BehaviorStore store(dir_.string(), /*memory_budget_bytes=*/1 << 20);
+  store.SetNamespaceQuota("probe", 1024);
+  Matrix m = TestMatrix(32, 20, 4);
+  ASSERT_TRUE(store.Put("probe:act", m).ok());
+
+  BehaviorStore::Tier tier = BehaviorStore::Tier::kMiss;
+  Result<std::shared_ptr<const Matrix>> shared =
+      store.GetShared("probe:act", &tier);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(tier, BehaviorStore::Tier::kMmap);
+  EXPECT_EQ(store.mmap_hits(), 1u);
+
+  // An un-quota'd key of the same size still takes the deserialize path
+  // on a cold read (evicted from memory so the read reaches disk).
+  ASSERT_TRUE(store.Put("other:act", m).ok());
+  store.EvictFromMemory("other:act");
+  tier = BehaviorStore::Tier::kMiss;
+  ASSERT_TRUE(store.GetShared("other:act", &tier).ok());
+  EXPECT_EQ(tier, BehaviorStore::Tier::kDisk);
+}
+
+TEST_F(StoreFixture, MmapHandoutSurvivesStoreDeletion) {
+  // The handle owns the mapping: deleting the key (and the file) must not
+  // invalidate an outstanding reader.
+  BehaviorStore store(dir_.string(), /*memory_budget_bytes=*/4096);
+  Matrix m = TestMatrix(64, 40, 5);
+  ASSERT_TRUE(store.Put("doomed", m).ok());
+  Result<std::shared_ptr<const Matrix>> shared = store.GetShared("doomed");
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(store.Remove("doomed").ok());
+  EXPECT_FALSE(store.Contains("doomed"));
+  // POSIX keeps mapped pages alive after unlink; the data stays readable.
+  EXPECT_EQ((**shared)(63, 39), m(63, 39));
+}
+
 }  // namespace
 }  // namespace deepbase

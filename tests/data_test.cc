@@ -233,7 +233,8 @@ TEST(ImagesTest, ConceptPixelsAreBrighterThanBackground) {
   size_t bg_n = 0, fg_n = 0;
   for (const auto& img : images) {
     for (size_t p = 0; p < img.labels.size(); ++p) {
-      const float v = img.pixels.data()[p];
+      const float v =
+          img.pixels(p / img.pixels.cols(), p % img.pixels.cols());
       if (img.labels[p] == 0) {
         bg_sum += v;
         ++bg_n;

@@ -1,0 +1,281 @@
+// SIMD/scalar kernel equivalence and merge bit-identity.
+//
+// The measure kernels (measures/independent.cc) map one vector lane to
+// one unit and walk rows in order, so a unit scored inside a SIMD panel
+// performs exactly the additions of the scalar tail loop — the
+// lane-vs-tail tests here place identical data in a panel column and a
+// tail column (cols > 16 with duplicated columns) and require bitwise
+// equal scores, which in a DEEPBASE_SIMD build pins the vector path
+// against the in-library scalar path directly. A scalar-reference test
+// re-derives Pearson from plain double loops as an independent check.
+//
+// The shard-invariance tests run the full engine at num_shards {1, 3, 8}
+// over several passes and require byte-identical serialized tables for
+// the kBitExact moment-sum measures — the pairwise-tree merge contract.
+//
+// Cross-lane reductions (Matrix::Sum, MatMul, Softmax in
+// tensor/matrix.cc) are the one place SIMD re-associates; their
+// documented tolerance is pinned here too.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/extractors.h"
+#include "measures/independent.h"
+#include "measures/scores.h"
+#include "util/rng.h"
+
+namespace deepbase {
+namespace {
+
+// 18 units: one full 16-lane panel plus a 2-unit scalar tail. Columns 16
+// and 17 duplicate columns 5 and 11, so every measure must score the
+// (panel, tail) twins bitwise equal.
+constexpr size_t kUnits = 18;
+constexpr size_t kTwinA = 5, kTwinB = 11;
+
+Matrix TwinBlock(size_t rows, Rng* rng) {
+  Matrix m(rows, kUnits);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < 16; ++c) {
+      m(r, c) = static_cast<float>(rng->Normal());
+    }
+    m(r, 16) = m(r, kTwinA);
+    m(r, 17) = m(r, kTwinB);
+  }
+  return m;
+}
+
+std::vector<float> RandomHyp(size_t rows, Rng* rng) {
+  std::vector<float> hyp(rows);
+  for (float& v : hyp) v = rng->Bernoulli(0.4) ? 1.0f : 0.0f;
+  return hyp;
+}
+
+template <typename MeasureT>
+void ExpectTwinColumnsScoreEqual(MeasureT* measure) {
+  Rng rng(421);
+  // Ragged block sizes so the row loop hits every panel remainder.
+  for (size_t rows : {33u, 16u, 7u}) {
+    Matrix block = TwinBlock(rows, &rng);
+    std::vector<float> hyp = RandomHyp(rows, &rng);
+    measure->ProcessBlock(block, hyp);
+  }
+  const MeasureScores s = measure->Scores();
+  ASSERT_EQ(s.unit_scores.size(), kUnits);
+  EXPECT_EQ(s.unit_scores[16], s.unit_scores[kTwinA])
+      << "panel lane and scalar tail disagree";
+  EXPECT_EQ(s.unit_scores[17], s.unit_scores[kTwinB])
+      << "panel lane and scalar tail disagree";
+}
+
+TEST(KernelLaneVsTailTest, PearsonPanelLaneEqualsScalarTail) {
+  PearsonMeasure m(kUnits);
+  ExpectTwinColumnsScoreEqual(&m);
+}
+
+TEST(KernelLaneVsTailTest, DiffMeansPanelLaneEqualsScalarTail) {
+  DiffMeansMeasure m(kUnits);
+  ExpectTwinColumnsScoreEqual(&m);
+}
+
+TEST(KernelLaneVsTailTest, JaccardPanelLaneEqualsScalarTail) {
+  JaccardMeasure m(kUnits);
+  ExpectTwinColumnsScoreEqual(&m);
+}
+
+TEST(KernelLaneVsTailTest, MutualInfoPanelLaneEqualsScalarTail) {
+  MutualInfoMeasure m(kUnits, /*num_classes=*/2);
+  ExpectTwinColumnsScoreEqual(&m);
+}
+
+// Independent scalar re-derivation of Pearson: double sums accumulated
+// per unit in row order (the exact accumulation the kernel promises),
+// then the standard moment formula. One block, so no reduction tree is
+// involved — this isolates the block kernel itself.
+TEST(KernelReferenceTest, PearsonMatchesPlainDoubleLoops) {
+  Rng rng(7);
+  const size_t rows = 61;
+  Matrix block = TwinBlock(rows, &rng);
+  std::vector<float> hyp = RandomHyp(rows, &rng);
+
+  PearsonMeasure m(kUnits);
+  m.ProcessBlock(block, hyp);
+  const MeasureScores s = m.Scores();
+
+  double sy = 0, syy = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    const double y = hyp[r];
+    sy += y;
+    syy += y * y;
+  }
+  for (size_t u = 0; u < kUnits; ++u) {
+    double sx = 0, sxx = 0, sxy = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      const double x = block(r, u);
+      const double y = hyp[r];
+      sx += x;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    const double n = static_cast<double>(rows);
+    const double cov = n * sxy - sx * sy;
+    const double vx = n * sxx - sx * sx;
+    const double vy = n * syy - sy * sy;
+    const float expected =
+        (vx <= 0 || vy <= 0)
+            ? 0.0f
+            : static_cast<float>(cov / std::sqrt(vx * vy));
+    EXPECT_EQ(s.unit_scores[u], expected) << "unit " << u;
+  }
+}
+
+// ------------------------------------------------------------------
+// Merge bit-identity at shard counts {1, 3, 8}: the engine deals blocks
+// to different lanes per shard count, but the pairwise tree reduces the
+// same (occ, serial)-keyed entries either way.
+// ------------------------------------------------------------------
+
+class PlantedExtractor : public Extractor {
+ public:
+  PlantedExtractor() : Extractor("planted") {}
+  size_t num_units() const override { return kUnits; }
+
+  Matrix ExtractRecord(const Record& rec,
+                       const std::vector<int>& unit_ids) const override {
+    Matrix out(rec.size(), unit_ids.size());
+    for (size_t t = 0; t < rec.size(); ++t) {
+      const bool is_a = rec.tokens[t] == "a";
+      for (size_t j = 0; j < unit_ids.size(); ++j) {
+        const uint32_t h =
+            static_cast<uint32_t>(rec.ids[t]) * 2654435761u +
+            static_cast<uint32_t>(t) * 40503u +
+            static_cast<uint32_t>(unit_ids[j]) * 97u;
+        const float noise = static_cast<float>(h % 1000) / 500.0f - 1.0f;
+        out(t, j) = unit_ids[j] % 3 == 0 ? (is_a ? 1.0f : -1.0f) + noise
+                                         : noise;
+      }
+    }
+    return out;
+  }
+};
+
+class TokenHyp : public HypothesisFn {
+ public:
+  explicit TokenHyp(std::string token)
+      : HypothesisFn("is_" + token), token_(std::move(token)) {}
+  std::vector<float> Eval(const Record& rec) const override {
+    std::vector<float> out(rec.size(), 0.0f);
+    for (size_t i = 0; i < rec.size(); ++i) {
+      if (rec.tokens[i] == token_) out[i] = 1.0f;
+    }
+    return out;
+  }
+
+ private:
+  std::string token_;
+};
+
+Dataset MakeDataset(size_t n_records) {
+  Dataset ds(Vocab::FromChars("ab"), /*ns=*/8);
+  Rng rng(99);
+  for (size_t i = 0; i < n_records; ++i) {
+    std::string text;
+    for (size_t t = 0; t < 8; ++t) text += rng.Bernoulli(0.4) ? 'a' : 'b';
+    ds.AddText(text);
+  }
+  return ds;
+}
+
+TEST(ShardInvarianceTest, MomentMergesAreByteIdenticalAtShards138) {
+  PlantedExtractor extractor;
+  const std::vector<ModelSpec> models = {AllUnitsGroup(&extractor)};
+  Dataset ds = MakeDataset(96);
+  const std::vector<HypothesisPtr> hyps = {std::make_shared<TokenHyp>("a")};
+  const std::vector<MeasureFactoryPtr> measures = {
+      std::make_shared<CorrelationScore>("pearson"),
+      std::make_shared<DiffMeansScore>()};
+
+  InspectOptions options;
+  options.block_size = 8;  // 12 blocks: every shard count gets real work
+  options.early_stopping = false;
+  options.passes = 2;  // occurrence keying must hold across passes
+  options.num_shards = 1;
+  const std::string at1 =
+      Inspect(models, ds, measures, hyps, options).SerializeToString();
+
+  options.num_shards = 3;
+  const std::string at3 =
+      Inspect(models, ds, measures, hyps, options).SerializeToString();
+
+  options.num_shards = 8;
+  const std::string at8 =
+      Inspect(models, ds, measures, hyps, options).SerializeToString();
+
+  EXPECT_EQ(at1, at3);
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(ShardInvarianceTest, StreamingMomentMergesAreByteIdenticalAtShards138) {
+  PlantedExtractor extractor;
+  const std::vector<ModelSpec> models = {AllUnitsGroup(&extractor)};
+  Dataset ds = MakeDataset(96);
+  const std::vector<HypothesisPtr> hyps = {std::make_shared<TokenHyp>("a")};
+  const std::vector<MeasureFactoryPtr> measures = {
+      std::make_shared<CorrelationScore>("pearson"),
+      std::make_shared<DiffMeansScore>()};
+
+  InspectOptions options;
+  options.block_size = 8;
+  options.streaming = true;  // serials assigned in generation order
+  options.early_stopping = false;
+  options.passes = 1;
+  options.num_shards = 1;
+  const std::string at1 =
+      Inspect(models, ds, measures, hyps, options).SerializeToString();
+
+  options.num_shards = 3;
+  const std::string at3 =
+      Inspect(models, ds, measures, hyps, options).SerializeToString();
+
+  options.num_shards = 8;
+  const std::string at8 =
+      Inspect(models, ds, measures, hyps, options).SerializeToString();
+
+  EXPECT_EQ(at1, at3);
+  EXPECT_EQ(at1, at8);
+}
+
+// ------------------------------------------------------------------
+// Cross-lane reductions: the only kernels allowed to differ from scalar
+// accumulation, up to FP reassociation. Pin the documented tolerance.
+// ------------------------------------------------------------------
+
+TEST(CrossLaneReductionTest, SumMatchesDoubleReferenceWithinTolerance) {
+  Rng rng(17);
+  Matrix m = Matrix::RandomNormal(123, 37, &rng);
+  double reference = 0;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) reference += m(r, c);
+  }
+  EXPECT_NEAR(m.Sum(), static_cast<float>(reference),
+              1e-4f * static_cast<float>(m.size()));
+}
+
+TEST(CrossLaneReductionTest, SoftmaxRowsSumToOneWithinUlps) {
+  Rng rng(23);
+  Matrix logits = Matrix::RandomNormal(19, 33, &rng, 0.0f, 3.0f);
+  Matrix p = Softmax(logits);
+  for (size_t r = 0; r < p.rows(); ++r) {
+    float sum = 0;
+    for (size_t c = 0; c < p.cols(); ++c) sum += p(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace deepbase

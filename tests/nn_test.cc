@@ -43,15 +43,16 @@ TEST(LstmGradientTest, AnalyticMatchesFiniteDifference) {
   for (size_t p = 0; p < params.size(); ++p) {
     for (size_t probe = 0; probe < 6; ++probe) {
       size_t idx = (probe * 37 + p * 11) % params[p]->size();
-      float* w = params[p]->data() + idx;
-      const float orig = *w;
-      *w = orig + eps;
+      const size_t pc = params[p]->cols();
+      float& w = (*params[p])(idx / pc, idx % pc);
+      const float orig = w;
+      w = orig + eps;
       const float up = LstmObjective(layer, inputs, dh);
-      *w = orig - eps;
+      w = orig - eps;
       const float down = LstmObjective(layer, inputs, dh);
-      *w = orig;
+      w = orig;
       const float numeric = (up - down) / (2 * eps);
-      const float analytic = grads[p]->data()[idx];
+      const float analytic = (*grads[p])(idx / pc, idx % pc);
       EXPECT_NEAR(analytic, numeric, 2e-2f)
           << "param " << p << " idx " << idx;
     }
@@ -59,13 +60,15 @@ TEST(LstmGradientTest, AnalyticMatchesFiniteDifference) {
   // And the input gradient.
   for (size_t probe = 0; probe < 6; ++probe) {
     size_t idx = (probe * 13) % inputs.size();
-    const float orig = inputs.data()[idx];
-    inputs.data()[idx] = orig + eps;
+    const size_t ic = inputs.cols();
+    float& in = inputs(idx / ic, idx % ic);
+    const float orig = in;
+    in = orig + eps;
     const float up = LstmObjective(layer, inputs, dh);
-    inputs.data()[idx] = orig - eps;
+    in = orig - eps;
     const float down = LstmObjective(layer, inputs, dh);
-    inputs.data()[idx] = orig;
-    EXPECT_NEAR(dinputs.data()[idx], (up - down) / (2 * eps), 2e-2f);
+    in = orig;
+    EXPECT_NEAR(dinputs(idx / ic, idx % ic), (up - down) / (2 * eps), 2e-2f);
   }
 }
 
@@ -97,7 +100,7 @@ TEST(AdamTest, ConvergesOnQuadratic) {
   Adam adam(0.1f);
   for (int step = 0; step < 500; ++step) {
     for (size_t i = 0; i < w.size(); ++i) {
-      g.data()[i] = 2 * (w.data()[i] - 3.0f);
+      g(i / 2, i % 2) = 2 * (w(i / 2, i % 2) - 3.0f);
     }
     std::vector<Matrix*> params = {&w};
     std::vector<const Matrix*> grads = {&g};

@@ -1,8 +1,10 @@
-// Intra-job parallelism tests: the Measure CloneState/MergeFrom API, score
-// equality between num_shards=1 and num_shards=8 (exact for mergeable
-// measures, FP tolerance for re-associated moment sums), determinism
-// across repeated sharded runs, early stopping and cancellation under
-// sharding, and pool sharing between concurrent jobs and their shards.
+// Intra-job parallelism tests: the Measure CloneState/MergeFrom API,
+// bit-exact score equality between num_shards=1 and num_shards=8 (integer
+// counts merge exactly; the moment-sum measures reduce through a
+// canonical pairwise tree, so full sweeps are shard-count-invariant too),
+// determinism across repeated sharded runs, early stopping and
+// cancellation under sharding, and pool sharing between concurrent jobs
+// and their shards.
 // The whole file is TSan-relevant: scripts/check.sh runs it under
 // -DDEEPBASE_TSAN=ON.
 
@@ -10,7 +12,6 @@
 
 #include <atomic>
 #include <cmath>
-#include <set>
 #include <thread>
 
 #include "core/engine.h"
@@ -111,15 +112,12 @@ void ExpectScoreEq(float x, float y, bool exact, float tol,
   }
 }
 
-// Exact equality for integer-count mergeable measures and all
-// sequential-lane (non-mergeable / merged) measures; FP tolerance for the
-// re-associated moment sums.
-void ExpectTablesEqual(const ResultTable& a, const ResultTable& b,
-                       float tol = 1e-4f) {
-  // Spearman rides the sequential lane (order-dependent sample buffer),
-  // so it is bit-exact like the SGD measures.
-  const std::set<std::string> fp_measures = {"correlation_pearson",
-                                             "diff_means"};
+// Bit-exact equality for every measure. Integer-count merges (jaccard,
+// MI) and sequential-lane measures (Spearman's sample buffer, the SGD
+// measures) were always exact; the moment-sum measures (pearson,
+// diff_means) are now kBitExact through the pairwise-tree merge, so a
+// full sweep's scores never depend on the shard count.
+void ExpectTablesEqual(const ResultTable& a, const ResultTable& b) {
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     const ResultRow& ra = a.row(i);
@@ -128,11 +126,12 @@ void ExpectTablesEqual(const ResultTable& a, const ResultTable& b,
     ASSERT_EQ(ra.hypothesis, rb.hypothesis);
     ASSERT_EQ(ra.group_id, rb.group_id);
     ASSERT_EQ(ra.unit, rb.unit);
-    const bool exact = fp_measures.count(ra.measure) == 0;
     const std::string context = ra.measure + "/" + ra.hypothesis + "/" +
                                 ra.group_id + "/u" + std::to_string(ra.unit);
-    ExpectScoreEq(ra.unit_score, rb.unit_score, exact, tol, context);
-    ExpectScoreEq(ra.group_score, rb.group_score, exact, tol, context);
+    ExpectScoreEq(ra.unit_score, rb.unit_score, /*exact=*/true, 0.0f,
+                  context);
+    ExpectScoreEq(ra.group_score, rb.group_score, /*exact=*/true, 0.0f,
+                  context);
   }
 }
 
@@ -152,7 +151,7 @@ InspectOptions BaseOptions() {
 
 // ------------------------------------------------------ merge API units
 
-TEST(MeasureMergeApiTest, PearsonMergesUpToRounding) {
+TEST(MeasureMergeApiTest, PearsonMergesBitExactly) {
   Rng rng(7);
   Matrix b0 = Matrix::RandomNormal(40, 3, &rng);
   Matrix b1 = Matrix::RandomNormal(40, 3, &rng);
@@ -171,10 +170,13 @@ TEST(MeasureMergeApiTest, PearsonMergesUpToRounding) {
   replica->ProcessBlock(b1, h1);
   primary.MergeFrom(*replica);
 
-  EXPECT_EQ(primary.merge_exactness(), MergeExactness::kReassociated);
+  // Per-block entries reduce through the canonical pairwise tree in
+  // Scores(), so the merged replica is bit-identical to sequential
+  // accumulation — not merely tolerance-equal.
+  EXPECT_EQ(primary.merge_exactness(), MergeExactness::kBitExact);
   const MeasureScores s = seq.Scores(), p = primary.Scores();
   for (size_t u = 0; u < 3; ++u) {
-    EXPECT_NEAR(s.unit_scores[u], p.unit_scores[u], 1e-6f);
+    EXPECT_EQ(s.unit_scores[u], p.unit_scores[u]);
   }
 }
 

@@ -1,10 +1,16 @@
-// Unit tests for src/tensor: shapes, ops, GEMM variants, activations.
+// Unit tests for src/tensor: shapes, ops, GEMM variants, activations,
+// the tiered-store layout invariants (lda padding, alignment, view and
+// mmap tiers), and the logical-shape serialization contract.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <sstream>
 
 #include "tensor/matrix.h"
+#include "tensor/matrix_store.h"
+#include "tensor/simd.h"
 #include "util/rng.h"
 
 namespace deepbase {
@@ -194,6 +200,125 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 3),
                       std::make_tuple(4, 1, 4), std::make_tuple(7, 8, 9),
                       std::make_tuple(16, 3, 2), std::make_tuple(5, 17, 1)));
+
+// ---------------------------------------------------------------- layout
+
+TEST(LayoutTest, PaddedLdaRoundsUpToCacheLineExceptSingleColumn) {
+  // Build-independent contract: SIMD and scalar builds share one layout.
+  EXPECT_EQ(PaddedLda(0), 0u);
+  EXPECT_EQ(PaddedLda(1), 1u);  // n×1 vectors stay packed
+  EXPECT_EQ(PaddedLda(2), vec::kLdaFloats);
+  EXPECT_EQ(PaddedLda(16), 16u);
+  EXPECT_EQ(PaddedLda(17), 32u);
+  EXPECT_EQ(PaddedLda(33), 48u);
+}
+
+TEST(LayoutTest, RowsStartOnCacheLineBoundariesAndPaddingIsZero) {
+  Matrix m(5, 7, 3.0f);
+  EXPECT_EQ(m.lda(), vec::kLdaFloats);
+  EXPECT_FALSE(m.contiguous());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.row_data(r)) % vec::kByteAlign,
+              0u)
+        << "row " << r;
+    // Bytes between cols() and lda() are zero-initialized padding.
+    for (size_t c = m.cols(); c < m.lda(); ++c) {
+      EXPECT_EQ(m.row_data(r)[c], 0.0f) << "row " << r << " pad " << c;
+    }
+  }
+}
+
+TEST(LayoutTest, SingleColumnAndSingleRowStayContiguous) {
+  Matrix col(100, 1, 1.0f);
+  EXPECT_TRUE(col.contiguous());
+  EXPECT_EQ(col.lda(), 1u);
+  Matrix row(1, 23, 1.0f);
+  EXPECT_TRUE(row.contiguous());
+}
+
+TEST(LayoutTest, SizeCountsLogicalElementsNeverPadding) {
+  Matrix m(4, 5);
+  EXPECT_EQ(m.size(), 20u);
+  EXPECT_GT(m.lda(), m.cols());
+}
+
+TEST(LayoutTest, RowSliceViewAliasesParent) {
+  Matrix m(6, 5);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 5; ++c) m(r, c) = static_cast<float>(r * 5 + c);
+  }
+  const Matrix view = m.RowSliceView(2, 5);
+  EXPECT_STREQ(view.tier(), "view");
+  EXPECT_EQ(view.rows(), 3u);
+  EXPECT_EQ(view(0, 0), m(2, 0));
+  // Writes through the parent stay visible (zero-copy alias). The view
+  // must stay const here: a non-const accessor would detach it first.
+  m(2, 0) = -99.0f;
+  EXPECT_EQ(view(0, 0), -99.0f);
+  // Mutating a view detaches a private copy; the parent is untouched.
+  Matrix writable = m.RowSliceView(2, 5);
+  writable(0, 0) = 7.0f;
+  EXPECT_EQ(m(2, 0), -99.0f);
+  EXPECT_EQ(writable(0, 0), 7.0f);
+  EXPECT_STREQ(writable.tier(), "mem");
+}
+
+TEST(LayoutTest, GatherColsViewMatchesEagerGather) {
+  Rng rng(5);
+  Matrix m = Matrix::RandomNormal(9, 20, &rng);
+  const std::vector<size_t> cols = {19, 0, 7, 7, 3};
+  const Matrix eager = m.GatherCols(cols);
+  const Matrix lazy = m.GatherColsView(cols);
+  ASSERT_TRUE(eager.SameShape(lazy));
+  for (size_t r = 0; r < eager.rows(); ++r) {
+    for (size_t c = 0; c < eager.cols(); ++c) {
+      EXPECT_EQ(eager(r, c), lazy(r, c));
+    }
+  }
+}
+
+TEST(LayoutTest, MaterializedCollapsesViewsToWritableMem) {
+  Matrix m(4, 6, 2.0f);
+  Matrix view = m.RowSliceView(1, 3);
+  Matrix solid = view.Materialized();
+  EXPECT_STREQ(solid.tier(), "mem");
+  EXPECT_EQ(solid.rows(), 2u);
+  EXPECT_EQ(solid(0, 0), 2.0f);
+}
+
+// --------------------------------------------------------- serialization
+
+TEST(SerializationTest, WriteMatrixEmitsLogicalShapeNeverLda) {
+  Rng rng(11);
+  Matrix m = Matrix::RandomNormal(6, 7, &rng);  // lda 16 > cols 7
+  std::ostringstream out(std::ios::binary);
+  WriteMatrix(m, &out);
+  const std::string bytes = out.str();
+  // rows(8) + cols(8) + rows*cols floats — no padding travels.
+  EXPECT_EQ(bytes.size(), 16u + 6 * 7 * sizeof(float));
+}
+
+TEST(SerializationTest, RoundTripsAcrossLayouts) {
+  Rng rng(13);
+  // Padded matrix, packed column vector, and a read-only view: all must
+  // round-trip to bit-identical logical contents.
+  Matrix padded = Matrix::RandomNormal(5, 18, &rng);
+  Matrix packed = Matrix::RandomNormal(40, 1, &rng);
+  Matrix view = padded.RowSliceView(1, 4);
+  for (const Matrix* m : {&padded, &packed, &view}) {
+    std::ostringstream out(std::ios::binary);
+    WriteMatrix(*m, &out);
+    std::istringstream in(out.str(), std::ios::binary);
+    Result<Matrix> back = ReadMatrix(&in);
+    ASSERT_TRUE(back.ok());
+    ASSERT_TRUE(back->SameShape(*m));
+    for (size_t r = 0; r < m->rows(); ++r) {
+      for (size_t c = 0; c < m->cols(); ++c) {
+        EXPECT_EQ((*back)(r, c), (*m)(r, c));
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace deepbase
