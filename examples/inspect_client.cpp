@@ -12,6 +12,7 @@
 //
 // Usage: ./build/examples/inspect_client --port N [--host H]
 //            [--measure NAME] [--once] [--metrics]
+//            [--explain [--analyze]] [--statusz]
 //
 // --measure picks the measure (default pearson; jaccard's integer-count
 // merge is bit-identical at any cluster worker count). --once runs just
@@ -19,7 +20,11 @@
 // comparable format — the mode scripts use to verify run-to-run and
 // cluster determinism. --metrics skips the demo entirely and prints the
 // server's Prometheus exposition (the kMetrics RPC) — what a scrape job
-// or the check.sh smoke test sees.
+// or the check.sh smoke test sees. --explain prints the server's plan
+// for the demo query without running it (add --analyze to run the job
+// and reconcile the plan against what actually happened); --statusz
+// dumps the server's live introspection page (jobs, caches, store
+// occupancy, workers, armed failpoints).
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +74,37 @@ int main(int argc, char** argv) {
     Result<std::string> text = client.Metrics();
     if (!text.ok()) {
       std::fprintf(stderr, "metrics failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  // --statusz: live introspection dump, exit (scrape-friendly output).
+  if (HasFlag(argc, argv, "--statusz")) {
+    Result<std::string> text = client.Statusz();
+    if (!text.ok()) {
+      std::fprintf(stderr, "statusz failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  // --explain [--analyze]: print the plan for the demo query. Plain
+  // EXPLAIN is a dry run (the server executes nothing); --analyze runs
+  // the job and annotates the plan with actual phase times + counters.
+  if (HasFlag(argc, argv, "--explain")) {
+    InspectRequest explain_request;
+    explain_request.models.push_back({.name = "toy_lm"});
+    explain_request.hypothesis_sets = {"vowels"};
+    explain_request.dataset_name = "words";
+    explain_request.measure_names = {
+        FlagValue(argc, argv, "--measure", "pearson")};
+    Result<std::string> text =
+        client.Explain(explain_request, HasFlag(argc, argv, "--analyze"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "explain failed: %s\n",
                    text.status().ToString().c_str());
       return 1;
     }

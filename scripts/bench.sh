@@ -100,6 +100,18 @@ assert_keys "$REPO_ROOT/BENCH_cluster_scaleout.json" \
 assert_keys "$REPO_ROOT/BENCH_kernels.json" \
     phase_process_s phase_scores_s speedup_vs_scalar float_lanes
 
+echo "== perf trend vs committed baselines =="
+# Advisory per-metric diff of the fresh numbers against what HEAD has
+# committed; DEEPBASE_BENCH_STRICT=1 turns >25% regressions into a
+# nonzero exit (the perf-CI gate — single local runs are too noisy to
+# fail by default).
+python3 "$REPO_ROOT/scripts/bench_compare.py" --repo-root "$REPO_ROOT" \
+    "$REPO_ROOT/BENCH_engine_parallel.json" \
+    "$REPO_ROOT/BENCH_scheduler_batch.json" \
+    "$REPO_ROOT/BENCH_server_throughput.json" \
+    "$REPO_ROOT/BENCH_cluster_scaleout.json" \
+    "$REPO_ROOT/BENCH_kernels.json"
+
 if [ "$HAVE_MICRO" = "1" ]; then
   echo "== bench_micro engine cells =="
   "$BUILD_DIR/bench/bench_micro" \

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Perf-trajectory diff: fresh BENCH_*.json vs the committed baselines.
+
+scripts/bench.sh rewrites the repo-root BENCH_*.json files in place, so
+after a run the working tree holds the fresh numbers while `git show
+HEAD:<file>` still holds the last committed ones. This script renders a
+per-metric trend table (baseline -> current, signed delta) for every
+bench file it is given and classifies each metric as improved, flat, or
+regressed.
+
+Only metric-shaped keys are compared (records_per_s, jobs_per_s,
+phase_*_s, speedup_*, *_rate, *latency*); configuration echoes (units,
+blocks, float_lanes, ...) are ignored so a deliberate workload change
+does not read as a perf change. Direction is inferred from the name:
+throughputs/speedups/rates are higher-is-better, seconds/latencies are
+lower-is-better.
+
+Exit status: 0 unless strict mode is on (DEEPBASE_BENCH_STRICT=1 or
+--strict) AND at least one metric regressed past the threshold (default
+25%, --threshold to override). Strict is opt-in because single-run bench
+numbers carry real scheduling noise — the gate is for perf-focused CI
+legs, not every developer run.
+
+Usage:
+  scripts/bench_compare.py [--repo-root DIR] [--baseline-ref REF]
+                           [--threshold PCT] [--strict] BENCH_a.json ...
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Substrings that mark a key as a comparable metric, and the direction
+# that counts as "better". First match wins; order matters (e.g.
+# "phase_scores_s" must hit the seconds rule, not a rate rule).
+LOWER_IS_BETTER = ("_s_mean", "_s_p50", "_s_p99", "latency", "seconds")
+LOWER_SUFFIXES = ("_s",)
+HIGHER_IS_BETTER = ("per_s", "speedup", "_rate", "hit_rate", "jobs_per")
+
+
+def metric_direction(key):
+    """Return +1 (higher better), -1 (lower better), or 0 (not a metric)."""
+    leaf = key.rsplit(".", 1)[-1]
+    for pat in HIGHER_IS_BETTER:
+        if pat in leaf:
+            return +1
+    for pat in LOWER_IS_BETTER:
+        if pat in leaf:
+            return -1
+    for suffix in LOWER_SUFFIXES:
+        if leaf.endswith(suffix):
+            return -1
+    return 0
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted_path, number) for every numeric leaf.
+
+    Lists of objects are labeled by their most identifying field when one
+    exists (num_shards/workers/clients/jobs), falling back to the index,
+    so "cells[num_shards=2].records_per_s" stays stable when rows are
+    added.
+    """
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            yield from flatten(value, path)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            label = str(i)
+            if isinstance(value, dict):
+                for id_key in ("num_shards", "workers", "clients", "jobs"):
+                    if id_key in value:
+                        label = f"{id_key}={value[id_key]}"
+                        break
+            yield from flatten(value, f"{prefix}[{label}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield prefix, float(node)
+
+
+def metrics_of(blob):
+    return {
+        path: value
+        for path, value in flatten(blob)
+        if metric_direction(path) != 0
+    }
+
+
+def committed_baseline(repo_root, ref, rel_path):
+    """The file's content at `ref`, or None when it isn't committed."""
+    proc = subprocess.run(
+        ["git", "-C", repo_root, "show", f"{ref}:{rel_path}"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_file(repo_root, ref, path, threshold):
+    """Print the trend table for one bench file; return regressed paths."""
+    rel = os.path.relpath(os.path.abspath(path), repo_root)
+    try:
+        with open(path) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"-- {rel}: unreadable ({err}); skipped")
+        return []
+    baseline = committed_baseline(repo_root, ref, rel)
+    if baseline is None:
+        print(f"-- {rel}: no committed baseline at {ref}; skipped")
+        return []
+
+    base_metrics = metrics_of(baseline)
+    fresh_metrics = metrics_of(fresh)
+    shared = sorted(set(base_metrics) & set(fresh_metrics))
+    if not shared:
+        print(f"-- {rel}: no shared metrics with the {ref} baseline")
+        return []
+
+    print(f"-- {rel} (vs {ref})")
+    width = max(len(p) for p in shared)
+    regressed = []
+    for metric in shared:
+        base, cur = base_metrics[metric], fresh_metrics[metric]
+        direction = metric_direction(metric)
+        if base == 0:
+            change, verdict = float("inf") if cur else 0.0, "  "
+        else:
+            change = (cur - base) / abs(base)
+            # A positive change in a lower-is-better metric is a slowdown.
+            worse = change * direction < 0
+            if worse and abs(change) > threshold:
+                verdict = "!!"
+                regressed.append(f"{rel}:{metric} ({change:+.1%})")
+            elif abs(change) > threshold:
+                verdict = "++"
+            else:
+                verdict = "  "
+        print(f"   {verdict} {metric:<{width}} {base:>12.6g} -> "
+              f"{cur:>12.6g}  {change:+8.1%}")
+    return regressed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="fresh BENCH_*.json files")
+    parser.add_argument("--repo-root", default=".")
+    parser.add_argument("--baseline-ref", default="HEAD")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="regression threshold in percent (default 25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions (also via "
+                             "DEEPBASE_BENCH_STRICT=1)")
+    args = parser.parse_args()
+    strict = args.strict or os.environ.get("DEEPBASE_BENCH_STRICT") == "1"
+    threshold = args.threshold / 100.0
+
+    regressed = []
+    for path in args.files:
+        regressed += compare_file(args.repo_root, args.baseline_ref, path,
+                                  threshold)
+
+    if regressed:
+        print(f"{len(regressed)} metric(s) regressed more than "
+              f"{args.threshold:g}%:")
+        for entry in regressed:
+            print(f"  !! {entry}")
+        if strict:
+            return 1
+        print("(advisory: set DEEPBASE_BENCH_STRICT=1 to make this fatal)")
+    else:
+        print(f"no regressions beyond {args.threshold:g}% "
+              f"vs {args.baseline_ref}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,45 @@ if [ -z "$SERVER_PORT" ]; then
 fi
 "$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" >/dev/null
 
+echo "== smoke: EXPLAIN / EXPLAIN ANALYZE + statusz over the wire =="
+# Run the demo query once more at the *current* catalog version (the
+# demo's remote hypothesis registration bumped it, correctly invalidating
+# older cache entries), so the dry-run plan must name the shared-scan
+# group it would form AND predict the repeat as a result-cache hit;
+# EXPLAIN ANALYZE then runs the job and must reconcile without
+# divergences ("!!" lines). statusz is the live introspection page:
+# scheduler counters + cache occupancy at minimum.
+EXPLAIN_OUT="$(mktemp)"
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" --once >/dev/null
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" --explain \
+    >"$EXPLAIN_OUT"
+grep -q "group=" "$EXPLAIN_OUT" || {
+  echo "EXPLAIN plan does not name the shared-scan group"
+  cat "$EXPLAIN_OUT"; exit 1
+}
+grep -q "cache: hit" "$EXPLAIN_OUT" || {
+  echo "EXPLAIN plan did not predict the repeat as a cache hit"
+  cat "$EXPLAIN_OUT"; exit 1
+}
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" --explain \
+    --analyze >"$EXPLAIN_OUT"
+grep -qF "| actual:" "$EXPLAIN_OUT" || {
+  echo "EXPLAIN ANALYZE carried no actuals"; cat "$EXPLAIN_OUT"; exit 1
+}
+grep -qF "!!" "$EXPLAIN_OUT" && {
+  echo "EXPLAIN ANALYZE flagged a plan-vs-actual divergence"
+  cat "$EXPLAIN_OUT"; exit 1
+}
+"$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" --statusz \
+    >"$EXPLAIN_OUT"
+for field in "scheduler: jobs_scheduled=" "result-cache: hits=" \
+             "failpoints:"; do
+  grep -qF "$field" "$EXPLAIN_OUT" || {
+    echo "statusz is missing \"$field\""; cat "$EXPLAIN_OUT"; exit 1
+  }
+done
+rm -f "$EXPLAIN_OUT"
+
 echo "== smoke: metrics endpoint (Prometheus scrape x2, monotonic counters) =="
 SCRAPE1="$(mktemp)"; SCRAPE2="$(mktemp)"
 "$BUILD_DIR/examples/inspect_client" --port "$SERVER_PORT" --metrics >"$SCRAPE1"
@@ -187,10 +226,11 @@ echo "== tsan: concurrency suites =="
 cmake -B "$TSAN_DIR" -S . -DDEEPBASE_TSAN=ON >/dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" --target parallel_engine_test \
       service_test scheduler_test server_test util_test \
-      behavior_store_test cluster_test chaos_test observability_test
+      behavior_store_test cluster_test chaos_test observability_test \
+      explain_test
 (cd "$TSAN_DIR" &&
  ctest --output-on-failure -j 1 \
-       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test|cluster_test|chaos_test|observability_test')
+       -R 'parallel_engine_test|service_test|scheduler_test|server_test|util_test|behavior_store_test|cluster_test|chaos_test|observability_test|explain_test')
 
 echo "== tsan: chaos smoke (fixed seed, short schedule) =="
 DEEPBASE_CHAOS_SEED=805381 DEEPBASE_CHAOS_STEPS=16 \

@@ -140,6 +140,16 @@ Status ClusterCoordinator::Start() {
                const InspectOptions& default_options, RuntimeStats* stats) {
           return DistributedRun(request, default_options, stats);
         });
+    // Feed the session's EXPLAIN layer: what this coordinator would do
+    // with the next job (shard default, degrade policy, live workers).
+    session_->SetClusterProbe([this] {
+      ClusterPlanProbe probe;
+      probe.active = true;
+      probe.total_shards = config_.total_shards;
+      probe.degrade_to_local = config_.degrade_to_local;
+      probe.live_workers = worker_ids();
+      return probe;
+    });
   }
   return Status::OK();
 }
@@ -907,7 +917,10 @@ Result<ResultTable> ClusterCoordinator::MergeSliced(const InspectPlan& plan,
 
 void ClusterCoordinator::Shutdown() {
   if (!running_.load(std::memory_order_acquire)) return;
-  if (config_.install_engine) session_->scheduler().SetEngine(nullptr);
+  if (config_.install_engine) {
+    session_->scheduler().SetEngine(nullptr);
+    session_->SetClusterProbe(nullptr);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;

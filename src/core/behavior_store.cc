@@ -276,6 +276,24 @@ Result<std::shared_ptr<const Matrix>> BehaviorStore::GetShared(
   return shared;
 }
 
+BehaviorStore::Tier BehaviorStore::PeekTier(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key) > 0) return Tier::kMemory;
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(PathForKey(key), ec);
+  if (ec) return Tier::kMiss;
+  // Mirror GetShared's out-of-core rule: a payload bigger than the
+  // effective memory limit (global budget tightened by the namespace
+  // quota) is handed out as an mmap instead of deserializing.
+  size_t mem_limit = memory_budget_;
+  auto quota_it = namespace_quotas_.find(NamespaceOf(key));
+  if (quota_it != namespace_quotas_.end()) {
+    mem_limit = std::min(mem_limit, quota_it->second);
+  }
+  if (mem_limit > 0 && file_size > mem_limit) return Tier::kMmap;
+  return Tier::kDisk;
+}
+
 bool BehaviorStore::Contains(const std::string& key) const {
   {
     std::lock_guard<std::mutex> lock(mu_);

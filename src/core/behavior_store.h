@@ -94,6 +94,15 @@ class BehaviorStore {
   /// payload.
   bool Contains(const std::string& key) const;
 
+  /// \brief The tier a GetShared would be served from right now, without
+  /// serving it: kMemory (resident), kMmap (on disk but bigger than the
+  /// effective memory limit, so it would be handed out as a read-only
+  /// map), kDisk (on disk, would deserialize + admit), or kMiss (would
+  /// extract). Counts nothing and never touches LRU order — EXPLAIN's
+  /// residency probe. The mmap verdict keys on the file footprint, a
+  /// header-sized overestimate of the payload GetShared compares.
+  Tier PeekTier(const std::string& key) const;
+
   /// \brief Drop from the memory tier only (the persisted file survives).
   void EvictFromMemory(const std::string& key);
 

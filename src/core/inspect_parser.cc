@@ -119,17 +119,14 @@ class Cursor {
 
 }  // namespace
 
-Result<ResultTable> ExecuteInspect(const std::string& statement,
-                                   const Catalog& catalog,
-                                   const InspectOptions& options,
-                                   RuntimeStats* stats) {
+Result<InspectRequest> ParseInspect(const std::string& statement,
+                                    const Catalog& catalog) {
   Cursor cur(Tokenize(statement));
   DB_RETURN_NOT_OK(cur.ExpectKeyword("inspect"));
   DB_RETURN_NOT_OK(cur.ExpectKeyword("units"));
   DB_RETURN_NOT_OK(cur.ExpectKeyword("of"));
 
   InspectRequest request;
-  request.options = options;
   InspectRequest::ModelRef model;
   model.name = cur.Next();
   DB_RETURN_NOT_OK(cur.ExpectKeyword("and"));
@@ -138,11 +135,12 @@ Result<ResultTable> ExecuteInspect(const std::string& statement,
   if (cur.TryKeyword("using")) {
     do {
       const std::string measure_name = cur.Next();
-      // Resolve eagerly so an unknown measure is reported as a parse-time
-      // error at its token, not after the statement is fully consumed.
-      DB_ASSIGN_OR_RETURN(MeasureFactoryPtr measure,
-                          catalog.GetMeasure(measure_name));
-      request.measures.push_back(std::move(measure));
+      // Validate eagerly so an unknown measure is reported as a
+      // parse-time error at its token, not after the statement is fully
+      // consumed — but carry the *name*, not the factory: name-resolved
+      // requests keep a stable identity for the result cache and EXPLAIN.
+      DB_RETURN_NOT_OK(catalog.GetMeasure(measure_name).status());
+      request.measure_names.push_back(measure_name);
     } while (cur.TryKeyword(","));
   }
 
@@ -179,6 +177,15 @@ Result<ResultTable> ExecuteInspect(const std::string& statement,
   if (!cur.Done()) {
     return Status::Invalid("unexpected trailing token: '" + cur.Peek() + "'");
   }
+  return request;
+}
+
+Result<ResultTable> ExecuteInspect(const std::string& statement,
+                                   const Catalog& catalog,
+                                   const InspectOptions& options,
+                                   RuntimeStats* stats) {
+  DB_ASSIGN_OR_RETURN(InspectRequest request, ParseInspect(statement, catalog));
+  request.options = options;
   return RunInspectRequest(request, catalog, options, stats);
 }
 

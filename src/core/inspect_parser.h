@@ -24,6 +24,16 @@
 
 namespace deepbase {
 
+/// \brief Parse one INSPECT statement into an InspectRequest without
+/// executing it. Measure names in the USING clause are validated against
+/// `catalog` at their token (parse-time errors) but stored by *name* in
+/// `measure_names`, so parsed requests stay fully name-resolved — and
+/// therefore fingerprintable by the scheduler's result cache — and can be
+/// dry-run through EXPLAIN. `request.options` is left unset (the caller
+/// decides).
+Result<InspectRequest> ParseInspect(const std::string& statement,
+                                    const Catalog& catalog);
+
 /// \brief Parse and execute one INSPECT statement.
 Result<ResultTable> ExecuteInspect(const std::string& statement,
                                    const Catalog& catalog,

@@ -916,4 +916,36 @@ Result<std::string> InspectionClient::Metrics(bool json) {
   return text;
 }
 
+Result<std::string> InspectionClient::Explain(const InspectRequest& request,
+                                              bool analyze, bool json) {
+  wire::Writer w;
+  w.U8(static_cast<uint8_t>((analyze ? 1 : 0) | (json ? 2 : 0)));
+  DB_RETURN_NOT_OK(wire::EncodeInspectRequest(request, &w));
+  Result<wire::Frame> reply = Call(wire::MsgType::kExplain, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply->type != wire::MsgType::kExplainOk) {
+    return Status::DataLoss("malformed Explain response");
+  }
+  wire::Reader r(reply->payload);
+  r.U8();  // flags echo
+  std::string text = r.Str();
+  if (!r.ok()) return Status::DataLoss("malformed Explain response");
+  return text;
+}
+
+Result<std::string> InspectionClient::Statusz(bool json) {
+  wire::Writer w;
+  w.U8(json ? 1 : 0);
+  Result<wire::Frame> reply = Call(wire::MsgType::kStatusz, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply->type != wire::MsgType::kStatuszOk) {
+    return Status::DataLoss("malformed Statusz response");
+  }
+  wire::Reader r(reply->payload);
+  r.U8();  // format echo
+  std::string text = r.Str();
+  if (!r.ok()) return Status::DataLoss("malformed Statusz response");
+  return text;
+}
+
 }  // namespace deepbase

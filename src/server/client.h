@@ -197,6 +197,17 @@ class InspectionClient {
   /// exposition by default, JSON when `json` is set.
   Result<std::string> Metrics(bool json = false);
 
+  /// \brief EXPLAIN (dry run) or EXPLAIN ANALYZE (run + reconcile) of
+  /// `request` on the server, rendered as the plan's text tree (or JSON).
+  /// The request must be fully name-resolved — inline pointers cannot
+  /// cross the wire.
+  Result<std::string> Explain(const InspectRequest& request,
+                              bool analyze = false, bool json = false);
+
+  /// \brief Live system introspection dump (jobs in flight, cache/store
+  /// occupancy, worker liveness, armed failpoints).
+  Result<std::string> Statusz(bool json = false);
+
  private:
   friend class RemoteJob;
 

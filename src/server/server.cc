@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "service/explain.h"
 #include "service/scheduler.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -613,11 +614,61 @@ bool InspectionServer::HandleFrame(const std::shared_ptr<Connection>& conn,
           return true;
         }
       }
+      // Refresh store-occupancy gauges + mmap-hit counter so the scrape
+      // reflects the store's current state, not the last publish.
+      PublishStoreMetrics(session_);
       const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
       wire::Writer w;
       w.U8(format);
       w.Str(format == 1 ? RenderJson(snapshot) : RenderPrometheus(snapshot));
       Send(conn, wire::MsgType::kMetricsOk, frame.request_id, w.bytes());
+      return true;
+    }
+    case wire::MsgType::kExplain: {
+      // Payload: one flags byte (bit 0 = ANALYZE, bit 1 = JSON output)
+      // followed by an encoded InspectRequest. ANALYZE runs the job to
+      // completion on this connection's frame loop — an introspection
+      // RPC, not a throughput path.
+      wire::Reader r(frame.payload);
+      const uint8_t flags = r.U8();
+      InspectRequest request;
+      if (!r.ok() || flags > 3 ||
+          !wire::DecodeInspectRequest(&r, &request) || !r.exhausted()) {
+        SendError(conn, frame.request_id,
+                  Status::DataLoss("malformed Explain payload"));
+        return true;
+      }
+      const bool analyze = (flags & 1) != 0;
+      const bool as_json = (flags & 2) != 0;
+      Result<InspectionPlan> plan = analyze
+                                        ? session_->ExplainAnalyze(request)
+                                        : session_->Explain(request);
+      if (!plan.ok()) {
+        SendError(conn, frame.request_id, plan.status());
+        return true;
+      }
+      wire::Writer w;
+      w.U8(flags);
+      w.Str(as_json ? plan->ToJson() : plan->ToText());
+      Send(conn, wire::MsgType::kExplainOk, frame.request_id, w.bytes());
+      return true;
+    }
+    case wire::MsgType::kStatusz: {
+      // Payload: one format byte (0 = text, 1 = JSON); empty = text.
+      uint8_t format = 0;
+      if (!frame.payload.empty()) {
+        wire::Reader r(frame.payload);
+        format = r.U8();
+        if (!r.ok() || !r.exhausted() || format > 1) {
+          SendError(conn, frame.request_id,
+                    Status::DataLoss("malformed Statusz payload"));
+          return true;
+        }
+      }
+      wire::Writer w;
+      w.U8(format);
+      w.Str(RenderStatusz(session_, format == 1));
+      Send(conn, wire::MsgType::kStatuszOk, frame.request_id, w.bytes());
       return true;
     }
     default: {

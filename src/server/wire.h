@@ -66,6 +66,10 @@ enum class MsgType : uint16_t {
   kAssign = 18,           ///< block-range assignment (coordinator -> worker)
   kStoreKeymap = 19,      ///< behavior-store key->worker placement map
 
+  // Introspection requests (client -> server).
+  kExplain = 20,  ///< EXPLAIN [ANALYZE]: flags byte + encoded InspectRequest
+  kStatusz = 21,  ///< live system introspection dump (one format byte)
+
   // Responses (server -> client, request_id echoed).
   kHelloOk = 64,
   kSubmitOk = 65,
@@ -80,6 +84,8 @@ enum class MsgType : uint16_t {
   kWorkerHelloOk = 72,  ///< coordinator ack: assigned worker index
   kAssignResult = 73,   ///< terminal assignment outcome + partial states
   kMetricsOk = 74,      ///< rendered metrics text (Prometheus or JSON)
+  kExplainOk = 75,      ///< rendered plan (flags byte echoed + text)
+  kStatuszOk = 76,      ///< rendered statusz (format byte echoed + text)
 
   // Server-push events (request_id = the originating Submit's).
   kEventProgress = 128,

@@ -242,6 +242,19 @@ class JobHandle {
 
 class InspectQuery;
 class Scheduler;
+struct InspectionPlan;
+
+/// \brief What a cluster coordinator attached to this session would do
+/// with the next job — the cluster half of an EXPLAIN plan. Registered by
+/// ClusterCoordinator::Start (cleared on Shutdown) through
+/// InspectionSession::SetClusterProbe, so the service layer can render
+/// cluster placement without a layering cycle onto src/cluster.
+struct ClusterPlanProbe {
+  bool active = false;          ///< a coordinator engine is installed
+  uint32_t total_shards = 0;    ///< coordinator default shard count
+  bool degrade_to_local = false;
+  std::vector<std::string> live_workers;  ///< sorted live worker ids
+};
 
 /// \brief The facade. Thread-safe: Submit/Inspect may be called
 /// concurrently; jobs share the catalog, store, hypothesis cache, result
@@ -303,6 +316,23 @@ class InspectionSession {
   /// \brief Handles of all jobs ever submitted (newest last).
   std::vector<JobHandle> Jobs() const;
 
+  // --- EXPLAIN / EXPLAIN ANALYZE (service/explain.h; defined in
+  // explain.cc). Explain() is a pure dry run: it renders the plan the
+  // scheduler/cluster/store would execute without running a single block
+  // or mutating any cache/counter. ExplainAnalyze() submits the job,
+  // waits, and annotates every plan node with actual phase seconds and
+  // counters, flagging plan-vs-actual divergences.
+  Result<InspectionPlan> Explain(const InspectRequest& request);
+  Result<InspectionPlan> ExplainAnalyze(const InspectRequest& request);
+
+  /// \brief Install (or clear, with nullptr) the cluster-coordinator
+  /// probe feeding EXPLAIN's placement plan. Called by
+  /// ClusterCoordinator::Start/Shutdown.
+  void SetClusterProbe(std::function<ClusterPlanProbe()> probe);
+  /// \brief Snapshot of the attached cluster (active = false when no
+  /// coordinator is installed).
+  ClusterPlanProbe ProbeCluster() const;
+
  private:
   friend class Scheduler;
 
@@ -328,6 +358,9 @@ class InspectionSession {
   mutable std::mutex jobs_mu_;
   uint64_t next_job_id_ = 1;
   std::vector<std::shared_ptr<internal::JobState>> jobs_;
+
+  mutable std::mutex cluster_probe_mu_;
+  std::function<ClusterPlanProbe()> cluster_probe_;  // guarded by ^
 };
 
 }  // namespace deepbase

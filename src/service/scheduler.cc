@@ -46,6 +46,7 @@ struct JobMetrics {
   Counter* cache_hits;
   Counter* cache_misses;
   Counter* admission_rejections;
+  Counter* trace_spans_dropped;
   Gauge* queue_depth;
   Histogram* latency;
 };
@@ -64,6 +65,8 @@ JobMetrics& Metrics() {
     m->cache_misses = reg.GetCounter("deepbase_result_cache_misses_total");
     m->admission_rejections =
         reg.GetCounter("deepbase_admission_rejections_total");
+    m->trace_spans_dropped =
+        reg.GetCounter("deepbase_trace_spans_dropped_total");
     m->queue_depth = reg.GetGauge("deepbase_queue_depth");
     m->latency = reg.GetHistogram("deepbase_job_latency_seconds",
                                   DefaultLatencyBounds());
@@ -165,17 +168,6 @@ bool ParseBlobKeyVersion(const std::string& key, uint64_t* version) {
   return true;
 }
 
-/// Only complete, deterministic runs are cacheable/dedupable: a cancelled
-/// or budget-truncated result depends on wall-clock timing. A deadline is
-/// the same hazard as a finite time budget (whether the run completes
-/// depends on the clock), so deadline-bearing requests are excluded too —
-/// a no-deadline waiter must never inherit a leader's kDeadlineExceeded.
-bool DeterministicOptions(const InspectOptions& options) {
-  return options.max_blocks == std::numeric_limits<size_t>::max() &&
-         std::isinf(options.time_budget_s) &&
-         options.deadline == std::chrono::steady_clock::time_point::max();
-}
-
 /// Shared deadline gate for both admission paths: a request whose
 /// deadline has already passed is rejected up front with the typed error
 /// instead of occupying a queue slot it can never use.
@@ -188,13 +180,23 @@ Status CheckAdmissionDeadline(const InspectOptions& options) {
   return Status::OK();
 }
 
-/// The effective shard count this session would run the request at,
-/// mirroring BlockPipeline's resolution (0 = pool size, clamped to 64).
-/// Only consulted for early-stopping requests — the one case where
-/// HashOptions keys on the shard count — and there fingerprints hash this
-/// resolved value, never the raw option: a raw 0 resolves per-session, so
-/// a persisted result must not be served to a session whose engine would
-/// deal (and therefore truncate) blocks differently.
+}  // namespace
+
+// Only complete, deterministic runs are cacheable/dedupable: a cancelled
+// or budget-truncated result depends on wall-clock timing. A deadline is
+// the same hazard as a finite time budget (whether the run completes
+// depends on the clock), so deadline-bearing requests are excluded too —
+// a no-deadline waiter must never inherit a leader's kDeadlineExceeded.
+bool DeterministicOptions(const InspectOptions& options) {
+  return options.max_blocks == std::numeric_limits<size_t>::max() &&
+         std::isinf(options.time_budget_s) &&
+         options.deadline == std::chrono::steady_clock::time_point::max();
+}
+
+// Fingerprints hash this resolved value for early-stopping requests —
+// never the raw option: a raw 0 resolves per-session, so a persisted
+// result must not be served to a session whose engine would deal (and
+// therefore truncate) blocks differently.
 size_t ResolvedShardCountFor(const InspectOptions& options,
                              const SessionConfig& config) {
   size_t shards = options.num_shards;
@@ -210,8 +212,6 @@ size_t ResolvedShardCountFor(const InspectOptions& options,
   }
   return std::min<size_t>(std::max<size_t>(shards, 1), 64);
 }
-
-}  // namespace
 
 std::optional<uint64_t> InspectRequestFingerprint(
     const InspectRequest& request, const Catalog& catalog,
@@ -435,6 +435,18 @@ void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
   bytes_ -= it->bytes;
   index_.erase({it->fingerprint, it->version});
   lru_.erase(it);
+}
+
+std::string ResultCache::PeekTier(uint64_t fingerprint, uint64_t version,
+                                  uint64_t dataset_fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version < floor_version_) return "";
+  if (index_.count({fingerprint, version}) > 0) return "memory";
+  if (persist_ && store_->ContainsBlob(ResultCacheBlobKey(
+                      fingerprint, version, dataset_fingerprint))) {
+    return "persistent";
+  }
+  return "";
 }
 
 size_t ResultCache::hits() const {
@@ -788,6 +800,11 @@ void Scheduler::FinalizeJob(const std::shared_ptr<internal::JobState>& state,
   root.duration_ns = now_ns - submit_ns;
   root.tags = std::string("status=") + status;
   tracer->Record(std::move(root));
+  // Per-job ring overflow, exported once at the terminal transition (the
+  // `finalized` latch above guarantees exactly one count per job).
+  if (tracer->dropped() > 0) {
+    Metrics().trace_spans_dropped->Inc(tracer->dropped());
+  }
   const double threshold = session_->config_.slow_job_threshold_s;
   if (threshold > 0 && wall_s > threshold) {
     Metrics().slow->Inc();
@@ -1269,6 +1286,76 @@ JobHandle Scheduler::Submit(InspectRequest request, uint64_t trace_id) {
     OnJobFinished();
   });
   return JobHandle(state);
+}
+
+SchedulerProbe Scheduler::Probe(const InspectRequest& request) const {
+  SchedulerProbe p;
+  const Catalog& catalog = session_->catalog_;
+  const SessionConfig& config = session_->config_;
+  p.catalog_version = catalog.version();
+  const InspectOptions options =
+      request.options.value_or(config.options);
+  p.deterministic = DeterministicOptions(options);
+  p.resolved_shard_count = ResolvedShardCountFor(options, config);
+  // Same fingerprint the Submit paths compute: early-stopping requests
+  // pin the resolved shard count (see HashOptions).
+  if (config.enable_result_cache || config.enable_inflight_dedup) {
+    InspectOptions fp_options = options;
+    if (options.early_stopping) {
+      fp_options.num_shards = p.resolved_shard_count;
+    }
+    p.fingerprint = InspectRequestFingerprint(request, catalog, fp_options);
+    if (p.fingerprint) {
+      p.dataset_fingerprint =
+          DatasetFingerprintFor(request, catalog).value_or(0);
+    }
+  }
+  p.cacheable = p.fingerprint.has_value() && config.enable_result_cache;
+  if (p.cacheable) {
+    p.cache_tier = result_cache_.PeekTier(*p.fingerprint, p.catalog_version,
+                                          p.dataset_fingerprint);
+  }
+  p.dedupable = p.fingerprint.has_value() && config.enable_inflight_dedup &&
+                p.deterministic;
+  p.shared_scan_enabled = config.enable_shared_scan;
+  p.group_key = BatchKeyFor(request, catalog, options);
+  p.estimated_queued_bytes = EstimateQueuedBytes(request);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (p.dedupable) {
+      auto it = inflight_.find({*p.fingerprint, p.catalog_version});
+      p.dedup_inflight = it != inflight_.end() && !it->second->done;
+    }
+    if (p.shared_scan_enabled && p.group_key) {
+      p.group_exists = groups_.count(*p.group_key) > 0;
+    }
+    p.active_jobs = active_jobs_;
+    p.queued_bytes = queued_bytes_;
+    // A dedup waiter bypasses admission entirely; otherwise mirror the
+    // quota gates Submit would apply right now.
+    if (!p.dedup_inflight) {
+      if (config.max_concurrent_jobs > 0 &&
+          active_jobs_ >= config.max_concurrent_jobs) {
+        p.would_admit = false;
+        p.admission_detail =
+            "concurrent-job quota exhausted: " + std::to_string(active_jobs_) +
+            " active, quota " + std::to_string(config.max_concurrent_jobs);
+      } else if (config.max_queued_bytes > 0 && queued_jobs_ > 0 &&
+                 queued_bytes_ + p.estimated_queued_bytes >
+                     config.max_queued_bytes) {
+        p.would_admit = false;
+        p.admission_detail =
+            "queued-bytes quota exhausted: " + std::to_string(queued_bytes_) +
+            " queued + " + std::to_string(p.estimated_queued_bytes) +
+            " requested > quota " + std::to_string(config.max_queued_bytes);
+      }
+    }
+  }
+  if (p.would_admit && !CheckAdmissionDeadline(options).ok()) {
+    p.would_admit = false;
+    p.admission_detail = "job deadline expired before admission";
+  }
+  return p;
 }
 
 SchedulerStats Scheduler::stats() const {

@@ -90,6 +90,19 @@ std::optional<std::string> BatchKeyFor(const InspectRequest& request,
 std::string ResultCacheBlobKey(uint64_t fingerprint, uint64_t version,
                                uint64_t dataset_fingerprint);
 
+/// \brief True when the run is complete and clock-independent — the
+/// cacheability/dedupability gate (a truncated or deadline-bearing run
+/// depends on wall-clock timing). Shared with EXPLAIN.
+bool DeterministicOptions(const InspectOptions& options);
+
+/// \brief The shard count this session's engine would actually run the
+/// request at, mirroring BlockPipeline's resolution (explicit count →
+/// pool size → config threads → hardware concurrency, clamped to
+/// [1, 64]). Shared by the fingerprint's early-stopping carve-out and by
+/// EXPLAIN's partition plan.
+size_t ResolvedShardCountFor(const InspectOptions& options,
+                             const SessionConfig& config);
+
 /// \brief LRU-over-bytes cache of completed inspection results, keyed by
 /// (request fingerprint, catalog version), with an optional persistent
 /// tier through a BehaviorStore's "cache:" blob namespace. Thread-safe.
@@ -129,6 +142,13 @@ class ResultCache {
   /// there, so per-request calls are cheap.
   void InvalidateBelow(uint64_t version);
   void Clear();
+
+  /// \brief EXPLAIN's side-effect-free tier probe: "memory",
+  /// "persistent", or "" (miss / below the admission floor). Unlike
+  /// Lookup it counts nothing, never touches LRU order, and never
+  /// re-admits a blob — a dry run leaves the cache byte-identical.
+  std::string PeekTier(uint64_t fingerprint, uint64_t version,
+                       uint64_t dataset_fingerprint) const;
 
   size_t hits() const;
   size_t misses() const;
@@ -230,6 +250,30 @@ struct SchedulerStats {
   void Accumulate(const SchedulerStats& other);
 };
 
+/// \brief What the scheduler *would* decide for a request right now —
+/// the admission/cache/dedup/group half of an EXPLAIN plan. Computed by
+/// Scheduler::Probe without mutating anything: no counters move, no LRU
+/// reorders, no blob is read, no registry entry is created.
+struct SchedulerProbe {
+  std::optional<uint64_t> fingerprint;  ///< nullopt = not cacheable
+  uint64_t dataset_fingerprint = 0;
+  uint64_t catalog_version = 0;
+  bool deterministic = false;  ///< DeterministicOptions(effective options)
+  bool cacheable = false;      ///< fingerprint && result cache enabled
+  bool dedupable = false;      ///< fingerprint && dedup enabled && determ.
+  std::string cache_tier;      ///< "memory" | "persistent" | "" (miss)
+  bool dedup_inflight = false;  ///< would attach as waiter on a leader
+  bool shared_scan_enabled = false;
+  std::optional<std::string> group_key;  ///< shared-scan batching key
+  bool group_exists = false;  ///< a live group already has this key
+  size_t resolved_shard_count = 0;
+  size_t estimated_queued_bytes = 0;  ///< the queued-bytes quota unit
+  bool would_admit = true;
+  std::string admission_detail;  ///< set when would_admit is false
+  size_t active_jobs = 0;
+  size_t queued_bytes = 0;
+};
+
 /// \brief The session's scheduler. Owned by InspectionSession; every
 /// Submit()/Inspect() routes through it. Thread-safe.
 class Scheduler {
@@ -264,6 +308,10 @@ class Scheduler {
       const InspectRequest& request, const InspectOptions& default_options,
       RuntimeStats* stats)>;
   void SetEngine(EngineFn fn);
+
+  /// \brief EXPLAIN's dry-run view of the decisions Submit() would make
+  /// for `request` right now. Strictly read-only (see SchedulerProbe).
+  SchedulerProbe Probe(const InspectRequest& request) const;
 
   SchedulerStats stats() const;
   ResultCache& result_cache() { return result_cache_; }

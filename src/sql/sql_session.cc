@@ -1,8 +1,11 @@
 #include "sql/sql_session.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <set>
+
+#include "service/explain.h"
 
 namespace deepbase {
 
@@ -107,10 +110,64 @@ void SqlSession::RegisterCatalogRelations(DbCatalog* db_catalog) {
   }
 }
 
+namespace {
+
+// Case-insensitive word at the front of `text` (letters/underscores only).
+std::string FirstWordLower(const std::string& text, size_t* end_pos) {
+  size_t pos = 0;
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  std::string word;
+  while (pos < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[pos]))) {
+    word += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[pos])));
+    ++pos;
+  }
+  if (end_pos != nullptr) *end_pos = pos;
+  return word;
+}
+
+}  // namespace
+
 Result<DbTable> SqlSession::Execute(const std::string& sql,
                                     RuntimeStats* stats) {
   std::string text = sql;
   const bool explain = StripExplainPrefix(&text);
+  if (explain) {
+    // EXPLAIN [ANALYZE] INSPECT UNITS OF ... — the textual frontend's
+    // statement routes to the session's inspection planner and renders
+    // the plan tree as a one-column relation. SELECT statements (and the
+    // SQL-relational INSPECT clause) keep the relational EXPLAIN below.
+    bool analyze = false;
+    std::string body = text;
+    size_t after_first = 0;
+    if (FirstWordLower(body, &after_first) == "analyze") {
+      analyze = true;
+      body = body.substr(after_first);
+    }
+    if (FirstWordLower(body, nullptr) == "inspect") {
+      DB_ASSIGN_OR_RETURN(InspectionPlan plan,
+                          ExplainInspectStatement(session_, body, analyze));
+      DbTable out({"plan"});
+      const std::string rendered = plan.ToText();
+      size_t start = 0;
+      while (start < rendered.size()) {
+        size_t nl = rendered.find('\n', start);
+        if (nl == std::string::npos) nl = rendered.size();
+        DB_RETURN_NOT_OK(
+            out.AppendRow({Datum::Str(rendered.substr(start, nl - start))}));
+        start = nl + 1;
+      }
+      return out;
+    }
+    if (analyze) {
+      return Status::Invalid(
+          "EXPLAIN ANALYZE is only supported for INSPECT statements");
+    }
+  }
   DB_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSql(text));
   RebuildCatalogTables();
 
